@@ -1,0 +1,57 @@
+"""Benchmarks regenerating Figures 3, 4 and 5 (extraction quality).
+
+Each benchmark times the KOKO side of the experiment and asserts the
+qualitative shape reported in the paper (KOKO's F1 above the baselines;
+descriptors helping on the short-article corpus).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import fig3_cafes, fig4_wnut, fig5_descriptors
+from repro.evaluation.extraction_quality import ike_sweep, koko_threshold_sweep
+from repro.evaluation.queries import CAFE_IKE_PATTERNS, CAFE_QUERY
+
+
+def test_fig3_cafe_extraction_koko(benchmark, cafe_engine, cafe_corpus):
+    """Figure 3 — the KOKO threshold sweep on the BARISTAMAG-like corpus."""
+    koko = benchmark(
+        koko_threshold_sweep, cafe_engine, CAFE_QUERY, cafe_corpus, "cafe"
+    )
+    ike = ike_sweep(cafe_corpus, CAFE_IKE_PATTERNS, gold_key="cafe")
+    assert koko.best_f1() > ike.best_f1()
+
+
+def test_fig3_full_comparison(benchmark):
+    """Figure 3 — full three-system comparison on both cafe corpora."""
+    result = benchmark.pedantic(
+        fig3_cafes.run,
+        kwargs={"baristamag_articles": 12, "sprudge_articles": 15, "crf_epochs": 2},
+        iterations=1,
+        rounds=1,
+    )
+    for corpus_name in ("baristamag", "sprudge"):
+        assert result.best_f1(corpus_name, "KOKO") >= result.best_f1(corpus_name, "IKE")
+        assert result.best_f1(corpus_name, "KOKO") > result.best_f1(corpus_name, "CRFsuite")
+
+
+def test_fig4_wnut_extraction(benchmark):
+    """Figure 4 — teams and facilities from tweets."""
+    result = benchmark.pedantic(
+        fig4_wnut.run,
+        kwargs={"tweets": 120, "include_crf": False},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.best_f1("team", "KOKO") >= result.best_f1("team", "IKE")
+    assert result.best_f1("facility", "KOKO") > 0
+
+
+def test_fig5_descriptor_ablation(benchmark):
+    """Figure 5 — descriptors help short articles more than long ones."""
+    result = benchmark.pedantic(
+        fig5_descriptors.run,
+        kwargs={"baristamag_articles": 12, "sprudge_articles": 15},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.f1_gain("baristamag") >= result.f1_gain("sprudge") - 0.02

@@ -1,0 +1,76 @@
+"""Benchmarks regenerating Table 1 (GSP) and Table 2 (scale-up breakdown),
+plus the Odin and NELL comparisons reported as text in the paper."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import (
+    nell_comparison,
+    odin_comparison,
+    table1_gsp,
+    table2_scaleup,
+)
+from repro.evaluation.queries import SCALEUP_QUERIES
+
+
+def test_table1_gsp_vs_nogsp(benchmark):
+    """Table 1 — per-sentence extract-clause time, GSP vs NOGSP."""
+    result = benchmark.pedantic(
+        table1_gsp.run,
+        kwargs={
+            "happydb_moments": 60,
+            "wikipedia_articles": 30,
+            "queries_per_setting": 3,
+            "max_sentences_per_query": 6,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    for corpus in ("HappyDB", "Wikipedia"):
+        assert result.speedup(corpus, 5) > result.speedup(corpus, 1)
+        assert result.speedup(corpus, 5) > 3.0
+
+
+def test_table2_scaleup_breakdown(benchmark):
+    """Table 2 — stage breakdown and linear-ish scaling of total time."""
+    result = benchmark.pedantic(
+        table2_scaleup.run,
+        kwargs={"article_counts": (50, 100, 200)},
+        iterations=1,
+        rounds=1,
+    )
+    by_query = {row.query: row for row in result.rows if row.articles == 200}
+    assert by_query["Chocolate"].selectivity < by_query["Title"].selectivity
+    assert by_query["Title"].selectivity < by_query["DateOfBirth"].selectivity
+    # Normalize + GSP are a negligible share of the total
+    for row in result.rows:
+        overhead = row.timings["Normalize"] + row.timings["GSP"]
+        assert overhead <= max(0.02 * row.total_seconds, 0.005)
+    # total time grows with corpus size for the unselective query
+    series = result.total_series("DateOfBirth")
+    assert series[-1][1] > series[0][1]
+
+
+def test_table2_single_query_latency(benchmark, wiki_engine):
+    """The headline per-query latency of the medium-selectivity Title query."""
+    result = benchmark(wiki_engine.execute, SCALEUP_QUERIES["Title"])
+    assert result.timings.total >= 0
+
+
+def test_odin_comparison(benchmark):
+    """Section 6.3 — Odin (annotation + execution) is slower than KOKO."""
+    result = benchmark.pedantic(
+        odin_comparison.run, kwargs={"articles": 60}, iterations=1, rounds=1
+    )
+    assert all(row.slowdown > 1.0 for row in result.rows)
+
+
+def test_nell_comparison(benchmark):
+    """Section 6.1 — NELL reaches much lower recall than precision."""
+    result = benchmark.pedantic(
+        nell_comparison.run,
+        kwargs={"baristamag_articles": 20, "sprudge_articles": 30},
+        iterations=1,
+        rounds=1,
+    )
+    for score in result.scores.values():
+        assert score.recall <= score.precision

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness (pytest-benchmark).
+
+Each ``bench_*`` module regenerates one table or figure of the paper at a
+laptop-friendly scale; the benchmark fixture times the headline operation
+while the module's assertions check the qualitative shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpora.cafe_blogs import BARISTAMAG, generate_cafe_corpus
+from repro.corpora.happydb import generate_happydb_corpus
+from repro.corpora.wikipedia import generate_wikipedia_corpus
+from repro.koko.engine import KokoEngine
+from repro.nlp.pipeline import Pipeline
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> Pipeline:
+    return Pipeline()
+
+
+@pytest.fixture(scope="session")
+def happy_corpus(pipeline):
+    return generate_happydb_corpus(moments=150, pipeline=pipeline)
+
+
+@pytest.fixture(scope="session")
+def wiki_corpus(pipeline):
+    return generate_wikipedia_corpus(articles=100, pipeline=pipeline)
+
+
+@pytest.fixture(scope="session")
+def wiki_engine(wiki_corpus):
+    return KokoEngine(wiki_corpus)
+
+
+@pytest.fixture(scope="session")
+def cafe_corpus(pipeline):
+    return generate_cafe_corpus(BARISTAMAG, pipeline=pipeline, articles=20)
+
+
+@pytest.fixture(scope="session")
+def cafe_engine(cafe_corpus):
+    return KokoEngine(cafe_corpus)

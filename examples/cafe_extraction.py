@@ -1,0 +1,45 @@
+"""Cafe-name extraction with evidence aggregation (the Section 6.1 workload).
+
+Generates a BARISTAMAG-like blog corpus, runs the Appendix-A-style cafe
+query, and compares KOKO against the IKE-style baseline.
+
+Run with:  python examples/cafe_extraction.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ike import IkeExtractor
+from repro.corpora.cafe_blogs import BARISTAMAG, generate_cafe_corpus
+from repro.evaluation.metrics import extraction_scores
+from repro.evaluation.queries import CAFE_IKE_PATTERNS, CAFE_QUERY
+from repro.koko.engine import KokoEngine
+
+
+def main() -> None:
+    corpus = generate_cafe_corpus(BARISTAMAG, articles=25)
+    gold = corpus.gold["cafe"]
+    print(f"Generated {len(corpus)} cafe blog articles, {sum(len(v) for v in gold.values())} gold cafes")
+
+    engine = KokoEngine(corpus)
+    koko_result = engine.execute(CAFE_QUERY)
+    koko_predicted = koko_result.values_by_document("x")
+    koko_scores = extraction_scores(koko_predicted, gold)
+
+    ike_predicted = IkeExtractor(CAFE_IKE_PATTERNS).extract_all(corpus)
+    ike_scores = extraction_scores(ike_predicted, gold)
+
+    print("\nsystem   precision  recall  F1")
+    for name, scores in (("KOKO", koko_scores), ("IKE", ike_scores)):
+        print(f"{name:8s} {scores.precision:9.3f} {scores.recall:7.3f} {scores.f1:5.3f}")
+
+    print("\nSample KOKO extractions (with aggregated evidence scores):")
+    shown = 0
+    for extraction in koko_result:
+        print(f"  {extraction.doc_id}: {extraction.value('x')!r}  score={extraction.score('x'):.2f}")
+        shown += 1
+        if shown >= 8:
+            break
+
+
+if __name__ == "__main__":
+    main()

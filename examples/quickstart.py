@@ -1,0 +1,57 @@
+"""Quickstart: annotate text, run the paper's running-example queries.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import KokoEngine, Pipeline
+
+EXAMPLE_2_1 = """
+extract e:Entity, d:Str from input.txt if
+(/ROOT:{
+a = //verb,
+b = a/dobj,
+c = b//"delicious",
+d = (b.subtree)
+} (b) in (e))
+"""
+
+CITY_QUERY = (
+    'extract a:GPE from "input.txt" if () satisfying a '
+    '(a SimilarTo "city" {1.0}) with threshold 0.3'
+)
+COUNTRY_QUERY = (
+    'extract a:GPE from "input.txt" if () satisfying a '
+    '(a SimilarTo "country" {1.0}) with threshold 0.3'
+)
+
+
+def main() -> None:
+    pipeline = Pipeline()
+    corpus = pipeline.annotate_corpus(
+        {
+            "doc0": "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "doc1": "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            "s1": "cities in asian countries such as China and Japan.",
+            "s2": "cities in asian countries such as Beijing and Tokyo.",
+        },
+        name="quickstart",
+    )
+    engine = KokoEngine(corpus)
+
+    print("Example 2.1 — surface + dependency-tree conditions")
+    for extraction in engine.execute(EXAMPLE_2_1):
+        print(f"  {extraction.doc_id}: e={extraction.value('e')!r}  d={extraction.value('d')!r}")
+
+    print("\nExample 2.2 — similarTo distinguishes cities from countries")
+    for label, query in (("city", CITY_QUERY), ("country", COUNTRY_QUERY)):
+        result = engine.execute(query)
+        found = ", ".join(
+            f"{t.value('a')} ({t.score('a'):.2f})" for t in sorted(result, key=lambda t: t.value("a"))
+        )
+        print(f"  similarTo {label!r}: {found}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""The three Section 6.3 wiki queries and the index-design comparison.
+
+Generates a Wikipedia-like corpus, runs the Chocolate / Title / DateOfBirth
+queries with per-stage timings (the rows of Table 2), and compares the four
+index designs on size (Figure 6(b)).
+
+Run with:  python examples/wikipedia_relations.py
+"""
+
+from __future__ import annotations
+
+from repro.corpora.wikipedia import generate_wikipedia_corpus
+from repro.evaluation.queries import SCALEUP_QUERIES
+from repro.indexing.baselines import all_index_designs
+from repro.koko.engine import KokoEngine
+
+
+def main() -> None:
+    corpus = generate_wikipedia_corpus(articles=120)
+    print(f"Generated {len(corpus)} wiki articles, {corpus.num_sentences} sentences")
+
+    engine = KokoEngine(corpus)
+    print("\nquery         tuples  selectivity  total(s)  breakdown")
+    for name, query in SCALEUP_QUERIES.items():
+        result = engine.execute(query)
+        selectivity = len(result.selectivity) / len(corpus)
+        breakdown = ", ".join(
+            f"{stage}={seconds:.3f}" for stage, seconds in result.timings.as_dict().items()
+        )
+        print(
+            f"{name:12s} {len(result):7d} {selectivity:12.2%} "
+            f"{result.timings.total:9.3f}  {breakdown}"
+        )
+        for extraction in list(result)[:2]:
+            print(f"    e.g. {extraction.as_dict()}")
+
+    print("\nIndex-design comparison (Figure 6(b) shape):")
+    for design_cls in all_index_designs():
+        index = design_cls().build(corpus)
+        print(
+            f"  {index.name:12s} build={index.build_seconds:6.2f}s "
+            f"size={index.approximate_bytes() / 1e6:6.2f} MB"
+        )
+
+
+if __name__ == "__main__":
+    main()

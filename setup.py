@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries the project metadata; this file exists so that
+``pip install -e .`` works in fully offline environments where the PEP 660
+editable-wheel path is unavailable (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro — a from-scratch reproduction of KOKO (Scalable Semantic Querying of Text, VLDB 2018).
+
+The top-level package re-exports the most commonly used entry points:
+
+* :class:`~repro.nlp.Pipeline` — annotate raw text into parsed documents,
+* :class:`~repro.koko.KokoEngine` — evaluate KOKO queries over a corpus,
+* :func:`~repro.koko.parse_query` — parse a KOKO query string,
+* :class:`~repro.indexing.KokoIndexSet` — the multi-index by itself.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduction of every table and figure of the paper.
+"""
+
+from .koko import KokoEngine, KokoQuery, KokoResult, parse_query
+from .nlp import Corpus, Document, Pipeline, Sentence, Token
+from .indexing import KokoIndexSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "KokoEngine",
+    "KokoIndexSet",
+    "KokoQuery",
+    "KokoResult",
+    "Pipeline",
+    "Sentence",
+    "Token",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Extraction baselines the paper compares against KOKO (Sections 5-6)."""
+
+from .crf import AveragedPerceptronCrf, CrfEntityExtractor, TaggedSentence
+from .crf_features import sentence_features, token_features
+from .ike import IkeExtractor, IkePattern
+from .nell import BootstrapState, NellBootstrapper
+from .nogsp import NoGspEngine
+from .odin import OdinMatcher, OdinMention, OdinRule
+
+__all__ = [
+    "AveragedPerceptronCrf",
+    "BootstrapState",
+    "CrfEntityExtractor",
+    "IkeExtractor",
+    "IkePattern",
+    "NellBootstrapper",
+    "NoGspEngine",
+    "OdinMatcher",
+    "OdinMention",
+    "OdinRule",
+    "TaggedSentence",
+    "sentence_features",
+    "token_features",
+]

@@ -1,0 +1,55 @@
+"""Feature extraction for the CRF named-entity baseline (Section 6.1).
+
+The paper's CRFsuite baseline uses "the tokens along with their preceding and
+following tokens, prefix and suffix of each token up to 3 characters, and a
+set of binary features that test if the token matches a few regular
+expressions (mostly to test if it has digits, or if the token is all digits
+and so on)".  This module reproduces that feature set.
+"""
+
+from __future__ import annotations
+
+import re
+
+_HAS_DIGIT = re.compile(r"\d")
+_ALL_DIGITS = re.compile(r"^\d+$")
+_HAS_HYPHEN = re.compile(r"-")
+_HAS_UPPER = re.compile(r"[A-Z]")
+
+
+def token_features(tokens: list[str], index: int) -> list[str]:
+    """The feature strings of token *index* within its sentence."""
+    token = tokens[index]
+    low = token.lower()
+    features = [
+        "bias",
+        f"w={low}",
+        f"w.istitle={token[:1].isupper()}",
+        f"w.isupper={token.isupper()}",
+        f"w.has_digit={bool(_HAS_DIGIT.search(token))}",
+        f"w.all_digits={bool(_ALL_DIGITS.match(token))}",
+        f"w.has_hyphen={bool(_HAS_HYPHEN.search(token))}",
+        f"w.has_upper={bool(_HAS_UPPER.search(token))}",
+    ]
+    for size in (1, 2, 3):
+        if len(low) >= size:
+            features.append(f"prefix{size}={low[:size]}")
+            features.append(f"suffix{size}={low[-size:]}")
+    if index > 0:
+        previous = tokens[index - 1]
+        features.append(f"w-1={previous.lower()}")
+        features.append(f"w-1.istitle={previous[:1].isupper()}")
+    else:
+        features.append("BOS")
+    if index + 1 < len(tokens):
+        nxt = tokens[index + 1]
+        features.append(f"w+1={nxt.lower()}")
+        features.append(f"w+1.istitle={nxt[:1].isupper()}")
+    else:
+        features.append("EOS")
+    return features
+
+
+def sentence_features(tokens: list[str]) -> list[list[str]]:
+    """Feature lists for every token of a sentence."""
+    return [token_features(tokens, i) for i in range(len(tokens))]

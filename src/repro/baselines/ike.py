@@ -1,0 +1,144 @@
+"""An IKE-style pattern extractor (Dalvi et al.; Sections 5 and 6.1).
+
+IKE extracts noun phrases matched by surface patterns over single sentences,
+with *distributional similarity* search: the pattern ``("serves coffee" ~ 10)``
+matches the phrase itself or any of its 10 most similar phrases.  The key
+contrasts with KOKO that the paper draws, and that this implementation
+preserves:
+
+* IKE is **sentence local** — it cannot aggregate partial evidence from
+  several mentions of the same entity across a document,
+* matches are all-or-nothing — there is no weighting or thresholding,
+* it has no access to dependency structure.
+
+Patterns are expressed with :class:`IkePattern`: a noun-phrase capture
+before or after a context phrase, optionally with similarity expansion
+(``expand_k``) and a proximity window (the ``~ 10`` of IKE query syntax).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..embeddings.expansion import DescriptorExpander
+from ..nlp.types import Corpus, Document, Sentence
+
+
+@dataclass(frozen=True)
+class IkePattern:
+    """One IKE query: capture an NP adjacent to (or near) a context phrase.
+
+    ``np_side`` says where the captured noun phrase sits relative to the
+    context phrase: ``"before"`` for ``(NP) ("serves coffee" ~ 10)``,
+    ``"after"`` for ``("cafe called") (NP)``.  ``window`` is the maximum
+    token distance between the NP and the context phrase (1 = adjacent).
+    ``expand_k`` > 0 turns on distributional-similarity expansion of the
+    context phrase.
+    """
+
+    context: str
+    np_side: str = "before"
+    window: int = 10
+    expand_k: int = 0
+
+
+class IkeExtractor:
+    """Evaluate IKE patterns sentence by sentence."""
+
+    def __init__(
+        self,
+        patterns: list[IkePattern],
+        expander: DescriptorExpander | None = None,
+    ) -> None:
+        self.patterns = patterns
+        self.expander = expander or DescriptorExpander()
+        self._phrase_cache: dict[tuple[str, int], list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # extraction
+    # ------------------------------------------------------------------
+    def extract(self, document: Document) -> set[str]:
+        """Entity strings any pattern captures anywhere in *document*."""
+        found: set[str] = set()
+        for sentence in document:
+            for pattern in self.patterns:
+                found.update(self._match_pattern(sentence, pattern))
+        return found
+
+    def extract_all(self, corpus: Corpus, doc_ids: set[str] | None = None) -> dict[str, set[str]]:
+        """doc_id -> captured entity strings."""
+        results: dict[str, set[str]] = {}
+        for document in corpus:
+            if doc_ids is not None and document.doc_id not in doc_ids:
+                continue
+            results[document.doc_id] = self.extract(document)
+        return results
+
+    # ------------------------------------------------------------------
+    # pattern matching
+    # ------------------------------------------------------------------
+    def _match_pattern(self, sentence: Sentence, pattern: IkePattern) -> set[str]:
+        phrases = self._context_phrases(pattern)
+        tokens = [tok.text.lower() for tok in sentence]
+        lemmas = [tok.lemma for tok in sentence]
+        captured: set[str] = set()
+        for phrase in phrases:
+            words = phrase.lower().split()
+            if not words:
+                continue
+            for start in range(0, len(tokens) - len(words) + 1):
+                window_tokens = tokens[start : start + len(words)]
+                window_lemmas = lemmas[start : start + len(words)]
+                if window_tokens != words and window_lemmas != words:
+                    continue
+                if pattern.np_side == "before":
+                    noun_phrase = self._noun_phrase_ending_before(
+                        sentence, start, pattern.window
+                    )
+                else:
+                    noun_phrase = self._noun_phrase_starting_after(
+                        sentence, start + len(words) - 1, pattern.window
+                    )
+                if noun_phrase:
+                    captured.add(noun_phrase)
+        return captured
+
+    def _context_phrases(self, pattern: IkePattern) -> list[str]:
+        if pattern.expand_k <= 0:
+            return [pattern.context]
+        key = (pattern.context, pattern.expand_k)
+        cached = self._phrase_cache.get(key)
+        if cached is None:
+            expanded = self.expander.expand(pattern.context)
+            cached = [e.phrase for e in expanded[: pattern.expand_k + 1]]
+            self._phrase_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # noun-phrase capture
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _noun_phrase_ending_before(
+        sentence: Sentence, context_start: int, window: int
+    ) -> str | None:
+        """The nearest NP (entity mention or noun run) ending before *context_start*."""
+        best: tuple[int, str] | None = None
+        for mention in sentence.entities:
+            distance = context_start - mention.end - 1
+            if 0 <= distance < window:
+                if best is None or distance < best[0]:
+                    best = (distance, mention.text)
+        return best[1] if best else None
+
+    @staticmethod
+    def _noun_phrase_starting_after(
+        sentence: Sentence, context_end: int, window: int
+    ) -> str | None:
+        """The nearest NP starting after token *context_end*."""
+        best: tuple[int, str] | None = None
+        for mention in sentence.entities:
+            distance = mention.start - context_end - 1
+            if 0 <= distance < window:
+                if best is None or distance < best[0]:
+                    best = (distance, mention.text)
+        return best[1] if best else None

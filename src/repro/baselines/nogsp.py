@@ -1,0 +1,20 @@
+"""The KOKO&NOGSP baseline of Table 1.
+
+Identical to the KOKO engine except that the Generate-Skip-Plan module is
+disabled: every variable of every horizontal condition — including elastic
+spans — is evaluated by nested enumeration ("uses nested-loops to evaluate
+every variable in a query according to the order of their definitions").
+"""
+
+from __future__ import annotations
+
+from ..koko.engine import KokoEngine
+from ..nlp.types import Corpus
+
+
+class NoGspEngine(KokoEngine):
+    """A :class:`~repro.koko.engine.KokoEngine` with the skip plan disabled."""
+
+    def __init__(self, corpus: Corpus, **kwargs) -> None:
+        kwargs["use_gsp"] = False
+        super().__init__(corpus, **kwargs)

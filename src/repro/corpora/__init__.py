@@ -1,0 +1,27 @@
+"""Synthetic corpora and query benchmarks used by the experiments."""
+
+from .cafe_blogs import BARISTAMAG, SPRUDGE, CafeBlogConfig, generate_cafe_corpus
+from .happydb import generate_happydb_corpus
+from .synthetic_queries import (
+    SpanBenchmarkQuery,
+    TreeBenchmarkQuery,
+    generate_span_benchmark,
+    generate_tree_benchmark,
+)
+from .tweets import generate_tweet_corpus
+from .wikipedia import WikipediaConfig, generate_wikipedia_corpus
+
+__all__ = [
+    "BARISTAMAG",
+    "CafeBlogConfig",
+    "SPRUDGE",
+    "SpanBenchmarkQuery",
+    "TreeBenchmarkQuery",
+    "WikipediaConfig",
+    "generate_cafe_corpus",
+    "generate_happydb_corpus",
+    "generate_span_benchmark",
+    "generate_tree_benchmark",
+    "generate_tweet_corpus",
+    "generate_wikipedia_corpus",
+]

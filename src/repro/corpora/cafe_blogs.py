@@ -1,0 +1,215 @@
+"""Synthetic cafe-blog corpora: BARISTAMAG-like and SPRUDGE-like (Section 6.1).
+
+The paper's cafe experiment scrapes two coffee publications, crowd-sources
+gold cafe names, and extracts "new and upcoming cafes" — entities with rare
+mentions.  The generators here produce behaviour-preserving substitutes:
+
+* every article introduces one or two *new* cafe names (the gold labels),
+* evidence about them is spread over several sentences, each individually
+  weak — the property KOKO's evidence aggregation exploits,
+* evidence comes in two flavours: *direct* phrases ("serves coffee",
+  "employs baristas", "a cafe called X") and *paraphrase variants* ("pours
+  silky cortados", "hired a star barista") that only descriptor expansion
+  can reach,
+* articles also contain the classic false positives the paper lists —
+  street addresses, espresso-machine brands (La Marzocco), barista
+  championships, and bare city names — which exercise the excluding clause,
+* BARISTAMAG articles are short (fewer, mostly paraphrased evidence
+  sentences), SPRUDGE articles are long (more, mostly direct evidence),
+  which is what makes descriptors help on the former but not the latter
+  (Figure 5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..nlp.pipeline import Pipeline
+from ..nlp.types import Corpus
+from . import names
+
+
+@dataclass
+class CafeBlogConfig:
+    """Knobs for one cafe-blog corpus."""
+
+    name: str
+    articles: int
+    sentences_low: int
+    sentences_high: int
+    #: probability that an evidence sentence uses a direct (non-paraphrased)
+    #: formulation the query's boolean / exact-descriptor conditions can match
+    direct_evidence_prob: float
+    seed: int = 7
+
+
+BARISTAMAG = CafeBlogConfig(
+    name="baristamag",
+    articles=42,
+    sentences_low=4,
+    sentences_high=7,
+    direct_evidence_prob=0.35,
+    seed=11,
+)
+
+SPRUDGE = CafeBlogConfig(
+    name="sprudge",
+    articles=120,
+    sentences_low=9,
+    sentences_high=15,
+    direct_evidence_prob=0.7,
+    seed=23,
+)
+
+# ----------------------------------------------------------------------
+# sentence templates
+# ----------------------------------------------------------------------
+_INTRO_DIRECT = [
+    "{cafe}, a cafe in {city}, opened its doors last month.",
+    "The owners announced a new cafe called {cafe} in {city}.",
+    "Local roasters celebrated cafes such as {cafe} during the opening week.",
+    "{cafe} is a cafe that opened near the old market in {city}.",
+]
+_INTRO_SOFT = [
+    "{person} opened {cafe} on a quiet corner of {city}.",
+    "The team behind {cafe} spent two years planning the space in {city}.",
+    "{cafe} started as a tiny cart before moving into the new location.",
+    "Visitors to {city} keep asking about {cafe}.",
+]
+_EVIDENCE_DIRECT = [
+    "{cafe} serves coffee from local farms.",
+    "{cafe} employs baristas who trained in {city}.",
+    "{cafe} serves coffee and fresh pastries every morning.",
+    "The coffee menu at {cafe} changes every season.",
+    "{cafe} sells coffee beans from a small importer.",
+]
+# Gapped paraphrase evidence: the key words of a descriptor appear in order
+# but not contiguously, so sentence-local exact-phrase systems miss them
+# while descriptor matching (in-order with gaps, over canonical clauses)
+# still scores them.
+_EVIDENCE_PARAPHRASE = [
+    "{cafe} pours a remarkably silky espresso all day.",
+    "{cafe} sells seasonal cappuccinos and little pastries.",
+    "{cafe} offers single-origin espresso from a rotating list.",
+    "{cafe} hired the celebrated barista {person} last spring.",
+    "{cafe} recruited talented baristas from three countries.",
+    "{cafe} serves carefully sourced coffee on weekends.",
+    "{cafe} sells locally roasted coffee by the bag.",
+    "{cafe} employs two young baristas from {city}.",
+    "{cafe} provides hand-poured macchiatos on a vintage machine.",
+]
+# Weak mentions: the cafe is named but nothing about it matches any query
+# condition — these lower recall for every system.
+_EVIDENCE_WEAK = [
+    "{cafe} sits across from the old library.",
+    "People line up outside {cafe} on Saturday mornings.",
+    "The chairs at {cafe} came from a flea market.",
+    "{person} met an old friend at {cafe} by accident.",
+    "A mural covers the back wall of {cafe}.",
+]
+_FILLER = [
+    "{person} wrote about the neighborhood for a travel magazine.",
+    "The weather in {city} was perfect for a walk.",
+    "Many visitors come to {city} for the food scene.",
+    "{person} moved to {city} three years ago.",
+    "The bakery next door sells bread and cookies.",
+]
+# Distractor traps: the evidence phrases occur contiguously next to entities
+# that are NOT cafes (cities, people, events, hotels, machine brands), which
+# is what drags down the precision of sentence-local pattern matching.
+_DISTRACTOR = [
+    "{city} produces and sells the best coffee.",
+    "{city} serves coffee to thousands of tourists every year.",
+    "{person} serves coffee at home every single morning.",
+    "The {event} employs baristas from around the world.",
+    "The hotel at {address} serves coffee in the lobby.",
+    "The new cafe on {address} has the best cup of espresso.",
+    "They installed a {brand} espresso machine behind the bar.",
+    "{brand} machines pour espresso at every championship booth.",
+    "{person} won the {event} last year.",
+    "Tickets for the {event} sold out in a day.",
+    "The shop at {address} also fixes grinders.",
+]
+
+
+def generate_cafe_corpus(
+    config: CafeBlogConfig,
+    pipeline: Pipeline | None = None,
+    articles: int | None = None,
+) -> Corpus:
+    """Generate and annotate one cafe-blog corpus with gold cafe names."""
+    rng = random.Random(config.seed)
+    pipeline = pipeline or Pipeline()
+    texts: dict[str, str] = {}
+    gold: dict[str, set[str]] = {}
+
+    article_count = articles if articles is not None else config.articles
+    for index in range(article_count):
+        doc_id = f"{config.name}-{index:04d}"
+        text, cafes = _generate_article(rng, config)
+        texts[doc_id] = text
+        gold[doc_id] = cafes
+
+    corpus = pipeline.annotate_corpus(texts, name=config.name)
+    corpus.gold["cafe"] = gold
+    return corpus
+
+
+def _generate_article(rng: random.Random, config: CafeBlogConfig) -> tuple[str, set[str]]:
+    num_cafes = 1 if rng.random() < 0.7 else 2
+    cafes = []
+    for _ in range(num_cafes):
+        cafes.append(names.cafe_name(rng))
+    the_city = names.city(rng)
+    sentences: list[str] = []
+    total = rng.randint(config.sentences_low, config.sentences_high)
+
+    # the first cafe always gets an introduction sentence
+    intro_pool = _INTRO_DIRECT if rng.random() < config.direct_evidence_prob else _INTRO_SOFT
+    sentences.append(
+        rng.choice(intro_pool).format(
+            cafe=cafes[0], city=the_city, person=names.person_name(rng)
+        )
+    )
+    if num_cafes == 2:
+        pool = _INTRO_DIRECT if rng.random() < config.direct_evidence_prob else _INTRO_SOFT
+        sentences.append(
+            rng.choice(pool).format(
+                cafe=cafes[1], city=the_city, person=names.person_name(rng)
+            )
+        )
+
+    while len(sentences) < total:
+        roll = rng.random()
+        cafe = rng.choice(cafes)
+        if roll < 0.45:
+            if rng.random() < config.direct_evidence_prob:
+                pool = _EVIDENCE_DIRECT
+            elif rng.random() < 0.65:
+                pool = _EVIDENCE_PARAPHRASE
+            else:
+                pool = _EVIDENCE_WEAK
+            sentences.append(
+                rng.choice(pool).format(
+                    cafe=cafe, city=the_city, person=names.person_name(rng)
+                )
+            )
+        elif roll < 0.65:
+            sentences.append(
+                rng.choice(_FILLER).format(
+                    person=names.person_name(rng), city=the_city
+                )
+            )
+        else:
+            sentences.append(
+                rng.choice(_DISTRACTOR).format(
+                    city=the_city,
+                    address=names.street_address(rng),
+                    brand=names.machine_brand(rng),
+                    person=names.person_name(rng),
+                    event=names.coffee_event(rng),
+                )
+            )
+    rng.shuffle(sentences[2:])
+    return " ".join(sentences), set(cafes)

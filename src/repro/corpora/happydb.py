@@ -1,0 +1,71 @@
+"""Synthetic HappyDB-like corpus: short first-person "happy moment" entries.
+
+HappyDB (Asai et al., 2018) is a crowd-sourced collection of ~100k happy
+moments, used by the paper as the smaller of its two performance corpora.
+Entries are one to three sentences of everyday language, which gives the
+dependency trees a different shape profile (short, first-person, few named
+entities) than the wiki-style corpus.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..nlp.pipeline import Pipeline
+from ..nlp.types import Corpus
+from . import names
+
+_MOMENTS = [
+    "I was so happy when my {relative} graduated from college.",
+    "I ate delicious {food} with my friends at the new place downtown.",
+    "My {relative} surprised me with tickets to the game.",
+    "I finally finished the big project at work and my manager was thrilled.",
+    "We adopted a puppy and it fell asleep on my lap.",
+    "I got a promotion after months of hard work.",
+    "My {relative} called me just to say hello and it made my day.",
+    "I went for a long run in the park and the weather was perfect.",
+    "We visited {city} for the weekend and tried every bakery.",
+    "I cooked dinner for my family and everyone asked for seconds.",
+    "My team won the local soccer match yesterday.",
+    "I found my lost wallet with everything still inside.",
+    "The barista remembered my order and drew a little heart on the cup.",
+    "I passed my driving test on the first try.",
+    "My {relative} and I watched the sunrise from the roof.",
+    "I planted tomatoes in the garden and the first one is finally ripe.",
+    "I read a wonderful book that made me laugh out loud on the train.",
+    "We celebrated my {relative}'s birthday with a chocolate cake.",
+    "I fixed the old bike in the garage and rode it to work.",
+    "A stranger complimented my jacket on the bus this morning.",
+]
+_FOLLOWUPS = [
+    "It was the best day of the month.",
+    "I could not stop smiling for hours.",
+    "We took so many pictures.",
+    "I told everyone at dinner about it.",
+    "It felt like a small victory.",
+    "",
+    "",
+]
+_RELATIVES = ["daughter", "son", "sister", "brother", "mother", "father", "wife", "husband"]
+_FOODS = ["cheesecake", "ice cream", "pie", "chocolate cake", "dumplings", "pancakes"]
+
+
+def generate_happydb_corpus(
+    moments: int = 300,
+    seed: int = 5,
+    pipeline: Pipeline | None = None,
+) -> Corpus:
+    """Generate and annotate a HappyDB-like corpus of happy moments."""
+    rng = random.Random(seed)
+    pipeline = pipeline or Pipeline()
+    texts: dict[str, str] = {}
+    for index in range(moments):
+        doc_id = f"happy-{index:05d}"
+        sentence = rng.choice(_MOMENTS).format(
+            relative=rng.choice(_RELATIVES),
+            food=rng.choice(_FOODS),
+            city=names.city(rng),
+        )
+        followup = rng.choice(_FOLLOWUPS)
+        texts[doc_id] = f"{sentence} {followup}".strip()
+    return pipeline.annotate_corpus(texts, name="happydb")

@@ -1,0 +1,150 @@
+"""Deterministic name generators shared by the synthetic corpora.
+
+All generators take a :class:`random.Random` instance so every corpus is
+fully reproducible from a seed.  The name inventories deliberately overlap
+with the NER gazetteers (``repro.nlp.lexicon``) only partially: person and
+place names are recognisable, but generated cafe names, team names and
+facility names are *new* strings the extraction systems have never seen —
+the very setting the paper's cafe experiment targets ("entities with
+relatively rare mentions").
+"""
+
+from __future__ import annotations
+
+import random
+
+# ----------------------------------------------------------------------
+# cafes
+# ----------------------------------------------------------------------
+_CAFE_FIRST = [
+    "Blue", "Golden", "Silver", "Copper", "Velvet", "Rustic", "Urban",
+    "Wild", "Quiet", "Bright", "Lucky", "Humble", "Crooked", "Maple",
+    "Cedar", "Willow", "Juniper", "Harbor", "Summit", "Meadow", "Ember",
+    "Canyon", "Salt", "Iron", "Marble", "Paper", "Stone", "River",
+    "Morning", "Twilight", "Northern", "Southern", "Little", "Grand",
+]
+_CAFE_SECOND = [
+    "Bottle", "Anchor", "Sparrow", "Fox", "Bear", "Owl", "Heron", "Pine",
+    "Oak", "Wheel", "Lantern", "Compass", "Harvest", "Garden", "Door",
+    "Window", "Bridge", "Mill", "Spoon", "Saucer", "Whisk", "Crane",
+    "Magpie", "Finch", "Poppy", "Clover", "Thistle", "Acorn", "Pebble",
+]
+# Suffixes: roughly half carry an explicit coffee keyword (caught by the
+# boolean conditions of the cafe query), half do not (descriptor territory).
+_CAFE_SUFFIX_KEYWORD = [
+    "Cafe", "Coffee", "Coffee Roasters", "Roasters", "Espresso Bar",
+    "Coffee Co", "Coffee House",
+]
+_CAFE_SUFFIX_PLAIN = ["Collective", "Workshop", "Social", "Room", "House", "Society", ""]
+
+
+def cafe_name(rng: random.Random, with_keyword: bool | None = None) -> str:
+    """A generated cafe name, optionally forcing a coffee keyword suffix."""
+    if with_keyword is None:
+        with_keyword = rng.random() < 0.45
+    first = rng.choice(_CAFE_FIRST)
+    second = rng.choice(_CAFE_SECOND)
+    suffix = rng.choice(_CAFE_SUFFIX_KEYWORD if with_keyword else _CAFE_SUFFIX_PLAIN)
+    name = f"{first} {second}"
+    if suffix:
+        name = f"{name} {suffix}"
+    return name
+
+
+# ----------------------------------------------------------------------
+# people
+# ----------------------------------------------------------------------
+_PERSON_FIRST = [
+    "Anna", "John", "Mary", "James", "Linda", "Robert", "Michael",
+    "Jennifer", "William", "Elizabeth", "David", "Sarah", "Daniel",
+    "Laura", "Kevin", "Emily", "Marco", "Sofia", "Elena", "Lucas",
+    "Clara", "Felix", "Nora", "Pedro", "Ines", "Hiro", "Yuki",
+]
+_PERSON_LAST = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Wilson", "Anderson", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Thompson", "White", "Harris", "Clark", "Lewis", "Walker",
+    "Young", "King", "Wright", "Scott", "Hill", "Green", "Adams",
+    "Baker", "Nelson", "Carter", "Mitchell", "Roberts", "Campbell",
+    "Tanaka", "Sato", "Silva", "Santos", "Rossi", "Moreau", "Novak",
+]
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{rng.choice(_PERSON_FIRST)} {rng.choice(_PERSON_LAST)}"
+
+
+# ----------------------------------------------------------------------
+# places
+# ----------------------------------------------------------------------
+CITIES = [
+    "Portland", "Seattle", "Chicago", "Boston", "Austin", "Denver",
+    "Oakland", "Brooklyn", "Melbourne", "Oslo", "Vienna", "Prague",
+    "Dublin", "Amsterdam", "Barcelona", "Milan", "Kyoto", "Osaka",
+    "London", "Paris", "Berlin", "Tokyo", "Toronto", "Sydney", "Lisbon",
+]
+COUNTRIES = [
+    "France", "Germany", "Italy", "Spain", "Brazil", "Canada", "Mexico",
+    "India", "Australia", "Japan", "China", "Portugal", "England",
+]
+_STREETS = ["Mission", "Division", "Hawthorne", "Alberta", "Valencia", "Bedford", "King"]
+
+
+def city(rng: random.Random) -> str:
+    return rng.choice(CITIES)
+
+
+def country(rng: random.Random) -> str:
+    return rng.choice(COUNTRIES)
+
+
+def street_address(rng: random.Random) -> str:
+    """A street address — a classic false positive for cafe extraction."""
+    number = rng.randint(10, 4999)
+    suffix = rng.choice(["St", "Street", "Ave", "Avenue"])
+    return f"{number} {rng.choice(_STREETS)} {suffix}"
+
+
+# ----------------------------------------------------------------------
+# sports teams and facilities (the WNUT experiment)
+# ----------------------------------------------------------------------
+_TEAM_CITY = CITIES
+_TEAM_MASCOT = [
+    "Tigers", "Lions", "Eagles", "Hawks", "Bears", "Wolves", "Sharks",
+    "Dragons", "Giants", "Royals", "Rangers", "Warriors", "Knights",
+    "Falcons", "Panthers", "Bulls", "Raptors", "Comets", "Stars",
+    "United", "City", "Rovers", "Athletic",
+]
+_FACILITY_KIND = [
+    "Stadium", "Arena", "Park", "Gym", "Mall", "Library", "Museum",
+    "Station", "Garden", "Plaza", "Hall", "Field",
+]
+_FACILITY_FIRST = [
+    "Riverside", "Central", "Memorial", "Lakeside", "Heritage", "Union",
+    "Liberty", "Victory", "Highland", "Crescent", "Harbor", "Jubilee",
+]
+
+
+def team_name(rng: random.Random) -> str:
+    return f"{rng.choice(_TEAM_CITY)} {rng.choice(_TEAM_MASCOT)}"
+
+
+def facility_name(rng: random.Random) -> str:
+    return f"{rng.choice(_FACILITY_FIRST)} {rng.choice(_FACILITY_KIND)}"
+
+
+# ----------------------------------------------------------------------
+# distractors for the cafe experiment's excluding clause
+# ----------------------------------------------------------------------
+ESPRESSO_MACHINE_BRANDS = ["La Marzocco", "Synesso", "Aeropress", "V60"]
+COFFEE_EVENTS = [
+    "Barista Championship", "Brewers Cup", "Coffee Fest", "Latte Art Festival",
+]
+
+
+def machine_brand(rng: random.Random) -> str:
+    return rng.choice(ESPRESSO_MACHINE_BRANDS)
+
+
+def coffee_event(rng: random.Random) -> str:
+    return f"{rng.choice(CITIES)} {rng.choice(COFFEE_EVENTS)}"

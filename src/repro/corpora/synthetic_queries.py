@@ -1,0 +1,306 @@
+"""Synthetic query benchmarks (Sections 6.2.2 and 6.2.3).
+
+Two benchmarks drive the index and skip-plan experiments:
+
+* **SyntheticTree** — tree-pattern queries over node variables, varying the
+  path length (2-5), the attribute layers used (parse labels only; parse
+  labels + POS tags; parse labels + POS tags + words), wildcard presence,
+  root anchoring, and — for multi-variable queries — the number of labels in
+  the tree pattern (3-10).  Queries are *sampled from the corpus* so that
+  every query has non-zero selectivity and the selectivity varies naturally,
+  exactly as in the paper's benchmark.
+* **SyntheticSpan** — extract clauses with span variables made of 1, 3 or 5
+  atoms (mixing paths, elastic spans and words), rendered as KOKO query
+  strings, used to measure the Generate-Skip-Plan module (Table 1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..indexing.query_ir import (
+    CHILD,
+    DESCENDANT,
+    KIND_ANY,
+    KIND_PARSE_LABEL,
+    KIND_POS,
+    KIND_WORD,
+    TreePath,
+    TreePatternQuery,
+    TreeStep,
+)
+from ..nlp.types import Corpus, Sentence
+
+_ATTRIBUTE_SETTINGS = ("pl", "pl_pos", "pl_pos_text")
+_PATH_LENGTHS = (2, 3, 4, 5)
+_TREE_LABEL_COUNTS = (3, 4, 5, 6, 7, 8, 9, 10)
+
+
+# ----------------------------------------------------------------------
+# SyntheticTree
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TreeBenchmarkQuery:
+    """One benchmark query plus the knobs that generated it."""
+
+    query: TreePatternQuery
+    length: int
+    attributes: str
+    wildcard: bool
+    anchored: bool
+    multi_variable: bool
+
+
+def generate_tree_benchmark(
+    corpus: Corpus,
+    queries_per_setting: int = 5,
+    seed: int = 41,
+) -> list[TreeBenchmarkQuery]:
+    """Generate the SyntheticTree benchmark by sampling paths from *corpus*.
+
+    With the default ``queries_per_setting`` of 5 the benchmark contains
+    4 lengths x 3 attribute settings x 2 wildcard x 2 anchoring x 5 = 240
+    single-variable queries plus 8 label counts x 5 = 40 multi-variable
+    queries. The paper's benchmark has 350 queries built over the same
+    parameter grid; pass a larger ``queries_per_setting`` to scale up.
+    """
+    rng = random.Random(seed)
+    sentences = [sentence for _, sentence in corpus.all_sentences() if len(sentence) >= 6]
+    if not sentences:
+        raise ValueError("corpus has no sentences long enough to sample queries from")
+
+    benchmark: list[TreeBenchmarkQuery] = []
+    counter = 0
+    for length in _PATH_LENGTHS:
+        for attributes in _ATTRIBUTE_SETTINGS:
+            for wildcard in (False, True):
+                for anchored in (True, False):
+                    for _ in range(queries_per_setting):
+                        query = _sample_path_query(
+                            rng, sentences, length, attributes, wildcard, anchored,
+                            name=f"tree-{counter:04d}",
+                        )
+                        counter += 1
+                        if query is None:
+                            continue
+                        benchmark.append(
+                            TreeBenchmarkQuery(
+                                query=query,
+                                length=length,
+                                attributes=attributes,
+                                wildcard=wildcard,
+                                anchored=anchored,
+                                multi_variable=False,
+                            )
+                        )
+    for label_count in _TREE_LABEL_COUNTS:
+        for _ in range(queries_per_setting):
+            query = _sample_tree_query(
+                rng, sentences, label_count, name=f"tree-{counter:04d}"
+            )
+            counter += 1
+            if query is None:
+                continue
+            benchmark.append(
+                TreeBenchmarkQuery(
+                    query=query,
+                    length=label_count,
+                    attributes="pl_pos",
+                    wildcard=False,
+                    anchored=True,
+                    multi_variable=True,
+                )
+            )
+    return benchmark
+
+
+def _sample_root_path(
+    rng: random.Random, sentences: list[Sentence], length: int
+) -> tuple[Sentence, list[int]] | None:
+    """A random root-to-node token chain of *length* tokens, or None."""
+    for _ in range(200):
+        sentence = rng.choice(sentences)
+        deep_tokens = [
+            tok.index for tok in sentence if sentence.depth(tok.index) == length - 1
+        ]
+        if not deep_tokens:
+            continue
+        tid = rng.choice(deep_tokens)
+        chain = [tid]
+        while not sentence[chain[-1]].is_root:
+            chain.append(sentence[chain[-1]].head)
+        chain.reverse()
+        if len(chain) == length:
+            return sentence, chain
+    return None
+
+
+def _step_for_token(
+    sentence: Sentence, tid: int, layer: str, axis: str
+) -> TreeStep:
+    token = sentence[tid]
+    if layer == "pos":
+        return TreeStep(axis=axis, label=token.pos.lower(), kind=KIND_POS)
+    if layer == "word":
+        return TreeStep(axis=axis, label=token.text.lower(), kind=KIND_WORD)
+    return TreeStep(axis=axis, label=token.label.lower(), kind=KIND_PARSE_LABEL)
+
+
+def _choose_layer(rng: random.Random, attributes: str, is_last: bool) -> str:
+    if attributes == "pl":
+        return "pl"
+    if attributes == "pl_pos":
+        return rng.choice(["pl", "pos"])
+    if is_last and rng.random() < 0.5:
+        return "word"
+    return rng.choice(["pl", "pos", "word"])
+
+
+def _sample_path_query(
+    rng: random.Random,
+    sentences: list[Sentence],
+    length: int,
+    attributes: str,
+    wildcard: bool,
+    anchored: bool,
+    name: str,
+) -> TreePatternQuery | None:
+    sampled = _sample_root_path(rng, sentences, length)
+    if sampled is None:
+        return None
+    sentence, chain = sampled
+    steps: list[TreeStep] = []
+    for position, tid in enumerate(chain):
+        layer = _choose_layer(rng, attributes, is_last=position == len(chain) - 1)
+        axis = CHILD
+        steps.append(_step_for_token(sentence, tid, layer, axis))
+    if wildcard and length >= 3:
+        middle = rng.randrange(1, length - 1)
+        steps[middle] = TreeStep(axis=steps[middle].axis, label="*", kind=KIND_ANY)
+    if not anchored:
+        # drop the root step and make the new first step a descendant step
+        steps = steps[1:]
+        steps[0] = TreeStep(axis=DESCENDANT, label=steps[0].label, kind=steps[0].kind)
+    if not steps:
+        return None
+    return TreePatternQuery(name=name, paths=[TreePath(steps=tuple(steps))])
+
+
+def _sample_tree_query(
+    rng: random.Random, sentences: list[Sentence], label_count: int, name: str
+) -> TreePatternQuery | None:
+    """A multi-variable query: a shared prefix path plus child branches."""
+    base_length = max(2, min(4, label_count - 1))
+    sampled = _sample_root_path(rng, sentences, base_length)
+    if sampled is None:
+        return None
+    sentence, chain = sampled
+    prefix_steps = [
+        _step_for_token(sentence, tid, _choose_layer(rng, "pl_pos", False), CHILD)
+        for tid in chain
+    ]
+    paths = [TreePath(steps=tuple(prefix_steps))]
+    labels_used = base_length
+    anchor = chain[-1]
+    children = sentence.children(anchor)
+    child_index = 0
+    while labels_used < label_count and child_index < len(children):
+        child = children[child_index]
+        child_index += 1
+        branch_steps = prefix_steps + [
+            _step_for_token(sentence, child, _choose_layer(rng, "pl_pos", True), CHILD)
+        ]
+        paths.append(TreePath(steps=tuple(branch_steps)))
+        labels_used += 1
+    if labels_used < label_count:
+        # extend with descendant steps sampled from the subtree
+        subtree = [t for t in sentence.subtree_indices(anchor) if t != anchor]
+        rng.shuffle(subtree)
+        for tid in subtree:
+            if labels_used >= label_count:
+                break
+            branch_steps = prefix_steps + [
+                _step_for_token(sentence, tid, _choose_layer(rng, "pl_pos", True), DESCENDANT)
+            ]
+            paths.append(TreePath(steps=tuple(branch_steps)))
+            labels_used += 1
+    return TreePatternQuery(name=name, paths=paths)
+
+
+# ----------------------------------------------------------------------
+# SyntheticSpan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpanBenchmarkQuery:
+    """One span-variable benchmark query: its KOKO text and its atom count."""
+
+    text: str
+    atoms: int
+
+
+def generate_span_benchmark(
+    corpus: Corpus,
+    queries_per_setting: int = 100,
+    seed: int = 53,
+) -> list[SpanBenchmarkQuery]:
+    """Generate the SyntheticSpan benchmark (1 / 3 / 5 atoms per span variable).
+
+    Atoms are sampled from real sentences of *corpus* so every query has at
+    least one match; odd-numbered positions become elastic ``^`` atoms,
+    which is what gives the skip plan something to skip (at most 0, 1 and 2
+    skippable atoms respectively, as in the paper).
+    """
+    rng = random.Random(seed)
+    sentences = [sentence for _, sentence in corpus.all_sentences() if len(sentence) >= 8]
+    if not sentences:
+        raise ValueError("corpus has no sentences long enough to sample queries from")
+
+    benchmark: list[SpanBenchmarkQuery] = []
+    for atoms in (1, 3, 5):
+        produced = 0
+        attempts = 0
+        while produced < queries_per_setting and attempts < queries_per_setting * 50:
+            attempts += 1
+            query_text = _sample_span_query(rng, sentences, atoms)
+            if query_text is None:
+                continue
+            benchmark.append(SpanBenchmarkQuery(text=query_text, atoms=atoms))
+            produced += 1
+    return benchmark
+
+
+def _sample_span_query(
+    rng: random.Random, sentences: list[Sentence], atoms: int
+) -> str | None:
+    sentence = rng.choice(sentences)
+    content = [
+        tok for tok in sentence if tok.pos not in {"PUNCT"} and not tok.is_root
+    ]
+    anchors_needed = (atoms + 1) // 2
+    if len(content) < anchors_needed:
+        return None
+    picked = sorted(rng.sample(range(len(content)), anchors_needed))
+    anchor_tokens = [content[i] for i in picked]
+
+    parts: list[str] = []
+    for position in range(atoms):
+        if position % 2 == 1:
+            parts.append("^")
+            continue
+        token = anchor_tokens[position // 2]
+        choice = rng.random()
+        if choice < 0.4:
+            parts.append(f"//{token.pos.lower()}")
+        elif choice < 0.7:
+            parts.append(f"//{token.label.lower()}" if token.label != "root" else "//verb")
+        else:
+            escaped = token.text.replace('"', "")
+            parts.append(f'"{escaped}"')
+    span_definition = " + ".join(parts)
+    return (
+        "extract s:Str from input.txt if (\n"
+        "/ROOT:{\n"
+        f"s = {span_definition}\n"
+        "})"
+    )

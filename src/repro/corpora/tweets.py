@@ -1,0 +1,96 @@
+"""Synthetic WNUT-like tweets with gold sports teams and facilities (Section 6.1).
+
+Each tweet is one short, stand-alone document — the property the paper uses
+to explain why KOKO's cross-sentence evidence aggregation gives a smaller
+advantage here than on cafe blogs.  Gold annotations cover two entity kinds:
+sports teams and facilities.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..nlp.pipeline import Pipeline
+from ..nlp.types import Corpus
+from . import names
+
+_TEAM_TEMPLATES = [
+    "Go {team}!",
+    "{team} vs {team2} tonight, cannot wait.",
+    "{team} to host {team2} this weekend.",
+    "Huge win for {team} in the soccer derby.",
+    "{team} versus {team2} was the best game all season.",
+    "So proud of {team} after that comeback.",
+]
+_FACILITY_TEMPLATES = [
+    "Watching the game at {facility} with friends.",
+    "Went to {facility} today, the place was packed.",
+    "Meet me at {facility} around 7 pm.",
+    "Long lines at {facility} again this morning.",
+    "They are renovating {facility} before the new season.",
+    "Go to {facility} early if you want good seats.",
+]
+_BOTH_TEMPLATES = [
+    "{team} play at {facility} tonight.",
+    "Saw {team} practice at {facility} this afternoon.",
+    "{facility} will host {team} vs {team2} next week.",
+]
+_NOISE_TEMPLATES = [
+    "Best coffee I have had in weeks, so happy right now.",
+    "Traffic was terrible today, missed half the morning.",
+    "New phone arrived and the battery lasts forever.",
+    "Anyone have plans for tomorrow at 8 pm?",
+    "That movie last night was such a letdown.",
+    "Happy birthday to my favorite person in the world!",
+]
+
+
+def generate_tweet_corpus(
+    tweets: int = 400,
+    seed: int = 31,
+    pipeline: Pipeline | None = None,
+) -> Corpus:
+    """Generate and annotate a tweet corpus with gold teams and facilities."""
+    rng = random.Random(seed)
+    pipeline = pipeline or Pipeline()
+    texts: dict[str, str] = {}
+    gold_teams: dict[str, set[str]] = {}
+    gold_facilities: dict[str, set[str]] = {}
+
+    for index in range(tweets):
+        doc_id = f"tweet-{index:05d}"
+        roll = rng.random()
+        teams: set[str] = set()
+        facilities: set[str] = set()
+        if roll < 0.30:
+            team, team2 = names.team_name(rng), names.team_name(rng)
+            text = rng.choice(_TEAM_TEMPLATES).format(team=team, team2=team2)
+            teams.add(team)
+            if "{team2}" in rng.choice(_TEAM_TEMPLATES):
+                pass
+            if team2 in text:
+                teams.add(team2)
+        elif roll < 0.55:
+            facility = names.facility_name(rng)
+            text = rng.choice(_FACILITY_TEMPLATES).format(facility=facility)
+            facilities.add(facility)
+        elif roll < 0.70:
+            team, team2 = names.team_name(rng), names.team_name(rng)
+            facility = names.facility_name(rng)
+            text = rng.choice(_BOTH_TEMPLATES).format(
+                team=team, team2=team2, facility=facility
+            )
+            teams.add(team)
+            if team2 in text:
+                teams.add(team2)
+            facilities.add(facility)
+        else:
+            text = rng.choice(_NOISE_TEMPLATES)
+        texts[doc_id] = text
+        gold_teams[doc_id] = teams
+        gold_facilities[doc_id] = facilities
+
+    corpus = pipeline.annotate_corpus(texts, name="wnut")
+    corpus.gold["team"] = gold_teams
+    corpus.gold["facility"] = gold_facilities
+    return corpus

@@ -1,0 +1,154 @@
+"""Synthetic Wikipedia-like articles (Sections 6.2-6.3).
+
+The scale-up experiments and the three example queries of Section 6.3 run
+over Wikipedia.  The generator produces three article families whose mix
+reproduces the selectivities the paper reports for those queries:
+
+* **biography** articles (~70% of the corpus) — almost all contain a
+  "born ... <date>" sentence (the high-selectivity DateOfBirth query),
+  and a configurable fraction contain a "had been called <name>" sentence
+  (the medium-selectivity Title query, ~10% of articles),
+* **food** articles (a few percent) — a subset are about chocolate types
+  ("Baking chocolate is a type of chocolate that ..."), the
+  low-selectivity Chocolate query (<1% of articles),
+* **place** articles — capitals, landmarks, filler.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..nlp.pipeline import Pipeline
+from ..nlp.types import Corpus
+from . import names
+
+_CHOCOLATE_KINDS = ["Baking", "Dark", "Milk", "White", "Bitter", "Sweet"]
+_FOOD_ITEMS = ["cheese", "bread", "pastry", "noodle", "sausage", "dumpling"]
+_PROFESSIONS = ["writer", "actor", "singer", "engineer", "scientist", "professor", "director"]
+_NICKNAMES = ["Sid", "Bud", "Dot", "Kit", "Max", "Ace", "Bea", "Gus", "Lou", "Pip"]
+
+
+@dataclass
+class WikipediaConfig:
+    """Mix of article families in a generated wiki corpus."""
+
+    articles: int = 200
+    biography_fraction: float = 0.70
+    called_fraction: float = 0.14
+    chocolate_fraction: float = 0.02
+    food_fraction: float = 0.08
+    seed: int = 17
+
+
+def generate_wikipedia_corpus(
+    config: WikipediaConfig | None = None,
+    articles: int | None = None,
+    pipeline: Pipeline | None = None,
+) -> Corpus:
+    """Generate and annotate a wiki-style corpus."""
+    config = config or WikipediaConfig()
+    if articles is not None:
+        config = WikipediaConfig(
+            articles=articles,
+            biography_fraction=config.biography_fraction,
+            called_fraction=config.called_fraction,
+            chocolate_fraction=config.chocolate_fraction,
+            food_fraction=config.food_fraction,
+            seed=config.seed,
+        )
+    rng = random.Random(config.seed)
+    pipeline = pipeline or Pipeline()
+    texts: dict[str, str] = {}
+    kinds: dict[str, str] = {}
+
+    for index in range(config.articles):
+        doc_id = f"wiki-{index:06d}"
+        roll = rng.random()
+        if roll < config.chocolate_fraction:
+            text, kind = _chocolate_article(rng), "chocolate"
+        elif roll < config.chocolate_fraction + config.food_fraction:
+            text, kind = _food_article(rng), "food"
+        elif roll < (
+            config.chocolate_fraction + config.food_fraction + config.biography_fraction
+        ):
+            with_called = rng.random() < (config.called_fraction / config.biography_fraction)
+            text, kind = _biography_article(rng, with_called), "biography"
+        else:
+            text, kind = _place_article(rng), "place"
+        texts[doc_id] = text
+        kinds[doc_id] = kind
+
+    corpus = pipeline.annotate_corpus(texts, name="wikipedia")
+    corpus.gold["article_kind"] = {doc_id: {kind} for doc_id, kind in kinds.items()}
+    return corpus
+
+
+# ----------------------------------------------------------------------
+# article families
+# ----------------------------------------------------------------------
+def _random_date(rng: random.Random) -> str:
+    months = [
+        "January", "February", "March", "April", "May", "June", "July",
+        "August", "September", "October", "November", "December",
+    ]
+    return f"{rng.randint(1, 28)} {rng.choice(months)} {rng.randint(1860, 1995)}"
+
+
+def _biography_article(rng: random.Random, with_called: bool) -> str:
+    person = names.person_name(rng)
+    spouse = names.person_name(rng)
+    the_city = names.city(rng)
+    the_country = names.country(rng)
+    profession = rng.choice(_PROFESSIONS)
+    sentences = [
+        f"{person} was a {profession} from {the_country}.",
+        f"{person} was born on {_random_date(rng)} in {the_city}.",
+        f"{person} studied in {the_city} and later moved to {names.city(rng)}.",
+    ]
+    if with_called:
+        nickname = rng.choice(_NICKNAMES)
+        sentences.append(f"{person} had been called {nickname} for years.")
+    if rng.random() < 0.6:
+        sentences.append(
+            f"{person} was married to {spouse} on {_random_date(rng)} in {the_city}, "
+            f"and the couple had a daughter born in {rng.randint(1900, 2000)}."
+        )
+    if rng.random() < 0.5:
+        sentences.append(f"{person} received a national award in {rng.randint(1950, 2010)}.")
+    sentences.append(f"{person} died in {names.city(rng)}.")
+    return " ".join(sentences)
+
+
+def _chocolate_article(rng: random.Random) -> str:
+    kind = rng.choice(_CHOCOLATE_KINDS)
+    sentences = [
+        f"{kind} chocolate is a type of chocolate that is prepared or manufactured for baking.",
+        f"{kind} chocolate contains a high share of cocoa solids.",
+        f"Bakers in {names.country(rng)} rely on chocolate for traditional desserts.",
+        f"The industrial production of chocolate began in the nineteenth century.",
+    ]
+    return " ".join(sentences)
+
+
+def _food_article(rng: random.Random) -> str:
+    item = rng.choice(_FOOD_ITEMS)
+    the_country = names.country(rng)
+    sentences = [
+        f"The {item} is a traditional food from {the_country}.",
+        f"Cooks prepare the {item} with local ingredients.",
+        f"Festivals in {names.city(rng)} celebrate the {item} every autumn.",
+    ]
+    return " ".join(sentences)
+
+
+def _place_article(rng: random.Random) -> str:
+    the_city = names.city(rng)
+    the_country = names.country(rng)
+    sentences = [
+        f"{the_city} is a large city in {the_country}.",
+        f"The population of {the_city} grew quickly after the war.",
+        f"{the_city} hosts a famous museum and a central station.",
+        f"Visitors come to {the_city} for its markets and gardens.",
+    ]
+    return " ".join(sentences)

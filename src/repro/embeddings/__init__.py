@@ -1,0 +1,38 @@
+"""Embedding substrate: co-occurrence vectors, paraphrase retrofit, expansion.
+
+Stands in for the counter-fitted paraphrase embeddings the paper relies on
+for descriptor expansion (see DESIGN.md, substitution table).
+"""
+
+from .cooccurrence import CooccurrenceCounter, CooccurrenceCounts
+from .expansion import DescriptorExpander, ExpandedDescriptor
+from .ontology import (
+    ANTONYM_PAIRS,
+    SYNONYM_SETS,
+    TOPICAL_NON_PARAPHRASES,
+    DomainOntology,
+    default_ontology,
+)
+from .paraphrase import CounterFitter, ParaphraseLexicon
+from .ppmi import PpmiSvdEmbedder
+from .pretrained import CITY_NAMES, COUNTRY_NAMES, build_default_vectors
+from .vectors import VectorStore
+
+__all__ = [
+    "ANTONYM_PAIRS",
+    "CITY_NAMES",
+    "COUNTRY_NAMES",
+    "CooccurrenceCounter",
+    "build_default_vectors",
+    "CooccurrenceCounts",
+    "CounterFitter",
+    "DescriptorExpander",
+    "DomainOntology",
+    "ExpandedDescriptor",
+    "ParaphraseLexicon",
+    "PpmiSvdEmbedder",
+    "SYNONYM_SETS",
+    "TOPICAL_NON_PARAPHRASES",
+    "VectorStore",
+    "default_ontology",
+]

@@ -1,0 +1,120 @@
+"""Descriptor expansion — Section 4.4.1(a) of the paper.
+
+A *descriptor* is a short phrase such as ``"serves coffee"``.  Expansion
+produces a set ``E(d) = {(d_1, k_1), ..., (d_m, k_m)}`` of alternate
+phrasings with closeness scores in (0, 1], by substituting content words
+with
+
+* their paraphrases from the paraphrase lexicon / counter-fitted vectors,
+* their domain-ontology siblings (e.g. other coffee drinks),
+
+never with merely topically related words (the "serves tea" failure the
+paper calls out).  The original descriptor is always included with score 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..nlp.lemmatizer import Lemmatizer
+from .ontology import DomainOntology, default_ontology
+from .paraphrase import ParaphraseLexicon
+from .vectors import VectorStore
+
+
+@dataclass(frozen=True)
+class ExpandedDescriptor:
+    """One alternate phrasing of a descriptor with its closeness score."""
+
+    phrase: str
+    score: float
+
+
+class DescriptorExpander:
+    """Expand descriptors into scored alternate phrasings.
+
+    Parameters
+    ----------
+    lexicon:
+        Paraphrase lexicon used for word-level substitutions.
+    ontology:
+        Domain ontology; members of the same group may substitute each other.
+    vectors:
+        Optional vector store; when provided, each substitution's score is
+        the phrase-level cosine similarity to the original descriptor,
+        otherwise fixed scores are used (0.8 for paraphrases, 0.7 for
+        ontology siblings).
+    max_expansions:
+        Upper bound on the number of alternate phrasings returned
+        (the paper: "descriptors now default to a fixed number of expanded
+        terms").
+    """
+
+    def __init__(
+        self,
+        lexicon: ParaphraseLexicon | None = None,
+        ontology: DomainOntology | None = None,
+        vectors: VectorStore | None = None,
+        max_expansions: int = 20,
+    ) -> None:
+        self.lexicon = lexicon or ParaphraseLexicon()
+        self.ontology = ontology or default_ontology()
+        self.vectors = vectors
+        self.max_expansions = max_expansions
+        self._lemmatizer = Lemmatizer()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def expand(self, descriptor: str) -> list[ExpandedDescriptor]:
+        """Return the expansion set of *descriptor*, original included first."""
+        words = [w for w in descriptor.lower().split() if w]
+        if not words:
+            return []
+        per_word_options = [self._word_options(word) for word in words]
+
+        expansions: dict[str, float] = {descriptor.lower(): 1.0}
+        for combination in product(*per_word_options):
+            phrase = " ".join(option for option, _ in combination)
+            if phrase == descriptor.lower():
+                continue
+            score = self._score(descriptor, phrase, combination)
+            previous = expansions.get(phrase, 0.0)
+            if score > previous:
+                expansions[phrase] = score
+
+        ordered = sorted(expansions.items(), key=lambda item: (-item[1], item[0]))
+        limited = ordered[: self.max_expansions]
+        return [ExpandedDescriptor(phrase=p, score=s) for p, s in limited]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _word_options(self, word: str) -> list[tuple[str, float]]:
+        """Substitution options for one word: (replacement, per-word score)."""
+        lemma = self._lemmatizer.lemma(word)
+        options: dict[str, float] = {word: 1.0}
+
+        for source in {word, lemma}:
+            for synonym in self.lexicon.synonyms(source):
+                options.setdefault(synonym, 0.8)
+            for sibling in self.ontology.related(source):
+                options.setdefault(sibling, 0.7)
+        return sorted(options.items(), key=lambda item: (-item[1], item[0]))
+
+    def _score(
+        self,
+        original: str,
+        phrase: str,
+        combination: tuple[tuple[str, float], ...],
+    ) -> float:
+        if self.vectors is not None:
+            similarity = self.vectors.phrase_similarity(original, phrase)
+            # clamp into (0, 1]; an orthogonal phrase should score near zero
+            return max(0.0, min(1.0, similarity))
+        # Without vectors: the product of per-word substitution scores.
+        score = 1.0
+        for _, word_score in combination:
+            score *= word_score
+        return score

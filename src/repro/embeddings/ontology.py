@@ -1,0 +1,127 @@
+"""Small hand-built domain ontologies and a paraphrase lexicon.
+
+The paper's descriptor expansion relies on two resources:
+
+* paraphrase-based (counter-fitted) word embeddings, which pull synonyms
+  together and push antonyms apart, and
+* an optional *domain ontology* with sets of interchangeable terms
+  ("different coffee drinks such as cappuccino, macchiato").
+
+Both are modelled here.  :data:`SYNONYM_SETS` provides groups of mutually
+substitutable words (the paraphrase relation), :data:`ANTONYM_PAIRS` the
+repelling pairs used by the counter-fitting retrofit, and
+:class:`DomainOntology` groups of domain terms that may replace each other
+during descriptor expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Groups of (near-)paraphrases.  Every word in a group may substitute any
+# other word of the same group when expanding a descriptor.
+SYNONYM_SETS: list[set[str]] = [
+    {"serve", "sell", "offer", "provide", "pour"},
+    {"employ", "hire", "recruit"},
+    {"delicious", "tasty", "yummy", "flavorful", "scrumptious"},
+    {"great", "excellent", "wonderful", "fantastic", "amazing", "superb"},
+    {"happy", "glad", "joyful", "delighted", "pleased", "thrilled"},
+    {"cafe", "coffeehouse", "coffeeshop"},
+    {"city", "town", "metropolis", "municipality"},
+    {"country", "nation", "state"},
+    {"buy", "purchase"},
+    {"make", "prepare", "craft", "produce"},
+    {"open", "launch", "start", "inaugurate", "debut"},
+    {"visit", "stop by", "drop by"},
+    {"win", "defeat", "beat"},
+    {"team", "club", "squad", "side"},
+    {"stadium", "arena", "ballpark"},
+    {"barista", "baristas"},
+    {"born", "birth"},
+    {"called", "named", "nicknamed", "known"},
+    {"famous", "renowned", "celebrated", "noted"},
+    {"small", "tiny", "little"},
+    {"big", "large", "huge", "enormous"},
+]
+
+# Antonym pairs repelled by the counter-fitting retrofit.
+ANTONYM_PAIRS: list[tuple[str, str]] = [
+    ("happy", "sad"),
+    ("big", "small"),
+    ("open", "close"),
+    ("win", "lose"),
+    ("buy", "sell"),
+    ("hot", "cold"),
+    ("good", "bad"),
+    ("best", "worst"),
+    ("sweet", "bitter"),
+    ("early", "late"),
+    ("city", "country"),
+]
+
+# Topically related but NOT paraphrases: these pairs must stay apart so that
+# descriptor expansion of "serves coffee" does not produce "serves tea"
+# (the failure mode the paper attributes to plain co-occurrence embeddings).
+TOPICAL_NON_PARAPHRASES: list[tuple[str, str]] = [
+    ("coffee", "tea"),
+    ("coffee", "beer"),
+    ("espresso", "tea"),
+    ("cafe", "restaurant"),
+    ("barista", "bartender"),
+    ("soccer", "chess"),
+]
+
+
+@dataclass
+class DomainOntology:
+    """Sets of domain terms that are interchangeable for expansion purposes."""
+
+    groups: dict[str, set[str]] = field(default_factory=dict)
+
+    def add_group(self, name: str, terms: set[str]) -> None:
+        self.groups[name] = {t.lower() for t in terms}
+
+    def related(self, term: str) -> set[str]:
+        """All terms sharing a group with *term* (excluding the term itself)."""
+        low = term.lower()
+        out: set[str] = set()
+        for terms in self.groups.values():
+            if low in terms:
+                out |= terms - {low}
+        return out
+
+    def group_of(self, term: str) -> str | None:
+        low = term.lower()
+        for name, terms in self.groups.items():
+            if low in terms:
+                return name
+        return None
+
+
+def default_ontology() -> DomainOntology:
+    """The built-in domain ontology used by the cafe / sports experiments."""
+    onto = DomainOntology()
+    onto.add_group(
+        "coffee_drinks",
+        {
+            "coffee", "espresso", "cappuccino", "macchiato", "latte", "mocha",
+            "americano", "cortado", "cold brew", "pour-over",
+        },
+    )
+    onto.add_group(
+        "coffee_equipment",
+        {"grinder", "roaster", "kettle", "french press", "aeropress", "v60"},
+    )
+    onto.add_group(
+        "pastries",
+        {"croissant", "pastry", "cookie", "muffin", "scone", "cake"},
+    )
+    onto.add_group(
+        "sports",
+        {"soccer", "football", "basketball", "baseball", "hockey", "tennis"},
+    )
+    onto.add_group(
+        "venues",
+        {"stadium", "arena", "park", "gym", "court", "field"},
+    )
+    return onto

@@ -1,0 +1,135 @@
+"""Paraphrase lexicon and counter-fitting-style retrofit.
+
+The paper uses counter-fitted embeddings (Mrkšić et al.) so that descriptor
+expansion follows *paraphrase* relations rather than mere topical
+co-occurrence.  This module reproduces the behaviourally relevant part of
+counter-fitting:
+
+* **synonym attraction** — words in the same paraphrase group are pulled
+  towards their group centroid,
+* **antonym / non-paraphrase repulsion** — antonym pairs and topically
+  related non-paraphrases (coffee/tea) are pushed apart,
+* **vector-space preservation** — a pull back towards the original vector
+  keeps the rest of the space intact.
+
+It also exposes :class:`ParaphraseLexicon`, the symbolic view of the
+paraphrase groups, which descriptor expansion uses directly when a word has
+an exact group membership.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ontology import ANTONYM_PAIRS, SYNONYM_SETS, TOPICAL_NON_PARAPHRASES
+from .vectors import VectorStore, _normalize
+
+
+class ParaphraseLexicon:
+    """Symbolic paraphrase groups with per-pair similarity scores."""
+
+    def __init__(
+        self,
+        synonym_sets: list[set[str]] | None = None,
+        antonym_pairs: list[tuple[str, str]] | None = None,
+    ) -> None:
+        self.synonym_sets = [
+            {w.lower() for w in group} for group in (synonym_sets or SYNONYM_SETS)
+        ]
+        self.antonym_pairs = [
+            (a.lower(), b.lower()) for a, b in (antonym_pairs or ANTONYM_PAIRS)
+        ]
+        self._groups_by_word: dict[str, list[int]] = {}
+        for gid, group in enumerate(self.synonym_sets):
+            for word in group:
+                self._groups_by_word.setdefault(word, []).append(gid)
+
+    def synonyms(self, word: str) -> set[str]:
+        """All paraphrases of *word* (excluding the word itself)."""
+        low = word.lower()
+        result: set[str] = set()
+        for gid in self._groups_by_word.get(low, []):
+            result |= self.synonym_sets[gid] - {low}
+        return result
+
+    def are_paraphrases(self, word_a: str, word_b: str) -> bool:
+        a, b = word_a.lower(), word_b.lower()
+        if a == b:
+            return True
+        return b in self.synonyms(a)
+
+    def are_antonyms(self, word_a: str, word_b: str) -> bool:
+        a, b = word_a.lower(), word_b.lower()
+        return (a, b) in self.antonym_pairs or (b, a) in self.antonym_pairs
+
+    def all_words(self) -> set[str]:
+        words = set(self._groups_by_word)
+        for a, b in self.antonym_pairs:
+            words.add(a)
+            words.add(b)
+        return words
+
+
+class CounterFitter:
+    """Retrofit a vector store with paraphrase attraction / antonym repulsion.
+
+    The procedure is a simplified, deterministic version of counter-fitting:
+    a fixed number of update sweeps where each constrained word's vector is
+    moved towards its paraphrase centroid, away from its antonyms, and back
+    towards its original position, then re-normalised.
+    """
+
+    def __init__(
+        self,
+        lexicon: ParaphraseLexicon | None = None,
+        repel_pairs: list[tuple[str, str]] | None = None,
+        iterations: int = 10,
+        attract_weight: float = 0.6,
+        repel_weight: float = 0.4,
+        preserve_weight: float = 0.2,
+    ) -> None:
+        self.lexicon = lexicon or ParaphraseLexicon()
+        self.repel_pairs = [
+            (a.lower(), b.lower())
+            for a, b in (repel_pairs if repel_pairs is not None else TOPICAL_NON_PARAPHRASES)
+        ]
+        self.iterations = iterations
+        self.attract_weight = attract_weight
+        self.repel_weight = repel_weight
+        self.preserve_weight = preserve_weight
+
+    def fit(self, store: VectorStore) -> VectorStore:
+        """Return a retrofitted copy of *store* (the input is not mutated)."""
+        result = store.copy()
+        # Make sure every constrained word has a vector to move.
+        for word in sorted(self.lexicon.all_words()):
+            if word not in result and " " not in word:
+                result.add(word, store.vector(word))
+        original = {word: result.vector(word).copy() for word in result.words()}
+
+        repel = list(self.repel_pairs) + list(self.lexicon.antonym_pairs)
+
+        for _ in range(self.iterations):
+            updates: dict[str, np.ndarray] = {}
+            for word in result.words():
+                vector = result.vector(word).copy()
+                synonyms = [s for s in self.lexicon.synonyms(word) if " " not in s]
+                if synonyms:
+                    centroid = np.mean([result.vector(s) for s in synonyms], axis=0)
+                    vector = vector + self.attract_weight * (centroid - vector)
+                for a, b in repel:
+                    other = None
+                    if word == a:
+                        other = b
+                    elif word == b:
+                        other = a
+                    if other is not None and " " not in other:
+                        away = vector - result.vector(other)
+                        norm = np.linalg.norm(away)
+                        if norm > 0:
+                            vector = vector + self.repel_weight * (away / norm)
+                vector = vector + self.preserve_weight * (original[word] - vector)
+                updates[word] = _normalize(vector)
+            for word, vector in updates.items():
+                result.add(word, vector)
+        return result

@@ -1,0 +1,118 @@
+"""A built-in 'pretrained' paraphrase-style vector store.
+
+The paper's prototype downloads counter-fitted embeddings trained on large
+corpora; offline, this module builds a deterministic stand-in:
+
+* every *concept group* (synonym set, domain-ontology group, and a small set
+  of taxonomic groups such as cities vs. countries) gets its own anchor
+  direction,
+* every member word's vector is its group anchor(s) plus a small
+  word-specific deterministic perturbation, so that words in the same group
+  are highly similar while words in different groups are nearly orthogonal,
+* the counter-fitting retrofit is then applied, which keeps antonyms and
+  topical non-paraphrases (coffee/tea) apart.
+
+The result reproduces the behaviour KOKO relies on: ``similarTo "city"``
+ranks Tokyo and Beijing far above China and Japan (Example 2.2), and
+descriptor expansion of "serves coffee" reaches "sells espresso" but not
+"serves tea".
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .ontology import SYNONYM_SETS, default_ontology
+from .paraphrase import CounterFitter, ParaphraseLexicon
+from .vectors import VectorStore, _normalize
+
+# Taxonomic groups used by the paper's examples (GPE instances vs. concepts).
+CITY_NAMES = {
+    "beijing", "tokyo", "paris", "berlin", "rome", "madrid", "london",
+    "lisbon", "sydney", "toronto", "seattle", "portland", "chicago",
+    "boston", "austin", "denver", "oakland", "brooklyn", "melbourne",
+    "oslo", "vienna", "prague", "dublin", "amsterdam", "barcelona",
+    "milan", "kyoto", "osaka", "shanghai", "mumbai", "seoul", "reykjavik",
+    "copenhagen", "helsinki", "stockholm", "zurich", "geneva", "brussels",
+    "lyon", "marseille",
+}
+
+COUNTRY_NAMES = {
+    "china", "japan", "france", "germany", "italy", "spain", "brazil",
+    "canada", "mexico", "india", "australia", "england", "portugal",
+}
+
+PERSON_WORDS = {"person", "people", "man", "woman", "author", "writer", "actor"}
+
+_TAXONOMIC_GROUPS: dict[str, set[str]] = {
+    "city": CITY_NAMES | {"city", "cities", "town", "metropolis"},
+    "country": COUNTRY_NAMES | {"country", "countries", "nation"},
+    "person": PERSON_WORDS,
+    "copula": {"is", "are", "was", "were", "be", "been"},
+    "birth": {"born", "birth", "birthday", "birthdate"},
+    "naming": {"called", "named", "nicknamed", "known"},
+}
+
+
+def _perturbation(word: str, dimensions: int, scale: float = 0.3) -> np.ndarray:
+    """A word-specific direction with norm *scale* (relative to unit anchors)."""
+    digest = hashlib.sha256(("perturb:" + word).encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    return scale * _normalize(rng.standard_normal(dimensions))
+
+
+def _anchor(group_name: str, dimensions: int) -> np.ndarray:
+    digest = hashlib.sha256(("anchor:" + group_name).encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    return _normalize(rng.standard_normal(dimensions))
+
+
+def build_default_vectors(
+    dimensions: int = 64,
+    counter_fit: bool = True,
+    extra_groups: dict[str, set[str]] | None = None,
+) -> VectorStore:
+    """Build the deterministic paraphrase-style vector store.
+
+    ``extra_groups`` lets corpora register additional concept groups (for
+    example, generated cafe names anchored to the "cafe" concept) so that
+    the similarity operator generalises to generated names.
+    """
+    groups: dict[str, set[str]] = {}
+    for index, synonyms in enumerate(SYNONYM_SETS):
+        groups[f"syn{index}"] = {w for w in synonyms if " " not in w}
+    for name, members in default_ontology().groups.items():
+        groups[f"onto_{name}"] = {w for w in members if " " not in w}
+    for name, members in _TAXONOMIC_GROUPS.items():
+        groups[f"tax_{name}"] = set(members)
+    for name, members in (extra_groups or {}).items():
+        groups[f"extra_{name}"] = {w.lower() for w in members if " " not in w.lower()}
+
+    # accumulate each word's anchors (a word may belong to several groups)
+    word_anchors: dict[str, list[np.ndarray]] = {}
+    for group_name, members in groups.items():
+        anchor = _anchor(group_name, dimensions)
+        for word in members:
+            word_anchors.setdefault(word.lower(), []).append(anchor)
+
+    store = VectorStore(dimensions=dimensions)
+    for word, anchors in sorted(word_anchors.items()):
+        vector = np.sum(anchors, axis=0) + _perturbation(word, dimensions)
+        store.add(word, _normalize(vector))
+
+    if counter_fit:
+        # A gentle retrofit: enough sweeps to separate antonyms and topical
+        # non-paraphrases without washing out the taxonomic anchors.
+        fitter = CounterFitter(
+            lexicon=ParaphraseLexicon(),
+            iterations=2,
+            attract_weight=0.3,
+            repel_weight=0.3,
+            preserve_weight=0.4,
+        )
+        store = fitter.fit(store)
+    return store

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro (KOKO reproduction) package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class KokoSyntaxError(ReproError):
+    """Raised when a KOKO query string cannot be parsed.
+
+    Attributes
+    ----------
+    message:
+        Human readable description of the problem.
+    position:
+        Character offset into the query text where the problem was detected,
+        or ``None`` when the position is unknown.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.message = message
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class KokoSemanticError(ReproError):
+    """Raised when a parsed query is structurally invalid.
+
+    Examples include referencing a variable before it is declared, binding
+    the same variable twice, or using a ``satisfying`` clause for a variable
+    that is not part of the output tuple.
+    """
+
+
+class StorageError(ReproError):
+    """Raised by the embedded storage engine (bad schema, unknown table...)."""
+
+
+class SchemaError(StorageError):
+    """Raised when a row does not conform to its table schema."""
+
+
+class IndexError_(ReproError):
+    """Raised by index construction or lookup failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class PipelineError(ReproError):
+    """Raised when the NLP pipeline cannot annotate its input."""
+
+
+class EmbeddingError(ReproError):
+    """Raised by the embedding / descriptor-expansion subsystem."""
+
+
+class EvaluationError(ReproError):
+    """Raised by the experiment harness for invalid configurations."""

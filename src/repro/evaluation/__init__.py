@@ -1,0 +1,13 @@
+"""Experiment harness: metrics, shared queries, reporting, experiments."""
+
+from .metrics import PrecisionRecall, extraction_scores, f1_from, index_effectiveness
+from .reporting import format_series, format_table
+
+__all__ = [
+    "PrecisionRecall",
+    "extraction_scores",
+    "f1_from",
+    "format_series",
+    "format_table",
+    "index_effectiveness",
+]

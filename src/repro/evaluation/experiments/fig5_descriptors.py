@@ -1,0 +1,69 @@
+"""Figure 5 — KOKO with and without descriptor conditions.
+
+The cafe query is run twice per corpus: once as published and once with the
+descriptor (``[[...]]``) conditions removed.  Expected shape: descriptors
+improve F1 on the short-article BARISTAMAG-like corpus (where exact evidence
+phrases are rare) and change little on the long-article SPRUDGE-like corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...corpora.cafe_blogs import BARISTAMAG, SPRUDGE, generate_cafe_corpus
+from ...koko.engine import KokoEngine
+from ...nlp.pipeline import Pipeline
+from ..extraction_quality import DEFAULT_THRESHOLDS, ThresholdSweep, koko_threshold_sweep
+from ..queries import CAFE_QUERY, CAFE_QUERY_NO_DESCRIPTORS
+from ..reporting import format_table
+
+
+@dataclass
+class DescriptorAblationResult:
+    """Per corpus: the with-descriptors and without-descriptors sweeps."""
+
+    sweeps: dict[str, dict[str, ThresholdSweep]] = field(default_factory=dict)
+    thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS
+
+    def f1_gain(self, corpus_name: str) -> float:
+        """Best-F1 difference (with - without descriptors) on one corpus."""
+        with_descr = self.sweeps[corpus_name]["with"].best_f1()
+        without = self.sweeps[corpus_name]["without"].best_f1()
+        return with_descr - without
+
+
+def run(
+    baristamag_articles: int = 30,
+    sprudge_articles: int = 60,
+    thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
+) -> DescriptorAblationResult:
+    """Run the Figure 5 ablation."""
+    pipeline = Pipeline()
+    result = DescriptorAblationResult(thresholds=thresholds)
+    for config, articles in ((BARISTAMAG, baristamag_articles), (SPRUDGE, sprudge_articles)):
+        corpus = generate_cafe_corpus(config, pipeline=pipeline, articles=articles)
+        engine = KokoEngine(corpus)
+        result.sweeps[config.name] = {
+            "with": koko_threshold_sweep(
+                engine, CAFE_QUERY, corpus, gold_key="cafe", thresholds=thresholds,
+                system="KOKO (with descriptors)",
+            ),
+            "without": koko_threshold_sweep(
+                engine, CAFE_QUERY_NO_DESCRIPTORS, corpus, gold_key="cafe",
+                thresholds=thresholds, system="KOKO (without descriptors)",
+            ),
+        }
+    return result
+
+
+def format_result(result: DescriptorAblationResult) -> str:
+    rows = []
+    for corpus_name, sweeps in result.sweeps.items():
+        for label, sweep in sweeps.items():
+            for threshold, score in zip(sweep.thresholds, sweep.scores):
+                rows.append((corpus_name, label, threshold, score.f1))
+    return format_table(
+        ["corpus", "descriptors", "threshold", "F1"],
+        rows,
+        title="Figure 5 — KOKO with/without descriptors",
+    )

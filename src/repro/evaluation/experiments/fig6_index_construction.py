@@ -1,0 +1,92 @@
+"""Figure 6 — index construction time and size vs. corpus size.
+
+The four designs (INVERTED, ADVINVERTED, SUBTREE, KOKO) are built over
+wiki-style corpora of increasing size.  Expected shape: KOKO has the
+smallest footprint; INVERTED is slightly smaller than ADVINVERTED; SUBTREE
+is by far the largest and the slowest to build; KOKO's build time sits
+between the plain inverted designs and SUBTREE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...corpora.wikipedia import generate_wikipedia_corpus
+from ...indexing.baselines import all_index_designs
+from ...nlp.pipeline import Pipeline
+from ..reporting import format_table
+
+
+@dataclass
+class IndexConstructionPoint:
+    """One (design, corpus size) measurement."""
+
+    design: str
+    articles: int
+    build_seconds: float
+    size_bytes: int
+
+
+@dataclass
+class IndexConstructionResult:
+    points: list[IndexConstructionPoint] = field(default_factory=list)
+
+    def series(self, design: str, metric: str) -> list[tuple[int, float]]:
+        out = []
+        for point in self.points:
+            if point.design == design:
+                value = point.build_seconds if metric == "time" else float(point.size_bytes)
+                out.append((point.articles, value))
+        return sorted(out)
+
+    def sizes_at(self, articles: int) -> dict[str, int]:
+        return {
+            p.design: p.size_bytes for p in self.points if p.articles == articles
+        }
+
+    def build_times_at(self, articles: int) -> dict[str, float]:
+        return {
+            p.design: p.build_seconds for p in self.points if p.articles == articles
+        }
+
+
+def run(article_counts: tuple[int, ...] = (25, 50, 100, 200)) -> IndexConstructionResult:
+    """Build every index design at every corpus size."""
+    pipeline = Pipeline()
+    result = IndexConstructionResult()
+    largest = generate_wikipedia_corpus(articles=max(article_counts), pipeline=pipeline)
+    for articles in article_counts:
+        corpus = _corpus_prefix(largest, articles)
+        for design_cls in all_index_designs():
+            index = design_cls().build(corpus)
+            result.points.append(
+                IndexConstructionPoint(
+                    design=index.name,
+                    articles=articles,
+                    build_seconds=index.build_seconds,
+                    size_bytes=index.approximate_bytes(),
+                )
+            )
+    return result
+
+
+def _corpus_prefix(corpus, articles: int):
+    """The first *articles* documents of an annotated corpus (shared parses)."""
+    from ...nlp.types import Corpus
+
+    prefix = Corpus(name=f"{corpus.name}-{articles}")
+    prefix.documents = corpus.documents[:articles]
+    prefix.gold = corpus.gold
+    return prefix
+
+
+def format_result(result: IndexConstructionResult) -> str:
+    rows = [
+        (p.articles, p.design, p.build_seconds, p.size_bytes)
+        for p in sorted(result.points, key=lambda p: (p.articles, p.design))
+    ]
+    return format_table(
+        ["articles", "design", "build seconds", "size bytes"],
+        rows,
+        title="Figure 6 — index construction time and size",
+    )

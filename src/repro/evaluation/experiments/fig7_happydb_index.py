@@ -1,0 +1,30 @@
+"""Figure 7 — index performance on the HappyDB-like corpus.
+
+Thin wrapper around :mod:`index_performance` that generates HappyDB-like
+corpora of increasing size and runs the SyntheticTree benchmark on each.
+"""
+
+from __future__ import annotations
+
+from ...corpora.happydb import generate_happydb_corpus
+from ...nlp.pipeline import Pipeline
+from . import index_performance
+
+
+def run(
+    moment_counts: tuple[int, ...] = (100, 200, 400),
+    queries_per_setting: int = 1,
+) -> list[index_performance.IndexPerformanceResult]:
+    """One :class:`IndexPerformanceResult` per corpus size."""
+    pipeline = Pipeline()
+    corpora = [
+        generate_happydb_corpus(moments=moments, pipeline=pipeline)
+        for moments in moment_counts
+    ]
+    return index_performance.run_corpus_sweep(
+        corpora, queries_per_setting=queries_per_setting
+    )
+
+
+def format_result(results: list[index_performance.IndexPerformanceResult]) -> str:
+    return "\n\n".join(index_performance.format_result(result) for result in results)

@@ -1,0 +1,30 @@
+"""Figure 8 — index performance on the Wikipedia-like corpus.
+
+Same protocol as Figure 7 over wiki-style articles; the article counts sweep
+stands in for the paper's 5K-100K article sweep.
+"""
+
+from __future__ import annotations
+
+from ...corpora.wikipedia import generate_wikipedia_corpus
+from ...nlp.pipeline import Pipeline
+from . import index_performance
+
+
+def run(
+    article_counts: tuple[int, ...] = (50, 100, 200),
+    queries_per_setting: int = 1,
+) -> list[index_performance.IndexPerformanceResult]:
+    """One :class:`IndexPerformanceResult` per corpus size."""
+    pipeline = Pipeline()
+    corpora = [
+        generate_wikipedia_corpus(articles=articles, pipeline=pipeline)
+        for articles in article_counts
+    ]
+    return index_performance.run_corpus_sweep(
+        corpora, queries_per_setting=queries_per_setting
+    )
+
+
+def format_result(results: list[index_performance.IndexPerformanceResult]) -> str:
+    return "\n\n".join(index_performance.format_result(result) for result in results)

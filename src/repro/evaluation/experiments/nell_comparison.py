@@ -1,0 +1,91 @@
+"""NELL comparison (Section 6.1, text).
+
+NELL bootstraps the "cafe" category from 17 seed instances and is evaluated
+on the same cafe corpora.  Expected shape: precision clearly higher than
+recall, and recall very low — the cafes in the corpus are mentioned only a
+few times, which is exactly the regime where NELL's conservative coupled
+bootstrapping cannot promote them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...baselines.nell import NellBootstrapper
+from ...corpora.cafe_blogs import BARISTAMAG, SPRUDGE, generate_cafe_corpus
+from ...nlp.pipeline import Pipeline
+from ..metrics import PrecisionRecall, extraction_scores
+from ..queries import NELL_CAFE_SEEDS
+from ..reporting import format_table
+
+
+@dataclass
+class NellComparisonResult:
+    scores: dict[str, PrecisionRecall] = field(default_factory=dict)
+
+
+def run(
+    baristamag_articles: int = 30,
+    sprudge_articles: int = 60,
+    iterations: int = 3,
+    seed_count: int = 17,
+    instance_support: dict[str, int] | None = None,
+) -> NellComparisonResult:
+    """Run NELL on both cafe corpora.
+
+    NELL's 17 seed instances were cafes it already knew about.  Since every
+    cafe in the synthetic corpora is newly generated, the seeds are taken
+    from the gold labels of the first few documents (cafes NELL "already
+    knows"), combined with the static seed list; precision and recall are
+    then measured against the full gold set, matching the paper's protocol
+    of evaluating the category as a whole.
+    """
+    pipeline = Pipeline()
+    result = NellComparisonResult()
+    # NELL counts pattern / instance co-occurrence at web scale; on a small
+    # corpus the equivalent conservatism is a support threshold that grows
+    # with document length (long articles repeat contexts more often).
+    instance_support = instance_support or {"baristamag": 3, "sprudge": 5}
+    for config, articles in ((BARISTAMAG, baristamag_articles), (SPRUDGE, sprudge_articles)):
+        corpus = generate_cafe_corpus(config, pipeline=pipeline, articles=articles)
+        gold = corpus.gold.get("cafe", {})
+        seed_docs: set[str] = set()
+        corpus_seeds: set[str] = set()
+        for doc_id in sorted(gold):
+            if len(corpus_seeds) >= seed_count:
+                break
+            corpus_seeds |= gold[doc_id]
+            seed_docs.add(doc_id)
+        bootstrapper = NellBootstrapper(
+            seeds=set(NELL_CAFE_SEEDS) | corpus_seeds,
+            iterations=iterations,
+            min_pattern_support=2,
+            min_instance_support=instance_support.get(config.name, 3),
+            context_width=3,
+        )
+        # Evaluate only on the documents whose cafes were not given as
+        # seeds, and never count a seed itself as a prediction: the
+        # interesting question is how many *new* cafes NELL promotes.
+        seed_lower = {s.lower() for s in corpus_seeds}
+        predicted = {
+            doc_id: {p for p in values if p.lower() not in seed_lower}
+            for doc_id, values in bootstrapper.extract_all(corpus).items()
+            if doc_id not in seed_docs
+        }
+        eval_gold = {
+            doc_id: values for doc_id, values in gold.items() if doc_id not in seed_docs
+        }
+        result.scores[config.name] = extraction_scores(predicted, eval_gold)
+    return result
+
+
+def format_result(result: NellComparisonResult) -> str:
+    rows = [
+        (name, score.precision, score.recall, score.f1)
+        for name, score in result.scores.items()
+    ]
+    return format_table(
+        ["corpus", "precision", "recall", "F1"],
+        rows,
+        title="NELL on the cafe-extraction task (Section 6.1)",
+    )

@@ -1,0 +1,90 @@
+"""Odin comparison (Section 6.3, text).
+
+The three wiki queries, translated to Odin-style dependency rules (extract
+clauses only, since Odin cannot aggregate evidence), run over the same
+corpus as KOKO.  Expected shape: Odin — which scans every sentence with
+every rule and uses no indexes — is slower than KOKO, dramatically so for
+the selective Chocolate and Title queries and only mildly for the
+unselective DateOfBirth query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...baselines.odin import OdinMatcher
+from ...corpora.wikipedia import generate_wikipedia_corpus
+from ...koko.engine import KokoEngine
+from ...nlp.pipeline import Pipeline
+from ..queries import SCALEUP_QUERIES, odin_rules_for_scaleup
+from ..reporting import format_table
+
+
+@dataclass
+class OdinComparisonRow:
+    query: str
+    koko_seconds: float
+    odin_seconds: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.odin_seconds / self.koko_seconds if self.koko_seconds > 0 else float("inf")
+
+
+@dataclass
+class OdinComparisonResult:
+    articles: int = 0
+    rows: list[OdinComparisonRow] = field(default_factory=list)
+
+    def slowdown(self, query: str) -> float:
+        for row in self.rows:
+            if row.query == query:
+                return row.slowdown
+        raise KeyError(query)
+
+
+def run(articles: int = 100) -> OdinComparisonResult:
+    """Compare KOKO query time against Odin annotation + execution time.
+
+    As in the paper, KOKO's preprocessing (parsing and index construction)
+    is done offline and not charged to the query, while Odin — which has no
+    persistent index — must annotate the documents and then run its cascade,
+    and both steps count ("Odin took more than 2 days to complete the
+    annotation and execution of all queries").
+    """
+    import time
+
+    pipeline = Pipeline()
+    corpus = generate_wikipedia_corpus(articles=articles, pipeline=pipeline)
+    engine = KokoEngine(corpus)
+    odin_rules = odin_rules_for_scaleup()
+    result = OdinComparisonResult(articles=articles)
+    raw_texts = {document.doc_id: document.text for document in corpus}
+    for name, query_text in SCALEUP_QUERIES.items():
+        koko_outcome = engine.execute(query_text)
+        koko_seconds = koko_outcome.timings.total
+
+        started = time.perf_counter()
+        odin_corpus = pipeline.annotate_corpus(raw_texts, name="odin")
+        matcher = OdinMatcher(odin_rules[name])
+        matcher.run(odin_corpus)
+        odin_seconds = time.perf_counter() - started
+        result.rows.append(
+            OdinComparisonRow(
+                query=name, koko_seconds=koko_seconds, odin_seconds=odin_seconds
+            )
+        )
+    return result
+
+
+def format_result(result: OdinComparisonResult) -> str:
+    rows = [
+        (row.query, row.koko_seconds, row.odin_seconds, row.slowdown)
+        for row in result.rows
+    ]
+    return format_table(
+        ["query", "KOKO seconds", "Odin seconds", "Odin slowdown"],
+        rows,
+        title=f"Odin vs KOKO on {result.articles} wiki articles (Section 6.3)",
+        float_digits=4,
+    )

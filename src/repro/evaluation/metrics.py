@@ -1,0 +1,92 @@
+"""Evaluation metrics: extraction quality and index quality (Section 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Micro-averaged precision, recall and F1 over a set of documents."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    predicted: int
+    gold: int
+
+
+def _normalize_name(name: str) -> str:
+    return " ".join(name.lower().split())
+
+
+def extraction_scores(
+    predicted: dict[str, set[str]],
+    gold: dict[str, set[str]],
+) -> PrecisionRecall:
+    """Micro-averaged P/R/F1 of per-document predicted strings vs gold strings.
+
+    Matching is case-insensitive on whitespace-normalised strings; a
+    prediction also counts as correct when it equals a gold name with a
+    trailing generic word dropped (e.g. "Blue Bottle Coffee" vs "Blue
+    Bottle"), mirroring the fuzzy matching crowd-sourced gold requires.
+    """
+    true_positives = 0
+    predicted_total = 0
+    gold_total = 0
+    doc_ids = set(predicted) | set(gold)
+    for doc_id in doc_ids:
+        predicted_names = {_normalize_name(p) for p in predicted.get(doc_id, set()) if p.strip()}
+        gold_names = {_normalize_name(g) for g in gold.get(doc_id, set()) if g.strip()}
+        predicted_total += len(predicted_names)
+        gold_total += len(gold_names)
+        for name in predicted_names:
+            if name in gold_names or any(_loose_match(name, g) for g in gold_names):
+                true_positives += 1
+    precision = true_positives / predicted_total if predicted_total else 0.0
+    recall = true_positives / gold_total if gold_total else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    return PrecisionRecall(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        true_positives=true_positives,
+        predicted=predicted_total,
+        gold=gold_total,
+    )
+
+
+def _loose_match(predicted: str, gold: str) -> bool:
+    """Prefix match modulo one trailing word on either side."""
+    p_words, g_words = predicted.split(), gold.split()
+    if not p_words or not g_words:
+        return False
+    if p_words == g_words[:-1] and len(g_words) > 1:
+        return True
+    if g_words == p_words[:-1] and len(p_words) > 1:
+        return True
+    return False
+
+
+def index_effectiveness(returned: set[int], truly_matching: set[int]) -> float:
+    """The effectiveness score of Section 6.2.2.
+
+    The ratio of sentences that contain bindings for all query variables to
+    the sentences the index returned.  An index that returns nothing for a
+    query that has no matches is perfectly effective (1.0).
+    """
+    if not returned:
+        return 1.0
+    return len(returned & truly_matching) / len(returned)
+
+
+def f1_from(precision: float, recall: float) -> float:
+    """Harmonic mean helper."""
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

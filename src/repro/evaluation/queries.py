@@ -1,0 +1,274 @@
+"""The extraction queries and baseline rule sets used by the experiments.
+
+These are the repository's counterparts of the paper's Appendix A (the cafe
+/ facilities / sports-team KOKO queries and their IKE translations) and of
+the three Section 6.3 wiki queries.  The conditions mirror the published
+queries; weights are re-balanced for the synthetic corpora (documented in
+EXPERIMENTS.md) while keeping the published structure: strong boolean
+conditions, weaker descriptor conditions, an excluding clause that removes
+the known false-positive families.
+"""
+
+from __future__ import annotations
+
+from ..baselines.ike import IkePattern
+from ..baselines.odin import OdinRule
+from ..indexing.query_ir import (
+    CHILD,
+    DESCENDANT,
+    KIND_PARSE_LABEL,
+    KIND_POS,
+    KIND_WORD,
+    TreePath,
+    TreeStep,
+)
+
+# ----------------------------------------------------------------------
+# cafe extraction (Figure 9)
+# ----------------------------------------------------------------------
+CAFE_QUERY = """
+extract x:Entity from "blogs" if ()
+satisfying x
+(str(x) contains "Cafe" {1}) or
+(str(x) contains "Coffee" {1}) or
+(str(x) contains "Roasters" {1}) or
+(str(x) contains "Espresso" {1}) or
+("cafe called" x {1}) or
+("cafes such as" x {1}) or
+(x ", a cafe" {1}) or
+(x near ", a cafe" {0.8}) or
+(x [["serves coffee"]] {0.45}) or
+(x [["sells coffee"]] {0.45}) or
+(x [["employs baristas"]] {0.4}) or
+([["baristas of"]] x {0.35}) or
+(x [["coffee menu"]] {0.35}) or
+(x [["pours espresso"]] {0.4})
+with threshold 0.6
+excluding
+(str(x) matches "^[a-z 0-9.']+$") or
+(str(x) matches "^@") or
+(str(x) matches "^[Cc]offee$|^[Cc]afe$") or
+(str(x) matches "[Bb]arista [Cc]hampionship") or
+(str(x) matches "[Bb]rewers [Cc]up") or
+(str(x) matches "[Ff]est(ival)?$") or
+(str(x) matches "[Ll]a Marzocco") or
+(str(x) matches "[Ss]ynesso") or
+(str(x) matches "[Aa]eropress") or
+(str(x) matches "[Vv]60") or
+(str(x) matches "^[0-9]+ .*(St|Street|Ave|Avenue)$") or
+(str(x) in dict("Location"))
+"""
+
+# The same query without its descriptor conditions (Figure 5's ablation).
+CAFE_QUERY_NO_DESCRIPTORS = """
+extract x:Entity from "blogs" if ()
+satisfying x
+(str(x) contains "Cafe" {1}) or
+(str(x) contains "Coffee" {1}) or
+(str(x) contains "Roasters" {1}) or
+(str(x) contains "Espresso" {1}) or
+("cafe called" x {1}) or
+("cafes such as" x {1}) or
+(x ", a cafe" {1}) or
+(x near ", a cafe" {0.8})
+with threshold 0.6
+excluding
+(str(x) matches "^[a-z 0-9.']+$") or
+(str(x) matches "^@") or
+(str(x) matches "^[Cc]offee$|^[Cc]afe$") or
+(str(x) matches "[Bb]arista [Cc]hampionship") or
+(str(x) matches "[Bb]rewers [Cc]up") or
+(str(x) matches "[Ff]est(ival)?$") or
+(str(x) matches "[Ll]a Marzocco") or
+(str(x) matches "[Ss]ynesso") or
+(str(x) matches "[Aa]eropress") or
+(str(x) matches "[Vv]60") or
+(str(x) matches "^[0-9]+ .*(St|Street|Ave|Avenue)$") or
+(str(x) in dict("Location"))
+"""
+
+# IKE translation of the cafe query (Appendix A.1): sentence-local patterns,
+# no excluding clause, similarity expansion on the descriptor-like phrases.
+CAFE_IKE_PATTERNS = [
+    IkePattern(context="cafe called", np_side="after", window=3),
+    IkePattern(context="cafes such as", np_side="after", window=3),
+    IkePattern(context="a cafe", np_side="before", window=4),
+    IkePattern(context="serves coffee", np_side="before", window=10, expand_k=10),
+    IkePattern(context="sells coffee", np_side="before", window=10, expand_k=10),
+    IkePattern(context="employs baristas", np_side="before", window=10, expand_k=10),
+    IkePattern(context="baristas of", np_side="after", window=10, expand_k=10),
+    IkePattern(context="coffee menu", np_side="before", window=10, expand_k=10),
+    IkePattern(context="coffee from", np_side="before", window=10, expand_k=10),
+]
+
+# NELL seeds: 17 cafe names, as in the paper's NELL experiment.
+NELL_CAFE_SEEDS = {
+    "Blue Bottle Coffee", "Golden Sparrow Cafe", "Copper Owl Roasters",
+    "Velvet Fox Coffee", "Maple Anchor Cafe", "Cedar Heron Coffee Roasters",
+    "Quiet Pine Espresso Bar", "Harbor Lantern Coffee", "Silver Finch Cafe",
+    "Rustic Mill Coffee House", "Bright Compass Cafe", "Iron Poppy Roasters",
+    "Stone Crane Coffee", "River Clover Cafe", "Summit Acorn Coffee Co",
+    "Lucky Magpie Espresso Bar", "Humble Spoon Cafe",
+}
+
+# ----------------------------------------------------------------------
+# sports teams and facilities from tweets (Figures 10-11)
+# ----------------------------------------------------------------------
+TEAM_QUERY = """
+extract x:Entity from "tweets" if ()
+satisfying x
+(x [["to host"]] {0.9}) or
+(x "vs" {0.9}) or
+("vs" x {0.9}) or
+(x "versus" {0.9}) or
+("versus" x {0.9}) or
+(x [["soccer"]] {0.9}) or
+("Go" x {0.9}) or
+(x near "win" {0.6}) or
+(x near "game" {0.5})
+with threshold 0.4
+excluding
+(str(x) matches "^[a-z 0-9.']+$") or
+(str(x) matches "^@") or
+(str(x) mentions "pm") or
+(str(x) mentions "tonight")
+"""
+
+FACILITY_QUERY = """
+extract x:Entity from "tweets" if ()
+satisfying x
+("at" x {1}) or
+([["went to"]] x {0.8}) or
+([["go to"]] x {0.8}) or
+(x near "renovating" {0.6}) or
+(x near "seats" {0.5}) or
+(x near "lines" {0.5})
+with threshold 0.4
+excluding
+(str(x) matches "^[a-z 0-9.']+$") or
+(str(x) matches "^@") or
+(str(x) mentions "pm") or
+(str(x) mentions "am") or
+(str(x) mentions "today") or
+(str(x) mentions "tomorrow") or
+(str(x) mentions "tonight")
+"""
+
+TEAM_IKE_PATTERNS = [
+    IkePattern(context="vs", np_side="before", window=3),
+    IkePattern(context="vs", np_side="after", window=3),
+    IkePattern(context="versus", np_side="before", window=3),
+    IkePattern(context="to host", np_side="before", window=5, expand_k=5),
+    IkePattern(context="Go", np_side="after", window=2),
+]
+
+FACILITY_IKE_PATTERNS = [
+    IkePattern(context="at", np_side="after", window=3),
+    IkePattern(context="went to", np_side="after", window=3, expand_k=5),
+    IkePattern(context="go to", np_side="after", window=3, expand_k=5),
+]
+
+# ----------------------------------------------------------------------
+# the three Section 6.3 wiki queries (Chocolate / Title / DateOfBirth)
+# ----------------------------------------------------------------------
+CHOCOLATE_QUERY = """
+extract c:Entity from "wiki" if (
+/ROOT:{
+v = //verb, o = v//pobj[text="chocolate"],
+s = v/nsubj } (s) in (c))
+satisfying v
+(str(v) ~ "is" {1})
+with threshold 0.5
+"""
+
+TITLE_QUERY = """
+extract a:Person, b:Str from "wiki" if (
+/ROOT:{
+v = //"called", p = v/propn, b = p.subtree,
+c = a + ^ + v + ^ + b})
+"""
+
+DATEOFBIRTH_QUERY = """
+extract a:Person, b:Date from "wiki" if (
+/ROOT:{ v = //verb })
+satisfying v
+(str(v) ~ "born" {1})
+with threshold 0.2
+"""
+
+SCALEUP_QUERIES = {
+    "Chocolate": CHOCOLATE_QUERY,
+    "Title": TITLE_QUERY,
+    "DateOfBirth": DATEOFBIRTH_QUERY,
+}
+
+
+# ----------------------------------------------------------------------
+# Odin translations of the wiki queries (extract clauses only)
+# ----------------------------------------------------------------------
+def odin_rules_for_scaleup() -> dict[str, list[OdinRule]]:
+    """Odin rule cascades for the three Section 6.3 queries."""
+    chocolate = OdinRule(
+        name="chocolate-type",
+        priority=1,
+        arguments=(
+            (
+                "verb",
+                TreePath(steps=(TreeStep(DESCENDANT, "verb", KIND_POS),)),
+            ),
+            (
+                "object",
+                TreePath(
+                    steps=(
+                        TreeStep(DESCENDANT, "verb", KIND_POS),
+                        TreeStep(DESCENDANT, "chocolate", KIND_WORD),
+                    )
+                ),
+            ),
+            (
+                "subject",
+                TreePath(
+                    steps=(
+                        TreeStep(DESCENDANT, "verb", KIND_POS),
+                        TreeStep(CHILD, "nsubj", KIND_PARSE_LABEL),
+                    )
+                ),
+            ),
+        ),
+        outputs=("subject",),
+    )
+    title = OdinRule(
+        name="people-titles",
+        priority=1,
+        arguments=(
+            (
+                "called",
+                TreePath(steps=(TreeStep(DESCENDANT, "called", KIND_WORD),)),
+            ),
+            (
+                "nickname",
+                TreePath(
+                    steps=(
+                        TreeStep(DESCENDANT, "called", KIND_WORD),
+                        TreeStep(DESCENDANT, "propn", KIND_POS),
+                    )
+                ),
+            ),
+        ),
+        outputs=("nickname",),
+    )
+    date_of_birth = OdinRule(
+        name="date-of-birth",
+        priority=1,
+        arguments=(
+            ("verb", TreePath(steps=(TreeStep(DESCENDANT, "verb", KIND_POS),))),
+            ("person", TreePath(steps=(TreeStep(DESCENDANT, "propn", KIND_POS),))),
+            ("date", TreePath(steps=(TreeStep(DESCENDANT, "num", KIND_POS),))),
+        ),
+        outputs=("person", "date"),
+    )
+    return {
+        "Chocolate": [chocolate],
+        "Title": [title],
+        "DateOfBirth": [date_of_birth],
+    }

@@ -1,0 +1,42 @@
+"""Plain-text table / series formatting for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered_rows = [
+        [_format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object, float_digits: int) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.{float_digits}f}"
+    return str(cell)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render one x/y series as "name: x=y, x=y, ..." (figures are series)."""
+    pairs = ", ".join(f"{x}={_format_cell(y, 3)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

@@ -1,0 +1,21 @@
+"""Index designs compared against KOKO's multi-index (Section 6.2)."""
+
+from .advinverted import AdvInvertedIndex
+from .base import BaseTreeIndex, UnsupportedQueryError
+from .inverted import InvertedIndex
+from .koko_adapter import KokoMultiIndex
+from .subtree import SubtreeIndex
+
+__all__ = [
+    "AdvInvertedIndex",
+    "BaseTreeIndex",
+    "InvertedIndex",
+    "KokoMultiIndex",
+    "SubtreeIndex",
+    "UnsupportedQueryError",
+]
+
+
+def all_index_designs() -> list[type[BaseTreeIndex]]:
+    """The four designs in the order the paper's figures list them."""
+    return [InvertedIndex, AdvInvertedIndex, SubtreeIndex, KokoMultiIndex]

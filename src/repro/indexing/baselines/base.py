@@ -1,0 +1,75 @@
+"""Common interface for the index designs compared in Figures 6-8.
+
+Every index (the three baselines and the KOKO multi-index adapter) exposes:
+
+* ``build(corpus)``      — construct the index, recording build time,
+* ``candidate_sentences(query)`` — sentence ids the index *returns* for a
+  tree-pattern query (the numerator of lookup cost and the denominator of
+  the effectiveness score),
+* ``approximate_bytes()`` — size accounting for Figure 6(b),
+* ``supports(query)``    — whether the design can process the query at all
+  (SUBTREE with root-split coding cannot handle wildcards or word labels,
+  as noted in Section 6.2.1).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from ...nlp.types import Corpus
+from ..query_ir import TreePatternQuery
+
+
+class UnsupportedQueryError(Exception):
+    """Raised when an index design cannot evaluate a query."""
+
+
+class BaseTreeIndex(abc.ABC):
+    """Abstract base class for the compared index designs."""
+
+    #: short name used in experiment tables ("INVERTED", "KOKO", ...)
+    name: str = "BASE"
+
+    def __init__(self) -> None:
+        self.build_seconds = 0.0
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self, corpus: Corpus) -> "BaseTreeIndex":
+        """Build the index over *corpus*, recording wall-clock build time."""
+        started = time.perf_counter()
+        self._build(corpus)
+        self.build_seconds = time.perf_counter() - started
+        self._built = True
+        return self
+
+    @abc.abstractmethod
+    def _build(self, corpus: Corpus) -> None:
+        """Design-specific construction."""
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def candidate_sentences(self, query: TreePatternQuery) -> set[int]:
+        """Sentence ids this index returns as candidates for *query*."""
+
+    def supports(self, query: TreePatternQuery) -> bool:
+        """Whether this design can evaluate *query* (default: yes)."""
+        return True
+
+    def timed_lookup(self, query: TreePatternQuery) -> tuple[set[int], float]:
+        """Run a lookup and return ``(candidates, seconds)``."""
+        started = time.perf_counter()
+        candidates = self.candidate_sentences(query)
+        return candidates, time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def approximate_bytes(self) -> int:
+        """Estimated index footprint in bytes."""

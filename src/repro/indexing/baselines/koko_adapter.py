@@ -1,0 +1,35 @@
+"""Adapter exposing the KOKO multi-index through the comparison interface.
+
+Figures 6-8 compare index designs on build time, size, lookup time and
+effectiveness.  This adapter wraps :class:`~repro.indexing.koko_index.KokoIndexSet`
+so it can stand next to INVERTED, ADVINVERTED and SUBTREE in those
+experiments, answering tree-pattern queries through the same decompose-and-
+join procedure the engine's DPLI module uses.
+"""
+
+from __future__ import annotations
+
+from ...nlp.types import Corpus
+from ..decompose import candidate_sentences_for_query
+from ..koko_index import KokoIndexSet
+from ..query_ir import TreePatternQuery
+from .base import BaseTreeIndex
+
+
+class KokoMultiIndex(BaseTreeIndex):
+    """The paper's multi-indexing scheme behind the comparison interface."""
+
+    name = "KOKO"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.index_set = KokoIndexSet()
+
+    def _build(self, corpus: Corpus) -> None:
+        self.index_set.build(corpus)
+
+    def candidate_sentences(self, query: TreePatternQuery) -> set[int]:
+        return candidate_sentences_for_query(self.index_set, query)
+
+    def approximate_bytes(self) -> int:
+        return self.index_set.approximate_bytes()

@@ -1,0 +1,111 @@
+"""The entity inverted index (Section 3.1).
+
+Maps each entity-mention text to triples ``(x, u, v)``: sentence id plus the
+leftmost and rightmost token ids of the mention span.  The index can also be
+queried by entity type, which is how variables declared as ``x:Entity``,
+``a:GPE`` or ``a:Person`` obtain their candidate bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nlp.types import Corpus, Sentence
+from ..storage.database import Database
+from ..storage.table import Schema
+
+
+@dataclass(frozen=True, order=True)
+class EntityPosting:
+    """One entity occurrence: sentence id, span, type, and surface text."""
+
+    sid: int
+    left: int
+    right: int
+    etype: str
+    text: str
+
+
+class EntityIndex:
+    """Inverted index over entity mentions."""
+
+    def __init__(self) -> None:
+        self._by_text: dict[str, list[EntityPosting]] = {}
+        self._by_type: dict[str, list[EntityPosting]] = {}
+        self._all: list[EntityPosting] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_sentence(self, sentence: Sentence) -> None:
+        for mention in sentence.entities:
+            posting = EntityPosting(
+                sid=sentence.sid,
+                left=mention.start,
+                right=mention.end,
+                etype=mention.etype,
+                text=mention.text,
+            )
+            self._by_text.setdefault(mention.text.lower(), []).append(posting)
+            self._by_type.setdefault(mention.etype, []).append(posting)
+            self._all.append(posting)
+
+    def add_corpus(self, corpus: Corpus) -> None:
+        for _, sentence in corpus.all_sentences():
+            self.add_sentence(sentence)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def lookup_text(self, text: str) -> list[EntityPosting]:
+        """All occurrences of the entity whose surface text is *text*."""
+        return list(self._by_text.get(text.lower(), ()))
+
+    def lookup_type(self, etype: str) -> list[EntityPosting]:
+        """All occurrences of entities of type *etype*.
+
+        The pseudo-type ``"Entity"`` returns every mention regardless of type.
+        """
+        if etype.lower() == "entity":
+            return list(self._all)
+        key = self._canonical_type(etype)
+        return list(self._by_type.get(key, ()))
+
+    def all_postings(self) -> list[EntityPosting]:
+        return list(self._all)
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    @staticmethod
+    def _canonical_type(etype: str) -> str:
+        mapping = {
+            "person": "PERSON",
+            "gpe": "GPE",
+            "location": "LOCATION",
+            "organization": "ORGANIZATION",
+            "org": "ORGANIZATION",
+            "date": "DATE",
+            "facility": "FACILITY",
+            "team": "TEAM",
+            "other": "OTHER",
+        }
+        return mapping.get(etype.lower(), etype.upper())
+
+    # ------------------------------------------------------------------
+    # materialisation (the E relation of Section 6.2.1)
+    # ------------------------------------------------------------------
+    E_SCHEMA = Schema.of("entity", "x", "u", "v", "etype")
+
+    def to_table(self, database: Database, table_name: str = "E"):
+        """Materialise the index into *database* with the paper's E schema."""
+        if database.has_table(table_name):
+            database.drop_table(table_name)
+        table = database.create_table(table_name, self.E_SCHEMA)
+        for posting in self._all:
+            table.insert(
+                (posting.text.lower(), posting.sid, posting.left, posting.right, posting.etype)
+            )
+        table.create_index("by_entity", "entity")
+        table.create_index("by_sentence", "x")
+        return table

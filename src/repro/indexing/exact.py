@@ -1,0 +1,81 @@
+"""Exact tree-pattern matching against annotated sentences.
+
+The index-effectiveness metric of Section 6.2.2 is the ratio of sentences
+that truly contain bindings for all query variables to the sentences an
+index returns.  The numerator needs an oracle that evaluates a tree-pattern
+query exactly, independent of any index; that oracle lives here.  The KOKO
+evaluator also uses it as the final validation step after index lookup
+("these checks are necessary since ... the bindings obtained by evaluating
+the indices with decomposed paths may still contain false answers").
+"""
+
+from __future__ import annotations
+
+from ..nlp.types import Corpus, Sentence
+from .query_ir import CHILD, TreePath, TreePatternQuery
+
+
+def match_path_in_sentence(sentence: Sentence, tree_path: TreePath) -> list[int]:
+    """Token indexes of *sentence* reachable through *tree_path* from the root.
+
+    The first step is matched against the sentence root (child axis) or any
+    token (descendant axis); each further step follows child or descendant
+    edges of the dependency tree.
+    """
+    if len(sentence) == 0 or not tree_path.steps:
+        return []
+    root = sentence.root_index()
+
+    first = tree_path.steps[0]
+    if first.axis == CHILD:
+        frontier = {root} if first.matches_token(sentence[root]) else set()
+    else:
+        frontier = {
+            tok.index for tok in sentence if first.matches_token(tok)
+        }
+
+    for step in tree_path.steps[1:]:
+        next_frontier: set[int] = set()
+        for index in frontier:
+            if step.axis == CHILD:
+                candidates = sentence.children(index)
+            else:
+                candidates = [
+                    i for i in sentence.subtree_indices(index) if i != index
+                ]
+            for candidate in candidates:
+                if step.matches_token(sentence[candidate]):
+                    next_frontier.add(candidate)
+        frontier = next_frontier
+        if not frontier:
+            return []
+    return sorted(frontier)
+
+
+def sentence_matches_query(sentence: Sentence, query: TreePatternQuery) -> bool:
+    """True when every path of *query* has at least one binding in *sentence*."""
+    return all(match_path_in_sentence(sentence, p) for p in query.paths)
+
+
+def matching_sentences(corpus: Corpus, query: TreePatternQuery) -> set[int]:
+    """Sentence ids of *corpus* in which the query has bindings for all paths."""
+    result: set[int] = set()
+    for _, sentence in corpus.all_sentences():
+        if sentence_matches_query(sentence, query):
+            result.add(sentence.sid)
+    return result
+
+
+def count_extractions(corpus: Corpus, query: TreePatternQuery) -> int:
+    """Total number of bindings of the query's *last* path across the corpus.
+
+    Used by the "lookup time / effectiveness vs. number of extractions"
+    series of Figures 7(c,d) and 8(c,d): queries are bucketed by how many
+    tuples they return.
+    """
+    total = 0
+    for _, sentence in corpus.all_sentences():
+        if not sentence_matches_query(sentence, query):
+            continue
+        total += len(match_path_in_sentence(sentence, query.paths[-1]))
+    return total

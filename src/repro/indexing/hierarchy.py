@@ -1,0 +1,219 @@
+"""Hierarchy (dataguide) indexes over parse labels and POS tags (Section 3.2).
+
+A hierarchy index is built by merging the dependency trees of every sentence
+on one annotation layer: starting from a dummy node above all roots,
+children with the same label are merged recursively, so every node of the
+index is identified by the unique label path from the root, and carries the
+posting list of all sentence tokens reachable through that path.
+
+Two instances are built by :class:`~repro.indexing.koko_index.KokoIndexSet`:
+the **PL index** (parse labels — its single top child is ``root``) and the
+**POS index** (POS tags, merged under the dummy node as the paper describes).
+
+The index answers *path-pattern* lookups — patterns with ``/`` (child) and
+``//`` (descendant) axes and ``*`` wildcards — by walking the merged trie,
+which is how the DPLI module resolves decomposed parse-label and POS-tag
+paths without touching individual sentences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..nlp.types import Corpus, Sentence
+from ..storage.closure import ClosureTable
+from ..storage.database import Database
+from .postings import Posting, posting_for_token
+
+
+@dataclass
+class HierarchyNode:
+    """One node of the merged hierarchy: a label, children by label, postings."""
+
+    node_id: int
+    label: str
+    depth: int
+    parent: "HierarchyNode | None" = None
+    children: dict[str, "HierarchyNode"] = field(default_factory=dict)
+    postings: list[Posting] = field(default_factory=list)
+
+    def path(self) -> str:
+        """The unique ``/label/...`` path identifying this node (dummy excluded)."""
+        labels: list[str] = []
+        node: HierarchyNode | None = self
+        while node is not None and node.parent is not None:
+            labels.append(node.label)
+            node = node.parent
+        return "/" + "/".join(reversed(labels)) if labels else "/"
+
+
+class HierarchyIndex:
+    """A dataguide-style merged representation of all dependency trees.
+
+    Parameters
+    ----------
+    label_of:
+        Function mapping a token to the label used for merging — the parse
+        label for the PL index, the POS tag for the POS index.
+    name:
+        Diagnostic name ("PL" or "POS").
+    """
+
+    def __init__(self, label_of: Callable, name: str = "PL") -> None:
+        self.name = name
+        self._label_of = label_of
+        self._next_id = 0
+        self._dummy = self._new_node("<dummy>", depth=-1, parent=None)
+        self._nodes: list[HierarchyNode] = [self._dummy]
+        # (sid, tid) -> node id; consumed by WordIndex.set_node_ids
+        self._token_nodes: dict[tuple[int, int], int] = {}
+        self._merged_token_count = 0
+
+    def _new_node(self, label: str, depth: int, parent: HierarchyNode | None) -> HierarchyNode:
+        node = HierarchyNode(node_id=self._next_id, label=label, depth=depth, parent=parent)
+        self._next_id += 1
+        return node
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_sentence(self, sentence: Sentence) -> None:
+        """Merge the dependency tree of *sentence* into the index."""
+        root = sentence.root_index()
+        self._insert(sentence, root, self._dummy)
+
+    def _insert(self, sentence: Sentence, tid: int, parent: HierarchyNode) -> None:
+        label = str(self._label_of(sentence[tid]))
+        child = parent.children.get(label)
+        if child is None:
+            child = self._new_node(label, depth=parent.depth + 1, parent=parent)
+            parent.children[label] = child
+            self._nodes.append(child)
+        child.postings.append(posting_for_token(sentence, tid))
+        self._token_nodes[(sentence.sid, tid)] = child.node_id
+        self._merged_token_count += 1
+        for ctid in sentence.children(tid):
+            self._insert(sentence, ctid, child)
+
+    def add_corpus(self, corpus: Corpus) -> None:
+        for _, sentence in corpus.all_sentences():
+            self.add_sentence(sentence)
+
+    # ------------------------------------------------------------------
+    # statistics (the >99.7% node-reduction claim of Section 3)
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Number of merged nodes (dummy excluded)."""
+        return len(self._nodes) - 1
+
+    @property
+    def token_count(self) -> int:
+        """Number of tokens merged into the index."""
+        return self._merged_token_count
+
+    def compression_ratio(self) -> float:
+        """Fraction of nodes eliminated by merging (0 when nothing merged)."""
+        if self._merged_token_count == 0:
+            return 0.0
+        return 1.0 - self.node_count / self._merged_token_count
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def node_id_of(self, sid: int, tid: int) -> int:
+        """Hierarchy node id that token (sid, tid) was merged into (-1 if absent)."""
+        return self._token_nodes.get((sid, tid), -1)
+
+    def node_by_id(self, node_id: int) -> HierarchyNode:
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[HierarchyNode]:
+        """All nodes except the dummy root."""
+        return (node for node in self._nodes if node is not self._dummy)
+
+    def lookup_path(self, steps: list[tuple[str, str]]) -> list[Posting]:
+        """Union of the posting lists of all nodes matching a path pattern.
+
+        *steps* is a list of ``(axis, label)`` pairs where axis is ``"/"``
+        (child) or ``"//"`` (descendant) and label is a node label or
+        ``"*"``.  The pattern is anchored at the dummy node, i.e. the first
+        step with axis ``"/"`` must match a top-level label (``root`` for
+        the PL index).
+        """
+        matches = self.match_nodes(steps)
+        merged: list[Posting] = []
+        seen: set[tuple[int, int]] = set()
+        for node in matches:
+            for posting in node.postings:
+                key = (posting.sid, posting.tid)
+                if key not in seen:
+                    seen.add(key)
+                    merged.append(posting)
+        merged.sort()
+        return merged
+
+    def match_nodes(self, steps: list[tuple[str, str]]) -> list[HierarchyNode]:
+        """All hierarchy nodes whose root path matches the pattern *steps*."""
+        frontier: set[int] = {self._dummy.node_id}
+        for axis, label in steps:
+            next_frontier: set[int] = set()
+            for node_id in frontier:
+                node = self._nodes[node_id]
+                if axis == "/":
+                    next_frontier.update(
+                        child.node_id
+                        for child in node.children.values()
+                        if self._label_matches(child.label, label)
+                    )
+                else:  # descendant axis
+                    for descendant in self._descendants(node):
+                        if self._label_matches(descendant.label, label):
+                            next_frontier.add(descendant.node_id)
+            frontier = next_frontier
+            if not frontier:
+                return []
+        return [self._nodes[nid] for nid in sorted(frontier)]
+
+    def _descendants(self, node: HierarchyNode) -> Iterator[HierarchyNode]:
+        stack = list(node.children.values())
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(current.children.values())
+
+    @staticmethod
+    def _label_matches(node_label: str, pattern_label: str) -> bool:
+        if pattern_label == "*":
+            return True
+        return node_label.lower() == pattern_label.lower()
+
+    # ------------------------------------------------------------------
+    # materialisation (closure table of Section 6.2.1)
+    # ------------------------------------------------------------------
+    def to_closure_table(self) -> ClosureTable:
+        """Export the merged hierarchy as a closure table."""
+        closure = ClosureTable()
+        # Insert in id order, which is also topological (parents first).
+        for node in self._nodes:
+            if node is self._dummy:
+                closure.add_node(node.node_id, node.label, None)
+            else:
+                parent_id = node.parent.node_id if node.parent else None
+                closure.add_node(node.node_id, node.label, parent_id)
+        return closure
+
+    def to_table(self, database: Database, table_name: str):
+        """Materialise the closure table into the storage engine."""
+        return self.to_closure_table().to_table(database, table_name)
+
+
+def parse_label_index() -> HierarchyIndex:
+    """A hierarchy index keyed on dependency parse labels (the PL index)."""
+    return HierarchyIndex(label_of=lambda token: token.label, name="PL")
+
+
+def pos_tag_index() -> HierarchyIndex:
+    """A hierarchy index keyed on POS tags (the POS index)."""
+    return HierarchyIndex(label_of=lambda token: token.pos, name="POS")

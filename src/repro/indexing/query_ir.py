@@ -1,0 +1,115 @@
+"""A minimal structural-query IR shared by the index implementations.
+
+The index-comparison experiments (Figures 7 and 8) run *tree-pattern
+queries* — sets of root-anchored label paths over dependency trees — against
+four different index designs.  To keep the baseline indexes independent of
+the KOKO query language, the benchmark queries are expressed in this tiny
+intermediate representation; the KOKO front end lowers its own path
+expressions to the same IR before calling the DPLI module.
+
+A :class:`TreeStep` is one path step: an axis (``/`` child or ``//``
+descendant), a label, and the annotation layer the label refers to
+(``label`` = parse label, ``pos`` = POS tag, ``word`` = surface token,
+``any`` = wildcard).  A :class:`TreePatternQuery` is a set of absolute
+root-anchored paths (tree patterns are normalised into their absolute
+paths, exactly as KOKO's query normalisation does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CHILD = "/"
+DESCENDANT = "//"
+
+KIND_PARSE_LABEL = "label"
+KIND_POS = "pos"
+KIND_WORD = "word"
+KIND_ANY = "any"
+
+_VALID_KINDS = {KIND_PARSE_LABEL, KIND_POS, KIND_WORD, KIND_ANY}
+_VALID_AXES = {CHILD, DESCENDANT}
+
+
+@dataclass(frozen=True)
+class TreeStep:
+    """One step of a path: axis, label text, and the annotation layer."""
+
+    axis: str
+    label: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.axis not in _VALID_AXES:
+            raise ValueError(f"invalid axis {self.axis!r}")
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"invalid step kind {self.kind!r}")
+
+    def matches_token(self, token) -> bool:
+        """Does this step's label match *token* on the right annotation layer?"""
+        if self.kind == KIND_ANY:
+            return True
+        if self.kind == KIND_PARSE_LABEL:
+            return token.label.lower() == self.label.lower()
+        if self.kind == KIND_POS:
+            return token.pos.lower() == self.label.lower()
+        return token.text.lower() == self.label.lower()
+
+    def render(self) -> str:
+        label = f'"{self.label}"' if self.kind == KIND_WORD else self.label
+        return f"{self.axis}{label}"
+
+
+@dataclass(frozen=True)
+class TreePath:
+    """A root-anchored sequence of steps."""
+
+    steps: tuple[TreeStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def render(self) -> str:
+        return "".join(step.render() for step in self.steps)
+
+    def labels_of_kind(self, kind: str) -> list[str]:
+        return [step.label for step in self.steps if step.kind == kind]
+
+    def has_wildcard(self) -> bool:
+        return any(step.kind == KIND_ANY for step in self.steps)
+
+    def has_descendant_axis(self) -> bool:
+        return any(step.axis == DESCENDANT for step in self.steps)
+
+
+@dataclass
+class TreePatternQuery:
+    """A tree-pattern query: one or more absolute paths plus a readable name."""
+
+    name: str
+    paths: list[TreePath] = field(default_factory=list)
+
+    def render(self) -> str:
+        return " AND ".join(path.render() for path in self.paths)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(len(path) for path in self.paths)
+
+    def uses_words(self) -> bool:
+        return any(
+            step.kind == KIND_WORD for path in self.paths for step in path.steps
+        )
+
+    def uses_wildcards(self) -> bool:
+        return any(path.has_wildcard() for path in self.paths)
+
+
+def step(axis: str, label: str, kind: str) -> TreeStep:
+    """Convenience constructor used by the benchmark generators and tests."""
+    return TreeStep(axis=axis, label=label, kind=kind)
+
+
+def path(*steps_: TreeStep) -> TreePath:
+    """Convenience constructor for a :class:`TreePath`."""
+    return TreePath(steps=tuple(steps_))

@@ -1,0 +1,90 @@
+"""The word inverted index (Section 3.1).
+
+Maps every word (lower-cased) to the posting list of its occurrences.  The
+index also records, for each occurrence, the hierarchy-index node ids of the
+token in the PL and POS indexes (``plid`` / ``posid``) — the extra columns
+of the ``W`` relation in Section 6.2.1 that let the engine join inverted and
+hierarchy indexes without touching the dependency trees again.
+"""
+
+from __future__ import annotations
+
+from ..nlp.types import Corpus, Sentence
+from ..storage.database import Database
+from ..storage.table import Schema
+from .postings import Posting, posting_for_token
+
+
+class WordIndex:
+    """Inverted index from word to posting list."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, list[Posting]] = {}
+        self._node_ids: dict[tuple[int, int], tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_sentence(self, sentence: Sentence) -> None:
+        """Index every token of *sentence*."""
+        for token in sentence:
+            posting = posting_for_token(sentence, token.index)
+            self._postings.setdefault(token.text.lower(), []).append(posting)
+
+    def add_corpus(self, corpus: Corpus) -> None:
+        for _, sentence in corpus.all_sentences():
+            self.add_sentence(sentence)
+
+    def set_node_ids(self, sid: int, tid: int, plid: int, posid: int) -> None:
+        """Record the hierarchy-index node ids for one token occurrence."""
+        self._node_ids[(sid, tid)] = (plid, posid)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def lookup(self, word: str) -> list[Posting]:
+        """Posting list of *word* (case-insensitive; empty if unseen)."""
+        return list(self._postings.get(word.lower(), ()))
+
+    def node_ids(self, sid: int, tid: int) -> tuple[int, int] | None:
+        """The (plid, posid) recorded for a token occurrence, if any."""
+        return self._node_ids.get((sid, tid))
+
+    def vocabulary(self) -> list[str]:
+        return sorted(self._postings)
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._postings
+
+    def __len__(self) -> int:
+        """Total number of postings."""
+        return sum(len(p) for p in self._postings.values())
+
+    # ------------------------------------------------------------------
+    # materialisation (the W relation of Section 6.2.1)
+    # ------------------------------------------------------------------
+    W_SCHEMA = Schema.of("word", "x", "y", "u", "v", "d", "plid", "posid")
+
+    def to_table(self, database: Database, table_name: str = "W"):
+        """Materialise the index into *database* with the paper's W schema."""
+        if database.has_table(table_name):
+            database.drop_table(table_name)
+        table = database.create_table(table_name, self.W_SCHEMA)
+        for word, postings in self._postings.items():
+            for posting in postings:
+                plid, posid = self._node_ids.get((posting.sid, posting.tid), (-1, -1))
+                table.insert(
+                    (
+                        word,
+                        posting.sid,
+                        posting.tid,
+                        posting.left,
+                        posting.right,
+                        posting.depth,
+                        plid,
+                        posid,
+                    )
+                )
+        table.create_index("by_word", "word")
+        table.create_index("by_sentence", "x")
+        return table

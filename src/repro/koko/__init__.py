@@ -1,0 +1,88 @@
+"""The KOKO query language and evaluation engine (the paper's contribution)."""
+
+from .aggregate import AggregationOutcome, EvidenceAggregator
+from .ast import (
+    AdjacencyCondition,
+    Declaration,
+    DescriptorCondition,
+    Elastic,
+    EntityBinding,
+    ExcludingClause,
+    InDictCondition,
+    KokoQuery,
+    NearCondition,
+    OutputVar,
+    PathExpr,
+    PathStep,
+    SatisfyingClause,
+    SimilarToCondition,
+    SpanExpr,
+    StepCondition,
+    StrCondition,
+    SubtreeRef,
+    TokenSeq,
+    VarConstraint,
+    VarRef,
+    WeightedCondition,
+)
+from .conditions import ConditionScorer, EvidenceResources, Occurrence, find_occurrences
+from .dpli import DpliResult, run_dpli
+from .engine import KokoEngine
+from .evaluator import Assignment, Binding, SentenceEvaluator
+from .gsp import SkipPlan, estimate_cost, generate_skip_plan
+from .normalize import HorizontalCondition, NormalizedQuery, normalize
+from .parser import Parser, parse_query
+from .paths import dominant_paths, is_dominated, label_kind, to_tree_path
+from .results import ExtractionTuple, KokoResult, StageTimings
+
+__all__ = [
+    "AdjacencyCondition",
+    "AggregationOutcome",
+    "Assignment",
+    "Binding",
+    "ConditionScorer",
+    "Declaration",
+    "DescriptorCondition",
+    "DpliResult",
+    "Elastic",
+    "EntityBinding",
+    "EvidenceAggregator",
+    "EvidenceResources",
+    "ExcludingClause",
+    "ExtractionTuple",
+    "HorizontalCondition",
+    "InDictCondition",
+    "KokoEngine",
+    "KokoQuery",
+    "KokoResult",
+    "NearCondition",
+    "NormalizedQuery",
+    "Occurrence",
+    "OutputVar",
+    "Parser",
+    "PathExpr",
+    "PathStep",
+    "SatisfyingClause",
+    "SentenceEvaluator",
+    "SimilarToCondition",
+    "SkipPlan",
+    "SpanExpr",
+    "StageTimings",
+    "StepCondition",
+    "StrCondition",
+    "SubtreeRef",
+    "TokenSeq",
+    "VarConstraint",
+    "VarRef",
+    "WeightedCondition",
+    "dominant_paths",
+    "estimate_cost",
+    "find_occurrences",
+    "generate_skip_plan",
+    "is_dominated",
+    "label_kind",
+    "normalize",
+    "parse_query",
+    "run_dpli",
+    "to_tree_path",
+]

@@ -1,0 +1,96 @@
+"""Evidence aggregation over the document (Section 4.4).
+
+For every output variable with a ``satisfying`` clause, the score of a
+candidate value ``e`` is the weighted sum of the per-condition confidences::
+
+    score(e) = w1 * m1(e) + ... + wn * mn(e)
+
+computed over the *whole document* (so that partial evidence from different
+sentences accumulates).  A candidate survives when every satisfying clause
+of its variables reaches its threshold, and the excluding clause does not
+fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..nlp.types import Document
+from .ast import ExcludingClause, SatisfyingClause
+from .conditions import ConditionScorer, Occurrence, find_occurrences
+
+
+@dataclass
+class AggregationOutcome:
+    """The result of scoring one candidate value for one variable."""
+
+    value: str
+    score: float
+    threshold: float
+    passed: bool
+    condition_scores: list[float] = field(default_factory=list)
+
+
+class EvidenceAggregator:
+    """Scores candidate values against satisfying and excluding clauses."""
+
+    def __init__(self, scorer: ConditionScorer) -> None:
+        self.scorer = scorer
+        # (doc_id, value) -> occurrences, so that documents with many
+        # candidate tuples do not re-scan for the same value repeatedly
+        self._occurrence_cache: dict[tuple[str, str], list[Occurrence]] = {}
+
+    # ------------------------------------------------------------------
+    # occurrences
+    # ------------------------------------------------------------------
+    def occurrences(self, document: Document, value: str) -> list[Occurrence]:
+        key = (document.doc_id, value.lower())
+        cached = self._occurrence_cache.get(key)
+        if cached is None:
+            cached = find_occurrences(document, value)
+            self._occurrence_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # satisfying
+    # ------------------------------------------------------------------
+    def evaluate_clause(
+        self,
+        clause: SatisfyingClause,
+        value: str,
+        document: Document,
+        threshold_override: float | None = None,
+    ) -> AggregationOutcome:
+        """Aggregate the clause's weighted conditions for *value* over *document*."""
+        occurrences = self.occurrences(document, value)
+        condition_scores: list[float] = []
+        total = 0.0
+        for weighted in clause.conditions:
+            confidence = self.scorer.score(
+                weighted.condition, value, occurrences, document
+            )
+            condition_scores.append(confidence)
+            total += weighted.weight * confidence
+        threshold = clause.threshold if threshold_override is None else threshold_override
+        return AggregationOutcome(
+            value=value,
+            score=total,
+            threshold=threshold,
+            passed=total >= threshold,
+            condition_scores=condition_scores,
+        )
+
+    # ------------------------------------------------------------------
+    # excluding
+    # ------------------------------------------------------------------
+    def is_excluded(
+        self, clause: ExcludingClause | None, value: str, document: Document
+    ) -> bool:
+        """True when any excluding condition holds for *value* in *document*."""
+        if clause is None:
+            return False
+        occurrences = self.occurrences(document, value)
+        return any(
+            self.scorer.is_true(condition, value, occurrences, document)
+            for condition in clause.conditions
+        )

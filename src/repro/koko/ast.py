@@ -1,0 +1,292 @@
+"""Abstract syntax of the KOKO query language (Section 2).
+
+A query has the shape::
+
+    extract <output tuple> from <source> if
+        ( <variable declarations, conditions, and constraints> )
+    [satisfying <output variable>
+        <weighted conditions>
+     with threshold a]
+    [excluding <conditions>]
+
+The AST mirrors that structure.  Parsing produces these nodes; the
+normaliser (``normalize.py``) rewrites path expressions to absolute form and
+derives the structural constraints; the evaluator consumes the normalised
+query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ----------------------------------------------------------------------
+# path expressions (node terms)
+# ----------------------------------------------------------------------
+CHILD_AXIS = "/"
+DESCENDANT_AXIS = "//"
+
+
+@dataclass(frozen=True)
+class StepCondition:
+    """A ``[...]`` condition on one path step, e.g. ``[@pos="noun"]``.
+
+    ``attribute`` is one of ``"pos"``, ``"etype"``, ``"text"`` or ``"regex"``.
+    """
+
+    attribute: str
+    value: str
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One step of a path: axis, label, and optional step conditions.
+
+    The label may be a parse label, a POS tag, a quoted word
+    (``is_word=True``), a wildcard ``*`` or a reference to a previously
+    defined node variable (resolved during normalisation).
+    """
+
+    axis: str
+    label: str
+    is_word: bool = False
+    conditions: tuple[StepCondition, ...] = ()
+
+    def render(self) -> str:
+        label = f'"{self.label}"' if self.is_word else self.label
+        conds = ""
+        if self.conditions:
+            rendered = ", ".join(f"@{c.attribute}={c.value!r}" for c in self.conditions)
+            conds = f"[{rendered}]"
+        return f"{self.axis}{label}{conds}"
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """A node term: an optional base variable followed by path steps.
+
+    ``//verb`` has no base; ``a/dobj`` has base variable ``a``.
+    """
+
+    steps: tuple[PathStep, ...]
+    base_var: str | None = None
+
+    def render(self) -> str:
+        prefix = self.base_var or ""
+        return prefix + "".join(step.render() for step in self.steps)
+
+
+# ----------------------------------------------------------------------
+# span expressions (span terms)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VarRef:
+    """A reference to a previously defined variable inside a span term."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SubtreeRef:
+    """``x.subtree`` — the span covering the subtree of node variable x."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class TokenSeq:
+    """A literal sequence of tokens, e.g. ``"a cafe"``."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class Elastic:
+    """The elastic span ``^`` (the paper's wedge): zero or more tokens.
+
+    Optional constraints: an entity-type requirement, a regular expression
+    over the covered text, and minimum / maximum token counts.
+    """
+
+    etype: str | None = None
+    regex: str | None = None
+    min_tokens: int = 0
+    max_tokens: int | None = None
+
+
+@dataclass(frozen=True)
+class EntityBinding:
+    """A declaration that binds a variable to entity mentions of a type.
+
+    ``a = Entity`` makes *a* range over all entity mentions; ``a = Person``
+    over person mentions only.
+    """
+
+    etype: str
+
+
+SpanAtom = Union[PathExpr, VarRef, SubtreeRef, TokenSeq, Elastic]
+
+
+@dataclass(frozen=True)
+class SpanExpr:
+    """A span term: the concatenation ``atom1 + atom2 + ... + atomK``."""
+
+    atoms: tuple[SpanAtom, ...]
+
+
+# ----------------------------------------------------------------------
+# declarations and constraints in the extract clause
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Declaration:
+    """``name = expression`` inside the ``/ROOT:{...}`` block."""
+
+    name: str
+    expr: PathExpr | SpanExpr | EntityBinding
+
+
+@dataclass(frozen=True)
+class VarConstraint:
+    """A constraint between two variables stated outside the block.
+
+    ``op`` is one of ``"in"``, ``"eq"``, and (after normalisation)
+    ``"parentOf"``, ``"ancestorOf"``, ``"leftOf"``.
+    """
+
+    left: str
+    op: str
+    right: str
+
+
+@dataclass(frozen=True)
+class OutputVar:
+    """One component of the output tuple: ``name:Type``."""
+
+    name: str
+    otype: str
+
+    @property
+    def is_entity_typed(self) -> bool:
+        return self.otype.lower() not in {"str", "string"}
+
+
+# ----------------------------------------------------------------------
+# satisfying-clause conditions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StrCondition:
+    """``str(x) contains/mentions/matches "..."`` — boolean, corpus-free."""
+
+    var: str
+    op: str  # "contains" | "mentions" | "matches"
+    value: str
+
+
+@dataclass(frozen=True)
+class AdjacencyCondition:
+    """``x "string"`` (followed by) or ``"string" x`` (preceded by)."""
+
+    var: str
+    text: str
+    side: str  # "after" (x "...") | "before" ("..." x)
+
+
+@dataclass(frozen=True)
+class NearCondition:
+    """``x near "string"`` — score 1 / (1 + distance)."""
+
+    var: str
+    text: str
+
+
+@dataclass(frozen=True)
+class DescriptorCondition:
+    """``x [[descriptor]]`` or ``[[descriptor]] x`` — non-boolean evidence."""
+
+    var: str
+    descriptor: str
+    side: str  # "after" | "before"
+
+
+@dataclass(frozen=True)
+class SimilarToCondition:
+    """``x similarTo "word"`` — semantic similarity of x itself to a concept."""
+
+    var: str
+    concept: str
+
+
+@dataclass(frozen=True)
+class InDictCondition:
+    """``str(x) in dict("Location")`` — membership in a named dictionary."""
+
+    var: str
+    dictionary: str
+
+
+SatisfyingConditionBody = Union[
+    StrCondition,
+    AdjacencyCondition,
+    NearCondition,
+    DescriptorCondition,
+    SimilarToCondition,
+    InDictCondition,
+]
+
+
+@dataclass(frozen=True)
+class WeightedCondition:
+    """One disjunct of a satisfying clause: a condition with a weight."""
+
+    condition: SatisfyingConditionBody
+    weight: float
+
+
+@dataclass
+class SatisfyingClause:
+    """``satisfying <var> (...) or (...) with threshold a``."""
+
+    variable: str
+    conditions: list[WeightedCondition] = field(default_factory=list)
+    threshold: float = 0.0
+
+
+@dataclass
+class ExcludingClause:
+    """``excluding (...) or (...)`` — unweighted filter conditions."""
+
+    conditions: list[SatisfyingConditionBody] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# the query
+# ----------------------------------------------------------------------
+@dataclass
+class KokoQuery:
+    """A parsed KOKO query."""
+
+    outputs: list[OutputVar] = field(default_factory=list)
+    source: str = ""
+    declarations: list[Declaration] = field(default_factory=list)
+    constraints: list[VarConstraint] = field(default_factory=list)
+    satisfying: list[SatisfyingClause] = field(default_factory=list)
+    excluding: ExcludingClause | None = None
+
+    def output_names(self) -> list[str]:
+        return [out.name for out in self.outputs]
+
+    def declared_names(self) -> list[str]:
+        return [decl.name for decl in self.declarations]
+
+    def declaration(self, name: str) -> Declaration | None:
+        for decl in self.declarations:
+            if decl.name == name:
+                return decl
+        return None
+
+    def satisfying_for(self, variable: str) -> SatisfyingClause | None:
+        for clause in self.satisfying:
+            if clause.variable == variable:
+                return clause
+        return None

@@ -1,0 +1,264 @@
+"""Evaluation of satisfying / excluding clause conditions (Section 4.4.1).
+
+Each condition maps a candidate value (the string extracted for an output
+variable, together with its mention occurrences inside one document) to a
+confidence ``m_i(e)``:
+
+* boolean conditions (``contains``, ``mentions``, ``matches``, adjacency,
+  dictionary membership) yield 0 or 1,
+* ``near`` yields ``1 / (1 + distance)``,
+* descriptor conditions ``x [[d]]`` expand the descriptor, decompose each
+  sentence into canonical clauses, and aggregate the matches,
+* ``similarTo`` yields the semantic similarity between the candidate and a
+  concept word.
+
+The aggregation over a whole satisfying clause (the weighted sum and the
+threshold test) lives in ``aggregate.py``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..embeddings.expansion import DescriptorExpander
+from ..embeddings.vectors import VectorStore
+from ..nlp.clauses import ClauseSegmenter
+from ..nlp.types import Document, Sentence
+from .ast import (
+    AdjacencyCondition,
+    DescriptorCondition,
+    InDictCondition,
+    NearCondition,
+    SatisfyingConditionBody,
+    SimilarToCondition,
+    StrCondition,
+)
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One mention of the candidate value: sentence plus inclusive token span."""
+
+    sentence: Sentence
+    start: int
+    end: int
+
+
+@dataclass
+class EvidenceResources:
+    """Shared resources needed to score conditions."""
+
+    expander: DescriptorExpander
+    vectors: VectorStore | None = None
+    segmenter: ClauseSegmenter = field(default_factory=ClauseSegmenter)
+    dictionaries: dict[str, set[str]] = field(default_factory=dict)
+
+    def dictionary(self, name: str) -> set[str]:
+        return self.dictionaries.get(name.lower(), set())
+
+
+class ConditionScorer:
+    """Scores one candidate value against satisfying/excluding conditions."""
+
+    def __init__(self, resources: EvidenceResources) -> None:
+        self.resources = resources
+        self._expansion_cache: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def score(
+        self,
+        condition: SatisfyingConditionBody,
+        value: str,
+        occurrences: list[Occurrence],
+        document: Document,
+    ) -> float:
+        """The confidence m_i(value) of *condition* over *document*."""
+        if isinstance(condition, StrCondition):
+            return self._score_str(condition, value)
+        if isinstance(condition, InDictCondition):
+            return 1.0 if value.lower() in self.resources.dictionary(condition.dictionary) else 0.0
+        if isinstance(condition, AdjacencyCondition):
+            return self._score_adjacency(condition, occurrences)
+        if isinstance(condition, NearCondition):
+            return self._score_near(condition, occurrences)
+        if isinstance(condition, DescriptorCondition):
+            return self._score_descriptor(condition, occurrences)
+        if isinstance(condition, SimilarToCondition):
+            return self._score_similar_to(condition, value)
+        return 0.0
+
+    def is_true(
+        self,
+        condition: SatisfyingConditionBody,
+        value: str,
+        occurrences: list[Occurrence],
+        document: Document,
+    ) -> bool:
+        """Boolean view used by the excluding clause (score > 0 counts as true)."""
+        return self.score(condition, value, occurrences, document) > 0.0
+
+    # ------------------------------------------------------------------
+    # boolean string conditions
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _score_str(condition: StrCondition, value: str) -> float:
+        if condition.op == "contains":
+            # "contains" is word-level containment: the string "chocolate ice
+            # cream" contains "ice" but not "choc" (Section 4.4.1)
+            words = value.lower().split()
+            needle_words = condition.value.lower().split()
+            if not needle_words:
+                return 0.0
+            for start in range(0, len(words) - len(needle_words) + 1):
+                if words[start : start + len(needle_words)] == needle_words:
+                    return 1.0
+            return 0.0
+        if condition.op == "mentions":
+            return 1.0 if condition.value.lower() in value.lower() else 0.0
+        if condition.op == "matches":
+            return 1.0 if re.search(condition.value, value) is not None else 0.0
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # adjacency: x "string" / "string" x
+    # ------------------------------------------------------------------
+    def _score_adjacency(
+        self, condition: AdjacencyCondition, occurrences: list[Occurrence]
+    ) -> float:
+        needle = [w.lower() for w in _tokenize_literal(condition.text)]
+        if not needle:
+            return 0.0
+        for occ in occurrences:
+            tokens = [tok.text.lower() for tok in occ.sentence]
+            if condition.side == "after":
+                start = occ.end + 1
+                if tokens[start : start + len(needle)] == needle:
+                    return 1.0
+            else:
+                start = occ.start - len(needle)
+                if start >= 0 and tokens[start : occ.start] == needle:
+                    return 1.0
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # near: 1 / (1 + distance)
+    # ------------------------------------------------------------------
+    def _score_near(self, condition: NearCondition, occurrences: list[Occurrence]) -> float:
+        needle = [w.lower() for w in _tokenize_literal(condition.text)]
+        if not needle:
+            return 0.0
+        best = 0.0
+        for occ in occurrences:
+            tokens = [tok.text.lower() for tok in occ.sentence]
+            for start in range(0, len(tokens) - len(needle) + 1):
+                if tokens[start : start + len(needle)] != needle:
+                    continue
+                if start > occ.end:
+                    distance = start - occ.end - 1
+                elif start + len(needle) - 1 < occ.start:
+                    distance = occ.start - (start + len(needle) - 1) - 1
+                else:
+                    distance = 0
+                best = max(best, 1.0 / (1.0 + distance))
+        return best
+
+    # ------------------------------------------------------------------
+    # descriptors: x [[d]] / [[d]] x
+    # ------------------------------------------------------------------
+    def _score_descriptor(
+        self, condition: DescriptorCondition, occurrences: list[Occurrence]
+    ) -> float:
+        expansions = self._expansion_cache.get(condition.descriptor)
+        if expansions is None:
+            expansions = self.resources.expander.expand(condition.descriptor)
+            self._expansion_cache[condition.descriptor] = expansions
+        total = 0.0
+        seen_sids: set[int] = set()
+        for occ in occurrences:
+            if occ.sentence.sid in seen_sids:
+                continue
+            seen_sids.add(occ.sentence.sid)
+            total += self._descriptor_sentence_confidence(condition, expansions, occ)
+        return total
+
+    def _descriptor_sentence_confidence(
+        self, condition: DescriptorCondition, expansions, occ: Occurrence
+    ) -> float:
+        """conf(x [[d]]) w.r.t. one sentence (Section 4.4.1(c))."""
+        clauses = self.resources.segmenter.segment(occ.sentence)
+        # restrict to the text on the required side of the candidate
+        best = 0.0
+        for expanded in expansions:
+            descriptor_words = [w.lower() for w in expanded.phrase.split()]
+            score = 0.0
+            for clause in clauses:
+                clause_tokens = [
+                    occ.sentence[t].text.lower() for t in clause.token_range()
+                ]
+                clause_lemmas = [
+                    occ.sentence[t].lemma for t in clause.token_range()
+                ]
+                if condition.side == "after" and clause.end < occ.start:
+                    continue
+                if condition.side == "before" and clause.start > occ.end:
+                    continue
+                if _occurs_in_order(descriptor_words, clause_tokens) or _occurs_in_order(
+                    descriptor_words, clause_lemmas
+                ):
+                    score += expanded.score * clause.weight
+            best = max(best, score)
+        return best
+
+    # ------------------------------------------------------------------
+    # similarTo
+    # ------------------------------------------------------------------
+    def _score_similar_to(self, condition: SimilarToCondition, value: str) -> float:
+        vectors = self.resources.vectors
+        head = value.split()[-1] if value.split() else value
+        if vectors is None:
+            # lexicon-only fall-back: exact or paraphrase match
+            lexicon = self.resources.expander.lexicon
+            if head.lower() == condition.concept.lower():
+                return 1.0
+            return 0.75 if lexicon.are_paraphrases(head, condition.concept) else 0.0
+        return max(0.0, vectors.similarity(head, condition.concept))
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _tokenize_literal(text: str) -> list[str]:
+    """Tokenise a literal the same way the pipeline tokenises sentences."""
+    return re.findall(r"[A-Za-z]+(?:['’][A-Za-z]+)*|\d+|[^\w\s]", text)
+
+
+def _occurs_in_order(words: list[str], tokens: list[str]) -> bool:
+    """True when *words* occur in *tokens* in order, gaps allowed (Section 4.4.1)."""
+    if not words:
+        return False
+    position = 0
+    for token in tokens:
+        if token == words[position]:
+            position += 1
+            if position == len(words):
+                return True
+    return False
+
+
+def find_occurrences(document: Document, value: str) -> list[Occurrence]:
+    """Every mention of *value* (as a token sequence) in *document*."""
+    needle = [w.lower() for w in _tokenize_literal(value)]
+    if not needle:
+        return []
+    occurrences: list[Occurrence] = []
+    for sentence in document:
+        tokens = [tok.text.lower() for tok in sentence]
+        for start in range(0, len(tokens) - len(needle) + 1):
+            if tokens[start : start + len(needle)] == needle:
+                occurrences.append(
+                    Occurrence(sentence=sentence, start=start, end=start + len(needle) - 1)
+                )
+    return occurrences

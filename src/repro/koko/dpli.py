@@ -1,0 +1,95 @@
+"""Decompose Paths and Lookup Indices — Algorithm 1 of the paper.
+
+Given a normalised query and the KOKO multi-index, DPLI produces candidate
+bindings for every variable:
+
+* entity-bound variables get the posting lists of the entity index,
+* path-bound variables get the postings of their **dominant** path, obtained
+  by decomposing that path into parse-label / POS-tag / word paths, looking
+  up the PL index, POS index and word index respectively, and joining the
+  results (Section 4.2.2),
+* span variables have no index-derived bindings; their candidates are
+  computed per sentence by the evaluator.
+
+The union of the sentence ids over all index-derived bindings is the
+candidate-sentence set the rest of the evaluation iterates over.  If any
+looked-up path has no match at all, the query provably has an empty answer
+("If this happens, the evaluation immediately ceases").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..indexing.decompose import lookup_decomposed
+from ..indexing.entity_index import EntityPosting
+from ..indexing.koko_index import KokoIndexSet
+from ..indexing.postings import Posting
+from .normalize import NormalizedQuery
+
+
+@dataclass
+class DpliResult:
+    """Candidate bindings per variable plus the candidate sentence set."""
+
+    #: path variable -> candidate postings (of its dominant path)
+    path_bindings: dict[str, list[Posting]] = field(default_factory=dict)
+    #: entity variable -> entity postings
+    entity_bindings: dict[str, list[EntityPosting]] = field(default_factory=dict)
+    #: sentences worth evaluating; None means "all sentences" (no pruning
+    #: possible, e.g. an empty extract clause)
+    candidate_sids: set[int] | None = None
+    #: True when an index lookup proves the query has no answers
+    provably_empty: bool = False
+
+    def bindings_count(self, variable: str, sid: int) -> int:
+        """|bindings[x][sid = s]| — the GSP cost estimate for one variable."""
+        if variable in self.path_bindings:
+            return sum(1 for p in self.path_bindings[variable] if p.sid == sid)
+        if variable in self.entity_bindings:
+            return sum(1 for p in self.entity_bindings[variable] if p.sid == sid)
+        return 0
+
+
+def run_dpli(normalized: NormalizedQuery, indexes: KokoIndexSet) -> DpliResult:
+    """Run Algorithm 1 against *indexes*."""
+    result = DpliResult()
+    sid_sets: list[set[int]] = []
+
+    # entity-bound variables: union of entity-index posting lists
+    for variable, etype in normalized.entity_vars.items():
+        postings = indexes.entity_index.lookup_type(etype)
+        result.entity_bindings[variable] = postings
+        sid_sets.append({p.sid for p in postings})
+
+    # dominant paths: decompose and look up
+    dominant_postings: dict[str, list[Posting]] = {}
+    for variable, path in normalized.dominant.items():
+        tree_path = normalized.tree_paths[variable]
+        postings = lookup_decomposed(indexes, tree_path)
+        dominant_postings[variable] = postings
+        if not postings:
+            result.provably_empty = True
+        sid_sets.append({p.sid for p in postings})
+
+    # every path variable is served by the bindings of its dominant path
+    for variable in normalized.absolute_paths:
+        dominant_var = normalized.dominant_for.get(variable, variable)
+        result.path_bindings[variable] = dominant_postings.get(
+            dominant_var, dominant_postings.get(variable, [])
+        )
+
+    if result.provably_empty:
+        result.candidate_sids = set()
+        return result
+
+    if sid_sets:
+        # Sentences must contain candidates for every index-supported
+        # variable; variables with no index support do not constrain the set.
+        candidate = sid_sets[0]
+        for sids in sid_sets[1:]:
+            candidate = candidate & sids
+        result.candidate_sids = candidate
+    else:
+        result.candidate_sids = None
+    return result

@@ -1,0 +1,140 @@
+"""Tokeniser for the KOKO query language.
+
+The surface language is small: identifiers, double-quoted strings, numbers,
+a handful of multi-character symbols (``//``, ``[[``, ``]]``) and
+single-character punctuation.  The wedge of the paper (the elastic span ∧)
+is written ``^`` in ASCII queries; the Unicode character is accepted too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import KokoSyntaxError
+
+# token types
+IDENT = "IDENT"
+STRING = "STRING"
+NUMBER = "NUMBER"
+SYMBOL = "SYMBOL"
+EOF = "EOF"
+
+# multi-character symbols, longest first
+_MULTI_SYMBOLS = ["[[", "]]", "//"]
+_SINGLE_SYMBOLS = set("(){}[],:=+/^.*~")
+
+# keywords are case-sensitive except the satisfying-clause operators, which
+# the paper writes in both spellings ("similarTo" / "SimilarTo")
+KEYWORDS = {
+    "extract", "from", "if", "satisfying", "with", "threshold", "excluding",
+    "in", "eq", "or", "and", "contains", "mentions", "matches", "near",
+    "similarto", "dict", "str",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: type, text, and character position."""
+
+    type: str
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type == IDENT and self.text.lower() == word.lower()
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.type == SYMBOL and self.text == symbol
+
+
+class Lexer:
+    """Convert a query string into a list of tokens."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text.replace("∧", "^").replace("“", '"').replace("”", '"')
+        self.position = 0
+
+    def tokens(self) -> list[Token]:
+        """Tokenise the entire input."""
+        out: list[Token] = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.type == EOF:
+                return out
+
+    # ------------------------------------------------------------------
+    # scanning
+    # ------------------------------------------------------------------
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self.position >= len(self.text):
+            return Token(EOF, "", self.position)
+        start = self.position
+        char = self.text[start]
+
+        if char == '"':
+            return self._string(start)
+        if char.isdigit() or (
+            char == "." and start + 1 < len(self.text) and self.text[start + 1].isdigit()
+        ):
+            return self._number(start)
+        for symbol in _MULTI_SYMBOLS:
+            if self.text.startswith(symbol, start):
+                self.position += len(symbol)
+                return Token(SYMBOL, symbol, start)
+        if char in _SINGLE_SYMBOLS:
+            self.position += 1
+            return Token(SYMBOL, char, start)
+        if char.isalpha() or char == "_" or char == "@":
+            return self._identifier(start)
+        raise KokoSyntaxError(f"unexpected character {char!r}", start)
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char.isspace():
+                self.position += 1
+            elif char == "#":
+                while self.position < len(self.text) and self.text[self.position] != "\n":
+                    self.position += 1
+            else:
+                return
+
+    def _string(self, start: int) -> Token:
+        self.position = start + 1
+        chars: list[str] = []
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char == "\\" and self.position + 1 < len(self.text):
+                chars.append(self.text[self.position + 1])
+                self.position += 2
+                continue
+            if char == '"':
+                self.position += 1
+                return Token(STRING, "".join(chars), start)
+            chars.append(char)
+            self.position += 1
+        raise KokoSyntaxError("unterminated string literal", start)
+
+    def _number(self, start: int) -> Token:
+        self.position = start
+        while self.position < len(self.text) and (
+            self.text[self.position].isdigit() or self.text[self.position] == "."
+        ):
+            self.position += 1
+        return Token(NUMBER, self.text[start : self.position], start)
+
+    def _identifier(self, start: int) -> Token:
+        self.position = start
+        while self.position < len(self.text) and (
+            self.text[self.position].isalnum()
+            or self.text[self.position] in {"_", "-", "@", "'", "é"}
+        ):
+            self.position += 1
+        return Token(IDENT, self.text[start : self.position], start)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper returning the token list of *text*."""
+    return Lexer(text).tokens()

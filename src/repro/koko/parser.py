@@ -1,0 +1,519 @@
+"""Recursive-descent parser for the KOKO query language.
+
+The grammar covers every construct used by the paper's examples and by the
+Appendix A queries:
+
+* the output tuple (``extract e:Entity, d:Str``),
+* the source (``from "input.txt"`` or ``from wiki.article``),
+* the ``if ( /ROOT:{ ... } (b) in (e) )`` extract clause with node-term and
+  span-term declarations, step conditions, elastic spans and constraints,
+* one ``satisfying`` clause per output variable, with weighted boolean,
+  proximity, descriptor and similarity conditions and a threshold,
+* the ``excluding`` clause.
+"""
+
+from __future__ import annotations
+
+from ..errors import KokoSemanticError, KokoSyntaxError
+from .ast import (
+    AdjacencyCondition,
+    CHILD_AXIS,
+    DESCENDANT_AXIS,
+    Declaration,
+    DescriptorCondition,
+    Elastic,
+    EntityBinding,
+    ExcludingClause,
+    InDictCondition,
+    KokoQuery,
+    NearCondition,
+    OutputVar,
+    PathExpr,
+    PathStep,
+    SatisfyingClause,
+    SimilarToCondition,
+    SpanExpr,
+    StepCondition,
+    StrCondition,
+    SubtreeRef,
+    TokenSeq,
+    VarConstraint,
+    VarRef,
+    WeightedCondition,
+)
+from .lexer import EOF, IDENT, NUMBER, STRING, SYMBOL, Token, tokenize
+
+# Entity types recognised in declarations such as ``a = Entity``.
+_ENTITY_TYPE_NAMES = {
+    "entity", "person", "gpe", "location", "organization", "org", "date",
+    "facility", "team", "event", "other",
+}
+
+
+class Parser:
+    """Parse one KOKO query string into a :class:`KokoQuery`."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._pos = 0
+        self._declared: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type != EOF:
+            self._pos += 1
+        return token
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._advance()
+        if not token.is_symbol(symbol):
+            raise KokoSyntaxError(
+                f"expected {symbol!r} but found {token.text!r}", token.position
+            )
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise KokoSyntaxError(
+                f"expected keyword {word!r} but found {token.text!r}", token.position
+            )
+        return token
+
+    def _expect_ident(self) -> Token:
+        token = self._advance()
+        if token.type != IDENT:
+            raise KokoSyntaxError(
+                f"expected an identifier but found {token.text!r}", token.position
+            )
+        return token
+
+    def _expect_number(self) -> float:
+        token = self._advance()
+        if token.type != NUMBER:
+            raise KokoSyntaxError(
+                f"expected a number but found {token.text!r}", token.position
+            )
+        return float(token.text)
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def parse(self) -> KokoQuery:
+        query = KokoQuery()
+        self._expect_keyword("extract")
+        query.outputs = self._parse_outputs()
+        # Output variables may be referenced inside span terms before any
+        # block declaration introduces them (e.g. "c = a + ^ + v" where a is
+        # an output variable), so they count as declared names.
+        self._declared.update(out.name for out in query.outputs)
+        self._expect_keyword("from")
+        query.source = self._parse_source()
+        self._expect_keyword("if")
+        self._parse_extract_clause(query)
+        while self._peek().is_keyword("satisfying"):
+            query.satisfying.append(self._parse_satisfying_clause(query))
+        if self._peek().is_keyword("excluding"):
+            query.excluding = self._parse_excluding_clause()
+        token = self._peek()
+        if token.type != EOF:
+            raise KokoSyntaxError(
+                f"unexpected trailing input starting at {token.text!r}", token.position
+            )
+        self._validate(query)
+        return query
+
+    # ------------------------------------------------------------------
+    # outputs and source
+    # ------------------------------------------------------------------
+    def _parse_outputs(self) -> list[OutputVar]:
+        outputs = [self._parse_output_var()]
+        while self._peek().is_symbol(","):
+            self._advance()
+            outputs.append(self._parse_output_var())
+        return outputs
+
+    def _parse_output_var(self) -> OutputVar:
+        name = self._expect_ident().text
+        self._expect_symbol(":")
+        otype = self._expect_ident().text
+        return OutputVar(name=name, otype=otype)
+
+    def _parse_source(self) -> str:
+        token = self._peek()
+        if token.type == STRING:
+            self._advance()
+            return token.text
+        # bare source such as wiki.article or input.txt
+        parts = [self._expect_ident().text]
+        while self._peek().is_symbol("."):
+            self._advance()
+            parts.append(self._expect_ident().text)
+        return ".".join(parts)
+
+    # ------------------------------------------------------------------
+    # the extract clause
+    # ------------------------------------------------------------------
+    def _parse_extract_clause(self, query: KokoQuery) -> None:
+        self._expect_symbol("(")
+        if self._peek().is_symbol(")"):
+            self._advance()
+            return
+        if self._peek().is_symbol("/"):
+            self._parse_root_block(query)
+        # constraints such as "(b) in (e)"
+        while self._peek().is_symbol("("):
+            query.constraints.append(self._parse_constraint())
+        self._expect_symbol(")")
+
+    def _parse_root_block(self, query: KokoQuery) -> None:
+        self._expect_symbol("/")
+        block_name = self._expect_ident().text
+        if block_name.upper() != "ROOT":
+            raise KokoSyntaxError(f"expected /ROOT block, found /{block_name}")
+        self._expect_symbol(":")
+        self._expect_symbol("{")
+        while True:
+            declaration = self._parse_declaration()
+            query.declarations.append(declaration)
+            self._declared.add(declaration.name)
+            if self._peek().is_symbol(","):
+                self._advance()
+                continue
+            break
+        self._expect_symbol("}")
+
+    def _parse_declaration(self) -> Declaration:
+        name = self._expect_ident().text
+        self._expect_symbol("=")
+        expr = self._parse_decl_expr()
+        return Declaration(name=name, expr=expr)
+
+    def _parse_decl_expr(self):
+        atoms = [self._parse_atom()]
+        while self._peek().is_symbol("+"):
+            self._advance()
+            atoms.append(self._parse_atom())
+        if len(atoms) == 1:
+            atom = atoms[0]
+            if isinstance(atom, (PathExpr, EntityBinding)):
+                return atom
+            return SpanExpr(atoms=(atom,))
+        return SpanExpr(atoms=tuple(atoms))
+
+    # ------------------------------------------------------------------
+    # atoms (path expressions, elastic spans, subtrees, literals)
+    # ------------------------------------------------------------------
+    def _parse_atom(self):
+        token = self._peek()
+        if token.is_symbol("("):
+            self._advance()
+            inner = self._parse_atom()
+            self._expect_symbol(")")
+            return inner
+        if token.is_symbol("^"):
+            return self._parse_elastic()
+        if token.type == STRING and not self._peek(1).is_symbol("/") and not self._peek(1).is_symbol("//"):
+            self._advance()
+            return TokenSeq(text=token.text)
+        if token.is_symbol("/") or token.is_symbol("//"):
+            return self._parse_path(base_var=None)
+        if token.type in (IDENT, STRING):
+            # possibilities: x.subtree | var reference | entity binding |
+            # base-var path (a/dobj) | bare label path (verb)
+            if token.type == IDENT and self._peek(1).is_symbol(".") and self._peek(2).is_keyword("subtree"):
+                self._advance()
+                self._advance()
+                self._advance()
+                return SubtreeRef(var=token.text)
+            if self._peek(1).is_symbol("/") or self._peek(1).is_symbol("//"):
+                self._advance()
+                return self._parse_path(base_var=token.text)
+            self._advance()
+            if token.type == IDENT and token.text in self._declared:
+                return VarRef(name=token.text)
+            if token.type == IDENT and token.text.lower() in _ENTITY_TYPE_NAMES:
+                return EntityBinding(etype=token.text)
+            # bare label: an implicit descendant-axis single-step path
+            is_word = token.type == STRING
+            conditions = self._parse_step_conditions()
+            return PathExpr(
+                steps=(
+                    PathStep(
+                        axis=DESCENDANT_AXIS,
+                        label=token.text,
+                        is_word=is_word,
+                        conditions=conditions,
+                    ),
+                ),
+            )
+        raise KokoSyntaxError(
+            f"cannot parse expression starting at {token.text!r}", token.position
+        )
+
+    def _parse_elastic(self) -> Elastic:
+        self._expect_symbol("^")
+        etype = None
+        regex = None
+        min_tokens = 0
+        max_tokens = None
+        if self._peek().is_symbol("["):
+            for condition in self._parse_step_conditions():
+                attribute = condition.attribute.lower()
+                if attribute == "etype":
+                    etype = condition.value
+                elif attribute == "regex":
+                    regex = condition.value
+                elif attribute in {"min", "mintokens"}:
+                    min_tokens = int(condition.value)
+                elif attribute in {"max", "maxtokens"}:
+                    max_tokens = int(condition.value)
+                else:
+                    raise KokoSemanticError(
+                        f"unsupported elastic-span condition @{condition.attribute}"
+                    )
+        return Elastic(etype=etype, regex=regex, min_tokens=min_tokens, max_tokens=max_tokens)
+
+    def _parse_path(self, base_var: str | None) -> PathExpr:
+        steps: list[PathStep] = []
+        while self._peek().is_symbol("/") or self._peek().is_symbol("//"):
+            axis_token = self._advance()
+            axis = DESCENDANT_AXIS if axis_token.text == "//" else CHILD_AXIS
+            label_token = self._advance()
+            if label_token.is_symbol("*"):
+                label, is_word = "*", False
+            elif label_token.type == STRING:
+                label, is_word = label_token.text, True
+            elif label_token.type == IDENT:
+                label, is_word = label_token.text, False
+            else:
+                raise KokoSyntaxError(
+                    f"expected a path label but found {label_token.text!r}",
+                    label_token.position,
+                )
+            conditions = self._parse_step_conditions()
+            steps.append(
+                PathStep(axis=axis, label=label, is_word=is_word, conditions=conditions)
+            )
+        if not steps:
+            token = self._peek()
+            raise KokoSyntaxError("empty path expression", token.position)
+        return PathExpr(steps=tuple(steps), base_var=base_var)
+
+    def _parse_step_conditions(self) -> tuple[StepCondition, ...]:
+        if not self._peek().is_symbol("["):
+            return ()
+        self._advance()
+        conditions: list[StepCondition] = []
+        while not self._peek().is_symbol("]"):
+            attribute_token = self._advance()
+            attribute = attribute_token.text.lstrip("@")
+            self._expect_symbol("=")
+            value_token = self._advance()
+            if value_token.type not in (STRING, IDENT, NUMBER):
+                raise KokoSyntaxError(
+                    f"expected a condition value, found {value_token.text!r}",
+                    value_token.position,
+                )
+            conditions.append(StepCondition(attribute=attribute.lower(), value=value_token.text))
+            if self._peek().is_symbol(","):
+                self._advance()
+        self._expect_symbol("]")
+        return tuple(conditions)
+
+    # ------------------------------------------------------------------
+    # constraints
+    # ------------------------------------------------------------------
+    def _parse_constraint(self) -> VarConstraint:
+        self._expect_symbol("(")
+        left = self._expect_ident().text
+        self._expect_symbol(")")
+        op_token = self._advance()
+        if op_token.type != IDENT or op_token.text.lower() not in {"in", "eq"}:
+            raise KokoSyntaxError(
+                f"expected 'in' or 'eq' but found {op_token.text!r}", op_token.position
+            )
+        self._expect_symbol("(")
+        right = self._expect_ident().text
+        self._expect_symbol(")")
+        return VarConstraint(left=left, op=op_token.text.lower(), right=right)
+
+    # ------------------------------------------------------------------
+    # satisfying clause
+    # ------------------------------------------------------------------
+    def _parse_satisfying_clause(self, query: KokoQuery) -> SatisfyingClause:
+        self._expect_keyword("satisfying")
+        variable = self._expect_ident().text
+        clause = SatisfyingClause(variable=variable)
+        clause.conditions.append(self._parse_weighted_condition())
+        while self._peek().is_keyword("or"):
+            self._advance()
+            clause.conditions.append(self._parse_weighted_condition())
+        if self._peek().is_keyword("with"):
+            self._advance()
+            self._expect_keyword("threshold")
+            clause.threshold = self._expect_number()
+        return clause
+
+    def _parse_weighted_condition(self) -> WeightedCondition:
+        self._expect_symbol("(")
+        body = self._parse_condition_body()
+        weight = 1.0
+        if self._peek().is_symbol("{"):
+            self._advance()
+            weight = self._expect_number()
+            self._expect_symbol("}")
+        self._expect_symbol(")")
+        return WeightedCondition(condition=body, weight=weight)
+
+    def _parse_excluding_clause(self) -> ExcludingClause:
+        self._expect_keyword("excluding")
+        clause = ExcludingClause()
+        clause.conditions.append(self._parse_unweighted_condition())
+        while self._peek().is_keyword("or"):
+            self._advance()
+            clause.conditions.append(self._parse_unweighted_condition())
+        return clause
+
+    def _parse_unweighted_condition(self):
+        self._expect_symbol("(")
+        body = self._parse_condition_body()
+        if self._peek().is_symbol("{"):
+            self._advance()
+            self._expect_number()
+            self._expect_symbol("}")
+        self._expect_symbol(")")
+        return body
+
+    # ------------------------------------------------------------------
+    # condition bodies
+    # ------------------------------------------------------------------
+    def _parse_condition_body(self):
+        token = self._peek()
+        # str(x) <op> ...
+        if token.is_keyword("str") and self._peek(1).is_symbol("("):
+            return self._parse_str_condition()
+        # "string" x   |   [[descriptor]] x
+        if token.type == STRING:
+            self._advance()
+            var = self._expect_ident().text
+            return AdjacencyCondition(var=var, text=token.text, side="before")
+        if token.is_symbol("[["):
+            descriptor = self._parse_descriptor_text()
+            var = self._expect_ident().text
+            return DescriptorCondition(var=var, descriptor=descriptor, side="before")
+        # x ...
+        var = self._expect_ident().text
+        nxt = self._peek()
+        if nxt.type == STRING:
+            self._advance()
+            return AdjacencyCondition(var=var, text=nxt.text, side="after")
+        if nxt.is_symbol("[["):
+            descriptor = self._parse_descriptor_text()
+            return DescriptorCondition(var=var, descriptor=descriptor, side="after")
+        if nxt.is_keyword("near"):
+            self._advance()
+            text_token = self._advance()
+            if text_token.type != STRING:
+                raise KokoSyntaxError("near expects a string", text_token.position)
+            return NearCondition(var=var, text=text_token.text)
+        if nxt.type == IDENT and nxt.text.lower() == "similarto":
+            self._advance()
+            concept_token = self._advance()
+            if concept_token.type != STRING:
+                raise KokoSyntaxError("similarTo expects a string", concept_token.position)
+            return SimilarToCondition(var=var, concept=concept_token.text)
+        if nxt.is_symbol("~"):
+            self._advance()
+            concept_token = self._advance()
+            if concept_token.type != STRING:
+                raise KokoSyntaxError("~ expects a string", concept_token.position)
+            return SimilarToCondition(var=var, concept=concept_token.text)
+        raise KokoSyntaxError(
+            f"cannot parse satisfying condition near {nxt.text!r}", nxt.position
+        )
+
+    def _parse_str_condition(self):
+        self._expect_keyword("str")
+        self._expect_symbol("(")
+        var = self._expect_ident().text
+        self._expect_symbol(")")
+        op_token = self._advance()
+        if op_token.is_symbol("~"):
+            concept_token = self._advance()
+            if concept_token.type != STRING:
+                raise KokoSyntaxError("~ expects a string", concept_token.position)
+            return SimilarToCondition(var=var, concept=concept_token.text)
+        if op_token.type == IDENT and op_token.text.lower() in {
+            "contains",
+            "mentions",
+            "matches",
+        }:
+            value_token = self._advance()
+            if value_token.type != STRING:
+                raise KokoSyntaxError(
+                    f"{op_token.text} expects a string", value_token.position
+                )
+            return StrCondition(var=var, op=op_token.text.lower(), value=value_token.text)
+        if op_token.is_keyword("in"):
+            self._expect_keyword("dict")
+            self._expect_symbol("(")
+            name_token = self._advance()
+            if name_token.type not in (STRING, IDENT):
+                raise KokoSyntaxError("dict() expects a name", name_token.position)
+            self._expect_symbol(")")
+            return InDictCondition(var=var, dictionary=name_token.text)
+        raise KokoSyntaxError(
+            f"unknown str() operator {op_token.text!r}", op_token.position
+        )
+
+    def _parse_descriptor_text(self) -> str:
+        self._expect_symbol("[[")
+        token = self._peek()
+        if token.type == STRING:
+            self._advance()
+            descriptor = token.text
+        else:
+            words = []
+            while not self._peek().is_symbol("]]"):
+                words.append(self._advance().text)
+            descriptor = " ".join(words)
+        self._expect_symbol("]]")
+        return descriptor
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self, query: KokoQuery) -> None:
+        declared = set(query.declared_names()) | set(query.output_names())
+        for constraint in query.constraints:
+            for name in (constraint.left, constraint.right):
+                if name not in declared:
+                    raise KokoSemanticError(
+                        f"constraint references undeclared variable {name!r}"
+                    )
+        for clause in query.satisfying:
+            if clause.variable not in declared:
+                raise KokoSemanticError(
+                    f"satisfying clause references undeclared variable "
+                    f"{clause.variable!r}"
+                )
+        seen: set[str] = set()
+        for declaration in query.declarations:
+            if declaration.name in seen:
+                raise KokoSemanticError(
+                    f"variable {declaration.name!r} is declared twice"
+                )
+            seen.add(declaration.name)
+
+
+def parse_query(text: str) -> KokoQuery:
+    """Parse *text* into a :class:`KokoQuery` (raises on syntax errors)."""
+    return Parser(text).parse()

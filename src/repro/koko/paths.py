@@ -1,0 +1,135 @@
+"""Path utilities: label-kind resolution, lowering to the tree-pattern IR,
+dominance between paths (Section 4.2.1).
+
+The parser does not know whether a step label such as ``verb`` names a POS
+tag or a parse label; that resolution happens here, against the tag
+inventories of the NLP substrate.  Normalised (absolute) path expressions
+are lowered to :class:`~repro.indexing.query_ir.TreePath` so the DPLI module
+and the index baselines share one representation.
+"""
+
+from __future__ import annotations
+
+from ..indexing.query_ir import (
+    CHILD,
+    DESCENDANT,
+    KIND_ANY,
+    KIND_PARSE_LABEL,
+    KIND_POS,
+    KIND_WORD,
+    TreePath,
+    TreeStep,
+)
+from ..nlp.types import PARSE_LABELS, UNIVERSAL_POS_TAGS
+from .ast import CHILD_AXIS, PathExpr, PathStep
+
+_POS_LOWER = {t.lower() for t in UNIVERSAL_POS_TAGS} | {"propn", "noun", "verb", "adj", "adv"}
+_LABEL_LOWER = {l.lower() for l in PARSE_LABELS}
+
+
+def label_kind(step: PathStep) -> str:
+    """Classify the label of *step*: word, wildcard, POS tag or parse label."""
+    if step.is_word:
+        return KIND_WORD
+    low = step.label.lower()
+    if low == "*":
+        return KIND_ANY
+    if low in _POS_LOWER:
+        return KIND_POS
+    if low in _LABEL_LOWER:
+        return KIND_PARSE_LABEL
+    # Unknown bare labels are treated as words (the paper allows tokens as
+    # path labels without quotes in some examples).
+    return KIND_WORD
+
+
+def to_tree_path(path: PathExpr) -> TreePath:
+    """Lower an *absolute* path expression to the tree-pattern IR.
+
+    Step conditions of the form ``[text="ate"]`` or ``[pos="noun"]`` are
+    folded into extra constraints by appending a same-node refinement: the
+    lowering keeps the primary label and ignores the conditions (they are
+    re-checked exactly by the evaluator), except that a ``text`` condition
+    on a non-word step is strengthened into a word step when possible, which
+    lets the word index prune more candidates.
+    """
+    steps: list[TreeStep] = []
+    for step in path.steps:
+        kind = label_kind(step)
+        label = step.label
+        text_condition = next(
+            (c.value for c in step.conditions if c.attribute == "text"), None
+        )
+        if kind != KIND_WORD and text_condition:
+            label, kind = text_condition, KIND_WORD
+        axis = CHILD if step.axis == CHILD_AXIS else DESCENDANT
+        steps.append(TreeStep(axis=axis, label=label, kind=kind))
+    return TreePath(steps=tuple(steps))
+
+
+def strip_conditions(path: PathExpr) -> tuple[tuple[str, str, bool], ...]:
+    """The path as a tuple of (axis, label, is_word), without conditions."""
+    return tuple((s.axis, s.label.lower(), s.is_word) for s in path.steps)
+
+
+def conditions_signature(path: PathExpr) -> tuple:
+    """Per-step condition sets, order-insensitive within a step."""
+    return tuple(
+        frozenset((c.attribute, c.value) for c in step.conditions)
+        for step in path.steps
+    )
+
+
+def is_dominated(p: PathExpr, q: PathExpr) -> bool:
+    """True when path *p* is dominated by path *q* (Section 4.2.1).
+
+    ``p`` is dominated by ``q`` iff (1) p without conditions is a proper or
+    improper prefix of q without conditions and p is not q itself, and
+    (2) every condition of a label in p is identical to the condition of the
+    corresponding label in q (modulo order).
+    """
+    p_bare, q_bare = strip_conditions(p), strip_conditions(q)
+    if len(p_bare) >= len(q_bare):
+        return False
+    if q_bare[: len(p_bare)] != p_bare:
+        return False
+    p_conditions = conditions_signature(p)
+    q_conditions = conditions_signature(q)
+    return all(
+        p_conditions[i] == q_conditions[i] for i in range(len(p_bare))
+    )
+
+
+def dominant_paths(paths: dict[str, PathExpr]) -> dict[str, PathExpr]:
+    """The subset of *paths* (var -> absolute path) that no other path dominates.
+
+    Returns a mapping from variable name to its path for every dominant
+    path.  Every dominated variable is served by (the bindings of) some
+    dominant path; :func:`dominant_of` finds which one.
+    """
+    result: dict[str, PathExpr] = {}
+    for name, path in paths.items():
+        dominated = any(
+            other_name != name and is_dominated(path, other)
+            for other_name, other in paths.items()
+        )
+        if not dominated:
+            result[name] = path
+    return result
+
+
+def dominant_of(name: str, paths: dict[str, PathExpr]) -> str:
+    """The variable whose dominant path serves variable *name*.
+
+    If *name*'s path is itself dominant, returns *name*; otherwise returns
+    the variable with the longest dominating path.
+    """
+    path = paths[name]
+    best_name = name
+    best_len = len(path.steps)
+    for other_name, other in paths.items():
+        if other_name == name:
+            continue
+        if is_dominated(path, other) and len(other.steps) > best_len:
+            best_name, best_len = other_name, len(other.steps)
+    return best_name

@@ -1,0 +1,98 @@
+"""Result containers returned by the KOKO engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ExtractionTuple:
+    """One output tuple: document id, per-variable values, per-variable scores."""
+
+    doc_id: str
+    sid: int
+    values: tuple[tuple[str, str], ...]
+    scores: tuple[tuple[str, float], ...] = ()
+
+    def value(self, variable: str) -> str:
+        for name, text in self.values:
+            if name == variable:
+                return text
+        raise KeyError(variable)
+
+    def score(self, variable: str) -> float | None:
+        for name, score in self.scores:
+            if name == variable:
+                return score
+        return None
+
+    def as_dict(self) -> dict[str, str]:
+        return dict(self.values)
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds per engine stage (the columns of Table 2)."""
+
+    normalize: float = 0.0
+    dpli: float = 0.0
+    load_articles: float = 0.0
+    gsp: float = 0.0
+    extract: float = 0.0
+    satisfying: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.normalize
+            + self.dpli
+            + self.load_articles
+            + self.gsp
+            + self.extract
+            + self.satisfying
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "Normalize": self.normalize,
+            "DPLI": self.dpli,
+            "LoadArticle": self.load_articles,
+            "GSP": self.gsp,
+            "extract": self.extract,
+            "satisfying": self.satisfying,
+        }
+
+
+@dataclass
+class KokoResult:
+    """The full result of executing one query."""
+
+    tuples: list[ExtractionTuple] = field(default_factory=list)
+    timings: StageTimings = field(default_factory=StageTimings)
+    candidate_sentences: int = 0
+    evaluated_sentences: int = 0
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def distinct_values(self, variable: str) -> set[str]:
+        """The distinct extracted strings for one output variable."""
+        return {t.value(variable) for t in self.tuples}
+
+    def values_by_document(self, variable: str) -> dict[str, set[str]]:
+        """doc_id -> distinct extracted strings for one output variable."""
+        out: dict[str, set[str]] = {}
+        for t in self.tuples:
+            out.setdefault(t.doc_id, set()).add(t.value(variable))
+        return out
+
+    @property
+    def selectivity(self) -> dict[str, int]:
+        """doc_id -> number of tuples extracted from that document."""
+        counts: dict[str, int] = {}
+        for t in self.tuples:
+            counts[t.doc_id] = counts.get(t.doc_id, 0) + 1
+        return counts

@@ -1,0 +1,49 @@
+"""NLP substrate: tokenisation, tagging, parsing, NER, clause segmentation.
+
+This subpackage replaces the spaCy / Google Cloud NL preprocessing used by
+the original KOKO prototype with a deterministic, dependency-free pipeline
+(see DESIGN.md, substitution table).
+"""
+
+from .clauses import CanonicalClause, ClauseSegmenter
+from .dependency import DependencyParser
+from .lemmatizer import Lemmatizer
+from .ner import EntityRecognizer
+from .pipeline import Pipeline
+from .pos import PosTagger
+from .tokenizer import Tokenizer, split_sentences, tokenize_words
+from .types import (
+    ENTITY_TYPES,
+    PARSE_LABELS,
+    UNIVERSAL_POS_TAGS,
+    Corpus,
+    Document,
+    EntityMention,
+    Sentence,
+    Span,
+    Token,
+    detokenize,
+)
+
+__all__ = [
+    "CanonicalClause",
+    "ClauseSegmenter",
+    "Corpus",
+    "DependencyParser",
+    "Document",
+    "ENTITY_TYPES",
+    "EntityMention",
+    "EntityRecognizer",
+    "Lemmatizer",
+    "PARSE_LABELS",
+    "Pipeline",
+    "PosTagger",
+    "Sentence",
+    "Span",
+    "Token",
+    "Tokenizer",
+    "UNIVERSAL_POS_TAGS",
+    "detokenize",
+    "split_sentences",
+    "tokenize_words",
+]

@@ -1,0 +1,495 @@
+"""Rule-based dependency parser.
+
+The parser builds a single rooted dependency tree per sentence using
+POS-driven attachment rules.  It emits the parse-label inventory the paper's
+examples use (``root``, ``nsubj``, ``dobj``, ``det``, ``amod``, ``nn``,
+``prep``, ``pobj``, ``advmod``, ``acomp``, ``rcmod``, ``conj``, ``cc``,
+``aux``, ``p`` ...).
+
+Accuracy expectations: the KOKO engine, its indexes, and every experiment in
+this repository treat the parser as a black-box annotation source.  What
+matters is that the trees are deterministic, rooted, and acyclic, and that
+linguistically regular constructions (subject-verb-object, noun compounds,
+prepositional phrases, relative clauses, copular adjectives) receive the
+labels the example queries in the paper look for.
+"""
+
+from __future__ import annotations
+
+from .lexicon import AUXILIARY_VERBS, NEGATIONS
+
+# Tags that may head a noun phrase.
+_NOMINAL = {"NOUN", "PROPN", "PRON", "NUM"}
+_RELATIVE_PRONOUNS = {"which", "that", "who", "whom", "whose"}
+
+
+class DependencyParser:
+    """Deterministic attachment-rule dependency parser.
+
+    The public entry point is :meth:`parse`, which takes the words and POS
+    tags of one sentence and returns ``(heads, labels)`` where ``heads[i]``
+    is the index of token *i*'s head (``-1`` for the root) and ``labels[i]``
+    is the parse label of the arc.
+    """
+
+    def parse(self, words: list[str], tags: list[str]) -> tuple[list[int], list[str]]:
+        n = len(words)
+        if n == 0:
+            return [], []
+        heads = [None] * n  # type: list[int | None]
+        labels = ["dep"] * n
+
+        root = self._find_root(words, tags)
+        heads[root] = -1
+        labels[root] = "root"
+
+        verbs = self._main_verbs(words, tags, root)
+        np_heads = self._attach_noun_phrases(words, tags, heads, labels)
+        self._attach_relative_clauses(words, tags, heads, labels, np_heads, verbs)
+        self._attach_aux_and_neg(words, tags, heads, labels, verbs, root)
+        self._attach_subjects_objects(words, tags, heads, labels, np_heads, verbs, root)
+        self._attach_prepositions(words, tags, heads, labels, np_heads, verbs, root)
+        self._attach_adverbs_adjectives(words, tags, heads, labels, verbs, root)
+        self._attach_conjunctions(words, tags, heads, labels, root)
+        self._attach_punctuation(tags, heads, labels, root)
+        self._attach_leftovers(heads, labels, root)
+        self._break_cycles(heads, labels, root)
+
+        return [h if h is not None else root for h in heads], labels
+
+    # ------------------------------------------------------------------
+    # root selection
+    # ------------------------------------------------------------------
+    def _find_root(self, words: list[str], tags: list[str]) -> int:
+        # Prefer the first non-auxiliary verb; then the first verb; then the
+        # first nominal; finally the first token.
+        first_main = None
+        for i, tag in enumerate(tags):
+            if tag == "VERB" and words[i].lower() not in AUXILIARY_VERBS:
+                first_main = i
+                break
+        first_any = None
+        for i, tag in enumerate(tags):
+            if tag == "VERB":
+                first_any = i
+                break
+        if first_main is not None:
+            # A copular main clause followed by a relative clause ("X is a
+            # type of Y that is prepared ...") roots at the copula, not at
+            # the verb inside the relative clause.
+            if (
+                first_any is not None
+                and first_any < first_main
+                and any(
+                    words[k].lower() in _RELATIVE_PRONOUNS
+                    for k in range(first_any + 1, first_main)
+                )
+            ):
+                return first_any
+            return first_main
+        if first_any is not None:
+            return first_any
+        for i, tag in enumerate(tags):
+            if tag in _NOMINAL:
+                return i
+        return 0
+
+    def _main_verbs(self, words: list[str], tags: list[str], root: int) -> list[int]:
+        verbs = [
+            i
+            for i, tag in enumerate(tags)
+            if tag == "VERB" and words[i].lower() not in AUXILIARY_VERBS
+        ]
+        if root not in verbs and tags[root] == "VERB":
+            verbs.append(root)
+            verbs.sort()
+        if not verbs:
+            verbs = [root]
+        return verbs
+
+    # ------------------------------------------------------------------
+    # noun phrases: determiners, adjectives, compounds
+    # ------------------------------------------------------------------
+    def _attach_noun_phrases(
+        self,
+        words: list[str],
+        tags: list[str],
+        heads: list[int | None],
+        labels: list[str],
+    ) -> list[int]:
+        """Attach NP-internal modifiers; return the NP head indexes."""
+        n = len(words)
+        np_heads: list[int] = []
+        i = 0
+        while i < n:
+            if tags[i] in {"DET", "ADJ", "NUM"} or tags[i] in {"NOUN", "PROPN"}:
+                start = i
+                j = i
+                while j < n and tags[j] in {"DET", "ADJ", "NUM", "NOUN", "PROPN"}:
+                    j += 1
+                # head of the phrase = rightmost NOUN/PROPN in the run
+                head = None
+                for k in range(j - 1, start - 1, -1):
+                    if tags[k] in {"NOUN", "PROPN"}:
+                        head = k
+                        break
+                if head is not None:
+                    for k in range(start, j):
+                        if k == head or heads[k] is not None:
+                            continue
+                        if tags[k] == "DET":
+                            heads[k], labels[k] = head, "det"
+                        elif tags[k] == "ADJ":
+                            heads[k], labels[k] = head, "amod"
+                        elif tags[k] == "NUM":
+                            heads[k], labels[k] = head, "num"
+                        elif tags[k] in {"NOUN", "PROPN"}:
+                            heads[k], labels[k] = head, "nn"
+                    np_heads.append(head)
+                i = j
+            else:
+                i += 1
+        # standalone pronouns also head (degenerate) noun phrases
+        for i, tag in enumerate(tags):
+            if tag == "PRON" and words[i].lower() not in _RELATIVE_PRONOUNS:
+                np_heads.append(i)
+        np_heads = sorted(set(np_heads))
+        return np_heads
+
+    # ------------------------------------------------------------------
+    # auxiliaries and negation
+    # ------------------------------------------------------------------
+    def _attach_aux_and_neg(
+        self,
+        words: list[str],
+        tags: list[str],
+        heads: list[int | None],
+        labels: list[str],
+        verbs: list[int],
+        root: int,
+    ) -> None:
+        n = len(words)
+        for i in range(n):
+            if heads[i] is not None or i == root:
+                continue
+            low = words[i].lower()
+            if tags[i] == "VERB" and low in AUXILIARY_VERBS:
+                target = self._next_in(verbs, after=i)
+                # An auxiliary only modifies a following main verb when the
+                # two are close and in the same clause (no comma between);
+                # otherwise the auxiliary is a copula heading its own clause
+                # and is left for the later attachment passes.
+                if (
+                    target is not None
+                    and target != i
+                    and target - i <= 4
+                    and not any(words[k] == "," for k in range(i + 1, target))
+                ):
+                    heads[i], labels[i] = target, "aux"
+            elif low in NEGATIONS and tags[i] in {"ADV", "PRT", "DET"}:
+                target = self._nearest_verb(verbs, i)
+                if target is not None and target != i:
+                    heads[i], labels[i] = target, "neg"
+
+    # ------------------------------------------------------------------
+    # relative clauses: "... cream , which was delicious"
+    # ------------------------------------------------------------------
+    def _attach_relative_clauses(
+        self,
+        words: list[str],
+        tags: list[str],
+        heads: list[int | None],
+        labels: list[str],
+        np_heads: list[int],
+        verbs: list[int],
+    ) -> None:
+        n = len(words)
+        for i in range(n):
+            if words[i].lower() not in _RELATIVE_PRONOUNS:
+                continue
+            if tags[i] not in {"PRON", "DET"}:
+                continue
+            antecedent = self._previous_in(np_heads, before=i)
+            clause_verb = self._next_verb_any(words, tags, after=i)
+            if antecedent is None or clause_verb is None:
+                continue
+            # The relative clause must start right after the antecedent noun
+            # phrase (allowing an intervening comma); otherwise the pronoun
+            # belongs to some later construction.
+            gap = [
+                words[k]
+                for k in range(antecedent + 1, i)
+                if tags[k] != "PUNCT"
+            ]
+            if gap:
+                continue
+            if heads[clause_verb] is None and labels[clause_verb] != "root":
+                heads[clause_verb], labels[clause_verb] = antecedent, "rcmod"
+            if heads[i] is None:
+                heads[i], labels[i] = clause_verb, "nsubj"
+
+    # ------------------------------------------------------------------
+    # subjects and objects
+    # ------------------------------------------------------------------
+    def _attach_subjects_objects(
+        self,
+        words: list[str],
+        tags: list[str],
+        heads: list[int | None],
+        labels: list[str],
+        np_heads: list[int],
+        verbs: list[int],
+        root: int,
+    ) -> None:
+        n = len(words)
+        used: set[int] = set()
+        for verb in verbs:
+            # subject: the nearest unattached NP head to the left of the verb
+            subject = None
+            for cand in reversed([h for h in np_heads if h < verb]):
+                if heads[cand] is None and cand not in used:
+                    subject = cand
+                    break
+            if subject is not None:
+                heads[subject], labels[subject] = verb, "nsubj"
+                used.add(subject)
+            # object: the nearest unattached NP head to the right of the verb
+            # that is not governed by a preposition
+            for cand in [h for h in np_heads if h > verb]:
+                if heads[cand] is not None or cand in used:
+                    continue
+                if self._has_preposition_before(words, tags, heads, cand, verb):
+                    continue
+                # a nominal right after a copular verb is an attribute
+                label = "dobj"
+                if words[verb].lower() in AUXILIARY_VERBS:
+                    label = "attr"
+                heads[cand], labels[cand] = verb, label
+                used.add(cand)
+                break
+
+    def _has_preposition_before(
+        self,
+        words: list[str],
+        tags: list[str],
+        heads: list[int | None],
+        np_head: int,
+        verb: int,
+    ) -> bool:
+        """True when an ADP occurs between *verb* and the start of the NP."""
+        start = np_head
+        while start > 0 and heads[start - 1] == np_head:
+            start -= 1
+        for k in range(verb + 1, start):
+            if tags[k] == "ADP":
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # prepositional phrases
+    # ------------------------------------------------------------------
+    def _attach_prepositions(
+        self,
+        words: list[str],
+        tags: list[str],
+        heads: list[int | None],
+        labels: list[str],
+        np_heads: list[int],
+        verbs: list[int],
+        root: int,
+    ) -> None:
+        n = len(words)
+        for i in range(n):
+            if tags[i] != "ADP" or heads[i] is not None or i == root:
+                continue
+            # attachment site: nearest verb or NP head to the left
+            site = None
+            for k in range(i - 1, -1, -1):
+                if k in verbs or (tags[k] in _NOMINAL and labels[k] not in {"det", "nn", "amod"}):
+                    site = k
+                    break
+                if tags[k] in _NOMINAL:
+                    site = k
+                    break
+            if site is None:
+                site = root
+            if site != i:
+                heads[i], labels[i] = site, "prep"
+            # its object: nearest unattached NP head to the right
+            for cand in [h for h in np_heads if h > i]:
+                if heads[cand] is None and cand != i:
+                    heads[cand], labels[cand] = i, "pobj"
+                    break
+
+    # ------------------------------------------------------------------
+    # adverbs and predicative adjectives
+    # ------------------------------------------------------------------
+    def _attach_adverbs_adjectives(
+        self,
+        words: list[str],
+        tags: list[str],
+        heads: list[int | None],
+        labels: list[str],
+        verbs: list[int],
+        root: int,
+    ) -> None:
+        n = len(words)
+        for i in range(n):
+            if heads[i] is not None or i == root:
+                continue
+            if tags[i] == "ADV":
+                target = self._nearest_verb(verbs, i)
+                if target is not None and target != i:
+                    heads[i], labels[i] = target, "advmod"
+            elif tags[i] == "ADJ":
+                # predicative adjective after a copula -> acomp; otherwise
+                # attach to the nearest verb as acomp too (e.g. "was delicious")
+                target = self._previous_verb_any(words, tags, before=i)
+                if target is None:
+                    target = self._nearest_verb(verbs, i)
+                if target is not None and target != i:
+                    heads[i], labels[i] = target, "acomp"
+            elif tags[i] == "PRT":
+                target = self._nearest_verb(verbs, i)
+                if target is not None and target != i:
+                    heads[i], labels[i] = target, "prt"
+
+    # ------------------------------------------------------------------
+    # coordination
+    # ------------------------------------------------------------------
+    def _attach_conjunctions(
+        self,
+        words: list[str],
+        tags: list[str],
+        heads: list[int | None],
+        labels: list[str],
+        root: int,
+    ) -> None:
+        n = len(words)
+        for i in range(n):
+            if tags[i] != "CONJ" or heads[i] is not None or i == root:
+                continue
+            # right conjunct: nearest unattached content word to the right
+            right = None
+            for k in range(i + 1, n):
+                if heads[k] is None and k != root and tags[k] in {
+                    "VERB",
+                    "NOUN",
+                    "PROPN",
+                    "ADJ",
+                }:
+                    right = k
+                    break
+            # left conjunct: prefer a token of the same broad category
+            # (verbs coordinate with verbs, nominals with nominals), falling
+            # back to the nearest content word and finally the root.
+            left = None
+            if right is not None:
+                group = self._category_group(tags[right])
+                # The root is the preferred left conjunct when it has the
+                # same category ("ate ... and also ate ..."), which keeps
+                # coordinated main clauses out of relative-clause subtrees.
+                if root < i and self._category_group(tags[root]) == group:
+                    left = root
+                else:
+                    for k in range(i - 1, -1, -1):
+                        if k != right and self._category_group(tags[k]) == group:
+                            left = k
+                            break
+            if left is None:
+                for k in range(i - 1, -1, -1):
+                    if tags[k] not in {"PUNCT", "CONJ"}:
+                        left = k
+                        break
+            if left is None:
+                left = root
+            if left != i:
+                heads[i], labels[i] = left, "cc"
+            if right is not None and right != left:
+                heads[right], labels[right] = left, "conj"
+
+    @staticmethod
+    def _category_group(tag: str) -> str:
+        if tag == "VERB":
+            return "verbal"
+        if tag in {"NOUN", "PROPN", "PRON", "NUM"}:
+            return "nominal"
+        if tag in {"ADJ", "ADV"}:
+            return "modifier"
+        return "other"
+
+    # ------------------------------------------------------------------
+    # punctuation and leftovers
+    # ------------------------------------------------------------------
+    def _attach_punctuation(
+        self,
+        tags: list[str],
+        heads: list[int | None],
+        labels: list[str],
+        root: int,
+    ) -> None:
+        for i, tag in enumerate(tags):
+            if tag == "PUNCT" and heads[i] is None and i != root:
+                heads[i], labels[i] = root, "p"
+
+    def _attach_leftovers(
+        self, heads: list[int | None], labels: list[str], root: int
+    ) -> None:
+        for i, head in enumerate(heads):
+            if head is None and i != root:
+                heads[i], labels[i] = root, "dep"
+
+    def _break_cycles(
+        self, heads: list[int | None], labels: list[str], root: int
+    ) -> None:
+        """Reattach to the root any token whose head chain never reaches the root."""
+        n = len(heads)
+        for i in range(n):
+            seen = set()
+            node = i
+            while node != root and heads[node] is not None and heads[node] != -1:
+                if node in seen:
+                    heads[i], labels[i] = root, "dep"
+                    break
+                seen.add(node)
+                node = heads[node]  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # small search helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _next_in(candidates: list[int], after: int) -> int | None:
+        for cand in candidates:
+            if cand > after:
+                return cand
+        return None
+
+    @staticmethod
+    def _previous_in(candidates: list[int], before: int) -> int | None:
+        previous = None
+        for cand in candidates:
+            if cand < before:
+                previous = cand
+            else:
+                break
+        return previous
+
+    @staticmethod
+    def _nearest_verb(verbs: list[int], index: int) -> int | None:
+        if not verbs:
+            return None
+        return min(verbs, key=lambda v: (abs(v - index), v))
+
+    @staticmethod
+    def _next_verb_any(words: list[str], tags: list[str], after: int) -> int | None:
+        for k in range(after + 1, len(words)):
+            if tags[k] == "VERB":
+                return k
+        return None
+
+    @staticmethod
+    def _previous_verb_any(words: list[str], tags: list[str], before: int) -> int | None:
+        for k in range(before - 1, -1, -1):
+            if tags[k] == "VERB":
+                return k
+        return None

@@ -1,0 +1,79 @@
+"""Light-weight lemmatiser.
+
+Descriptor matching, IKE patterns, and the NELL bootstrapper all compare
+words at the lemma level so that "serves" matches "serve" and "baristas"
+matches "barista".  This lemmatiser handles irregular verbs through a table
+and regular inflection through suffix stripping.
+"""
+
+from __future__ import annotations
+
+from .lexicon import IRREGULAR_VERB_LEMMAS
+
+
+class Lemmatizer:
+    """Rule-and-table lemmatiser for English inflection."""
+
+    def lemma(self, word: str, pos: str | None = None) -> str:
+        """Return the lemma of *word* given an optional Universal POS tag."""
+        low = word.lower()
+        if low in IRREGULAR_VERB_LEMMAS:
+            return IRREGULAR_VERB_LEMMAS[low]
+        if pos in (None, "VERB"):
+            candidate = self._strip_verb(low)
+            if candidate != low:
+                return candidate
+        if pos in (None, "NOUN", "PROPN"):
+            candidate = self._strip_noun(low)
+            if candidate != low:
+                return candidate
+        if pos == "ADJ":
+            candidate = self._strip_adjective(low)
+            if candidate != low:
+                return candidate
+        return low
+
+    # ------------------------------------------------------------------
+    # suffix stripping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _strip_verb(low: str) -> str:
+        if low.endswith("ies") and len(low) > 4:
+            return low[:-3] + "y"
+        if low.endswith("sses") or low.endswith("ches") or low.endswith("shes"):
+            return low[:-2]
+        if low.endswith("es") and len(low) > 4 and low[-3] in "sxz":
+            return low[:-2]
+        if low.endswith("s") and not low.endswith("ss") and len(low) > 3:
+            return low[:-1]
+        if low.endswith("ing") and len(low) > 5:
+            stem = low[:-3]
+            if len(stem) > 2 and stem[-1] == stem[-2]:
+                stem = stem[:-1]
+            return stem if len(stem) > 2 else low
+        if low.endswith("ied") and len(low) > 4:
+            return low[:-3] + "y"
+        if low.endswith("ed") and len(low) > 4:
+            stem = low[:-2]
+            if len(stem) > 2 and stem[-1] == stem[-2]:
+                stem = stem[:-1]
+            return stem if len(stem) > 2 else low
+        return low
+
+    @staticmethod
+    def _strip_noun(low: str) -> str:
+        if low.endswith("ies") and len(low) > 4:
+            return low[:-3] + "y"
+        if low.endswith(("ches", "shes", "sses", "xes", "zes")):
+            return low[:-2]
+        if low.endswith("s") and not low.endswith(("ss", "us", "is")) and len(low) > 3:
+            return low[:-1]
+        return low
+
+    @staticmethod
+    def _strip_adjective(low: str) -> str:
+        if low.endswith("est") and len(low) > 5:
+            return low[:-3]
+        if low.endswith("er") and len(low) > 4:
+            return low[:-2]
+        return low

@@ -1,0 +1,307 @@
+"""Lexical resources used by the deterministic NLP pipeline.
+
+The paper's KOKO prototype obtains its annotations from spaCy or the Google
+Cloud NL API.  Neither is available offline here, so the pipeline in this
+package is driven by explicit word lists and suffix rules.  This module holds
+those resources: closed-class word lists for POS tagging, verb/noun suffix
+heuristics, gazetteers used by the NER component, and a small set of
+irregular verb forms for lemmatisation.
+
+The lists are intentionally sized for the synthetic corpora shipped with the
+repository (see ``repro.corpora``) while remaining reasonable for arbitrary
+English text: unknown words fall back to suffix and capitalisation rules.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Closed-class words (exhaustive enough for the corpora in this repo)
+# ----------------------------------------------------------------------
+DETERMINERS = {
+    "a", "an", "the", "this", "that", "these", "those", "some", "any",
+    "each", "every", "no", "another", "such", "both", "either", "neither",
+    "which", "whose", "what",
+    # possessive determiners
+    "my", "your", "his", "her", "our", "their", "its",
+}
+
+PRONOUNS = {
+    "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us",
+    "them", "myself", "yourself", "himself", "herself", "itself",
+    "ourselves", "themselves", "who", "whom", "there", "mine", "yours",
+    "hers", "ours", "theirs", "someone", "something", "anyone", "anything",
+    "everyone", "everything", "nobody", "nothing",
+}
+
+ADPOSITIONS = {
+    "in", "on", "at", "by", "for", "with", "about", "against", "between",
+    "into", "through", "during", "before", "after", "above", "below", "to",
+    "from", "up", "down", "of", "off", "over", "under", "near", "since",
+    "until", "among", "within", "without", "along", "across", "behind",
+    "beyond", "around", "per", "like", "as", "than", "via", "inside",
+    "outside", "toward", "towards", "upon",
+}
+
+CONJUNCTIONS = {
+    "and", "or", "but", "nor", "so", "yet", "because", "although", "though",
+    "while", "whereas", "if", "unless", "when", "whenever", "where",
+    "wherever", "that", "whether",
+}
+
+AUXILIARY_VERBS = {
+    "is", "am", "are", "was", "were", "be", "been", "being",
+    "has", "have", "had", "having",
+    "do", "does", "did", "doing",
+    "will", "would", "shall", "should", "can", "could", "may", "might",
+    "must",
+}
+
+COMMON_ADVERBS = {
+    "so", "also", "very", "really", "quite", "too", "just", "now", "then", "here",
+    "there", "always", "never", "often", "sometimes", "usually", "recently",
+    "soon", "already", "still", "again", "almost", "only", "even", "well",
+    "not", "n't", "today", "yesterday", "tomorrow", "early", "late",
+    "together", "especially", "highly", "extremely", "finally", "currently",
+    "originally", "previously", "formerly",
+}
+
+PARTICLES = {"to", "'s", "not", "n't"}
+
+NEGATIONS = {"not", "n't", "never", "no"}
+
+COMMON_VERBS = {
+    "ate", "eat", "eats", "eating", "eaten",
+    "serve", "serves", "served", "serving",
+    "sell", "sells", "sold", "selling",
+    "open", "opens", "opened", "opening",
+    "visit", "visits", "visited", "visiting",
+    "love", "loves", "loved", "loving",
+    "like", "likes", "liked", "liking",
+    "make", "makes", "made", "making",
+    "brew", "brews", "brewed", "brewing",
+    "roast", "roasts", "roasted", "roasting",
+    "hire", "hires", "hired", "hiring",
+    "employ", "employs", "employed", "employing",
+    "win", "wins", "won", "winning",
+    "play", "plays", "played", "playing",
+    "host", "hosts", "hosted", "hosting",
+    "go", "goes", "went", "gone", "going",
+    "get", "gets", "got", "gotten", "getting",
+    "see", "sees", "saw", "seen", "seeing",
+    "say", "says", "said", "saying",
+    "call", "calls", "called", "calling",
+    "know", "knows", "knew", "known", "knowing",
+    "write", "writes", "wrote", "written", "writing",
+    "bear", "bears", "bore", "born", "borne",
+    "marry", "marries", "married", "marrying",
+    "found", "founded", "founds", "founding",
+    "locate", "located", "locates", "locating",
+    "move", "moved", "moves", "moving",
+    "live", "lived", "lives", "living",
+    "work", "worked", "works", "working",
+    "buy", "buys", "bought", "buying",
+    "bring", "brings", "brought", "bringing",
+    "feel", "feels", "felt", "feeling",
+    "take", "takes", "took", "taken", "taking",
+    "give", "gives", "gave", "given", "giving",
+    "enjoy", "enjoys", "enjoyed", "enjoying",
+    "prepare", "prepares", "prepared", "preparing",
+    "manufacture", "manufactures", "manufactured", "manufacturing",
+    "offer", "offers", "offered", "offering",
+    "feature", "features", "featured", "featuring",
+    "pour", "pours", "poured", "pouring",
+    "drink", "drinks", "drank", "drunk", "drinking",
+    "become", "becomes", "became", "becoming",
+    "begin", "begins", "began", "begun", "beginning",
+    "start", "starts", "started", "starting",
+    "announce", "announces", "announced", "announcing",
+    "launch", "launches", "launched", "launching",
+    "describe", "describes", "described", "describing",
+    "release", "releases", "released", "releasing",
+    "defeat", "defeats", "defeated", "defeating",
+    "beat", "beats", "beaten", "beating",
+    "score", "scores", "scored", "scoring",
+    "train", "trains", "trained", "training",
+    "compete", "competes", "competed", "competing",
+    "watch", "watches", "watched", "watching",
+    "finish", "finishes", "finished", "finishing",
+    "receive", "receives", "received", "receiving",
+    "graduate", "graduates", "graduated", "graduating",
+    "sleep", "sleeps", "slept", "sleeping",
+    "run", "runs", "ran", "running",
+}
+
+COMMON_ADJECTIVES = {
+    "delicious", "salty", "sweet", "bitter", "happy", "sad", "great", "good",
+    "bad", "best", "better", "worst", "new", "old", "young", "big", "small",
+    "large", "little", "long", "short", "tall", "hot", "cold", "warm",
+    "fresh", "local", "famous", "popular", "excellent", "amazing",
+    "wonderful", "beautiful", "friendly", "cozy", "tasty", "perfect",
+    "talented", "renowned", "award-winning", "specialty", "artisanal",
+    "locally-roasted", "single-origin", "upcoming", "bright", "airy",
+    "favorite", "favourite", "main", "former", "early", "late",
+    "professional", "national", "international", "public", "several",
+    "asian", "european", "american", "star", "grand", "central", "proud",
+    "excited", "glad", "grateful", "first", "second", "third", "last",
+    "next", "important", "major", "dark", "light", "single", "married",
+    "baking", "iced", "signature", "seasonal", "annual", "daily", "weekly",
+}
+
+COMMON_NOUNS = {
+    "cake", "cheese", "cheesecake", "cream", "ice", "pie", "peanut",
+    "peanuts", "food", "coffee", "espresso", "cappuccino", "macchiato",
+    "latte", "mocha", "americano", "tea", "barista", "baristas", "cafe",
+    "cafes", "shop", "shops", "store", "stores", "menu", "cup", "cups",
+    "roaster", "roasters", "bean", "beans", "grocery", "city", "cities",
+    "country", "countries", "capital", "team", "teams", "game", "games",
+    "match", "season", "league", "championship", "stadium", "arena", "park",
+    "gym", "airport", "station", "mall", "library", "school", "hospital",
+    "restaurant", "museum", "hotel", "theater", "theatre", "beach",
+    "player", "players", "coach", "fans", "fan", "goal", "goals", "score",
+    "moment", "moments", "day", "week", "month", "year", "years", "time",
+    "morning", "evening", "afternoon", "night", "birthday", "wedding",
+    "family", "friend", "friends", "wife", "husband", "daughter", "son",
+    "mother", "father", "brother", "sister", "dog", "cat", "baby", "job",
+    "work", "project", "promotion", "exam", "test", "dinner", "lunch",
+    "breakfast", "article", "articles", "blog", "post", "writer", "author",
+    "actor", "actress", "singer", "musician", "engineer", "scientist",
+    "professor", "director", "president", "minister", "mayor", "type",
+    "kind", "variety", "town", "village", "region", "district",
+    "neighborhood", "street", "avenue", "road", "corner", "machine",
+    "espresso", "pour-over", "press", "title", "name", "names", "people",
+    "person", "world", "history", "career", "life", "university", "college",
+    "company", "business", "owner", "owners", "location", "place", "places",
+    "chocolate", "vanilla", "caramel", "pastry", "pastries", "croissant",
+    "sandwich", "sandwiches", "cookie", "cookies", "brunch", "week",
+    "opening", "celebration", "festival", "competition", "champion",
+    "soccer", "football", "basketball", "baseball", "hockey", "tennis",
+    "victory", "win", "defeat", "crowd", "ticket", "tickets", "tonight",
+}
+
+# Month names for DATE recognition.
+MONTHS = {
+    "january", "february", "march", "april", "may", "june", "july",
+    "august", "september", "october", "november", "december",
+}
+
+# ----------------------------------------------------------------------
+# Suffix heuristics for open-class tagging of unknown words
+# ----------------------------------------------------------------------
+ADJ_SUFFIXES = ("ous", "ful", "ive", "able", "ible", "al", "ic", "ish", "less", "est")
+ADV_SUFFIXES = ("ly",)
+NOUN_SUFFIXES = (
+    "tion", "sion", "ment", "ness", "ity", "ship", "ance", "ence", "ery",
+    "ism", "ist", "er", "or", "age",
+)
+VERB_SUFFIXES = ("ize", "ise", "ify", "ate", "ing", "ed")
+
+# ----------------------------------------------------------------------
+# Irregular verb lemmas (inflected form -> lemma)
+# ----------------------------------------------------------------------
+IRREGULAR_VERB_LEMMAS = {
+    "ate": "eat", "eaten": "eat", "eats": "eat",
+    "was": "be", "were": "be", "is": "be", "are": "be", "am": "be",
+    "been": "be", "being": "be",
+    "went": "go", "gone": "go", "goes": "go",
+    "had": "have", "has": "have",
+    "did": "do", "does": "do", "done": "do",
+    "said": "say", "says": "say",
+    "made": "make", "makes": "make",
+    "got": "get", "gotten": "get", "gets": "get",
+    "saw": "see", "seen": "see", "sees": "see",
+    "took": "take", "taken": "take", "takes": "take",
+    "gave": "give", "given": "give", "gives": "give",
+    "bought": "buy", "buys": "buy",
+    "brought": "bring", "brings": "bring",
+    "felt": "feel", "feels": "feel",
+    "won": "win", "wins": "win",
+    "sold": "sell", "sells": "sell",
+    "wrote": "write", "written": "write", "writes": "write",
+    "knew": "know", "known": "know", "knows": "know",
+    "became": "become", "becomes": "become",
+    "began": "begin", "begun": "begin", "begins": "begin",
+    "bore": "bear", "born": "bear", "borne": "bear",
+    "drank": "drink", "drunk": "drink", "drinks": "drink",
+    "beaten": "beat", "beats": "beat",
+}
+
+# ----------------------------------------------------------------------
+# Gazetteers for named-entity recognition.  The corpora generators import
+# these same lists, which keeps gold annotations and NER consistent.
+# ----------------------------------------------------------------------
+GAZETTEER_GPE = {
+    "china", "japan", "france", "germany", "italy", "spain", "brazil",
+    "canada", "mexico", "india", "australia", "england", "portugal",
+    "beijing", "tokyo", "paris", "berlin", "rome", "madrid", "london",
+    "lisbon", "sydney", "toronto", "seattle", "portland", "chicago",
+    "boston", "austin", "denver", "oakland", "brooklyn", "manhattan",
+    "melbourne", "oslo", "vienna", "prague", "dublin", "amsterdam",
+    "barcelona", "milan", "kyoto", "osaka", "shanghai", "mumbai",
+    "san francisco", "new york", "los angeles", "united states",
+    "south korea", "seoul", "reykjavik", "copenhagen", "helsinki",
+    "stockholm", "zurich", "geneva", "brussels", "lyon", "marseille",
+}
+
+GAZETTEER_PERSON_FIRST = {
+    "anna", "john", "mary", "james", "linda", "robert", "patricia",
+    "michael", "jennifer", "william", "elizabeth", "david", "barbara",
+    "richard", "susan", "joseph", "jessica", "thomas", "sarah", "charles",
+    "karen", "daniel", "nancy", "matthew", "lisa", "anthony", "betty",
+    "mark", "sandra", "donald", "ashley", "steven", "emily", "paul",
+    "donna", "andrew", "michelle", "joshua", "carol", "kenneth", "amanda",
+    "kevin", "melissa", "brian", "deborah", "george", "stephanie",
+    "edward", "rebecca", "ronald", "laura", "timothy", "helen", "jason",
+    "sharon", "jeffrey", "cynthia", "ryan", "kathleen", "jacob", "amy",
+    "gary", "angela", "nicholas", "shirley", "eric", "brenda", "cyd",
+    "alys", "vera", "hidekazu", "alon", "wang", "sofia", "marco", "elena",
+    "hiro", "yuki", "ines", "pedro", "lucas", "clara", "felix", "nora",
+}
+
+GAZETTEER_PERSON_LAST = {
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "charisse", "thomas", "tanaka", "sato", "suzuki",
+    "kobayashi", "watanabe", "silva", "santos", "costa", "rossi", "ferrari",
+    "bianchi", "moreau", "dubois", "lefevre", "novak", "kowalski",
+}
+
+GAZETTEER_ORG_SUFFIX = {
+    "inc", "inc.", "corp", "corp.", "ltd", "ltd.", "llc", "co", "co.",
+    "company", "corporation", "university", "institute", "college",
+    "laboratories", "labs", "magazine", "press", "times", "united", "fc",
+}
+
+# Facility-indicating head nouns (used by NER to type capitalised spans).
+FACILITY_HEAD_NOUNS = {
+    "stadium", "arena", "park", "gym", "airport", "station", "mall",
+    "library", "museum", "center", "centre", "hall", "field", "court",
+    "garden", "gardens", "plaza", "bridge", "tower", "square",
+}
+
+TEAM_HEAD_NOUNS = {
+    "united", "city", "rovers", "wanderers", "athletic", "fc", "sc",
+    "tigers", "lions", "eagles", "hawks", "bears", "wolves", "sharks",
+    "dragons", "giants", "royals", "rangers", "warriors", "knights",
+    "falcons", "panthers", "bulls", "raptors", "comets", "stars",
+}
+
+CAFE_NAME_KEYWORDS = {
+    "cafe", "café", "coffee", "roasters", "roastery", "espresso", "brew",
+    "beans", "grind", "press", "cup", "kettle", "bakery",
+}
+
+
+def looks_like_number(word: str) -> bool:
+    """True for digit strings, decimals, ordinals and four-digit years."""
+    stripped = word.replace(",", "").replace(".", "")
+    if stripped.isdigit():
+        return True
+    lowered = word.lower()
+    if lowered.endswith(("st", "nd", "rd", "th")) and lowered[:-2].isdigit():
+        return True
+    return False

@@ -1,0 +1,185 @@
+"""Deterministic part-of-speech tagger over the Universal tagset.
+
+The tagger works in three passes:
+
+1. closed-class lookup (determiners, pronouns, adpositions, conjunctions,
+   auxiliaries, particles, punctuation, numbers),
+2. open-class lexicon lookup (common verbs / adjectives / adverbs / nouns),
+3. suffix and capitalisation heuristics for unknown words, with a light
+   contextual repair pass (e.g. a word after a determiner that was guessed
+   as VERB is re-tagged NOUN).
+
+It does not attempt to rival statistical taggers; it only needs to be
+consistent, fast, and produce the tag inventory KOKO queries reference
+(``verb``, ``noun``, ``propn``, ``adj`` ...).
+"""
+
+from __future__ import annotations
+
+from . import lexicon
+from .lexicon import (
+    ADJ_SUFFIXES,
+    ADPOSITIONS,
+    ADV_SUFFIXES,
+    AUXILIARY_VERBS,
+    COMMON_ADJECTIVES,
+    COMMON_ADVERBS,
+    COMMON_NOUNS,
+    COMMON_VERBS,
+    CONJUNCTIONS,
+    DETERMINERS,
+    MONTHS,
+    NOUN_SUFFIXES,
+    PARTICLES,
+    PRONOUNS,
+    VERB_SUFFIXES,
+    looks_like_number,
+)
+
+
+class PosTagger:
+    """Rule-based Universal-POS tagger.
+
+    Parameters
+    ----------
+    extra_nouns, extra_verbs, extra_adjectives:
+        Optional additional lexicon entries, used by tests and by corpora
+        that introduce domain words not in the built-in lists.
+    """
+
+    def __init__(
+        self,
+        extra_nouns: set[str] | None = None,
+        extra_verbs: set[str] | None = None,
+        extra_adjectives: set[str] | None = None,
+    ) -> None:
+        self._nouns = set(COMMON_NOUNS)
+        self._verbs = set(COMMON_VERBS)
+        self._adjectives = set(COMMON_ADJECTIVES)
+        if extra_nouns:
+            self._nouns |= {w.lower() for w in extra_nouns}
+        if extra_verbs:
+            self._verbs |= {w.lower() for w in extra_verbs}
+        if extra_adjectives:
+            self._adjectives |= {w.lower() for w in extra_adjectives}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def tag(self, words: list[str]) -> list[str]:
+        """Return one Universal POS tag per word in *words*."""
+        tags = [self._tag_word(word, position) for position, word in enumerate(words)]
+        self._contextual_repair(words, tags)
+        return tags
+
+    # ------------------------------------------------------------------
+    # per-word tagging
+    # ------------------------------------------------------------------
+    def _tag_word(self, word: str, position: int) -> str:
+        low = word.lower()
+
+        if not any(ch.isalnum() for ch in word):
+            return "PUNCT"
+        if looks_like_number(word):
+            return "NUM"
+        if word.startswith("@") or word.startswith("#"):
+            return "PROPN"
+
+        if low in DETERMINERS:
+            return "DET"
+        if low in PRONOUNS:
+            return "PRON"
+        if low in AUXILIARY_VERBS:
+            return "VERB"
+        if low in ADPOSITIONS:
+            return "ADP"
+        if low in CONJUNCTIONS:
+            return "CONJ"
+        if low in PARTICLES:
+            return "PRT"
+        if low in COMMON_ADVERBS:
+            return "ADV"
+        if low in MONTHS:
+            return "NOUN"
+
+        if low in self._verbs:
+            return "VERB"
+        if low in self._adjectives:
+            return "ADJ"
+        if low in self._nouns:
+            return "NOUN"
+
+        # Capitalised words that are not sentence-initial are proper nouns;
+        # sentence-initial capitalised unknown words are also treated as
+        # proper nouns unless a suffix rule says otherwise.
+        if word[0].isupper():
+            if position > 0:
+                return "PROPN"
+            if not self._suffix_tag(low):
+                return "PROPN"
+
+        suffix_tag = self._suffix_tag(low)
+        if suffix_tag:
+            return suffix_tag
+        return "NOUN"
+
+    def _suffix_tag(self, low: str) -> str | None:
+        if low.endswith(ADV_SUFFIXES) and len(low) > 4:
+            return "ADV"
+        if low.endswith(ADJ_SUFFIXES) and len(low) > 4:
+            return "ADJ"
+        if low.endswith(VERB_SUFFIXES) and len(low) > 4:
+            return "VERB"
+        if low.endswith(NOUN_SUFFIXES) and len(low) > 4:
+            return "NOUN"
+        return None
+
+    # ------------------------------------------------------------------
+    # contextual repair
+    # ------------------------------------------------------------------
+    def _contextual_repair(self, words: list[str], tags: list[str]) -> None:
+        """Fix common one-token mistakes using the neighbouring tags in place."""
+        n = len(words)
+        for i in range(n):
+            low = words[i].lower()
+            # sentence-initial gerund acting as a modifier ("Baking chocolate
+            # is ...") is an adjective, not the main verb
+            if (
+                i == 0
+                and tags[i] == "VERB"
+                and low.endswith("ing")
+                and n > 1
+                and tags[1] in {"NOUN", "PROPN"}
+            ):
+                tags[i] = "ADJ"
+            # determiner/adjective followed by a word guessed VERB -> NOUN
+            if (
+                tags[i] == "VERB"
+                and low not in AUXILIARY_VERBS
+                and low not in COMMON_VERBS
+                and i > 0
+                and tags[i - 1] in {"DET", "ADJ", "NUM"}
+            ):
+                tags[i] = "NOUN"
+            # "to" before a verb is a particle, before a noun an adposition
+            if low == "to":
+                if i + 1 < n and tags[i + 1] == "VERB":
+                    tags[i] = "PRT"
+                else:
+                    tags[i] = "ADP"
+            # "that"/"which" after a noun introduces a relative clause -> PRON
+            if low in {"that", "which", "who"} and i > 0 and tags[i - 1] in {
+                "NOUN",
+                "PROPN",
+            }:
+                tags[i] = "PRON"
+            # an ADJ directly followed by end of sentence after a copula stays ADJ;
+            # an unknown NOUN between an auxiliary and a noun is likely ADJ
+            if (
+                tags[i] == "NOUN"
+                and 0 < i < n - 1
+                and words[i - 1].lower() in AUXILIARY_VERBS
+                and tags[i + 1] in {"NOUN", "PROPN"}
+                and low.endswith(ADJ_SUFFIXES)
+            ):
+                tags[i] = "ADJ"

@@ -1,0 +1,116 @@
+"""Sentence splitting and word tokenisation.
+
+The tokenizer is deliberately rule based and deterministic: the same input
+always yields the same token sequence, which keeps index construction and
+query evaluation reproducible across runs (a property the experiments rely
+on when comparing index designs).
+"""
+
+from __future__ import annotations
+
+import re
+
+# Abbreviations that end with a period but do not terminate a sentence.
+_ABBREVIATIONS = {
+    "mr.", "mrs.", "ms.", "dr.", "prof.", "st.", "ave.", "av.", "jr.",
+    "sr.", "vs.", "etc.", "e.g.", "i.e.", "a.m.", "p.m.", "no.", "inc.",
+    "corp.", "ltd.", "co.", "u.s.", "u.k.",
+}
+
+# A token is: a word with optional internal hyphens/apostrophes, a number
+# (with optional decimal part), or a single punctuation character.
+_TOKEN_RE = re.compile(
+    r"""
+    [A-Za-z]+(?:[-'’][A-Za-z]+)*   # words, hyphenated words, contractions
+    | \d+(?:[.,]\d+)*              # numbers
+    | @\w+                         # @-handles (tweets)
+    | \#\w+                        # hashtags (tweets)
+    | [^\w\s]                      # any single punctuation mark
+    """,
+    re.VERBOSE,
+)
+
+_SENTENCE_END = {".", "!", "?"}
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Split *text* into word and punctuation tokens."""
+    return _TOKEN_RE.findall(text)
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split raw *text* into sentence strings.
+
+    Splitting happens on ``.``, ``!`` and ``?`` followed by whitespace and an
+    upper-case letter (or end of text), with an abbreviation guard, and on
+    blank lines.  The terminator stays attached to its sentence.
+    """
+    sentences: list[str] = []
+    for block in re.split(r"\n\s*\n", text):
+        block = block.strip()
+        if not block:
+            continue
+        sentences.extend(_split_block(block))
+    return sentences
+
+
+def _split_block(block: str) -> list[str]:
+    sentences: list[str] = []
+    start = 0
+    i = 0
+    length = len(block)
+    while i < length:
+        char = block[i]
+        if char in _SENTENCE_END:
+            # Look back for an abbreviation such as "Dr." or "p.m.".
+            tail = block[max(start, i - 6) : i + 1].lower()
+            is_abbrev = char == "." and any(
+                tail.endswith(abbr) for abbr in _ABBREVIATIONS
+            )
+            # A period inside a number ("3.5") does not end a sentence.
+            is_decimal = (
+                char == "."
+                and 0 < i < length - 1
+                and block[i - 1].isdigit()
+                and block[i + 1].isdigit()
+            )
+            next_non_space = _next_non_space(block, i + 1)
+            boundary_ok = next_non_space is None or (
+                block[next_non_space].isupper()
+                or block[next_non_space].isdigit()
+                or block[next_non_space] in "\"'("
+            )
+            if not is_abbrev and not is_decimal and boundary_ok:
+                sentence = block[start : i + 1].strip()
+                if sentence:
+                    sentences.append(sentence)
+                start = i + 1
+        i += 1
+    trailing = block[start:].strip()
+    if trailing:
+        sentences.append(trailing)
+    return sentences
+
+
+def _next_non_space(text: str, index: int) -> int | None:
+    while index < len(text):
+        if not text[index].isspace():
+            return index
+        index += 1
+    return None
+
+
+class Tokenizer:
+    """Object wrapper bundling sentence splitting and word tokenisation."""
+
+    def split_sentences(self, text: str) -> list[str]:
+        """Return the sentence strings of *text*."""
+        return split_sentences(text)
+
+    def tokenize(self, sentence: str) -> list[str]:
+        """Return the word tokens of a single *sentence*."""
+        return tokenize_words(sentence)
+
+    def tokenize_document(self, text: str) -> list[list[str]]:
+        """Split *text* into sentences and tokenise each one."""
+        return [self.tokenize(sent) for sent in self.split_sentences(text)]

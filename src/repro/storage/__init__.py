@@ -1,0 +1,20 @@
+"""Embedded relational storage substrate (the PostgreSQL stand-in).
+
+Provides typed tables, B-tree secondary indexes, closure tables for
+hierarchies, and a :class:`Database` container with persistence.
+"""
+
+from .btree import BTree
+from .closure import ClosureRow, ClosureTable
+from .database import Database
+from .table import Column, Schema, Table
+
+__all__ = [
+    "BTree",
+    "ClosureRow",
+    "ClosureTable",
+    "Column",
+    "Database",
+    "Schema",
+    "Table",
+]

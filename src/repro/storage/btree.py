@@ -1,0 +1,204 @@
+"""A classic in-memory B-tree supporting duplicate keys, point and range scans.
+
+The paper stores every index in PostgreSQL backed by B-tree indexes.  The
+embedded storage engine in this package mirrors that: every secondary index
+on a table is a :class:`BTree`.  Keys may be any totally ordered Python
+value (including tuples), and each key maps to a list of values so that
+duplicate keys — ubiquitous in posting lists — are supported natively.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+
+class _Node:
+    """A B-tree node; ``children`` is empty for leaves."""
+
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[list[Any]] = []
+        self.children: list[_Node] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """B-tree with configurable order (maximum number of children per node).
+
+    Parameters
+    ----------
+    order:
+        Maximum number of children of an internal node; must be at least 4.
+        The default of 64 keeps the tree shallow for the posting-list sizes
+        used in the experiments.
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 4:
+            raise ValueError("B-tree order must be >= 4")
+        self.order = order
+        self._root = _Node()
+        self._size = 0
+        self._key_count = 0
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of inserted (key, value) pairs."""
+        return self._size
+
+    @property
+    def key_count(self) -> int:
+        """Number of distinct keys."""
+        return self._key_count
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.get(key))
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert *value* under *key* (duplicates allowed)."""
+        root = self._root
+        if len(root.keys) >= self.order - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key, value)
+        self._size += 1
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
+        while True:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx].append(value)
+                return
+            if node.is_leaf:
+                node.keys.insert(idx, key)
+                node.values.insert(idx, [value])
+                self._key_count += 1
+                return
+            child = node.children[idx]
+            if len(child.keys) >= self.order - 1:
+                self._split_child(node, idx)
+                if key > node.keys[idx]:
+                    idx += 1
+                elif key == node.keys[idx]:
+                    node.values[idx].append(value)
+                    return
+            node = node.children[idx]
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        mid = len(child.keys) // 2
+        sibling = _Node()
+        sibling.keys = child.keys[mid + 1 :]
+        sibling.values = child.values[mid + 1 :]
+        if not child.is_leaf:
+            sibling.children = child.children[mid + 1 :]
+            child.children = child.children[: mid + 1]
+        parent.keys.insert(index, child.keys[mid])
+        parent.values.insert(index, child.values[mid])
+        parent.children.insert(index + 1, sibling)
+        child.keys = child.keys[:mid]
+        child.values = child.values[:mid]
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, key: Any) -> list[Any]:
+        """Return the list of values stored under *key* (empty if absent)."""
+        node = self._root
+        while True:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                return list(node.values[idx])
+            if node.is_leaf:
+                return []
+            node = node.children[idx]
+
+    def range(self, low: Any = None, high: Any = None) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with ``low <= key <= high`` in key order.
+
+        ``None`` bounds are open ended.
+        """
+        yield from self._range_node(self._root, low, high)
+
+    def _range_node(self, node: _Node, low: Any, high: Any) -> Iterator[tuple[Any, Any]]:
+        start = 0 if low is None else bisect.bisect_left(node.keys, low)
+        end = len(node.keys) if high is None else bisect.bisect_right(node.keys, high)
+        if node.is_leaf:
+            for i in range(start, end):
+                for value in node.values[i]:
+                    yield node.keys[i], value
+            return
+        for i in range(start, end + 1):
+            if i < len(node.children):
+                yield from self._range_node(node.children[i], low, high)
+            if i < end and i < len(node.keys):
+                for value in node.values[i]:
+                    yield node.keys[i], value
+
+    def prefix(self, key_prefix: tuple) -> Iterator[tuple[Any, Any]]:
+        """Yield pairs whose tuple key starts with *key_prefix*.
+
+        Only meaningful when all keys are tuples of the same arity.
+        """
+        for key, value in self.range(low=key_prefix):
+            if not isinstance(key, tuple) or key[: len(key_prefix)] != key_prefix:
+                break
+            yield key, value
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Yield every ``(key, value)`` pair in key order."""
+        yield from self.range()
+
+    def keys(self) -> Iterator[Any]:
+        """Yield every distinct key in order."""
+        previous = object()
+        for key, _ in self.range():
+            if key != previous:
+                yield key
+                previous = key
+
+    # ------------------------------------------------------------------
+    # size accounting (used by the index-size experiments)
+    # ------------------------------------------------------------------
+    def approximate_bytes(self) -> int:
+        """A deterministic estimate of the memory footprint of this tree."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += 64  # node overhead
+            for key in node.keys:
+                total += _sizeof(key)
+            for values in node.values:
+                total += 16 + sum(_sizeof(v) for v in values)
+            stack.extend(node.children)
+        return total
+
+
+def _sizeof(value: Any) -> int:
+    """Rough, platform-independent size estimate used for index accounting."""
+    if isinstance(value, str):
+        return 49 + len(value)
+    if isinstance(value, (int, float)):
+        return 28
+    if isinstance(value, tuple):
+        return 40 + sum(_sizeof(v) for v in value)
+    if isinstance(value, (list, set, frozenset)):
+        return 56 + sum(_sizeof(v) for v in value)
+    if value is None:
+        return 16
+    return 48

@@ -1,0 +1,105 @@
+"""The embedded database: a named collection of tables with persistence.
+
+This plays the role PostgreSQL plays in the paper's prototype — the place
+where parsed text and all index relations live — while keeping everything in
+process so the experiments measure index-design differences rather than
+client/server overhead.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Iterator
+
+from ..errors import StorageError
+from .table import Schema, Table
+
+
+class Database:
+    """A named collection of :class:`Table` objects."""
+
+    def __init__(self, name: str = "koko") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # table management
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create and register a new table; fails if the name is taken."""
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists in database {self.name!r}")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table (no error if absent)."""
+        self._tables.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        """Fetch a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise StorageError(
+                f"no table {name!r} in database {self.name!r}; "
+                f"available: {sorted(self._tables)}"
+            ) from exc
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def approximate_bytes(self) -> int:
+        """Estimated total footprint of every table and its indexes."""
+        return sum(table.approximate_bytes() for table in self._tables.values())
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Per-table row counts and byte estimates."""
+        return {
+            name: {"rows": len(table), "bytes": table.approximate_bytes()}
+            for name, table in self._tables.items()
+        }
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the database to *path* (pickle format)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Database":
+        """Load a database previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise StorageError(f"no database file at {path}")
+        with path.open("rb") as handle:
+            database = pickle.load(handle)
+        if not isinstance(database, cls):
+            raise StorageError(f"{path} does not contain a Database (got {type(database)})")
+        return database
+
+    def export_summary(self, path: str | Path) -> None:
+        """Write the :meth:`summary` as JSON (useful for experiment logs)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.summary(), handle, indent=2, sort_keys=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Database(name={self.name!r}, tables={sorted(self._tables)})"

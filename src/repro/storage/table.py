@@ -1,0 +1,207 @@
+"""Typed relational tables with secondary B-tree indexes.
+
+The KOKO prototype of the paper stores its posting lists and hierarchy
+indexes in PostgreSQL relations (``W``, ``E``, ``PL``, ``POS``, plus the
+baseline index relations).  :class:`Table` provides the same abstraction in
+process: a named schema, row storage, optional secondary indexes, equality
+and range selection, and size accounting for the index-size experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from ..errors import SchemaError, StorageError
+from .btree import BTree, _sizeof
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition: name plus an optional Python type for validation."""
+
+    name: str
+    dtype: type | None = None
+
+
+@dataclass
+class Schema:
+    """An ordered list of columns."""
+
+    columns: list[Column] = field(default_factory=list)
+
+    @classmethod
+    def of(cls, *names: str, types: dict[str, type] | None = None) -> "Schema":
+        """Build a schema from column names, e.g. ``Schema.of("word", "x", "y")``."""
+        types = types or {}
+        return cls([Column(name, types.get(name)) for name in names])
+
+    @property
+    def names(self) -> list[str]:
+        return [col.name for col in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def index_of(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise SchemaError(f"unknown column {name!r}; schema has {self.names}")
+
+    def validate(self, row: tuple) -> None:
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(row)} values but schema has {len(self.columns)} columns"
+            )
+        for value, col in zip(row, self.columns):
+            if col.dtype is not None and value is not None and not isinstance(value, col.dtype):
+                raise SchemaError(
+                    f"column {col.name!r} expects {col.dtype.__name__}, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+
+
+class Table:
+    """A heap of rows with named columns and optional secondary indexes.
+
+    Rows are plain tuples ordered as the schema; ``insert`` validates them.
+    Secondary indexes are B-trees mapping a column value (or a tuple of
+    column values for composite indexes) to row ids.
+    """
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+        self._rows: list[tuple] = []
+        self._indexes: dict[str, tuple[tuple[int, ...], BTree]] = {}
+
+    # ------------------------------------------------------------------
+    # rows
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def insert(self, row: tuple | list) -> int:
+        """Insert a row; returns its row id."""
+        row = tuple(row)
+        self.schema.validate(row)
+        rid = len(self._rows)
+        self._rows.append(row)
+        for positions, tree in self._indexes.values():
+            tree.insert(self._key_for(row, positions), rid)
+        return rid
+
+    def insert_many(self, rows: Iterable[tuple | list]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def row(self, rid: int) -> tuple:
+        """Fetch a row by row id."""
+        try:
+            return self._rows[rid]
+        except IndexError as exc:  # pragma: no cover - defensive
+            raise StorageError(f"row id {rid} out of range for table {self.name!r}") from exc
+
+    def column(self, name: str) -> list[Any]:
+        """All values of column *name*, in row order."""
+        pos = self.schema.index_of(name)
+        return [row[pos] for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def create_index(self, index_name: str, columns: list[str] | str, order: int = 64) -> None:
+        """Create a secondary B-tree index over *columns* (string or list)."""
+        if isinstance(columns, str):
+            columns = [columns]
+        if index_name in self._indexes:
+            raise StorageError(f"index {index_name!r} already exists on {self.name!r}")
+        positions = tuple(self.schema.index_of(col) for col in columns)
+        tree = BTree(order=order)
+        for rid, row in enumerate(self._rows):
+            tree.insert(self._key_for(row, positions), rid)
+        self._indexes[index_name] = (positions, tree)
+
+    def has_index(self, index_name: str) -> bool:
+        return index_name in self._indexes
+
+    @staticmethod
+    def _key_for(row: tuple, positions: tuple[int, ...]) -> Any:
+        if len(positions) == 1:
+            return row[positions[0]]
+        return tuple(row[p] for p in positions)
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def select(self, **equalities: Any) -> list[tuple]:
+        """Return rows matching all column=value equalities.
+
+        Uses a secondary index when one exists whose leading column is among
+        the equality columns; otherwise scans the heap.
+        """
+        if not equalities:
+            return list(self._rows)
+        for positions, tree in self._indexes.values():
+            lead = self.schema.columns[positions[0]].name
+            if lead in equalities:
+                # index scan on the leading column, then residual filter
+                rids = tree.get(equalities[lead]) if len(positions) == 1 else None
+                if rids is None:
+                    key = tuple(
+                        equalities.get(self.schema.columns[p].name) for p in positions
+                    )
+                    if None not in key:
+                        rids = tree.get(key)
+                if rids is not None:
+                    rows = [self._rows[rid] for rid in rids]
+                    return [row for row in rows if self._matches(row, equalities)]
+        return [row for row in self._rows if self._matches(row, equalities)]
+
+    def select_where(self, predicate: Callable[[tuple], bool]) -> list[tuple]:
+        """Full scan with an arbitrary row predicate."""
+        return [row for row in self._rows if predicate(row)]
+
+    def select_range(self, column: str, low: Any = None, high: Any = None) -> list[tuple]:
+        """Rows whose *column* value lies in ``[low, high]`` (inclusive)."""
+        pos = self.schema.index_of(column)
+        for positions, tree in self._indexes.values():
+            if positions == (pos,):
+                return [self._rows[rid] for _, rid in tree.range(low, high)]
+        result = []
+        for row in self._rows:
+            value = row[pos]
+            if (low is None or value >= low) and (high is None or value <= high):
+                result.append(row)
+        return result
+
+    def distinct(self, column: str) -> set[Any]:
+        """Set of distinct values of *column*."""
+        pos = self.schema.index_of(column)
+        return {row[pos] for row in self._rows}
+
+    def _matches(self, row: tuple, equalities: dict[str, Any]) -> bool:
+        for name, value in equalities.items():
+            if row[self.schema.index_of(name)] != value:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # size accounting
+    # ------------------------------------------------------------------
+    def approximate_bytes(self) -> int:
+        """Estimated footprint of the heap plus all secondary indexes."""
+        heap = sum(40 + sum(_sizeof(v) for v in row) for row in self._rows)
+        indexes = sum(tree.approximate_bytes() for _, tree in self._indexes.values())
+        return heap + indexes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Table(name={self.name!r}, rows={len(self._rows)}, indexes={list(self._indexes)})"

@@ -1,0 +1,199 @@
+"""Tests for the extraction baselines: CRF, IKE, NELL, Odin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.crf import AveragedPerceptronCrf, CrfEntityExtractor, TaggedSentence
+from repro.baselines.crf_features import sentence_features, token_features
+from repro.baselines.ike import IkeExtractor, IkePattern
+from repro.baselines.nell import NellBootstrapper
+from repro.baselines.odin import OdinMatcher, OdinRule
+from repro.indexing.query_ir import CHILD, DESCENDANT, KIND_PARSE_LABEL, KIND_POS, KIND_WORD, TreePath, TreeStep
+
+
+class TestCrfFeatures:
+    def test_core_features_present(self):
+        features = token_features(["Blue", "Bottle", "serves", "coffee"], 0)
+        assert "w=blue" in features
+        assert "w.istitle=True" in features
+        assert "BOS" in features
+        assert "w+1=bottle" in features
+        assert any(f.startswith("prefix3=") for f in features)
+        assert any(f.startswith("suffix3=") for f in features)
+
+    def test_digit_features(self):
+        features = token_features(["1900"], 0)
+        assert "w.all_digits=True" in features
+
+    def test_sentence_features_length(self):
+        tokens = ["a", "b", "c"]
+        assert len(sentence_features(tokens)) == 3
+
+
+class TestAveragedPerceptronCrf:
+    def _instances(self):
+        return [
+            TaggedSentence(["Velvet", "Fox", "serves", "coffee"], ["B-ENT", "I-ENT", "O", "O"]),
+            TaggedSentence(["Copper", "Owl", "serves", "espresso"], ["B-ENT", "I-ENT", "O", "O"]),
+            TaggedSentence(["people", "drink", "coffee"], ["O", "O", "O"]),
+        ] * 4
+
+    def test_learns_training_data(self):
+        crf = AveragedPerceptronCrf(epochs=5)
+        crf.train(self._instances())
+        assert crf.predict(["Velvet", "Fox", "serves", "coffee"])[:2] == ["B-ENT", "I-ENT"]
+
+    def test_generalises_to_similar_pattern(self):
+        crf = AveragedPerceptronCrf(epochs=5)
+        crf.train(self._instances())
+        predicted = crf.predict(["Silver", "Heron", "serves", "coffee"])
+        assert predicted[0] == "B-ENT"
+
+    def test_empty_sentence(self):
+        crf = AveragedPerceptronCrf()
+        crf.train(self._instances())
+        assert crf.predict([]) == []
+
+    def test_extractor_end_to_end(self, cafe_corpus):
+        extractor = CrfEntityExtractor(epochs=2)
+        doc_ids = [d.doc_id for d in cafe_corpus]
+        extractor.train(cafe_corpus, "cafe", set(doc_ids[: len(doc_ids) // 2]))
+        predictions = extractor.extract_all(cafe_corpus)
+        assert set(predictions) == set(doc_ids)
+
+    def test_bio_labelling_of_gold(self, cafe_corpus):
+        extractor = CrfEntityExtractor()
+        doc = cafe_corpus.documents[0]
+        instances = extractor.build_instances(cafe_corpus, "cafe", {doc.doc_id})
+        labels = {label for inst in instances for label in inst.labels}
+        assert "B-ENT" in labels
+
+
+class TestIke:
+    def test_pattern_after(self, pipeline):
+        doc = pipeline.annotate("The owners announced a new cafe called Velvet Fox Collective.", doc_id="d")
+        extractor = IkeExtractor([IkePattern(context="cafe called", np_side="after", window=3)])
+        assert "Velvet Fox Collective" in extractor.extract(doc)
+
+    def test_pattern_before(self, pipeline):
+        doc = pipeline.annotate("Velvet Fox Collective serves coffee from local farms.", doc_id="d")
+        extractor = IkeExtractor([IkePattern(context="serves coffee", np_side="before", window=10)])
+        assert "Velvet Fox Collective" in extractor.extract(doc)
+
+    def test_contiguity_requirement(self, pipeline):
+        """Gapped phrasings are invisible to IKE (unlike KOKO descriptors)."""
+        doc = pipeline.annotate("Velvet Fox Collective serves carefully sourced coffee.", doc_id="d")
+        extractor = IkeExtractor([IkePattern(context="serves coffee", np_side="before", window=10)])
+        assert extractor.extract(doc) == set()
+
+    def test_expansion_reaches_paraphrase(self, pipeline):
+        doc = pipeline.annotate("Velvet Fox Collective sells coffee to regulars.", doc_id="d")
+        extractor = IkeExtractor(
+            [IkePattern(context="serves coffee", np_side="before", window=10, expand_k=15)]
+        )
+        assert "Velvet Fox Collective" in extractor.extract(doc)
+
+    def test_sentence_locality(self, pipeline):
+        doc = pipeline.annotate(
+            "Velvet Fox Collective opened in May. The shop serves coffee.", doc_id="d"
+        )
+        extractor = IkeExtractor([IkePattern(context="serves coffee", np_side="before", window=10)])
+        # the cafe name is in another sentence, so IKE cannot link it
+        assert "Velvet Fox Collective" not in extractor.extract(doc)
+
+    def test_extract_all(self, cafe_corpus):
+        extractor = IkeExtractor([IkePattern(context="a cafe", np_side="before", window=4)])
+        results = extractor.extract_all(cafe_corpus)
+        assert set(results) == {d.doc_id for d in cafe_corpus}
+
+
+class TestNell:
+    def test_promotes_instances_with_shared_contexts(self, pipeline):
+        texts = {}
+        cafes = ["Alpha Cafe", "Beta Cafe", "Gamma Cafe", "Delta Cafe"]
+        for i, cafe in enumerate(cafes):
+            texts[f"d{i}"] = (
+                f"{cafe} opened in Portland last week. "
+                f"Locals love {cafe} because {cafe} serves coffee."
+            )
+        corpus = pipeline.annotate_corpus(texts, name="nell")
+        bootstrapper = NellBootstrapper(
+            seeds={"Alpha Cafe", "Beta Cafe"},
+            min_pattern_support=2,
+            min_instance_support=1,
+            iterations=3,
+        )
+        state = bootstrapper.run(corpus)
+        assert "gamma cafe" in state.instances
+
+    def test_conservative_with_high_support(self, pipeline):
+        corpus = pipeline.annotate_corpus(
+            {"d0": "Alpha Cafe serves coffee.", "d1": "Beta Cafe serves coffee.",
+             "d2": "Gamma Cafe brews tea."},
+            name="nell",
+        )
+        bootstrapper = NellBootstrapper(
+            seeds={"Alpha Cafe"}, min_pattern_support=3, min_instance_support=3, iterations=2
+        )
+        state = bootstrapper.run(corpus)
+        assert "gamma cafe" not in state.instances
+
+    def test_extract_all_shape(self, cafe_corpus):
+        bootstrapper = NellBootstrapper(seeds={"Nonexistent Cafe"}, iterations=1)
+        results = bootstrapper.extract_all(cafe_corpus)
+        assert set(results) == {d.doc_id for d in cafe_corpus}
+
+
+class TestOdin:
+    def _rule(self):
+        return OdinRule(
+            name="dobj-of-ate",
+            priority=1,
+            arguments=(
+                ("verb", TreePath((TreeStep(DESCENDANT, "ate", KIND_WORD),))),
+                (
+                    "object",
+                    TreePath(
+                        (
+                            TreeStep(DESCENDANT, "ate", KIND_WORD),
+                            TreeStep(CHILD, "dobj", KIND_PARSE_LABEL),
+                        )
+                    ),
+                ),
+            ),
+            outputs=("object",),
+        )
+
+    def test_rule_fires_on_matching_sentences(self, paper_corpus):
+        matcher = OdinMatcher([self._rule()])
+        mentions = matcher.run(paper_corpus)
+        values = {m.values["object"] for m in mentions}
+        assert {"cream", "cheesecake", "pie"} <= values
+
+    def test_fixpoint_terminates_and_dedupes(self, paper_corpus):
+        matcher = OdinMatcher([self._rule()], max_iterations=5)
+        first = matcher.run(paper_corpus)
+        second = matcher.run(paper_corpus)
+        assert len(first) == len(second)
+        assert matcher.last_iterations <= 5
+        assert matcher.last_runtime >= 0
+
+    def test_rule_without_match_produces_nothing(self, paper_corpus):
+        rule = OdinRule(
+            name="none",
+            priority=1,
+            arguments=(("x", TreePath((TreeStep(DESCENDANT, "zebra", KIND_WORD),))),),
+            outputs=("x",),
+        )
+        assert OdinMatcher([rule]).run(paper_corpus) == []
+
+    def test_priority_ordering(self, paper_corpus):
+        low = self._rule()
+        high = OdinRule(
+            name="verbs", priority=0,
+            arguments=(("v", TreePath((TreeStep(DESCENDANT, "verb", KIND_POS),))),),
+            outputs=("v",),
+        )
+        matcher = OdinMatcher([low, high])
+        assert matcher.rules[0].name == "verbs"

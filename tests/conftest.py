@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (the pipeline, annotated corpora, index sets, engines) are
+session scoped so the suite stays fast; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpora.cafe_blogs import BARISTAMAG, generate_cafe_corpus
+from repro.corpora.happydb import generate_happydb_corpus
+from repro.corpora.wikipedia import generate_wikipedia_corpus
+from repro.indexing.koko_index import KokoIndexSet
+from repro.koko.engine import KokoEngine
+from repro.nlp.pipeline import Pipeline
+
+# The two running-example sentences of the paper (Figure 1 / Example 3.1).
+PAPER_SENTENCE_1 = (
+    "I ate a chocolate ice cream, which was delicious, and also ate a pie."
+)
+PAPER_SENTENCE_2 = (
+    "Anna ate some delicious cheesecake that she bought at a grocery store."
+)
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> Pipeline:
+    return Pipeline()
+
+
+@pytest.fixture(scope="session")
+def paper_corpus(pipeline):
+    """The two sentences of the paper's running example, annotated."""
+    return pipeline.annotate_corpus(
+        {"doc0": PAPER_SENTENCE_1, "doc1": PAPER_SENTENCE_2}, name="paper"
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_sentence_1(paper_corpus):
+    return paper_corpus.documents[0].sentences[0]
+
+
+@pytest.fixture(scope="session")
+def paper_sentence_2(paper_corpus):
+    return paper_corpus.documents[1].sentences[0]
+
+
+@pytest.fixture(scope="session")
+def paper_indexes(paper_corpus) -> KokoIndexSet:
+    return KokoIndexSet().build(paper_corpus)
+
+
+@pytest.fixture(scope="session")
+def paper_engine(paper_corpus) -> KokoEngine:
+    return KokoEngine(paper_corpus)
+
+
+@pytest.fixture(scope="session")
+def happy_corpus(pipeline):
+    """A small HappyDB-like corpus for index / benchmark-generator tests."""
+    return generate_happydb_corpus(moments=120, pipeline=pipeline)
+
+
+@pytest.fixture(scope="session")
+def wiki_corpus(pipeline):
+    """A small Wikipedia-like corpus."""
+    return generate_wikipedia_corpus(articles=40, pipeline=pipeline)
+
+
+@pytest.fixture(scope="session")
+def cafe_corpus(pipeline):
+    """A small BARISTAMAG-like cafe corpus with gold labels."""
+    return generate_cafe_corpus(BARISTAMAG, pipeline=pipeline, articles=12)
+
+
+@pytest.fixture(scope="session")
+def cafe_engine(cafe_corpus) -> KokoEngine:
+    return KokoEngine(cafe_corpus)

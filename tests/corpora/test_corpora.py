@@ -1,0 +1,123 @@
+"""Tests for the synthetic corpora and query benchmarks."""
+
+from __future__ import annotations
+
+from repro.corpora.cafe_blogs import BARISTAMAG, SPRUDGE, generate_cafe_corpus
+from repro.corpora.happydb import generate_happydb_corpus
+from repro.corpora.synthetic_queries import (
+    generate_span_benchmark,
+    generate_tree_benchmark,
+)
+from repro.corpora.tweets import generate_tweet_corpus
+from repro.corpora.wikipedia import generate_wikipedia_corpus
+from repro.indexing.exact import matching_sentences
+from repro.koko.parser import parse_query
+
+
+class TestCafeBlogs:
+    def test_deterministic(self, pipeline):
+        a = generate_cafe_corpus(BARISTAMAG, pipeline=pipeline, articles=5)
+        b = generate_cafe_corpus(BARISTAMAG, pipeline=pipeline, articles=5)
+        assert [d.text for d in a] == [d.text for d in b]
+
+    def test_gold_cafes_mentioned_in_text(self, cafe_corpus):
+        for doc in cafe_corpus:
+            for cafe in cafe_corpus.gold["cafe"][doc.doc_id]:
+                assert cafe in doc.text
+
+    def test_every_article_has_gold(self, cafe_corpus):
+        assert all(cafe_corpus.gold["cafe"][d.doc_id] for d in cafe_corpus)
+
+    def test_sprudge_articles_longer_than_baristamag(self, pipeline):
+        barista = generate_cafe_corpus(BARISTAMAG, pipeline=pipeline, articles=8)
+        sprudge = generate_cafe_corpus(SPRUDGE, pipeline=pipeline, articles=8)
+        mean = lambda c: c.num_sentences / len(c)
+        assert mean(sprudge) > mean(barista)
+
+    def test_distractor_brands_present(self, pipeline):
+        corpus = generate_cafe_corpus(SPRUDGE, pipeline=pipeline, articles=20)
+        text = " ".join(doc.text for doc in corpus)
+        assert any(brand in text for brand in ("La Marzocco", "Synesso", "Aeropress", "V60"))
+
+
+class TestTweetsHappyWiki:
+    def test_tweets_gold_types(self, pipeline):
+        corpus = generate_tweet_corpus(tweets=60, pipeline=pipeline)
+        assert "team" in corpus.gold and "facility" in corpus.gold
+        assert any(corpus.gold["team"].values())
+        assert any(corpus.gold["facility"].values())
+
+    def test_tweets_are_single_documents(self, pipeline):
+        corpus = generate_tweet_corpus(tweets=30, pipeline=pipeline)
+        assert len(corpus) == 30
+        assert all(len(doc) <= 2 for doc in corpus)
+
+    def test_happydb_size(self, happy_corpus):
+        assert len(happy_corpus) == 120
+        assert happy_corpus.num_sentences >= 120
+
+    def test_wikipedia_article_kinds(self, wiki_corpus):
+        kinds = {next(iter(v)) for v in wiki_corpus.gold["article_kind"].values()}
+        assert "biography" in kinds
+
+    def test_wikipedia_selectivity_ordering(self, pipeline):
+        """born-sentences are common, called-sentences less so, chocolate rare."""
+        corpus = generate_wikipedia_corpus(articles=120, pipeline=pipeline)
+        texts = [doc.text for doc in corpus]
+        born = sum(1 for t in texts if "born" in t)
+        called = sum(1 for t in texts if "called" in t)
+        chocolate = sum(1 for t in texts if "chocolate" in t.lower())
+        assert born > called > chocolate > 0
+
+    def test_wikipedia_deterministic(self, pipeline):
+        a = generate_wikipedia_corpus(articles=10, pipeline=pipeline)
+        b = generate_wikipedia_corpus(articles=10, pipeline=pipeline)
+        assert [d.text for d in a] == [d.text for d in b]
+
+
+class TestSyntheticTreeBenchmark:
+    def test_benchmark_covers_parameter_grid(self, happy_corpus):
+        benchmark = generate_tree_benchmark(happy_corpus, queries_per_setting=1)
+        lengths = {q.length for q in benchmark if not q.multi_variable}
+        assert lengths >= {2, 3, 4}
+        attributes = {q.attributes for q in benchmark}
+        assert attributes == {"pl", "pl_pos", "pl_pos_text"}
+        assert any(q.wildcard for q in benchmark)
+        assert any(not q.anchored for q in benchmark)
+        assert any(q.multi_variable for q in benchmark)
+
+    def test_default_count_scales_with_setting(self, happy_corpus):
+        small = generate_tree_benchmark(happy_corpus, queries_per_setting=1)
+        large = generate_tree_benchmark(happy_corpus, queries_per_setting=2)
+        assert len(large) > len(small)
+
+    def test_queries_have_nonzero_selectivity(self, happy_corpus):
+        benchmark = generate_tree_benchmark(happy_corpus, queries_per_setting=1)
+        nonzero = sum(
+            1 for q in benchmark if matching_sentences(happy_corpus, q.query)
+        )
+        # sampled from real trees, so the vast majority must match something
+        assert nonzero / len(benchmark) > 0.9
+
+    def test_deterministic(self, happy_corpus):
+        a = generate_tree_benchmark(happy_corpus, queries_per_setting=1)
+        b = generate_tree_benchmark(happy_corpus, queries_per_setting=1)
+        assert [q.query.render() for q in a] == [q.query.render() for q in b]
+
+
+class TestSyntheticSpanBenchmark:
+    def test_atom_counts(self, happy_corpus):
+        benchmark = generate_span_benchmark(happy_corpus, queries_per_setting=4)
+        assert {q.atoms for q in benchmark} == {1, 3, 5}
+
+    def test_queries_parse(self, happy_corpus):
+        benchmark = generate_span_benchmark(happy_corpus, queries_per_setting=3)
+        for query in benchmark:
+            parsed = parse_query(query.text)
+            assert parsed.declaration("s") is not None
+
+    def test_multi_atom_queries_contain_elastic(self, happy_corpus):
+        benchmark = generate_span_benchmark(happy_corpus, queries_per_setting=3)
+        for query in benchmark:
+            if query.atoms >= 3:
+                assert "^" in query.text

@@ -1,0 +1,136 @@
+"""Tests for the metrics and small smoke runs of every experiment module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.metrics import extraction_scores, f1_from, index_effectiveness
+from repro.evaluation.reporting import format_series, format_table
+
+
+class TestMetrics:
+    def test_perfect_extraction(self):
+        gold = {"d1": {"Alpha Cafe"}, "d2": {"Beta Cafe"}}
+        score = extraction_scores(gold, gold)
+        assert score.precision == score.recall == score.f1 == 1.0
+
+    def test_partial_extraction(self):
+        predicted = {"d1": {"Alpha Cafe", "Noise"}, "d2": set()}
+        gold = {"d1": {"Alpha Cafe"}, "d2": {"Beta Cafe"}}
+        score = extraction_scores(predicted, gold)
+        assert score.precision == 0.5
+        assert score.recall == 0.5
+
+    def test_case_and_whitespace_insensitive(self):
+        predicted = {"d1": {"alpha  cafe"}}
+        gold = {"d1": {"Alpha Cafe"}}
+        assert extraction_scores(predicted, gold).f1 == 1.0
+
+    def test_loose_suffix_match(self):
+        predicted = {"d1": {"Blue Bottle"}}
+        gold = {"d1": {"Blue Bottle Coffee"}}
+        assert extraction_scores(predicted, gold).recall == 1.0
+
+    def test_empty_predictions(self):
+        score = extraction_scores({}, {"d1": {"x"}})
+        assert score.precision == 0.0 and score.recall == 0.0 and score.f1 == 0.0
+
+    def test_index_effectiveness(self):
+        assert index_effectiveness({1, 2, 3, 4}, {1, 2}) == 0.5
+        assert index_effectiveness(set(), {1}) == 1.0
+        assert index_effectiveness({1}, {1}) == 1.0
+
+    def test_f1_from(self):
+        assert f1_from(0.5, 0.5) == 0.5
+        assert f1_from(0.0, 0.0) == 0.0
+
+    def test_format_table(self):
+        table = format_table(["a", "b"], [(1, 0.5), (2, 0.25)], title="t")
+        assert "t" in table and "0.500" in table
+
+    def test_format_series(self):
+        assert format_series("KOKO", [1, 2], [0.1, 0.2]).startswith("KOKO:")
+
+
+@pytest.mark.slow
+class TestExperimentSmokeRuns:
+    """Tiny-configuration runs of every figure/table module, checking shape."""
+
+    def test_fig3_koko_beats_baselines(self):
+        from repro.evaluation.experiments import fig3_cafes
+
+        result = fig3_cafes.run(
+            baristamag_articles=10, sprudge_articles=10, include_crf=False
+        )
+        for corpus_name in ("baristamag", "sprudge"):
+            assert result.best_f1(corpus_name, "KOKO") > result.best_f1(corpus_name, "IKE")
+        assert fig3_cafes.format_result(result)
+
+    def test_fig4_runs_and_formats(self):
+        from repro.evaluation.experiments import fig4_wnut
+
+        result = fig4_wnut.run(tweets=60, include_crf=False)
+        assert result.best_f1("team", "KOKO") > 0
+        assert result.best_f1("facility", "KOKO") > 0
+        assert fig4_wnut.format_result(result)
+
+    def test_fig5_descriptors_help_short_articles(self):
+        from repro.evaluation.experiments import fig5_descriptors
+
+        result = fig5_descriptors.run(baristamag_articles=12, sprudge_articles=12)
+        assert result.f1_gain("baristamag") >= result.f1_gain("sprudge") - 0.02
+        assert fig5_descriptors.format_result(result)
+
+    def test_fig6_size_and_time_shape(self):
+        from repro.evaluation.experiments import fig6_index_construction
+
+        result = fig6_index_construction.run(article_counts=(20, 40))
+        sizes = result.sizes_at(40)
+        assert sizes["KOKO"] < sizes["INVERTED"] < sizes["ADVINVERTED"] < sizes["SUBTREE"]
+        assert len(result.series("KOKO", "size")) == 2
+        assert fig6_index_construction.format_result(result)
+
+    def test_fig7_effectiveness_shape(self, happy_corpus):
+        from repro.evaluation.experiments import index_performance
+
+        result = index_performance.run(happy_corpus, queries_per_setting=1)
+        assert result.mean_effectiveness("KOKO") >= 0.95
+        assert result.mean_effectiveness("INVERTED") < result.mean_effectiveness("KOKO")
+        assert index_performance.format_result(result)
+
+    def test_table1_gsp_speedup(self):
+        from repro.evaluation.experiments import table1_gsp
+
+        result = table1_gsp.run(
+            happydb_moments=30,
+            wikipedia_articles=15,
+            queries_per_setting=2,
+            max_sentences_per_query=4,
+        )
+        assert result.speedup("HappyDB", 5) > 2.0
+        assert result.speedup("Wikipedia", 5) > 2.0
+        assert table1_gsp.format_result(result)
+
+    def test_table2_selectivity_ordering(self):
+        from repro.evaluation.experiments import table2_scaleup
+
+        result = table2_scaleup.run(article_counts=(60,))
+        by_query = {row.query: row for row in result.rows}
+        assert by_query["Chocolate"].selectivity <= by_query["Title"].selectivity
+        assert by_query["Title"].selectivity < by_query["DateOfBirth"].selectivity
+        assert table2_scaleup.format_result(result)
+
+    def test_nell_low_recall(self):
+        from repro.evaluation.experiments import nell_comparison
+
+        result = nell_comparison.run(baristamag_articles=20, sprudge_articles=25)
+        for score in result.scores.values():
+            assert score.recall < 0.6
+        assert nell_comparison.format_result(result)
+
+    def test_odin_slower_than_koko(self):
+        from repro.evaluation.experiments import odin_comparison
+
+        result = odin_comparison.run(articles=40)
+        assert all(row.slowdown > 1.0 for row in result.rows)
+        assert odin_comparison.format_result(result)

@@ -1,0 +1,202 @@
+"""Tests for postings, the word/entity indexes, and the hierarchy indexes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexing.entity_index import EntityIndex
+from repro.indexing.hierarchy import parse_label_index, pos_tag_index
+from repro.indexing.koko_index import KokoIndexSet
+from repro.indexing.postings import (
+    Posting,
+    ancestor_of,
+    join_ancestor,
+    join_same_token,
+    parent_of,
+    posting_for_token,
+    union,
+)
+from repro.indexing.word_index import WordIndex
+from repro.storage.database import Database
+
+
+class TestPostings:
+    def test_posting_for_token_matches_paper_example(self, paper_sentence_2):
+        # Example 3.2: ate in sentence 1 -> (1,1,0-12,0)
+        posting = posting_for_token(paper_sentence_2, 1)
+        assert (posting.tid, posting.left, posting.right, posting.depth) == (1, 0, 12, 0)
+
+    def test_delicious_posting(self, paper_sentence_1):
+        posting = posting_for_token(paper_sentence_1, 9)
+        assert posting.word == "delicious"
+        assert posting.depth >= 2
+
+    def test_parent_of_rule(self, paper_sentence_2):
+        ate = posting_for_token(paper_sentence_2, 1)
+        cheesecake = posting_for_token(paper_sentence_2, 4)
+        assert parent_of(ate, cheesecake)
+        assert not parent_of(cheesecake, ate)
+
+    def test_ancestor_of_with_gap(self, paper_sentence_1):
+        ate = posting_for_token(paper_sentence_1, 1)
+        delicious = posting_for_token(paper_sentence_1, 9)
+        assert ancestor_of(ate, delicious, min_gap=2)
+        assert not ancestor_of(ate, delicious, min_gap=5)
+
+    def test_union_deduplicates_and_sorts(self):
+        a = Posting(0, 1, 0, 5, 0)
+        b = Posting(0, 1, 0, 5, 0)
+        c = Posting(1, 0, 0, 0, 1)
+        merged = union([[a], [b, c]])
+        assert merged == [a, c]
+
+    def test_join_same_token(self):
+        a = Posting(0, 3, 3, 3, 2, "x")
+        b = Posting(0, 3, 3, 3, 2, "y")
+        c = Posting(0, 4, 4, 4, 2)
+        assert join_same_token([a, c], [b]) == [a]
+
+    def test_join_ancestor_example_4_4(self, paper_corpus):
+        """Example 4.4: join 'ate' and 'delicious' postings with gap 2."""
+        index = WordIndex()
+        index.add_corpus(paper_corpus)
+        ate = index.lookup("ate")
+        delicious = index.lookup("delicious")
+        joined = join_ancestor(ate, delicious, min_gap=2)
+        assert {(p.sid, p.word) for p in joined} == {(0, "delicious"), (1, "delicious")}
+
+    @given(
+        st.integers(0, 5), st.integers(0, 20), st.integers(0, 20), st.integers(0, 6),
+        st.integers(0, 5), st.integers(0, 20), st.integers(0, 20), st.integers(0, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_parent_implies_ancestor(self, s1, l1, r1, d1, s2, l2, r2, d2):
+        if r1 < l1 or r2 < l2:
+            return
+        p = Posting(s1, l1, l1, r1, d1)
+        c = Posting(s2, l2, l2, r2, d2)
+        if parent_of(p, c):
+            assert ancestor_of(p, c)
+
+
+class TestWordAndEntityIndexes:
+    def test_word_index_lookup_case_insensitive(self, paper_corpus):
+        index = WordIndex()
+        index.add_corpus(paper_corpus)
+        assert len(index.lookup("ATE")) == 3  # twice in sentence 0, once in sentence 1
+
+    def test_word_index_vocabulary(self, paper_corpus):
+        index = WordIndex()
+        index.add_corpus(paper_corpus)
+        assert "delicious" in index
+        assert "zebra" not in index
+
+    def test_word_index_materialisation(self, paper_corpus):
+        index = WordIndex()
+        index.add_corpus(paper_corpus)
+        table = index.to_table(Database(), "W")
+        assert len(table) == len(index)
+        assert table.has_index("by_word")
+
+    def test_entity_index_by_text_and_type(self, paper_corpus):
+        index = EntityIndex()
+        index.add_corpus(paper_corpus)
+        assert len(index.lookup_text("cheesecake")) == 1
+        assert len(index.lookup_type("Entity")) == len(index)
+        assert all(p.etype == "PERSON" for p in index.lookup_type("Person"))
+
+    def test_entity_index_example_3_2(self, paper_corpus):
+        index = EntityIndex()
+        index.add_corpus(paper_corpus)
+        chunk = index.lookup_text("chocolate ice cream")
+        assert len(chunk) == 1
+        assert (chunk[0].left, chunk[0].right) == (3, 5)
+
+    def test_entity_index_materialisation(self, paper_corpus):
+        index = EntityIndex()
+        index.add_corpus(paper_corpus)
+        table = index.to_table(Database(), "E")
+        assert len(table) == len(index)
+
+
+class TestHierarchyIndexes:
+    def test_merging_reduces_nodes(self, happy_corpus):
+        index = parse_label_index()
+        index.add_corpus(happy_corpus)
+        assert index.node_count < index.token_count
+        assert 0.0 < index.compression_ratio() < 1.0
+
+    def test_pl_index_has_single_root_child(self, paper_corpus):
+        index = parse_label_index()
+        index.add_corpus(paper_corpus)
+        top_labels = {
+            node.label for node in index.nodes() if node.depth == 0
+        }
+        assert top_labels == {"root"}
+
+    def test_example_3_3_merged_postings(self, paper_corpus):
+        """/root/dobj posting list contains cheesecake and cream (Example 3.3)."""
+        index = parse_label_index()
+        index.add_corpus(paper_corpus)
+        postings = index.lookup_path([("/", "root"), ("/", "dobj")])
+        words = {p.word for p in postings}
+        assert {"cream", "cheesecake"} <= words
+
+    def test_wildcard_lookup(self, paper_corpus):
+        index = parse_label_index()
+        index.add_corpus(paper_corpus)
+        all_tokens = index.lookup_path([("//", "*")])
+        assert len(all_tokens) == paper_corpus.num_tokens
+
+    def test_missing_path_returns_empty(self, paper_corpus):
+        index = parse_label_index()
+        index.add_corpus(paper_corpus)
+        assert index.lookup_path([("/", "root"), ("/", "xcomp"), ("/", "xcomp")]) == []
+
+    def test_pos_index_lookup(self, paper_corpus):
+        index = pos_tag_index()
+        index.add_corpus(paper_corpus)
+        verbs = index.lookup_path([("//", "VERB")])
+        assert {p.word.lower() for p in verbs} >= {"ate", "was", "bought"}
+
+    def test_node_id_recorded_per_token(self, paper_corpus):
+        index = parse_label_index()
+        index.add_corpus(paper_corpus)
+        sentence = paper_corpus.documents[0].sentences[0]
+        for token in sentence:
+            assert index.node_id_of(sentence.sid, token.index) >= 0
+
+    def test_closure_table_export(self, paper_corpus):
+        index = parse_label_index()
+        index.add_corpus(paper_corpus)
+        closure = index.to_closure_table()
+        assert len(closure) == index.node_count + 1  # + dummy
+
+    def test_unique_paths(self, paper_corpus):
+        index = parse_label_index()
+        index.add_corpus(paper_corpus)
+        paths = [node.path() for node in index.nodes()]
+        assert len(paths) == len(set(paths))
+
+
+class TestKokoIndexSet:
+    def test_statistics(self, paper_indexes):
+        stats = paper_indexes.statistics()
+        assert stats.sentences == 2
+        assert stats.tokens == 30
+        assert stats.word_postings == 30
+        assert stats.pl_nodes > 0
+        assert stats.approximate_bytes > 0
+
+    def test_word_index_carries_hierarchy_node_ids(self, paper_indexes):
+        plid, posid = paper_indexes.word_index.node_ids(0, 1)
+        assert plid >= 0 and posid >= 0
+        assert paper_indexes.pl_index.node_by_id(plid).label == "root"
+
+    def test_materialise_all_relations(self, paper_indexes):
+        db = Database()
+        paper_indexes.to_database(db)
+        for name in ("W", "E", "PL", "POS"):
+            assert db.has_table(name)

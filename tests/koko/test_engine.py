@@ -1,0 +1,151 @@
+"""End-to-end tests of the KOKO engine on the paper's examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.koko.engine import KokoEngine
+from repro.koko.results import ExtractionTuple, KokoResult, StageTimings
+
+EXAMPLE_2_1 = """
+extract e:Entity, d:Str from input.txt if
+(/ROOT:{
+a = //verb,
+b = a/dobj,
+c = b//"delicious",
+d = (b.subtree)
+} (b) in (e))
+"""
+
+
+class TestExample21:
+    def test_paper_output(self, paper_engine):
+        result = paper_engine.execute(EXAMPLE_2_1)
+        values = {t.as_dict()["e"]: t.as_dict()["d"] for t in result.tuples}
+        assert values["chocolate ice cream"] == "a chocolate ice cream, which was delicious"
+        assert "cheesecake" in values
+
+    def test_timings_recorded(self, paper_engine):
+        result = paper_engine.execute(EXAMPLE_2_1)
+        timings = result.timings.as_dict()
+        assert set(timings) == {"Normalize", "DPLI", "LoadArticle", "GSP", "extract", "satisfying"}
+        assert result.timings.total >= 0
+        assert result.candidate_sentences >= 1
+
+
+class TestExample22Similarity:
+    """Example 2.2: similarTo distinguishes cities from countries."""
+
+    @pytest.fixture(scope="class")
+    def ex22_engine(self, pipeline):
+        corpus = pipeline.annotate_corpus(
+            {
+                "s1": "cities in asian countries such as China and Japan.",
+                "s2": "cities in asian countries such as Beijing and Tokyo.",
+            },
+            name="ex22",
+        )
+        return KokoEngine(corpus)
+
+    def test_city_query_returns_cities_only(self, ex22_engine):
+        result = ex22_engine.execute(
+            'extract a:GPE from "input.txt" if () satisfying a '
+            '(a SimilarTo "city" {1.0}) with threshold 0.3'
+        )
+        assert result.distinct_values("a") == {"Beijing", "Tokyo"}
+        assert {t.doc_id for t in result.tuples} == {"s2"}
+
+    def test_country_query_returns_countries_only(self, ex22_engine):
+        result = ex22_engine.execute(
+            'extract a:GPE from "input.txt" if () satisfying a '
+            '(a SimilarTo "country" {1.0}) with threshold 0.3'
+        )
+        assert result.distinct_values("a") == {"China", "Japan"}
+        assert {t.doc_id for t in result.tuples} == {"s1"}
+
+    def test_scores_attached(self, ex22_engine):
+        result = ex22_engine.execute(
+            'extract a:GPE from "input.txt" if () satisfying a '
+            '(a SimilarTo "city" {1.0}) with threshold 0.3'
+        )
+        for extraction in result.tuples:
+            score = extraction.score("a")
+            assert score is not None and 0.3 <= score <= 1.0
+
+
+class TestCafeQueryOnGeneratedCorpus:
+    def test_extracts_gold_cafes(self, cafe_engine, cafe_corpus):
+        from repro.evaluation.queries import CAFE_QUERY
+
+        result = cafe_engine.execute(CAFE_QUERY)
+        predicted = result.values_by_document("x")
+        gold = cafe_corpus.gold["cafe"]
+        hits = sum(
+            1
+            for doc_id, names in gold.items()
+            for name in names
+            if name.lower() in {p.lower() for p in predicted.get(doc_id, set())}
+        )
+        total_gold = sum(len(v) for v in gold.values())
+        assert hits / total_gold > 0.4
+
+    def test_excluding_clause_removes_machine_brands(self, cafe_engine):
+        from repro.evaluation.queries import CAFE_QUERY
+
+        result = cafe_engine.execute(CAFE_QUERY)
+        values = {v.lower() for v in result.distinct_values("x")}
+        assert "la marzocco" not in values
+
+    def test_keep_all_scores_supersets_passing(self, cafe_engine):
+        from repro.evaluation.queries import CAFE_QUERY
+
+        passing = cafe_engine.execute(CAFE_QUERY)
+        everything = cafe_engine.execute(CAFE_QUERY, keep_all_scores=True)
+        assert len(everything) >= len(passing)
+
+    def test_threshold_override_monotone(self, cafe_engine):
+        from repro.evaluation.queries import CAFE_QUERY
+
+        low = cafe_engine.execute(CAFE_QUERY, threshold_override=0.2)
+        high = cafe_engine.execute(CAFE_QUERY, threshold_override=0.9)
+        assert len(low.distinct_values("x")) >= len(high.distinct_values("x"))
+
+
+class TestEngineBehaviour:
+    def test_provably_empty_query(self, paper_engine):
+        result = paper_engine.execute(
+            'extract x:Entity from "t" if (/ROOT:{ a = //"zebra" })'
+        )
+        assert len(result) == 0
+
+    def test_accepts_pre_parsed_query(self, paper_engine):
+        from repro.koko.parser import parse_query
+
+        result = paper_engine.execute(parse_query(EXAMPLE_2_1))
+        assert len(result) == 2
+
+    def test_nogsp_engine_same_answers(self, paper_corpus):
+        from repro.baselines.nogsp import NoGspEngine
+
+        fast = KokoEngine(paper_corpus).execute(EXAMPLE_2_1)
+        slow = NoGspEngine(paper_corpus).execute(EXAMPLE_2_1)
+        assert {t.values for t in fast.tuples} == {t.values for t in slow.tuples}
+
+    def test_result_helpers(self):
+        result = KokoResult(
+            tuples=[
+                ExtractionTuple("d1", 0, (("x", "A"),), (("x", 0.7),)),
+                ExtractionTuple("d1", 1, (("x", "B"),), (("x", 0.9),)),
+                ExtractionTuple("d2", 2, (("x", "A"),), (("x", 0.2),)),
+            ]
+        )
+        assert result.distinct_values("x") == {"A", "B"}
+        assert result.values_by_document("x") == {"d1": {"A", "B"}, "d2": {"A"}}
+        assert result.selectivity == {"d1": 2, "d2": 1}
+        assert result.tuples[0].score("x") == 0.7
+        with pytest.raises(KeyError):
+            result.tuples[0].value("zzz")
+
+    def test_stage_timings_total(self):
+        timings = StageTimings(normalize=1, dpli=2, load_articles=3, gsp=4, extract=5, satisfying=6)
+        assert timings.total == 21

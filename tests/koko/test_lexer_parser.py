@@ -1,0 +1,189 @@
+"""Tests for the KOKO lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KokoSemanticError, KokoSyntaxError
+from repro.koko.ast import (
+    AdjacencyCondition,
+    DescriptorCondition,
+    Elastic,
+    EntityBinding,
+    InDictCondition,
+    NearCondition,
+    PathExpr,
+    SimilarToCondition,
+    SpanExpr,
+    StrCondition,
+    SubtreeRef,
+    VarRef,
+)
+from repro.koko.lexer import STRING, SYMBOL, tokenize
+from repro.koko.parser import parse_query
+
+EXAMPLE_2_1 = """
+extract e:Entity, d:Str from input.txt if
+(/ROOT:{
+a = //verb,
+b = a/dobj,
+c = b//"delicious",
+d = (b.subtree)
+} (b) in (e))
+"""
+
+EXAMPLE_2_3 = """
+extract x:Entity from "input.txt" if ()
+satisfying x
+(str(x) contains "Cafe" {1}) or
+(str(x) contains "Roasters" {1}) or
+(x ", a cafe" {1}) or
+(x [["serves coffee"]] {0.5}) or
+(x [["employs baristas"]] {0.5})
+with threshold 0.8
+excluding (str(x) matches "[Ll]a Marzocco")
+"""
+
+EXAMPLE_4_1 = """
+extract a:Str,b:Str,c:Str from input.txt if (
+/ROOT:{
+a = Entity, b = //verb[text="ate"],
+c = b/dobj, d = c//"delicious",
+e = a + ^ + b + ^ + c })
+"""
+
+
+class TestLexer:
+    def test_symbols_and_strings(self):
+        tokens = tokenize('a = //verb[text="ate"]')
+        kinds = [(t.type, t.text) for t in tokens[:8]]
+        assert (SYMBOL, "//") in kinds
+        assert any(t.type == STRING and t.text == "ate" for t in tokens)
+
+    def test_descriptor_brackets(self):
+        tokens = tokenize('(x [["serves coffee"]] {0.5})')
+        texts = [t.text for t in tokens]
+        assert "[[" in texts and "]]" in texts
+
+    def test_unicode_wedge_and_quotes_normalised(self):
+        tokens = tokenize("e = a + ∧ + b and “delicious”")
+        texts = [t.text for t in tokens]
+        assert "^" in texts
+        assert "delicious" in texts
+
+    def test_numbers(self):
+        tokens = tokenize("with threshold 0.8")
+        assert tokens[2].text == "0.8"
+
+    def test_unterminated_string(self):
+        with pytest.raises(KokoSyntaxError):
+            tokenize('x = "oops')
+
+    def test_comment_skipped(self):
+        tokens = tokenize("a = //verb # the verb variable\n")
+        assert all("the" != t.text for t in tokens)
+
+
+class TestParserExamples:
+    def test_example_2_1_structure(self):
+        query = parse_query(EXAMPLE_2_1)
+        assert [o.name for o in query.outputs] == ["e", "d"]
+        assert query.source == "input.txt"
+        assert query.declared_names() == ["a", "b", "c", "d"]
+        assert query.constraints[0].left == "b"
+        assert query.constraints[0].op == "in"
+        c_decl = query.declaration("c")
+        assert isinstance(c_decl.expr, PathExpr)
+        assert c_decl.expr.base_var == "b"
+        assert c_decl.expr.steps[0].is_word
+        d_decl = query.declaration("d")
+        assert isinstance(d_decl.expr, SpanExpr)
+        assert isinstance(d_decl.expr.atoms[0], SubtreeRef)
+
+    def test_example_2_3_satisfying(self):
+        query = parse_query(EXAMPLE_2_3)
+        clause = query.satisfying[0]
+        assert clause.variable == "x"
+        assert clause.threshold == 0.8
+        kinds = [type(w.condition) for w in clause.conditions]
+        assert kinds.count(StrCondition) == 2
+        assert AdjacencyCondition in kinds
+        assert DescriptorCondition in kinds
+        weights = [w.weight for w in clause.conditions]
+        assert weights == [1, 1, 1, 0.5, 0.5]
+        assert isinstance(query.excluding.conditions[0], StrCondition)
+
+    def test_example_4_1_span_and_entity(self):
+        query = parse_query(EXAMPLE_4_1)
+        assert isinstance(query.declaration("a").expr, EntityBinding)
+        b_decl = query.declaration("b")
+        assert b_decl.expr.steps[0].conditions[0].attribute == "text"
+        e_decl = query.declaration("e")
+        atoms = e_decl.expr.atoms
+        assert isinstance(atoms[0], VarRef) and atoms[0].name == "a"
+        assert isinstance(atoms[1], Elastic)
+        assert len(atoms) == 5
+
+    def test_similar_to_and_near_and_dict(self):
+        query = parse_query(
+            'extract a:GPE from "t" if () satisfying a '
+            '(a SimilarTo "city" {1.0}) or (a near "coffee" {0.5}) '
+            "with threshold 0.3 "
+            'excluding (str(a) in dict("Location"))'
+        )
+        conditions = [w.condition for w in query.satisfying[0].conditions]
+        assert isinstance(conditions[0], SimilarToCondition)
+        assert isinstance(conditions[1], NearCondition)
+        assert isinstance(query.excluding.conditions[0], InDictCondition)
+
+    def test_tilde_similarity(self):
+        query = parse_query(
+            'extract c:Entity from w if (/ROOT:{ v = //verb }) satisfying v (str(v) ~ "is" {1})'
+        )
+        condition = query.satisfying[0].conditions[0].condition
+        assert isinstance(condition, SimilarToCondition)
+        assert condition.concept == "is"
+
+    def test_descriptor_before_variable(self):
+        query = parse_query(
+            'extract x:Entity from t if () satisfying x ([["went to"]] x {0.8})'
+        )
+        condition = query.satisfying[0].conditions[0].condition
+        assert isinstance(condition, DescriptorCondition)
+        assert condition.side == "before"
+
+    def test_bare_label_declaration(self):
+        query = parse_query("extract a:Person from w if (/ROOT:{ v = verb })")
+        v_decl = query.declaration("v")
+        assert isinstance(v_decl.expr, PathExpr)
+        assert v_decl.expr.steps[0].label == "verb"
+
+
+class TestParserErrors:
+    def test_missing_extract(self):
+        with pytest.raises(KokoSyntaxError):
+            parse_query('select x from "y"')
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(KokoSyntaxError):
+            parse_query('extract x:Entity from "t" if ( /ROOT:{ a = //verb }')
+
+    def test_constraint_on_undeclared_variable(self):
+        with pytest.raises(KokoSemanticError):
+            parse_query('extract x:Entity from "t" if ( /ROOT:{ a = //verb } (zz) in (x))')
+
+    def test_satisfying_undeclared_variable(self):
+        with pytest.raises(KokoSemanticError):
+            parse_query('extract x:Entity from "t" if () satisfying q (q "vs" {1})')
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(KokoSemanticError):
+            parse_query('extract x:Str from "t" if (/ROOT:{ x = //verb, x = //noun })')
+
+    def test_trailing_garbage(self):
+        with pytest.raises(KokoSyntaxError):
+            parse_query('extract x:Entity from "t" if () nonsense trailing')
+
+    def test_near_requires_string(self):
+        with pytest.raises(KokoSyntaxError):
+            parse_query('extract x:Entity from "t" if () satisfying x (x near coffee {1})')

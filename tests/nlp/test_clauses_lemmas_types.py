@@ -1,0 +1,132 @@
+"""Tests for clause segmentation, lemmatisation, and the data model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.clauses import ClauseSegmenter
+from repro.nlp.lemmatizer import Lemmatizer
+from repro.nlp.pipeline import Pipeline
+from repro.nlp.types import EntityMention, Span, Token, detokenize
+
+
+class TestClauseSegmenter:
+    def test_single_clause_sentence(self, pipeline):
+        sentence = pipeline.annotate_sentence("Anna ate a cake.")
+        clauses = ClauseSegmenter().segment(sentence)
+        assert len(clauses) == 1
+        assert clauses[0].weight == 1.0
+
+    def test_coordinated_clauses_split(self, paper_sentence_1):
+        clauses = ClauseSegmenter().segment(paper_sentence_1)
+        assert len(clauses) >= 2
+        texts = " | ".join(c.text for c in clauses)
+        assert "pie" in texts
+
+    def test_relative_clause_split(self, paper_sentence_2):
+        clauses = ClauseSegmenter().segment(paper_sentence_2)
+        assert len(clauses) >= 2
+
+    def test_subordinate_clause_weight_lower(self, paper_sentence_1):
+        segmenter = ClauseSegmenter(main_weight=1.0, subordinate_weight=0.8)
+        clauses = segmenter.segment(paper_sentence_1)
+        weights = {c.weight for c in clauses}
+        assert 1.0 in weights
+        assert any(w < 1.0 for w in weights) or len(clauses) == 1
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ClauseSegmenter(main_weight=0.5, subordinate_weight=0.9)
+
+    def test_empty_sentence(self, pipeline):
+        sentence = pipeline.annotate_sentence("")
+        assert ClauseSegmenter().segment(sentence) == []
+
+    def test_clause_ranges_within_sentence(self, paper_sentence_1):
+        for clause in ClauseSegmenter().segment(paper_sentence_1):
+            assert 0 <= clause.start <= clause.end < len(paper_sentence_1)
+
+
+class TestLemmatizer:
+    @pytest.mark.parametrize(
+        "word,pos,lemma",
+        [
+            ("ate", "VERB", "eat"),
+            ("serves", "VERB", "serve"),
+            ("baristas", "NOUN", "barista"),
+            ("cities", "NOUN", "city"),
+            ("was", "VERB", "be"),
+            ("bought", "VERB", "buy"),
+            ("running", "VERB", "run"),
+            ("opened", "VERB", "open"),
+            ("coffee", "NOUN", "coffee"),
+            ("best", None, "best"),
+        ],
+    )
+    def test_lemmas(self, word, pos, lemma):
+        assert Lemmatizer().lemma(word, pos) == lemma
+
+    def test_lowercases(self):
+        assert Lemmatizer().lemma("Serves", "VERB") == "serve"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_lemma_never_empty_and_lowercase(self, word):
+        lemma = Lemmatizer().lemma(word)
+        assert lemma
+        assert lemma == lemma.lower()
+
+
+class TestDataModel:
+    def test_detokenize_spacing(self):
+        assert detokenize(["I", "ate", ",", "then", "slept", "."]) == "I ate, then slept."
+
+    def test_span_contains(self):
+        outer = Span(sid=0, start=2, end=9)
+        inner = Span(sid=0, start=3, end=5)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_span_precedes(self):
+        a = Span(sid=0, start=0, end=1)
+        b = Span(sid=0, start=2, end=3)
+        assert a.precedes(b)
+        assert a.immediately_precedes(b)
+
+    def test_span_invalid(self):
+        with pytest.raises(ValueError):
+            Span(sid=0, start=5, end=2)
+
+    def test_entity_mention_invalid(self):
+        with pytest.raises(ValueError):
+            EntityMention(start=4, end=2, etype="OTHER")
+
+    def test_token_matches_label(self):
+        token = Token(index=0, text="ate", pos="VERB", label="root", head=-1)
+        assert token.matches_label("verb")
+        assert token.matches_label("root")
+        assert token.matches_label("ATE")
+        assert not token.matches_label("noun")
+
+    def test_document_helpers(self, paper_corpus):
+        doc = paper_corpus.documents[1]
+        assert doc.num_tokens == len(doc[0])
+        assert doc.sentence_by_sid(doc[0].sid) is doc[0]
+        with pytest.raises(KeyError):
+            doc.sentence_by_sid(9999)
+
+    def test_corpus_iteration(self, paper_corpus):
+        pairs = list(paper_corpus.all_sentences())
+        assert len(pairs) == paper_corpus.num_sentences
+        assert paper_corpus.num_tokens > 0
+
+    def test_corpus_gold_default_empty(self, paper_corpus):
+        assert paper_corpus.gold_for("cafe", "doc0") == set()
+
+    def test_pipeline_corpus_unique_sids(self, pipeline):
+        corpus = pipeline.annotate_corpus(["One sentence. Two sentences.", "Another doc."])
+        sids = [s.sid for _, s in corpus.all_sentences()]
+        assert len(sids) == len(set(sids))
+        assert sids == sorted(sids)

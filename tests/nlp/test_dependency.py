@@ -1,0 +1,171 @@
+"""Tests for the rule-based dependency parser."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.dependency import DependencyParser
+from repro.nlp.pipeline import Pipeline
+from repro.nlp.pos import PosTagger
+from repro.nlp.tokenizer import tokenize_words
+
+
+def parse(sentence: str):
+    words = tokenize_words(sentence)
+    tags = PosTagger().tag(words)
+    heads, labels = DependencyParser().parse(words, tags)
+    return words, tags, heads, labels
+
+
+class TestPaperExampleTree:
+    """The Figure 1 sentence should reproduce the paper's key arcs."""
+
+    def test_root_is_first_ate(self, paper_sentence_1):
+        root = paper_sentence_1.root_index()
+        assert paper_sentence_1[root].text == "ate"
+        assert root == 1
+
+    def test_subject(self, paper_sentence_1):
+        token = paper_sentence_1[0]
+        assert token.label == "nsubj"
+        assert token.head == 1
+
+    def test_direct_object_is_cream(self, paper_sentence_1):
+        cream = next(t for t in paper_sentence_1 if t.text == "cream")
+        assert cream.label == "dobj"
+        assert cream.head == 1
+
+    def test_noun_compound(self, paper_sentence_1):
+        ice = next(t for t in paper_sentence_1 if t.text == "ice")
+        assert ice.label == "nn"
+        assert paper_sentence_1[ice.head].text == "cream"
+
+    def test_relative_clause_under_cream(self, paper_sentence_1):
+        was = next(t for t in paper_sentence_1 if t.text == "was")
+        assert was.label == "rcmod"
+        assert paper_sentence_1[was.head].text == "cream"
+
+    def test_delicious_in_subtree_of_cream(self, paper_sentence_1):
+        cream = next(t for t in paper_sentence_1 if t.text == "cream")
+        delicious = next(t for t in paper_sentence_1 if t.text == "delicious")
+        assert paper_sentence_1.is_ancestor(cream.index, delicious.index)
+
+    def test_subtree_span_of_cream_matches_paper(self, paper_sentence_1):
+        # Example 2.1: d = "a chocolate ice cream, which was delicious"
+        cream = next(t for t in paper_sentence_1 if t.text == "cream")
+        first, last = paper_sentence_1.subtree_span(cream.index)
+        assert (first, last) == (2, 9)
+
+    def test_second_sentence_matches_example_3_1(self, paper_sentence_2):
+        # "Anna ate some delicious cheesecake that she bought at a grocery store."
+        assert paper_sentence_2[1].text == "ate"
+        assert paper_sentence_2[1].label == "root"
+        cheesecake = next(t for t in paper_sentence_2 if t.text == "cheesecake")
+        assert cheesecake.label == "dobj"
+        bought = next(t for t in paper_sentence_2 if t.text == "bought")
+        assert bought.label == "rcmod"
+        assert paper_sentence_2[bought.head].text == "cheesecake"
+
+
+class TestStructuralInvariants:
+    SENTENCES = [
+        "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+        "Anna ate some delicious cheesecake that she bought at a grocery store.",
+        "Blue Bottle Coffee serves great espresso and employs talented baristas.",
+        "He was married to Alys Thomas on 1 December 1900 in London.",
+        "Cyd Charisse had been called Sid for years.",
+        "Baking chocolate is a type of chocolate that is prepared for baking.",
+        "Go Tigers!",
+        "coffee",
+    ]
+
+    def test_exactly_one_root(self):
+        for sentence in self.SENTENCES:
+            _, _, heads, labels = parse(sentence)
+            roots = [i for i, h in enumerate(heads) if h == -1]
+            assert len(roots) == 1, sentence
+            assert labels[roots[0]] == "root"
+
+    def test_heads_in_range(self):
+        for sentence in self.SENTENCES:
+            words, _, heads, _ = parse(sentence)
+            for i, head in enumerate(heads):
+                assert -1 <= head < len(words)
+                assert head != i
+
+    def test_no_cycles(self):
+        for sentence in self.SENTENCES:
+            words, _, heads, _ = parse(sentence)
+            for start in range(len(words)):
+                seen = set()
+                node = start
+                while heads[node] != -1:
+                    assert node not in seen, f"cycle in {sentence!r}"
+                    seen.add(node)
+                    node = heads[node]
+
+    def test_empty_sentence(self):
+        parser = DependencyParser()
+        assert parser.parse([], []) == ([], [])
+
+    def test_single_token(self):
+        heads, labels = DependencyParser().parse(["coffee"], ["NOUN"])
+        assert heads == [-1]
+        assert labels == ["root"]
+
+    def test_prepositional_object(self):
+        words, _, heads, labels = parse("Anna bought cake at a grocery store.")
+        store = words.index("store")
+        at = words.index("at")
+        assert labels[store] == "pobj"
+        assert heads[store] == at
+
+    def test_determiner_attaches_to_noun(self):
+        words, _, heads, labels = parse("the old dog slept")
+        assert labels[0] == "det"
+        assert words[heads[0]] == "dog"
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["the", "a", "dog", "cafe", "ate", "slept", "delicious", "in", "Portland", "and", ","]
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_word_sequences_give_wellformed_trees(self, words):
+        tags = PosTagger().tag(list(words))
+        heads, labels = DependencyParser().parse(list(words), tags)
+        assert len(heads) == len(words) == len(labels)
+        roots = [i for i, h in enumerate(heads) if h == -1]
+        assert len(roots) == 1
+        # every token reaches the root without cycling
+        for start in range(len(words)):
+            node, hops = start, 0
+            while heads[node] != -1:
+                node = heads[node]
+                hops += 1
+                assert hops <= len(words)
+
+
+class TestPipelineTreeHelpers:
+    def test_subtree_indices_contiguous(self, paper_sentence_1):
+        for token in paper_sentence_1:
+            first, last = paper_sentence_1.subtree_span(token.index)
+            assert first <= token.index <= last
+
+    def test_depth_of_root_is_zero(self, paper_sentence_1):
+        assert paper_sentence_1.depth(paper_sentence_1.root_index()) == 0
+
+    def test_children_inverse_of_head(self, paper_sentence_1):
+        for token in paper_sentence_1:
+            if not token.is_root:
+                assert token.index in paper_sentence_1.children(token.head)
+
+    def test_pipeline_annotates_multiple_sentences(self):
+        doc = Pipeline().annotate("I ate a pie. Anna ate a cake.", doc_id="d")
+        assert len(doc) == 2
+        assert doc[0].sid == 0 and doc[1].sid == 1

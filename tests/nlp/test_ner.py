@@ -1,0 +1,99 @@
+"""Tests for the entity recogniser."""
+
+from __future__ import annotations
+
+from repro.nlp.ner import EntityRecognizer
+from repro.nlp.pipeline import Pipeline
+from repro.nlp.pos import PosTagger
+from repro.nlp.tokenizer import tokenize_words
+
+
+def recognize(sentence: str, recognizer: EntityRecognizer | None = None):
+    words = tokenize_words(sentence)
+    tags = PosTagger().tag(words)
+    return words, (recognizer or EntityRecognizer()).recognize(words, tags)
+
+
+class TestCapitalizedSpans:
+    def test_person_two_words(self):
+        _, mentions = recognize("Anna Smith opened a shop.")
+        texts = {(m.text, m.etype) for m in mentions}
+        assert ("Anna Smith", "PERSON") in texts
+
+    def test_gpe(self):
+        _, mentions = recognize("She moved to London last year.")
+        assert any(m.text == "London" and m.etype == "GPE" for m in mentions)
+
+    def test_multiword_organization(self):
+        _, mentions = recognize("Blue Bottle Coffee opened downtown.")
+        assert any(
+            m.text == "Blue Bottle Coffee" and m.etype == "ORGANIZATION"
+            for m in mentions
+        )
+
+    def test_coordination_not_merged(self):
+        _, mentions = recognize("cities in asian countries such as China and Japan.")
+        texts = [m.text for m in mentions]
+        assert "China" in texts
+        assert "Japan" in texts
+        assert "China and Japan" not in texts
+
+    def test_team_head_noun(self):
+        _, mentions = recognize("Huge win for the Portland Tigers yesterday.")
+        assert any(m.etype == "TEAM" for m in mentions)
+
+    def test_facility_head_noun(self):
+        _, mentions = recognize("We met at Riverside Stadium before the match.")
+        assert any(m.etype == "FACILITY" for m in mentions)
+
+    def test_sentence_initial_common_word_not_entity(self):
+        _, mentions = recognize("The cake was great.")
+        assert all(m.text != "The" for m in mentions)
+
+    def test_extra_gazetteer(self):
+        recognizer = EntityRecognizer({"ORGANIZATION": {"velvet fox collective"}})
+        _, mentions = recognize("Velvet Fox Collective serves coffee.", recognizer)
+        assert any(
+            m.text == "Velvet Fox Collective" and m.etype == "ORGANIZATION"
+            for m in mentions
+        )
+
+
+class TestDatesAndNounChunks:
+    def test_full_date(self):
+        _, mentions = recognize("He was born on 1 December 1900 in London.")
+        assert any(m.etype == "DATE" and "1900" in m.text for m in mentions)
+
+    def test_bare_year(self):
+        _, mentions = recognize("The cafe opened in 1911 near the river.")
+        assert any(m.etype == "DATE" and m.text == "1911" for m in mentions)
+
+    def test_common_noun_chunk_is_other_entity(self):
+        _, mentions = recognize("I ate a chocolate ice cream after lunch.")
+        assert any(m.text == "chocolate ice cream" and m.etype == "OTHER" for m in mentions)
+
+    def test_chunks_do_not_overlap_named_entities(self):
+        _, mentions = recognize("Anna Smith bought a grocery store in Portland.")
+        spans = [(m.start, m.end) for m in mentions]
+        for i, a in enumerate(spans):
+            for b in spans[i + 1 :]:
+                assert a[1] < b[0] or b[1] < a[0], f"overlap {a} {b}"
+
+    def test_mentions_sorted_by_start(self):
+        _, mentions = recognize("Anna Smith ate cheesecake in Portland in 1999.")
+        starts = [m.start for m in mentions]
+        assert starts == sorted(starts)
+
+
+class TestEntityTypesOnTokens:
+    def test_pipeline_sets_token_entity_type(self):
+        doc = Pipeline().annotate("Anna visited London.", doc_id="d")
+        sentence = doc[0]
+        anna = next(t for t in sentence if t.text == "Anna")
+        assert anna.entity_type == "PERSON"
+
+    def test_entity_at_lookup(self):
+        doc = Pipeline().annotate("Anna visited London.", doc_id="d")
+        sentence = doc[0]
+        mention = sentence.entity_at(0)
+        assert mention is not None and mention.text == "Anna"

@@ -1,0 +1,104 @@
+"""Tests for the rule-based POS tagger."""
+
+from __future__ import annotations
+
+from repro.nlp.pos import PosTagger
+from repro.nlp.tokenizer import tokenize_words
+from repro.nlp.types import UNIVERSAL_POS_TAGS
+
+
+def tag(sentence: str) -> list[tuple[str, str]]:
+    words = tokenize_words(sentence)
+    tags = PosTagger().tag(words)
+    return list(zip(words, tags))
+
+
+class TestClosedClasses:
+    def test_determiners(self):
+        tags = dict(tag("the cake and a pie"))
+        assert tags["the"] == "DET"
+        assert tags["a"] == "DET"
+
+    def test_pronouns(self):
+        tags = dict(tag("I saw her yesterday"))
+        assert tags["I"] == "PRON"
+        assert tags["her"] == "DET" or tags["her"] == "PRON"
+
+    def test_adpositions(self):
+        tags = dict(tag("at the store in town"))
+        assert tags["at"] == "ADP"
+        assert tags["in"] == "ADP"
+
+    def test_conjunction(self):
+        tags = dict(tag("cream and pie"))
+        assert tags["and"] == "CONJ"
+
+    def test_punctuation(self):
+        tags = dict(tag("delicious , really ."))
+        assert tags[","] == "PUNCT"
+        assert tags["."] == "PUNCT"
+
+    def test_numbers(self):
+        tags = dict(tag("born in 1911"))
+        assert tags["1911"] == "NUM"
+
+
+class TestOpenClasses:
+    def test_paper_sentence_tags(self):
+        tags = dict(tag("I ate a chocolate ice cream"))
+        assert tags["ate"] == "VERB"
+        assert tags["cream"] == "NOUN"
+        assert tags["ice"] == "NOUN"
+
+    def test_delicious_is_adjective(self):
+        tags = dict(tag("the delicious cheesecake"))
+        assert tags["delicious"] == "ADJ"
+
+    def test_adverb_suffix(self):
+        tags = dict(tag("he ran quickly home"))
+        assert tags["quickly"] == "ADV"
+
+    def test_capitalised_unknown_is_proper_noun(self):
+        tags = dict(tag("Anna visited Zorbластск yesterday".replace("ластск", "atrava")))
+        assert tags["Anna"] == "PROPN"
+
+    def test_unknown_word_defaults_to_noun(self):
+        tags = dict(tag("the frumble was broken"))
+        assert tags["frumble"] == "NOUN"
+
+    def test_sentence_initial_gerund_before_noun_is_adjective(self):
+        tags = dict(tag("Baking chocolate is a type of chocolate"))
+        assert tags["Baking"] == "ADJ"
+        assert tags["chocolate"] == "NOUN"
+
+    def test_to_before_verb_is_particle(self):
+        tags = dict(tag("she wants to win the cup"))
+        assert tags["to"] == "PRT"
+
+    def test_to_before_noun_is_adposition(self):
+        tags = dict(tag("she went to town"))
+        assert tags["to"] == "ADP"
+
+
+class TestTaggerInvariants:
+    def test_one_tag_per_token(self):
+        words = tokenize_words("Anna ate some delicious cheesecake at a grocery store.")
+        tags = PosTagger().tag(words)
+        assert len(tags) == len(words)
+
+    def test_all_tags_in_universal_tagset(self):
+        words = tokenize_words(
+            "The quick brown fox jumps over 2 lazy dogs near Portland on 3 May 2018!"
+        )
+        for tag_ in PosTagger().tag(words):
+            assert tag_ in UNIVERSAL_POS_TAGS
+
+    def test_extra_lexicon_entries_respected(self):
+        tagger = PosTagger(extra_verbs={"frumble"})
+        words = ["they", "frumble", "loudly"]
+        assert tagger.tag(words)[1] == "VERB"
+
+    def test_deterministic(self):
+        words = tokenize_words("Anna ate some delicious cheesecake.")
+        tagger = PosTagger()
+        assert tagger.tag(words) == tagger.tag(words)

@@ -1,0 +1,99 @@
+"""Tests for sentence splitting and word tokenisation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.tokenizer import Tokenizer, split_sentences, tokenize_words
+
+
+class TestWordTokenization:
+    def test_simple_sentence(self):
+        assert tokenize_words("I ate a pie.") == ["I", "ate", "a", "pie", "."]
+
+    def test_punctuation_is_separate(self):
+        tokens = tokenize_words("cream, which was delicious,")
+        assert tokens == ["cream", ",", "which", "was", "delicious", ","]
+
+    def test_hyphenated_word_stays_together(self):
+        assert "pour-over" in tokenize_words("They love pour-over coffee.")
+
+    def test_contractions_stay_together(self):
+        assert tokenize_words("don't stop") == ["don't", "stop"]
+
+    def test_numbers(self):
+        assert tokenize_words("born in 1911") == ["born", "in", "1911"]
+
+    def test_decimal_number_single_token(self):
+        assert "3.5" in tokenize_words("a 3.5 star rating")
+
+    def test_twitter_handles_and_hashtags(self):
+        tokens = tokenize_words("@koko loves #coffee")
+        assert "@koko" in tokens
+        assert "#coffee" in tokens
+
+    def test_empty_string(self):
+        assert tokenize_words("") == []
+
+    @given(st.text(alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Zs", "Po")), max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_tokens_never_contain_whitespace(self, text):
+        for token in tokenize_words(text):
+            assert not any(ch.isspace() for ch in token)
+
+    @given(st.lists(st.sampled_from(["cafe", "espresso", "Anna", "ate", "1900"]), min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_word_sequence_roundtrip(self, words):
+        text = " ".join(words)
+        assert tokenize_words(text) == words
+
+
+class TestSentenceSplitting:
+    def test_two_sentences(self):
+        sentences = split_sentences("I ate a pie. Anna ate a cake.")
+        assert len(sentences) == 2
+        assert sentences[0].endswith("pie.")
+
+    def test_abbreviation_does_not_split(self):
+        sentences = split_sentences("Dr. Smith opened a cafe. It serves coffee.")
+        assert len(sentences) == 2
+
+    def test_decimal_point_does_not_split(self):
+        sentences = split_sentences("The rating was 4.5 stars. Everyone agreed.")
+        assert len(sentences) == 2
+
+    def test_question_and_exclamation(self):
+        sentences = split_sentences("Go Tigers! Did you see the game? Yes.")
+        assert len(sentences) == 3
+
+    def test_blank_line_splits(self):
+        sentences = split_sentences("first paragraph here\n\nsecond paragraph here")
+        assert len(sentences) == 2
+
+    def test_lowercase_after_period_not_split(self):
+        # "p.m. today" should not split mid-abbreviation
+        sentences = split_sentences("Meet me at 7 p.m. today. Bring coffee.")
+        assert len(sentences) == 2
+
+    def test_empty_text(self):
+        assert split_sentences("") == []
+
+    def test_terminator_kept(self):
+        sentences = split_sentences("It was great!")
+        assert sentences == ["It was great!"]
+
+
+class TestTokenizerObject:
+    def test_tokenize_document(self):
+        tokenizer = Tokenizer()
+        result = tokenizer.tokenize_document("I ate. Anna slept.")
+        assert len(result) == 2
+        assert result[0][0] == "I"
+
+    def test_split_then_tokenize_consistent(self):
+        tokenizer = Tokenizer()
+        text = "I ate a pie. Anna ate a cake."
+        sentences = tokenizer.split_sentences(text)
+        tokens = [tokenizer.tokenize(s) for s in sentences]
+        assert tokens == tokenizer.tokenize_document(text)

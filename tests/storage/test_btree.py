@@ -1,0 +1,117 @@
+"""Tests for the B-tree, including property-based invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BTree
+
+
+class TestBasicOperations:
+    def test_insert_and_get(self):
+        tree = BTree(order=4)
+        tree.insert("cafe", 1)
+        assert tree.get("cafe") == [1]
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BTree(order=4)
+        tree.insert("cafe", 1)
+        tree.insert("cafe", 2)
+        assert sorted(tree.get("cafe")) == [1, 2]
+
+    def test_missing_key_empty(self):
+        assert BTree().get("nothing") == []
+
+    def test_contains(self):
+        tree = BTree()
+        tree.insert(5, "x")
+        assert 5 in tree
+        assert 6 not in tree
+
+    def test_len_counts_pairs(self):
+        tree = BTree(order=4)
+        for i in range(20):
+            tree.insert(i % 5, i)
+        assert len(tree) == 20
+        assert tree.key_count == 5
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BTree(order=2)
+
+    def test_range_scan(self):
+        tree = BTree(order=4)
+        for i in range(50):
+            tree.insert(i, i * 10)
+        values = [v for _, v in tree.range(10, 15)]
+        assert values == [100, 110, 120, 130, 140, 150]
+
+    def test_range_open_ended(self):
+        tree = BTree(order=4)
+        for i in range(10):
+            tree.insert(i, i)
+        assert len(list(tree.range())) == 10
+        assert [k for k, _ in tree.range(low=7)] == [7, 8, 9]
+
+    def test_prefix_scan_on_tuple_keys(self):
+        tree = BTree(order=4)
+        tree.insert(("cafe", 1), "a")
+        tree.insert(("cafe", 2), "b")
+        tree.insert(("bar", 1), "c")
+        values = [v for _, v in tree.prefix(("cafe",))]
+        assert sorted(values) == ["a", "b"]
+
+    def test_keys_sorted_distinct(self):
+        tree = BTree(order=4)
+        for value in [5, 3, 9, 3, 1, 9]:
+            tree.insert(value, value)
+        assert list(tree.keys()) == [1, 3, 5, 9]
+
+    def test_approximate_bytes_positive(self):
+        tree = BTree()
+        tree.insert("word", (1, 2, 3))
+        assert tree.approximate_bytes() > 0
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_semantics(self, keys):
+        tree = BTree(order=6)
+        reference: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            tree.insert(key, position)
+            reference.setdefault(key, []).append(position)
+        for key, values in reference.items():
+            assert sorted(tree.get(key)) == sorted(values)
+        assert len(tree) == len(keys)
+        assert tree.key_count == len(reference)
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_range_returns_keys_in_order(self, keys):
+        tree = BTree(order=5)
+        for key in keys:
+            tree.insert(key, key)
+        scanned = [k for k, _ in tree.range()]
+        assert scanned == sorted(scanned)
+        assert len(scanned) == len(keys)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=100),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_bounds_respected(self, keys, low, high):
+        if low > high:
+            low, high = high, low
+        tree = BTree(order=8)
+        for key in keys:
+            tree.insert(key, key)
+        for key, _ in tree.range(low, high):
+            assert low <= key <= high
+        expected = sorted(k for k in keys if low <= k <= high)
+        assert sorted(k for k, _ in tree.range(low, high)) == expected

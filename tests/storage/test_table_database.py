@@ -1,0 +1,185 @@
+"""Tests for tables, the database container, and closure tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.closure import ClosureTable
+from repro.storage.database import Database
+from repro.storage.table import Schema, Table
+
+
+@pytest.fixture
+def word_table() -> Table:
+    table = Table("W", Schema.of("word", "x", "y"))
+    table.insert(("ate", 0, 1))
+    table.insert(("ate", 1, 1))
+    table.insert(("delicious", 0, 9))
+    return table
+
+
+class TestSchema:
+    def test_names_and_index(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.names == ["a", "b", "c"]
+        assert schema.index_of("b") == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").index_of("zzz")
+
+    def test_arity_validation(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "b").validate(("only-one",))
+
+    def test_type_validation(self):
+        schema = Schema.of("n", types={"n": int})
+        schema.validate((3,))
+        with pytest.raises(SchemaError):
+            schema.validate(("not-an-int",))
+
+
+class TestTable:
+    def test_insert_and_len(self, word_table):
+        assert len(word_table) == 3
+
+    def test_select_equality(self, word_table):
+        rows = word_table.select(word="ate")
+        assert len(rows) == 2
+
+    def test_select_with_index(self, word_table):
+        word_table.create_index("by_word", "word")
+        assert len(word_table.select(word="ate")) == 2
+        assert word_table.select(word="missing") == []
+
+    def test_select_multi_column(self, word_table):
+        rows = word_table.select(word="ate", x=1)
+        assert rows == [("ate", 1, 1)]
+
+    def test_select_range(self, word_table):
+        rows = word_table.select_range("y", low=2)
+        assert rows == [("delicious", 0, 9)]
+
+    def test_select_where(self, word_table):
+        rows = word_table.select_where(lambda r: r[2] > 1)
+        assert len(rows) == 1
+
+    def test_distinct(self, word_table):
+        assert word_table.distinct("word") == {"ate", "delicious"}
+
+    def test_duplicate_index_rejected(self, word_table):
+        word_table.create_index("by_word", "word")
+        with pytest.raises(StorageError):
+            word_table.create_index("by_word", "word")
+
+    def test_composite_index(self, word_table):
+        word_table.create_index("by_word_x", ["word", "x"])
+        assert word_table.select(word="ate", x=0) == [("ate", 0, 1)]
+
+    def test_row_by_id(self, word_table):
+        assert word_table.row(0) == ("ate", 0, 1)
+
+    def test_column_projection(self, word_table):
+        assert word_table.column("word") == ["ate", "ate", "delicious"]
+
+    def test_approximate_bytes_grows(self, word_table):
+        before = word_table.approximate_bytes()
+        word_table.insert(("extra", 5, 5))
+        assert word_table.approximate_bytes() > before
+
+
+class TestDatabase:
+    def test_create_and_fetch(self):
+        db = Database("test")
+        table = db.create_table("W", Schema.of("word", "x"))
+        assert db.table("W") is table
+        assert "W" in db
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("W", Schema.of("a"))
+        with pytest.raises(StorageError):
+            db.create_table("W", Schema.of("a"))
+
+    def test_missing_table(self):
+        with pytest.raises(StorageError):
+            Database().table("missing")
+
+    def test_drop_table(self):
+        db = Database()
+        db.create_table("W", Schema.of("a"))
+        db.drop_table("W")
+        assert "W" not in db
+
+    def test_summary_and_size(self):
+        db = Database()
+        table = db.create_table("W", Schema.of("a"))
+        table.insert(("x",))
+        summary = db.summary()
+        assert summary["W"]["rows"] == 1
+        assert db.approximate_bytes() > 0
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        db = Database("persisted")
+        table = db.create_table("W", Schema.of("word", "x"))
+        table.insert(("ate", 0))
+        path = tmp_path / "db.pkl"
+        db.save(path)
+        loaded = Database.load(path)
+        assert loaded.table("W").select(word="ate") == [("ate", 0)]
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            Database.load(tmp_path / "nope.pkl")
+
+
+class TestClosureTable:
+    def _small_tree(self) -> ClosureTable:
+        closure = ClosureTable()
+        closure.add_node(0, "root", None)
+        closure.add_node(1, "nsubj", 0)
+        closure.add_node(2, "dobj", 0)
+        closure.add_node(3, "det", 2)
+        return closure
+
+    def test_depths(self):
+        closure = self._small_tree()
+        assert closure.depth(0) == 0
+        assert closure.depth(3) == 2
+
+    def test_ancestors_and_path(self):
+        closure = self._small_tree()
+        assert closure.ancestors(3) == [0, 2, 3]
+        assert closure.path_labels(3) == ["root", "dobj", "det"]
+
+    def test_is_ancestor(self):
+        closure = self._small_tree()
+        assert closure.is_ancestor(0, 3)
+        assert closure.is_ancestor(2, 3)
+        assert not closure.is_ancestor(1, 3)
+        assert not closure.is_ancestor(3, 3)
+
+    def test_rows_count(self):
+        closure = self._small_tree()
+        # reflexive + ancestor pairs: 1 + 2 + 2 + 3
+        assert len(closure.rows()) == 8
+
+    def test_duplicate_node_rejected(self):
+        closure = self._small_tree()
+        with pytest.raises(ValueError):
+            closure.add_node(1, "x", 0)
+
+    def test_unknown_parent_rejected(self):
+        closure = ClosureTable()
+        with pytest.raises(ValueError):
+            closure.add_node(1, "x", 99)
+
+    def test_materialisation(self):
+        closure = self._small_tree()
+        db = Database()
+        table = closure.to_table(db, "PL")
+        assert len(table) == 8
+        assert table.has_index("by_label")
+        dobj_rows = table.select(label="det")
+        assert len(dobj_rows) == 3
