@@ -1,0 +1,148 @@
+"""Benchmarks for the KokoService serving layer.
+
+Measures the two serving-side effects the service layer exists for:
+
+* **cold vs warm-cache throughput** — the first pass over a query set pays
+  parse + DPLI + extraction; repeat passes are served from the plan and
+  generation-stamped result caches;
+* **ingest-while-querying** — per-document ingest latency while reader
+  threads keep querying, plus the query latency percentiles observed
+  during ingestion.
+
+Run under pytest-benchmark like the other ``bench_*`` modules, or directly
+(``PYTHONPATH=src python benchmarks/bench_service_throughput.py``) to print
+the raw measurements as JSON.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.evaluation.queries import SCALEUP_QUERIES
+from repro.nlp.types import Corpus
+from repro.service import KokoService
+
+
+def _service_over(corpus: Corpus, articles: int) -> KokoService:
+    service = KokoService(name=corpus.name)
+    for document in corpus.documents[:articles]:
+        service.add_annotated_document(document)
+    return service
+
+
+def run_throughput(corpus: Corpus, articles: int = 40, repeats: int = 5) -> dict:
+    """Cold vs warm queries/second over the three scale-up queries."""
+    service = _service_over(corpus, articles)
+    queries = list(SCALEUP_QUERIES.values())
+
+    started = time.perf_counter()
+    service.query_batch(queries)
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        service.query_batch(queries)
+    warm_seconds = (time.perf_counter() - started) / repeats
+
+    return {
+        "articles": articles,
+        "queries": len(queries),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_queries_per_second": len(queries) / cold_seconds,
+        "warm_queries_per_second": len(queries) / max(warm_seconds, 1e-9),
+        "speedup": cold_seconds / max(warm_seconds, 1e-9),
+        "result_cache_hit_rate": service.stats.result_cache_hit_rate,
+        "plan_cache_hit_rate": service.stats.plan_cache_hit_rate,
+    }
+
+
+def run_ingest_while_querying(
+    corpus: Corpus,
+    initial_articles: int = 30,
+    ingested_articles: int = 10,
+    query_threads: int = 3,
+) -> dict:
+    """Per-document ingest latency under a concurrent query load."""
+    service = _service_over(corpus, initial_articles)
+    queries = list(SCALEUP_QUERIES.values())
+    stop = threading.Event()
+
+    def reader(offset: int) -> None:
+        position = offset
+        while not stop.is_set():
+            service.query(queries[position % len(queries)])
+            position += 1
+
+    threads = [
+        threading.Thread(target=reader, args=(offset,)) for offset in range(query_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    ingest_latencies = []
+    try:
+        for document in corpus.documents[
+            initial_articles : initial_articles + ingested_articles
+        ]:
+            started = time.perf_counter()
+            service.add_document(document.text, f"ingest-{document.doc_id}")
+            ingest_latencies.append(time.perf_counter() - started)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+    ingest_latencies.sort()
+    return {
+        "initial_articles": initial_articles,
+        "ingested_articles": len(ingest_latencies),
+        "ingest_p50_seconds": ingest_latencies[len(ingest_latencies) // 2],
+        "ingest_max_seconds": ingest_latencies[-1],
+        "ingest_tokens_per_second": service.stats.ingest_tokens_per_second,
+        "queries_served_during_ingest": service.stats.queries_served,
+        "query_p50_seconds": service.stats.p50_query_seconds,
+        "query_p95_seconds": service.stats.p95_query_seconds,
+    }
+
+
+def test_service_cold_vs_warm_throughput(benchmark, wiki_corpus):
+    """Warm-cache batches must beat the cold pass."""
+    result = benchmark.pedantic(
+        run_throughput,
+        kwargs={"corpus": wiki_corpus, "articles": 40, "repeats": 5},
+        iterations=1,
+        rounds=1,
+    )
+    assert result["warm_queries_per_second"] > result["cold_queries_per_second"]
+    assert result["result_cache_hit_rate"] > 0.5
+
+
+def test_service_ingest_while_querying(benchmark, wiki_corpus):
+    """Ingestion stays live and bounded under concurrent query traffic."""
+    result = benchmark.pedantic(
+        run_ingest_while_querying,
+        kwargs={"corpus": wiki_corpus, "initial_articles": 30, "ingested_articles": 8},
+        iterations=1,
+        rounds=1,
+    )
+    assert result["ingested_articles"] == 8
+    assert result["queries_served_during_ingest"] > 0
+    assert result["query_p95_seconds"] >= result["query_p50_seconds"]
+
+
+if __name__ == "__main__":
+    import json
+
+    from repro.corpora.wikipedia import generate_wikipedia_corpus
+
+    wiki = generate_wikipedia_corpus(articles=50)
+    print(
+        json.dumps(
+            {
+                "throughput": run_throughput(wiki),
+                "ingest_while_querying": run_ingest_while_querying(wiki),
+            },
+            indent=2,
+        )
+    )

@@ -1,0 +1,59 @@
+"""KokoService demo: incremental ingestion, caching, batched queries.
+
+Run with:  PYTHONPATH=src python examples/service_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import KokoService
+
+CITY_QUERY = (
+    'extract a:GPE from "input.txt" if () satisfying a '
+    '(a SimilarTo "city" {1.0}) with threshold 0.3'
+)
+DELICIOUS_QUERY = """
+extract e:Entity, d:Str from input.txt if
+(/ROOT:{
+a = //verb,
+b = a/dobj,
+c = b//"delicious",
+d = (b.subtree)
+} (b) in (e))
+"""
+
+
+def main() -> None:
+    service = KokoService()
+
+    print("ingesting two documents...")
+    service.add_document(
+        "I ate a chocolate ice cream, which was delicious, and also ate a pie.", "doc0"
+    )
+    service.add_document(
+        "Anna ate some delicious cheesecake that she bought at a grocery store.", "doc1"
+    )
+
+    print("\nfirst query (cold, compiles the plan and fills the result cache):")
+    for extraction in service.query(DELICIOUS_QUERY):
+        print(f"  {extraction.doc_id}: e={extraction.value('e')!r}")
+
+    service.query(DELICIOUS_QUERY)  # served from the result cache
+    print(f"result-cache hits so far: {service.stats.result_cache_hits}")
+
+    print("\ningesting a third document invalidates cached results...")
+    service.add_document("cities in asian countries such as Beijing and Tokyo.", "s2")
+    batch = service.query_batch([DELICIOUS_QUERY, CITY_QUERY])
+    cities = ", ".join(sorted(t.value("a") for t in batch[1]))
+    print(f"  delicious tuples: {len(batch[0])}   cities: {cities}")
+
+    print("\nremoving that document un-indexes it:")
+    service.remove_document("s2")
+    print(f"  cities now: {[t.value('a') for t in service.query(CITY_QUERY)]}")
+
+    print("\nservice stats:")
+    for key, value in service.stats.snapshot().items():
+        print(f"  {key}: {value:.6g}" if isinstance(value, float) else f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,28 +5,35 @@ The top-level package re-exports the most commonly used entry points:
 * :class:`~repro.nlp.Pipeline` — annotate raw text into parsed documents,
 * :class:`~repro.koko.KokoEngine` — evaluate KOKO queries over a corpus,
 * :func:`~repro.koko.parse_query` — parse a KOKO query string,
-* :class:`~repro.indexing.KokoIndexSet` — the multi-index by itself.
+* :class:`~repro.indexing.KokoIndexSet` — the multi-index by itself,
+* :class:`~repro.service.KokoService` — the concurrent query-serving layer
+  with incremental ingestion, plan/result caching and service metrics.
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 reproduction of every table and figure of the paper.
 """
 
-from .koko import KokoEngine, KokoQuery, KokoResult, parse_query
+from .koko import CompiledQuery, KokoEngine, KokoQuery, KokoResult, compile_query, parse_query
 from .nlp import Corpus, Document, Pipeline, Sentence, Token
 from .indexing import KokoIndexSet
+from .service import KokoService, ServiceStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CompiledQuery",
     "Corpus",
     "Document",
     "KokoEngine",
     "KokoIndexSet",
     "KokoQuery",
     "KokoResult",
+    "KokoService",
     "Pipeline",
     "Sentence",
+    "ServiceStats",
     "Token",
+    "compile_query",
     "parse_query",
     "__version__",
 ]

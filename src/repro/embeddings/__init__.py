@@ -15,7 +15,12 @@ from .ontology import (
 )
 from .paraphrase import CounterFitter, ParaphraseLexicon
 from .ppmi import PpmiSvdEmbedder
-from .pretrained import CITY_NAMES, COUNTRY_NAMES, build_default_vectors
+from .pretrained import (
+    CITY_NAMES,
+    COUNTRY_NAMES,
+    build_default_vectors,
+    clear_default_vectors_cache,
+)
 from .vectors import VectorStore
 
 __all__ = [
@@ -24,6 +29,7 @@ __all__ = [
     "COUNTRY_NAMES",
     "CooccurrenceCounter",
     "build_default_vectors",
+    "clear_default_vectors_cache",
     "CooccurrenceCounts",
     "CounterFitter",
     "DescriptorExpander",

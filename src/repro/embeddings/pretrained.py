@@ -71,6 +71,25 @@ def _anchor(group_name: str, dimensions: int) -> np.ndarray:
     return _normalize(rng.standard_normal(dimensions))
 
 
+# Memoised stores by (dimensions, counter_fit, frozen extra_groups): the
+# build is deterministic and the store is treated as immutable by every
+# consumer, so constructing many engines/services shares one instance.
+_DEFAULT_VECTORS_CACHE: dict[tuple, VectorStore] = {}
+
+
+def _freeze_groups(extra_groups: dict[str, set[str]] | None) -> tuple:
+    if not extra_groups:
+        return ()
+    return tuple(
+        sorted((name, tuple(sorted(members))) for name, members in extra_groups.items())
+    )
+
+
+def clear_default_vectors_cache() -> None:
+    """Drop the memoised stores (tests that need isolation call this)."""
+    _DEFAULT_VECTORS_CACHE.clear()
+
+
 def build_default_vectors(
     dimensions: int = 64,
     counter_fit: bool = True,
@@ -81,7 +100,14 @@ def build_default_vectors(
     ``extra_groups`` lets corpora register additional concept groups (for
     example, generated cafe names anchored to the "cafe" concept) so that
     the similarity operator generalises to generated names.
+
+    Identical arguments return the *same* memoised store — do not mutate
+    the returned object.
     """
+    cache_key = (dimensions, counter_fit, _freeze_groups(extra_groups))
+    cached = _DEFAULT_VECTORS_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     groups: dict[str, set[str]] = {}
     for index, synonyms in enumerate(SYNONYM_SETS):
         groups[f"syn{index}"] = {w for w in synonyms if " " not in w}
@@ -115,4 +141,5 @@ def build_default_vectors(
             preserve_weight=0.4,
         )
         store = fitter.fit(store)
+    _DEFAULT_VECTORS_CACHE[cache_key] = store
     return store

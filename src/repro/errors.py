@@ -61,6 +61,10 @@ class PipelineError(ReproError):
     """Raised when the NLP pipeline cannot annotate its input."""
 
 
+class ServiceError(ReproError):
+    """Raised by the query-serving layer (duplicate or unknown document ids)."""
+
+
 class EmbeddingError(ReproError):
     """Raised by the embedding / descriptor-expansion subsystem."""
 

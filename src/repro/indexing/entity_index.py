@@ -32,7 +32,10 @@ class EntityIndex:
     def __init__(self) -> None:
         self._by_text: dict[str, list[EntityPosting]] = {}
         self._by_type: dict[str, list[EntityPosting]] = {}
-        self._all: list[EntityPosting] = []
+        # keyed by sentence id so remove_sentence is one dict pop instead
+        # of a rebuild of the whole corpus-wide posting list
+        self._by_sid: dict[int, list[EntityPosting]] = {}
+        self._count = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -48,11 +51,30 @@ class EntityIndex:
             )
             self._by_text.setdefault(mention.text.lower(), []).append(posting)
             self._by_type.setdefault(mention.etype, []).append(posting)
-            self._all.append(posting)
+            self._by_sid.setdefault(sentence.sid, []).append(posting)
+            self._count += 1
 
     def add_corpus(self, corpus: Corpus) -> None:
         for _, sentence in corpus.all_sentences():
             self.add_sentence(sentence)
+
+    def remove_sentence(self, sentence: Sentence) -> None:
+        """Remove every posting contributed by *sentence* (by sentence id)."""
+        if not sentence.entities:
+            return
+        sid = sentence.sid
+        for mention in sentence.entities:
+            for mapping, key in (
+                (self._by_text, mention.text.lower()),
+                (self._by_type, mention.etype),
+            ):
+                bucket = mapping.get(key)
+                if bucket is None:
+                    continue
+                bucket[:] = [p for p in bucket if p.sid != sid]
+                if not bucket:
+                    del mapping[key]
+        self._count -= len(self._by_sid.pop(sid, ()))
 
     # ------------------------------------------------------------------
     # lookup
@@ -67,15 +89,15 @@ class EntityIndex:
         The pseudo-type ``"Entity"`` returns every mention regardless of type.
         """
         if etype.lower() == "entity":
-            return list(self._all)
+            return self.all_postings()
         key = self._canonical_type(etype)
         return list(self._by_type.get(key, ()))
 
     def all_postings(self) -> list[EntityPosting]:
-        return list(self._all)
+        return [posting for bucket in self._by_sid.values() for posting in bucket]
 
     def __len__(self) -> int:
-        return len(self._all)
+        return self._count
 
     @staticmethod
     def _canonical_type(etype: str) -> str:
@@ -102,7 +124,7 @@ class EntityIndex:
         if database.has_table(table_name):
             database.drop_table(table_name)
         table = database.create_table(table_name, self.E_SCHEMA)
-        for posting in self._all:
+        for posting in self.all_postings():
             table.insert(
                 (posting.text.lower(), posting.sid, posting.left, posting.right, posting.etype)
             )

@@ -65,7 +65,12 @@ class HierarchyIndex:
         self._label_of = label_of
         self._next_id = 0
         self._dummy = self._new_node("<dummy>", depth=-1, parent=None)
-        self._nodes: list[HierarchyNode] = [self._dummy]
+        # node id -> node; insertion order is creation order, which is
+        # topological (parents are always created before their children) —
+        # the property to_closure_table relies on.  A dict (not a list) so
+        # that remove_sentence can prune emptied nodes without invalidating
+        # the ids of the survivors.
+        self._nodes: dict[int, HierarchyNode] = {self._dummy.node_id: self._dummy}
         # (sid, tid) -> node id; consumed by WordIndex.set_node_ids
         self._token_nodes: dict[tuple[int, int], int] = {}
         self._merged_token_count = 0
@@ -80,6 +85,8 @@ class HierarchyIndex:
     # ------------------------------------------------------------------
     def add_sentence(self, sentence: Sentence) -> None:
         """Merge the dependency tree of *sentence* into the index."""
+        if len(sentence) == 0:
+            return
         root = sentence.root_index()
         self._insert(sentence, root, self._dummy)
 
@@ -89,7 +96,7 @@ class HierarchyIndex:
         if child is None:
             child = self._new_node(label, depth=parent.depth + 1, parent=parent)
             parent.children[label] = child
-            self._nodes.append(child)
+            self._nodes[child.node_id] = child
         child.postings.append(posting_for_token(sentence, tid))
         self._token_nodes[(sentence.sid, tid)] = child.node_id
         self._merged_token_count += 1
@@ -99,6 +106,34 @@ class HierarchyIndex:
     def add_corpus(self, corpus: Corpus) -> None:
         for _, sentence in corpus.all_sentences():
             self.add_sentence(sentence)
+
+    def remove_sentence(self, sentence: Sentence) -> None:
+        """Un-merge *sentence*: drop its postings, prune emptied nodes.
+
+        Walks the same label paths :meth:`add_sentence` merged the sentence
+        through; a node left with no postings and no children is removed so
+        that node counts (and the compression ratio) track the live corpus.
+        """
+        if len(sentence) == 0:
+            return
+        root = sentence.root_index()
+        self._remove(sentence, root, self._dummy)
+
+    def _remove(self, sentence: Sentence, tid: int, parent: HierarchyNode) -> None:
+        label = str(self._label_of(sentence[tid]))
+        child = parent.children.get(label)
+        if child is None:
+            return  # this sentence was never merged through here
+        for ctid in sentence.children(tid):
+            self._remove(sentence, ctid, child)
+        if self._token_nodes.pop((sentence.sid, tid), None) is not None:
+            self._merged_token_count -= 1
+        child.postings = [
+            p for p in child.postings if not (p.sid == sentence.sid and p.tid == tid)
+        ]
+        if not child.postings and not child.children:
+            del parent.children[label]
+            del self._nodes[child.node_id]
 
     # ------------------------------------------------------------------
     # statistics (the >99.7% node-reduction claim of Section 3)
@@ -131,7 +166,7 @@ class HierarchyIndex:
 
     def nodes(self) -> Iterator[HierarchyNode]:
         """All nodes except the dummy root."""
-        return (node for node in self._nodes if node is not self._dummy)
+        return (node for node in self._nodes.values() if node is not self._dummy)
 
     def lookup_path(self, steps: list[tuple[str, str]]) -> list[Posting]:
         """Union of the posting lists of all nodes matching a path pattern.
@@ -195,8 +230,8 @@ class HierarchyIndex:
     def to_closure_table(self) -> ClosureTable:
         """Export the merged hierarchy as a closure table."""
         closure = ClosureTable()
-        # Insert in id order, which is also topological (parents first).
-        for node in self._nodes:
+        # Insert in creation order, which is also topological (parents first).
+        for node in self._nodes.values():
             if node is self._dummy:
                 closure.add_node(node.node_id, node.label, None)
             else:

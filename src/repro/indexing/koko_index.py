@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..nlp.types import Corpus
+from ..nlp.types import Corpus, Document
 from ..storage.database import Database
 from .entity_index import EntityIndex
 from .hierarchy import HierarchyIndex, parse_label_index, pos_tag_index
@@ -55,7 +55,28 @@ class KokoIndexSet:
         started = time.perf_counter()
         for _, sentence in corpus.all_sentences():
             self.add_sentence(sentence)
-        self.build_seconds = time.perf_counter() - started
+        self.build_seconds += time.perf_counter() - started
+        return self
+
+    def add_document(self, document: Document) -> "KokoIndexSet":
+        """Incrementally index every sentence of *document*.
+
+        A sequence of ``add_document`` calls over the documents of a corpus
+        (in order) produces an index set identical to ``build(corpus)`` —
+        same postings, same hierarchy nodes, same statistics.
+        """
+        started = time.perf_counter()
+        for sentence in document:
+            self.add_sentence(sentence)
+        self.build_seconds += time.perf_counter() - started
+        return self
+
+    def remove_document(self, document: Document) -> "KokoIndexSet":
+        """Incrementally un-index every sentence of *document*."""
+        started = time.perf_counter()
+        for sentence in document:
+            self.remove_sentence(sentence)
+        self.build_seconds += time.perf_counter() - started
         return self
 
     def add_sentence(self, sentence) -> None:
@@ -70,6 +91,15 @@ class KokoIndexSet:
             self.word_index.set_node_ids(sentence.sid, token.index, plid, posid)
         self._sentences += 1
         self._tokens += len(sentence)
+
+    def remove_sentence(self, sentence) -> None:
+        """Remove one sentence from all four indexes."""
+        self.word_index.remove_sentence(sentence)
+        self.entity_index.remove_sentence(sentence)
+        self.pl_index.remove_sentence(sentence)
+        self.pos_index.remove_sentence(sentence)
+        self._sentences -= 1
+        self._tokens -= len(sentence)
 
     # ------------------------------------------------------------------
     # accounting

@@ -35,6 +35,20 @@ class WordIndex:
         for _, sentence in corpus.all_sentences():
             self.add_sentence(sentence)
 
+    def remove_sentence(self, sentence: Sentence) -> None:
+        """Remove every posting contributed by *sentence* (by sentence id)."""
+        sid = sentence.sid
+        for token in sentence:
+            word = token.text.lower()
+            postings = self._postings.get(word)
+            if postings is not None:
+                postings[:] = [
+                    p for p in postings if not (p.sid == sid and p.tid == token.index)
+                ]
+                if not postings:
+                    del self._postings[word]
+            self._node_ids.pop((sid, token.index), None)
+
     def set_node_ids(self, sid: int, tid: int, plid: int, posid: int) -> None:
         """Record the hierarchy-index node ids for one token occurrence."""
         self._node_ids[(sid, tid)] = (plid, posid)

@@ -19,6 +19,7 @@ Wall-clock time per stage is recorded in :class:`~repro.koko.results.StageTiming
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 from ..embeddings.expansion import DescriptorExpander
 from ..embeddings.vectors import VectorStore
@@ -33,6 +34,35 @@ from .evaluator import Assignment, SentenceEvaluator
 from .normalize import NormalizedQuery, normalize
 from .parser import parse_query
 from .results import ExtractionTuple, KokoResult, StageTimings
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A parsed + normalised query, reusable across many executions.
+
+    Parsing and normalisation depend only on the query text, not on the
+    corpus, so a compiled query can be cached (the service layer keys a
+    plan cache by query string) and executed repeatedly — the engine then
+    skips the Normalize stage entirely.
+    """
+
+    parsed: KokoQuery
+    normalized: NormalizedQuery
+    text: str | None = None
+    compile_seconds: float = 0.0
+
+
+def compile_query(query: str | KokoQuery) -> CompiledQuery:
+    """Parse (if needed) and normalise *query* into a :class:`CompiledQuery`."""
+    started = time.perf_counter()
+    parsed = parse_query(query) if isinstance(query, str) else query
+    normalized = normalize(parsed)
+    return CompiledQuery(
+        parsed=parsed,
+        normalized=normalized,
+        text=query if isinstance(query, str) else None,
+        compile_seconds=time.perf_counter() - started,
+    )
 
 
 class KokoEngine:
@@ -71,9 +101,24 @@ class KokoEngine:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def register_document(self, document: Document) -> None:
+        """Make a newly ingested document's sentences addressable by sid.
+
+        The engine shares its corpus object with the caller; after the
+        caller appends *document* to that corpus (and indexes it), this
+        keeps the sid → sentence map in sync so candidate loading works.
+        """
+        for sentence in document:
+            self._by_sid[sentence.sid] = (document, sentence)
+
+    def unregister_document(self, document: Document) -> None:
+        """Forget a removed document's sentences."""
+        for sentence in document:
+            self._by_sid.pop(sentence.sid, None)
+
     def execute(
         self,
-        query: str | KokoQuery,
+        query: str | KokoQuery | CompiledQuery,
         threshold_override: float | None = None,
         keep_all_scores: bool = False,
     ) -> KokoResult:
@@ -83,13 +128,17 @@ class KokoEngine:
         clause (the experiments sweep it).  ``keep_all_scores=True`` keeps
         tuples that fail their thresholds too (with their scores), which
         lets an experiment evaluate many thresholds from a single run.
+        Passing a :class:`CompiledQuery` skips parsing and normalisation.
         """
         result = KokoResult()
         timings = result.timings
 
         started = time.perf_counter()
-        parsed = parse_query(query) if isinstance(query, str) else query
-        normalized = normalize(parsed)
+        if isinstance(query, CompiledQuery):
+            parsed, normalized = query.parsed, query.normalized
+        else:
+            parsed = parse_query(query) if isinstance(query, str) else query
+            normalized = normalize(parsed)
         timings.normalize = time.perf_counter() - started
 
         started = time.perf_counter()

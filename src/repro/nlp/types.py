@@ -295,7 +295,6 @@ class Sentence:
         for tok in self.tokens:
             if 0 <= tok.head < n and tok.head != tok.index:
                 children[tok.head].append(tok.index)
-        self._children = children
 
         # Depth by walking up the head chain (with cycle guard).
         depths = [0] * n
@@ -321,6 +320,10 @@ class Sentence:
                 last = max(last, cl)
             spans[i] = (first, last)
         self._subtree_spans = spans
+
+        # Assigned last: concurrent readers key the "caches ready" check on
+        # _children, so the other caches must already be visible by then.
+        self._children = children
 
     def invalidate_caches(self) -> None:
         """Drop memoised tree structure (call after mutating tokens)."""

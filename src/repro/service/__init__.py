@@ -1,0 +1,14 @@
+"""The query-serving layer: incremental ingestion, caching, concurrency."""
+
+from .cache import PlanCache, ResultCache
+from .locks import ReadWriteLock
+from .service import KokoService
+from .stats import ServiceStats
+
+__all__ = [
+    "KokoService",
+    "PlanCache",
+    "ReadWriteLock",
+    "ResultCache",
+    "ServiceStats",
+]

@@ -1,0 +1,128 @@
+"""Plan and result caches for :class:`~repro.service.KokoService`.
+
+Two read-side caches, both keyed by query text:
+
+* :class:`PlanCache` — memoises parse + normalise (the engine's Normalize
+  stage) into :class:`~repro.koko.engine.CompiledQuery` objects.  Plans
+  depend only on the query string, so this cache survives ingestion.
+* :class:`ResultCache` — a generation-stamped LRU over full query results.
+  Every ingest bumps the service's corpus generation; an entry stamped
+  with an older generation is stale and treated as a miss (and evicted),
+  so results never outlive the corpus snapshot they were computed from.
+
+Both caches are guarded by their own mutex: many query threads hit them
+concurrently under the service's *read* lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, TypeVar
+
+from ..koko.engine import CompiledQuery, compile_query
+
+V = TypeVar("V")
+
+
+class _LruDict(Generic[V]):
+    """A tiny thread-safe LRU mapping (capacity-bounded OrderedDict)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, V] = OrderedDict()
+
+    def get(self, key: Hashable) -> V | None:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, value: V) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def evict(self, key: Hashable) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class PlanCache:
+    """LRU cache of compiled query plans, keyed by query string."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._plans: _LruDict[CompiledQuery] = _LruDict(capacity)
+
+    def get_or_compile(self, query_text: str) -> tuple[CompiledQuery, bool]:
+        """Return ``(plan, was_hit)`` for *query_text*, compiling on miss.
+
+        A parse error propagates to the caller and caches nothing.
+        """
+        plan = self._plans.get(query_text)
+        if plan is not None:
+            return plan, True
+        plan = compile_query(query_text)
+        self._plans.put(query_text, plan)
+        return plan, False
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+class ResultCache(Generic[V]):
+    """Generation-stamped LRU: entries from an older corpus generation miss.
+
+    Staleness is checked lazily at lookup time, so ingestion never has to
+    walk the cache — bumping the generation invalidates everything at once.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._entries: _LruDict[tuple[int, V]] = _LruDict(capacity)
+
+    def get(self, key: Hashable, generation: int) -> V | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        stamped_generation, value = entry
+        if stamped_generation != generation:
+            self._entries.evict(key)
+            return None
+        return value
+
+    def put(self, key: Hashable, generation: int, value: V) -> None:
+        self._entries.put(key, (generation, value))
+
+    def get_or_compute(
+        self, key: Hashable, generation: int, compute: Callable[[], V]
+    ) -> tuple[V, bool]:
+        """Return ``(value, was_hit)``, computing and caching on miss."""
+        cached = self.get(key, generation)
+        if cached is not None:
+            return cached, True
+        value = compute()
+        self.put(key, generation, value)
+        return value, False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

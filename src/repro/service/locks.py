@@ -1,0 +1,72 @@
+"""A writer-preferring readers-writer lock for the service layer.
+
+Queries only read the corpus and indexes, so any number of them may run
+concurrently; ingestion mutates all four indexes and must run alone.  The
+lock prefers writers: once an ingest is waiting, new queries queue behind
+it, so a steady query stream cannot starve ingestion.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """Many concurrent readers XOR one writer; waiting writers get priority."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # reader side
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------
+    # writer side
+    # ------------------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._readers or self._writer_active:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

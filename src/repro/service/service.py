@@ -1,0 +1,277 @@
+"""KokoService — a concurrent query-serving layer over the KOKO engine.
+
+The batch pipeline of the paper builds the multi-index once over a frozen
+corpus and evaluates one query at a time.  ``KokoService`` turns that into
+a long-lived server:
+
+* **Incremental ingestion** — :meth:`add_document` annotates raw text with
+  the NLP pipeline and folds it into the live word, entity, PL and POS
+  indexes (no rebuild); :meth:`remove_document` un-indexes a document.
+* **Plan caching** — each distinct query string is parsed and normalised
+  once (:class:`~repro.service.cache.PlanCache`).
+* **Result caching** — full query results are kept in a generation-stamped
+  LRU (:class:`~repro.service.cache.ResultCache`); every ingest bumps the
+  corpus generation, which invalidates all cached results at once.
+* **Concurrency** — any number of queries evaluate in parallel under a
+  readers-writer lock (:class:`~repro.service.locks.ReadWriteLock`);
+  ingestion takes the write side.  :meth:`query_batch` fans a batch out
+  over a thread pool, preserving per-query
+  :class:`~repro.koko.results.StageTimings`.
+* **Observability** — :class:`~repro.service.stats.ServiceStats` tracks
+  cache hit rates, ingest throughput and p50/p95 query latency.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+import time
+
+from ..embeddings.expansion import DescriptorExpander
+from ..embeddings.vectors import VectorStore
+from ..errors import ServiceError
+from ..indexing.koko_index import IndexStatistics, KokoIndexSet
+from ..koko.ast import KokoQuery
+from ..koko.engine import CompiledQuery, KokoEngine
+from ..koko.results import KokoResult
+from ..nlp.pipeline import Pipeline
+from ..nlp.types import Corpus, Document
+from .cache import PlanCache, ResultCache
+from .locks import ReadWriteLock
+from .stats import ServiceStats
+
+
+class KokoService:
+    """A mutable-corpus, multi-query KOKO server.
+
+    Results returned by :meth:`query` may be shared cache entries — treat
+    them as read-only.
+
+    Parameters
+    ----------
+    pipeline:
+        NLP pipeline used to annotate ingested text (default rule-based).
+    name:
+        Name of the service's corpus.
+    plan_cache_size, result_cache_size:
+        LRU capacities of the two read-side caches.
+    max_workers:
+        Thread-pool width used by :meth:`query_batch`.
+    expander, vectors, dictionaries, use_gsp, use_default_vectors:
+        Forwarded to :class:`~repro.koko.engine.KokoEngine`.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline | None = None,
+        name: str = "service",
+        plan_cache_size: int = 256,
+        result_cache_size: int = 256,
+        max_workers: int = 4,
+        expander: DescriptorExpander | None = None,
+        vectors: VectorStore | None = None,
+        dictionaries: dict[str, set[str]] | None = None,
+        use_gsp: bool = True,
+        use_default_vectors: bool = True,
+    ) -> None:
+        self.pipeline = pipeline or Pipeline()
+        self.corpus = Corpus(name=name)
+        self.indexes = KokoIndexSet()
+        self.engine = KokoEngine(
+            self.corpus,
+            expander=expander,
+            vectors=vectors,
+            dictionaries=dictionaries,
+            use_gsp=use_gsp,
+            indexes=self.indexes,
+            use_default_vectors=use_default_vectors,
+        )
+        self.max_workers = max_workers
+        self.stats = ServiceStats()
+        self._plan_cache = PlanCache(plan_cache_size)
+        self._result_cache: ResultCache[KokoResult] = ResultCache(result_cache_size)
+        self._lock = ReadWriteLock()
+        self._documents: dict[str, Document] = {}
+        self._next_sid = 0
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # ingestion (write side)
+    # ------------------------------------------------------------------
+    def add_document(self, text: str, doc_id: str | None = None) -> Document:
+        """Annotate *text* and fold it into the live corpus and indexes."""
+        started = time.perf_counter()
+        with self._lock.write_locked():
+            resolved_id = doc_id if doc_id is not None else self._fresh_doc_id()
+            if resolved_id in self._documents:
+                raise ServiceError(f"document id {resolved_id!r} already ingested")
+            document = self.pipeline.annotate(
+                text, doc_id=resolved_id, first_sid=self._next_sid
+            )
+            self._ingest_locked(document)
+        self.stats.record_ingest(
+            time.perf_counter() - started, len(document), document.num_tokens
+        )
+        return document
+
+    def add_annotated_document(self, document: Document) -> Document:
+        """Ingest an already-annotated document.
+
+        The document's sentence ids must be fresh; documents annotated with
+        ``first_sid=service.next_sid()`` (or produced by this service's own
+        pipeline flow) satisfy that.
+        """
+        started = time.perf_counter()
+        with self._lock.write_locked():
+            if document.doc_id in self._documents:
+                raise ServiceError(f"document id {document.doc_id!r} already ingested")
+            for sentence in document:
+                if sentence.sid < self._next_sid:
+                    raise ServiceError(
+                        f"sentence id {sentence.sid} of document "
+                        f"{document.doc_id!r} is not fresh (next sid is "
+                        f"{self._next_sid})"
+                    )
+            self._ingest_locked(document)
+        self.stats.record_ingest(
+            time.perf_counter() - started, len(document), document.num_tokens
+        )
+        return document
+
+    def remove_document(self, doc_id: str) -> Document:
+        """Un-index and drop one document; returns it."""
+        started = time.perf_counter()
+        with self._lock.write_locked():
+            document = self._documents.pop(doc_id, None)
+            if document is None:
+                raise ServiceError(f"unknown document id {doc_id!r}")
+            self.corpus.documents.remove(document)
+            self.indexes.remove_document(document)
+            self.engine.unregister_document(document)
+            self._generation += 1
+        self.stats.record_ingest(
+            time.perf_counter() - started,
+            len(document),
+            document.num_tokens,
+            removed=True,
+        )
+        return document
+
+    def _ingest_locked(self, document: Document) -> None:
+        """Wire one annotated document into corpus, indexes and engine."""
+        self._next_sid = max(
+            self._next_sid, max((s.sid for s in document), default=self._next_sid - 1) + 1
+        )
+        self.corpus.documents.append(document)
+        self._documents[document.doc_id] = document
+        self.indexes.add_document(document)
+        self.engine.register_document(document)
+        self._generation += 1
+
+    def _fresh_doc_id(self) -> str:
+        candidate = f"doc{len(self._documents)}"
+        while candidate in self._documents:
+            candidate = candidate + "_"
+        return candidate
+
+    # ------------------------------------------------------------------
+    # querying (read side)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: str | KokoQuery | CompiledQuery,
+        threshold_override: float | None = None,
+        keep_all_scores: bool = False,
+    ) -> KokoResult:
+        """Evaluate one query against the current corpus snapshot.
+
+        String queries go through the plan cache and the generation-stamped
+        result cache; pre-parsed queries bypass both.
+        """
+        started = time.perf_counter()
+        result_hit: bool | None = None
+        plan_hit: bool | None = None
+        with self._lock.read_locked():
+            if isinstance(query, str):
+                key = (query, threshold_override, keep_all_scores)
+                generation = self._generation
+                result = self._result_cache.get(key, generation)
+                if result is not None:
+                    result_hit = True
+                else:
+                    result_hit = False
+                    plan, plan_hit = self._plan_cache.get_or_compile(query)
+                    result = self.engine.execute(
+                        plan,
+                        threshold_override=threshold_override,
+                        keep_all_scores=keep_all_scores,
+                    )
+                    self._result_cache.put(key, generation, result)
+            else:
+                result = self.engine.execute(
+                    query,
+                    threshold_override=threshold_override,
+                    keep_all_scores=keep_all_scores,
+                )
+        self.stats.record_query(
+            time.perf_counter() - started,
+            result_cache_hit=result_hit,
+            plan_cache_hit=plan_hit,
+        )
+        return result
+
+    def query_batch(
+        self,
+        queries: list[str | KokoQuery | CompiledQuery],
+        threshold_override: float | None = None,
+        keep_all_scores: bool = False,
+        max_workers: int | None = None,
+    ) -> list[KokoResult]:
+        """Evaluate a batch of queries concurrently, preserving order.
+
+        Each result carries its own :class:`~repro.koko.results.StageTimings`
+        exactly as single-query execution would.
+        """
+        if not queries:
+            return []
+        workers = max(1, min(max_workers or self.max_workers, len(queries)))
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            return list(
+                executor.map(
+                    lambda q: self.query(
+                        q,
+                        threshold_override=threshold_override,
+                        keep_all_scores=keep_all_scores,
+                    ),
+                    queries,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Corpus generation; bumped by every ingest (cache invalidation)."""
+        return self._generation
+
+    def next_sid(self) -> int:
+        """The first sentence id a newly annotated document should use."""
+        return self._next_sid
+
+    def document_ids(self) -> list[str]:
+        with self._lock.read_locked():
+            return list(self._documents)
+
+    def statistics(self) -> IndexStatistics:
+        """Current :class:`IndexStatistics` of the live index set."""
+        with self._lock.read_locked():
+            return self.indexes.statistics()
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"KokoService(documents={len(self._documents)}, "
+            f"generation={self._generation})"
+        )

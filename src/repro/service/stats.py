@@ -1,0 +1,133 @@
+"""Operational metrics for :class:`~repro.service.KokoService`.
+
+``ServiceStats`` aggregates the numbers an operator of a query-serving
+deployment watches: cache hit rates, ingest throughput, and query latency
+percentiles (over a sliding window of recent queries, so a long-lived
+service reports current — not lifetime-averaged — latency).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+
+
+class ServiceStats:
+    """Thread-safe counters and latency window for one service instance."""
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self.queries_served = 0
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.documents_added = 0
+        self.documents_removed = 0
+        self.sentences_ingested = 0
+        self.tokens_ingested = 0
+        self.ingest_seconds = 0.0
+        self.removal_seconds = 0.0
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_query(
+        self,
+        seconds: float,
+        *,
+        result_cache_hit: bool | None = False,
+        plan_cache_hit: bool | None = None,
+    ) -> None:
+        """Account one served query.
+
+        ``None`` for either flag means that cache was bypassed (the query
+        arrived pre-parsed), which counts toward neither hit nor miss — so
+        hit rates reflect only queries the caches could have served.
+        """
+        with self._lock:
+            self.queries_served += 1
+            self._latencies.append(seconds)
+            if result_cache_hit is True:
+                self.result_cache_hits += 1
+            elif result_cache_hit is False:
+                self.result_cache_misses += 1
+            if plan_cache_hit is True:
+                self.plan_cache_hits += 1
+            elif plan_cache_hit is False:
+                self.plan_cache_misses += 1
+
+    def record_ingest(
+        self, seconds: float, sentences: int, tokens: int, *, removed: bool = False
+    ) -> None:
+        """Account one document added to (or removed from) the corpus."""
+        with self._lock:
+            if removed:
+                self.documents_removed += 1
+                self.removal_seconds += seconds
+            else:
+                self.documents_added += 1
+                self.sentences_ingested += sentences
+                self.tokens_ingested += tokens
+                self.ingest_seconds += seconds
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def result_cache_hit_rate(self) -> float:
+        total = self.result_cache_hits + self.result_cache_misses
+        return self.result_cache_hits / total if total else 0.0
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
+
+    @property
+    def ingest_tokens_per_second(self) -> float:
+        if self.ingest_seconds <= 0.0:
+            return 0.0
+        return self.tokens_ingested / self.ingest_seconds
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Nearest-rank percentile (e.g. 50, 95) over the latency window."""
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        with self._lock:
+            window = sorted(self._latencies)
+        if not window:
+            return 0.0
+        rank = max(1, math.ceil(percentile / 100.0 * len(window)))
+        return window[rank - 1]
+
+    @property
+    def p50_query_seconds(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_query_seconds(self) -> float:
+        return self.latency_percentile(95.0)
+
+    def snapshot(self) -> dict[str, float | int]:
+        """A point-in-time dict of every metric (for logs / benchmarks)."""
+        return {
+            "queries_served": self.queries_served,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_misses": self.result_cache_misses,
+            "result_cache_hit_rate": self.result_cache_hit_rate,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "plan_cache_hit_rate": self.plan_cache_hit_rate,
+            "documents_added": self.documents_added,
+            "documents_removed": self.documents_removed,
+            "sentences_ingested": self.sentences_ingested,
+            "tokens_ingested": self.tokens_ingested,
+            "ingest_seconds": self.ingest_seconds,
+            "removal_seconds": self.removal_seconds,
+            "ingest_tokens_per_second": self.ingest_tokens_per_second,
+            "p50_query_seconds": self.p50_query_seconds,
+            "p95_query_seconds": self.p95_query_seconds,
+        }

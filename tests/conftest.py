@@ -6,6 +6,8 @@ session scoped so the suite stays fast; tests must not mutate them.
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.corpora.cafe_blogs import BARISTAMAG, generate_cafe_corpus
@@ -78,3 +80,49 @@ def cafe_corpus(pipeline):
 @pytest.fixture(scope="session")
 def cafe_engine(cafe_corpus) -> KokoEngine:
     return KokoEngine(cafe_corpus)
+
+
+# ----------------------------------------------------------------------
+# index-set equivalence (shared by incremental-index and service tests)
+# ----------------------------------------------------------------------
+def _hierarchy_shape(hierarchy):
+    """Map node path -> sorted postings (id-independent node identity)."""
+    return {node.path(): sorted(node.postings) for node in hierarchy.nodes()}
+
+
+def _word_shape(index_set):
+    """Word postings plus each occurrence's PL/POS node *paths*."""
+    shape = {}
+    for word in index_set.word_index.vocabulary():
+        rows = []
+        for posting in sorted(index_set.word_index.lookup(word)):
+            node_ids = index_set.word_index.node_ids(posting.sid, posting.tid)
+            paths = (None, None)
+            if node_ids is not None:
+                plid, posid = node_ids
+                paths = (
+                    index_set.pl_index.node_by_id(plid).path(),
+                    index_set.pos_index.node_by_id(posid).path(),
+                )
+            rows.append((posting, paths))
+        shape[word] = rows
+    return shape
+
+
+def assert_index_sets_equivalent(actual: KokoIndexSet, expected: KokoIndexSet) -> None:
+    """Same postings, hierarchy paths and statistics (build time aside)."""
+    assert _word_shape(actual) == _word_shape(expected)
+    assert sorted(actual.entity_index.all_postings()) == sorted(
+        expected.entity_index.all_postings()
+    )
+    assert _hierarchy_shape(actual.pl_index) == _hierarchy_shape(expected.pl_index)
+    assert _hierarchy_shape(actual.pos_index) == _hierarchy_shape(expected.pos_index)
+    actual_stats = dataclasses.replace(actual.statistics(), build_seconds=0.0)
+    expected_stats = dataclasses.replace(expected.statistics(), build_seconds=0.0)
+    assert actual_stats == expected_stats
+
+
+@pytest.fixture(scope="session")
+def assert_equivalent_indexes():
+    """The index-set equivalence assertion, as an injectable fixture."""
+    return assert_index_sets_equivalent

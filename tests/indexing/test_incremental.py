@@ -1,0 +1,121 @@
+"""Incremental index maintenance: add/remove must match from-scratch builds.
+
+The service layer relies on two equivalences:
+
+* **add** — ``KokoIndexSet().build(corpus)`` and a sequence of
+  ``add_document`` calls over the same documents produce identical postings,
+  hierarchy nodes and statistics (bit-for-bit, including node ids);
+* **remove** — removing documents leaves the index set equivalent (same
+  postings and same hierarchy *paths*; node ids may differ because pruning
+  frees ids that a fresh build never allocates) to an add-only build over
+  the surviving documents.
+
+The equivalence assertion itself lives in ``tests/conftest.py``
+(:func:`assert_index_sets_equivalent`), shared with the service tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexing.koko_index import KokoIndexSet
+from repro.nlp.pipeline import Pipeline
+from repro.nlp.types import Corpus
+
+
+def _incremental_build(corpus: Corpus) -> KokoIndexSet:
+    index_set = KokoIndexSet()
+    for document in corpus:
+        index_set.add_document(document)
+    return index_set
+
+
+# ----------------------------------------------------------------------
+# add-path equivalence (two real corpora, per the acceptance criteria)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("corpus_fixture", ["paper_corpus", "cafe_corpus"])
+def test_add_document_matches_build(corpus_fixture, request, assert_equivalent_indexes):
+    corpus = request.getfixturevalue(corpus_fixture)
+    built = KokoIndexSet().build(corpus)
+    incremental = _incremental_build(corpus)
+    assert_equivalent_indexes(incremental, built)
+    # identical insertion order means even node ids coincide
+    assert {
+        n.node_id for n in incremental.pl_index.nodes()
+    } == {n.node_id for n in built.pl_index.nodes()}
+
+
+# ----------------------------------------------------------------------
+# remove path
+# ----------------------------------------------------------------------
+def test_remove_document_matches_add_only_of_survivors(
+    paper_corpus, pipeline, assert_equivalent_indexes
+):
+    extra = pipeline.annotate(
+        "cities in asian countries such as Beijing and Tokyo.",
+        doc_id="extra",
+        first_sid=paper_corpus.num_sentences,
+    )
+    full = _incremental_build(paper_corpus)
+    full.add_document(extra)
+    full.remove_document(paper_corpus.documents[0])
+
+    survivors = KokoIndexSet()
+    for document in paper_corpus.documents[1:]:
+        survivors.add_document(document)
+    survivors.add_document(extra)
+    assert_equivalent_indexes(full, survivors)
+
+
+def test_remove_everything_leaves_empty_indexes(paper_corpus):
+    index_set = _incremental_build(paper_corpus)
+    for document in paper_corpus:
+        index_set.remove_document(document)
+    stats = index_set.statistics()
+    assert stats.sentences == 0
+    assert stats.tokens == 0
+    assert stats.word_postings == 0
+    assert stats.entity_postings == 0
+    assert stats.pl_nodes == 0
+    assert stats.pos_nodes == 0
+    assert index_set.word_index.vocabulary() == []
+
+
+# ----------------------------------------------------------------------
+# property-style: random corpora, random removals
+# ----------------------------------------------------------------------
+_WORDS = [
+    "Anna", "ate", "delicious", "cheesecake", "the", "cafe", "in", "Tokyo",
+    "serves", "coffee", "Paolo", "visited", "Beijing", "and", "pie",
+]
+
+_sentences = st.lists(st.sampled_from(_WORDS), min_size=3, max_size=8).map(
+    lambda words: " ".join(words) + "."
+)
+_documents = st.lists(_sentences, min_size=1, max_size=3).map(" ".join)
+_corpora = st.lists(_documents, min_size=1, max_size=4)
+
+_PIPELINE = Pipeline()
+
+
+@settings(max_examples=15, deadline=None)
+@given(texts=_corpora, data=st.data())
+def test_random_corpora_add_remove_equivalence(texts, data, assert_equivalent_indexes):
+    corpus = _PIPELINE.annotate_corpus(texts, name="random")
+    built = KokoIndexSet().build(corpus)
+    incremental = _incremental_build(corpus)
+    assert_equivalent_indexes(incremental, built)
+
+    # remove a random subset; the survivors must match an add-only build
+    doomed = data.draw(
+        st.sets(st.sampled_from(range(len(corpus.documents)))), label="doomed"
+    )
+    for position in doomed:
+        incremental.remove_document(corpus.documents[position])
+    survivors = KokoIndexSet()
+    for position, document in enumerate(corpus.documents):
+        if position not in doomed:
+            survivors.add_document(document)
+    assert_equivalent_indexes(incremental, survivors)

@@ -1,0 +1,251 @@
+"""Tests for the KokoService query-serving layer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.indexing.koko_index import KokoIndexSet
+from repro.koko.engine import KokoEngine, compile_query
+from repro.service import KokoService, PlanCache, ReadWriteLock, ResultCache
+from repro.service.stats import ServiceStats
+
+ENTITY_QUERY = (
+    'extract e:Entity, d:Str from input.txt if '
+    '(/ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) } (b) in (e))'
+)
+CITY_QUERY = (
+    'extract a:GPE from "input.txt" if () satisfying a '
+    '(a SimilarTo "city" {1.0}) with threshold 0.3'
+)
+
+DOC_TEXTS = {
+    "doc0": "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+    "doc1": "Anna ate some delicious cheesecake that she bought at a grocery store.",
+}
+
+
+def tuple_set(result):
+    return {(t.doc_id, t.sid, t.values) for t in result}
+
+
+@pytest.fixture()
+def service():
+    svc = KokoService(use_default_vectors=True)
+    for doc_id, text in DOC_TEXTS.items():
+        svc.add_document(text, doc_id)
+    return svc
+
+
+# ----------------------------------------------------------------------
+# incremental ingestion equivalence (acceptance criterion, two corpora)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("corpus_fixture", ["paper_corpus", "cafe_corpus"])
+def test_service_ingest_matches_from_scratch_build(
+    corpus_fixture, request, pipeline, assert_equivalent_indexes
+):
+    corpus = request.getfixturevalue(corpus_fixture)
+    svc = KokoService(pipeline=pipeline, use_default_vectors=False)
+    for document in corpus:
+        svc.add_document(document.text, document.doc_id)
+    assert_equivalent_indexes(svc.indexes, KokoIndexSet().build(corpus))
+    assert svc.document_ids() == [d.doc_id for d in corpus]
+
+
+def test_service_results_match_plain_engine(service, pipeline):
+    corpus = pipeline.annotate_corpus(DOC_TEXTS, name="reference")
+    engine = KokoEngine(corpus, use_default_vectors=True)
+    assert tuple_set(service.query(ENTITY_QUERY)) == tuple_set(engine.execute(ENTITY_QUERY))
+
+
+# ----------------------------------------------------------------------
+# caching
+# ----------------------------------------------------------------------
+def test_repeated_query_hits_result_cache(service):
+    first = service.query(ENTITY_QUERY)
+    second = service.query(ENTITY_QUERY)
+    assert second is first  # shared cache entry
+    assert service.stats.result_cache_hits == 1
+    assert service.stats.result_cache_misses == 1
+    assert service.stats.plan_cache_misses == 1
+
+
+def test_ingestion_invalidates_result_cache_but_not_plans(service):
+    first = service.query(ENTITY_QUERY)
+    service.add_document("Maria ate a delicious pie.", "doc2")
+    second = service.query(ENTITY_QUERY)
+    assert second is not first
+    assert len(second) == len(first) + 1
+    # the plan survived ingestion: re-execution reused it
+    assert service.stats.plan_cache_hits == 1
+    assert service.stats.result_cache_hits == 0
+
+
+def test_removal_invalidates_and_unindexes(service):
+    service.add_document("cities such as Beijing and Tokyo.", "cities")
+    assert {t.value("a") for t in service.query(CITY_QUERY)} == {"Beijing", "Tokyo"}
+    service.remove_document("cities")
+    assert len(service.query(CITY_QUERY)) == 0
+    assert service.stats.documents_removed == 1
+
+
+def test_distinct_parameters_cached_separately(service):
+    strict = service.query(CITY_QUERY, threshold_override=0.99)
+    lax = service.query(CITY_QUERY, threshold_override=0.0)
+    assert service.stats.result_cache_misses == 2
+    assert strict is not lax
+
+
+def test_compiled_query_bypasses_caches(service):
+    plan = compile_query(ENTITY_QUERY)
+    first = service.query(plan)
+    second = service.query(plan)
+    assert second is not first
+    assert tuple_set(second) == tuple_set(first)
+    # bypassed caches count toward neither hits nor misses
+    assert service.stats.result_cache_hits == 0
+    assert service.stats.result_cache_misses == 0
+    assert service.stats.plan_cache_hits == 0
+    assert service.stats.plan_cache_misses == 0
+
+
+# ----------------------------------------------------------------------
+# batched concurrent execution
+# ----------------------------------------------------------------------
+def test_query_batch_preserves_order_and_timings(service):
+    queries = [ENTITY_QUERY, CITY_QUERY, ENTITY_QUERY, CITY_QUERY]
+    results = service.query_batch(queries, max_workers=3)
+    assert len(results) == len(queries)
+    assert tuple_set(results[0]) == tuple_set(results[2])
+    assert tuple_set(results[1]) == tuple_set(results[3])
+    for result in results:
+        assert result.timings.total >= 0.0
+    assert service.stats.queries_served == 4
+    assert service.query_batch([]) == []
+
+
+def test_ingest_while_querying_is_safe(service):
+    stop = threading.Event()
+    errors: list[Exception] = []
+
+    def reader():
+        while not stop.is_set():
+            try:
+                service.query(ENTITY_QUERY)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    try:
+        for index in range(8):
+            service.add_document(f"Anna ate a delicious pie number {index}.", f"extra{index}")
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    assert errors == []
+    # after the dust settles the corpus reflects every ingest
+    result = service.query(ENTITY_QUERY)
+    assert len(result) == 2 + 8
+
+
+# ----------------------------------------------------------------------
+# bookkeeping and errors
+# ----------------------------------------------------------------------
+def test_duplicate_and_unknown_doc_ids(service):
+    with pytest.raises(ServiceError):
+        service.add_document("again", "doc0")
+    with pytest.raises(ServiceError):
+        service.remove_document("missing")
+
+
+def test_add_annotated_document_requires_fresh_sids(service, pipeline):
+    document = pipeline.annotate(
+        "Paolo visited Beijing.", doc_id="pre", first_sid=service.next_sid()
+    )
+    service.add_annotated_document(document)
+    assert "pre" in service.document_ids()
+    stale = pipeline.annotate("An old one.", doc_id="stale", first_sid=0)
+    with pytest.raises(ServiceError):
+        service.add_annotated_document(stale)
+    with pytest.raises(ServiceError):
+        service.add_annotated_document(document)  # duplicate id
+
+
+def test_statistics_track_live_corpus(service):
+    before = service.statistics()
+    document = service.add_document("Paolo visited Beijing.", "doc2")
+    after = service.statistics()
+    assert after.sentences == before.sentences + len(document)
+    assert after.tokens == before.tokens + document.num_tokens
+    removed = service.remove_document("doc2")
+    assert removed is document
+    restored = service.statistics()
+    assert restored.sentences == before.sentences
+    assert restored.tokens == before.tokens
+
+
+def test_stats_snapshot_and_percentiles(service):
+    for _ in range(10):
+        service.query(ENTITY_QUERY)
+    snapshot = service.stats.snapshot()
+    assert snapshot["queries_served"] == 10
+    assert snapshot["result_cache_hit_rate"] == pytest.approx(0.9)
+    assert snapshot["documents_added"] == 2
+    assert snapshot["ingest_tokens_per_second"] > 0
+    assert 0.0 <= snapshot["p50_query_seconds"] <= snapshot["p95_query_seconds"]
+    with pytest.raises(ValueError):
+        service.stats.latency_percentile(0.0)
+
+
+# ----------------------------------------------------------------------
+# cache and lock unit tests
+# ----------------------------------------------------------------------
+def test_result_cache_lru_eviction_and_generations():
+    cache: ResultCache[str] = ResultCache(capacity=2)
+    cache.put("a", 0, "A")
+    cache.put("b", 0, "B")
+    assert cache.get("a", 0) == "A"  # refreshes "a"
+    cache.put("c", 0, "C")  # evicts "b"
+    assert cache.get("b", 0) is None
+    assert cache.get("a", 1) is None  # stale generation
+    assert len(cache) == 1  # stale entry was evicted too
+    value, hit = cache.get_or_compute("d", 1, lambda: "D")
+    assert (value, hit) == ("D", False)
+    assert cache.get_or_compute("d", 1, lambda: "?") == ("D", True)
+
+
+def test_plan_cache_compiles_once():
+    cache = PlanCache(capacity=4)
+    plan, hit = cache.get_or_compile(CITY_QUERY)
+    assert not hit
+    again, hit = cache.get_or_compile(CITY_QUERY)
+    assert hit and again is plan
+    assert len(cache) == 1
+
+
+def test_read_write_lock_excludes_writers():
+    lock = ReadWriteLock()
+    events: list[str] = []
+    with lock.read_locked():
+        writer = threading.Thread(
+            target=lambda: (lock.acquire_write(), events.append("wrote"), lock.release_write())
+        )
+        writer.start()
+        writer.join(timeout=0.05)
+        assert events == []  # writer blocked while a reader holds the lock
+    writer.join(timeout=2.0)
+    assert events == ["wrote"]
+
+
+def test_service_stats_defaults():
+    stats = ServiceStats()
+    assert stats.result_cache_hit_rate == 0.0
+    assert stats.plan_cache_hit_rate == 0.0
+    assert stats.ingest_tokens_per_second == 0.0
+    assert stats.p50_query_seconds == 0.0
