@@ -10,8 +10,9 @@ Measures the two serving-side effects the service layer exists for:
   during ingestion.
 
 Run under pytest-benchmark like the other ``bench_*`` modules, or directly
-(``PYTHONPATH=src python benchmarks/bench_service_throughput.py``) to print
-the raw measurements as JSON.
+(``PYTHONPATH=src python benchmarks/bench_service_throughput.py [--smoke]``)
+to print the raw measurements as JSON; ``--smoke`` shrinks the workload so
+CI can exercise the script end-to-end in seconds.
 """
 
 from __future__ import annotations
@@ -68,11 +69,16 @@ def run_ingest_while_querying(
     service = _service_over(corpus, initial_articles)
     queries = list(SCALEUP_QUERIES.values())
     stop = threading.Event()
+    reader_errors: list[Exception] = []
 
     def reader(offset: int) -> None:
         position = offset
         while not stop.is_set():
-            service.query(queries[position % len(queries)])
+            try:
+                service.query(queries[position % len(queries)])
+            except Exception as exc:  # pragma: no cover - regression guard
+                reader_errors.append(exc)
+                return
             position += 1
 
     threads = [
@@ -93,6 +99,8 @@ def run_ingest_while_querying(
         for thread in threads:
             thread.join()
 
+    if reader_errors:
+        raise reader_errors[0]
     ingest_latencies.sort()
     return {
         "initial_articles": initial_articles,
@@ -133,15 +141,27 @@ def test_service_ingest_while_querying(benchmark, wiki_corpus):
 
 if __name__ == "__main__":
     import json
+    import sys
 
     from repro.corpora.wikipedia import generate_wikipedia_corpus
 
-    wiki = generate_wikipedia_corpus(articles=50)
+    smoke = "--smoke" in sys.argv
+    if smoke:
+        wiki = generate_wikipedia_corpus(articles=20)
+        throughput = run_throughput(wiki, articles=16, repeats=2)
+        ingest = run_ingest_while_querying(
+            wiki, initial_articles=12, ingested_articles=4
+        )
+    else:
+        wiki = generate_wikipedia_corpus(articles=50)
+        throughput = run_throughput(wiki)
+        ingest = run_ingest_while_querying(wiki)
     print(
         json.dumps(
             {
-                "throughput": run_throughput(wiki),
-                "ingest_while_querying": run_ingest_while_querying(wiki),
+                "smoke": smoke,
+                "throughput": throughput,
+                "ingest_while_querying": ingest,
             },
             indent=2,
         )

@@ -1,11 +1,11 @@
-"""KokoService demo: incremental ingestion, caching, batched queries.
+"""KokoService demo: incremental ingestion, caching, batching, sharding.
 
 Run with:  PYTHONPATH=src python examples/service_demo.py
 """
 
 from __future__ import annotations
 
-from repro import KokoService
+from repro import KokoService, ShardedKokoService
 
 CITY_QUERY = (
     'extract a:GPE from "input.txt" if () satisfying a '
@@ -53,6 +53,27 @@ def main() -> None:
     print("\nservice stats:")
     for key, value in service.stats.snapshot().items():
         print(f"  {key}: {value:.6g}" if isinstance(value, float) else f"  {key}: {value}")
+
+    print("\n--- sharded service (4 hash partitions) ---")
+    with ShardedKokoService() as sharded:
+        texts = [
+            "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+            "Anna ate some delicious cheesecake that she bought at a grocery store.",
+            "Paolo visited Beijing and ate a delicious croissant.",
+            "cities in asian countries such as Beijing and Tokyo.",
+        ]
+        for index, text in enumerate(texts):
+            document = sharded.add_document(text, f"doc{index}")
+            print(f"  doc{index} -> shard {sharded.shard_of(document.doc_id)}")
+        # a query fans out across every shard and merges deterministically
+        merged = sharded.query(DELICIOUS_QUERY)
+        print(f"  merged tuples (sid order): {[t.sid for t in merged]}")
+        print("  per-shard breakdown:")
+        for shard, row in sharded.stats.shard_breakdown().items():
+            print(
+                f"    shard {shard}: docs={row['documents_added']} "
+                f"queries={row['queries']}"
+            )
 
 
 if __name__ == "__main__":

@@ -15,10 +15,10 @@ reproduction of every table and figure of the paper.
 
 from .koko import CompiledQuery, KokoEngine, KokoQuery, KokoResult, compile_query, parse_query
 from .nlp import Corpus, Document, Pipeline, Sentence, Token
-from .indexing import KokoIndexSet
-from .service import KokoService, ServiceStats
+from .indexing import KokoIndexSet, ShardedIndexSet
+from .service import KokoService, ServiceStats, ShardedKokoService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompiledQuery",
@@ -32,6 +32,8 @@ __all__ = [
     "Pipeline",
     "Sentence",
     "ServiceStats",
+    "ShardedIndexSet",
+    "ShardedKokoService",
     "Token",
     "compile_query",
     "parse_query",

@@ -10,6 +10,7 @@ from .exact import (
 )
 from .hierarchy import HierarchyIndex, HierarchyNode, parse_label_index, pos_tag_index
 from .koko_index import IndexStatistics, KokoIndexSet
+from .sharding import ShardedIndexSet, shard_of
 from .postings import (
     Posting,
     ancestor_of,
@@ -50,6 +51,7 @@ __all__ = [
     "KIND_WORD",
     "KokoIndexSet",
     "Posting",
+    "ShardedIndexSet",
     "TreePath",
     "TreePatternQuery",
     "TreeStep",
@@ -69,6 +71,7 @@ __all__ = [
     "pos_tag_index",
     "posting_for_token",
     "sentence_matches_query",
+    "shard_of",
     "step",
     "union",
 ]

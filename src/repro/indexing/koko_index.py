@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..nlp.types import Corpus, Document
 from ..storage.database import Database
@@ -33,6 +34,31 @@ class IndexStatistics:
     pl_compression: float
     pos_compression: float
     approximate_bytes: int
+
+    @classmethod
+    def merged(cls, parts: "Sequence[IndexStatistics]") -> "IndexStatistics":
+        """Aggregate per-shard statistics into corpus-wide statistics.
+
+        Counts, build seconds and byte estimates add up; the compression
+        ratios are recomputed from the summed node and token counts (each
+        hierarchy merges every token, so ``1 - nodes / tokens`` holds for
+        the union exactly as it does per shard).
+        """
+        tokens = sum(p.tokens for p in parts)
+        pl_nodes = sum(p.pl_nodes for p in parts)
+        pos_nodes = sum(p.pos_nodes for p in parts)
+        return cls(
+            sentences=sum(p.sentences for p in parts),
+            tokens=tokens,
+            build_seconds=sum(p.build_seconds for p in parts),
+            word_postings=sum(p.word_postings for p in parts),
+            entity_postings=sum(p.entity_postings for p in parts),
+            pl_nodes=pl_nodes,
+            pos_nodes=pos_nodes,
+            pl_compression=(1.0 - pl_nodes / tokens) if tokens else 0.0,
+            pos_compression=(1.0 - pos_nodes / tokens) if tokens else 0.0,
+            approximate_bytes=sum(p.approximate_bytes for p in parts),
+        )
 
 
 class KokoIndexSet:

@@ -12,8 +12,11 @@ and evaluates queries through the four stages of Section 4:
    variable against its satisfying clause, apply thresholds and the
    excluding clause.
 
-Wall-clock time per stage is recorded in :class:`~repro.koko.results.StageTimings`
-(the columns of Table 2).
+Since the sharded-execution refactor the engine is a thin façade: it builds
+an :class:`~repro.koko.stages.ExecutionContext` over its own corpus and
+indexes and runs the :class:`~repro.koko.stages.StagePipeline`.  Wall-clock
+time per stage is recorded in :class:`~repro.koko.results.StageTimings`
+(the columns of Table 2) as a by-product of running each stage.
 """
 
 from __future__ import annotations
@@ -26,14 +29,12 @@ from ..embeddings.vectors import VectorStore
 from ..indexing.koko_index import KokoIndexSet
 from ..nlp.lexicon import GAZETTEER_GPE
 from ..nlp.types import Corpus, Document, Sentence
-from .aggregate import EvidenceAggregator
 from .ast import KokoQuery
-from .conditions import ConditionScorer, EvidenceResources
-from .dpli import run_dpli
-from .evaluator import Assignment, SentenceEvaluator
+from .conditions import EvidenceResources
 from .normalize import NormalizedQuery, normalize
 from .parser import parse_query
-from .results import ExtractionTuple, KokoResult, StageTimings
+from .results import KokoResult
+from .stages import ExecutionContext, StagePipeline
 
 
 @dataclass(frozen=True)
@@ -81,11 +82,12 @@ class KokoEngine:
         self.corpus = corpus
         self.use_gsp = use_gsp
         self.indexes = indexes if indexes is not None else KokoIndexSet().build(corpus)
+        self.pipeline = StagePipeline()
         if vectors is None and use_default_vectors:
             from ..embeddings.pretrained import build_default_vectors
 
             vectors = build_default_vectors()
-        dictionaries = dictionaries or {}
+        dictionaries = dict(dictionaries) if dictionaries else {}
         dictionaries.setdefault("location", set(GAZETTEER_GPE))
         self.resources = EvidenceResources(
             expander=expander or DescriptorExpander(vectors=vectors),
@@ -116,6 +118,24 @@ class KokoEngine:
         for sentence in document:
             self._by_sid.pop(sentence.sid, None)
 
+    def make_context(
+        self,
+        query: str | KokoQuery | CompiledQuery,
+        threshold_override: float | None = None,
+        keep_all_scores: bool = False,
+    ) -> ExecutionContext:
+        """An :class:`ExecutionContext` over this engine's corpus slice."""
+        return ExecutionContext(
+            query=query,
+            corpus=self.corpus,
+            indexes=self.indexes,
+            by_sid=self._by_sid,
+            resources=self.resources,
+            use_gsp=self.use_gsp,
+            threshold_override=threshold_override,
+            keep_all_scores=keep_all_scores,
+        )
+
     def execute(
         self,
         query: str | KokoQuery | CompiledQuery,
@@ -130,174 +150,9 @@ class KokoEngine:
         lets an experiment evaluate many thresholds from a single run.
         Passing a :class:`CompiledQuery` skips parsing and normalisation.
         """
-        result = KokoResult()
-        timings = result.timings
-
-        started = time.perf_counter()
-        if isinstance(query, CompiledQuery):
-            parsed, normalized = query.parsed, query.normalized
-        else:
-            parsed = parse_query(query) if isinstance(query, str) else query
-            normalized = normalize(parsed)
-        timings.normalize = time.perf_counter() - started
-
-        started = time.perf_counter()
-        dpli = run_dpli(normalized, self.indexes)
-        timings.dpli = time.perf_counter() - started
-        if dpli.provably_empty:
-            return result
-
-        started = time.perf_counter()
-        documents = self._load_candidate_documents(dpli.candidate_sids)
-        timings.load_articles = time.perf_counter() - started
-
-        evaluator = SentenceEvaluator(normalized, use_gsp=self.use_gsp)
-        scorer = ConditionScorer(self.resources)
-        aggregator = EvidenceAggregator(scorer)
-
-        for document, sentences in documents:
-            candidate_tuples: list[tuple[Sentence, Assignment]] = []
-            for sentence in sentences:
-                result.candidate_sentences += 1
-                gsp_started = time.perf_counter()
-                # the skip plan is generated inside the evaluator; here we
-                # account only the planning part by timing a dry plan
-                timings.gsp += self._time_skip_plan(normalized, dpli, sentence)
-                extract_started = time.perf_counter()
-                assignments = evaluator.evaluate(sentence, dpli)
-                timings.extract += time.perf_counter() - extract_started
-                timings.gsp += 0.0 if gsp_started is None else 0.0
-                result.evaluated_sentences += 1
-                for assignment in assignments:
-                    candidate_tuples.append((sentence, assignment))
-
-            satisfying_started = time.perf_counter()
-            self._aggregate_document(
-                parsed,
-                normalized,
-                document,
-                candidate_tuples,
-                aggregator,
-                result,
-                threshold_override,
-                keep_all_scores,
-            )
-            timings.satisfying += time.perf_counter() - satisfying_started
-        return result
-
-    # ------------------------------------------------------------------
-    # stage helpers
-    # ------------------------------------------------------------------
-    def _load_candidate_documents(
-        self, candidate_sids: set[int] | None
-    ) -> list[tuple[Document, list[Sentence]]]:
-        """Group candidate sentences by their document ("LoadArticle")."""
-        if candidate_sids is None:
-            return [(document, list(document.sentences)) for document in self.corpus]
-        grouped: dict[str, tuple[Document, list[Sentence]]] = {}
-        for sid in sorted(candidate_sids):
-            located = self._by_sid.get(sid)
-            if located is None:
-                continue
-            document, sentence = located
-            entry = grouped.get(document.doc_id)
-            if entry is None:
-                grouped[document.doc_id] = (document, [sentence])
-            else:
-                entry[1].append(sentence)
-        return list(grouped.values())
-
-    def _time_skip_plan(self, normalized: NormalizedQuery, dpli, sentence: Sentence) -> float:
-        if not normalized.horizontal_conditions or not self.use_gsp:
-            return 0.0
-        from .gsp import generate_skip_plan
-
-        started = time.perf_counter()
-        generate_skip_plan(normalized, dpli, sentence.sid, len(sentence))
-        return time.perf_counter() - started
-
-    # ------------------------------------------------------------------
-    # aggregation per document
-    # ------------------------------------------------------------------
-    def _aggregate_document(
-        self,
-        parsed: KokoQuery,
-        normalized: NormalizedQuery,
-        document: Document,
-        candidate_tuples: list[tuple[Sentence, Assignment]],
-        aggregator: EvidenceAggregator,
-        result: KokoResult,
-        threshold_override: float | None,
-        keep_all_scores: bool,
-    ) -> None:
-        output_names = parsed.output_names()
-        clause_cache: dict[tuple[str, str], tuple[float, bool]] = {}
-
-        for sentence, assignment in candidate_tuples:
-            values: list[tuple[str, str]] = []
-            scores: list[tuple[str, float]] = []
-            passed = True
-            excluded = False
-
-            for name in output_names:
-                binding = assignment.get(name)
-                if binding is None:
-                    passed = False
-                    break
-                text = sentence.span_text(binding.start, binding.end) if not binding.is_empty else ""
-                values.append((name, text))
-
-                clause = parsed.satisfying_for(name)
-                if clause is not None:
-                    key = (name, text.lower())
-                    cached = clause_cache.get(key)
-                    if cached is None:
-                        outcome = aggregator.evaluate_clause(
-                            clause, text, document, threshold_override
-                        )
-                        cached = (outcome.score, outcome.passed)
-                        clause_cache[key] = cached
-                    score, clause_passed = cached
-                    scores.append((name, score))
-                    if not clause_passed:
-                        passed = False
-                if parsed.excluding is not None and aggregator.is_excluded(
-                    parsed.excluding, text, document
-                ):
-                    excluded = True
-
-            if len(values) != len(output_names):
-                continue
-            # satisfying clauses over non-output variables (e.g. the verb
-            # variable of the Chocolate / DateOfBirth queries)
-            for clause in parsed.satisfying:
-                if clause.variable in output_names:
-                    continue
-                binding = assignment.get(clause.variable)
-                if binding is None:
-                    continue
-                text = sentence.span_text(binding.start, binding.end)
-                key = (clause.variable, text.lower())
-                cached = clause_cache.get(key)
-                if cached is None:
-                    outcome = aggregator.evaluate_clause(
-                        clause, text, document, threshold_override
-                    )
-                    cached = (outcome.score, outcome.passed)
-                    clause_cache[key] = cached
-                score, clause_passed = cached
-                scores.append((clause.variable, score))
-                if not clause_passed:
-                    passed = False
-
-            if excluded:
-                continue
-            if passed or keep_all_scores:
-                result.tuples.append(
-                    ExtractionTuple(
-                        doc_id=document.doc_id,
-                        sid=sentence.sid,
-                        values=tuple(values),
-                        scores=tuple(scores),
-                    )
-                )
+        context = self.make_context(
+            query,
+            threshold_override=threshold_override,
+            keep_all_scores=keep_all_scores,
+        )
+        return self.pipeline.run(context)

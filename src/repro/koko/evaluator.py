@@ -16,6 +16,7 @@ with decomposed paths may still contain false answers").
 from __future__ import annotations
 
 import re
+import time
 from dataclasses import dataclass
 from itertools import product
 
@@ -63,6 +64,9 @@ class SentenceEvaluator:
     def __init__(self, normalized: NormalizedQuery, use_gsp: bool = True) -> None:
         self.normalized = normalized
         self.use_gsp = use_gsp
+        #: cumulative wall-clock spent generating skip plans, so callers can
+        #: report the GSP stage without re-running plan generation
+        self.gsp_seconds = 0.0
 
     # ------------------------------------------------------------------
     # public API
@@ -75,11 +79,16 @@ class SentenceEvaluator:
         if node_bindings is None:
             return []
 
-        skip_plan = (
-            generate_skip_plan(self.normalized, dpli, sentence.sid, len(sentence))
-            if self.use_gsp
-            else SkipPlan(skip_lists={c.target: [] for c in self.normalized.horizontal_conditions})
-        )
+        if self.use_gsp:
+            gsp_started = time.perf_counter()
+            skip_plan = generate_skip_plan(
+                self.normalized, dpli, sentence.sid, len(sentence)
+            )
+            self.gsp_seconds += time.perf_counter() - gsp_started
+        else:
+            skip_plan = SkipPlan(
+                skip_lists={c.target: [] for c in self.normalized.horizontal_conditions}
+            )
 
         assignments = self._enumerate_node_assignments(sentence, node_bindings)
         assignments = self._extend_with_span_variables(sentence, assignments, skip_plan)

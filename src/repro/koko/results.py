@@ -1,8 +1,9 @@
-"""Result containers returned by the KOKO engine."""
+"""Result containers returned by the KOKO engine, and their shard merge."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,16 @@ class StageTimings:
             "satisfying": self.satisfying,
         }
 
+    def accumulate(self, other: "StageTimings") -> "StageTimings":
+        """Add *other*'s per-stage seconds into self (shard merge); returns self."""
+        self.normalize += other.normalize
+        self.dpli += other.dpli
+        self.load_articles += other.load_articles
+        self.gsp += other.gsp
+        self.extract += other.extract
+        self.satisfying += other.satisfying
+        return self
+
 
 @dataclass
 class KokoResult:
@@ -96,3 +107,23 @@ class KokoResult:
         for t in self.tuples:
             counts[t.doc_id] = counts.get(t.doc_id, 0) + 1
         return counts
+
+
+def merge_results(results: Iterable[KokoResult]) -> KokoResult:
+    """Deterministically merge per-shard results into one :class:`KokoResult`.
+
+    Tuples are stable-sorted by sentence id: every sentence lives in exactly
+    one shard, so same-sid tuples keep their within-shard (assignment
+    enumeration) order, and because sentence ids are assigned in ingest
+    order the merged sequence is identical to what an unsharded engine
+    produces over the same corpus.  Stage timings are summed (total work
+    across shards) and sentence counters added.
+    """
+    merged = KokoResult()
+    for result in results:
+        merged.tuples.extend(result.tuples)
+        merged.timings.accumulate(result.timings)
+        merged.candidate_sentences += result.candidate_sentences
+        merged.evaluated_sentences += result.evaluated_sentences
+    merged.tuples.sort(key=lambda t: t.sid)
+    return merged

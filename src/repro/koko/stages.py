@@ -1,0 +1,299 @@
+"""The stage-pipeline execution core of the KOKO engine.
+
+The four phases of Figure 2 (Normalize → DPLI → Load → GSP/Extract →
+Aggregate) are modelled as explicit stage objects that pass one
+:class:`ExecutionContext` along.  Splitting the monolithic evaluation loop
+this way buys three things:
+
+* each stage is **independently testable** — construct a context, run one
+  stage, inspect what it added;
+* stage wall-clock is **timed exactly once**, as a by-product of running
+  the stage (no dry re-runs just to fill in
+  :class:`~repro.koko.results.StageTimings`);
+* a pipeline can run against **any index/corpus slice** — the context
+  carries the index set, the sid → sentence map and the corpus explicitly,
+  which is what lets :class:`~repro.service.KokoService` execute the same
+  query per shard and merge the results.
+
+:class:`~repro.koko.engine.KokoEngine` is now a thin façade that builds a
+context from its own corpus/indexes and runs :data:`DEFAULT_STAGES`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..indexing.koko_index import KokoIndexSet
+from ..nlp.types import Corpus, Document, Sentence
+from .aggregate import EvidenceAggregator
+from .ast import KokoQuery
+from .conditions import ConditionScorer, EvidenceResources
+from .dpli import DpliResult, run_dpli
+from .evaluator import Assignment, SentenceEvaluator
+from .normalize import NormalizedQuery, normalize
+from .parser import parse_query
+from .results import ExtractionTuple, KokoResult
+
+
+@dataclass
+class ExecutionContext:
+    """Everything one query execution reads and produces.
+
+    The *inputs* (query, corpus slice, indexes, resources) are set up by
+    the caller; each stage fills in its *intermediate* output (``parsed``/
+    ``normalized``, ``dpli``, ``documents``, ``candidates``) and accounts
+    its own wall-clock in ``result.timings``.  ``finished`` short-circuits
+    the remaining stages (set when DPLI proves the answer empty).
+    """
+
+    # --- inputs -------------------------------------------------------
+    query: object  # str | KokoQuery | CompiledQuery
+    corpus: Corpus
+    indexes: KokoIndexSet
+    by_sid: Mapping[int, tuple[Document, Sentence]]
+    resources: EvidenceResources
+    use_gsp: bool = True
+    threshold_override: float | None = None
+    keep_all_scores: bool = False
+
+    # --- intermediate state, filled in stage by stage -----------------
+    parsed: KokoQuery | None = None
+    normalized: NormalizedQuery | None = None
+    dpli: DpliResult | None = None
+    #: (document, candidate sentences) groups produced by LoadStage
+    documents: list[tuple[Document, list[Sentence]]] = field(default_factory=list)
+    #: (document, [(sentence, assignment), ...]) groups produced by ExtractStage
+    candidates: list[tuple[Document, list[tuple[Sentence, Assignment]]]] = field(
+        default_factory=list
+    )
+    finished: bool = False
+
+    # --- output -------------------------------------------------------
+    result: KokoResult = field(default_factory=KokoResult)
+
+
+class Stage:
+    """One step of the execution pipeline; mutates the context in place."""
+
+    name = "stage"
+
+    def run(self, ctx: ExecutionContext) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NormalizeStage(Stage):
+    """Parse (if needed) and normalise the query into the context.
+
+    A pre-compiled query (anything carrying ``parsed`` and ``normalized``
+    attributes, i.e. :class:`~repro.koko.engine.CompiledQuery`) skips the
+    work entirely — the service's plan cache relies on that.
+    """
+
+    name = "normalize"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        started = time.perf_counter()
+        query = ctx.query
+        if hasattr(query, "parsed") and hasattr(query, "normalized"):
+            ctx.parsed, ctx.normalized = query.parsed, query.normalized
+        else:
+            ctx.parsed = parse_query(query) if isinstance(query, str) else query
+            ctx.normalized = normalize(ctx.parsed)
+        ctx.result.timings.normalize += time.perf_counter() - started
+
+
+class DpliStage(Stage):
+    """Decompose paths, look up the indexes, prune to candidate sentences."""
+
+    name = "dpli"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        started = time.perf_counter()
+        ctx.dpli = run_dpli(ctx.normalized, ctx.indexes)
+        ctx.result.timings.dpli += time.perf_counter() - started
+        if ctx.dpli.provably_empty:
+            ctx.finished = True
+
+
+class LoadStage(Stage):
+    """Group candidate sentences by document ("LoadArticle" of the paper)."""
+
+    name = "load"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        started = time.perf_counter()
+        candidate_sids = ctx.dpli.candidate_sids if ctx.dpli is not None else None
+        if candidate_sids is None:
+            ctx.documents = [
+                (document, list(document.sentences)) for document in ctx.corpus
+            ]
+        else:
+            grouped: dict[str, tuple[Document, list[Sentence]]] = {}
+            for sid in sorted(candidate_sids):
+                located = ctx.by_sid.get(sid)
+                if located is None:
+                    continue
+                document, sentence = located
+                entry = grouped.get(document.doc_id)
+                if entry is None:
+                    grouped[document.doc_id] = (document, [sentence])
+                else:
+                    entry[1].append(sentence)
+            ctx.documents = list(grouped.values())
+        ctx.result.timings.load_articles += time.perf_counter() - started
+
+
+class ExtractStage(Stage):
+    """Evaluate the extract clause per candidate sentence (GSP + extract).
+
+    The skip plan is generated once per sentence *inside* the evaluator,
+    which accounts the planning wall-clock itself
+    (:attr:`SentenceEvaluator.gsp_seconds`); this stage subtracts it out so
+    ``timings.gsp`` and ``timings.extract`` partition the loop without any
+    work running twice.
+    """
+
+    name = "extract"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        started = time.perf_counter()
+        evaluator = SentenceEvaluator(ctx.normalized, use_gsp=ctx.use_gsp)
+        result = ctx.result
+        candidates: list[tuple[Document, list[tuple[Sentence, Assignment]]]] = []
+        for document, sentences in ctx.documents:
+            candidate_tuples: list[tuple[Sentence, Assignment]] = []
+            for sentence in sentences:
+                result.candidate_sentences += 1
+                assignments = evaluator.evaluate(sentence, ctx.dpli)
+                result.evaluated_sentences += 1
+                for assignment in assignments:
+                    candidate_tuples.append((sentence, assignment))
+            candidates.append((document, candidate_tuples))
+        ctx.candidates = candidates
+        elapsed = time.perf_counter() - started
+        result.timings.gsp += evaluator.gsp_seconds
+        result.timings.extract += max(0.0, elapsed - evaluator.gsp_seconds)
+
+
+class AggregateStage(Stage):
+    """Score candidate values per document, apply thresholds and excluding."""
+
+    name = "aggregate"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        scorer = ConditionScorer(ctx.resources)
+        aggregator = EvidenceAggregator(scorer)
+        for document, candidate_tuples in ctx.candidates:
+            started = time.perf_counter()
+            self._aggregate_document(ctx, document, candidate_tuples, aggregator)
+            ctx.result.timings.satisfying += time.perf_counter() - started
+
+    def _aggregate_document(
+        self,
+        ctx: ExecutionContext,
+        document: Document,
+        candidate_tuples: list[tuple[Sentence, Assignment]],
+        aggregator: EvidenceAggregator,
+    ) -> None:
+        parsed = ctx.parsed
+        output_names = parsed.output_names()
+        clause_cache: dict[tuple[str, str], tuple[float, bool]] = {}
+
+        for sentence, assignment in candidate_tuples:
+            values: list[tuple[str, str]] = []
+            scores: list[tuple[str, float]] = []
+            passed = True
+            excluded = False
+
+            for name in output_names:
+                binding = assignment.get(name)
+                if binding is None:
+                    passed = False
+                    break
+                text = (
+                    sentence.span_text(binding.start, binding.end)
+                    if not binding.is_empty
+                    else ""
+                )
+                values.append((name, text))
+
+                clause = parsed.satisfying_for(name)
+                if clause is not None:
+                    key = (name, text.lower())
+                    cached = clause_cache.get(key)
+                    if cached is None:
+                        outcome = aggregator.evaluate_clause(
+                            clause, text, document, ctx.threshold_override
+                        )
+                        cached = (outcome.score, outcome.passed)
+                        clause_cache[key] = cached
+                    score, clause_passed = cached
+                    scores.append((name, score))
+                    if not clause_passed:
+                        passed = False
+                if parsed.excluding is not None and aggregator.is_excluded(
+                    parsed.excluding, text, document
+                ):
+                    excluded = True
+
+            if len(values) != len(output_names):
+                continue
+            # satisfying clauses over non-output variables (e.g. the verb
+            # variable of the Chocolate / DateOfBirth queries)
+            for clause in parsed.satisfying:
+                if clause.variable in output_names:
+                    continue
+                binding = assignment.get(clause.variable)
+                if binding is None:
+                    continue
+                text = sentence.span_text(binding.start, binding.end)
+                key = (clause.variable, text.lower())
+                cached = clause_cache.get(key)
+                if cached is None:
+                    outcome = aggregator.evaluate_clause(
+                        clause, text, document, ctx.threshold_override
+                    )
+                    cached = (outcome.score, outcome.passed)
+                    clause_cache[key] = cached
+                score, clause_passed = cached
+                scores.append((clause.variable, score))
+                if not clause_passed:
+                    passed = False
+
+            if excluded:
+                continue
+            if passed or ctx.keep_all_scores:
+                ctx.result.tuples.append(
+                    ExtractionTuple(
+                        doc_id=document.doc_id,
+                        sid=sentence.sid,
+                        values=tuple(values),
+                        scores=tuple(scores),
+                    )
+                )
+
+
+#: The engine's canonical stage order (Figure 2).
+DEFAULT_STAGES: tuple[Stage, ...] = (
+    NormalizeStage(),
+    DpliStage(),
+    LoadStage(),
+    ExtractStage(),
+    AggregateStage(),
+)
+
+
+class StagePipeline:
+    """Run stages in order over one context, honouring short-circuits."""
+
+    def __init__(self, stages: Sequence[Stage] = DEFAULT_STAGES) -> None:
+        self.stages = tuple(stages)
+
+    def run(self, ctx: ExecutionContext) -> KokoResult:
+        for stage in self.stages:
+            stage.run(ctx)
+            if ctx.finished:
+                break
+        return ctx.result

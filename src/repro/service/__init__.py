@@ -1,8 +1,8 @@
-"""The query-serving layer: incremental ingestion, caching, concurrency."""
+"""The query-serving layer: sharding, incremental ingestion, caching, concurrency."""
 
 from .cache import PlanCache, ResultCache
 from .locks import ReadWriteLock
-from .service import KokoService
+from .service import KokoService, ShardedKokoService
 from .stats import ServiceStats
 
 __all__ = [
@@ -11,4 +11,5 @@ __all__ = [
     "ReadWriteLock",
     "ResultCache",
     "ServiceStats",
+    "ShardedKokoService",
 ]

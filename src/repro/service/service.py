@@ -1,4 +1,4 @@
-"""KokoService — a concurrent query-serving layer over the KOKO engine.
+"""KokoService — a concurrent, shardable query-serving layer over KOKO.
 
 The batch pipeline of the paper builds the multi-index once over a frozen
 corpus and evaluates one query at a time.  ``KokoService`` turns that into
@@ -7,32 +7,49 @@ a long-lived server:
 * **Incremental ingestion** — :meth:`add_document` annotates raw text with
   the NLP pipeline and folds it into the live word, entity, PL and POS
   indexes (no rebuild); :meth:`remove_document` un-indexes a document.
+* **Hash-partitioned shards** — with ``shards=N`` the corpus is split
+  across N :class:`~repro.indexing.koko_index.KokoIndexSet` partitions
+  (stable hash of ``doc_id``, see
+  :class:`~repro.indexing.sharding.ShardedIndexSet`).  Every shard has its
+  own corpus slice, engine and readers-writer lock, so ingesting a
+  document write-locks **one** shard — queries keep reading the other
+  N−1 concurrently.
+* **Parallel fan-out** — a query executes the stage pipeline per shard on
+  a thread pool and the per-shard results are merged deterministically
+  (:func:`~repro.koko.results.merge_results`): stable tuple order,
+  summed :class:`~repro.koko.results.StageTimings`.
 * **Plan caching** — each distinct query string is parsed and normalised
   once (:class:`~repro.service.cache.PlanCache`).
 * **Result caching** — full query results are kept in a generation-stamped
   LRU (:class:`~repro.service.cache.ResultCache`); every ingest bumps the
   corpus generation, which invalidates all cached results at once.
-* **Concurrency** — any number of queries evaluate in parallel under a
-  readers-writer lock (:class:`~repro.service.locks.ReadWriteLock`);
-  ingestion takes the write side.  :meth:`query_batch` fans a batch out
-  over a thread pool, preserving per-query
-  :class:`~repro.koko.results.StageTimings`.
+* **Concurrency** — any number of queries evaluate in parallel under the
+  per-shard read locks; :meth:`query_batch` fans a batch out over a thread
+  pool, preserving per-query timings.
 * **Observability** — :class:`~repro.service.stats.ServiceStats` tracks
-  cache hit rates, ingest throughput and p50/p95 query latency.
+  cache hit rates, ingest throughput, p50/p95 query latency and a
+  per-shard breakdown (queries, seconds, documents routed).
+
+Consistency note: a result served from the cache always corresponds to one
+corpus generation.  An uncached query that overlaps an in-flight ingest
+may observe the new document on its shard while other shards are read
+earlier — the usual read-committed view of a partitioned store.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from ..embeddings.expansion import DescriptorExpander
 from ..embeddings.vectors import VectorStore
 from ..errors import ServiceError
 from ..indexing.koko_index import IndexStatistics, KokoIndexSet
+from ..indexing.sharding import ShardedIndexSet
 from ..koko.ast import KokoQuery
-from ..koko.engine import CompiledQuery, KokoEngine
-from ..koko.results import KokoResult
+from ..koko.engine import CompiledQuery, KokoEngine, compile_query
+from ..koko.results import KokoResult, merge_results
 from ..nlp.pipeline import Pipeline
 from ..nlp.types import Corpus, Document
 from .cache import PlanCache, ResultCache
@@ -40,8 +57,36 @@ from .locks import ReadWriteLock
 from .stats import ServiceStats
 
 
+class _Shard:
+    """One partition: its own corpus slice, index set, engine and RW lock."""
+
+    def __init__(
+        self, shard_id: int, name: str, indexes: KokoIndexSet, engine_kwargs: dict
+    ) -> None:
+        self.shard_id = shard_id
+        self.corpus = Corpus(name=name)
+        self.indexes = indexes
+        self.engine = KokoEngine(self.corpus, indexes=indexes, **engine_kwargs)
+        self.lock = ReadWriteLock()
+        self.documents: dict[str, Document] = {}
+
+    def splice(self, document: Document) -> None:
+        """Wire one annotated document into this shard (write lock held)."""
+        self.corpus.documents.append(document)
+        self.documents[document.doc_id] = document
+        self.indexes.add_document(document)
+        self.engine.register_document(document)
+
+    def unsplice(self, document: Document) -> None:
+        """Un-wire one document from this shard (write lock held)."""
+        self.corpus.documents.remove(document)
+        del self.documents[document.doc_id]
+        self.indexes.remove_document(document)
+        self.engine.unregister_document(document)
+
+
 class KokoService:
-    """A mutable-corpus, multi-query KOKO server.
+    """A mutable-corpus, multi-query, optionally sharded KOKO server.
 
     Results returned by :meth:`query` may be shared cache entries — treat
     them as read-only.
@@ -52,18 +97,23 @@ class KokoService:
         NLP pipeline used to annotate ingested text (default rule-based).
     name:
         Name of the service's corpus.
+    shards:
+        Number of hash partitions.  ``1`` (the default) behaves exactly
+        like the unsharded service; ``N > 1`` fans queries out per shard
+        and gives every shard its own write lock.
     plan_cache_size, result_cache_size:
         LRU capacities of the two read-side caches.
     max_workers:
         Thread-pool width used by :meth:`query_batch`.
     expander, vectors, dictionaries, use_gsp, use_default_vectors:
-        Forwarded to :class:`~repro.koko.engine.KokoEngine`.
+        Forwarded to every shard's :class:`~repro.koko.engine.KokoEngine`.
     """
 
     def __init__(
         self,
         pipeline: Pipeline | None = None,
         name: str = "service",
+        shards: int = 1,
         plan_cache_size: int = 256,
         result_cache_size: int = 256,
         max_workers: int = 4,
@@ -73,43 +123,61 @@ class KokoService:
         use_gsp: bool = True,
         use_default_vectors: bool = True,
     ) -> None:
+        if shards <= 0:
+            raise ServiceError(f"shards must be positive, got {shards}")
         self.pipeline = pipeline or Pipeline()
-        self.corpus = Corpus(name=name)
-        self.indexes = KokoIndexSet()
-        self.engine = KokoEngine(
-            self.corpus,
+        self.name = name
+        if vectors is None and use_default_vectors:
+            from ..embeddings.pretrained import build_default_vectors
+
+            vectors = build_default_vectors()  # memoized; shared by all shards
+        engine_kwargs = dict(
             expander=expander,
             vectors=vectors,
             dictionaries=dictionaries,
             use_gsp=use_gsp,
-            indexes=self.indexes,
             use_default_vectors=use_default_vectors,
         )
+        self._index_set = ShardedIndexSet(shards)
+        self._shards = [
+            _Shard(i, f"{name}/shard{i}", self._index_set.shards[i], engine_kwargs)
+            for i in range(shards)
+        ]
         self.max_workers = max_workers
         self.stats = ServiceStats()
         self._plan_cache = PlanCache(plan_cache_size)
         self._result_cache: ResultCache[KokoResult] = ResultCache(result_cache_size)
-        self._lock = ReadWriteLock()
-        self._documents: dict[str, Document] = {}
+        # Serialises corpus mutation (sid allocation, doc routing, generation)
+        # without ever blocking the per-shard read side.
+        self._meta_lock = threading.Lock()
+        self._doc_shard: dict[str, int] = {}
         self._next_sid = 0
         self._generation = 0
+        self._shard_pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(max_workers=shards, thread_name_prefix="koko-shard")
+            if shards > 1
+            else None
+        )
 
     # ------------------------------------------------------------------
     # ingestion (write side)
     # ------------------------------------------------------------------
     def add_document(self, text: str, doc_id: str | None = None) -> Document:
-        """Annotate *text* and fold it into the live corpus and indexes."""
+        """Annotate *text* and fold it into its shard's corpus and indexes."""
         started = time.perf_counter()
-        with self._lock.write_locked():
+        with self._meta_lock:
             resolved_id = doc_id if doc_id is not None else self._fresh_doc_id()
-            if resolved_id in self._documents:
+            if resolved_id in self._doc_shard:
                 raise ServiceError(f"document id {resolved_id!r} already ingested")
             document = self.pipeline.annotate(
                 text, doc_id=resolved_id, first_sid=self._next_sid
             )
-            self._ingest_locked(document)
+            shard = self._ingest_meta_locked(document)
         self.stats.record_ingest(
-            time.perf_counter() - started, len(document), document.num_tokens
+            time.perf_counter() - started,
+            len(document),
+            document.num_tokens,
+            shard=shard.shard_id,
         )
         return document
 
@@ -121,8 +189,8 @@ class KokoService:
         pipeline flow) satisfy that.
         """
         started = time.perf_counter()
-        with self._lock.write_locked():
-            if document.doc_id in self._documents:
+        with self._meta_lock:
+            if document.doc_id in self._doc_shard:
                 raise ServiceError(f"document id {document.doc_id!r} already ingested")
             for sentence in document:
                 if sentence.sid < self._next_sid:
@@ -131,45 +199,51 @@ class KokoService:
                         f"{document.doc_id!r} is not fresh (next sid is "
                         f"{self._next_sid})"
                     )
-            self._ingest_locked(document)
+            shard = self._ingest_meta_locked(document)
         self.stats.record_ingest(
-            time.perf_counter() - started, len(document), document.num_tokens
+            time.perf_counter() - started,
+            len(document),
+            document.num_tokens,
+            shard=shard.shard_id,
         )
         return document
 
     def remove_document(self, doc_id: str) -> Document:
         """Un-index and drop one document; returns it."""
         started = time.perf_counter()
-        with self._lock.write_locked():
-            document = self._documents.pop(doc_id, None)
-            if document is None:
+        with self._meta_lock:
+            shard_id = self._doc_shard.pop(doc_id, None)
+            if shard_id is None:
                 raise ServiceError(f"unknown document id {doc_id!r}")
-            self.corpus.documents.remove(document)
-            self.indexes.remove_document(document)
-            self.engine.unregister_document(document)
-            self._generation += 1
+            shard = self._shards[shard_id]
+            with shard.lock.write_locked():
+                document = shard.documents[doc_id]
+                shard.unsplice(document)
+                self._generation += 1
         self.stats.record_ingest(
             time.perf_counter() - started,
             len(document),
             document.num_tokens,
             removed=True,
+            shard=shard_id,
         )
         return document
 
-    def _ingest_locked(self, document: Document) -> None:
-        """Wire one annotated document into corpus, indexes and engine."""
+    def _ingest_meta_locked(self, document: Document) -> _Shard:
+        """Route one annotated document to its shard (meta lock held)."""
         self._next_sid = max(
             self._next_sid, max((s.sid for s in document), default=self._next_sid - 1) + 1
         )
-        self.corpus.documents.append(document)
-        self._documents[document.doc_id] = document
-        self.indexes.add_document(document)
-        self.engine.register_document(document)
-        self._generation += 1
+        shard = self._shards[self._index_set.shard_id(document.doc_id)]
+        self._doc_shard[document.doc_id] = shard.shard_id
+        with shard.lock.write_locked():
+            shard.splice(document)
+            self._generation += 1
+        return shard
 
     def _fresh_doc_id(self) -> str:
-        candidate = f"doc{len(self._documents)}"
-        while candidate in self._documents:
+        candidate = f"doc{len(self._doc_shard)}"
+        while candidate in self._doc_shard:
             candidate = candidate + "_"
         return candidate
 
@@ -182,7 +256,7 @@ class KokoService:
         threshold_override: float | None = None,
         keep_all_scores: bool = False,
     ) -> KokoResult:
-        """Evaluate one query against the current corpus snapshot.
+        """Evaluate one query against the current corpus.
 
         String queries go through the plan cache and the generation-stamped
         result cache; pre-parsed queries bypass both.
@@ -190,33 +264,67 @@ class KokoService:
         started = time.perf_counter()
         result_hit: bool | None = None
         plan_hit: bool | None = None
-        with self._lock.read_locked():
-            if isinstance(query, str):
-                key = (query, threshold_override, keep_all_scores)
-                generation = self._generation
-                result = self._result_cache.get(key, generation)
-                if result is not None:
-                    result_hit = True
-                else:
-                    result_hit = False
-                    plan, plan_hit = self._plan_cache.get_or_compile(query)
-                    result = self.engine.execute(
-                        plan,
-                        threshold_override=threshold_override,
-                        keep_all_scores=keep_all_scores,
-                    )
-                    self._result_cache.put(key, generation, result)
+        if isinstance(query, str):
+            key = (query, threshold_override, keep_all_scores)
+            generation = self._generation
+            result = self._result_cache.get(key, generation)
+            if result is not None:
+                result_hit = True
             else:
-                result = self.engine.execute(
-                    query,
-                    threshold_override=threshold_override,
-                    keep_all_scores=keep_all_scores,
-                )
+                result_hit = False
+                plan, plan_hit = self._plan_cache.get_or_compile(query)
+                result = self._execute(plan, threshold_override, keep_all_scores)
+                self._result_cache.put(key, generation, result)
+        else:
+            result = self._execute(query, threshold_override, keep_all_scores)
         self.stats.record_query(
             time.perf_counter() - started,
             result_cache_hit=result_hit,
             plan_cache_hit=plan_hit,
         )
+        return result
+
+    def _execute(
+        self,
+        query: str | KokoQuery | CompiledQuery,
+        threshold_override: float | None,
+        keep_all_scores: bool,
+    ) -> KokoResult:
+        """Run the stage pipeline on every shard and merge the results."""
+        if len(self._shards) == 1:
+            return self._execute_shard(
+                self._shards[0], query, threshold_override, keep_all_scores
+            )
+        pool = self._shard_pool
+        if pool is None:
+            raise ServiceError("service is closed")
+        # Normalise once so the fan-out doesn't repeat parse + normalise
+        # per shard (the plan cache already hands us a CompiledQuery).
+        if not isinstance(query, CompiledQuery):
+            query = compile_query(query)
+        futures = [
+            pool.submit(
+                self._execute_shard, shard, query, threshold_override, keep_all_scores
+            )
+            for shard in self._shards
+        ]
+        return merge_results([future.result() for future in futures])
+
+    def _execute_shard(
+        self,
+        shard: _Shard,
+        query: str | KokoQuery | CompiledQuery,
+        threshold_override: float | None,
+        keep_all_scores: bool,
+    ) -> KokoResult:
+        started = time.perf_counter()
+        with shard.lock.read_locked():
+            result = shard.engine.execute(
+                query,
+                threshold_override=threshold_override,
+                keep_all_scores=keep_all_scores,
+            )
+        self.stats.record_shard_query(shard.shard_id, time.perf_counter() - started)
         return result
 
     def query_batch(
@@ -229,7 +337,9 @@ class KokoService:
         """Evaluate a batch of queries concurrently, preserving order.
 
         Each result carries its own :class:`~repro.koko.results.StageTimings`
-        exactly as single-query execution would.
+        exactly as single-query execution would.  The batch pool is separate
+        from the per-shard fan-out pool, so batched queries on a sharded
+        service still parallelise across shards.
         """
         if not queries:
             return []
@@ -247,31 +357,104 @@ class KokoService:
             )
 
     # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent; no-op when unsharded)."""
+        if self._shard_pool is not None:
+            self._shard_pool.shutdown(wait=True)
+            self._shard_pool = None
+
+    def __enter__(self) -> "KokoService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
     @property
     def generation(self) -> int:
         """Corpus generation; bumped by every ingest (cache invalidation)."""
         return self._generation
+
+    @property
+    def indexes(self) -> KokoIndexSet | ShardedIndexSet:
+        """The live index set: a plain :class:`KokoIndexSet` when unsharded,
+        the :class:`ShardedIndexSet` otherwise."""
+        if len(self._shards) == 1:
+            return self._shards[0].indexes
+        return self._index_set
+
+    @property
+    def engine(self) -> KokoEngine:
+        """The single shard's engine (unsharded services only)."""
+        if len(self._shards) != 1:
+            raise ServiceError(
+                "a sharded service has no single engine; use .engines"
+            )
+        return self._shards[0].engine
+
+    @property
+    def engines(self) -> list[KokoEngine]:
+        """Every shard's engine, in shard order."""
+        return [shard.engine for shard in self._shards]
+
+    @property
+    def corpus(self) -> Corpus:
+        """The single shard's corpus (unsharded services only)."""
+        if len(self._shards) != 1:
+            raise ServiceError(
+                "a sharded service has no single corpus; use .corpora"
+            )
+        return self._shards[0].corpus
+
+    @property
+    def corpora(self) -> list[Corpus]:
+        """Every shard's corpus slice, in shard order."""
+        return [shard.corpus for shard in self._shards]
 
     def next_sid(self) -> int:
         """The first sentence id a newly annotated document should use."""
         return self._next_sid
 
     def document_ids(self) -> list[str]:
-        with self._lock.read_locked():
-            return list(self._documents)
+        with self._meta_lock:
+            return list(self._doc_shard)
+
+    def shard_of(self, doc_id: str) -> int:
+        """The shard index *doc_id* is (or would be) routed to."""
+        return self._index_set.shard_id(doc_id)
 
     def statistics(self) -> IndexStatistics:
-        """Current :class:`IndexStatistics` of the live index set."""
-        with self._lock.read_locked():
-            return self.indexes.statistics()
+        """Current :class:`IndexStatistics` merged across every shard."""
+        return IndexStatistics.merged(self.statistics_by_shard())
+
+    def statistics_by_shard(self) -> list[IndexStatistics]:
+        """Per-shard :class:`IndexStatistics` (the balance/skew view)."""
+        stats = []
+        for shard in self._shards:
+            with shard.lock.read_locked():
+                stats.append(shard.indexes.statistics())
+        return stats
 
     def __len__(self) -> int:
-        return len(self._documents)
+        return len(self._doc_shard)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
-            f"KokoService(documents={len(self._documents)}, "
-            f"generation={self._generation})"
+            f"KokoService(documents={len(self._doc_shard)}, "
+            f"shards={len(self._shards)}, generation={self._generation})"
         )
+
+
+class ShardedKokoService(KokoService):
+    """A :class:`KokoService` that defaults to four hash partitions."""
+
+    def __init__(self, shards: int = 4, **kwargs) -> None:
+        super().__init__(shards=shards, **kwargs)

@@ -1,9 +1,11 @@
 """Operational metrics for :class:`~repro.service.KokoService`.
 
 ``ServiceStats`` aggregates the numbers an operator of a query-serving
-deployment watches: cache hit rates, ingest throughput, and query latency
+deployment watches: cache hit rates, ingest throughput, query latency
 percentiles (over a sliding window of recent queries, so a long-lived
-service reports current — not lifetime-averaged — latency).
+service reports current — not lifetime-averaged — latency), and a
+per-shard breakdown of query work and document routing for partitioned
+services.
 """
 
 from __future__ import annotations
@@ -30,6 +32,11 @@ class ServiceStats:
         self.ingest_seconds = 0.0
         self.removal_seconds = 0.0
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        # per-shard breakdown (keys appear as shards are touched)
+        self.shard_queries: dict[int, int] = {}
+        self.shard_query_seconds: dict[int, float] = {}
+        self.shard_documents_added: dict[int, int] = {}
+        self.shard_documents_removed: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # recording
@@ -60,18 +67,45 @@ class ServiceStats:
                 self.plan_cache_misses += 1
 
     def record_ingest(
-        self, seconds: float, sentences: int, tokens: int, *, removed: bool = False
+        self,
+        seconds: float,
+        sentences: int,
+        tokens: int,
+        *,
+        removed: bool = False,
+        shard: int | None = None,
     ) -> None:
-        """Account one document added to (or removed from) the corpus."""
+        """Account one document added to (or removed from) the corpus.
+
+        ``shard`` attributes the operation to one partition of a sharded
+        service; ``None`` (e.g. in unit tests of the stats object itself)
+        records no per-shard routing.
+        """
         with self._lock:
             if removed:
                 self.documents_removed += 1
                 self.removal_seconds += seconds
+                if shard is not None:
+                    self.shard_documents_removed[shard] = (
+                        self.shard_documents_removed.get(shard, 0) + 1
+                    )
             else:
                 self.documents_added += 1
                 self.sentences_ingested += sentences
                 self.tokens_ingested += tokens
                 self.ingest_seconds += seconds
+                if shard is not None:
+                    self.shard_documents_added[shard] = (
+                        self.shard_documents_added.get(shard, 0) + 1
+                    )
+
+    def record_shard_query(self, shard: int, seconds: float) -> None:
+        """Account one per-shard execution of a fanned-out (or single) query."""
+        with self._lock:
+            self.shard_queries[shard] = self.shard_queries.get(shard, 0) + 1
+            self.shard_query_seconds[shard] = (
+                self.shard_query_seconds.get(shard, 0.0) + seconds
+            )
 
     # ------------------------------------------------------------------
     # derived metrics
@@ -111,7 +145,25 @@ class ServiceStats:
     def p95_query_seconds(self) -> float:
         return self.latency_percentile(95.0)
 
-    def snapshot(self) -> dict[str, float | int]:
+    def shard_breakdown(self) -> dict[int, dict[str, float | int]]:
+        """Per-shard queries, execution seconds and document routing."""
+        with self._lock:
+            shards = (
+                set(self.shard_queries)
+                | set(self.shard_documents_added)
+                | set(self.shard_documents_removed)
+            )
+            return {
+                shard: {
+                    "queries": self.shard_queries.get(shard, 0),
+                    "query_seconds": self.shard_query_seconds.get(shard, 0.0),
+                    "documents_added": self.shard_documents_added.get(shard, 0),
+                    "documents_removed": self.shard_documents_removed.get(shard, 0),
+                }
+                for shard in sorted(shards)
+            }
+
+    def snapshot(self) -> dict[str, object]:
         """A point-in-time dict of every metric (for logs / benchmarks)."""
         return {
             "queries_served": self.queries_served,
@@ -130,4 +182,5 @@ class ServiceStats:
             "ingest_tokens_per_second": self.ingest_tokens_per_second,
             "p50_query_seconds": self.p50_query_seconds,
             "p95_query_seconds": self.p95_query_seconds,
+            "per_shard": self.shard_breakdown(),
         }

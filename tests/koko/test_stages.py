@@ -1,0 +1,187 @@
+"""Tests for the stage-pipeline execution core (koko/stages.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.koko.evaluator as evaluator_module
+from repro.koko.engine import KokoEngine, compile_query
+from repro.koko.results import KokoResult, StageTimings, merge_results
+from repro.koko.stages import (
+    DEFAULT_STAGES,
+    AggregateStage,
+    DpliStage,
+    ExtractStage,
+    LoadStage,
+    NormalizeStage,
+    StagePipeline,
+)
+
+EXAMPLE_2_1 = """
+extract e:Entity, d:Str from input.txt if
+(/ROOT:{
+a = //verb,
+b = a/dobj,
+c = b//"delicious",
+d = (b.subtree)
+} (b) in (e))
+"""
+
+EMPTY_QUERY = 'extract x:Entity from "t" if (/ROOT:{ a = //"zebra" })'
+
+
+def as_rows(result):
+    return [(t.doc_id, t.sid, t.values, t.scores) for t in result]
+
+
+# ----------------------------------------------------------------------
+# stage-by-stage execution
+# ----------------------------------------------------------------------
+class TestStagesIndividually:
+    def test_stages_fill_context_incrementally(self, paper_engine):
+        ctx = paper_engine.make_context(EXAMPLE_2_1)
+        assert ctx.parsed is None and ctx.dpli is None
+
+        NormalizeStage().run(ctx)
+        assert ctx.parsed is not None and ctx.normalized is not None
+        assert ctx.result.timings.normalize > 0.0
+
+        DpliStage().run(ctx)
+        assert ctx.dpli is not None and not ctx.finished
+        assert ctx.result.timings.dpli > 0.0
+
+        LoadStage().run(ctx)
+        assert len(ctx.documents) == 2  # both paper sentences are candidates
+        assert ctx.result.timings.load_articles > 0.0
+
+        ExtractStage().run(ctx)
+        assert ctx.result.candidate_sentences == 2
+        assert ctx.result.evaluated_sentences == 2
+        assert any(tuples for _, tuples in ctx.candidates)
+        assert ctx.result.timings.extract > 0.0
+
+        AggregateStage().run(ctx)
+        assert len(ctx.result) == 2
+        assert ctx.result.timings.satisfying > 0.0
+
+    def test_normalize_stage_reuses_compiled_plan(self, paper_engine):
+        plan = compile_query(EXAMPLE_2_1)
+        ctx = paper_engine.make_context(plan)
+        NormalizeStage().run(ctx)
+        assert ctx.parsed is plan.parsed
+        assert ctx.normalized is plan.normalized
+
+    def test_dpli_stage_short_circuits_provably_empty(self, paper_engine):
+        ctx = paper_engine.make_context(EMPTY_QUERY)
+        result = StagePipeline().run(ctx)
+        assert ctx.finished
+        assert ctx.documents == [] and ctx.candidates == []
+        assert len(result) == 0
+        # the post-DPLI stages never ran
+        assert result.timings.load_articles == 0.0
+        assert result.timings.extract == 0.0
+
+
+# ----------------------------------------------------------------------
+# the pipeline as a whole
+# ----------------------------------------------------------------------
+class TestStagePipeline:
+    def test_default_stage_order(self):
+        assert [type(s) for s in DEFAULT_STAGES] == [
+            NormalizeStage,
+            DpliStage,
+            LoadStage,
+            ExtractStage,
+            AggregateStage,
+        ]
+
+    def test_pipeline_matches_engine_execute(self, paper_engine):
+        via_pipeline = StagePipeline().run(paper_engine.make_context(EXAMPLE_2_1))
+        via_engine = paper_engine.execute(EXAMPLE_2_1)
+        assert as_rows(via_pipeline) == as_rows(via_engine)
+
+    def test_skip_plan_generated_exactly_once_per_sentence(
+        self, paper_engine, monkeypatch
+    ):
+        """The GSP stage is timed as a by-product — no dry re-planning."""
+        calls = {"count": 0}
+        real = evaluator_module.generate_skip_plan
+
+        def counting(*args, **kwargs):
+            calls["count"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(evaluator_module, "generate_skip_plan", counting)
+        result = paper_engine.execute(EXAMPLE_2_1)
+        assert result.evaluated_sentences == 2
+        assert calls["count"] == 2  # one plan per evaluated sentence, not two
+        assert result.timings.gsp > 0.0
+
+    def test_timings_partition_extract_and_gsp(self, paper_engine):
+        result = paper_engine.execute(EXAMPLE_2_1)
+        timings = result.timings
+        assert timings.gsp >= 0.0 and timings.extract >= 0.0
+        assert timings.total == pytest.approx(
+            timings.normalize
+            + timings.dpli
+            + timings.load_articles
+            + timings.gsp
+            + timings.extract
+            + timings.satisfying
+        )
+
+
+# ----------------------------------------------------------------------
+# result merging (used by the sharded service)
+# ----------------------------------------------------------------------
+class TestMergeResults:
+    def test_merge_orders_by_sid_and_sums_metrics(self):
+        from repro.koko.results import ExtractionTuple
+
+        a = KokoResult(
+            tuples=[ExtractionTuple("d2", 5, (("x", "B"),))],
+            candidate_sentences=2,
+            evaluated_sentences=1,
+        )
+        a.timings.dpli = 0.5
+        b = KokoResult(
+            tuples=[
+                ExtractionTuple("d1", 1, (("x", "A"),)),
+                ExtractionTuple("d1", 1, (("x", "A2"),)),
+            ],
+            candidate_sentences=3,
+            evaluated_sentences=2,
+        )
+        b.timings.dpli = 0.25
+        merged = merge_results([a, b])
+        assert [t.sid for t in merged] == [1, 1, 5]
+        # stable: same-sid tuples keep their within-shard order
+        assert [t.value("x") for t in merged] == ["A", "A2", "B"]
+        assert merged.candidate_sentences == 5
+        assert merged.evaluated_sentences == 3
+        assert merged.timings.dpli == pytest.approx(0.75)
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_results([])
+        assert len(merged) == 0 and merged.timings.total == 0.0
+
+    def test_stage_timings_accumulate(self):
+        total = StageTimings()
+        total.accumulate(StageTimings(normalize=1, gsp=2))
+        total.accumulate(StageTimings(dpli=3, gsp=1))
+        assert (total.normalize, total.dpli, total.gsp) == (1, 3, 3)
+        assert total.total == 7
+
+
+# ----------------------------------------------------------------------
+# engine fixes riding along with the refactor
+# ----------------------------------------------------------------------
+class TestEngineHygiene:
+    def test_engine_does_not_mutate_caller_dictionaries(self, paper_corpus):
+        dictionaries = {"custom": {"Foo"}}
+        engine = KokoEngine(
+            paper_corpus, dictionaries=dictionaries, use_default_vectors=False
+        )
+        assert dictionaries == {"custom": {"Foo"}}  # no 'location' injected
+        assert "location" in engine.resources.dictionaries
+        assert engine.resources.dictionaries["custom"] == {"foo"}
