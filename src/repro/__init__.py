@@ -7,7 +7,9 @@ The top-level package re-exports the most commonly used entry points:
 * :func:`~repro.koko.parse_query` — parse a KOKO query string,
 * :class:`~repro.indexing.KokoIndexSet` — the multi-index by itself,
 * :class:`~repro.service.KokoService` — the concurrent query-serving layer
-  with incremental ingestion, plan/result caching and service metrics.
+  with incremental ingestion, plan/result caching, service metrics and —
+  via ``KokoService.open(path)`` — snapshot + write-ahead-log durability
+  (:class:`~repro.persistence.CheckpointPolicy` tunes checkpointing).
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 reproduction of every table and figure of the paper.
@@ -16,11 +18,13 @@ reproduction of every table and figure of the paper.
 from .koko import CompiledQuery, KokoEngine, KokoQuery, KokoResult, compile_query, parse_query
 from .nlp import Corpus, Document, Pipeline, Sentence, Token
 from .indexing import KokoIndexSet, ShardedIndexSet
+from .persistence import CheckpointPolicy
 from .service import KokoService, ServiceStats, ShardedKokoService
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "CheckpointPolicy",
     "CompiledQuery",
     "Corpus",
     "Document",

@@ -65,6 +65,10 @@ class ServiceError(ReproError):
     """Raised by the query-serving layer (duplicate or unknown document ids)."""
 
 
+class PersistenceError(ReproError):
+    """Raised by the durability subsystem (bad snapshot, corrupt WAL...)."""
+
+
 class EmbeddingError(ReproError):
     """Raised by the embedding / descriptor-expansion subsystem."""
 

@@ -52,6 +52,7 @@ def run(articles: int = 100) -> OdinComparisonResult:
     and both steps count ("Odin took more than 2 days to complete the
     annotation and execution of all queries").
     """
+    import gc
     import time
 
     pipeline = Pipeline()
@@ -61,9 +62,15 @@ def run(articles: int = 100) -> OdinComparisonResult:
     result = OdinComparisonResult(articles=articles)
     raw_texts = {document.doc_id: document.text for document in corpus}
     for name, query_text in SCALEUP_QUERIES.items():
+        # Millisecond-scale single-shot timings: collect up front so a
+        # generational GC pause (whose phase depends on everything the
+        # process allocated before) cannot land inside one timed region
+        # and swamp the measurement.
+        gc.collect()
         koko_outcome = engine.execute(query_text)
         koko_seconds = koko_outcome.timings.total
 
+        gc.collect()
         started = time.perf_counter()
         odin_corpus = pipeline.annotate_corpus(raw_texts, name="odin")
         matcher = OdinMatcher(odin_rules[name])

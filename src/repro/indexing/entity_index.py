@@ -119,8 +119,12 @@ class EntityIndex:
     # ------------------------------------------------------------------
     E_SCHEMA = Schema.of("entity", "x", "u", "v", "etype")
 
-    def to_table(self, database: Database, table_name: str = "E"):
-        """Materialise the index into *database* with the paper's E schema."""
+    def to_table(self, database: Database, table_name: str = "E", create_indexes: bool = True):
+        """Materialise the index into *database* with the paper's E schema.
+
+        ``create_indexes=False`` skips the secondary B-trees — used by the
+        snapshot path, whose only reader (:meth:`from_table`) scans rows.
+        """
         if database.has_table(table_name):
             database.drop_table(table_name)
         table = database.create_table(table_name, self.E_SCHEMA)
@@ -128,6 +132,37 @@ class EntityIndex:
             table.insert(
                 (posting.text.lower(), posting.sid, posting.left, posting.right, posting.etype)
             )
-        table.create_index("by_entity", "entity")
-        table.create_index("by_sentence", "x")
+        if create_indexes:
+            table.create_index("by_entity", "entity")
+            table.create_index("by_sentence", "x")
         return table
+
+    @classmethod
+    def from_table(
+        cls,
+        database: Database,
+        table_name: str = "E",
+        mention_texts: dict[tuple[int, int, int], str] | None = None,
+    ) -> "EntityIndex":
+        """Rebuild an entity index from an ``E`` relation written by :meth:`to_table`.
+
+        ``mention_texts`` maps ``(sid, start, end)`` to the original-case
+        mention text (the E relation stores the lower-cased form).  Rows were
+        written in sentence-id bucket order, which is ingest order, so the
+        rebuilt per-text/per-type posting lists keep their original order.
+        """
+        mention_texts = mention_texts or {}
+        index = cls()
+        for entity, sid, left, right, etype in database.table(table_name):
+            posting = EntityPosting(
+                sid=sid,
+                left=left,
+                right=right,
+                etype=etype,
+                text=mention_texts.get((sid, left, right), entity),
+            )
+            index._by_text.setdefault(entity, []).append(posting)
+            index._by_type.setdefault(etype, []).append(posting)
+            index._by_sid.setdefault(sid, []).append(posting)
+            index._count += 1
+        return index

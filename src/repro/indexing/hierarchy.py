@@ -19,7 +19,7 @@ paths without touching individual sentences.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from ..nlp.types import Corpus, Sentence
 from ..storage.closure import ClosureTable
@@ -239,9 +239,74 @@ class HierarchyIndex:
                 closure.add_node(node.node_id, node.label, parent_id)
         return closure
 
-    def to_table(self, database: Database, table_name: str):
+    def to_table(self, database: Database, table_name: str, create_indexes: bool = True):
         """Materialise the closure table into the storage engine."""
-        return self.to_closure_table().to_table(database, table_name)
+        return self.to_closure_table().to_table(database, table_name, create_indexes)
+
+    # ------------------------------------------------------------------
+    # restoration (the from_database inverse used by snapshots)
+    # ------------------------------------------------------------------
+    def load_closure_table(self, database: Database, table_name: str) -> "HierarchyIndex":
+        """Rebuild the merged node structure from a closure-table relation.
+
+        The inverse of :meth:`to_table` for the *structure* of the index:
+        node ids, labels, depths and parent/child links.  Postings and the
+        token → node map are **not** stored in the closure table (Section
+        6.2.1 recovers them by joining with ``W`` on ``plid``/``posid``);
+        re-attach them with :meth:`attach_token` afterwards.  The index must
+        be freshly constructed (nothing merged yet).
+        """
+        if self.node_count:
+            raise ValueError(f"hierarchy index {self.name!r} is not empty")
+        labels: dict[int, str] = {}
+        depths: dict[int, int] = {}
+        parents: dict[int, int] = {}
+        for node_id, label, depth, ancestor_id, _alabel, ancestor_depth in database.table(
+            table_name
+        ):
+            if node_id == ancestor_id:
+                labels[node_id] = label
+                depths[node_id] = depth
+            elif ancestor_depth == depth - 1:
+                parents[node_id] = ancestor_id
+        # Creation order is ascending node id (parents precede children), so
+        # rebuilding in id order reproduces the original _nodes iteration
+        # order and keeps surviving ids stable.
+        for node_id in sorted(labels):
+            if node_id not in parents:  # the dummy root above all trees
+                self._dummy.node_id = node_id
+                self._nodes.clear()
+                self._nodes[node_id] = self._dummy
+                continue
+            parent = self._nodes[parents[node_id]]
+            node = HierarchyNode(
+                node_id=node_id,
+                label=labels[node_id],
+                depth=depths[node_id] - 1,  # closure depth counts the dummy
+                parent=parent,
+            )
+            parent.children[node.label] = node
+            self._nodes[node_id] = node
+        self._next_id = max(labels, default=-1) + 1
+        return self
+
+    def attach_token(self, node_id: int, posting: Posting) -> None:
+        """Re-attach one token occurrence to its merged node (restore path)."""
+        node = self._nodes[node_id]
+        node.postings.append(posting)
+        self._token_nodes[(posting.sid, posting.tid)] = node_id
+        self._merged_token_count += 1
+
+    def attach_tokens(self, entries: "Iterable[tuple[int, Posting]]") -> None:
+        """Bulk :meth:`attach_token` — the hot loop of snapshot restore."""
+        nodes = self._nodes
+        token_nodes = self._token_nodes
+        count = 0
+        for node_id, posting in entries:
+            nodes[node_id].postings.append(posting)
+            token_nodes[(posting.sid, posting.tid)] = node_id
+            count += 1
+        self._merged_token_count += count
 
 
 def parse_label_index() -> HierarchyIndex:

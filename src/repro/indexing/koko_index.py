@@ -17,6 +17,7 @@ from ..nlp.types import Corpus, Document
 from ..storage.database import Database
 from .entity_index import EntityIndex
 from .hierarchy import HierarchyIndex, parse_label_index, pos_tag_index
+from .postings import Posting
 from .word_index import WordIndex
 
 
@@ -176,10 +177,81 @@ class KokoIndexSet:
     # ------------------------------------------------------------------
     # materialisation
     # ------------------------------------------------------------------
-    def to_database(self, database: Database) -> Database:
-        """Store W, E, PL and POS relations (Section 6.2.1 schemas)."""
-        self.word_index.to_table(database, "W")
-        self.entity_index.to_table(database, "E")
-        self.pl_index.to_table(database, "PL")
-        self.pos_index.to_table(database, "POS")
+    def to_database(self, database: Database, create_indexes: bool = True) -> Database:
+        """Store W, E, PL and POS relations (Section 6.2.1 schemas).
+
+        ``create_indexes=False`` writes the relations without secondary
+        B-trees — the snapshot path uses it because :meth:`from_database`
+        only ever scans rows, and index-free tables capture, pickle and
+        load substantially faster.
+        """
+        self.word_index.to_table(database, "W", create_indexes)
+        self.entity_index.to_table(database, "E", create_indexes)
+        self.pl_index.to_table(database, "PL", create_indexes)
+        self.pos_index.to_table(database, "POS", create_indexes)
         return database
+
+    @classmethod
+    def from_database(
+        cls,
+        database: Database,
+        documents: "Sequence[Document] | None" = None,
+        table_suffix: str = "",
+        build_seconds: float = 0.0,
+    ) -> "KokoIndexSet":
+        """Rebuild an index set from relations written by :meth:`to_database`.
+
+        The inverse of the Section 6.2.1 materialisation: the word and entity
+        indexes come straight back from ``W`` and ``E``, the hierarchy node
+        structure from the ``PL``/``POS`` closure tables, and the hierarchy
+        posting lists plus token → node maps from joining ``W`` on its
+        ``plid``/``posid`` columns — no sentence is ever re-parsed.
+
+        ``documents`` (the corpus slice the relations were built from) is
+        optional but recommended: the relations store lower-cased words and
+        mention texts, so the originals are recovered from the annotated
+        sentences.  ``table_suffix`` selects one partition of a sharded
+        layout (e.g. ``".3"`` for ``W.3``).
+        """
+        token_texts: dict[tuple[int, int], str] = {}
+        mention_texts: dict[tuple[int, int, int], str] = {}
+        sentence_lengths: dict[int, int] = {}
+        for document in documents or ():
+            for sentence in document:
+                sentence_lengths[sentence.sid] = len(sentence)
+                for token in sentence:
+                    token_texts[(sentence.sid, token.index)] = token.text
+                for mention in sentence.entities:
+                    mention_texts[(sentence.sid, mention.start, mention.end)] = mention.text
+
+        index_set = cls()
+        token_rows: list[tuple[Posting, int, int]] = []
+        index_set.word_index = WordIndex.from_table(
+            database, f"W{table_suffix}", token_texts, postings_sink=token_rows
+        )
+        index_set.entity_index = EntityIndex.from_table(
+            database, f"E{table_suffix}", mention_texts
+        )
+        index_set.pl_index.load_closure_table(database, f"PL{table_suffix}")
+        index_set.pos_index.load_closure_table(database, f"POS{table_suffix}")
+
+        # Hierarchy posting lists are recovered from W in row order (itself
+        # deterministic: first-seen-word grouping); per-node posting order
+        # differs from the original DFS merge order, but every consumer of
+        # node postings sorts (posting-list union), so the restored index is
+        # lookup-identical to the original.
+        index_set.pl_index.attach_tokens(
+            (plid, posting) for posting, plid, _posid in token_rows if plid != -1
+        )
+        index_set.pos_index.attach_tokens(
+            (posid, posting) for posting, _plid, posid in token_rows if posid != -1
+        )
+
+        if documents is not None:
+            index_set._sentences = sum(len(doc) for doc in documents)
+            index_set._tokens = sum(sentence_lengths.values())
+        else:
+            index_set._sentences = len({posting.sid for posting, _, _ in token_rows})
+            index_set._tokens = len(token_rows)
+        index_set.build_seconds = build_seconds
+        return index_set

@@ -116,3 +116,31 @@ class ShardedIndexSet:
             shard.pl_index.to_table(database, f"PL.{index}")
             shard.pos_index.to_table(database, f"POS.{index}")
         return database
+
+    @classmethod
+    def from_database(
+        cls,
+        database: Database,
+        num_shards: int,
+        documents_by_shard: "list[list[Document]] | None" = None,
+        build_seconds_by_shard: "list[float] | None" = None,
+    ) -> "ShardedIndexSet":
+        """Rebuild a sharded index set from a partitioned Section 6.2.1 layout.
+
+        The inverse of :meth:`to_database`: shard *i* is restored from the
+        ``W.i``/``E.i``/``PL.i``/``POS.i`` relations via
+        :meth:`KokoIndexSet.from_database`.  ``documents_by_shard`` supplies
+        each shard's corpus slice so original-case words and mention texts
+        come back exactly.
+        """
+        index_set = cls(num_shards)
+        index_set.shards = [
+            KokoIndexSet.from_database(
+                database,
+                documents=documents_by_shard[i] if documents_by_shard else None,
+                table_suffix=f".{i}",
+                build_seconds=build_seconds_by_shard[i] if build_seconds_by_shard else 0.0,
+            )
+            for i in range(num_shards)
+        ]
+        return index_set

@@ -79,8 +79,12 @@ class WordIndex:
     # ------------------------------------------------------------------
     W_SCHEMA = Schema.of("word", "x", "y", "u", "v", "d", "plid", "posid")
 
-    def to_table(self, database: Database, table_name: str = "W"):
-        """Materialise the index into *database* with the paper's W schema."""
+    def to_table(self, database: Database, table_name: str = "W", create_indexes: bool = True):
+        """Materialise the index into *database* with the paper's W schema.
+
+        ``create_indexes=False`` skips the secondary B-trees — used by the
+        snapshot path, whose only reader (:meth:`from_table`) scans rows.
+        """
         if database.has_table(table_name):
             database.drop_table(table_name)
         table = database.create_table(table_name, self.W_SCHEMA)
@@ -99,6 +103,45 @@ class WordIndex:
                         posid,
                     )
                 )
-        table.create_index("by_word", "word")
-        table.create_index("by_sentence", "x")
+        if create_indexes:
+            table.create_index("by_word", "word")
+            table.create_index("by_sentence", "x")
         return table
+
+    @classmethod
+    def from_table(
+        cls,
+        database: Database,
+        table_name: str = "W",
+        token_texts: dict[tuple[int, int], str] | None = None,
+        postings_sink: list[tuple[Posting, int, int]] | None = None,
+    ) -> "WordIndex":
+        """Rebuild a word index from a ``W`` relation written by :meth:`to_table`.
+
+        ``token_texts`` maps ``(sid, tid)`` to the original surface form; the
+        W relation stores only the lower-cased key, so without the map the
+        rebuilt postings carry the lower-cased word.  Row order preserves the
+        per-word posting order of the original index, so a round trip through
+        the storage engine is lookup-identical.
+
+        ``postings_sink`` (when given) collects ``(posting, plid, posid)``
+        per row, so :meth:`KokoIndexSet.from_database` can re-attach the
+        hierarchy posting lists without a second pass over W.
+        """
+        token_texts = token_texts or {}
+        index = cls()
+        postings = index._postings
+        node_ids = index._node_ids
+        lookup_text = token_texts.get
+        for word, sid, tid, left, right, depth, plid, posid in database.table(table_name):
+            posting = Posting(sid, tid, left, right, depth, lookup_text((sid, tid), word))
+            bucket = postings.get(word)
+            if bucket is None:
+                postings[word] = [posting]
+            else:
+                bucket.append(posting)
+            if plid != -1 or posid != -1:
+                node_ids[(sid, tid)] = (plid, posid)
+            if postings_sink is not None:
+                postings_sink.append((posting, plid, posid))
+        return index

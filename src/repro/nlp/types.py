@@ -331,6 +331,19 @@ class Sentence:
         self._subtree_spans = None
         self._depths = None
 
+    def __getstate__(self) -> dict:
+        """Pickle without the memoised tree caches.
+
+        The caches are pure functions of the tokens and rebuild lazily on
+        first use; dropping them keeps serialised sentences (snapshot
+        corpus files, WAL records) small and load fast.
+        """
+        state = self.__dict__.copy()
+        state["_children"] = None
+        state["_subtree_spans"] = None
+        state["_depths"] = None
+        return state
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Sentence(sid={self.sid}, tokens={len(self.tokens)})"
 

@@ -1,0 +1,48 @@
+"""Durability for the serving layer: snapshots, write-ahead log, recovery.
+
+The subsystem splits durable state the way HTAP engines do:
+
+* **snapshots** — read-optimised: the corpus and every shard's multi-index,
+  materialised through the existing storage-engine path
+  (:meth:`~repro.indexing.koko_index.KokoIndexSet.to_database`) and restored
+  through its new ``from_database`` inverse;
+* **write-ahead log** — write-optimised: every ``add``/``remove`` appended
+  with CRC framing and fsync before it touches memory, rotated at each
+  checkpoint;
+* **recovery** — latest valid snapshot + WAL tail replay, tolerating a torn
+  final record, so ``KokoService.open(path)`` restarts warm with identical
+  query results and zero re-annotation.
+"""
+
+from .checkpoint import CheckpointPolicy, CheckpointScheduler
+from .layout import LAYOUT_VERSION, StorageLayout
+from .recovery import RecoveredState, RecoveryManager
+from .snapshot import SnapshotState, load_snapshot, write_snapshot
+from .wal import (
+    OP_ADD,
+    OP_REMOVE,
+    ReplayResult,
+    WalRecord,
+    WalWriter,
+    WriteAheadLog,
+    read_records,
+)
+
+__all__ = [
+    "CheckpointPolicy",
+    "CheckpointScheduler",
+    "LAYOUT_VERSION",
+    "OP_ADD",
+    "OP_REMOVE",
+    "RecoveredState",
+    "RecoveryManager",
+    "ReplayResult",
+    "SnapshotState",
+    "StorageLayout",
+    "WalRecord",
+    "WalWriter",
+    "WriteAheadLog",
+    "load_snapshot",
+    "read_records",
+    "write_snapshot",
+]

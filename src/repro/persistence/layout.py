@@ -1,0 +1,166 @@
+"""The on-disk layout of a durable KOKO service directory.
+
+One service maps to one directory::
+
+    <root>/
+      CURRENT                     # id of the latest durable checkpoint
+      snapshots/
+        ckpt-0000000002/          # one versioned snapshot per checkpoint
+          manifest.json           # layout version, config, counters, digests
+          corpus-0.pkl            # shard 0's annotated documents (pickle)
+          indexes-0.db            # shard 0's W/E/PL/POS relations (Database)
+          ...
+      wal/
+        wal-0000000003.log        # operations since checkpoint 2
+
+Checkpoint ids are monotonically increasing.  Snapshot ``ckpt-N`` contains
+every operation recorded in WAL segments ``1..N``; after it becomes durable
+the active segment is ``N+1`` and segments ``<= N`` are garbage.  The
+``CURRENT`` pointer is updated with an atomic rename *after* the snapshot
+directory is fully written and fsynced, so a crash at any point leaves
+either the old or the new checkpoint referenced — never a torn one.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: bump when the snapshot or WAL format changes incompatibly
+LAYOUT_VERSION = 1
+
+SNAPSHOT_PREFIX = "ckpt-"
+WAL_PREFIX = "wal-"
+WAL_SUFFIX = ".log"
+
+
+def fsync_file(path: Path) -> None:
+    """fsync one file by path (used after whole-file writes)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so renames/creations inside it are durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class StorageLayout:
+    """Path arithmetic + atomic pointer updates for one service directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # directories
+    # ------------------------------------------------------------------
+    @property
+    def snapshots_dir(self) -> Path:
+        return self.root / "snapshots"
+
+    @property
+    def wal_dir(self) -> Path:
+        return self.root / "wal"
+
+    @property
+    def current_file(self) -> Path:
+        return self.root / "CURRENT"
+
+    def initialise(self) -> None:
+        """Create the directory skeleton (idempotent)."""
+        self.snapshots_dir.mkdir(parents=True, exist_ok=True)
+        self.wal_dir.mkdir(parents=True, exist_ok=True)
+
+    def exists(self) -> bool:
+        """True when *root* already holds a service layout."""
+        return self.snapshots_dir.is_dir() or self.wal_dir.is_dir()
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot_dir(self, checkpoint_id: int) -> Path:
+        return self.snapshots_dir / f"{SNAPSHOT_PREFIX}{checkpoint_id:010d}"
+
+    def snapshot_ids(self) -> list[int]:
+        """All snapshot ids present on disk (ascending; temp dirs excluded)."""
+        found = []
+        if self.snapshots_dir.is_dir():
+            for entry in self.snapshots_dir.iterdir():
+                name = entry.name
+                if name.startswith(SNAPSHOT_PREFIX) and not name.endswith(".tmp"):
+                    try:
+                        found.append(int(name[len(SNAPSHOT_PREFIX):]))
+                    except ValueError:
+                        continue
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    # WAL segments
+    # ------------------------------------------------------------------
+    def wal_path(self, segment_id: int) -> Path:
+        return self.wal_dir / f"{WAL_PREFIX}{segment_id:010d}{WAL_SUFFIX}"
+
+    def wal_segment_ids(self) -> list[int]:
+        """All WAL segment ids present on disk (ascending)."""
+        found = []
+        if self.wal_dir.is_dir():
+            for entry in self.wal_dir.iterdir():
+                name = entry.name
+                if name.startswith(WAL_PREFIX) and name.endswith(WAL_SUFFIX):
+                    try:
+                        found.append(int(name[len(WAL_PREFIX):-len(WAL_SUFFIX)]))
+                    except ValueError:
+                        continue
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    # CURRENT pointer
+    # ------------------------------------------------------------------
+    def read_current(self) -> int | None:
+        """The checkpoint id ``CURRENT`` references, or None when unset/bad."""
+        try:
+            return int(self.current_file.read_text(encoding="utf-8").strip())
+        except (FileNotFoundError, ValueError):
+            return None
+
+    def write_current(self, checkpoint_id: int) -> None:
+        """Atomically repoint ``CURRENT`` at *checkpoint_id* (write + rename)."""
+        tmp = self.current_file.with_suffix(".tmp")
+        tmp.write_text(f"{checkpoint_id}\n", encoding="utf-8")
+        fsync_file(tmp)
+        os.replace(tmp, self.current_file)
+        fsync_dir(self.root)
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def prune(self, keep_checkpoint_id: int) -> None:
+        """Delete snapshots and WAL segments superseded by a durable checkpoint.
+
+        Keeps snapshot ``keep_checkpoint_id`` **and its predecessor**, plus
+        every WAL segment the predecessor needs to roll forward — so if the
+        newest snapshot is later found corrupt (bit rot, crash mid-write),
+        recovery falls back one checkpoint and replays the retained log
+        instead of losing data.  Everything older is unreferenced once
+        ``CURRENT`` points at the new checkpoint.
+        """
+        import shutil
+
+        retained = [s for s in self.snapshot_ids() if s <= keep_checkpoint_id][-2:]
+        oldest_retained = min(retained, default=keep_checkpoint_id)
+        for snapshot_id in self.snapshot_ids():
+            if snapshot_id < keep_checkpoint_id and snapshot_id not in retained:
+                shutil.rmtree(self.snapshot_dir(snapshot_id), ignore_errors=True)
+        for segment_id in self.wal_segment_ids():
+            if segment_id <= oldest_retained:
+                try:
+                    self.wal_path(segment_id).unlink()
+                except OSError:  # pragma: no cover - best-effort GC
+                    pass

@@ -1,0 +1,257 @@
+"""Versioned snapshots of a live service: corpus + indexes + counters.
+
+A snapshot is the read-optimised half of the durability design: the full
+service state at one checkpoint, written as
+
+* ``corpus-<i>.pkl`` — shard *i*'s annotated documents (pickle), the exact
+  objects the NLP pipeline produced, so warm restart re-annotates nothing;
+* ``indexes-<i>.db`` — shard *i*'s W/E/PL/POS relations, materialised
+  through the existing :meth:`KokoIndexSet.to_database` storage-engine path
+  and restored through its :meth:`~KokoIndexSet.from_database` inverse;
+* ``manifest.json`` — layout version, shard count, sid counter, per-shard
+  generation stamps, and a SHA-256 digest per file so a half-written or
+  bit-rotted snapshot is detected and skipped at recovery time.
+
+Writes are crash-safe: everything lands in a ``.tmp`` sibling first, is
+fsynced, and the directory is atomically renamed into place; the ``CURRENT``
+pointer only moves after the rename is durable.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import PersistenceError
+from ..indexing.koko_index import KokoIndexSet
+from ..nlp.types import Document
+from ..storage.database import Database
+from .layout import LAYOUT_VERSION, StorageLayout, fsync_dir, fsync_file
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class SnapshotState:
+    """Everything a snapshot persists (and recovery restores)."""
+
+    checkpoint_id: int
+    name: str
+    num_shards: int
+    next_sid: int
+    generations: list[int]
+    documents_by_shard: list[list[Document]]
+    build_seconds_by_shard: list[float] = field(default_factory=list)
+    #: per-shard W/E/PL/POS databases; populated by the writer (captured
+    #: under lock) and by the loader (read back from disk)
+    databases: list[Database] = field(default_factory=list)
+    #: per-shard restored index sets; populated by the loader only
+    index_sets: list[KokoIndexSet] = field(default_factory=list)
+
+
+def _digest(path: Path) -> str:
+    hasher = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def _write_file(path: Path, payload: bytes) -> str:
+    """Write + fsync one snapshot artifact; digest the bytes in hand."""
+    path.write_bytes(payload)
+    fsync_file(path)
+    return hashlib.sha256(payload).hexdigest()
+
+
+def write_snapshot(layout: StorageLayout, state: SnapshotState) -> Path:
+    """Write *state* as snapshot ``ckpt-<id>`` and return its directory.
+
+    Does **not** move ``CURRENT`` — the caller repoints it once the
+    snapshot (and any WAL bookkeeping) is durable.
+    """
+    final_dir = layout.snapshot_dir(state.checkpoint_id)
+    tmp_dir = final_dir.with_name(final_dir.name + ".tmp")
+    if tmp_dir.exists():
+        shutil.rmtree(tmp_dir)
+    tmp_dir.mkdir(parents=True)
+
+    files: dict[str, str] = {}
+    shards_meta = []
+    for shard_id in range(state.num_shards):
+        corpus_name = f"corpus-{shard_id}.pkl"
+        files[corpus_name] = _write_file(
+            tmp_dir / corpus_name,
+            pickle.dumps(
+                state.documents_by_shard[shard_id], protocol=pickle.HIGHEST_PROTOCOL
+            ),
+        )
+        indexes_name = f"indexes-{shard_id}.db"
+        files[indexes_name] = _write_file(
+            tmp_dir / indexes_name,
+            pickle.dumps(state.databases[shard_id], protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        shards_meta.append(
+            {
+                "documents": len(state.documents_by_shard[shard_id]),
+                "build_seconds": (
+                    state.build_seconds_by_shard[shard_id]
+                    if state.build_seconds_by_shard
+                    else 0.0
+                ),
+            }
+        )
+
+    manifest = {
+        "version": LAYOUT_VERSION,
+        "checkpoint_id": state.checkpoint_id,
+        "name": state.name,
+        "num_shards": state.num_shards,
+        "next_sid": state.next_sid,
+        "generations": list(state.generations),
+        "shards": shards_meta,
+        "files": files,
+    }
+    manifest_path = tmp_dir / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True), "utf-8")
+    fsync_file(manifest_path)
+    fsync_dir(tmp_dir)
+    # A leftover directory for this id — e.g. from a checkpoint that
+    # crashed before CURRENT moved and was re-run after recovery — is
+    # necessarily incomplete or superseded (recovery would have restored
+    # from it otherwise); clear it so the rename lands.
+    if final_dir.exists():
+        shutil.rmtree(final_dir)
+    os.replace(tmp_dir, final_dir)
+    fsync_dir(layout.snapshots_dir)
+    return final_dir
+
+
+def validate_snapshot(layout: StorageLayout, checkpoint_id: int) -> dict | None:
+    """Return the manifest of snapshot *checkpoint_id* iff it is fully valid.
+
+    Valid means: the directory and manifest exist, the layout version is
+    readable, and every listed file is present with a matching digest.
+    Returns ``None`` for anything less (the recovery scan skips it).
+    """
+    directory = layout.snapshot_dir(checkpoint_id)
+    manifest_path = directory / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if manifest.get("version") != LAYOUT_VERSION:
+        return None
+    if manifest.get("checkpoint_id") != checkpoint_id:
+        return None
+    for name, digest in manifest.get("files", {}).items():
+        path = directory / name
+        if not path.is_file() or _digest(path) != digest:
+            return None
+    return manifest
+
+
+def find_latest_valid(layout: StorageLayout) -> int | None:
+    """The newest snapshot id that passes full validation.
+
+    Scans newest-first rather than trusting ``CURRENT``: checkpoint ids are
+    monotonic and a fully-valid snapshot is always safe to recover from
+    (it covers exactly the WAL segments up to its id), so a snapshot whose
+    ``CURRENT`` update was lost in a crash is still preferred over the one
+    the stale pointer names.  ``CURRENT`` remains the operator-facing hint.
+    """
+    for checkpoint_id in reversed(layout.snapshot_ids()):
+        if validate_snapshot(layout, checkpoint_id) is not None:
+            return checkpoint_id
+    return None
+
+
+def load_snapshot(
+    layout: StorageLayout, checkpoint_id: int, verify: bool = True
+) -> SnapshotState:
+    """Load snapshot *checkpoint_id*: documents, index sets, counters.
+
+    The indexes come back through :meth:`KokoIndexSet.from_database` — the
+    inverse of the storage-engine materialisation — with each shard's corpus
+    slice supplying original-case words and mention texts.
+
+    Each file is read exactly once: the bytes are digested in hand (when
+    ``verify`` is on, the default) and unpickled from the same buffer, so
+    validation costs no extra I/O on the warm-restart path.  Any missing
+    file, digest mismatch or undecodable payload raises
+    :class:`PersistenceError`.
+    """
+    directory = layout.snapshot_dir(checkpoint_id)
+    try:
+        manifest = json.loads((directory / MANIFEST_NAME).read_text("utf-8"))
+    except (OSError, ValueError):
+        manifest = None
+    if (
+        manifest is None
+        or manifest.get("version") != LAYOUT_VERSION
+        or manifest.get("checkpoint_id") != checkpoint_id
+    ):
+        raise PersistenceError(
+            f"snapshot {checkpoint_id} at {directory} is missing or corrupt"
+        )
+
+    def read_verified(name: str) -> bytes:
+        try:
+            payload = (directory / name).read_bytes()
+        except OSError as exc:
+            raise PersistenceError(f"snapshot file {name} unreadable: {exc}") from exc
+        if verify and hashlib.sha256(payload).hexdigest() != manifest["files"].get(name):
+            raise PersistenceError(f"snapshot file {name} fails its digest")
+        return payload
+    state = SnapshotState(
+        checkpoint_id=checkpoint_id,
+        name=manifest["name"],
+        num_shards=manifest["num_shards"],
+        next_sid=manifest["next_sid"],
+        generations=[int(g) for g in manifest["generations"]],
+        documents_by_shard=[],
+        build_seconds_by_shard=[
+            float(meta.get("build_seconds", 0.0)) for meta in manifest["shards"]
+        ],
+    )
+    # Deserialising a corpus allocates very many small objects; collector
+    # passes in the middle of that dominate warm-restart time, so hold GC
+    # off for the duration (nothing loaded here is garbage yet anyway).
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for shard_id in range(state.num_shards):
+            try:
+                documents: list[Document] = pickle.loads(
+                    read_verified(f"corpus-{shard_id}.pkl")
+                )
+                database = pickle.loads(read_verified(f"indexes-{shard_id}.db"))
+            except PersistenceError:
+                raise
+            except Exception as exc:
+                raise PersistenceError(
+                    f"snapshot {checkpoint_id} shard {shard_id} fails to decode: {exc}"
+                ) from exc
+            if not isinstance(database, Database):
+                raise PersistenceError(
+                    f"snapshot {checkpoint_id} shard {shard_id} is not a Database"
+                )
+            state.documents_by_shard.append(documents)
+            state.databases.append(database)
+            state.index_sets.append(
+                KokoIndexSet.from_database(
+                    database,
+                    documents=documents,
+                    build_seconds=state.build_seconds_by_shard[shard_id],
+                )
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return state

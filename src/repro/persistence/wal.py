@@ -1,0 +1,227 @@
+"""Append-only write-ahead log with CRC framing and torn-tail recovery.
+
+Every corpus mutation of a durable service is logged **before** it is
+applied in memory, in the classic HTAP shape (an update log decoupled from
+the read-optimised state): an ``add`` record carries the fully annotated
+:class:`~repro.nlp.types.Document` so replay never re-runs NLP annotation,
+and a ``remove`` record carries the document id.
+
+Frame format (little-endian)::
+
+    +----------+----------+-------------------+
+    | len: u32 | crc: u32 | payload (pickled) |
+    +----------+----------+-------------------+
+
+``crc`` is the zlib CRC-32 of the payload.  A crash can tear at most the
+final frame (appends are sequential and fsynced per record by default);
+:func:`read_records` stops at the first truncated or corrupt frame and
+reports how many bytes were valid, so recovery can truncate the torn tail
+and keep appending to the same segment.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import PersistenceError
+from ..nlp.types import Document
+from .layout import fsync_dir as _fsync_dir
+
+_HEADER = struct.Struct("<II")
+
+OP_ADD = "add"
+OP_REMOVE = "remove"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged corpus mutation."""
+
+    op: str
+    doc_id: str
+    document: Document | None = None  # annotated payload for OP_ADD
+
+    def to_payload(self) -> bytes:
+        return pickle.dumps(
+            (self.op, self.doc_id, self.document), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "WalRecord":
+        op, doc_id, document = pickle.loads(payload)
+        return cls(op=op, doc_id=doc_id, document=document)
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One CRC-framed record, ready to append."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of scanning one WAL segment."""
+
+    records: list[WalRecord]
+    valid_bytes: int
+    torn: bool  # a truncated or corrupt frame ended the scan early
+
+
+def read_records(path: str | Path) -> ReplayResult:
+    """Scan one segment, tolerating a torn final frame.
+
+    Returns every record of the longest valid prefix.  ``torn`` is True when
+    trailing bytes had to be discarded (truncated header, truncated payload,
+    or CRC mismatch) — the durable prefix property crash recovery relies on.
+    """
+    path = Path(path)
+    records: list[WalRecord] = []
+    valid = 0
+    torn = False
+    with path.open("rb") as handle:
+        while True:
+            header = handle.read(_HEADER.size)
+            if not header:
+                break
+            if len(header) < _HEADER.size:
+                torn = True
+                break
+            length, crc = _HEADER.unpack(header)
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                torn = True
+                break
+            try:
+                records.append(WalRecord.from_payload(payload))
+            except Exception:
+                torn = True
+                break
+            valid += _HEADER.size + length
+    return ReplayResult(records=records, valid_bytes=valid, torn=torn)
+
+
+class WalWriter:
+    """Appends framed records to one segment file, fsyncing per record.
+
+    ``sync=False`` trades the per-record fsync for OS-buffered flushes
+    (still crash-consistent at the frame level thanks to the CRC framing,
+    but the tail may be lost on power failure) — useful for bulk loads.
+    """
+
+    def __init__(self, path: str | Path, sync: bool = True, truncate_to: int | None = None):
+        self.path = Path(path)
+        self.sync = sync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if truncate_to is not None and self.path.exists():
+            with self.path.open("r+b") as handle:
+                handle.truncate(truncate_to)
+        self._handle: io.BufferedWriter | None = self.path.open("ab")
+        self._bytes_written = self.path.stat().st_size
+
+    @property
+    def size_bytes(self) -> int:
+        """Current segment size (durable prefix plus buffered frames)."""
+        return self._bytes_written
+
+    def append(self, record: WalRecord) -> int:
+        """Frame, append and (optionally) fsync one record; returns its size.
+
+        A failed append (ENOSPC, I/O error) must not leave a partial frame
+        mid-segment: later successful appends would land *after* the
+        garbage, and recovery — which stops at the first corrupt frame —
+        would silently drop them.  On failure the segment is truncated back
+        to the last good frame boundary before the error propagates; if
+        even that fails the writer declares itself closed so every further
+        append fails loudly instead of corrupting the log.
+        """
+        if self._handle is None:
+            raise PersistenceError(f"WAL segment {self.path} is closed")
+        frame = encode_frame(record.to_payload())
+        try:
+            self._handle.write(frame)
+            self._handle.flush()
+            if self.sync:
+                os.fsync(self._handle.fileno())
+        except Exception:
+            self._rewind_to_last_good_frame()
+            raise
+        self._bytes_written += len(frame)
+        return len(frame)
+
+    def _rewind_to_last_good_frame(self) -> None:
+        """Discard a partial frame after a failed append (see :meth:`append`)."""
+        try:
+            self._handle.close()  # drops any buffered partial bytes
+        except Exception:
+            pass
+        try:
+            with self.path.open("r+b") as handle:
+                handle.truncate(self._bytes_written)
+            self._handle = self.path.open("ab")
+        except Exception:
+            self._handle = None  # segment unusable; appends now raise
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self.sync:
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+
+class WriteAheadLog:
+    """The service-facing WAL: an active segment plus rotation at checkpoint."""
+
+    def __init__(
+        self,
+        layout,
+        segment_id: int,
+        sync: bool = True,
+        truncate_to: int | None = None,
+    ) -> None:
+        self._layout = layout
+        self.sync = sync
+        self.segment_id = segment_id
+        self._writer = WalWriter(
+            layout.wal_path(segment_id), sync=sync, truncate_to=truncate_to
+        )
+        # make the segment's dirent durable, not just its contents — a lost
+        # dirent after a crash would strand fsynced records in limbo
+        _fsync_dir(layout.wal_dir)
+        self.records_appended = 0
+
+    @property
+    def active_path(self) -> Path:
+        return self._writer.path
+
+    @property
+    def active_bytes(self) -> int:
+        return self._writer.size_bytes
+
+    def append(self, record: WalRecord) -> int:
+        """Append one record to the active segment; returns the frame size."""
+        appended = self._writer.append(record)
+        self.records_appended += 1
+        return appended
+
+    def rotate(self) -> int:
+        """Close the active segment and open the next one.
+
+        Returns the id of the segment that was just sealed — the checkpoint
+        id whose snapshot covers every record up to this point.
+        """
+        sealed = self.segment_id
+        self._writer.close()
+        self.segment_id = sealed + 1
+        self._writer = WalWriter(self._layout.wal_path(self.segment_id), sync=self.sync)
+        _fsync_dir(self._layout.wal_dir)
+        return sealed
+
+    def close(self) -> None:
+        self._writer.close()

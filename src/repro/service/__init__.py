@@ -1,11 +1,13 @@
-"""The query-serving layer: sharding, incremental ingestion, caching, concurrency."""
+"""The query-serving layer: sharding, ingestion, caching, durability."""
 
+from ..persistence import CheckpointPolicy
 from .cache import PlanCache, ResultCache
 from .locks import ReadWriteLock
 from .service import KokoService, ShardedKokoService
 from .stats import ServiceStats
 
 __all__ = [
+    "CheckpointPolicy",
     "KokoService",
     "PlanCache",
     "ReadWriteLock",

@@ -91,13 +91,16 @@ class ResultCache(Generic[V]):
     """Generation-stamped LRU: entries from an older corpus generation miss.
 
     Staleness is checked lazily at lookup time, so ingestion never has to
-    walk the cache — bumping the generation invalidates everything at once.
+    walk the cache — bumping a generation invalidates its entries at once.
+    The stamp may be a plain int (one global generation) or a tuple of
+    per-shard generations (the service stamps full results with the vector
+    and per-shard partials with that shard's own counter).
     """
 
     def __init__(self, capacity: int = 256) -> None:
-        self._entries: _LruDict[tuple[int, V]] = _LruDict(capacity)
+        self._entries: _LruDict[tuple[Hashable, V]] = _LruDict(capacity)
 
-    def get(self, key: Hashable, generation: int) -> V | None:
+    def get(self, key: Hashable, generation: Hashable) -> V | None:
         entry = self._entries.get(key)
         if entry is None:
             return None
@@ -107,11 +110,11 @@ class ResultCache(Generic[V]):
             return None
         return value
 
-    def put(self, key: Hashable, generation: int, value: V) -> None:
+    def put(self, key: Hashable, generation: Hashable, value: V) -> None:
         self._entries.put(key, (generation, value))
 
     def get_or_compute(
-        self, key: Hashable, generation: int, compute: Callable[[], V]
+        self, key: Hashable, generation: Hashable, compute: Callable[[], V]
     ) -> tuple[V, bool]:
         """Return ``(value, was_hit)``, computing and caching on miss."""
         cached = self.get(key, generation)

@@ -1,4 +1,4 @@
-"""KokoService — a concurrent, shardable query-serving layer over KOKO.
+"""KokoService — a concurrent, shardable, durable query-serving layer over KOKO.
 
 The batch pipeline of the paper builds the multi-index once over a frozen
 corpus and evaluates one query at a time.  ``KokoService`` turns that into
@@ -20,20 +20,32 @@ a long-lived server:
   summed :class:`~repro.koko.results.StageTimings`.
 * **Plan caching** — each distinct query string is parsed and normalised
   once (:class:`~repro.service.cache.PlanCache`).
-* **Result caching** — full query results are kept in a generation-stamped
-  LRU (:class:`~repro.service.cache.ResultCache`); every ingest bumps the
-  corpus generation, which invalidates all cached results at once.
+* **Result caching with per-shard generation stamps** — full query results
+  are kept in an LRU stamped with the vector of per-shard generations; in
+  addition each shard's partial result is cached under that shard's own
+  generation, so ingesting into shard *k* invalidates only shard *k*'s
+  work — a repeat query re-executes one shard and reuses the other N−1
+  cached partials.
+* **Durability** — constructed with ``storage_dir`` (or via
+  :meth:`KokoService.open`), every ``add``/``remove`` is appended to a
+  CRC-framed, fsynced write-ahead log *before* it is applied, and a
+  background checkpoint thread folds the log into versioned snapshots
+  (corpus pickle + the multi-index materialised through the storage
+  engine).  Reopening the directory restores the latest valid snapshot and
+  replays the WAL tail — tolerating a torn final record — so the service
+  restarts warm with identical query results and zero re-annotation.
 * **Concurrency** — any number of queries evaluate in parallel under the
   per-shard read locks; :meth:`query_batch` fans a batch out over a thread
-  pool, preserving per-query timings.
+  pool, preserving per-query timings.  Checkpoints hold per-shard *read*
+  locks only, so snapshotting never stalls readers.
 * **Observability** — :class:`~repro.service.stats.ServiceStats` tracks
-  cache hit rates, ingest throughput, p50/p95 query latency and a
-  per-shard breakdown (queries, seconds, documents routed).
+  cache hit rates, ingest throughput, p50/p95 query latency, a per-shard
+  breakdown, and durability counters (WAL appends, checkpoints, recovery).
 
 Consistency note: a result served from the cache always corresponds to one
-corpus generation.  An uncached query that overlaps an in-flight ingest
-may observe the new document on its shard while other shards are read
-earlier — the usual read-committed view of a partitioned store.
+vector of shard generations.  An uncached query that overlaps an in-flight
+ingest may observe the new document on its shard while other shards are
+read earlier — the usual read-committed view of a partitioned store.
 """
 
 from __future__ import annotations
@@ -41,10 +53,11 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 from ..embeddings.expansion import DescriptorExpander
 from ..embeddings.vectors import VectorStore
-from ..errors import ServiceError
+from ..errors import PersistenceError, ServiceError
 from ..indexing.koko_index import IndexStatistics, KokoIndexSet
 from ..indexing.sharding import ShardedIndexSet
 from ..koko.ast import KokoQuery
@@ -52,6 +65,19 @@ from ..koko.engine import CompiledQuery, KokoEngine, compile_query
 from ..koko.results import KokoResult, merge_results
 from ..nlp.pipeline import Pipeline
 from ..nlp.types import Corpus, Document
+from ..persistence import (
+    OP_ADD,
+    OP_REMOVE,
+    CheckpointPolicy,
+    CheckpointScheduler,
+    RecoveryManager,
+    SnapshotState,
+    StorageLayout,
+    WalRecord,
+    WriteAheadLog,
+    write_snapshot,
+)
+from ..storage.database import Database
 from .cache import PlanCache, ResultCache
 from .locks import ReadWriteLock
 from .stats import ServiceStats
@@ -84,9 +110,16 @@ class _Shard:
         self.indexes.remove_document(document)
         self.engine.unregister_document(document)
 
+    def adopt(self, documents: list[Document]) -> None:
+        """Attach already-indexed documents (snapshot restore; no index add)."""
+        for document in documents:
+            self.corpus.documents.append(document)
+            self.documents[document.doc_id] = document
+            self.engine.register_document(document)
+
 
 class KokoService:
-    """A mutable-corpus, multi-query, optionally sharded KOKO server.
+    """A mutable-corpus, multi-query, optionally sharded and durable server.
 
     Results returned by :meth:`query` may be shared cache entries — treat
     them as read-only.
@@ -96,15 +129,29 @@ class KokoService:
     pipeline:
         NLP pipeline used to annotate ingested text (default rule-based).
     name:
-        Name of the service's corpus.
+        Name of the service's corpus (when reopening a durable directory,
+        the persisted name wins).
     shards:
-        Number of hash partitions.  ``1`` (the default) behaves exactly
-        like the unsharded service; ``N > 1`` fans queries out per shard
-        and gives every shard its own write lock.
+        Number of hash partitions.  ``None`` (the default) means one shard,
+        or — when ``storage_dir`` holds an existing service — whatever
+        shard count was persisted.  An explicit value that contradicts a
+        recovered snapshot raises :class:`ServiceError`.
     plan_cache_size, result_cache_size:
         LRU capacities of the two read-side caches.
     max_workers:
         Thread-pool width used by :meth:`query_batch`.
+    storage_dir:
+        Directory for the durability subsystem (snapshots + write-ahead
+        log).  ``None`` (the default) keeps the service memory-only.  An
+        existing directory is recovered: latest valid snapshot, then WAL
+        tail replay — see :mod:`repro.persistence`.
+    checkpoint_policy:
+        When the background thread folds the WAL into a fresh snapshot
+        (default: 256 ops / 8 MiB / 300 s, whichever first).  Use
+        ``CheckpointPolicy.disabled()`` for explicit :meth:`checkpoint`
+        calls only.
+    wal_sync:
+        fsync the WAL on every logged operation (default True).
     expander, vectors, dictionaries, use_gsp, use_default_vectors:
         Forwarded to every shard's :class:`~repro.koko.engine.KokoEngine`.
     """
@@ -113,19 +160,52 @@ class KokoService:
         self,
         pipeline: Pipeline | None = None,
         name: str = "service",
-        shards: int = 1,
+        shards: int | None = None,
         plan_cache_size: int = 256,
         result_cache_size: int = 256,
         max_workers: int = 4,
+        storage_dir: str | Path | None = None,
+        checkpoint_policy: CheckpointPolicy | None = None,
+        wal_sync: bool = True,
+        checkpoint_poll_seconds: float = 0.2,
         expander: DescriptorExpander | None = None,
         vectors: VectorStore | None = None,
         dictionaries: dict[str, set[str]] | None = None,
         use_gsp: bool = True,
         use_default_vectors: bool = True,
     ) -> None:
-        if shards <= 0:
+        if shards is not None and shards <= 0:
             raise ServiceError(f"shards must be positive, got {shards}")
         self.pipeline = pipeline or Pipeline()
+
+        # ---- durability: recover any existing on-disk state first, since
+        # the persisted shard count and name define the topology we build.
+        recovery_started = time.perf_counter()
+        self._layout: StorageLayout | None = None
+        self._wal: WriteAheadLog | None = None
+        self._checkpoint_scheduler: CheckpointScheduler | None = None
+        self._checkpoint_policy = checkpoint_policy or CheckpointPolicy()
+        self._checkpoint_lock = threading.Lock()
+        self._checkpoint_id = 0
+        self._ops_since_checkpoint = 0
+        self._last_checkpoint_monotonic = time.monotonic()
+        self._closed = False
+        self._wal_sync = wal_sync
+        recovered = None
+        if storage_dir is not None:
+            self._layout = StorageLayout(storage_dir)
+            self._layout.initialise()
+            recovered = RecoveryManager(self._layout).recover()
+            if recovered.snapshot is not None:
+                if shards is not None and shards != recovered.snapshot.num_shards:
+                    raise ServiceError(
+                        f"storage at {storage_dir} holds {recovered.snapshot.num_shards} "
+                        f"shard(s) but {shards} were requested"
+                    )
+                shards = recovered.snapshot.num_shards
+                name = recovered.snapshot.name
+
+        shards = shards if shards is not None else 1
         self.name = name
         if vectors is None and use_default_vectors:
             from ..embeddings.pretrained import build_default_vectors
@@ -139,6 +219,8 @@ class KokoService:
             use_default_vectors=use_default_vectors,
         )
         self._index_set = ShardedIndexSet(shards)
+        if recovered is not None and recovered.snapshot is not None:
+            self._index_set.shards = list(recovered.snapshot.index_sets)
         self._shards = [
             _Shard(i, f"{name}/shard{i}", self._index_set.shards[i], engine_kwargs)
             for i in range(shards)
@@ -147,17 +229,181 @@ class KokoService:
         self.stats = ServiceStats()
         self._plan_cache = PlanCache(plan_cache_size)
         self._result_cache: ResultCache[KokoResult] = ResultCache(result_cache_size)
-        # Serialises corpus mutation (sid allocation, doc routing, generation)
-        # without ever blocking the per-shard read side.
+        # per-(query, shard) partials, each stamped with its shard's own
+        # generation — the unit of reuse that survives other shards' ingests
+        self._shard_result_cache: ResultCache[KokoResult] = ResultCache(
+            result_cache_size * shards
+        )
+        # Serialises corpus mutation (sid allocation, doc routing, WAL
+        # append, generation) without ever blocking the per-shard read side.
         self._meta_lock = threading.Lock()
         self._doc_shard: dict[str, int] = {}
         self._next_sid = 0
-        self._generation = 0
+        self._generations = [0] * shards
         self._shard_pool: ThreadPoolExecutor | None = (
             ThreadPoolExecutor(max_workers=shards, thread_name_prefix="koko-shard")
             if shards > 1
             else None
         )
+
+        if recovered is not None:
+            self._finish_recovery(recovered)
+            self.stats.record_recovery(
+                time.perf_counter() - recovery_started,
+                documents=len(self._doc_shard),
+                replayed=len(recovered.operations),
+                torn_tail=recovered.torn_tail,
+            )
+            self._checkpoint_scheduler = CheckpointScheduler(
+                self._maybe_checkpoint, poll_seconds=checkpoint_poll_seconds
+            )
+            self._checkpoint_scheduler.start()
+
+    # ------------------------------------------------------------------
+    # durability lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, storage_dir: str | Path, **kwargs) -> "KokoService":
+        """Open (or create) a durable service rooted at *storage_dir*.
+
+        Sugar for ``KokoService(storage_dir=storage_dir, **kwargs)``: an
+        existing directory restarts warm — latest valid snapshot plus WAL
+        tail, zero re-annotation — and a missing one is initialised.
+        """
+        return cls(storage_dir=storage_dir, **kwargs)
+
+    def _finish_recovery(self, recovered) -> None:
+        """Adopt the snapshot, replay the WAL tail, and open the live WAL."""
+        assert self._layout is not None
+        if recovered.snapshot is not None:
+            snapshot = recovered.snapshot
+            for shard_id, shard in enumerate(self._shards):
+                documents = snapshot.documents_by_shard[shard_id]
+                shard.adopt(documents)
+                for document in documents:
+                    self._doc_shard[document.doc_id] = shard_id
+            self._next_sid = snapshot.next_sid
+            self._generations = list(snapshot.generations)
+            self._checkpoint_id = snapshot.checkpoint_id
+        for record in recovered.operations:
+            if record.op == OP_ADD:
+                if record.document is None or record.doc_id in self._doc_shard:
+                    raise PersistenceError(
+                        f"WAL replay: bad add record for {record.doc_id!r}"
+                    )
+                self._splice_meta_locked(record.document)
+            elif record.op == OP_REMOVE:
+                if record.doc_id not in self._doc_shard:
+                    raise PersistenceError(
+                        f"WAL replay: remove of unknown document {record.doc_id!r}"
+                    )
+                self._unsplice_meta_locked(record.doc_id)
+            else:  # pragma: no cover - defensive
+                raise PersistenceError(f"WAL replay: unknown op {record.op!r}")
+        self._wal = WriteAheadLog(
+            self._layout,
+            recovered.active_segment_id,
+            sync=self._wal_sync,
+            truncate_to=recovered.active_segment_valid_bytes,
+        )
+        # Replayed operations are only durable in the WAL tail; fold them
+        # into a checkpoint so the next restart is one load.  A directory
+        # with no snapshot and nothing to replay (brand new, or a crash
+        # before the first bootstrap completed) gets a bootstrap snapshot
+        # that pins the shard topology.
+        if recovered.operations:
+            self._ops_since_checkpoint = len(recovered.operations)
+            self.checkpoint()
+        elif recovered.snapshot is None:
+            self._write_bootstrap_snapshot()
+
+    def _write_bootstrap_snapshot(self) -> None:
+        """Persist the empty topology (shard count, name) as checkpoint 0."""
+        assert self._layout is not None
+        state = self._capture_snapshot_state(checkpoint_id=0)
+        write_snapshot(self._layout, state)
+        self._layout.write_current(0)
+
+    def _capture_snapshot_state(self, checkpoint_id: int) -> SnapshotState:
+        """Materialise every shard under its read lock (readers unaffected)."""
+        databases: list[Database] = []
+        documents_by_shard: list[list[Document]] = []
+        build_seconds: list[float] = []
+        for shard in self._shards:
+            with shard.lock.read_locked():
+                database = Database(name=f"{self.name}-shard{shard.shard_id}")
+                shard.indexes.to_database(database, create_indexes=False)
+                databases.append(database)
+                documents_by_shard.append(list(shard.corpus.documents))
+                build_seconds.append(shard.indexes.build_seconds)
+        return SnapshotState(
+            checkpoint_id=checkpoint_id,
+            name=self.name,
+            num_shards=len(self._shards),
+            next_sid=self._next_sid,
+            generations=list(self._generations),
+            documents_by_shard=documents_by_shard,
+            build_seconds_by_shard=build_seconds,
+            databases=databases,
+        )
+
+    def checkpoint(self) -> int | None:
+        """Fold the write-ahead log into a fresh snapshot.
+
+        Captures every shard under its *read* lock (readers keep running;
+        writers wait out the capture), seals the active WAL segment, writes
+        the versioned snapshot, atomically repoints ``CURRENT`` and prunes
+        superseded snapshots and segments.  Returns the new checkpoint id,
+        or ``None`` when nothing was logged since the last checkpoint.
+
+        Raises :class:`ServiceError` on a memory-only service.
+        """
+        if self._wal is None or self._layout is None:
+            raise ServiceError("service has no storage_dir to checkpoint into")
+        started = time.perf_counter()
+        with self._checkpoint_lock:
+            with self._meta_lock:
+                if self._ops_since_checkpoint == 0:
+                    return None
+                sealed = self._wal.rotate()
+                state = self._capture_snapshot_state(checkpoint_id=sealed)
+                self._ops_since_checkpoint = 0
+                self._last_checkpoint_monotonic = time.monotonic()
+            # File writes happen outside the meta lock: the captured state
+            # is immutable (fresh Database objects; documents are never
+            # mutated after ingest), so writers proceed while we fsync.
+            write_snapshot(self._layout, state)
+            self._layout.write_current(sealed)
+            self._layout.prune(sealed)
+            self._checkpoint_id = sealed
+        self.stats.record_checkpoint(time.perf_counter() - started, sealed)
+        return sealed
+
+    def _maybe_checkpoint(self) -> None:
+        """Background heartbeat: checkpoint when the policy says it is due."""
+        if self._closed or self._wal is None:
+            return
+        elapsed = time.monotonic() - self._last_checkpoint_monotonic
+        if self._checkpoint_policy.due(
+            self._ops_since_checkpoint, self._wal.active_bytes, elapsed
+        ):
+            try:
+                self.checkpoint()
+            except Exception as exc:
+                # The WAL stays the source of durability; surface the
+                # failure in the stats instead of dying silently (the next
+                # heartbeat, or an explicit checkpoint(), retries).
+                self.stats.record_checkpoint_failure(repr(exc))
+
+    @property
+    def storage_dir(self) -> Path | None:
+        """Root of the durability layout, or None for a memory-only service."""
+        return self._layout.root if self._layout is not None else None
+
+    @property
+    def checkpoint_id(self) -> int:
+        """Id of the latest durable checkpoint (0 until the first one)."""
+        return self._checkpoint_id
 
     # ------------------------------------------------------------------
     # ingestion (write side)
@@ -166,13 +412,15 @@ class KokoService:
         """Annotate *text* and fold it into its shard's corpus and indexes."""
         started = time.perf_counter()
         with self._meta_lock:
+            self._ensure_open()
             resolved_id = doc_id if doc_id is not None else self._fresh_doc_id()
             if resolved_id in self._doc_shard:
                 raise ServiceError(f"document id {resolved_id!r} already ingested")
             document = self.pipeline.annotate(
                 text, doc_id=resolved_id, first_sid=self._next_sid
             )
-            shard = self._ingest_meta_locked(document)
+            self._log(WalRecord(op=OP_ADD, doc_id=document.doc_id, document=document))
+            shard = self._splice_meta_locked(document)
         self.stats.record_ingest(
             time.perf_counter() - started,
             len(document),
@@ -190,6 +438,7 @@ class KokoService:
         """
         started = time.perf_counter()
         with self._meta_lock:
+            self._ensure_open()
             if document.doc_id in self._doc_shard:
                 raise ServiceError(f"document id {document.doc_id!r} already ingested")
             for sentence in document:
@@ -199,7 +448,8 @@ class KokoService:
                         f"{document.doc_id!r} is not fresh (next sid is "
                         f"{self._next_sid})"
                     )
-            shard = self._ingest_meta_locked(document)
+            self._log(WalRecord(op=OP_ADD, doc_id=document.doc_id, document=document))
+            shard = self._splice_meta_locked(document)
         self.stats.record_ingest(
             time.perf_counter() - started,
             len(document),
@@ -212,14 +462,11 @@ class KokoService:
         """Un-index and drop one document; returns it."""
         started = time.perf_counter()
         with self._meta_lock:
-            shard_id = self._doc_shard.pop(doc_id, None)
-            if shard_id is None:
+            self._ensure_open()
+            if doc_id not in self._doc_shard:
                 raise ServiceError(f"unknown document id {doc_id!r}")
-            shard = self._shards[shard_id]
-            with shard.lock.write_locked():
-                document = shard.documents[doc_id]
-                shard.unsplice(document)
-                self._generation += 1
+            self._log(WalRecord(op=OP_REMOVE, doc_id=doc_id))
+            shard_id, document = self._unsplice_meta_locked(doc_id)
         self.stats.record_ingest(
             time.perf_counter() - started,
             len(document),
@@ -229,7 +476,14 @@ class KokoService:
         )
         return document
 
-    def _ingest_meta_locked(self, document: Document) -> _Shard:
+    def _log(self, record: WalRecord) -> None:
+        """Write-ahead: make one operation durable before applying it."""
+        if self._wal is not None:
+            appended = self._wal.append(record)
+            self._ops_since_checkpoint += 1
+            self.stats.record_wal_append(appended)
+
+    def _splice_meta_locked(self, document: Document) -> _Shard:
         """Route one annotated document to its shard (meta lock held)."""
         self._next_sid = max(
             self._next_sid, max((s.sid for s in document), default=self._next_sid - 1) + 1
@@ -238,14 +492,28 @@ class KokoService:
         self._doc_shard[document.doc_id] = shard.shard_id
         with shard.lock.write_locked():
             shard.splice(document)
-            self._generation += 1
+            self._generations[shard.shard_id] += 1
         return shard
+
+    def _unsplice_meta_locked(self, doc_id: str) -> tuple[int, Document]:
+        """Remove one document from its shard (meta lock held)."""
+        shard_id = self._doc_shard.pop(doc_id)
+        shard = self._shards[shard_id]
+        with shard.lock.write_locked():
+            document = shard.documents[doc_id]
+            shard.unsplice(document)
+            self._generations[shard_id] += 1
+        return shard_id, document
 
     def _fresh_doc_id(self) -> str:
         candidate = f"doc{len(self._doc_shard)}"
         while candidate in self._doc_shard:
             candidate = candidate + "_"
         return candidate
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
 
     # ------------------------------------------------------------------
     # querying (read side)
@@ -259,22 +527,25 @@ class KokoService:
         """Evaluate one query against the current corpus.
 
         String queries go through the plan cache and the generation-stamped
-        result cache; pre-parsed queries bypass both.
+        result caches; pre-parsed queries bypass both.
         """
+        self._ensure_open()
         started = time.perf_counter()
         result_hit: bool | None = None
         plan_hit: bool | None = None
         if isinstance(query, str):
             key = (query, threshold_override, keep_all_scores)
-            generation = self._generation
-            result = self._result_cache.get(key, generation)
+            stamp = tuple(self._generations)
+            result = self._result_cache.get(key, stamp)
             if result is not None:
                 result_hit = True
             else:
                 result_hit = False
                 plan, plan_hit = self._plan_cache.get_or_compile(query)
-                result = self._execute(plan, threshold_override, keep_all_scores)
-                self._result_cache.put(key, generation, result)
+                result = self._execute(
+                    plan, threshold_override, keep_all_scores, cache_key=key
+                )
+                self._result_cache.put(key, stamp, result)
         else:
             result = self._execute(query, threshold_override, keep_all_scores)
         self.stats.record_query(
@@ -289,8 +560,15 @@ class KokoService:
         query: str | KokoQuery | CompiledQuery,
         threshold_override: float | None,
         keep_all_scores: bool,
+        cache_key=None,
     ) -> KokoResult:
-        """Run the stage pipeline on every shard and merge the results."""
+        """Run the stage pipeline on every shard and merge the results.
+
+        With a ``cache_key`` (string queries), shards whose generation is
+        unchanged since a previous execution of the same query are served
+        from the per-shard partial cache — only the shards that actually
+        ingested since then re-execute.
+        """
         if len(self._shards) == 1:
             return self._execute_shard(
                 self._shards[0], query, threshold_override, keep_all_scores
@@ -298,17 +576,43 @@ class KokoService:
         pool = self._shard_pool
         if pool is None:
             raise ServiceError("service is closed")
-        # Normalise once so the fan-out doesn't repeat parse + normalise
-        # per shard (the plan cache already hands us a CompiledQuery).
-        if not isinstance(query, CompiledQuery):
-            query = compile_query(query)
-        futures = [
-            pool.submit(
-                self._execute_shard, shard, query, threshold_override, keep_all_scores
+        partials: list[KokoResult | None] = [None] * len(self._shards)
+        pending: list[_Shard] = []
+        for shard in self._shards:
+            cached = (
+                self._shard_result_cache.get(
+                    (cache_key, shard.shard_id), self._generations[shard.shard_id]
+                )
+                if cache_key is not None
+                else None
             )
-            for shard in self._shards
-        ]
-        return merge_results([future.result() for future in futures])
+            if cached is not None:
+                partials[shard.shard_id] = cached
+                self.stats.record_shard_partial(reused=True)
+            else:
+                pending.append(shard)
+        if pending:
+            # Normalise once so the fan-out doesn't repeat parse + normalise
+            # per shard (the plan cache already hands us a CompiledQuery).
+            if not isinstance(query, CompiledQuery):
+                query = compile_query(query)
+            futures = [
+                (
+                    shard.shard_id,
+                    pool.submit(
+                        self._execute_shard,
+                        shard,
+                        query,
+                        threshold_override,
+                        keep_all_scores,
+                        cache_key,
+                    ),
+                )
+                for shard in pending
+            ]
+            for shard_id, future in futures:
+                partials[shard_id] = future.result()
+        return merge_results([p for p in partials if p is not None])
 
     def _execute_shard(
         self,
@@ -316,14 +620,21 @@ class KokoService:
         query: str | KokoQuery | CompiledQuery,
         threshold_override: float | None,
         keep_all_scores: bool,
+        cache_key=None,
     ) -> KokoResult:
         started = time.perf_counter()
         with shard.lock.read_locked():
+            # The stamp is read under the read lock, so it is exactly the
+            # generation this execution observes on this shard.
+            generation = self._generations[shard.shard_id]
             result = shard.engine.execute(
                 query,
                 threshold_override=threshold_override,
                 keep_all_scores=keep_all_scores,
             )
+        if cache_key is not None:
+            self._shard_result_cache.put((cache_key, shard.shard_id), generation, result)
+            self.stats.record_shard_partial(reused=False)
         self.stats.record_shard_query(shard.shard_id, time.perf_counter() - started)
         return result
 
@@ -341,6 +652,7 @@ class KokoService:
         from the per-shard fan-out pool, so batched queries on a sharded
         service still parallelise across shards.
         """
+        self._ensure_open()
         if not queries:
             return []
         workers = max(1, min(max_workers or self.max_workers, len(queries)))
@@ -360,7 +672,27 @@ class KokoService:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the fan-out pool down (idempotent; no-op when unsharded)."""
+        """Shut the service down cleanly (idempotent).
+
+        A durable service stops the checkpoint thread, flushes a final
+        checkpoint when anything was logged since the last one, and closes
+        the WAL — so a context-managed service always leaves a consistent,
+        immediately-loadable on-disk state.  A memory-only service just
+        drains the fan-out pool.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._checkpoint_scheduler is not None:
+            self._checkpoint_scheduler.stop()
+            self._checkpoint_scheduler = None
+        if self._wal is not None:
+            try:
+                if self._ops_since_checkpoint:
+                    self.checkpoint()
+            finally:
+                self._wal.close()
+                self._wal = None
         if self._shard_pool is not None:
             self._shard_pool.shutdown(wait=True)
             self._shard_pool = None
@@ -380,8 +712,13 @@ class KokoService:
 
     @property
     def generation(self) -> int:
-        """Corpus generation; bumped by every ingest (cache invalidation)."""
-        return self._generation
+        """Total corpus generation: the sum of every shard's stamp."""
+        return sum(self._generations)
+
+    @property
+    def generations(self) -> tuple[int, ...]:
+        """Per-shard generation stamps (each ingest bumps exactly one)."""
+        return tuple(self._generations)
 
     @property
     def indexes(self) -> KokoIndexSet | ShardedIndexSet:
@@ -449,7 +786,8 @@ class KokoService:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"KokoService(documents={len(self._doc_shard)}, "
-            f"shards={len(self._shards)}, generation={self._generation})"
+            f"shards={len(self._shards)}, generations={self._generations}, "
+            f"durable={self._layout is not None})"
         )
 
 

@@ -37,6 +37,21 @@ class ServiceStats:
         self.shard_query_seconds: dict[int, float] = {}
         self.shard_documents_added: dict[int, int] = {}
         self.shard_documents_removed: dict[int, int] = {}
+        # per-shard partial-result cache (generation-stamped per shard)
+        self.shard_partials_reused = 0
+        self.shard_partials_computed = 0
+        # durability: write-ahead log, checkpoints, recovery
+        self.wal_records_appended = 0
+        self.wal_bytes_appended = 0
+        self.checkpoints_completed = 0
+        self.checkpoint_failures = 0
+        self.last_checkpoint_error = ""
+        self.checkpoint_seconds = 0.0
+        self.last_checkpoint_id = 0
+        self.recovery_seconds = 0.0
+        self.recovered_documents = 0
+        self.replayed_wal_records = 0
+        self.recovered_torn_tail = False
 
     # ------------------------------------------------------------------
     # recording
@@ -106,6 +121,43 @@ class ServiceStats:
             self.shard_query_seconds[shard] = (
                 self.shard_query_seconds.get(shard, 0.0) + seconds
             )
+
+    def record_shard_partial(self, *, reused: bool) -> None:
+        """Account one shard partial served from (or stored into) its cache."""
+        with self._lock:
+            if reused:
+                self.shard_partials_reused += 1
+            else:
+                self.shard_partials_computed += 1
+
+    def record_wal_append(self, frame_bytes: int) -> None:
+        """Account one operation made durable in the write-ahead log."""
+        with self._lock:
+            self.wal_records_appended += 1
+            self.wal_bytes_appended += frame_bytes
+
+    def record_checkpoint(self, seconds: float, checkpoint_id: int) -> None:
+        """Account one completed snapshot checkpoint."""
+        with self._lock:
+            self.checkpoints_completed += 1
+            self.checkpoint_seconds += seconds
+            self.last_checkpoint_id = checkpoint_id
+
+    def record_checkpoint_failure(self, error: str) -> None:
+        """Account one failed background checkpoint (WAL keeps growing)."""
+        with self._lock:
+            self.checkpoint_failures += 1
+            self.last_checkpoint_error = error
+
+    def record_recovery(
+        self, seconds: float, *, documents: int, replayed: int, torn_tail: bool
+    ) -> None:
+        """Account the warm restart that produced this service instance."""
+        with self._lock:
+            self.recovery_seconds = seconds
+            self.recovered_documents = documents
+            self.replayed_wal_records = replayed
+            self.recovered_torn_tail = torn_tail
 
     # ------------------------------------------------------------------
     # derived metrics
@@ -183,4 +235,19 @@ class ServiceStats:
             "p50_query_seconds": self.p50_query_seconds,
             "p95_query_seconds": self.p95_query_seconds,
             "per_shard": self.shard_breakdown(),
+            "shard_partials_reused": self.shard_partials_reused,
+            "shard_partials_computed": self.shard_partials_computed,
+            "durability": {
+                "wal_records_appended": self.wal_records_appended,
+                "wal_bytes_appended": self.wal_bytes_appended,
+                "checkpoints_completed": self.checkpoints_completed,
+                "checkpoint_failures": self.checkpoint_failures,
+                "last_checkpoint_error": self.last_checkpoint_error,
+                "checkpoint_seconds": self.checkpoint_seconds,
+                "last_checkpoint_id": self.last_checkpoint_id,
+                "recovery_seconds": self.recovery_seconds,
+                "recovered_documents": self.recovered_documents,
+                "replayed_wal_records": self.replayed_wal_records,
+                "recovered_torn_tail": self.recovered_torn_tail,
+            },
         }

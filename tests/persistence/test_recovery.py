@@ -1,0 +1,158 @@
+"""RecoveryManager: snapshot + WAL-tail composition, torn tails, kill points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.indexing.koko_index import KokoIndexSet
+from repro.nlp.pipeline import Pipeline
+from repro.nlp.types import Corpus
+from repro.persistence import (
+    OP_ADD,
+    OP_REMOVE,
+    RecoveryManager,
+    SnapshotState,
+    StorageLayout,
+    WalRecord,
+    WalWriter,
+    write_snapshot,
+)
+from repro.storage.database import Database
+
+
+def snapshot_state_for(documents, checkpoint_id):
+    indexes = KokoIndexSet().build(Corpus(name="snap", documents=documents))
+    return SnapshotState(
+        checkpoint_id=checkpoint_id,
+        name="snap",
+        num_shards=1,
+        next_sid=sum(len(d) for d in documents),
+        generations=[len(documents)],
+        documents_by_shard=[documents],
+        build_seconds_by_shard=[indexes.build_seconds],
+        databases=[indexes.to_database(Database())],
+    )
+
+TEXTS = [
+    "Anna ate some delicious cheesecake that she bought at a grocery store.",
+    "Paolo visited Beijing and ate a delicious croissant.",
+    "Maria ate a delicious pie in Tokyo.",
+]
+
+
+@pytest.fixture()
+def documents():
+    pipeline = Pipeline()
+    documents, sid = [], 0
+    for index, text in enumerate(TEXTS):
+        document = pipeline.annotate(text, doc_id=f"doc{index}", first_sid=sid)
+        sid += len(document)
+        documents.append(document)
+    return documents
+
+
+def append_segment(layout, segment_id, records):
+    writer = WalWriter(layout.wal_path(segment_id))
+    for record in records:
+        writer.append(record)
+    writer.close()
+
+
+def test_fresh_directory_recovers_to_empty(tmp_path):
+    layout = StorageLayout(tmp_path)
+    layout.initialise()
+    recovered = RecoveryManager(layout).recover()
+    assert recovered.snapshot is None
+    assert recovered.operations == []
+    assert recovered.active_segment_id == 1
+    assert recovered.active_segment_valid_bytes is None
+    assert not recovered.torn_tail
+
+
+def test_wal_only_recovery_without_any_snapshot(tmp_path, documents):
+    layout = StorageLayout(tmp_path)
+    layout.initialise()
+    append_segment(
+        layout,
+        1,
+        [WalRecord(op=OP_ADD, doc_id=d.doc_id, document=d) for d in documents],
+    )
+    recovered = RecoveryManager(layout).recover()
+    assert recovered.snapshot is None
+    assert [r.doc_id for r in recovered.operations] == ["doc0", "doc1", "doc2"]
+    assert recovered.active_segment_id == 1
+    assert recovered.active_segment_valid_bytes == layout.wal_path(1).stat().st_size
+
+
+def test_snapshot_plus_tail_replay(tmp_path, documents):
+    layout = StorageLayout(tmp_path)
+    layout.initialise()
+    write_snapshot(layout, snapshot_state_for(documents[:2], checkpoint_id=2))
+    layout.write_current(2)
+    append_segment(layout, 1, [WalRecord(op=OP_REMOVE, doc_id="pre-snapshot")])
+    append_segment(
+        layout,
+        3,
+        [
+            WalRecord(op=OP_ADD, doc_id="doc2", document=documents[2]),
+            WalRecord(op=OP_REMOVE, doc_id="doc0"),
+        ],
+    )
+    recovered = RecoveryManager(layout).recover()
+    assert recovered.snapshot is not None
+    assert recovered.checkpoint_id == 2
+    # only segments after the snapshot replay; segment 1 is history
+    assert [(r.op, r.doc_id) for r in recovered.operations] == [
+        (OP_ADD, "doc2"),
+        (OP_REMOVE, "doc0"),
+    ]
+    assert recovered.active_segment_id == 3
+
+
+@pytest.mark.parametrize("cut", [2, 9, 25])
+def test_kill_point_mid_record_recovers_durable_prefix(tmp_path, documents, cut):
+    """Truncating the WAL mid-record loses exactly the torn suffix."""
+    layout = StorageLayout(tmp_path)
+    layout.initialise()
+    append_segment(
+        layout,
+        1,
+        [WalRecord(op=OP_ADD, doc_id=d.doc_id, document=d) for d in documents],
+    )
+    path = layout.wal_path(1)
+    size = path.stat().st_size
+    with path.open("r+b") as handle:
+        handle.truncate(size - cut)
+
+    recovered = RecoveryManager(layout).recover()
+    assert recovered.torn_tail
+    assert [r.doc_id for r in recovered.operations] == ["doc0", "doc1"]
+    assert recovered.active_segment_id == 1
+    assert recovered.active_segment_valid_bytes is not None
+    assert recovered.active_segment_valid_bytes <= size - cut
+
+
+def test_torn_middle_segment_drops_later_segments(tmp_path, documents):
+    """A tear in a non-final segment ends the durable prefix there."""
+    layout = StorageLayout(tmp_path)
+    layout.initialise()
+    append_segment(layout, 1, [WalRecord(op=OP_ADD, doc_id="doc0", document=documents[0])])
+    append_segment(layout, 2, [WalRecord(op=OP_ADD, doc_id="doc1", document=documents[1])])
+    with layout.wal_path(1).open("r+b") as handle:
+        handle.truncate(layout.wal_path(1).stat().st_size - 4)
+
+    recovered = RecoveryManager(layout).recover()
+    assert recovered.torn_tail
+    assert recovered.operations == []  # doc0's only record was torn
+    assert recovered.active_segment_id == 1
+    # the out-of-order later segment is dropped rather than replayed
+    assert layout.wal_segment_ids() == [1]
+
+
+def test_operations_tally():
+    records = [
+        WalRecord(op=OP_ADD, doc_id="a"),
+        WalRecord(op=OP_ADD, doc_id="b"),
+        WalRecord(op=OP_REMOVE, doc_id="a"),
+    ]
+    assert RecoveryManager.operations_of(records) == {OP_ADD: 2, OP_REMOVE: 1}

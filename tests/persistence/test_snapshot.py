@@ -1,0 +1,149 @@
+"""Snapshot write/load round trips, validity checking and the CURRENT pointer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.indexing.koko_index import KokoIndexSet
+from repro.nlp.pipeline import Pipeline
+from repro.nlp.types import Corpus
+from repro.persistence import SnapshotState, StorageLayout, load_snapshot, write_snapshot
+from repro.persistence.snapshot import find_latest_valid, validate_snapshot
+from repro.storage.database import Database
+
+TEXTS = [
+    "Anna ate some delicious cheesecake that she bought at a grocery store.",
+    "Paolo visited Beijing and ate a delicious croissant.",
+    "Maria ate a delicious pie in Tokyo.",
+]
+
+
+@pytest.fixture()
+def documents():
+    pipeline = Pipeline()
+    documents, sid = [], 0
+    for index, text in enumerate(TEXTS):
+        document = pipeline.annotate(text, doc_id=f"doc{index}", first_sid=sid)
+        sid += len(document)
+        documents.append(document)
+    return documents
+
+
+def snapshot_state_for(documents, checkpoint_id=3):
+    indexes = KokoIndexSet().build(Corpus(name="snap", documents=documents))
+    return SnapshotState(
+        checkpoint_id=checkpoint_id,
+        name="snap",
+        num_shards=1,
+        next_sid=sum(len(d) for d in documents),
+        generations=[len(documents)],
+        documents_by_shard=[documents],
+        build_seconds_by_shard=[indexes.build_seconds],
+        databases=[indexes.to_database(Database())],
+    )
+
+
+def test_write_validate_load_round_trip(tmp_path, documents):
+    layout = StorageLayout(tmp_path)
+    layout.initialise()
+    state = snapshot_state_for(documents)
+    directory = write_snapshot(layout, state)
+    assert directory == layout.snapshot_dir(3)
+    assert validate_snapshot(layout, 3) is not None
+
+    loaded = load_snapshot(layout, 3)
+    assert loaded.name == "snap"
+    assert loaded.num_shards == 1
+    assert loaded.next_sid == state.next_sid
+    assert loaded.generations == [len(documents)]
+    assert [d.doc_id for d in loaded.documents_by_shard[0]] == ["doc0", "doc1", "doc2"]
+
+    # the restored index set is lookup-identical to the original
+    original = KokoIndexSet().build(Corpus(name="ref", documents=documents))
+    restored = loaded.index_sets[0]
+    assert restored.word_index.vocabulary() == original.word_index.vocabulary()
+    for word in original.word_index.vocabulary():
+        assert restored.word_index.lookup(word) == original.word_index.lookup(word)
+    assert sorted(restored.entity_index.all_postings()) == sorted(
+        original.entity_index.all_postings()
+    )
+    for steps in ([("/", "root")], [("/", "root"), ("//", "*")]):
+        assert restored.pl_index.lookup_path(steps) == original.pl_index.lookup_path(steps)
+    stats_r, stats_o = restored.statistics(), original.statistics()
+    assert (stats_r.sentences, stats_r.tokens, stats_r.word_postings) == (
+        stats_o.sentences,
+        stats_o.tokens,
+        stats_o.word_postings,
+    )
+    assert (stats_r.pl_nodes, stats_r.pos_nodes, stats_r.entity_postings) == (
+        stats_o.pl_nodes,
+        stats_o.pos_nodes,
+        stats_o.entity_postings,
+    )
+
+
+def test_tampered_file_fails_validation(tmp_path, documents):
+    layout = StorageLayout(tmp_path)
+    layout.initialise()
+    write_snapshot(layout, snapshot_state_for(documents))
+    corpus_file = layout.snapshot_dir(3) / "corpus-0.pkl"
+    corpus_file.write_bytes(corpus_file.read_bytes() + b"x")
+    assert validate_snapshot(layout, 3) is None
+    with pytest.raises(PersistenceError):
+        load_snapshot(layout, 3)
+
+
+def test_missing_manifest_or_file_fails_validation(tmp_path, documents):
+    layout = StorageLayout(tmp_path)
+    layout.initialise()
+    write_snapshot(layout, snapshot_state_for(documents))
+    (layout.snapshot_dir(3) / "indexes-0.db").unlink()
+    assert validate_snapshot(layout, 3) is None
+    assert validate_snapshot(layout, 99) is None  # absent snapshot
+
+
+def test_find_latest_valid_falls_back_past_corrupt_current(tmp_path, documents):
+    layout = StorageLayout(tmp_path)
+    layout.initialise()
+    write_snapshot(layout, snapshot_state_for(documents, checkpoint_id=1))
+    write_snapshot(layout, snapshot_state_for(documents, checkpoint_id=2))
+    layout.write_current(2)
+    assert find_latest_valid(layout) == 2
+
+    # corrupt the snapshot CURRENT points at: the scan falls back to 1
+    manifest = layout.snapshot_dir(2) / "manifest.json"
+    manifest.write_text(json.dumps({"version": -1}), encoding="utf-8")
+    assert find_latest_valid(layout) == 1
+
+    # no valid snapshot at all -> None
+    (layout.snapshot_dir(1) / "manifest.json").unlink()
+    assert find_latest_valid(layout) is None
+
+
+def test_prune_keeps_the_durable_checkpoint_and_its_fallback(tmp_path, documents):
+    layout = StorageLayout(tmp_path)
+    layout.initialise()
+    for checkpoint_id in (1, 2, 3):
+        write_snapshot(layout, snapshot_state_for(documents, checkpoint_id=checkpoint_id))
+        layout.wal_path(checkpoint_id).write_bytes(b"")
+    layout.wal_path(4).write_bytes(b"")
+    layout.prune(3)
+    # checkpoint 2 stays as the fallback, with the segments it needs (3, 4)
+    # to roll forward should checkpoint 3 turn out corrupt
+    assert layout.snapshot_ids() == [2, 3]
+    assert layout.wal_segment_ids() == [3, 4]
+    layout.prune(3)  # idempotent
+    assert layout.snapshot_ids() == [2, 3]
+
+
+def test_current_pointer_round_trip(tmp_path):
+    layout = StorageLayout(tmp_path)
+    layout.initialise()
+    assert layout.read_current() is None
+    layout.write_current(7)
+    assert layout.read_current() == 7
+    layout.current_file.write_text("not-a-number", encoding="utf-8")
+    assert layout.read_current() is None
