@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Documentation lint: docstrings + ``__all__`` + markdown link check.
+
+Stdlib-only (runs anywhere CI or a laptop has Python), mirroring the
+missing-docstring subset of pydocstyle/ruff that the repo enforces:
+
+* **D100** — every module under the linted packages has a docstring;
+* **D101/D102/D103** — every public class, method and function has one
+  (private ``_names`` and dunders are exempt);
+* **ALL** — every linted module declares ``__all__`` (``__init__``
+  modules included);
+* **LNK** — every relative markdown link in the checked documents points
+  at an existing file or directory.
+
+Exit status 0 = clean; 1 = findings (printed one per line as
+``path:line: CODE message``).
+
+Usage::
+
+    python scripts/check_docs.py [--root REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+#: packages whose modules must carry module/class/function docstrings + __all__
+LINTED_PACKAGES = ("src/repro/service", "src/repro/persistence")
+
+#: markdown documents whose relative links must resolve
+LINKED_DOCUMENTS = ("README.md", "docs/*.md", "benchmarks/README.md")
+
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def lint_docstrings(module_path: Path, repo_root: Path) -> list[str]:
+    """Missing-docstring and missing-__all__ findings for one module."""
+    findings: list[str] = []
+    relative = module_path.relative_to(repo_root)
+    tree = ast.parse(module_path.read_text(encoding="utf-8"))
+
+    if ast.get_docstring(tree) is None:
+        findings.append(f"{relative}:1: D100 missing module docstring")
+    has_all = any(
+        isinstance(node, ast.Assign)
+        and any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        )
+        for node in tree.body
+    )
+    if not has_all:
+        findings.append(f"{relative}:1: ALL missing __all__ declaration")
+
+    def is_public(name: str) -> bool:
+        return not name.startswith("_")
+
+    def walk(nodes, owner: str = "") -> None:
+        for node in nodes:
+            if isinstance(node, ast.ClassDef):
+                if is_public(node.name):
+                    if ast.get_docstring(node) is None:
+                        findings.append(
+                            f"{relative}:{node.lineno}: D101 missing docstring "
+                            f"on class {node.name}"
+                        )
+                    # members of private classes are exempt (pydocstyle rule)
+                    walk(node.body, owner=f"{node.name}.")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if is_public(node.name) and ast.get_docstring(node) is None:
+                    code = "D102" if owner else "D103"
+                    kind = "method" if owner else "function"
+                    findings.append(
+                        f"{relative}:{node.lineno}: {code} missing docstring "
+                        f"on {kind} {owner}{node.name}"
+                    )
+
+    walk(tree.body)
+    return findings
+
+
+def lint_links(document: Path, repo_root: Path) -> list[str]:
+    """Broken relative-link findings for one markdown document."""
+    findings: list[str] = []
+    relative = document.relative_to(repo_root)
+    for line_number, line in enumerate(
+        document.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for target in _MD_LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (document.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                findings.append(
+                    f"{relative}:{line_number}: LNK broken link -> {target}"
+                )
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run both lints over the configured packages and documents."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=Path(__file__).resolve().parent.parent,
+        type=Path,
+        help="repository root (default: the parent of scripts/)",
+    )
+    args = parser.parse_args(argv)
+    root: Path = args.root.resolve()
+
+    findings: list[str] = []
+    for package in LINTED_PACKAGES:
+        for module_path in sorted((root / package).rglob("*.py")):
+            findings.extend(lint_docstrings(module_path, root))
+    for pattern in LINKED_DOCUMENTS:
+        for document in sorted(root.glob(pattern)):
+            findings.extend(lint_links(document, root))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} documentation finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,8 @@ import threading
 from dataclasses import dataclass
 from typing import Callable
 
+__all__ = ["CheckpointPolicy", "CheckpointScheduler"]
+
 
 @dataclass(frozen=True)
 class CheckpointPolicy:
@@ -67,6 +69,7 @@ class CheckpointScheduler:
         )
 
     def start(self) -> None:
+        """Start the daemon heartbeat thread."""
         self._thread.start()
 
     def _run(self) -> None:
@@ -79,6 +82,7 @@ class CheckpointScheduler:
                 pass
 
     def stop(self) -> None:
+        """Signal the heartbeat to exit and join it (idempotent)."""
         self._stop.set()
         if self._thread.is_alive():
             self._thread.join()

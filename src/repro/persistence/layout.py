@@ -26,6 +26,8 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+__all__ = ["LAYOUT_VERSION", "StorageLayout", "fsync_dir", "fsync_file"]
+
 #: bump when the snapshot or WAL format changes incompatibly
 LAYOUT_VERSION = 1
 
@@ -63,14 +65,17 @@ class StorageLayout:
     # ------------------------------------------------------------------
     @property
     def snapshots_dir(self) -> Path:
+        """Directory holding one ``ckpt-N`` subdirectory per snapshot."""
         return self.root / "snapshots"
 
     @property
     def wal_dir(self) -> Path:
+        """Directory holding the ``wal-N.log`` segments."""
         return self.root / "wal"
 
     @property
     def current_file(self) -> Path:
+        """The ``CURRENT`` pointer file (latest durable checkpoint id)."""
         return self.root / "CURRENT"
 
     def initialise(self) -> None:
@@ -86,6 +91,7 @@ class StorageLayout:
     # snapshots
     # ------------------------------------------------------------------
     def snapshot_dir(self, checkpoint_id: int) -> Path:
+        """The snapshot directory of checkpoint *checkpoint_id*."""
         return self.snapshots_dir / f"{SNAPSHOT_PREFIX}{checkpoint_id:010d}"
 
     def snapshot_ids(self) -> list[int]:
@@ -105,6 +111,7 @@ class StorageLayout:
     # WAL segments
     # ------------------------------------------------------------------
     def wal_path(self, segment_id: int) -> Path:
+        """The file path of WAL segment *segment_id*."""
         return self.wal_dir / f"{WAL_PREFIX}{segment_id:010d}{WAL_SUFFIX}"
 
     def wal_segment_ids(self) -> list[int]:

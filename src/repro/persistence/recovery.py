@@ -22,6 +22,8 @@ from .layout import StorageLayout
 from .snapshot import SnapshotState, load_snapshot
 from .wal import ReplayResult, WalRecord, read_records
 
+__all__ = ["RecoveredState", "RecoveryManager"]
+
 
 @dataclass
 class RecoveredState:

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..errors import PersistenceError
+
+__all__ = ["SnapshotState", "load_snapshot", "write_snapshot"]
 from ..indexing.koko_index import KokoIndexSet
 from ..nlp.types import Document
 from ..storage.database import Database

@@ -1,4 +1,4 @@
-"""Append-only write-ahead log with CRC framing and torn-tail recovery.
+"""Append-only write-ahead log with CRC framing, group commit and torn-tail recovery.
 
 Every corpus mutation of a durable service is logged **before** it is
 applied in memory, in the classic HTAP shape (an update log decoupled from
@@ -13,10 +13,21 @@ Frame format (little-endian)::
     +----------+----------+-------------------+
 
 ``crc`` is the zlib CRC-32 of the payload.  A crash can tear at most the
-final frame (appends are sequential and fsynced per record by default);
+final frame (appends are sequential and fsynced per commit batch);
 :func:`read_records` stops at the first truncated or corrupt frame and
 reports how many bytes were valid, so recovery can truncate the torn tail
 and keep appending to the same segment.
+
+**Group commit.**  :meth:`WalWriter.append` is thread-safe and coalesces
+concurrent durability waits into one ``fsync``: each appender writes its
+frame into the OS buffer under the writer mutex, then either becomes the
+*sync leader* (performs the fsync covering every frame buffered so far) or
+waits on a condition variable until a leader's fsync covers its frame.  One
+disk flush therefore commits a whole batch of records — the durability
+guarantee per record is unchanged (``append`` returns only once the record
+is on disk), but N concurrent writers share ~1 fsync instead of paying N.
+A ``sync_interval`` knob optionally makes the leader linger before
+flushing, trading commit latency for larger batches under bursty load.
 """
 
 from __future__ import annotations
@@ -25,13 +36,27 @@ import io
 import os
 import pickle
 import struct
+import threading
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from ..errors import PersistenceError
 from ..nlp.types import Document
 from .layout import fsync_dir as _fsync_dir
+
+__all__ = [
+    "OP_ADD",
+    "OP_REMOVE",
+    "ReplayResult",
+    "WalRecord",
+    "WalWriter",
+    "WriteAheadLog",
+    "encode_frame",
+    "read_records",
+]
 
 _HEADER = struct.Struct("<II")
 
@@ -48,12 +73,14 @@ class WalRecord:
     document: Document | None = None  # annotated payload for OP_ADD
 
     def to_payload(self) -> bytes:
+        """Serialise this record to the frame payload bytes."""
         return pickle.dumps(
             (self.op, self.doc_id, self.document), protocol=pickle.HIGHEST_PROTOCOL
         )
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "WalRecord":
+        """Inverse of :meth:`to_payload`."""
         op, doc_id, document = pickle.loads(payload)
         return cls(op=op, doc_id=doc_id, document=document)
 
@@ -78,6 +105,9 @@ def read_records(path: str | Path) -> ReplayResult:
     Returns every record of the longest valid prefix.  ``torn`` is True when
     trailing bytes had to be discarded (truncated header, truncated payload,
     or CRC mismatch) — the durable prefix property crash recovery relies on.
+    With group commit a crash between the buffered append and the batch
+    fsync can lose several trailing records at once; they are still a
+    *suffix*, so the prefix property is unaffected.
     """
     path = Path(path)
     records: list[WalRecord] = []
@@ -106,22 +136,60 @@ def read_records(path: str | Path) -> ReplayResult:
 
 
 class WalWriter:
-    """Appends framed records to one segment file, fsyncing per record.
+    """Thread-safe framed appends to one segment file, with group commit.
 
-    ``sync=False`` trades the per-record fsync for OS-buffered flushes
-    (still crash-consistent at the frame level thanks to the CRC framing,
-    but the tail may be lost on power failure) — useful for bulk loads.
+    Concurrent ``append`` calls serialise their buffered writes under a
+    mutex (frames never interleave), then share fsyncs through the
+    leader/follower protocol described in the module docstring.
+
+    Parameters
+    ----------
+    path:
+        Segment file; created (with parents) when missing.
+    sync:
+        When True (default) ``append`` returns only after an fsync covers
+        the record.  ``sync=False`` trades that for OS-buffered flushes —
+        still crash-consistent at the frame level thanks to the CRC
+        framing, but the tail may be lost on power failure (bulk loads).
+    truncate_to:
+        Discard bytes past this offset before appending (recovery hands the
+        valid-prefix length here to drop a torn tail).
+    sync_interval:
+        Seconds the sync leader lingers before flushing, letting more
+        concurrent appends join the batch.  ``0.0`` (default) flushes
+        immediately; batching still happens while a leader's fsync is in
+        flight.
+    on_fsync:
+        Callback invoked after each fsync with the number of records the
+        flush made durable (the group-commit batch size).
     """
 
-    def __init__(self, path: str | Path, sync: bool = True, truncate_to: int | None = None):
+    def __init__(
+        self,
+        path: str | Path,
+        sync: bool = True,
+        truncate_to: int | None = None,
+        sync_interval: float = 0.0,
+        on_fsync: Callable[[int], None] | None = None,
+    ):
         self.path = Path(path)
         self.sync = sync
+        self.sync_interval = sync_interval
+        self.on_fsync = on_fsync
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if truncate_to is not None and self.path.exists():
             with self.path.open("r+b") as handle:
                 handle.truncate(truncate_to)
         self._handle: io.BufferedWriter | None = self.path.open("ab")
         self._bytes_written = self.path.stat().st_size
+        # group-commit state: _write_lock orders buffered frame writes;
+        # _sync_cond hands out sync leadership and publishes durability
+        self._write_lock = threading.Lock()
+        self._sync_cond = threading.Condition()
+        self._synced_bytes = self._bytes_written  # pre-existing prefix is durable
+        self._unsynced_records = 0
+        self._leader_active = False
+        self._failed = False
 
     @property
     def size_bytes(self) -> int:
@@ -129,29 +197,123 @@ class WalWriter:
         return self._bytes_written
 
     def append(self, record: WalRecord) -> int:
-        """Frame, append and (optionally) fsync one record; returns its size.
+        """Frame, append and (with ``sync``) make one record durable.
 
-        A failed append (ENOSPC, I/O error) must not leave a partial frame
-        mid-segment: later successful appends would land *after* the
-        garbage, and recovery — which stops at the first corrupt frame —
-        would silently drop them.  On failure the segment is truncated back
-        to the last good frame boundary before the error propagates; if
-        even that fails the writer declares itself closed so every further
-        append fails loudly instead of corrupting the log.
+        Returns the frame size in bytes.  Thread-safe: concurrent appends
+        keep frames whole and share fsyncs via group commit; the call
+        returns only once the record is covered by an fsync (or, with
+        ``sync=False``, once it reaches the OS buffer).
+
+        A failed buffered write (ENOSPC, I/O error) must not leave a
+        partial frame mid-segment: later successful appends would land
+        *after* the garbage, and recovery — which stops at the first
+        corrupt frame — would silently drop them.  On failure the segment
+        is truncated back to the last good frame boundary before the error
+        propagates; if even that fails the writer declares itself closed so
+        every further append fails loudly instead of corrupting the log.
+        A failed *fsync* poisons the writer and truncates the segment back
+        to its last durable boundary: durability can no longer be promised,
+        every append waiting on the discarded suffix raises, and the log
+        keeps only what was acknowledged.
         """
-        if self._handle is None:
-            raise PersistenceError(f"WAL segment {self.path} is closed")
         frame = encode_frame(record.to_payload())
-        try:
-            self._handle.write(frame)
-            self._handle.flush()
-            if self.sync:
-                os.fsync(self._handle.fileno())
-        except Exception:
-            self._rewind_to_last_good_frame()
-            raise
-        self._bytes_written += len(frame)
+        with self._write_lock:
+            if self._handle is None or self._failed:
+                raise PersistenceError(f"WAL segment {self.path} is closed")
+            try:
+                self._handle.write(frame)
+                self._handle.flush()
+            except Exception:
+                self._rewind_to_last_good_frame()
+                raise
+            self._bytes_written += len(frame)
+            self._unsynced_records += 1
+            target = self._bytes_written
+        if self.sync:
+            self._await_durable(target)
         return len(frame)
+
+    def _await_durable(self, target: int) -> None:
+        """Block until an fsync covers byte offset *target* (group commit).
+
+        The first waiter whose frames are not yet durable becomes the sync
+        leader and flushes for everyone buffered so far; the rest wait on
+        the condition variable.  Because a waiter's own write always
+        precedes its leadership claim, one leader round always covers the
+        leader's record — followers re-check and take over leadership if
+        their frames arrived after the in-flight flush point.
+        """
+        while True:
+            with self._sync_cond:
+                if self._synced_bytes >= target:
+                    return
+                if self._failed:
+                    raise PersistenceError(
+                        f"WAL segment {self.path} failed to fsync; record durability unknown"
+                    )
+                if not self._leader_active:
+                    self._leader_active = True
+                    break
+                self._sync_cond.wait()
+        # --- we are the sync leader for this batch
+        try:
+            if self.sync_interval > 0.0:
+                time.sleep(self.sync_interval)
+            with self._write_lock:
+                if self._handle is None:
+                    raise PersistenceError(f"WAL segment {self.path} is closed")
+                end = self._bytes_written
+                batch = self._unsynced_records
+                self._unsynced_records = 0
+                # dup the fd: a concurrent failed append may close/reopen
+                # the handle (rewind) while we fsync outside the lock; the
+                # dup keeps referencing the same open file description, so
+                # the flush is neither lost nor aimed at a recycled fd
+                fileno = os.dup(self._handle.fileno())
+            try:
+                os.fsync(fileno)
+            finally:
+                os.close(fileno)
+        except BaseException:
+            # BaseException on purpose: a KeyboardInterrupt mid-fsync must
+            # still relinquish leadership and wake the followers, or they
+            # wait on the condition forever.
+            self._fail_and_discard_unsynced_tail()
+            raise
+        with self._sync_cond:
+            self._synced_bytes = max(self._synced_bytes, end)
+            self._leader_active = False
+            self._sync_cond.notify_all()
+        if batch and self.on_fsync is not None:
+            self.on_fsync(batch)
+
+    def _fail_and_discard_unsynced_tail(self) -> None:
+        """Poison the writer after a failed fsync and truncate the segment
+        back to its last durable boundary.
+
+        Every append waiting on that suffix is about to raise (poisoned),
+        so nothing truncated was ever acknowledged — keeping the frames
+        would instead let a later restart replay operations whose callers
+        saw a failure.  Best-effort: if even the truncate fails, the
+        unacknowledged tail may survive to be replayed.
+        """
+        with self._write_lock:
+            self._failed = True
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except Exception:
+                    pass
+                self._handle = None
+            try:
+                with self.path.open("r+b") as handle:
+                    handle.truncate(self._synced_bytes)
+                self._bytes_written = self._synced_bytes
+            except Exception:
+                pass
+        with self._sync_cond:
+            self._leader_active = False
+            self._sync_cond.notify_all()
 
     def _rewind_to_last_good_frame(self) -> None:
         """Discard a partial frame after a failed append (see :meth:`append`)."""
@@ -167,16 +329,33 @@ class WalWriter:
             self._handle = None  # segment unusable; appends now raise
 
     def close(self) -> None:
-        if self._handle is not None:
+        """Flush, fsync (when ``sync``) and close the segment (idempotent)."""
+        with self._write_lock:
+            if self._handle is None:
+                return
             self._handle.flush()
             if self.sync:
                 os.fsync(self._handle.fileno())
+            end = self._bytes_written
+            batch = self._unsynced_records
+            self._unsynced_records = 0
             self._handle.close()
             self._handle = None
+        with self._sync_cond:
+            self._synced_bytes = max(self._synced_bytes, end)
+            self._sync_cond.notify_all()
+        if batch and self.sync and self.on_fsync is not None:
+            self.on_fsync(batch)
 
 
 class WriteAheadLog:
-    """The service-facing WAL: an active segment plus rotation at checkpoint."""
+    """The service-facing WAL: an active segment plus rotation at checkpoint.
+
+    Thread-safe for concurrent :meth:`append` (group commit happens inside
+    the active :class:`WalWriter`); :meth:`rotate` and :meth:`close` must
+    only run while no append is in flight — the service guarantees that by
+    draining in-flight ingests under its checkpoint barrier.
+    """
 
     def __init__(
         self,
@@ -184,44 +363,84 @@ class WriteAheadLog:
         segment_id: int,
         sync: bool = True,
         truncate_to: int | None = None,
+        sync_interval: float = 0.0,
+        on_fsync: Callable[[int], None] | None = None,
     ) -> None:
         self._layout = layout
         self.sync = sync
+        self.sync_interval = sync_interval
         self.segment_id = segment_id
+        self._on_fsync_user = on_fsync
+        self._stats_lock = threading.Lock()
+        self.records_appended = 0
+        self.fsyncs_performed = 0
+        self.records_synced = 0
+        self.max_batch_records = 0
         self._writer = WalWriter(
-            layout.wal_path(segment_id), sync=sync, truncate_to=truncate_to
+            layout.wal_path(segment_id),
+            sync=sync,
+            truncate_to=truncate_to,
+            sync_interval=sync_interval,
+            on_fsync=self._record_fsync,
         )
         # make the segment's dirent durable, not just its contents — a lost
         # dirent after a crash would strand fsynced records in limbo
         _fsync_dir(layout.wal_dir)
-        self.records_appended = 0
 
     @property
     def active_path(self) -> Path:
+        """Path of the segment currently being appended to."""
         return self._writer.path
 
     @property
     def active_bytes(self) -> int:
+        """Byte size of the active segment."""
         return self._writer.size_bytes
 
+    @property
+    def fsyncs_saved(self) -> int:
+        """Records made durable minus fsyncs performed (the group-commit win)."""
+        return self.records_synced - self.fsyncs_performed
+
+    def _record_fsync(self, batch: int) -> None:
+        """Account one fsync that committed *batch* records; forward to the user."""
+        with self._stats_lock:
+            self.fsyncs_performed += 1
+            self.records_synced += batch
+            self.max_batch_records = max(self.max_batch_records, batch)
+        if self._on_fsync_user is not None:
+            self._on_fsync_user(batch)
+
     def append(self, record: WalRecord) -> int:
-        """Append one record to the active segment; returns the frame size."""
+        """Append one record to the active segment; returns the frame size.
+
+        Safe to call from many threads at once; returns only when the
+        record is durable (see :meth:`WalWriter.append`).
+        """
         appended = self._writer.append(record)
-        self.records_appended += 1
+        with self._stats_lock:
+            self.records_appended += 1
         return appended
 
     def rotate(self) -> int:
         """Close the active segment and open the next one.
 
         Returns the id of the segment that was just sealed — the checkpoint
-        id whose snapshot covers every record up to this point.
+        id whose snapshot covers every record up to this point.  Callers
+        must ensure no append is in flight.
         """
         sealed = self.segment_id
         self._writer.close()
         self.segment_id = sealed + 1
-        self._writer = WalWriter(self._layout.wal_path(self.segment_id), sync=self.sync)
+        self._writer = WalWriter(
+            self._layout.wal_path(self.segment_id),
+            sync=self.sync,
+            sync_interval=self.sync_interval,
+            on_fsync=self._record_fsync,
+        )
         _fsync_dir(self._layout.wal_dir)
         return sealed
 
     def close(self) -> None:
+        """Flush and close the active segment."""
         self._writer.close()

@@ -22,6 +22,8 @@ from typing import Callable, Generic, Hashable, TypeVar
 
 from ..koko.engine import CompiledQuery, compile_query
 
+__all__ = ["PlanCache", "ResultCache"]
+
 V = TypeVar("V")
 
 
@@ -36,6 +38,7 @@ class _LruDict(Generic[V]):
         self._entries: OrderedDict[Hashable, V] = OrderedDict()
 
     def get(self, key: Hashable) -> V | None:
+        """The cached value for *key* (refreshing recency), else None."""
         with self._lock:
             value = self._entries.get(key)
             if value is not None:
@@ -43,6 +46,7 @@ class _LruDict(Generic[V]):
             return value
 
     def put(self, key: Hashable, value: V) -> None:
+        """Insert/refresh *key*, evicting least-recently-used overflow."""
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -50,10 +54,12 @@ class _LruDict(Generic[V]):
                 self._entries.popitem(last=False)
 
     def evict(self, key: Hashable) -> None:
+        """Drop *key* if present."""
         with self._lock:
             self._entries.pop(key, None)
 
     def clear(self) -> None:
+        """Drop every entry."""
         with self._lock:
             self._entries.clear()
 
@@ -81,6 +87,7 @@ class PlanCache:
         return plan, False
 
     def clear(self) -> None:
+        """Drop every cached plan."""
         self._plans.clear()
 
     def __len__(self) -> int:
@@ -101,6 +108,11 @@ class ResultCache(Generic[V]):
         self._entries: _LruDict[tuple[Hashable, V]] = _LruDict(capacity)
 
     def get(self, key: Hashable, generation: Hashable) -> V | None:
+        """The value cached under *key* at exactly *generation*, else None.
+
+        An entry stamped with a different generation is stale: it is
+        evicted on sight and reported as a miss.
+        """
         entry = self._entries.get(key)
         if entry is None:
             return None
@@ -111,6 +123,7 @@ class ResultCache(Generic[V]):
         return value
 
     def put(self, key: Hashable, generation: Hashable, value: V) -> None:
+        """Cache *value* under *key*, stamped with *generation*."""
         self._entries.put(key, (generation, value))
 
     def get_or_compute(
@@ -125,6 +138,7 @@ class ResultCache(Generic[V]):
         return value, False
 
     def clear(self) -> None:
+        """Drop every cached result."""
         self._entries.clear()
 
     def __len__(self) -> int:

@@ -12,6 +12,8 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+__all__ = ["ReadWriteLock"]
+
 
 class ReadWriteLock:
     """Many concurrent readers XOR one writer; waiting writers get priority."""
@@ -26,12 +28,14 @@ class ReadWriteLock:
     # reader side
     # ------------------------------------------------------------------
     def acquire_read(self) -> None:
+        """Take a shared read slot (blocks while a writer runs or waits)."""
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
 
     def release_read(self) -> None:
+        """Release one read slot, waking a waiting writer when last out."""
         with self._cond:
             self._readers -= 1
             if self._readers == 0:
@@ -39,6 +43,7 @@ class ReadWriteLock:
 
     @contextmanager
     def read_locked(self) -> Iterator[None]:
+        """Context manager holding a read slot for the ``with`` body."""
         self.acquire_read()
         try:
             yield
@@ -49,6 +54,7 @@ class ReadWriteLock:
     # writer side
     # ------------------------------------------------------------------
     def acquire_write(self) -> None:
+        """Take the exclusive write slot (queues ahead of new readers)."""
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -59,12 +65,14 @@ class ReadWriteLock:
             self._writer_active = True
 
     def release_write(self) -> None:
+        """Release the write slot, waking every waiter."""
         with self._cond:
             self._writer_active = False
             self._cond.notify_all()
 
     @contextmanager
     def write_locked(self) -> Iterator[None]:
+        """Context manager holding the write slot for the ``with`` body."""
         self.acquire_write()
         try:
             yield

@@ -7,6 +7,13 @@ a long-lived server:
 * **Incremental ingestion** — :meth:`add_document` annotates raw text with
   the NLP pipeline and folds it into the live word, entity, PL and POS
   indexes (no rebuild); :meth:`remove_document` un-indexes a document.
+* **Staged concurrent ingest** — the write path is a pipeline: reserve a
+  sentence-id range under the meta lock (microseconds), run NLP annotation
+  *outside every lock* (optionally on a thread or process annotation
+  pool), append to the write-ahead log under its own group-commit
+  machinery, and splice postings under only the target shard's write lock.
+  Writers on different shards therefore ingest in parallel, and readers
+  are never blocked by annotation or fsync.
 * **Hash-partitioned shards** — with ``shards=N`` the corpus is split
   across N :class:`~repro.indexing.koko_index.KokoIndexSet` partitions
   (stable hash of ``doc_id``, see
@@ -26,21 +33,41 @@ a long-lived server:
   generation, so ingesting into shard *k* invalidates only shard *k*'s
   work — a repeat query re-executes one shard and reuses the other N−1
   cached partials.
-* **Durability** — constructed with ``storage_dir`` (or via
-  :meth:`KokoService.open`), every ``add``/``remove`` is appended to a
-  CRC-framed, fsynced write-ahead log *before* it is applied, and a
-  background checkpoint thread folds the log into versioned snapshots
-  (corpus pickle + the multi-index materialised through the storage
-  engine).  Reopening the directory restores the latest valid snapshot and
-  replays the WAL tail — tolerating a torn final record — so the service
-  restarts warm with identical query results and zero re-annotation.
+* **Durability with group commit** — constructed with ``storage_dir`` (or
+  via :meth:`KokoService.open`), every ``add``/``remove`` is appended to a
+  CRC-framed write-ahead log *before* it is applied; concurrent appends
+  coalesce into shared fsyncs (one disk flush commits a whole batch — see
+  :mod:`repro.persistence.wal`), tunable with ``sync_interval``.  A
+  background checkpoint thread folds the log into versioned snapshots.
+  Reopening the directory restores the latest valid snapshot and replays
+  the WAL tail — tolerating a torn final record — so the service restarts
+  warm with identical query results and zero re-annotation.
+* **Async front end** — :meth:`aquery`, :meth:`aadd_document`,
+  :meth:`aremove_document` and :meth:`aquery_batch` wrap the blocking
+  calls in ``asyncio`` futures driven by a dedicated thread pool, so an
+  event-loop application can serve heavy mixed read/write traffic without
+  blocking its loop.
 * **Concurrency** — any number of queries evaluate in parallel under the
   per-shard read locks; :meth:`query_batch` fans a batch out over a thread
   pool, preserving per-query timings.  Checkpoints hold per-shard *read*
   locks only, so snapshotting never stalls readers.
 * **Observability** — :class:`~repro.service.stats.ServiceStats` tracks
   cache hit rates, ingest throughput, p50/p95 query latency, a per-shard
-  breakdown, and durability counters (WAL appends, checkpoints, recovery).
+  breakdown, and durability counters (WAL appends, group-commit batch
+  sizes and fsyncs saved, checkpoints, recovery).
+
+Lock hierarchy (see ``docs/ARCHITECTURE.md`` for the full map)::
+
+    meta lock (+ condition)   — sid reservation, doc-id claims, routing,
+      │                         checkpoint drain barrier
+      ├─ per-shard RW locks   — readers share, the splice of one ingest
+      │                         write-locks exactly one shard
+      └─ WAL internal locks   — frame append mutex + group-commit condvar
+
+    The meta lock is never held while annotating, fsyncing (on the add
+    path) or executing queries.  Remove/`add_annotated_document` append to
+    the WAL under the meta lock (they have no off-lock work to pipeline),
+    which is safe because the WAL's own locks are leaves of the hierarchy.
 
 Consistency note: a result served from the cache always corresponds to one
 vector of shard generations.  An uncached query that overlaps an in-flight
@@ -50,9 +77,11 @@ read earlier — the usual read-committed view of a partitioned store.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
 from pathlib import Path
 
 from ..embeddings.expansion import DescriptorExpander
@@ -81,6 +110,31 @@ from ..storage.database import Database
 from .cache import PlanCache, ResultCache
 from .locks import ReadWriteLock
 from .stats import ServiceStats
+
+__all__ = ["KokoService", "ShardedKokoService"]
+
+
+# ----------------------------------------------------------------------
+# process-pool annotation workers (module level so they pickle)
+# ----------------------------------------------------------------------
+_WORKER_PIPELINE: Pipeline | None = None
+
+
+def _init_annotation_worker(pipeline: Pipeline) -> None:
+    """Install the service's pipeline in a freshly forked/spawned worker."""
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = pipeline
+
+
+def _annotate_in_worker(text: str, doc_id: str, first_sid: int) -> Document:
+    """Annotate one document inside an annotation-pool worker process."""
+    assert _WORKER_PIPELINE is not None, "annotation worker not initialised"
+    return _WORKER_PIPELINE.annotate(text, doc_id=doc_id, first_sid=first_sid)
+
+
+def _warm_annotation_worker() -> None:
+    """No-op task submitted at startup to force worker spawning."""
+    return None
 
 
 class _Shard:
@@ -128,6 +182,13 @@ class KokoService:
     ----------
     pipeline:
         NLP pipeline used to annotate ingested text (default rule-based).
+        A custom pipeline must provide ``annotate(text, doc_id,
+        first_sid)`` **and** a ``tokenizer.split_sentences(text)`` whose
+        count bounds the sentences ``annotate`` will produce — the staged
+        ingest sizes its sid reservation with it (subclassing
+        :class:`~repro.nlp.pipeline.Pipeline` satisfies both).  With
+        ``annotation_processes=True`` the pipeline must also be picklable
+        (the default rule-based one is).
     name:
         Name of the service's corpus (when reopening a durable directory,
         the persisted name wins).
@@ -139,7 +200,23 @@ class KokoService:
     plan_cache_size, result_cache_size:
         LRU capacities of the two read-side caches.
     max_workers:
-        Thread-pool width used by :meth:`query_batch`.
+        Thread-pool width used by :meth:`query_batch` and by the async
+        front end (:meth:`aquery` et al.).
+    annotation_workers:
+        Size of the annotation pool the staged ingest path uses to run NLP
+        annotation off-lock.  ``None`` (default) annotates inline in the
+        calling thread — writers still annotate outside every lock, so
+        multi-threaded callers already overlap annotation with WAL fsyncs
+        and other shards' splices.
+    annotation_processes:
+        With ``annotation_workers`` set, use a **process** pool instead of
+        a thread pool — genuine multi-core annotation (the pure-Python
+        pipeline is GIL-bound in threads).  Documents travel back pickled,
+        exactly like WAL records.  Workers start via forkserver/spawn
+        (never fork — the service runs threads), so the usual
+        :mod:`multiprocessing` rule applies: the program's ``__main__``
+        module must be importable (scripts and pytest are; a bare
+        REPL/stdin program is not).
     storage_dir:
         Directory for the durability subsystem (snapshots + write-ahead
         log).  ``None`` (the default) keeps the service memory-only.  An
@@ -151,7 +228,15 @@ class KokoService:
         ``CheckpointPolicy.disabled()`` for explicit :meth:`checkpoint`
         calls only.
     wal_sync:
-        fsync the WAL on every logged operation (default True).
+        fsync the WAL on every logged operation (default True).  Appends
+        from concurrent writers share fsyncs via group commit.
+    sync_interval:
+        Group-commit linger, in seconds: how long the WAL's sync leader
+        waits before flushing so more concurrent appends can join the
+        batch.  ``0.0`` (default) flushes immediately — batching then
+        happens only while a flush is already in flight.  Raising it
+        trades single-write commit latency for fewer, larger fsyncs under
+        concurrent load.
     expander, vectors, dictionaries, use_gsp, use_default_vectors:
         Forwarded to every shard's :class:`~repro.koko.engine.KokoEngine`.
     """
@@ -164,9 +249,12 @@ class KokoService:
         plan_cache_size: int = 256,
         result_cache_size: int = 256,
         max_workers: int = 4,
+        annotation_workers: int | None = None,
+        annotation_processes: bool = False,
         storage_dir: str | Path | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
         wal_sync: bool = True,
+        sync_interval: float = 0.0,
         checkpoint_poll_seconds: float = 0.2,
         expander: DescriptorExpander | None = None,
         vectors: VectorStore | None = None,
@@ -191,6 +279,7 @@ class KokoService:
         self._last_checkpoint_monotonic = time.monotonic()
         self._closed = False
         self._wal_sync = wal_sync
+        self._wal_sync_interval = sync_interval
         recovered = None
         if storage_dir is not None:
             self._layout = StorageLayout(storage_dir)
@@ -234,10 +323,18 @@ class KokoService:
         self._shard_result_cache: ResultCache[KokoResult] = ResultCache(
             result_cache_size * shards
         )
-        # Serialises corpus mutation (sid allocation, doc routing, WAL
-        # append, generation) without ever blocking the per-shard read side.
+        # Serialises the *metadata* of corpus mutation — sid reservation,
+        # doc-id claims, routing, generation finalisation — without ever
+        # blocking the per-shard read side.  Annotation, WAL fsync (add
+        # path) and posting splices all run outside it.  The condition
+        # carries the ingest drain barrier checkpoints use.
         self._meta_lock = threading.Lock()
+        self._meta_cond = threading.Condition(self._meta_lock)
         self._doc_shard: dict[str, int] = {}
+        self._pending_docs: set[str] = set()
+        self._sid_reservations: dict[int, int] = {}  # base sid -> reserved count
+        self._inflight_ingests = 0
+        self._ingest_barrier = 0
         self._next_sid = 0
         self._generations = [0] * shards
         self._shard_pool: ThreadPoolExecutor | None = (
@@ -245,6 +342,44 @@ class KokoService:
             if shards > 1
             else None
         )
+        # Async front end: asyncio wrappers run the blocking calls here so
+        # the event loop never blocks on annotation, fsyncs or execution.
+        self._frontend_pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="koko-frontend"
+        )
+        # Optional annotation pool for the off-lock annotation stage.
+        self._annotation_processes = annotation_processes
+        self._annotation_pool: Executor | None = None
+        if annotation_workers is not None and annotation_workers > 0:
+            if annotation_processes:
+                import multiprocessing
+
+                # never fork: the service already runs threads (checkpoint
+                # scheduler, pools) and forking a multithreaded process can
+                # deadlock the children.  forkserver/spawn start workers
+                # from a clean process; everything they need is pickled
+                # (the pipeline via the initializer, module-level task fns).
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "forkserver" if "forkserver" in methods else "spawn"
+                )
+                self._annotation_pool = ProcessPoolExecutor(
+                    max_workers=annotation_workers,
+                    mp_context=context,
+                    initializer=_init_annotation_worker,
+                    initargs=(self.pipeline,),
+                )
+                # Worker processes spawn lazily, one per submit that finds
+                # no idle worker — which would ramp the pool up under the
+                # first real burst.  Kick off every worker now (the warm
+                # tasks return immediately; initialisation proceeds in the
+                # background without blocking construction).
+                for _ in range(annotation_workers):
+                    self._annotation_pool.submit(_warm_annotation_worker)
+            else:
+                self._annotation_pool = ThreadPoolExecutor(
+                    max_workers=annotation_workers, thread_name_prefix="koko-annotate"
+                )
 
         if recovered is not None:
             self._finish_recovery(recovered)
@@ -291,13 +426,13 @@ class KokoService:
                     raise PersistenceError(
                         f"WAL replay: bad add record for {record.doc_id!r}"
                     )
-                self._splice_meta_locked(record.document)
+                self._apply_add_locked(record.document)
             elif record.op == OP_REMOVE:
                 if record.doc_id not in self._doc_shard:
                     raise PersistenceError(
                         f"WAL replay: remove of unknown document {record.doc_id!r}"
                     )
-                self._unsplice_meta_locked(record.doc_id)
+                self._apply_remove_locked(record.doc_id)
             else:  # pragma: no cover - defensive
                 raise PersistenceError(f"WAL replay: unknown op {record.op!r}")
         self._wal = WriteAheadLog(
@@ -305,6 +440,8 @@ class KokoService:
             recovered.active_segment_id,
             sync=self._wal_sync,
             truncate_to=recovered.active_segment_valid_bytes,
+            sync_interval=self._wal_sync_interval,
+            on_fsync=self.stats.record_wal_fsync,
         )
         # Replayed operations are only durable in the WAL tail; fold them
         # into a checkpoint so the next restart is one load.  A directory
@@ -350,8 +487,9 @@ class KokoService:
     def checkpoint(self) -> int | None:
         """Fold the write-ahead log into a fresh snapshot.
 
-        Captures every shard under its *read* lock (readers keep running;
-        writers wait out the capture), seals the active WAL segment, writes
+        Raises the ingest drain barrier (staged ingests that already
+        reserved ids finish; new claims wait), rotates the WAL, captures
+        every shard under its *read* lock (readers keep running), writes
         the versioned snapshot, atomically repoints ``CURRENT`` and prunes
         superseded snapshots and segments.  Returns the new checkpoint id,
         or ``None`` when nothing was logged since the last checkpoint.
@@ -362,13 +500,23 @@ class KokoService:
             raise ServiceError("service has no storage_dir to checkpoint into")
         started = time.perf_counter()
         with self._checkpoint_lock:
-            with self._meta_lock:
-                if self._ops_since_checkpoint == 0:
-                    return None
-                sealed = self._wal.rotate()
-                state = self._capture_snapshot_state(checkpoint_id=sealed)
-                self._ops_since_checkpoint = 0
-                self._last_checkpoint_monotonic = time.monotonic()
+            with self._meta_cond:
+                # Drain: a staged ingest may have appended to the WAL but
+                # not yet spliced; rotating under it would strand a logged
+                # operation in a segment the checkpoint claims to cover.
+                self._ingest_barrier += 1
+                try:
+                    while self._inflight_ingests:
+                        self._meta_cond.wait()
+                    if self._ops_since_checkpoint == 0:
+                        return None
+                    sealed = self._wal.rotate()
+                    state = self._capture_snapshot_state(checkpoint_id=sealed)
+                    self._ops_since_checkpoint = 0
+                    self._last_checkpoint_monotonic = time.monotonic()
+                finally:
+                    self._ingest_barrier -= 1
+                    self._meta_cond.notify_all()
             # File writes happen outside the meta lock: the captured state
             # is immutable (fresh Database objects; documents are never
             # mutated after ingest), so writers proceed while we fsync.
@@ -406,21 +554,71 @@ class KokoService:
         return self._checkpoint_id
 
     # ------------------------------------------------------------------
-    # ingestion (write side)
+    # ingestion (write side) — the staged concurrent pipeline
     # ------------------------------------------------------------------
-    def add_document(self, text: str, doc_id: str | None = None) -> Document:
-        """Annotate *text* and fold it into its shard's corpus and indexes."""
+    def add_document(
+        self, text: str, doc_id: str | None = None, first_sid: int | None = None
+    ) -> Document:
+        """Annotate *text* and fold it into its shard's corpus and indexes.
+
+        The staged pipeline (see the module docstring): the meta lock is
+        held only to claim the document id and reserve a sentence-id range
+        (sized by a cheap sentence split); NLP annotation runs outside any
+        lock — inline, or on the annotation pool when the service was
+        built with ``annotation_workers``; the WAL append (durable via
+        group commit) also runs off-lock; finally the postings splice
+        write-locks exactly one shard.  Writers whose documents route to
+        different shards therefore proceed in parallel end to end.
+
+        Parameters
+        ----------
+        text:
+            Raw document text.
+        doc_id:
+            Explicit document id; ``None`` assigns a fresh ``docN`` id.
+            Ingesting an id that is live (or currently being ingested)
+            raises :class:`ServiceError`.
+        first_sid:
+            Explicit first sentence id, for callers that pre-plan sid
+            assignment (e.g. to make concurrent ingest bit-identical to a
+            serial one).  Either a base previously handed out by
+            :meth:`reserve_sids` (ranges may then be consumed in any
+            order by any writer thread), or a fresh value ≥ the current
+            :meth:`next_sid` (the counter advances past this document's
+            range).  Anything else raises :class:`ServiceError`.
+            ``None`` (default) reserves the next free range.
+
+        Durability: on a durable service the document is in the WAL —
+        fsynced, group-committed — *before* it becomes visible to queries;
+        when ``add_document`` returns, the operation survives a crash.
+
+        Returns the annotated :class:`~repro.nlp.types.Document`.
+        """
         started = time.perf_counter()
-        with self._meta_lock:
-            self._ensure_open()
-            resolved_id = doc_id if doc_id is not None else self._fresh_doc_id()
-            if resolved_id in self._doc_shard:
-                raise ServiceError(f"document id {resolved_id!r} already ingested")
-            document = self.pipeline.annotate(
-                text, doc_id=resolved_id, first_sid=self._next_sid
-            )
-            self._log(WalRecord(op=OP_ADD, doc_id=document.doc_id, document=document))
-            shard = self._splice_meta_locked(document)
+        # Stage 0 (no lock): a cheap sentence split sizes the sid range to
+        # reserve.  Empty sentences are skipped by annotation, so a
+        # reservation is an upper bound — unused sids become gaps, which
+        # the sid-keyed indexes tolerate by construction.
+        # The text is split again inside annotate(): the reservation must
+        # be sized before annotation runs, and re-using the same splitter
+        # keeps the count an exact upper bound of the sids annotate() will
+        # assign.
+        reserve = len(self.pipeline.tokenizer.split_sentences(text))
+        resolved_id, base_sid, consumed = self._claim_ingest(doc_id, reserve, first_sid)
+        logged = False
+        try:
+            # Stage 1 (no lock): heavy NLP annotation.
+            document = self._annotate_off_lock(text, resolved_id, base_sid)
+            # Stage 2 (no lock): write-ahead logging; group commit batches
+            # concurrent fsyncs.  Durable before visible.
+            self._log(WalRecord(op=OP_ADD, doc_id=resolved_id, document=document))
+            logged = self._wal is not None
+            # Stage 3 (one shard's write lock): splice postings.
+            shard = self._splice_into_shard(document)
+        except BaseException:
+            self._abort_ingest(resolved_id, logged=logged, reservation=consumed)
+            raise
+        self._commit_ingest(resolved_id, shard.shard_id)
         self.stats.record_ingest(
             time.perf_counter() - started,
             len(document),
@@ -434,12 +632,15 @@ class KokoService:
 
         The document's sentence ids must be fresh; documents annotated with
         ``first_sid=service.next_sid()`` (or produced by this service's own
-        pipeline flow) satisfy that.
+        pipeline flow) satisfy that.  Runs entirely under the meta lock —
+        there is no annotation stage to pipeline — so it serialises with
+        other metadata operations but never blocks shard readers for
+        longer than the splice itself.
         """
         started = time.perf_counter()
         with self._meta_lock:
             self._ensure_open()
-            if document.doc_id in self._doc_shard:
+            if document.doc_id in self._doc_shard or document.doc_id in self._pending_docs:
                 raise ServiceError(f"document id {document.doc_id!r} already ingested")
             for sentence in document:
                 if sentence.sid < self._next_sid:
@@ -449,7 +650,9 @@ class KokoService:
                         f"{self._next_sid})"
                     )
             self._log(WalRecord(op=OP_ADD, doc_id=document.doc_id, document=document))
-            shard = self._splice_meta_locked(document)
+            shard = self._apply_add_locked(document)
+            if self._wal is not None:
+                self._ops_since_checkpoint += 1
         self.stats.record_ingest(
             time.perf_counter() - started,
             len(document),
@@ -459,14 +662,28 @@ class KokoService:
         return document
 
     def remove_document(self, doc_id: str) -> Document:
-        """Un-index and drop one document; returns it."""
+        """Un-index and drop one document; returns it.
+
+        Runs under the meta lock (plus the target shard's write lock for
+        the un-splice) — including the WAL append, so on a durable
+        service a removal stalls other metadata operations for one group
+        commit (fsync + any ``sync_interval`` linger).  That is a
+        deliberate simplicity trade-off: removals are rare next to adds;
+        a staged remove path is a noted follow-on.  Removing a document
+        that is still mid-ingest raises :class:`ServiceError`; the
+        removal is WAL-logged before it is applied.
+        """
         started = time.perf_counter()
         with self._meta_lock:
             self._ensure_open()
+            if doc_id in self._pending_docs:
+                raise ServiceError(f"document id {doc_id!r} is still being ingested")
             if doc_id not in self._doc_shard:
                 raise ServiceError(f"unknown document id {doc_id!r}")
             self._log(WalRecord(op=OP_REMOVE, doc_id=doc_id))
-            shard_id, document = self._unsplice_meta_locked(doc_id)
+            shard_id, document = self._apply_remove_locked(doc_id)
+            if self._wal is not None:
+                self._ops_since_checkpoint += 1
         self.stats.record_ingest(
             time.perf_counter() - started,
             len(document),
@@ -476,15 +693,164 @@ class KokoService:
         )
         return document
 
+    def reserve_sids(self, count: int) -> int:
+        """Atomically reserve a contiguous range of *count* sentence ids.
+
+        Returns the range's first sid.  Pass it later as ``first_sid`` to
+        :meth:`add_document` — reserved ranges may be consumed in any
+        order by any writer thread, which is how concurrent ingest can be
+        made **sid-identical** to a serial one: pre-plan every document's
+        range in a deterministic order, then ingest in parallel.  Size a
+        document's reservation with the **raw sentence-split count** —
+        ``len(pipeline.tokenizer.split_sentences(text))`` — which is what
+        the unreserved path uses; annotation may skip empty sentences, so
+        the actual documents can use fewer ids.  A range that is reserved
+        but never consumed (or only partially consumed) leaves a harmless
+        gap; sids only need to be unique and monotonic per reservation.
+        A zero-width request still reserves one id (so every reservation
+        has a distinct base); the unused id is another gap.
+        """
+        if count < 0:
+            raise ServiceError(f"cannot reserve a negative sid range ({count})")
+        with self._meta_lock:
+            self._ensure_open()
+            base = self._next_sid
+            self._next_sid += max(count, 1)
+            self._sid_reservations[base] = count
+            return base
+
+    # -- staged-pipeline plumbing --------------------------------------
+    def _claim_ingest(
+        self, doc_id: str | None, reserve: int, first_sid: int | None
+    ) -> tuple[str, int, tuple[int, int] | None]:
+        """Claim a doc id and reserve a sid range (meta lock, microseconds).
+
+        Returns ``(resolved_id, base_sid, consumed_reservation)`` — the
+        last element is the ``(base, count)`` of a :meth:`reserve_sids`
+        reservation this claim consumed (so an aborted ingest can restore
+        it), or ``None``.  The claim blocks while a checkpoint drain
+        barrier is up, and marks the ingest in-flight so checkpoints wait
+        for it symmetrically.
+        """
+        with self._meta_cond:
+            while self._ingest_barrier:
+                self._meta_cond.wait()
+            self._ensure_open()
+            resolved = doc_id if doc_id is not None else self._fresh_doc_id()
+            if resolved in self._doc_shard or resolved in self._pending_docs:
+                raise ServiceError(f"document id {resolved!r} already ingested")
+            consumed: tuple[int, int] | None = None
+            if first_sid is not None:
+                reserved = self._sid_reservations.get(first_sid)
+                if reserved is not None:
+                    if reserved < reserve:
+                        # leave the reservation intact: the caller can
+                        # retry with a correctly sized range
+                        raise ServiceError(
+                            f"sid range at {first_sid} reserved {reserved} ids "
+                            f"but the document needs {reserve} (size "
+                            f"reservations with tokenizer.split_sentences)"
+                        )
+                    del self._sid_reservations[first_sid]
+                    consumed = (first_sid, reserved)
+                elif first_sid >= self._next_sid:
+                    self._next_sid = first_sid + reserve
+                else:
+                    raise ServiceError(
+                        f"first_sid {first_sid} is neither a reserved range "
+                        f"nor fresh (next sid is {self._next_sid})"
+                    )
+                base = first_sid
+            else:
+                base = self._next_sid
+                self._next_sid += reserve
+            self._pending_docs.add(resolved)
+            self._inflight_ingests += 1
+            return resolved, base, consumed
+
+    def _annotate_off_lock(self, text: str, doc_id: str, first_sid: int) -> Document:
+        """Run NLP annotation with no service lock held (stage 1)."""
+        pool = self._annotation_pool
+        if pool is None:
+            return self.pipeline.annotate(text, doc_id=doc_id, first_sid=first_sid)
+        if self._annotation_processes:
+            return pool.submit(_annotate_in_worker, text, doc_id, first_sid).result()
+        return pool.submit(
+            self.pipeline.annotate, text, doc_id=doc_id, first_sid=first_sid
+        ).result()
+
+    def _splice_into_shard(self, document: Document) -> _Shard:
+        """Splice postings under only the target shard's write lock (stage 3)."""
+        shard = self._shards[self._index_set.shard_id(document.doc_id)]
+        with shard.lock.write_locked():
+            shard.splice(document)
+            self._generations[shard.shard_id] += 1
+        return shard
+
+    def _commit_ingest(self, doc_id: str, shard_id: int) -> None:
+        """Publish a finished staged ingest (meta lock, microseconds)."""
+        with self._meta_cond:
+            self._doc_shard[doc_id] = shard_id
+            self._pending_docs.discard(doc_id)
+            if self._wal is not None:
+                self._ops_since_checkpoint += 1
+            self._inflight_ingests -= 1
+            self._meta_cond.notify_all()
+
+    def _abort_ingest(
+        self,
+        doc_id: str,
+        logged: bool = False,
+        reservation: tuple[int, int] | None = None,
+    ) -> None:
+        """Roll back a failed staged ingest.
+
+        A consumed :meth:`reserve_sids` *reservation* is restored so the
+        caller can retry a transient failure with the same planned
+        ``first_sid``; an implicit sid range simply leaks (a harmless gap
+        — sids only need to be unique and monotonic).
+
+        When the add was already WAL-logged (the failure struck between
+        the durable append and the splice), a compensating remove record
+        is appended so replay nets to nothing — otherwise a restart would
+        resurrect a document whose ingest the caller saw fail, and a
+        successful retry of the same doc id would make replay see two
+        adds for one id and refuse to open the store.
+        """
+        if logged:
+            try:
+                self._log(WalRecord(op=OP_REMOVE, doc_id=doc_id))
+            except Exception:
+                # The WAL itself is failing; the original error (about to
+                # propagate from the caller) is the actionable one.  The
+                # orphaned add record can at worst resurrect this document
+                # on restart.
+                pass
+        with self._meta_cond:
+            self._pending_docs.discard(doc_id)
+            if reservation is not None:
+                self._sid_reservations.setdefault(*reservation)
+            self._inflight_ingests -= 1
+            if logged and self._wal is not None:
+                # the add + compensating remove both count toward the
+                # checkpoint policy's ops threshold
+                self._ops_since_checkpoint += 2
+            self._meta_cond.notify_all()
+
     def _log(self, record: WalRecord) -> None:
-        """Write-ahead: make one operation durable before applying it."""
+        """Write-ahead: make one operation durable before applying it.
+
+        Thread-safe; concurrent calls coalesce their fsyncs (group
+        commit).  A no-op on a memory-only service.
+        """
         if self._wal is not None:
             appended = self._wal.append(record)
-            self._ops_since_checkpoint += 1
             self.stats.record_wal_append(appended)
 
-    def _splice_meta_locked(self, document: Document) -> _Shard:
-        """Route one annotated document to its shard (meta lock held)."""
+    def _apply_add_locked(self, document: Document) -> _Shard:
+        """Route and splice one document under the meta lock (replay path,
+        ``add_annotated_document``); updates the sid counter from the
+        document's actual sids."""
         self._next_sid = max(
             self._next_sid, max((s.sid for s in document), default=self._next_sid - 1) + 1
         )
@@ -495,7 +861,7 @@ class KokoService:
             self._generations[shard.shard_id] += 1
         return shard
 
-    def _unsplice_meta_locked(self, doc_id: str) -> tuple[int, Document]:
+    def _apply_remove_locked(self, doc_id: str) -> tuple[int, Document]:
         """Remove one document from its shard (meta lock held)."""
         shard_id = self._doc_shard.pop(doc_id)
         shard = self._shards[shard_id]
@@ -506,12 +872,14 @@ class KokoService:
         return shard_id, document
 
     def _fresh_doc_id(self) -> str:
-        candidate = f"doc{len(self._doc_shard)}"
-        while candidate in self._doc_shard:
+        """A doc id not currently live or mid-ingest (meta lock held)."""
+        candidate = f"doc{len(self._doc_shard) + len(self._pending_docs)}"
+        while candidate in self._doc_shard or candidate in self._pending_docs:
             candidate = candidate + "_"
         return candidate
 
     def _ensure_open(self) -> None:
+        """Raise :class:`ServiceError` when the service has been closed."""
         if self._closed:
             raise ServiceError("service is closed")
 
@@ -527,7 +895,21 @@ class KokoService:
         """Evaluate one query against the current corpus.
 
         String queries go through the plan cache and the generation-stamped
-        result caches; pre-parsed queries bypass both.
+        result caches; pre-parsed queries bypass both.  Execution holds
+        per-shard *read* locks only, so any number of queries run
+        concurrently with each other and with the off-lock stages of
+        in-flight ingests.
+
+        Parameters
+        ----------
+        query:
+            Query text, a parsed :class:`~repro.koko.ast.KokoQuery`, or a
+            pre-compiled plan.
+        threshold_override:
+            Replace the query's ``with threshold`` value for this call.
+        keep_all_scores:
+            Keep per-variable scores on every tuple instead of only the
+            aggregate-relevant ones.
         """
         self._ensure_open()
         started = time.perf_counter()
@@ -622,6 +1004,7 @@ class KokoService:
         keep_all_scores: bool,
         cache_key=None,
     ) -> KokoResult:
+        """Execute one shard's slice under its read lock; cache the partial."""
         started = time.perf_counter()
         with shard.lock.read_locked():
             # The stamp is read under the read lock, so it is exactly the
@@ -651,6 +1034,9 @@ class KokoService:
         exactly as single-query execution would.  The batch pool is separate
         from the per-shard fan-out pool, so batched queries on a sharded
         service still parallelise across shards.
+
+        ``max_workers`` overrides the service-level thread-pool width for
+        this batch only.
         """
         self._ensure_open()
         if not queries:
@@ -669,16 +1055,82 @@ class KokoService:
             )
 
     # ------------------------------------------------------------------
+    # async front end
+    # ------------------------------------------------------------------
+    def _run_async(self, fn, /, *args, **kwargs):
+        """Run a blocking service call on the front-end pool as an awaitable."""
+        self._ensure_open()
+        loop = asyncio.get_running_loop()
+        return loop.run_in_executor(self._frontend_pool, partial(fn, *args, **kwargs))
+
+    async def aquery(
+        self,
+        query: str | KokoQuery | CompiledQuery,
+        threshold_override: float | None = None,
+        keep_all_scores: bool = False,
+    ) -> KokoResult:
+        """Async :meth:`query`: awaitable, runs on the front-end thread pool.
+
+        The event loop is never blocked — per-shard fan-out, read locking
+        and caching behave exactly as in the synchronous call.
+        """
+        return await self._run_async(
+            self.query,
+            query,
+            threshold_override=threshold_override,
+            keep_all_scores=keep_all_scores,
+        )
+
+    async def aadd_document(
+        self, text: str, doc_id: str | None = None, first_sid: int | None = None
+    ) -> Document:
+        """Async :meth:`add_document`: annotation, group-committed WAL append
+        and the shard splice all happen off the event loop; awaiting the
+        result gives the same durability guarantee as the blocking call."""
+        return await self._run_async(
+            self.add_document, text, doc_id=doc_id, first_sid=first_sid
+        )
+
+    async def aremove_document(self, doc_id: str) -> Document:
+        """Async :meth:`remove_document` on the front-end thread pool."""
+        return await self._run_async(self.remove_document, doc_id)
+
+    async def aquery_batch(
+        self,
+        queries: list[str | KokoQuery | CompiledQuery],
+        threshold_override: float | None = None,
+        keep_all_scores: bool = False,
+    ) -> list[KokoResult]:
+        """Async batch evaluation: queries fan out as individual awaitables
+        on the front-end pool (bounded by ``max_workers``) and results come
+        back in input order."""
+        self._ensure_open()
+        return list(
+            await asyncio.gather(
+                *(
+                    self.aquery(
+                        query,
+                        threshold_override=threshold_override,
+                        keep_all_scores=keep_all_scores,
+                    )
+                    for query in queries
+                )
+            )
+        )
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut the service down cleanly (idempotent).
 
-        A durable service stops the checkpoint thread, flushes a final
-        checkpoint when anything was logged since the last one, and closes
-        the WAL — so a context-managed service always leaves a consistent,
+        A durable service stops the checkpoint thread, drains in-flight
+        staged ingests, flushes a final checkpoint when anything was
+        logged since the last one, and closes the WAL — so a
+        context-managed service always leaves a consistent,
         immediately-loadable on-disk state.  A memory-only service just
-        drains the fan-out pool.
+        drains its pools.  Calls issued after ``close`` raise
+        :class:`ServiceError`.
         """
         if self._closed:
             return
@@ -686,6 +1138,12 @@ class KokoService:
         if self._checkpoint_scheduler is not None:
             self._checkpoint_scheduler.stop()
             self._checkpoint_scheduler = None
+        # Drain staged ingests that claimed before _closed was set: they
+        # must reach the WAL and splice before the WAL (and pools) go
+        # away.  New claims already raise, so the count only falls.
+        with self._meta_cond:
+            while self._inflight_ingests:
+                self._meta_cond.wait()
         if self._wal is not None:
             try:
                 if self._ops_since_checkpoint:
@@ -693,14 +1151,20 @@ class KokoService:
             finally:
                 self._wal.close()
                 self._wal = None
+        if self._annotation_pool is not None:
+            self._annotation_pool.shutdown(wait=True)
+            self._annotation_pool = None
+        self._frontend_pool.shutdown(wait=True)
         if self._shard_pool is not None:
             self._shard_pool.shutdown(wait=True)
             self._shard_pool = None
 
     def __enter__(self) -> "KokoService":
+        """Context-manager entry: the service itself."""
         return self
 
     def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close` (flushes a final checkpoint)."""
         self.close()
 
     # ------------------------------------------------------------------
@@ -708,6 +1172,7 @@ class KokoService:
     # ------------------------------------------------------------------
     @property
     def shard_count(self) -> int:
+        """Number of hash partitions this service routes documents across."""
         return len(self._shards)
 
     @property
@@ -757,10 +1222,16 @@ class KokoService:
         return [shard.corpus for shard in self._shards]
 
     def next_sid(self) -> int:
-        """The first sentence id a newly annotated document should use."""
+        """The first sentence id a newly annotated document should use.
+
+        With staged ingests in flight the counter includes their reserved
+        ranges, so a value read here stays safe to pass as ``first_sid``
+        only while no other writer claims ids in between.
+        """
         return self._next_sid
 
     def document_ids(self) -> list[str]:
+        """Ids of every fully ingested document (mid-ingest ids excluded)."""
         with self._meta_lock:
             return list(self._doc_shard)
 
@@ -781,6 +1252,7 @@ class KokoService:
         return stats
 
     def __len__(self) -> int:
+        """Number of fully ingested documents."""
         return len(self._doc_shard)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -795,4 +1267,5 @@ class ShardedKokoService(KokoService):
     """A :class:`KokoService` that defaults to four hash partitions."""
 
     def __init__(self, shards: int = 4, **kwargs) -> None:
+        """Same parameters as :class:`KokoService`, with ``shards=4``."""
         super().__init__(shards=shards, **kwargs)

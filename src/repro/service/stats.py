@@ -3,9 +3,11 @@
 ``ServiceStats`` aggregates the numbers an operator of a query-serving
 deployment watches: cache hit rates, ingest throughput, query latency
 percentiles (over a sliding window of recent queries, so a long-lived
-service reports current — not lifetime-averaged — latency), and a
-per-shard breakdown of query work and document routing for partitioned
-services.
+service reports current — not lifetime-averaged — latency), a per-shard
+breakdown of query work and document routing for partitioned services,
+and durability counters — WAL appends, group-commit batch sizes (how many
+records each fsync made durable, bucketed into a power-of-two histogram)
+and the fsyncs saved relative to one-fsync-per-record.
 """
 
 from __future__ import annotations
@@ -13,6 +15,8 @@ from __future__ import annotations
 import math
 import threading
 from collections import deque
+
+__all__ = ["ServiceStats"]
 
 
 class ServiceStats:
@@ -40,9 +44,14 @@ class ServiceStats:
         # per-shard partial-result cache (generation-stamped per shard)
         self.shard_partials_reused = 0
         self.shard_partials_computed = 0
-        # durability: write-ahead log, checkpoints, recovery
+        # durability: write-ahead log, group commit, checkpoints, recovery
         self.wal_records_appended = 0
         self.wal_bytes_appended = 0
+        self.wal_fsyncs = 0
+        self.wal_records_synced = 0
+        self.wal_max_batch = 0
+        # batch-size histogram: bucket = smallest power of two >= batch
+        self.wal_batch_histogram: dict[int, int] = {}
         self.checkpoints_completed = 0
         self.checkpoint_failures = 0
         self.last_checkpoint_error = ""
@@ -136,6 +145,17 @@ class ServiceStats:
             self.wal_records_appended += 1
             self.wal_bytes_appended += frame_bytes
 
+    def record_wal_fsync(self, batch: int) -> None:
+        """Account one group-commit fsync that made *batch* records durable."""
+        with self._lock:
+            self.wal_fsyncs += 1
+            self.wal_records_synced += batch
+            self.wal_max_batch = max(self.wal_max_batch, batch)
+            bucket = 1 << max(0, batch - 1).bit_length() if batch > 1 else 1
+            self.wal_batch_histogram[bucket] = (
+                self.wal_batch_histogram.get(bucket, 0) + 1
+            )
+
     def record_checkpoint(self, seconds: float, checkpoint_id: int) -> None:
         """Account one completed snapshot checkpoint."""
         with self._lock:
@@ -164,16 +184,29 @@ class ServiceStats:
     # ------------------------------------------------------------------
     @property
     def result_cache_hit_rate(self) -> float:
+        """Fraction of cacheable queries served from the result cache."""
         total = self.result_cache_hits + self.result_cache_misses
         return self.result_cache_hits / total if total else 0.0
 
     @property
     def plan_cache_hit_rate(self) -> float:
+        """Fraction of string queries whose plan was already compiled."""
         total = self.plan_cache_hits + self.plan_cache_misses
         return self.plan_cache_hits / total if total else 0.0
 
     @property
+    def wal_fsyncs_saved(self) -> int:
+        """Records committed minus fsyncs performed (the group-commit win)."""
+        return self.wal_records_synced - self.wal_fsyncs
+
+    @property
+    def wal_mean_batch(self) -> float:
+        """Mean number of records per group-commit fsync."""
+        return self.wal_records_synced / self.wal_fsyncs if self.wal_fsyncs else 0.0
+
+    @property
     def ingest_tokens_per_second(self) -> float:
+        """Lifetime ingest throughput in annotated tokens per second."""
         if self.ingest_seconds <= 0.0:
             return 0.0
         return self.tokens_ingested / self.ingest_seconds
@@ -191,10 +224,12 @@ class ServiceStats:
 
     @property
     def p50_query_seconds(self) -> float:
+        """Median query latency over the sliding window."""
         return self.latency_percentile(50.0)
 
     @property
     def p95_query_seconds(self) -> float:
+        """95th-percentile query latency over the sliding window."""
         return self.latency_percentile(95.0)
 
     def shard_breakdown(self) -> dict[int, dict[str, float | int]]:
@@ -217,6 +252,10 @@ class ServiceStats:
 
     def snapshot(self) -> dict[str, object]:
         """A point-in-time dict of every metric (for logs / benchmarks)."""
+        with self._lock:
+            # copy under the lock: group-commit leaders insert histogram
+            # buckets concurrently
+            batch_histogram = dict(sorted(self.wal_batch_histogram.items()))
         return {
             "queries_served": self.queries_served,
             "result_cache_hits": self.result_cache_hits,
@@ -240,6 +279,12 @@ class ServiceStats:
             "durability": {
                 "wal_records_appended": self.wal_records_appended,
                 "wal_bytes_appended": self.wal_bytes_appended,
+                "wal_fsyncs": self.wal_fsyncs,
+                "wal_records_synced": self.wal_records_synced,
+                "wal_fsyncs_saved": self.wal_fsyncs_saved,
+                "wal_mean_batch": self.wal_mean_batch,
+                "wal_max_batch": self.wal_max_batch,
+                "wal_batch_histogram": batch_histogram,
                 "checkpoints_completed": self.checkpoints_completed,
                 "checkpoint_failures": self.checkpoint_failures,
                 "last_checkpoint_error": self.last_checkpoint_error,

@@ -126,3 +126,35 @@ def assert_index_sets_equivalent(actual: KokoIndexSet, expected: KokoIndexSet) -
 def assert_equivalent_indexes():
     """The index-set equivalence assertion, as an injectable fixture."""
     return assert_index_sets_equivalent
+
+
+@pytest.fixture
+def run_threads():
+    """Run ``work(thread_index)`` on N threads behind a start barrier.
+
+    Used by the concurrency tests (staged ingest, WAL group commit):
+    threads start together, and the first raised exception is re-raised
+    in the test thread after every thread joined.
+    """
+    import threading
+
+    def _run(count: int, work) -> None:
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(count)
+
+        def runner(index: int) -> None:
+            try:
+                barrier.wait()
+                work(index)
+            except BaseException as exc:  # pragma: no cover - re-raised below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=runner, args=(i,)) for i in range(count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    return _run

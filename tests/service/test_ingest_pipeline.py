@@ -1,0 +1,399 @@
+"""The staged concurrent ingest pipeline: off-lock annotation, parallel splice.
+
+The load-bearing properties:
+
+* multi-threaded writers across shards produce **sid-stable results
+  identical to serial ingest** when sid ranges are pre-planned (the
+  ``first_sid`` reservation API), and a consistent, reference-identical
+  corpus even when sids are assigned by arrival order;
+* the doc-id claim is race-free (exactly one of N concurrent writers of
+  the same id wins);
+* checkpoints drain in-flight staged ingests, so a warm restart after
+  heavy concurrent ingest is tuple-identical;
+* the async front end (``aquery``/``aadd_document``) returns the same
+  results as the blocking calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.koko.engine import KokoEngine
+from repro.nlp.pipeline import Pipeline
+from repro.nlp.types import Corpus
+from repro.persistence import CheckpointPolicy
+from repro.service import KokoService
+
+ENTITY_QUERY = (
+    'extract e:Entity, d:Str from input.txt if '
+    '(/ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) } (b) in (e))'
+)
+CITY_QUERY = (
+    'extract a:GPE from "input.txt" if () satisfying a '
+    '(a SimilarTo "city" {1.0}) with threshold 0.3'
+)
+
+BASE_TEXTS = [
+    "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+    "Anna ate some delicious cheesecake that she bought at a grocery store.",
+    "cities in asian countries such as Beijing and Tokyo.",
+    "Paolo visited Beijing and ate a delicious croissant.",
+    "Maria ate a delicious pie in Tokyo. The pie shop was crowded.",
+    "The barista in Osaka served a delicious espresso.",
+]
+TEXTS = [BASE_TEXTS[i % len(BASE_TEXTS)] for i in range(18)]
+
+
+def as_rows(result):
+    """Full ordered tuple content, scores included (byte-identical check)."""
+    return [(t.doc_id, t.sid, t.values, t.scores) for t in result]
+
+
+def plan_sids(service: KokoService, pipeline: Pipeline, texts) -> list[int]:
+    """Pre-reserve every document's sid range in deterministic (serial) order."""
+    return [
+        service.reserve_sids(len(pipeline.tokenizer.split_sentences(text)))
+        for text in texts
+    ]
+
+
+# ----------------------------------------------------------------------
+# sid-stable concurrency (acceptance criterion)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 4])
+def test_concurrent_ingest_is_tuple_identical_to_serial(shards, pipeline, run_threads):
+    """4 writers with pre-planned sid ranges == serial ingest, bit for bit."""
+    with KokoService(shards=shards) as serial:
+        for index, text in enumerate(TEXTS):
+            serial.add_document(text, f"doc{index}")
+        expected = {q: as_rows(serial.query(q)) for q in (ENTITY_QUERY, CITY_QUERY)}
+        expected_sid = serial.next_sid()
+
+    with KokoService(shards=shards) as concurrent:
+        bases = plan_sids(concurrent, pipeline, TEXTS)
+        order = list(range(len(TEXTS)))
+        random.Random(7).shuffle(order)
+
+        def work(thread_index: int) -> None:
+            for position in order:
+                if position % 4 == thread_index:
+                    concurrent.add_document(
+                        TEXTS[position],
+                        f"doc{position}",
+                        first_sid=bases[position],
+                    )
+
+        run_threads(4, work)
+        assert len(concurrent) == len(TEXTS)
+        assert concurrent.next_sid() == expected_sid
+        for query, rows in expected.items():
+            assert as_rows(concurrent.query(query)) == rows
+
+
+def test_concurrent_ingest_without_planned_sids_is_consistent(run_threads):
+    """Arrival-order sid assignment still yields a reference-identical corpus."""
+    with KokoService(shards=4) as service:
+        ingested: dict[str, object] = {}
+        lock = threading.Lock()
+
+        def work(thread_index: int) -> None:
+            for position in range(len(TEXTS)):
+                if position % 4 == thread_index:
+                    document = service.add_document(TEXTS[position], f"doc{position}")
+                    with lock:
+                        ingested[document.doc_id] = document
+
+        run_threads(4, work)
+        assert len(service) == len(TEXTS)
+        assert sorted(service.document_ids()) == sorted(ingested)
+        # sids are globally unique across all concurrent reservations
+        sids = [s.sid for d in ingested.values() for s in d]
+        assert len(sids) == len(set(sids))
+        # results match an unsharded engine over the same documents
+        documents = sorted(ingested.values(), key=lambda d: d.sentences[0].sid)
+        engine = KokoEngine(Corpus(name="reference", documents=documents))
+        for query in (ENTITY_QUERY, CITY_QUERY):
+            assert as_rows(service.query(query)) == as_rows(engine.execute(query))
+
+
+def test_duplicate_doc_id_race_admits_exactly_one_writer(run_threads):
+    with KokoService(shards=2) as service:
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def work(thread_index: int) -> None:
+            try:
+                service.add_document(BASE_TEXTS[0], "contested")
+            except ServiceError:
+                with lock:
+                    outcomes.append("rejected")
+            else:
+                with lock:
+                    outcomes.append("won")
+
+        run_threads(6, work)
+        assert outcomes.count("won") == 1
+        assert outcomes.count("rejected") == 5
+        assert service.document_ids() == ["contested"]
+
+
+def test_stale_first_sid_is_rejected():
+    with KokoService() as service:
+        service.add_document(BASE_TEXTS[0], "doc0")
+        with pytest.raises(ServiceError):
+            service.add_document(BASE_TEXTS[1], "doc1", first_sid=0)
+        # an explicit fresh reservation works and advances the counter
+        base = service.next_sid() + 10
+        service.add_document(BASE_TEXTS[1], "doc1", first_sid=base)
+        assert service.next_sid() > base
+
+
+# ----------------------------------------------------------------------
+# annotation pools
+# ----------------------------------------------------------------------
+def test_thread_annotation_pool_matches_inline():
+    with KokoService(shards=2, annotation_workers=2) as pooled:
+        for index, text in enumerate(BASE_TEXTS):
+            pooled.add_document(text, f"doc{index}")
+        with KokoService(shards=2) as inline:
+            for index, text in enumerate(BASE_TEXTS):
+                inline.add_document(text, f"doc{index}")
+            for query in (ENTITY_QUERY, CITY_QUERY):
+                assert as_rows(pooled.query(query)) == as_rows(inline.query(query))
+
+
+def test_process_annotation_pool_matches_inline():
+    with KokoService(annotation_workers=2, annotation_processes=True) as pooled:
+        for index, text in enumerate(BASE_TEXTS[:3]):
+            pooled.add_document(text, f"doc{index}")
+        with KokoService() as inline:
+            for index, text in enumerate(BASE_TEXTS[:3]):
+                inline.add_document(text, f"doc{index}")
+            assert as_rows(pooled.query(ENTITY_QUERY)) == as_rows(
+                inline.query(ENTITY_QUERY)
+            )
+
+
+# ----------------------------------------------------------------------
+# checkpoints drain staged ingests; warm restart stays identical
+# ----------------------------------------------------------------------
+def test_checkpoint_during_concurrent_ingest_recovers_identically(tmp_path, run_threads):
+    path = tmp_path / "svc"
+    service = KokoService(
+        shards=4, storage_dir=path, checkpoint_policy=CheckpointPolicy.disabled()
+    )
+    checkpoint_errors: list[BaseException] = []
+    done = threading.Event()
+
+    def checkpointer() -> None:
+        while not done.is_set():
+            try:
+                service.checkpoint()
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                checkpoint_errors.append(exc)
+                return
+
+    snapshotter = threading.Thread(target=checkpointer)
+    snapshotter.start()
+    try:
+        def work(thread_index: int) -> None:
+            for position in range(len(TEXTS)):
+                if position % 4 == thread_index:
+                    service.add_document(TEXTS[position], f"doc{position}")
+
+        run_threads(4, work)
+    finally:
+        done.set()
+        snapshotter.join()
+    assert not checkpoint_errors
+    assert len(service) == len(TEXTS)
+    expected = as_rows(service.query(ENTITY_QUERY))
+    service.close()
+
+    reopened = KokoService.open(path)
+    try:
+        assert len(reopened) == len(TEXTS)
+        assert as_rows(reopened.query(ENTITY_QUERY)) == expected
+    finally:
+        reopened.close()
+
+
+def test_removal_of_inflight_document_is_rejected():
+    """A document mid-ingest is invisible to removal until it commits."""
+    with KokoService() as service:
+        release = threading.Event()
+        entered = threading.Event()
+
+        class SlowPipeline(Pipeline):
+            def annotate(self, *args, **kwargs):
+                entered.set()
+                assert release.wait(5.0)
+                return super().annotate(*args, **kwargs)
+
+        service.pipeline = SlowPipeline()
+        writer = threading.Thread(
+            target=service.add_document, args=(BASE_TEXTS[0], "slow")
+        )
+        writer.start()
+        try:
+            assert entered.wait(5.0)
+            with pytest.raises(ServiceError, match="still being ingested"):
+                service.remove_document("slow")
+            assert "slow" not in service.document_ids()
+        finally:
+            release.set()
+            writer.join()
+        assert "slow" in service.document_ids()
+        service.remove_document("slow")
+
+
+def test_failed_splice_after_wal_append_does_not_resurrect(tmp_path):
+    """A WAL-logged add whose splice fails is compensated in the log, so
+    replay nets to nothing and a retried id replays cleanly."""
+    import shutil
+
+    path = tmp_path / "svc"
+    service = KokoService(
+        shards=2, storage_dir=path, checkpoint_policy=CheckpointPolicy.disabled()
+    )
+    try:
+        service.add_document(BASE_TEXTS[0], "good")
+        original = service._splice_into_shard
+
+        def exploding(document):
+            raise RuntimeError("splice blew up")
+
+        service._splice_into_shard = exploding
+        with pytest.raises(RuntimeError):
+            service.add_document(BASE_TEXTS[1], "broken")
+        assert sorted(service.document_ids()) == ["good"]
+        service._splice_into_shard = original
+        # the same id can be retried — and the WAL now holds
+        # [add good, add broken, remove broken, add broken]
+        service.add_document(BASE_TEXTS[1], "broken")
+        # replay that exact log (no clean-close checkpoint folding)
+        crash_dir = tmp_path / "crashed"
+        shutil.copytree(path, crash_dir)
+    finally:
+        service.close()
+    reopened = KokoService.open(crash_dir)
+    try:
+        assert sorted(reopened.document_ids()) == ["broken", "good"]
+        assert as_rows(reopened.query(ENTITY_QUERY)) is not None
+    finally:
+        reopened.close()
+
+
+def test_close_drains_inflight_staged_ingest(tmp_path):
+    """close() waits for a claimed ingest to finish instead of closing the
+    WAL underneath it."""
+    service = KokoService(
+        storage_dir=tmp_path / "svc",
+        checkpoint_policy=CheckpointPolicy.disabled(),
+    )
+    release = threading.Event()
+    entered = threading.Event()
+
+    class SlowPipeline(Pipeline):
+        def annotate(self, *args, **kwargs):
+            entered.set()
+            assert release.wait(5.0)
+            return super().annotate(*args, **kwargs)
+
+    service.pipeline = SlowPipeline()
+    outcome: list[object] = []
+
+    def writer() -> None:
+        try:
+            outcome.append(service.add_document(BASE_TEXTS[0], "slow"))
+        except BaseException as exc:  # pragma: no cover - asserted below
+            outcome.append(exc)
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    assert entered.wait(5.0)
+    closer = threading.Thread(target=service.close)
+    closer.start()
+    release.set()
+    thread.join()
+    closer.join()
+    assert not isinstance(outcome[0], BaseException)
+    reopened = KokoService.open(tmp_path / "svc")
+    try:
+        assert reopened.document_ids() == ["slow"]
+    finally:
+        reopened.close()
+
+
+def test_aborted_ingest_restores_consumed_reservation():
+    """A transient failure after the claim gives the planned sid range back."""
+    with KokoService() as service:
+        base = service.reserve_sids(1)
+        blowups = [RuntimeError("annotation worker died")]
+
+        class FlakyPipeline(Pipeline):
+            def annotate(self, *args, **kwargs):
+                if blowups:
+                    raise blowups.pop()
+                return super().annotate(*args, **kwargs)
+
+        service.pipeline = FlakyPipeline()
+        with pytest.raises(RuntimeError):
+            service.add_document("Anna ate a pie.", "doc0", first_sid=base)
+        # the retry consumes the restored reservation deterministically
+        document = service.add_document("Anna ate a pie.", "doc0", first_sid=base)
+        assert document.sentences[0].sid == base
+
+
+def test_undersized_reservation_is_rejected_but_kept():
+    with KokoService() as service:
+        base = service.reserve_sids(1)
+        two_sentence = "Anna ate a pie. Paolo ate a croissant."
+        with pytest.raises(ServiceError, match="reserved 1 ids"):
+            service.add_document(two_sentence, "doc0", first_sid=base)
+        # the reservation survives the failed attempt and still works for
+        # a document it can hold
+        service.add_document("Anna ate a pie.", "doc0", first_sid=base)
+        assert service.document_ids() == ["doc0"]
+
+
+# ----------------------------------------------------------------------
+# async front end
+# ----------------------------------------------------------------------
+def test_async_front_end_matches_blocking_calls():
+    async def scenario(service: KokoService):
+        await asyncio.gather(
+            *(
+                service.aadd_document(text, f"doc{index}")
+                for index, text in enumerate(BASE_TEXTS)
+            )
+        )
+        single = await service.aquery(ENTITY_QUERY)
+        batch = await service.aquery_batch([ENTITY_QUERY, CITY_QUERY])
+        removed = await service.aremove_document("doc0")
+        after = await service.aquery(ENTITY_QUERY)
+        return single, batch, removed, after
+
+    with KokoService(shards=2) as service:
+        single, batch, removed, after = asyncio.run(scenario(service))
+        assert len(service) == len(BASE_TEXTS) - 1
+        assert removed.doc_id == "doc0"
+        assert as_rows(batch[0]) == as_rows(single)
+        assert as_rows(batch[1]) == as_rows(service.query(CITY_QUERY))
+        assert as_rows(after) == as_rows(service.query(ENTITY_QUERY))
+
+
+def test_async_calls_after_close_raise():
+    service = KokoService()
+    service.close()
+
+    async def attempt():
+        await service.aquery(CITY_QUERY)
+
+    with pytest.raises(ServiceError):
+        asyncio.run(attempt())

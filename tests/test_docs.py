@@ -1,0 +1,27 @@
+"""Tier-1 guard for the documentation lint (`scripts/check_docs.py`).
+
+Keeps the docs-and-docstring bar enforced locally, not only in CI: every
+module under ``src/repro/service`` and ``src/repro/persistence`` must
+carry a module docstring, ``__all__``, and docstrings on public
+classes/functions/methods — and every relative markdown link in
+``README.md``, ``docs/*.md`` and ``benchmarks/README.md`` must resolve.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docstrings_and_markdown_links_are_clean():
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, (
+        "documentation lint failed:\n" + completed.stdout + completed.stderr
+    )
