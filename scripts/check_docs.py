@@ -29,7 +29,7 @@ import sys
 from pathlib import Path
 
 #: packages whose modules must carry module/class/function docstrings + __all__
-LINTED_PACKAGES = ("src/repro/service", "src/repro/persistence")
+LINTED_PACKAGES = ("src/repro/service", "src/repro/persistence", "src/repro/replication")
 
 #: markdown documents whose relative links must resolve
 LINKED_DOCUMENTS = ("README.md", "docs/*.md", "benchmarks/README.md")

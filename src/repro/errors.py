@@ -69,6 +69,10 @@ class PersistenceError(ReproError):
     """Raised by the durability subsystem (bad snapshot, corrupt WAL...)."""
 
 
+class ReplicationError(ReproError):
+    """Raised by the replication subsystem (shipping, replicas, routing)."""
+
+
 class EmbeddingError(ReproError):
     """Raised by the embedding / descriptor-expansion subsystem."""
 

@@ -17,20 +17,31 @@ The subsystem splits durable state the way HTAP engines do:
 from .checkpoint import CheckpointPolicy, CheckpointScheduler
 from .layout import LAYOUT_VERSION, StorageLayout
 from .recovery import RecoveredState, RecoveryManager
-from .snapshot import SnapshotState, load_snapshot, write_snapshot
+from .snapshot import (
+    SnapshotState,
+    load_snapshot,
+    read_snapshot_payloads,
+    state_from_payloads,
+    write_snapshot,
+)
 from .wal import (
     OP_ADD,
     OP_REMOVE,
+    FrameScan,
     ReplayResult,
+    WalCursor,
+    WalPosition,
     WalRecord,
     WalWriter,
     WriteAheadLog,
+    read_frames,
     read_records,
 )
 
 __all__ = [
     "CheckpointPolicy",
     "CheckpointScheduler",
+    "FrameScan",
     "LAYOUT_VERSION",
     "OP_ADD",
     "OP_REMOVE",
@@ -39,10 +50,15 @@ __all__ = [
     "ReplayResult",
     "SnapshotState",
     "StorageLayout",
+    "WalCursor",
+    "WalPosition",
     "WalRecord",
     "WalWriter",
     "WriteAheadLog",
     "load_snapshot",
+    "read_frames",
     "read_records",
+    "read_snapshot_payloads",
+    "state_from_payloads",
     "write_snapshot",
 ]

@@ -148,7 +148,7 @@ class StorageLayout:
     # ------------------------------------------------------------------
     # garbage collection
     # ------------------------------------------------------------------
-    def prune(self, keep_checkpoint_id: int) -> None:
+    def prune(self, keep_checkpoint_id: int, wal_keep_from: int | None = None) -> None:
         """Delete snapshots and WAL segments superseded by a durable checkpoint.
 
         Keeps snapshot ``keep_checkpoint_id`` **and its predecessor**, plus
@@ -157,6 +157,12 @@ class StorageLayout:
         recovery falls back one checkpoint and replays the retained log
         instead of losing data.  Everything older is unreferenced once
         ``CURRENT`` points at the new checkpoint.
+
+        ``wal_keep_from`` additionally retains every WAL segment with id
+        ``>= wal_keep_from`` regardless of checkpoint coverage — the
+        retention pin log shipping uses so a follower tailing segment *N*
+        never has it folded away mid-read (see
+        ``KokoService.register_wal_pin``).
         """
         import shutil
 
@@ -166,7 +172,9 @@ class StorageLayout:
             if snapshot_id < keep_checkpoint_id and snapshot_id not in retained:
                 shutil.rmtree(self.snapshot_dir(snapshot_id), ignore_errors=True)
         for segment_id in self.wal_segment_ids():
-            if segment_id <= oldest_retained:
+            if segment_id <= oldest_retained and (
+                wal_keep_from is None or segment_id < wal_keep_from
+            ):
                 try:
                     self.wal_path(segment_id).unlink()
                 except OSError:  # pragma: no cover - best-effort GC

@@ -30,7 +30,13 @@ from pathlib import Path
 
 from ..errors import PersistenceError
 
-__all__ = ["SnapshotState", "load_snapshot", "write_snapshot"]
+__all__ = [
+    "SnapshotState",
+    "load_snapshot",
+    "read_snapshot_payloads",
+    "state_from_payloads",
+    "write_snapshot",
+]
 from ..indexing.koko_index import KokoIndexSet
 from ..nlp.types import Document
 from ..storage.database import Database
@@ -211,6 +217,83 @@ def load_snapshot(
         if verify and hashlib.sha256(payload).hexdigest() != manifest["files"].get(name):
             raise PersistenceError(f"snapshot file {name} fails its digest")
         return payload
+
+    return _decode_state(manifest, read_verified)
+
+
+def read_snapshot_payloads(
+    layout: StorageLayout, checkpoint_id: int
+) -> tuple[dict, dict[str, bytes]]:
+    """The raw, digest-verified bytes of snapshot *checkpoint_id*.
+
+    Returns ``(manifest, payloads)`` where *payloads* maps each file name of
+    the manifest to its exact on-disk bytes.  This is the shipping form of
+    a snapshot: a replication primary sends these bytes verbatim and the
+    follower rebuilds the state with :func:`state_from_payloads` — no
+    pickling round trip, and the digests in the manifest let the follower
+    re-verify what it received.  Raises :class:`PersistenceError` on any
+    missing file or digest mismatch (e.g. a snapshot pruned mid-read — the
+    caller retries with the new latest checkpoint).
+    """
+    directory = layout.snapshot_dir(checkpoint_id)
+    try:
+        manifest = json.loads((directory / MANIFEST_NAME).read_text("utf-8"))
+    except (OSError, ValueError) as exc:
+        raise PersistenceError(
+            f"snapshot {checkpoint_id} at {directory} is missing or corrupt"
+        ) from exc
+    if (
+        manifest.get("version") != LAYOUT_VERSION
+        or manifest.get("checkpoint_id") != checkpoint_id
+    ):
+        raise PersistenceError(f"snapshot {checkpoint_id} manifest is inconsistent")
+    payloads: dict[str, bytes] = {}
+    for name, digest in manifest.get("files", {}).items():
+        try:
+            payload = (directory / name).read_bytes()
+        except OSError as exc:
+            raise PersistenceError(f"snapshot file {name} unreadable: {exc}") from exc
+        if hashlib.sha256(payload).hexdigest() != digest:
+            raise PersistenceError(f"snapshot file {name} fails its digest")
+        payloads[name] = payload
+    return manifest, payloads
+
+
+def state_from_payloads(
+    manifest: dict, payloads: dict[str, bytes], verify: bool = True
+) -> SnapshotState:
+    """Rebuild a :class:`SnapshotState` from shipped snapshot bytes.
+
+    The in-memory inverse of :func:`read_snapshot_payloads`: a replication
+    follower hands the manifest and file bytes it received and gets back
+    the same state :func:`load_snapshot` would produce from disk, digests
+    re-checked against the manifest (``verify=True``, the default —
+    transports are framed but not content-checksummed).
+    """
+    if manifest.get("version") != LAYOUT_VERSION:
+        raise PersistenceError(
+            f"shipped snapshot has layout version {manifest.get('version')!r}; "
+            f"this build reads {LAYOUT_VERSION}"
+        )
+
+    def read_verified(name: str) -> bytes:
+        payload = payloads.get(name)
+        if payload is None:
+            raise PersistenceError(f"shipped snapshot is missing file {name}")
+        if verify and hashlib.sha256(payload).hexdigest() != manifest["files"].get(name):
+            raise PersistenceError(f"shipped snapshot file {name} fails its digest")
+        return payload
+
+    return _decode_state(manifest, read_verified)
+
+
+def _decode_state(manifest: dict, read_verified) -> SnapshotState:
+    """Decode a snapshot's documents, databases and index sets.
+
+    Shared by the disk loader and the replication (shipped-bytes) loader;
+    *read_verified* maps a file name to its verified payload bytes.
+    """
+    checkpoint_id = manifest["checkpoint_id"]
     state = SnapshotState(
         checkpoint_id=checkpoint_id,
         name=manifest["name"],

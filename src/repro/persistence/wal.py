@@ -50,11 +50,15 @@ from .layout import fsync_dir as _fsync_dir
 __all__ = [
     "OP_ADD",
     "OP_REMOVE",
+    "FrameScan",
     "ReplayResult",
+    "WalCursor",
+    "WalPosition",
     "WalRecord",
     "WalWriter",
     "WriteAheadLog",
     "encode_frame",
+    "read_frames",
     "read_records",
 ]
 
@@ -88,6 +92,169 @@ class WalRecord:
 def encode_frame(payload: bytes) -> bytes:
     """One CRC-framed record, ready to append."""
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass(frozen=True, order=True)
+class WalPosition:
+    """A point in the log's history: ``(segment_id, byte_offset)``.
+
+    Segment ids increase monotonically across rotations and offsets grow
+    within a segment, so tuple ordering gives a total order over the whole
+    log history — positions work as replication offsets and as the
+    read-your-writes tokens the replica router compares.
+    """
+
+    segment_id: int
+    offset: int
+
+    def __str__(self) -> str:
+        return f"{self.segment_id}:{self.offset}"
+
+
+@dataclass
+class FrameScan:
+    """Outcome of scanning raw frames from one segment (see :func:`read_frames`)."""
+
+    #: ``(end_offset, payload)`` per whole frame, in log order; the payload
+    #: is the pickled record bytes, untouched (re-shippable verbatim)
+    frames: list[tuple[int, bytes]]
+    #: byte offset just past the last whole frame (resume point)
+    end_offset: int
+    #: True when trailing bytes formed no complete valid frame — on a live
+    #: segment that just means the writer is mid-append (retry later); on a
+    #: sealed segment it means corruption
+    partial_tail: bool
+
+
+def read_frames(
+    path: str | Path, start_offset: int = 0, max_bytes: int | None = None
+) -> FrameScan:
+    """Scan whole CRC-valid frames from byte *start_offset* of one segment.
+
+    The streaming sibling of :func:`read_records`: payloads come back raw
+    (not decoded into :class:`WalRecord`), each tagged with the byte offset
+    just past its frame, so a log shipper can forward bytes verbatim and
+    resume from any reported offset.  Stops at the first incomplete or
+    CRC-invalid frame (``partial_tail``), or once more than *max_bytes* of
+    payload have been collected.
+    """
+    path = Path(path)
+    frames: list[tuple[int, bytes]] = []
+    offset = start_offset
+    collected = 0
+    partial = False
+    with path.open("rb") as handle:
+        handle.seek(start_offset)
+        while True:
+            header = handle.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                partial = bool(header)
+                break
+            length, crc = _HEADER.unpack(header)
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                partial = True
+                break
+            offset += _HEADER.size + length
+            frames.append((offset, payload))
+            collected += length
+            if max_bytes is not None and collected >= max_bytes:
+                break
+    return FrameScan(frames=frames, end_offset=offset, partial_tail=partial)
+
+
+class WalCursor:
+    """A read-only cursor over a layout's WAL, tolerant of live appends,
+    rotation, and sealed-segment boundaries.
+
+    The shipping primitive: positioned at a :class:`WalPosition`, each
+    :meth:`poll` returns the whole frames that became readable past the
+    cursor — following the active segment's growing tail, and crossing into
+    segment ``N+1`` once segment ``N`` is sealed (rotation creates the next
+    segment only *after* the sealed one is complete, so observing the
+    ``N+1`` file proves ``N`` will grow no further).  The caller owns
+    keeping the segments alive: a primary prunes shipped-from segments only
+    past every cursor's pinned floor (see ``KokoService.register_wal_pin``).
+    """
+
+    def __init__(self, layout, position: WalPosition) -> None:
+        self._layout = layout
+        self._segment_id = position.segment_id
+        self._offset = position.offset
+
+    @property
+    def position(self) -> WalPosition:
+        """The cursor's current resume point."""
+        return WalPosition(self._segment_id, self._offset)
+
+    def _next_segment_exists(self) -> bool:
+        return self._layout.wal_path(self._segment_id + 1).exists()
+
+    def poll(
+        self,
+        max_records: int | None = None,
+        max_bytes: int | None = None,
+        up_to: WalPosition | None = None,
+    ) -> list[tuple[WalPosition, bytes]]:
+        """Whole frames available past the cursor, advancing it.
+
+        Returns ``(position, payload)`` pairs where *position* is the log
+        position just past that frame (what a follower acks after applying
+        it).  An empty list means the cursor is caught up with the durable
+        tail for now.  ``up_to`` bounds the read to positions at or before
+        it — a shipping primary passes its **durable** end so followers
+        never receive a flushed-but-unsynced record that a crash could
+        still discard (a follower ahead of durability could diverge from
+        the recovered log).  Raises :class:`PersistenceError` when the
+        cursor's segment was pruned out from under it (the follower must
+        re-bootstrap from a snapshot) or a **sealed** segment ends in a
+        corrupt frame.
+        """
+        out: list[tuple[WalPosition, bytes]] = []
+        budget = max_bytes
+        while max_records is None or len(out) < max_records:
+            path = self._layout.wal_path(self._segment_id)
+            if not path.exists():
+                newer = [
+                    s
+                    for s in self._layout.wal_segment_ids()
+                    if s > self._segment_id
+                ]
+                if newer:
+                    raise PersistenceError(
+                        f"WAL segment {self._segment_id} was pruned under the "
+                        f"cursor (oldest remaining: {min(newer)}); re-bootstrap"
+                    )
+                return out  # segment not created yet: caught up
+            scan = read_frames(path, self._offset, max_bytes=budget)
+            for end_offset, payload in scan.frames:
+                position = WalPosition(self._segment_id, end_offset)
+                if up_to is not None and position > up_to:
+                    return out  # past the durability horizon: stop here
+                self._offset = end_offset
+                out.append((position, payload))
+                if budget is not None:
+                    budget -= len(payload)
+                if (max_records is not None and len(out) >= max_records) or (
+                    budget is not None and budget <= 0
+                ):
+                    return out
+            if not self._next_segment_exists():
+                return out  # live tail of the active segment
+            if scan.partial_tail:
+                # The next segment appeared, so this one is sealed — but the
+                # seal may have landed after our read.  One re-scan settles
+                # it: still-partial bytes in a sealed segment are corruption.
+                rescan = read_frames(path, self._offset, max_bytes=budget)
+                if rescan.partial_tail and not rescan.frames:
+                    raise PersistenceError(
+                        f"sealed WAL segment {self._segment_id} ends in a "
+                        f"corrupt frame at offset {self._offset}"
+                    )
+                continue  # pick the re-scanned frames up next iteration
+            self._segment_id += 1
+            self._offset = 0
+        return out
 
 
 @dataclass
@@ -195,6 +362,12 @@ class WalWriter:
     def size_bytes(self) -> int:
         """Current segment size (durable prefix plus buffered frames)."""
         return self._bytes_written
+
+    @property
+    def synced_bytes(self) -> int:
+        """Length of the segment prefix an fsync has made durable."""
+        with self._sync_cond:
+            return self._synced_bytes
 
     def append(self, record: WalRecord) -> int:
         """Frame, append and (with ``sync``) make one record durable.
@@ -402,6 +575,24 @@ class WriteAheadLog:
         """Records made durable minus fsyncs performed (the group-commit win)."""
         return self.records_synced - self.fsyncs_performed
 
+    def durable_position(self) -> WalPosition:
+        """The durable end of the log: active segment + fsynced prefix length.
+
+        Everything at or before this position survives a crash; it is the
+        honest value for replication offset tokens.  With ``sync=False``
+        durability is already best-effort, so the flushed size stands in.
+        Safe against a concurrent :meth:`rotate` (shipper threads read this
+        while checkpoints rotate): the segment id and writer are read under
+        the same lock rotation updates them under, so the offset always
+        belongs to the reported segment.
+        """
+        with self._stats_lock:
+            segment_id = self.segment_id
+            writer = self._writer
+        return WalPosition(
+            segment_id, writer.synced_bytes if self.sync else writer.size_bytes
+        )
+
     def _record_fsync(self, batch: int) -> None:
         """Account one fsync that committed *batch* records; forward to the user."""
         with self._stats_lock:
@@ -431,13 +622,15 @@ class WriteAheadLog:
         """
         sealed = self.segment_id
         self._writer.close()
-        self.segment_id = sealed + 1
-        self._writer = WalWriter(
-            self._layout.wal_path(self.segment_id),
+        successor = WalWriter(
+            self._layout.wal_path(sealed + 1),
             sync=self.sync,
             sync_interval=self.sync_interval,
             on_fsync=self._record_fsync,
         )
+        with self._stats_lock:  # paired with durable_position's read
+            self.segment_id = sealed + 1
+            self._writer = successor
         _fsync_dir(self._layout.wal_dir)
         return sealed
 

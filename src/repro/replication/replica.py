@@ -1,0 +1,434 @@
+"""A read-only follower: snapshot restore + WAL tail application.
+
+A :class:`ReplicaService` connects a transport to a primary's
+:class:`~repro.replication.shipper.LogShipper`, restores the shipped
+snapshot entirely in memory (zero re-annotation — the snapshot carries
+the primary's annotated documents, and shipped WAL records carry
+annotated documents too), then applies the streamed records through the
+service's existing splice path.  Because routing, sid accounting and
+generation stamps replay identically, a caught-up replica returns
+**tuple-identical** query results to its primary — including cache
+behaviour, since the generation vector mirrors the primary's.
+
+The replica tracks its **replication lag**: the applied WAL position
+versus the primary's durable end (positions arrive with every record
+batch and heartbeat; the primary also sends its byte-distance
+computation, which only it can make — it has the segment files).  The
+:class:`~repro.replication.router.ReplicaSet` router uses those to
+enforce staleness bounds.
+
+Writes are rejected: :meth:`add_document` / :meth:`remove_document`
+raise :class:`~repro.errors.ReplicationError`.  All reads —
+:meth:`query`, :meth:`query_batch`, statistics — delegate to the inner
+service and run under its usual per-shard read locks, concurrent with
+the applier thread's splices.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import ReplicationError, ServiceError
+from ..persistence import WalPosition, WalRecord, state_from_payloads
+from ..service import KokoService
+from .transport import TransportClosed
+
+__all__ = ["ReplicaService"]
+
+
+class ReplicaService:
+    """A follower serving read-only queries from shipped primary state.
+
+    Parameters
+    ----------
+    transport:
+        The follower end of a transport connected to a primary's
+        :class:`~repro.replication.shipper.LogShipper` (e.g.
+        :func:`~repro.replication.transport.connect_tcp`, or the replica
+        end of :meth:`InProcessTransport.pair` handed to
+        ``shipper.serve``).
+    ack_every_records:
+        How many applied records may accumulate before an ack is sent
+        (an ack is also sent whenever the stream goes idle).
+    name:
+        Label for diagnostics.
+    **service_kwargs:
+        Forwarded to the inner :class:`~repro.service.KokoService`
+        (cache sizes, ``max_workers``, engine options...).  Must match
+        the primary's engine configuration for identical results; the
+        defaults do.
+
+    A replica whose transport broke (primary restart, network blip) can
+    :meth:`reconnect` with a fresh transport: the primary resumes the
+    stream from the replica's applied position when it still can, and
+    falls back to shipping a fresh snapshot — transparently rebuilding
+    the replica's state — when it cannot (position lost to a primary
+    crash, or segments pruned past a stalled follower).
+    """
+
+    def __init__(
+        self,
+        transport,
+        ack_every_records: int = 64,
+        name: str = "replica",
+        **service_kwargs,
+    ) -> None:
+        self._transport = transport
+        self.name = name
+        self._ack_every_records = ack_every_records
+        self._service_kwargs = dict(service_kwargs)
+        self._lock = threading.Lock()
+        self._applied: WalPosition | None = None
+        self._primary_end: WalPosition | None = None
+        self._lag_bytes: int | None = None
+        self._records_applied = 0
+        self._connected = False
+        self._restart_requested = False
+        self._error: str | None = None
+        self._closed = False
+        self._bootstrap_checkpoint_id: int | None = None
+
+        mode, start, state = self._handshake(transport, resume=None)
+        assert mode == "snapshot" and state is not None  # fresh subscriptions
+        self.service = KokoService(bootstrap_snapshot=state, **service_kwargs)
+        self._bootstrap_checkpoint_id = state.checkpoint_id
+        with self._lock:
+            self._applied = start
+            self._connected = True
+        self._applier = threading.Thread(
+            target=self._apply_loop,
+            args=(transport,),
+            name=f"koko-{name}-applier",
+            daemon=True,
+        )
+        self._applier.start()
+
+    def _handshake(self, transport, resume: WalPosition | None):
+        """Subscribe and read the hello (+ snapshot, when bootstrapping)."""
+        transport.send(("subscribe", {"resume": resume}))
+        hello = transport.recv(timeout=60.0)
+        if hello is None or hello[0] != "hello":
+            raise ReplicationError(f"{self.name}: expected hello, got {hello!r}")
+        mode = hello[1]["mode"]
+        start: WalPosition = hello[1]["start"]
+        state = None
+        if mode == "snapshot":
+            snapshot_msg = transport.recv(timeout=600.0)
+            if snapshot_msg is None or snapshot_msg[0] != "snapshot":
+                raise ReplicationError(
+                    f"{self.name}: expected snapshot payload, got {snapshot_msg!r}"
+                )
+            state = state_from_payloads(
+                snapshot_msg[1]["manifest"], snapshot_msg[1]["files"]
+            )
+        return mode, start, state
+
+    def reconnect(self, transport) -> bool:
+        """Re-attach a disconnected replica through a fresh transport.
+
+        Offers the primary the replica's applied position; on a granted
+        resume the existing in-memory state keeps serving and the stream
+        continues where it left off (returns True).  Otherwise the primary
+        ships a fresh snapshot and the replica **rebuilds** (returns
+        False) — reads racing the swap are retried once against the
+        replacement by :meth:`query`.  Raises :class:`ReplicationError`
+        when called while still connected.
+        """
+        if self.connected:
+            raise ReplicationError(f"{self.name} is still connected")
+        if self._closed:
+            raise ReplicationError(f"{self.name} is closed")
+        if self._applier.is_alive():  # let the old applier finish dying
+            self._applier.join(timeout=5.0)
+        mode, start, state = self._handshake(transport, resume=self.applied_position)
+        resumed = mode == "resume"
+        if not resumed:
+            assert state is not None
+            replacement = KokoService(
+                bootstrap_snapshot=state, **self._service_kwargs
+            )
+            previous, self.service = self.service, replacement
+            self._bootstrap_checkpoint_id = state.checkpoint_id
+            previous.close()
+        old_transport, self._transport = self._transport, transport
+        try:
+            old_transport.close()
+        except Exception:  # pragma: no cover - best-effort
+            pass
+        with self._lock:
+            if not resumed:
+                self._applied = start
+            self._primary_end = None
+            self._lag_bytes = None
+            self._restart_requested = False
+            self._error = None
+            self._connected = True
+        self._applier = threading.Thread(
+            target=self._apply_loop,
+            args=(transport,),
+            name=f"koko-{self.name}-applier",
+            daemon=True,
+        )
+        self._applier.start()
+        return resumed
+
+    # ------------------------------------------------------------------
+    # the applier
+    # ------------------------------------------------------------------
+    def _apply_loop(self, transport) -> None:
+        """Drain *transport* (this incarnation's own — a reconnect starts a
+        fresh loop on a fresh transport) and apply shipped records."""
+        unacked = 0
+        try:
+            while True:
+                message = transport.recv(timeout=0.5)
+                if message is None:
+                    if unacked:
+                        unacked = self._send_ack(transport)
+                    continue
+                kind = message[0]
+                if kind == "records":
+                    _, batch, primary_end = message
+                    for position, payload in batch:
+                        record = WalRecord.from_payload(payload)
+                        self.service.apply_replicated(record)
+                        with self._lock:
+                            self._applied = position
+                            self._records_applied += 1
+                        unacked += 1
+                        if unacked >= self._ack_every_records:
+                            unacked = self._send_ack(transport)
+                    self._note_primary_end(primary_end)
+                elif kind == "heartbeat":
+                    info = message[1]
+                    self._note_primary_end(info.get("end"), info.get("lag_bytes"))
+                    # always ack: an idle-but-caught-up follower must keep
+                    # refreshing its liveness (and its WAL retention pin)
+                    unacked = self._send_ack(transport)
+                elif kind == "restart":
+                    with self._lock:
+                        self._restart_requested = True
+                        self._error = message[1].get("reason")
+                    return
+        except TransportClosed:
+            pass
+        except Exception as exc:
+            with self._lock:
+                self._error = repr(exc)
+        finally:
+            with self._lock:
+                self._connected = False
+            # a dead applier means a dead connection: closing the channel
+            # ends the primary's session instead of letting it ship into
+            # a queue nobody drains
+            try:
+                transport.close()
+            except Exception:  # pragma: no cover - best-effort
+                pass
+
+    def _send_ack(self, transport) -> int:
+        applied = self.applied_position
+        if applied is not None:
+            transport.send(("ack", applied))
+        return 0
+
+    def _note_primary_end(self, end, lag_bytes=None) -> None:
+        with self._lock:
+            if end is not None and (
+                self._primary_end is None or end > self._primary_end
+            ):
+                self._primary_end = end
+            if lag_bytes is not None:
+                self._lag_bytes = lag_bytes
+            elif (
+                self._applied is not None
+                and self._primary_end is not None
+                and self._applied >= self._primary_end
+            ):
+                self._lag_bytes = 0
+
+    # ------------------------------------------------------------------
+    # replication state
+    # ------------------------------------------------------------------
+    @property
+    def applied_position(self) -> WalPosition | None:
+        """The log position of the last applied record."""
+        with self._lock:
+            return self._applied
+
+    @property
+    def primary_position(self) -> WalPosition | None:
+        """The primary's durable end, as last reported to this replica."""
+        with self._lock:
+            return self._primary_end
+
+    @property
+    def lag_bytes(self) -> int | None:
+        """Byte distance behind the primary (0 = caught up; None = unknown).
+
+        Exact 0 when the applied position has reached the last reported
+        primary end; otherwise the primary-computed byte distance from the
+        latest heartbeat.
+        """
+        with self._lock:
+            if (
+                self._applied is not None
+                and self._primary_end is not None
+                and self._applied >= self._primary_end
+            ):
+                return 0
+            return self._lag_bytes
+
+    @property
+    def connected(self) -> bool:
+        """True while the applier is attached to a live session."""
+        with self._lock:
+            return self._connected
+
+    @property
+    def restart_requested(self) -> bool:
+        """True when the primary told this replica to re-bootstrap."""
+        with self._lock:
+            return self._restart_requested
+
+    @property
+    def records_applied(self) -> int:
+        """Total shipped records applied since this replica bootstrapped."""
+        with self._lock:
+            return self._records_applied
+
+    def caught_up_to(self, token: WalPosition | None) -> bool:
+        """True when every write at or before *token* has been applied."""
+        if token is None:
+            return True
+        applied = self.applied_position
+        return applied is not None and applied >= token
+
+    def wait_caught_up(
+        self, token: WalPosition | None = None, timeout: float = 30.0
+    ) -> bool:
+        """Poll until :meth:`caught_up_to` *token* (default: the primary end
+        last reported) or *timeout*; returns the final caught-up verdict."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            target = token if token is not None else self.primary_position
+            if target is not None and self.caught_up_to(target):
+                return True
+            if not self.connected:
+                break
+            time.sleep(0.01)
+        target = token if token is not None else self.primary_position
+        return self.caught_up_to(target)
+
+    def replication_stats(self) -> dict:
+        """Lag and apply counters, in the shape operators monitor."""
+        lag = self.lag_bytes  # property: exact 0 when caught up
+        with self._lock:
+            return {
+                "name": self.name,
+                "connected": self._connected,
+                "restart_requested": self._restart_requested,
+                "applied_position": str(self._applied) if self._applied else None,
+                "primary_position": (
+                    str(self._primary_end) if self._primary_end else None
+                ),
+                "lag_bytes": lag,
+                "records_applied": self._records_applied,
+                "bootstrap_checkpoint_id": self._bootstrap_checkpoint_id,
+                "error": self._error,
+            }
+
+    # ------------------------------------------------------------------
+    # the read-only service surface
+    # ------------------------------------------------------------------
+    def query(self, query, **kwargs):
+        """Evaluate one query against the replica's current state.
+
+        Identical semantics to :meth:`KokoService.query` — same caches,
+        same per-shard read locks, tuple-identical results when caught up
+        with the primary.  A read racing a :meth:`reconnect` rebuild (the
+        old inner service closes as the replacement swaps in) is retried
+        once against the replacement.
+        """
+        service = self.service
+        try:
+            return service.query(query, **kwargs)
+        except ServiceError:
+            if service is not self.service:  # lost the race with a rebuild
+                return self.service.query(query, **kwargs)
+            raise
+
+    def query_batch(self, queries, **kwargs):
+        """Concurrent batch evaluation (see :meth:`KokoService.query_batch`)."""
+        service = self.service
+        try:
+            return service.query_batch(queries, **kwargs)
+        except ServiceError:
+            if service is not self.service:
+                return self.service.query_batch(queries, **kwargs)
+            raise
+
+    def add_document(self, *args, **kwargs):
+        """Replicas are read-only: raises :class:`ReplicationError`."""
+        raise ReplicationError(f"{self.name} is a read-only replica")
+
+    def remove_document(self, *args, **kwargs):
+        """Replicas are read-only: raises :class:`ReplicationError`."""
+        raise ReplicationError(f"{self.name} is a read-only replica")
+
+    @property
+    def stats(self):
+        """The inner service's :class:`~repro.service.stats.ServiceStats`."""
+        return self.service.stats
+
+    def statistics(self):
+        """Merged :class:`~repro.indexing.koko_index.IndexStatistics`."""
+        return self.service.statistics()
+
+    def document_ids(self) -> list[str]:
+        """Ids of every document currently applied on this replica."""
+        return self.service.document_ids()
+
+    @property
+    def generations(self) -> tuple[int, ...]:
+        """Per-shard generation stamps (mirror the primary's when caught up)."""
+        return self.service.generations
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards (always the primary's topology)."""
+        return self.service.shard_count
+
+    def __len__(self) -> int:
+        return len(self.service)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the primary and shut the inner service down."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._transport.close()
+        except Exception:  # pragma: no cover - best-effort
+            pass
+        if self._applier.is_alive():
+            self._applier.join(timeout=5.0)
+        self.service.close()
+
+    def __enter__(self) -> "ReplicaService":
+        """Context-manager entry: the replica itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ReplicaService(name={self.name!r}, documents={len(self)}, "
+            f"applied={self.applied_position}, connected={self.connected})"
+        )

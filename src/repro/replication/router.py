@@ -1,0 +1,307 @@
+"""A replica-aware query router: primary + N replicas behind one ``query()``.
+
+:class:`ReplicaSet` fans read traffic across a primary
+:class:`~repro.service.KokoService` and any number of read-only
+followers, with the staleness controls a replicated read path needs:
+
+* **round-robin** across healthy, sufficiently-fresh replicas (the
+  primary serves whatever the replicas cannot);
+* **read-your-writes** — :meth:`add_document` / :meth:`remove_document`
+  return the primary's durable WAL position as an *offset token*; a
+  query carrying ``read_your_writes=token`` is only routed to replicas
+  whose applied position has reached the token (else the primary serves
+  it);
+* **bounded staleness** — ``max_lag_bytes`` (per router or per query)
+  rejects replicas whose byte lag behind the primary exceeds the bound;
+* **failover** — a replica that disconnected, whose applier died, that
+  was told to re-bootstrap, or that has made no apply progress for
+  ``failover_seconds`` while the primary advanced, stops receiving
+  queries; a replica that raises mid-query is skipped and the query is
+  re-routed (ultimately to the primary, which always answers).
+
+The router is synchronous and in-process: it holds direct references to
+the replica objects.  Cross-process read scaling runs one router (or a
+bare replica) per process — see ``benchmarks/bench_replication.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import KokoSemanticError, KokoSyntaxError
+from ..persistence import WalPosition
+
+__all__ = ["ReplicaSet", "ReplicaSetStats"]
+
+_UNSET = object()
+
+
+class ReplicaSetStats:
+    """Routing counters for one :class:`ReplicaSet`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.primary_queries = 0
+        self.replica_queries: dict[str, int] = {}
+        self.read_your_writes_rejections = 0
+        self.lag_rejections = 0
+        self.health_rejections = 0
+        self.failovers = 0
+
+    def record_primary(self) -> None:
+        """Account one query served by the primary."""
+        with self._lock:
+            self.primary_queries += 1
+
+    def record_replica(self, name: str) -> None:
+        """Account one query served by replica *name*."""
+        with self._lock:
+            self.replica_queries[name] = self.replica_queries.get(name, 0) + 1
+
+    def record_rejection(self, kind: str) -> None:
+        """Account one replica skipped for staleness/health (*kind*)."""
+        with self._lock:
+            if kind == "read_your_writes":
+                self.read_your_writes_rejections += 1
+            elif kind == "lag":
+                self.lag_rejections += 1
+            else:
+                self.health_rejections += 1
+
+    def record_failover(self) -> None:
+        """Account one replica that failed mid-query and was routed around."""
+        with self._lock:
+            self.failovers += 1
+
+    def snapshot(self) -> dict:
+        """A point-in-time dict of every routing counter."""
+        with self._lock:
+            return {
+                "primary_queries": self.primary_queries,
+                "replica_queries": dict(self.replica_queries),
+                "read_your_writes_rejections": self.read_your_writes_rejections,
+                "lag_rejections": self.lag_rejections,
+                "health_rejections": self.health_rejections,
+                "failovers": self.failovers,
+            }
+
+
+class _ReplicaHealth:
+    """Progress tracking for failover decisions."""
+
+    def __init__(self) -> None:
+        self.last_applied: WalPosition | None = None
+        self.last_progress_monotonic = time.monotonic()
+        self.suspended = False
+
+
+class ReplicaSet:
+    """Routes reads across a primary and its replicas; writes to the primary.
+
+    Parameters
+    ----------
+    primary:
+        The writable :class:`~repro.service.KokoService`.
+    replicas:
+        Initial read-only followers (more can join via :meth:`add_replica`).
+    max_lag_bytes:
+        Default staleness bound: replicas lagging more than this many
+        bytes behind the primary's durable end are not routed to.
+        ``None`` (default) accepts any lag.
+    failover_seconds:
+        A replica whose applied position has not advanced for this long —
+        while the primary's log end is ahead of it — is considered stuck
+        ("stopped acking") and taken out of rotation until it progresses
+        again.
+    """
+
+    def __init__(
+        self,
+        primary,
+        replicas=(),
+        max_lag_bytes: int | None = None,
+        failover_seconds: float = 5.0,
+    ) -> None:
+        self.primary = primary
+        self.max_lag_bytes = max_lag_bytes
+        self.failover_seconds = failover_seconds
+        self.stats = ReplicaSetStats()
+        self._lock = threading.Lock()
+        self._replicas: list = []
+        self._health: dict[int, _ReplicaHealth] = {}
+        self._rr = 0
+        for replica in replicas:
+            self.add_replica(replica)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_replica(self, replica) -> None:
+        """Put *replica* into the read rotation."""
+        with self._lock:
+            if replica not in self._replicas:
+                self._replicas.append(replica)
+                self._health[id(replica)] = _ReplicaHealth()
+
+    def remove_replica(self, replica) -> None:
+        """Take *replica* out of the rotation (idempotent; does not close it)."""
+        with self._lock:
+            if replica in self._replicas:
+                self._replicas.remove(replica)
+                self._health.pop(id(replica), None)
+
+    @property
+    def replicas(self) -> list:
+        """The replicas currently in rotation."""
+        with self._lock:
+            return list(self._replicas)
+
+    # ------------------------------------------------------------------
+    # writes (primary only) — return offset tokens
+    # ------------------------------------------------------------------
+    def add_document(self, text: str, doc_id: str | None = None, **kwargs):
+        """Ingest through the primary; returns ``(document, token)``.
+
+        The token is the primary's durable WAL position *after* the add —
+        pass it to :meth:`query` as ``read_your_writes`` to guarantee the
+        answering node has applied this write.  ``None`` on a memory-only
+        primary (which cannot replicate anyway).
+        """
+        document = self.primary.add_document(text, doc_id=doc_id, **kwargs)
+        return document, self.primary.wal_position()
+
+    def remove_document(self, doc_id: str):
+        """Remove through the primary; returns ``(document, token)``."""
+        document = self.primary.remove_document(doc_id)
+        return document, self.primary.wal_position()
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query,
+        read_your_writes: WalPosition | None = None,
+        max_lag_bytes=_UNSET,
+        prefer_primary: bool = False,
+        **kwargs,
+    ):
+        """Evaluate one query on the freshest-eligible node.
+
+        Parameters
+        ----------
+        query:
+            Query text (or pre-parsed/compiled form), as
+            :meth:`KokoService.query` accepts.
+        read_your_writes:
+            An offset token from :meth:`add_document` /
+            :meth:`remove_document`: only replicas that have applied up to
+            the token are eligible (the primary trivially is).
+        max_lag_bytes:
+            Per-query override of the router's staleness bound.
+        prefer_primary:
+            Route to the primary outright (diagnostics; strongest
+            consistency).
+        **kwargs:
+            Forwarded to the serving node's ``query``.
+        """
+        if not prefer_primary:
+            bound = self.max_lag_bytes if max_lag_bytes is _UNSET else max_lag_bytes
+            for replica in self._eligible(read_your_writes, bound):
+                try:
+                    result = replica.query(query, **kwargs)
+                except (KokoSyntaxError, KokoSemanticError):
+                    raise  # the query's fault — every node would refuse it
+                except Exception:
+                    self.stats.record_failover()
+                    self._suspend(replica)
+                    continue
+                self.stats.record_replica(getattr(replica, "name", repr(replica)))
+                return result
+        self.stats.record_primary()
+        return self.primary.query(query, **kwargs)
+
+    def query_batch(self, queries, **kwargs) -> list:
+        """Route a batch query-by-query (each picks the next eligible node)."""
+        return [self.query(query, **kwargs) for query in queries]
+
+    def _eligible(self, token: WalPosition | None, max_lag: int | None):
+        """Replicas fit to serve, round-robin rotated, staleness-checked."""
+        with self._lock:
+            replicas = list(self._replicas)
+            start = self._rr
+            self._rr += 1
+        count = len(replicas)
+        for index in range(count):
+            replica = replicas[(start + index) % count]
+            if not self._healthy(replica):
+                self.stats.record_rejection("health")
+                continue
+            if token is not None and not replica.caught_up_to(token):
+                self.stats.record_rejection("read_your_writes")
+                continue
+            if max_lag is not None:
+                lag = replica.lag_bytes
+                if lag is None or lag > max_lag:
+                    self.stats.record_rejection("lag")
+                    continue
+            yield replica
+
+    def _healthy(self, replica) -> bool:
+        """Connected, applying, not told to re-bootstrap, not stuck."""
+        if (
+            not replica.connected
+            or replica.restart_requested
+        ):
+            return False
+        health = self._health.get(id(replica))
+        if health is None:  # pragma: no cover - removed concurrently
+            return False
+        now = time.monotonic()
+        applied = replica.applied_position
+        with self._lock:
+            if applied != health.last_applied:
+                health.last_applied = applied
+                health.last_progress_monotonic = now
+                health.suspended = False
+            if health.suspended:
+                return False
+            primary_end = self.primary.wal_position()
+            behind = (
+                primary_end is not None
+                and (applied is None or applied < primary_end)
+            )
+            if behind and now - health.last_progress_monotonic > self.failover_seconds:
+                return False  # stopped acking while the primary advanced
+        return True
+
+    def _suspend(self, replica) -> None:
+        """Bench a replica that failed a query until it shows progress."""
+        with self._lock:
+            health = self._health.get(id(replica))
+            if health is not None:
+                health.suspended = True
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def routing_stats(self) -> dict:
+        """Routing counters plus each member's replication state."""
+        members = []
+        for replica in self.replicas:
+            describe = getattr(replica, "replication_stats", None)
+            members.append(describe() if describe else repr(replica))
+        return {
+            "routing": self.stats.snapshot(),
+            "replicas": members,
+            "primary_position": (
+                str(self.primary.wal_position())
+                if self.primary.wal_position() is not None
+                else None
+            ),
+        }
+
+    def __len__(self) -> int:
+        """Number of replicas currently in rotation."""
+        return len(self.replicas)

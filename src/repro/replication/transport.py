@@ -1,0 +1,199 @@
+"""Pluggable message transports for log shipping.
+
+Replication messages are small Python tuples (plus snapshot byte blobs);
+a transport moves them between a primary-side shipper session and one
+follower, in order, full-duplex:
+
+* :class:`InProcessTransport` — a pair of queues, for replicas living in
+  the same process (tests, benchmarks, embedded read scaling);
+* :class:`TcpTransport` — length-prefixed pickle frames over a TCP
+  socket, for replicas in other processes or on other hosts.
+
+Both ends expose the same three calls: ``send(message)``,
+``recv(timeout) -> message | None`` (``None`` = nothing arrived in time)
+and ``close()``.  A closed or broken channel raises
+:class:`TransportClosed` from either call, which the shipper and replica
+treat as the end of the session.
+
+**Trust model**: frames carry pickles — exactly what the WAL and
+snapshots already store on disk — so the TCP transport is for links
+inside one trust domain (the same place the primary's disk lives).  Do
+not expose a shipping port to untrusted peers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import socket
+import struct
+import threading
+
+from ..errors import ReplicationError
+
+__all__ = [
+    "InProcessTransport",
+    "TcpTransport",
+    "TransportClosed",
+    "connect_tcp",
+]
+
+_LENGTH = struct.Struct("<Q")
+
+#: sentinel a closing end pushes so a blocked reader wakes immediately
+_CLOSED = object()
+
+
+class TransportClosed(ReplicationError):
+    """The peer closed the channel (or the channel broke)."""
+
+
+class InProcessTransport:
+    """One end of an in-memory duplex message pipe.
+
+    Build both ends with :meth:`pair`; messages put into one end come out
+    of the other in order.  ``close()`` on either end wakes and closes
+    both.
+    """
+
+    def __init__(
+        self, outbox: "queue.Queue", inbox: "queue.Queue", name: str = "in-process"
+    ) -> None:
+        self._outbox = outbox
+        self._inbox = inbox
+        self._closed = threading.Event()
+        self.name = name
+
+    @classmethod
+    def pair(cls) -> tuple["InProcessTransport", "InProcessTransport"]:
+        """A connected ``(primary_end, replica_end)`` transport pair."""
+        a_to_b: queue.Queue = queue.Queue()
+        b_to_a: queue.Queue = queue.Queue()
+        primary = cls(a_to_b, b_to_a, name="in-process/primary")
+        replica = cls(b_to_a, a_to_b, name="in-process/replica")
+        # closing either end must wake the other's blocked recv
+        primary._peer = replica  # type: ignore[attr-defined]
+        replica._peer = primary  # type: ignore[attr-defined]
+        return primary, replica
+
+    def send(self, message) -> None:
+        """Enqueue one message for the peer."""
+        if self._closed.is_set():
+            raise TransportClosed(f"{self.name} transport is closed")
+        self._outbox.put(message)
+
+    def recv(self, timeout: float | None = None):
+        """The next message, or ``None`` after *timeout* seconds of silence."""
+        if self._closed.is_set() and self._inbox.empty():
+            raise TransportClosed(f"{self.name} transport is closed")
+        try:
+            message = self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if message is _CLOSED:
+            self._closed.set()
+            raise TransportClosed(f"{self.name} transport is closed")
+        return message
+
+    def close(self) -> None:
+        """Close both ends (idempotent); blocked receivers wake with
+        :class:`TransportClosed`."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        peer = getattr(self, "_peer", None)
+        if peer is not None:
+            peer._closed.set()
+        # wake both directions
+        self._outbox.put(_CLOSED)
+        self._inbox.put(_CLOSED)
+
+
+class TcpTransport:
+    """Length-prefixed pickled messages over one TCP socket.
+
+    ``send`` is serialised by a mutex (frames never interleave); ``recv``
+    is meant for a single consumer thread, matching how the shipper
+    session and the replica applier use it.
+    """
+
+    def __init__(self, sock: socket.socket, name: str | None = None) -> None:
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = False
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - e.g. unix sockets in reuse
+            pass
+        self.name = name or f"tcp/{sock.fileno()}"
+
+    def send(self, message) -> None:
+        """Frame and send one message; raises :class:`TransportClosed` on a
+        broken pipe."""
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._send_lock:
+            if self._closed:
+                raise TransportClosed(f"{self.name} transport is closed")
+            try:
+                self._sock.sendall(_LENGTH.pack(len(payload)) + payload)
+            except OSError as exc:
+                self._closed = True
+                raise TransportClosed(f"{self.name}: send failed: {exc}") from exc
+
+    def _read_exact(self, count: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except (socket.timeout, BlockingIOError, InterruptedError):
+                if chunks:
+                    # mid-frame wait: keep reading, the frame is coming
+                    continue
+                raise socket.timeout() from None
+            except OSError as exc:
+                raise TransportClosed(f"{self.name}: recv failed: {exc}") from exc
+            if not chunk:
+                raise TransportClosed(f"{self.name}: peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self, timeout: float | None = None):
+        """The next message, or ``None`` after *timeout* seconds of silence."""
+        with self._recv_lock:
+            if self._closed:
+                raise TransportClosed(f"{self.name} transport is closed")
+            # never 0 — that flips the socket into non-blocking mode, where
+            # recv raises instead of waiting
+            self._sock.settimeout(max(timeout, 1e-4) if timeout is not None else None)
+            try:
+                header = self._read_exact(_LENGTH.size)
+                payload = self._read_exact(_LENGTH.unpack(header)[0])
+            except socket.timeout:
+                return None
+            except TransportClosed:
+                self._closed = True
+                raise
+        return pickle.loads(payload)
+
+    def close(self) -> None:
+        """Shut the socket down (idempotent); the peer's recv raises."""
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort
+            pass
+
+
+def connect_tcp(host: str, port: int, timeout: float = 10.0) -> TcpTransport:
+    """Dial a primary's shipping listener and return the replica-side
+    transport."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return TcpTransport(sock, name=f"tcp/{host}:{port}")

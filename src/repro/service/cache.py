@@ -28,14 +28,21 @@ V = TypeVar("V")
 
 
 class _LruDict(Generic[V]):
-    """A tiny thread-safe LRU mapping (capacity-bounded OrderedDict)."""
+    """A tiny thread-safe LRU mapping (capacity-bounded OrderedDict).
 
-    def __init__(self, capacity: int) -> None:
+    ``on_evict`` (when given) observes every capacity eviction — called
+    outside the mutex so observers may take their own locks freely.
+    """
+
+    def __init__(
+        self, capacity: int, on_evict: Callable[[Hashable], None] | None = None
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, V] = OrderedDict()
+        self._on_evict = on_evict
 
     def get(self, key: Hashable) -> V | None:
         """The cached value for *key* (refreshing recency), else None."""
@@ -47,11 +54,15 @@ class _LruDict(Generic[V]):
 
     def put(self, key: Hashable, value: V) -> None:
         """Insert/refresh *key*, evicting least-recently-used overflow."""
+        evicted: list[Hashable] = []
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted.append(self._entries.popitem(last=False)[0])
+        if self._on_evict is not None:
+            for evicted_key in evicted:
+                self._on_evict(evicted_key)
 
     def evict(self, key: Hashable) -> None:
         """Drop *key* if present."""
@@ -102,10 +113,29 @@ class ResultCache(Generic[V]):
     The stamp may be a plain int (one global generation) or a tuple of
     per-shard generations (the service stamps full results with the vector
     and per-shard partials with that shard's own counter).
+
+    Evictions are observable through the optional ``on_evict(stale:
+    bool)`` callback — ``True`` for a generation-mismatch eviction
+    spotted at lookup, ``False`` for a capacity (lru) eviction — which
+    the service wires into its per-shard
+    :class:`~repro.service.stats.ServiceStats` counters, the raw inputs
+    of cache-sizing decisions.  (Hits and misses are recorded by the
+    caller, which knows which shard and query the lookup was for.)
     """
 
-    def __init__(self, capacity: int = 256) -> None:
-        self._entries: _LruDict[tuple[Hashable, V]] = _LruDict(capacity)
+    def __init__(
+        self,
+        capacity: int = 256,
+        on_evict: Callable[[bool], None] | None = None,
+    ) -> None:
+        self._entries: _LruDict[tuple[Hashable, V]] = _LruDict(
+            capacity, on_evict=self._forward_lru_eviction
+        )
+        self._on_evict = on_evict
+
+    def _forward_lru_eviction(self, _key: Hashable) -> None:
+        if self._on_evict is not None:
+            self._on_evict(False)
 
     def get(self, key: Hashable, generation: Hashable) -> V | None:
         """The value cached under *key* at exactly *generation*, else None.
@@ -119,6 +149,8 @@ class ResultCache(Generic[V]):
         stamped_generation, value = entry
         if stamped_generation != generation:
             self._entries.evict(key)
+            if self._on_evict is not None:
+                self._on_evict(True)
             return None
         return value
 

@@ -64,10 +64,12 @@ Lock hierarchy (see ``docs/ARCHITECTURE.md`` for the full map)::
       │                         write-locks exactly one shard
       └─ WAL internal locks   — frame append mutex + group-commit condvar
 
-    The meta lock is never held while annotating, fsyncing (on the add
-    path) or executing queries.  Remove/`add_annotated_document` append to
-    the WAL under the meta lock (they have no off-lock work to pipeline),
-    which is safe because the WAL's own locks are leaves of the hierarchy.
+    The meta lock is never held while annotating, fsyncing or executing
+    queries: adds *and* removes follow the claim → log-off-lock → apply
+    shape, so no group commit (including any ``sync_interval`` linger)
+    ever happens under the meta lock.  Only ``add_annotated_document``
+    still appends under it (it has no off-lock work to pipeline), which is
+    safe because the WAL's own locks are leaves of the hierarchy.
 
 Consistency note: a result served from the cache always corresponds to one
 vector of shard generations.  An uncached query that overlaps an in-flight
@@ -102,6 +104,7 @@ from ..persistence import (
     RecoveryManager,
     SnapshotState,
     StorageLayout,
+    WalPosition,
     WalRecord,
     WriteAheadLog,
     write_snapshot,
@@ -227,6 +230,16 @@ class KokoService:
         (default: 256 ops / 8 MiB / 300 s, whichever first).  Use
         ``CheckpointPolicy.disabled()`` for explicit :meth:`checkpoint`
         calls only.
+    max_inflight_ingest_bytes:
+        Admission bound on the staged write path: the total text bytes of
+        documents that have claimed an ingest slot but not yet committed
+        (i.e. are annotating, logging or splicing).  A claim that would
+        exceed the bound **blocks** until in-flight ingests drain — a
+        runaway producer back-pressures instead of exhausting memory.  A
+        single document larger than the bound is still admitted (alone),
+        so no input can deadlock the pipeline.  ``None`` (default) admits
+        unconditionally.  Waits are counted in
+        ``stats.ingest_backpressure_waits``.
     wal_sync:
         fsync the WAL on every logged operation (default True).  Appends
         from concurrent writers share fsyncs via group commit.
@@ -237,6 +250,14 @@ class KokoService:
         happens only while a flush is already in flight.  Raising it
         trades single-write commit latency for fewer, larger fsyncs under
         concurrent load.
+    bootstrap_snapshot:
+        A :class:`~repro.persistence.SnapshotState` to adopt as the initial
+        in-memory state — the replication bootstrap path: a follower
+        receives a primary's snapshot over the wire and constructs its
+        service from it directly, with no storage directory of its own.
+        Mutually exclusive with ``storage_dir``; the snapshot's shard
+        count and name win exactly as a recovered on-disk snapshot's
+        would.
     expander, vectors, dictionaries, use_gsp, use_default_vectors:
         Forwarded to every shard's :class:`~repro.koko.engine.KokoEngine`.
     """
@@ -251,11 +272,13 @@ class KokoService:
         max_workers: int = 4,
         annotation_workers: int | None = None,
         annotation_processes: bool = False,
+        max_inflight_ingest_bytes: int | None = None,
         storage_dir: str | Path | None = None,
         checkpoint_policy: CheckpointPolicy | None = None,
         wal_sync: bool = True,
         sync_interval: float = 0.0,
         checkpoint_poll_seconds: float = 0.2,
+        bootstrap_snapshot: SnapshotState | None = None,
         expander: DescriptorExpander | None = None,
         vectors: VectorStore | None = None,
         dictionaries: dict[str, set[str]] | None = None,
@@ -264,6 +287,16 @@ class KokoService:
     ) -> None:
         if shards is not None and shards <= 0:
             raise ServiceError(f"shards must be positive, got {shards}")
+        if max_inflight_ingest_bytes is not None and max_inflight_ingest_bytes <= 0:
+            raise ServiceError(
+                f"max_inflight_ingest_bytes must be positive, got "
+                f"{max_inflight_ingest_bytes}"
+            )
+        if bootstrap_snapshot is not None and storage_dir is not None:
+            raise ServiceError(
+                "bootstrap_snapshot and storage_dir are mutually exclusive "
+                "(a shipped snapshot bootstraps a memory-only follower)"
+            )
         self.pipeline = pipeline or Pipeline()
 
         # ---- durability: recover any existing on-disk state first, since
@@ -293,6 +326,14 @@ class KokoService:
                     )
                 shards = recovered.snapshot.num_shards
                 name = recovered.snapshot.name
+        elif bootstrap_snapshot is not None:
+            if shards is not None and shards != bootstrap_snapshot.num_shards:
+                raise ServiceError(
+                    f"bootstrap snapshot holds {bootstrap_snapshot.num_shards} "
+                    f"shard(s) but {shards} were requested"
+                )
+            shards = bootstrap_snapshot.num_shards
+            name = bootstrap_snapshot.name
 
         shards = shards if shards is not None else 1
         self.name = name
@@ -310,6 +351,8 @@ class KokoService:
         self._index_set = ShardedIndexSet(shards)
         if recovered is not None and recovered.snapshot is not None:
             self._index_set.shards = list(recovered.snapshot.index_sets)
+        elif bootstrap_snapshot is not None:
+            self._index_set.shards = list(bootstrap_snapshot.index_sets)
         self._shards = [
             _Shard(i, f"{name}/shard{i}", self._index_set.shards[i], engine_kwargs)
             for i in range(shards)
@@ -317,12 +360,20 @@ class KokoService:
         self.max_workers = max_workers
         self.stats = ServiceStats()
         self._plan_cache = PlanCache(plan_cache_size)
-        self._result_cache: ResultCache[KokoResult] = ResultCache(result_cache_size)
-        # per-(query, shard) partials, each stamped with its shard's own
-        # generation — the unit of reuse that survives other shards' ingests
-        self._shard_result_cache: ResultCache[KokoResult] = ResultCache(
-            result_cache_size * shards
+        self._result_cache: ResultCache[KokoResult] = ResultCache(
+            result_cache_size, on_evict=self.stats.record_result_cache_eviction
         )
+        # per-(query, shard) partials, one cache per shard so each shard's
+        # own generation stamps its entries and hit/miss/eviction counters
+        # attribute cleanly — the unit of reuse that survives other shards'
+        # ingests, and the raw data of the cache-sizing question
+        self._shard_result_caches: list[ResultCache[KokoResult]] = [
+            ResultCache(
+                result_cache_size,
+                on_evict=partial(self._record_shard_cache_eviction, shard_id),
+            )
+            for shard_id in range(shards)
+        ]
         # Serialises the *metadata* of corpus mutation — sid reservation,
         # doc-id claims, routing, generation finalisation — without ever
         # blocking the per-shard read side.  Annotation, WAL fsync (add
@@ -332,9 +383,17 @@ class KokoService:
         self._meta_cond = threading.Condition(self._meta_lock)
         self._doc_shard: dict[str, int] = {}
         self._pending_docs: set[str] = set()
+        self._pending_removes: set[str] = set()
         self._sid_reservations: dict[int, int] = {}  # base sid -> reserved count
         self._inflight_ingests = 0
         self._ingest_barrier = 0
+        # admission control: text bytes of claimed-but-uncommitted ingests
+        self._max_inflight_ingest_bytes = max_inflight_ingest_bytes
+        self._inflight_ingest_bytes = 0
+        self._claimed_ingest_bytes: dict[str, int] = {}  # doc id -> admitted bytes
+        # WAL retention pins (log shipping): callables returning the lowest
+        # segment id a subscriber still needs, or None when idle
+        self._wal_pins: list = []
         self._next_sid = 0
         self._generations = [0] * shards
         self._shard_pool: ThreadPoolExecutor | None = (
@@ -393,6 +452,14 @@ class KokoService:
                 self._maybe_checkpoint, poll_seconds=checkpoint_poll_seconds
             )
             self._checkpoint_scheduler.start()
+        elif bootstrap_snapshot is not None:
+            self._adopt_snapshot(bootstrap_snapshot)
+            self.stats.record_recovery(
+                time.perf_counter() - recovery_started,
+                documents=len(self._doc_shard),
+                replayed=0,
+                torn_tail=False,
+            )
 
     # ------------------------------------------------------------------
     # durability lifecycle
@@ -407,19 +474,27 @@ class KokoService:
         """
         return cls(storage_dir=storage_dir, **kwargs)
 
+    def _adopt_snapshot(self, snapshot: SnapshotState) -> None:
+        """Attach a restored snapshot's documents and counters to the shards.
+
+        Shared by on-disk recovery and the replication bootstrap: the
+        index sets were already installed at construction; this wires the
+        documents, routing table, sid counter and generation stamps.
+        """
+        for shard_id, shard in enumerate(self._shards):
+            documents = snapshot.documents_by_shard[shard_id]
+            shard.adopt(documents)
+            for document in documents:
+                self._doc_shard[document.doc_id] = shard_id
+        self._next_sid = snapshot.next_sid
+        self._generations = list(snapshot.generations)
+        self._checkpoint_id = snapshot.checkpoint_id
+
     def _finish_recovery(self, recovered) -> None:
         """Adopt the snapshot, replay the WAL tail, and open the live WAL."""
         assert self._layout is not None
         if recovered.snapshot is not None:
-            snapshot = recovered.snapshot
-            for shard_id, shard in enumerate(self._shards):
-                documents = snapshot.documents_by_shard[shard_id]
-                shard.adopt(documents)
-                for document in documents:
-                    self._doc_shard[document.doc_id] = shard_id
-            self._next_sid = snapshot.next_sid
-            self._generations = list(snapshot.generations)
-            self._checkpoint_id = snapshot.checkpoint_id
+            self._adopt_snapshot(recovered.snapshot)
         for record in recovered.operations:
             if record.op == OP_ADD:
                 if record.document is None or record.doc_id in self._doc_shard:
@@ -522,7 +597,7 @@ class KokoService:
             # mutated after ingest), so writers proceed while we fsync.
             write_snapshot(self._layout, state)
             self._layout.write_current(sealed)
-            self._layout.prune(sealed)
+            self._layout.prune(sealed, wal_keep_from=self._wal_pin_floor())
             self._checkpoint_id = sealed
         self.stats.record_checkpoint(time.perf_counter() - started, sealed)
         return sealed
@@ -547,6 +622,94 @@ class KokoService:
     def storage_dir(self) -> Path | None:
         """Root of the durability layout, or None for a memory-only service."""
         return self._layout.root if self._layout is not None else None
+
+    # ------------------------------------------------------------------
+    # replication hooks (see repro.replication)
+    # ------------------------------------------------------------------
+    def wal_position(self) -> WalPosition | None:
+        """The durable end of the write-ahead log, or None when memory-only.
+
+        Monotonic across rotations, so it works as a *read-your-writes*
+        token: a position captured after :meth:`add_document` returns
+        covers that document (the record was fsynced before the return),
+        and a replica whose applied position is ``>=`` the token has the
+        write.
+        """
+        wal = self._wal
+        return wal.durable_position() if wal is not None else None
+
+    def register_wal_pin(self, pin) -> None:
+        """Register a WAL retention pin (a log-shipping subscriber).
+
+        *pin* is a callable returning the lowest WAL segment id the
+        subscriber still needs, or ``None`` when it needs nothing.
+        Checkpoints keep every segment at or above the lowest pinned id
+        when pruning, so a follower tailing segment *N* never has it
+        folded away mid-read.
+        """
+        with self._meta_lock:
+            self._wal_pins.append(pin)
+
+    def unregister_wal_pin(self, pin) -> None:
+        """Drop a previously registered retention pin (idempotent)."""
+        with self._meta_lock:
+            if pin in self._wal_pins:
+                self._wal_pins.remove(pin)
+
+    def _wal_pin_floor(self) -> int | None:
+        """The lowest WAL segment id any registered pin still needs."""
+        with self._meta_lock:
+            pins = list(self._wal_pins)
+        floors = []
+        for pin in pins:
+            try:
+                floor = pin()
+            except Exception:  # pragma: no cover - defensive: a dying
+                continue  # subscriber must not wedge checkpoints
+            if floor is not None:
+                floors.append(floor)
+        return min(floors, default=None)
+
+    def apply_replicated(self, record: WalRecord) -> Document:
+        """Apply one shipped WAL record to this service (replication follower).
+
+        The replica-side splice path: the record is applied exactly as WAL
+        replay would — same routing, same sid accounting, same generation
+        bump — but nothing is logged locally (the primary's log is the
+        source of truth).  Returns the added or removed document.  Raises
+        :class:`PersistenceError` on a record inconsistent with the
+        current state (duplicate add, remove of an unknown id), which on a
+        follower means the stream diverged and a re-bootstrap is needed.
+        """
+        started = time.perf_counter()
+        with self._meta_lock:
+            self._ensure_open()
+            if record.op == OP_ADD:
+                if record.document is None or record.doc_id in self._doc_shard:
+                    raise PersistenceError(
+                        f"replicated add of {record.doc_id!r} is inconsistent "
+                        f"with the follower state"
+                    )
+                document = record.document
+                shard = self._apply_add_locked(document)
+                shard_id, removed = shard.shard_id, False
+            elif record.op == OP_REMOVE:
+                if record.doc_id not in self._doc_shard:
+                    raise PersistenceError(
+                        f"replicated remove of unknown document {record.doc_id!r}"
+                    )
+                shard_id, document = self._apply_remove_locked(record.doc_id)
+                removed = True
+            else:
+                raise PersistenceError(f"replicated record has unknown op {record.op!r}")
+        self.stats.record_ingest(
+            time.perf_counter() - started,
+            len(document),
+            document.num_tokens,
+            removed=removed,
+            shard=shard_id,
+        )
+        return document
 
     @property
     def checkpoint_id(self) -> int:
@@ -604,7 +767,9 @@ class KokoService:
         # keeps the count an exact upper bound of the sids annotate() will
         # assign.
         reserve = len(self.pipeline.tokenizer.split_sentences(text))
-        resolved_id, base_sid, consumed = self._claim_ingest(doc_id, reserve, first_sid)
+        resolved_id, base_sid, consumed = self._claim_ingest(
+            doc_id, reserve, first_sid, ingest_bytes=len(text.encode("utf-8"))
+        )
         logged = False
         try:
             # Stage 1 (no lock): heavy NLP annotation.
@@ -664,26 +829,36 @@ class KokoService:
     def remove_document(self, doc_id: str) -> Document:
         """Un-index and drop one document; returns it.
 
-        Runs under the meta lock (plus the target shard's write lock for
-        the un-splice) — including the WAL append, so on a durable
-        service a removal stalls other metadata operations for one group
-        commit (fsync + any ``sync_interval`` linger).  That is a
-        deliberate simplicity trade-off: removals are rare next to adds;
-        a staged remove path is a noted follow-on.  Removing a document
-        that is still mid-ingest raises :class:`ServiceError`; the
-        removal is WAL-logged before it is applied.
+        Staged exactly like :meth:`add_document`: the meta lock is held
+        only to *claim* the removal (validate the id, mark it in flight so
+        checkpoints drain it and conflicting operations are rejected); the
+        WAL append — one group commit, including any ``sync_interval``
+        linger — runs **off every lock**; the un-splice then write-locks
+        only the target shard.  No fsync ever happens under the meta lock,
+        so removals never stall unrelated metadata operations (claims,
+        reservations, other commits).
+
+        Removing a document that is mid-ingest, or already mid-removal,
+        raises :class:`ServiceError`.  On a durable service the removal is
+        WAL-logged (and fsynced) *before* it is applied — durable before
+        invisible.
         """
         started = time.perf_counter()
-        with self._meta_lock:
-            self._ensure_open()
-            if doc_id in self._pending_docs:
-                raise ServiceError(f"document id {doc_id!r} is still being ingested")
-            if doc_id not in self._doc_shard:
-                raise ServiceError(f"unknown document id {doc_id!r}")
+        document, shard_id = self._claim_remove(doc_id)
+        logged = False
+        try:
+            # Off-lock: group-committed WAL append (durable before applied).
             self._log(WalRecord(op=OP_REMOVE, doc_id=doc_id))
-            shard_id, document = self._apply_remove_locked(doc_id)
-            if self._wal is not None:
-                self._ops_since_checkpoint += 1
+            logged = self._wal is not None
+            # One shard's write lock: un-splice the postings.
+            shard = self._shards[shard_id]
+            with shard.lock.write_locked():
+                shard.unsplice(document)
+                self._generations[shard_id] += 1
+        except BaseException:
+            self._abort_remove(doc_id, document if logged else None)
+            raise
+        self._commit_remove(doc_id)
         self.stats.record_ingest(
             time.perf_counter() - started,
             len(document),
@@ -721,7 +896,11 @@ class KokoService:
 
     # -- staged-pipeline plumbing --------------------------------------
     def _claim_ingest(
-        self, doc_id: str | None, reserve: int, first_sid: int | None
+        self,
+        doc_id: str | None,
+        reserve: int,
+        first_sid: int | None,
+        ingest_bytes: int = 0,
     ) -> tuple[str, int, tuple[int, int] | None]:
         """Claim a doc id and reserve a sid range (meta lock, microseconds).
 
@@ -729,11 +908,24 @@ class KokoService:
         last element is the ``(base, count)`` of a :meth:`reserve_sids`
         reservation this claim consumed (so an aborted ingest can restore
         it), or ``None``.  The claim blocks while a checkpoint drain
-        barrier is up, and marks the ingest in-flight so checkpoints wait
-        for it symmetrically.
+        barrier is up — or, with ``max_inflight_ingest_bytes`` set, while
+        admitting *ingest_bytes* would push the in-flight annotation bytes
+        over the bound (backpressure; an oversized document is still
+        admitted once the pipeline is empty, so nothing deadlocks) — and
+        marks the ingest in-flight so checkpoints wait for it
+        symmetrically.
         """
         with self._meta_cond:
-            while self._ingest_barrier:
+            waited_for_admission = False
+            while self._ingest_barrier or (
+                self._max_inflight_ingest_bytes is not None
+                and self._inflight_ingest_bytes > 0
+                and self._inflight_ingest_bytes + ingest_bytes
+                > self._max_inflight_ingest_bytes
+            ):
+                if not self._ingest_barrier and not waited_for_admission:
+                    waited_for_admission = True
+                    self.stats.record_backpressure_wait()
                 self._meta_cond.wait()
             self._ensure_open()
             resolved = doc_id if doc_id is not None else self._fresh_doc_id()
@@ -766,6 +958,9 @@ class KokoService:
                 self._next_sid += reserve
             self._pending_docs.add(resolved)
             self._inflight_ingests += 1
+            if ingest_bytes:
+                self._inflight_ingest_bytes += ingest_bytes
+                self._claimed_ingest_bytes[resolved] = ingest_bytes
             return resolved, base, consumed
 
     def _annotate_off_lock(self, text: str, doc_id: str, first_sid: int) -> Document:
@@ -792,6 +987,7 @@ class KokoService:
         with self._meta_cond:
             self._doc_shard[doc_id] = shard_id
             self._pending_docs.discard(doc_id)
+            self._inflight_ingest_bytes -= self._claimed_ingest_bytes.pop(doc_id, 0)
             if self._wal is not None:
                 self._ops_since_checkpoint += 1
             self._inflight_ingests -= 1
@@ -828,6 +1024,7 @@ class KokoService:
                 pass
         with self._meta_cond:
             self._pending_docs.discard(doc_id)
+            self._inflight_ingest_bytes -= self._claimed_ingest_bytes.pop(doc_id, 0)
             if reservation is not None:
                 self._sid_reservations.setdefault(*reservation)
             self._inflight_ingests -= 1
@@ -835,6 +1032,78 @@ class KokoService:
                 # the add + compensating remove both count toward the
                 # checkpoint policy's ops threshold
                 self._ops_since_checkpoint += 2
+            self._meta_cond.notify_all()
+
+    def _claim_remove(self, doc_id: str) -> tuple[Document, int]:
+        """Claim a staged removal (meta lock, microseconds).
+
+        Validates the id, marks it mid-removal (conflicting adds and
+        removes are rejected until commit/abort) and counts the operation
+        in flight so checkpoint drains cover it.  Returns the live
+        document and its shard — stable for the duration of the claim:
+        nothing else may touch a claimed id.
+        """
+        with self._meta_cond:
+            while self._ingest_barrier:
+                self._meta_cond.wait()
+            self._ensure_open()
+            if doc_id in self._pending_docs:
+                raise ServiceError(f"document id {doc_id!r} is still being ingested")
+            if doc_id in self._pending_removes:
+                raise ServiceError(f"document id {doc_id!r} is already being removed")
+            if doc_id not in self._doc_shard:
+                raise ServiceError(f"unknown document id {doc_id!r}")
+            shard_id = self._doc_shard[doc_id]
+            document = self._shards[shard_id].documents.get(doc_id)
+            if document is None:
+                # a previous removal failed partway through its un-splice:
+                # the id is routed but the document is gone from the shard
+                raise ServiceError(
+                    f"document id {doc_id!r} is in an inconsistent state "
+                    f"after a failed removal; reopen the service to replay "
+                    f"the durable history"
+                )
+            self._pending_removes.add(doc_id)
+            self._inflight_ingests += 1
+            return document, shard_id
+
+    def _commit_remove(self, doc_id: str) -> None:
+        """Publish a finished staged removal (meta lock, microseconds)."""
+        with self._meta_cond:
+            self._doc_shard.pop(doc_id, None)
+            self._pending_removes.discard(doc_id)
+            if self._wal is not None:
+                self._ops_since_checkpoint += 1
+            self._inflight_ingests -= 1
+            self._meta_cond.notify_all()
+
+    def _abort_remove(self, doc_id: str, logged_document: Document | None) -> None:
+        """Roll back a failed staged removal.
+
+        When the removal was already WAL-logged but the un-splice failed
+        (*logged_document* is the still-live document), a compensating
+        ``add`` record is appended so replay nets to nothing — otherwise a
+        restart would drop a document whose removal the caller saw fail.
+        """
+        if logged_document is not None:
+            try:
+                self._log(
+                    WalRecord(
+                        op=OP_ADD,
+                        doc_id=doc_id,
+                        document=logged_document,
+                    )
+                )
+            except Exception:
+                # The WAL itself is failing; the original error (about to
+                # propagate) is the actionable one.  The orphaned remove
+                # record can at worst drop this document on restart.
+                pass
+        with self._meta_cond:
+            self._pending_removes.discard(doc_id)
+            if logged_document is not None and self._wal is not None:
+                self._ops_since_checkpoint += 2
+            self._inflight_ingests -= 1
             self._meta_cond.notify_all()
 
     def _log(self, record: WalRecord) -> None:
@@ -962,15 +1231,15 @@ class KokoService:
         pending: list[_Shard] = []
         for shard in self._shards:
             cached = (
-                self._shard_result_cache.get(
-                    (cache_key, shard.shard_id), self._generations[shard.shard_id]
+                self._shard_result_caches[shard.shard_id].get(
+                    cache_key, self._generations[shard.shard_id]
                 )
                 if cache_key is not None
                 else None
             )
             if cached is not None:
                 partials[shard.shard_id] = cached
-                self.stats.record_shard_partial(reused=True)
+                self.stats.record_shard_partial(reused=True, shard=shard.shard_id)
             else:
                 pending.append(shard)
         if pending:
@@ -1016,10 +1285,14 @@ class KokoService:
                 keep_all_scores=keep_all_scores,
             )
         if cache_key is not None:
-            self._shard_result_cache.put((cache_key, shard.shard_id), generation, result)
-            self.stats.record_shard_partial(reused=False)
+            self._shard_result_caches[shard.shard_id].put(cache_key, generation, result)
+            self.stats.record_shard_partial(reused=False, shard=shard.shard_id)
         self.stats.record_shard_query(shard.shard_id, time.perf_counter() - started)
         return result
+
+    def _record_shard_cache_eviction(self, shard_id: int, stale: bool) -> None:
+        """Forward one shard-partial-cache eviction into the service stats."""
+        self.stats.record_shard_cache_eviction(shard_id, stale=stale)
 
     def query_batch(
         self,
@@ -1220,6 +1493,12 @@ class KokoService:
     def corpora(self) -> list[Corpus]:
         """Every shard's corpus slice, in shard order."""
         return [shard.corpus for shard in self._shards]
+
+    @property
+    def inflight_ingest_bytes(self) -> int:
+        """Text bytes of ingests currently claimed but not yet committed."""
+        with self._meta_lock:
+            return self._inflight_ingest_bytes
 
     def next_sid(self) -> int:
         """The first sentence id a newly annotated document should use.

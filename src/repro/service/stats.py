@@ -44,6 +44,16 @@ class ServiceStats:
         # per-shard partial-result cache (generation-stamped per shard)
         self.shard_partials_reused = 0
         self.shard_partials_computed = 0
+        # per-shard result-cache accounting (feeds cache sizing decisions)
+        self.shard_cache_hits: dict[int, int] = {}
+        self.shard_cache_misses: dict[int, int] = {}
+        self.shard_cache_stale_evictions: dict[int, int] = {}
+        self.shard_cache_lru_evictions: dict[int, int] = {}
+        # full-result cache evictions (stale = generation turnover, lru = capacity)
+        self.result_cache_stale_evictions = 0
+        self.result_cache_lru_evictions = 0
+        # ingest admission control (max_inflight_ingest_bytes)
+        self.ingest_backpressure_waits = 0
         # durability: write-ahead log, group commit, checkpoints, recovery
         self.wal_records_appended = 0
         self.wal_bytes_appended = 0
@@ -131,13 +141,48 @@ class ServiceStats:
                 self.shard_query_seconds.get(shard, 0.0) + seconds
             )
 
-    def record_shard_partial(self, *, reused: bool) -> None:
-        """Account one shard partial served from (or stored into) its cache."""
+    def record_shard_partial(self, *, reused: bool, shard: int | None = None) -> None:
+        """Account one shard partial served from (or stored into) its cache.
+
+        With ``shard`` given, the event also lands in that shard's
+        hit/miss breakdown (reused = a cache hit for the shard).
+        """
         with self._lock:
             if reused:
                 self.shard_partials_reused += 1
+                if shard is not None:
+                    self.shard_cache_hits[shard] = self.shard_cache_hits.get(shard, 0) + 1
             else:
                 self.shard_partials_computed += 1
+                if shard is not None:
+                    self.shard_cache_misses[shard] = (
+                        self.shard_cache_misses.get(shard, 0) + 1
+                    )
+
+    def record_shard_cache_eviction(self, shard: int, *, stale: bool) -> None:
+        """Account one eviction from shard *shard*'s partial-result cache."""
+        with self._lock:
+            if stale:
+                self.shard_cache_stale_evictions[shard] = (
+                    self.shard_cache_stale_evictions.get(shard, 0) + 1
+                )
+            else:
+                self.shard_cache_lru_evictions[shard] = (
+                    self.shard_cache_lru_evictions.get(shard, 0) + 1
+                )
+
+    def record_result_cache_eviction(self, stale: bool) -> None:
+        """Account one eviction from the full-result cache."""
+        with self._lock:
+            if stale:
+                self.result_cache_stale_evictions += 1
+            else:
+                self.result_cache_lru_evictions += 1
+
+    def record_backpressure_wait(self) -> None:
+        """Account one ingest claim that blocked on the in-flight bytes bound."""
+        with self._lock:
+            self.ingest_backpressure_waits += 1
 
     def record_wal_append(self, frame_bytes: int) -> None:
         """Account one operation made durable in the write-ahead log."""
@@ -250,6 +295,30 @@ class ServiceStats:
                 for shard in sorted(shards)
             }
 
+    def shard_cache_breakdown(self) -> dict[int, dict[str, int]]:
+        """Per-shard result-cache hit/miss/eviction counters.
+
+        The raw material of the cache-sizing question: a shard with high
+        misses and high lru evictions wants a bigger partial cache; high
+        stale evictions mean ingest churn, which no capacity fixes.
+        """
+        with self._lock:
+            shards = (
+                set(self.shard_cache_hits)
+                | set(self.shard_cache_misses)
+                | set(self.shard_cache_stale_evictions)
+                | set(self.shard_cache_lru_evictions)
+            )
+            return {
+                shard: {
+                    "hits": self.shard_cache_hits.get(shard, 0),
+                    "misses": self.shard_cache_misses.get(shard, 0),
+                    "stale_evictions": self.shard_cache_stale_evictions.get(shard, 0),
+                    "lru_evictions": self.shard_cache_lru_evictions.get(shard, 0),
+                }
+                for shard in sorted(shards)
+            }
+
     def snapshot(self) -> dict[str, object]:
         """A point-in-time dict of every metric (for logs / benchmarks)."""
         with self._lock:
@@ -276,6 +345,10 @@ class ServiceStats:
             "per_shard": self.shard_breakdown(),
             "shard_partials_reused": self.shard_partials_reused,
             "shard_partials_computed": self.shard_partials_computed,
+            "per_shard_result_cache": self.shard_cache_breakdown(),
+            "result_cache_stale_evictions": self.result_cache_stale_evictions,
+            "result_cache_lru_evictions": self.result_cache_lru_evictions,
+            "ingest_backpressure_waits": self.ingest_backpressure_waits,
             "durability": {
                 "wal_records_appended": self.wal_records_appended,
                 "wal_bytes_appended": self.wal_bytes_appended,

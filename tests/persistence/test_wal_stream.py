@@ -1,0 +1,211 @@
+"""WAL streaming: frame scans, positions, and cursor iteration across
+rotation boundaries (the log-shipping read path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persistence import (
+    StorageLayout,
+    WalCursor,
+    WalPosition,
+    WalRecord,
+    WriteAheadLog,
+    read_frames,
+)
+
+
+def layout_at(tmp_path) -> StorageLayout:
+    layout = StorageLayout(tmp_path / "svc")
+    layout.initialise()
+    return layout
+
+
+def record(index: int) -> WalRecord:
+    return WalRecord(op="remove", doc_id=f"doc{index}")
+
+
+def decode(payloads) -> list[str]:
+    return [WalRecord.from_payload(p).doc_id for p in payloads]
+
+
+# ----------------------------------------------------------------------
+# read_frames
+# ----------------------------------------------------------------------
+def test_read_frames_reports_offsets_and_payloads(tmp_path):
+    layout = layout_at(tmp_path)
+    wal = WriteAheadLog(layout, segment_id=1)
+    sizes = [wal.append(record(i)) for i in range(3)]
+    wal.close()
+
+    scan = read_frames(layout.wal_path(1))
+    assert decode(p for _, p in scan.frames) == ["doc0", "doc1", "doc2"]
+    assert [end for end, _ in scan.frames] == [
+        sum(sizes[: i + 1]) for i in range(3)
+    ]
+    assert scan.end_offset == sum(sizes)
+    assert not scan.partial_tail
+
+    # resume mid-stream: start at the first frame's end offset
+    resumed = read_frames(layout.wal_path(1), start_offset=scan.frames[0][0])
+    assert decode(p for _, p in resumed.frames) == ["doc1", "doc2"]
+
+
+def test_read_frames_stops_at_torn_tail(tmp_path):
+    layout = layout_at(tmp_path)
+    wal = WriteAheadLog(layout, segment_id=1)
+    for i in range(2):
+        wal.append(record(i))
+    wal.close()
+    path = layout.wal_path(1)
+    intact = path.stat().st_size
+    path.write_bytes(path.read_bytes() + b"\x07\x00\x00\x00garbage")
+
+    scan = read_frames(path)
+    assert decode(p for _, p in scan.frames) == ["doc0", "doc1"]
+    assert scan.end_offset == intact
+    assert scan.partial_tail
+
+
+def test_wal_position_totally_orders_across_segments():
+    assert WalPosition(1, 500) < WalPosition(2, 0) < WalPosition(2, 10)
+    assert WalPosition(3, 7) == WalPosition(3, 7)
+    assert max(WalPosition(2, 900), WalPosition(3, 1)) == WalPosition(3, 1)
+
+
+def test_durable_position_tracks_appends_and_rotation(tmp_path):
+    layout = layout_at(tmp_path)
+    wal = WriteAheadLog(layout, segment_id=1)
+    assert wal.durable_position() == WalPosition(1, 0)
+    wal.append(record(0))
+    first = wal.durable_position()
+    assert first.segment_id == 1 and first.offset > 0
+    wal.rotate()
+    assert wal.durable_position() == WalPosition(2, 0)
+    wal.append(record(1))
+    assert wal.durable_position() > WalPosition(2, 0)
+    wal.close()
+
+
+# ----------------------------------------------------------------------
+# cursor iteration across rotation boundaries (satellite)
+# ----------------------------------------------------------------------
+def test_cursor_follows_live_tail_then_crosses_rotation(tmp_path):
+    """A reader positioned in segment N keeps every record when the
+    primary rotates to N+1 mid-tail."""
+    layout = layout_at(tmp_path)
+    wal = WriteAheadLog(layout, segment_id=1)
+    cursor = WalCursor(layout, WalPosition(1, 0))
+
+    wal.append(record(0))
+    wal.append(record(1))
+    first = cursor.poll()
+    assert decode(p for _, p in first) == ["doc0", "doc1"]
+    assert cursor.position.segment_id == 1
+    assert cursor.poll() == []  # caught up with the live tail
+
+    # primary appends more, then rotates while the cursor sits in segment 1
+    wal.append(record(2))
+    wal.rotate()
+    wal.append(record(3))
+    wal.append(record(4))
+
+    batch = cursor.poll()
+    assert decode(p for _, p in batch) == ["doc2", "doc3", "doc4"]
+    assert [p.segment_id for p, _ in batch] == [1, 2, 2]
+    assert cursor.position.segment_id == 2
+    wal.close()
+
+
+def test_cursor_crosses_multiple_rotations_and_empty_segments(tmp_path):
+    layout = layout_at(tmp_path)
+    wal = WriteAheadLog(layout, segment_id=1)
+    cursor = WalCursor(layout, WalPosition(1, 0))
+    wal.append(record(0))
+    wal.rotate()  # segment 2 stays empty
+    wal.rotate()
+    wal.append(record(1))
+    wal.close()
+
+    batch = cursor.poll()
+    assert decode(p for _, p in batch) == ["doc0", "doc1"]
+    assert [p.segment_id for p, _ in batch] == [1, 3]
+
+
+def test_cursor_respects_batch_bounds(tmp_path):
+    layout = layout_at(tmp_path)
+    wal = WriteAheadLog(layout, segment_id=1)
+    for i in range(5):
+        wal.append(record(i))
+    wal.close()
+
+    cursor = WalCursor(layout, WalPosition(1, 0))
+    assert len(cursor.poll(max_records=2)) == 2
+    assert len(cursor.poll(max_records=2)) == 2
+    assert len(cursor.poll(max_records=2)) == 1
+    assert cursor.poll(max_records=2) == []
+
+    tiny = WalCursor(layout, WalPosition(1, 0))
+    assert len(tiny.poll(max_bytes=1)) == 1  # at least one frame per poll
+
+
+def test_cursor_resumes_from_reported_positions(tmp_path):
+    layout = layout_at(tmp_path)
+    wal = WriteAheadLog(layout, segment_id=1)
+    wal.append(record(0))
+    wal.rotate()
+    wal.append(record(1))
+    wal.close()
+
+    full = WalCursor(layout, WalPosition(1, 0)).poll()
+    mid_position = full[0][0]
+    resumed = WalCursor(layout, mid_position).poll()
+    assert decode(p for _, p in resumed) == ["doc1"]
+
+
+def test_cursor_raises_when_pruned_past(tmp_path):
+    layout = layout_at(tmp_path)
+    wal = WriteAheadLog(layout, segment_id=1)
+    wal.append(record(0))
+    wal.rotate()
+    wal.append(record(1))
+    wal.close()
+    layout.wal_path(1).unlink()  # the cursor's segment is gone
+
+    cursor = WalCursor(layout, WalPosition(1, 0))
+    with pytest.raises(PersistenceError, match="pruned"):
+        cursor.poll()
+
+
+def test_cursor_rejects_corrupt_sealed_segment(tmp_path):
+    layout = layout_at(tmp_path)
+    wal = WriteAheadLog(layout, segment_id=1)
+    wal.append(record(0))
+    path = layout.wal_path(1)
+    wal.rotate()  # seal segment 1, create segment 2
+    wal.close()
+    path.write_bytes(path.read_bytes() + b"\x99\x00\x00\x00corrupt!")
+
+    cursor = WalCursor(layout, WalPosition(1, 0))
+    with pytest.raises(PersistenceError, match="corrupt"):
+        cursor.poll()
+
+
+# ----------------------------------------------------------------------
+# prune retention pins
+# ----------------------------------------------------------------------
+def test_prune_keeps_segments_at_or_above_the_pin(tmp_path):
+    layout = layout_at(tmp_path)
+    wal = WriteAheadLog(layout, segment_id=1)
+    for _ in range(4):
+        wal.append(record(0))
+        wal.rotate()
+    wal.close()
+    assert layout.wal_segment_ids() == [1, 2, 3, 4, 5]
+
+    layout.prune(4, wal_keep_from=2)  # a follower still tails segment 2
+    assert layout.wal_segment_ids() == [2, 3, 4, 5]
+
+    layout.prune(4)  # pin released: normal retention applies
+    assert layout.wal_segment_ids() == [5]

@@ -1,0 +1,296 @@
+"""Shipping + replica acceptance: a follower restored from snapshot plus
+shipped WAL tail returns tuple-identical results to the primary, with zero
+re-annotation, across checkpoint rotations and follower restarts."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.persistence import CheckpointPolicy
+from repro.replication import (
+    InProcessTransport,
+    LogShipper,
+    ReplicaService,
+    connect_tcp,
+)
+from repro.service import KokoService
+
+ENTITY_QUERY = (
+    'extract e:Entity, d:Str from input.txt if '
+    '(/ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) } (b) in (e))'
+)
+CITY_QUERY = (
+    'extract a:GPE from "input.txt" if () satisfying a '
+    '(a SimilarTo "city" {1.0}) with threshold 0.3'
+)
+
+TEXTS = [
+    "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+    "Anna ate some delicious cheesecake that she bought at a grocery store.",
+    "cities in asian countries such as Beijing and Tokyo.",
+    "Paolo visited Beijing and ate a delicious croissant.",
+    "Maria ate a delicious pie in Tokyo.",
+    "The barista in Osaka served a delicious espresso.",
+]
+
+
+def as_rows(result):
+    return [(t.doc_id, t.sid, t.values, t.scores) for t in result]
+
+
+class ExplodingPipeline:
+    """Proves the replica's apply path never re-runs NLP annotation."""
+
+    def annotate(self, *args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("replicas must never re-annotate")
+
+
+def attach_replica(shipper, **kwargs) -> ReplicaService:
+    primary_end, replica_end = InProcessTransport.pair()
+    shipper.serve(primary_end)
+    kwargs.setdefault("pipeline", ExplodingPipeline())
+    return ReplicaService(replica_end, **kwargs)
+
+
+def assert_identical(primary, replica):
+    assert replica.wait_caught_up(primary.wal_position()), (
+        replica.replication_stats()
+    )
+    assert len(replica) == len(primary)
+    assert sorted(replica.document_ids()) == sorted(primary.document_ids())
+    assert replica.generations == primary.generations
+    for query in (ENTITY_QUERY, CITY_QUERY):
+        assert as_rows(replica.query(query)) == as_rows(primary.query(query))
+
+
+# ----------------------------------------------------------------------
+# acceptance: tuple-identical at shards 1 and 4, zero re-annotation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 4])
+def test_replica_is_tuple_identical_after_bootstrap_and_tail(tmp_path, shards):
+    with KokoService(shards=shards, storage_dir=tmp_path / "svc") as primary:
+        for index, text in enumerate(TEXTS[:3]):
+            primary.add_document(text, f"doc{index}")
+        primary.checkpoint()  # part of the state arrives via snapshot...
+        primary.add_document(TEXTS[3], "doc3")  # ...and part via the tail
+        primary.remove_document("doc0")
+
+        shipper = LogShipper(primary)
+        replica = attach_replica(shipper)
+        try:
+            assert_identical(primary, replica)
+            assert replica.lag_bytes == 0
+            # and the replica keeps converging as the primary keeps writing
+            primary.add_document(TEXTS[4], "doc4")
+            assert_identical(primary, replica)
+        finally:
+            replica.close()
+            shipper.close()
+
+
+def test_replica_rejects_writes(tmp_path):
+    from repro.errors import ReplicationError
+
+    with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
+        primary.add_document(TEXTS[0], "doc0")
+        shipper = LogShipper(primary)
+        replica = attach_replica(shipper)
+        try:
+            with pytest.raises(ReplicationError):
+                replica.add_document("nope", "x")
+            with pytest.raises(ReplicationError):
+                replica.remove_document("doc0")
+        finally:
+            replica.close()
+            shipper.close()
+
+
+# ----------------------------------------------------------------------
+# checkpoint rotation mid-tail: shipping must never lose records
+# ----------------------------------------------------------------------
+def test_replica_survives_checkpoint_rotations_mid_tail(tmp_path):
+    with KokoService(
+        shards=2,
+        storage_dir=tmp_path / "svc",
+        checkpoint_policy=CheckpointPolicy.disabled(),
+    ) as primary:
+        primary.add_document(TEXTS[0], "doc0")
+        shipper = LogShipper(primary)
+        replica = attach_replica(shipper)
+        try:
+            assert replica.wait_caught_up(primary.wal_position())
+            # rotate repeatedly while the follower tails; every record must
+            # arrive even though the segments it reads keep getting sealed
+            for round_index, text in enumerate(TEXTS[1:5], start=1):
+                primary.add_document(text, f"doc{round_index}")
+                assert primary.checkpoint() is not None
+            primary.remove_document("doc2")
+            assert_identical(primary, replica)
+            # the shipped-from segments were pinned, not pruned mid-read
+            assert replica.records_applied == 6
+        finally:
+            replica.close()
+            shipper.close()
+
+
+def test_prune_waits_for_the_shipping_pin(tmp_path):
+    """While a session is attached, checkpoints must retain the segments it
+    still needs; once it detaches, the next checkpoint may collect them."""
+    with KokoService(
+        shards=1,
+        storage_dir=tmp_path / "svc",
+        checkpoint_policy=CheckpointPolicy.disabled(),
+    ) as primary:
+        shipper = LogShipper(primary)
+        layout = primary._layout
+        replica = attach_replica(shipper)
+        try:
+            primary.add_document(TEXTS[0], "doc0")
+            assert replica.wait_caught_up(primary.wal_position())
+            first_segment = min(layout.wal_segment_ids())
+            session = shipper.sessions[0]
+            pinned = session.pin()
+            assert pinned is not None and pinned >= first_segment
+        finally:
+            replica.close()
+            shipper.close()
+        # the session is gone: pins released, pruning proceeds normally
+        deadline = time.monotonic() + 5.0
+        while shipper.sessions and time.monotonic() < deadline:
+            time.sleep(0.01)
+        primary.add_document(TEXTS[1], "doc1")
+        primary.checkpoint()
+        primary.add_document(TEXTS[2], "doc2")
+        primary.checkpoint()
+        assert min(layout.wal_segment_ids()) > first_segment
+
+
+# ----------------------------------------------------------------------
+# follower restart: fresh bootstrap catches up to the live end
+# ----------------------------------------------------------------------
+def test_follower_restart_catches_up_from_fresh_snapshot(tmp_path):
+    with KokoService(shards=2, storage_dir=tmp_path / "svc") as primary:
+        for index, text in enumerate(TEXTS[:2]):
+            primary.add_document(text, f"doc{index}")
+        shipper = LogShipper(primary)
+        first = attach_replica(shipper)
+        try:
+            assert_identical(primary, first)
+        finally:
+            first.close()  # the follower "dies"
+
+        # the primary keeps ingesting and checkpointing meanwhile
+        for index, text in enumerate(TEXTS[2:5], start=2):
+            primary.add_document(text, f"doc{index}")
+        primary.checkpoint()
+
+        second = attach_replica(shipper)  # restart = fresh bootstrap
+        try:
+            assert_identical(primary, second)
+            # restart bootstrapped from the newer checkpoint, not the log
+            # from genesis: far fewer records replayed than ever written
+            assert second.records_applied <= 2
+        finally:
+            second.close()
+            shipper.close()
+
+
+def test_reconnect_resumes_without_rebootstrap(tmp_path):
+    with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
+        primary.add_document(TEXTS[0], "doc0")
+        shipper = LogShipper(primary)
+        primary_end, replica_end = InProcessTransport.pair()
+        shipper.serve(primary_end)
+        replica = ReplicaService(replica_end, pipeline=ExplodingPipeline())
+        try:
+            assert replica.wait_caught_up(primary.wal_position())
+            replica_end.close()  # connection drops
+            deadline = time.monotonic() + 5.0
+            while replica.connected and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert not replica.connected
+
+            primary.add_document(TEXTS[1], "doc1")  # written while detached
+            new_primary_end, new_replica_end = InProcessTransport.pair()
+            shipper.serve(new_primary_end)
+            resumed = replica.reconnect(new_replica_end)
+            assert resumed  # position still on disk: stream continued
+            assert_identical(primary, replica)
+        finally:
+            replica.close()
+            shipper.close()
+
+
+# ----------------------------------------------------------------------
+# TCP transport end to end
+# ----------------------------------------------------------------------
+def test_tcp_shipping_end_to_end(tmp_path):
+    with KokoService(shards=2, storage_dir=tmp_path / "svc") as primary:
+        for index, text in enumerate(TEXTS[:3]):
+            primary.add_document(text, f"doc{index}")
+        shipper = LogShipper(primary)
+        host, port = shipper.listen()
+        replica = ReplicaService(
+            connect_tcp(host, port), pipeline=ExplodingPipeline(), name="tcp-replica"
+        )
+        try:
+            assert_identical(primary, replica)
+            primary.add_document(TEXTS[3], "doc3")
+            assert_identical(primary, replica)
+            sessions = shipper.stats()["sessions"]
+            assert len(sessions) == 1 and sessions[0]["peer"].startswith("tcp/")
+        finally:
+            replica.close()
+            shipper.close()
+
+
+def test_idle_caught_up_follower_never_goes_stalled(tmp_path):
+    """An idle-but-healthy follower keeps acking off heartbeats, so its WAL
+    retention pin survives ingest-quiet periods longer than stall_timeout."""
+    with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
+        primary.add_document(TEXTS[0], "doc0")
+        shipper = LogShipper(primary, heartbeat_interval=0.05, stall_timeout=0.4)
+        replica = attach_replica(shipper)
+        try:
+            assert replica.wait_caught_up(primary.wal_position())
+            time.sleep(0.8)  # two stall_timeouts of pure silence
+            session = shipper.sessions[0]
+            assert not session.stalled
+            assert session.pin() is not None
+        finally:
+            replica.close()
+            shipper.close()
+
+
+def test_dead_applier_closes_its_session(tmp_path):
+    """When the applier thread dies, the primary-side session must end too
+    (nothing keeps shipping into a queue nobody drains)."""
+    with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
+        primary.add_document(TEXTS[0], "doc0")
+        shipper = LogShipper(primary)
+        replica = attach_replica(shipper)
+        try:
+            assert replica.wait_caught_up(primary.wal_position())
+            # make the next apply explode: applier dies on this poisoned state
+            replica.service.close()
+            primary.add_document(TEXTS[1], "doc1")
+            deadline = time.monotonic() + 5.0
+            while (replica.connected or shipper.sessions) and (
+                time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert not replica.connected
+            assert shipper.sessions == []  # session ended with the applier
+        finally:
+            replica.close()
+            shipper.close()
+
+
+def test_shipper_requires_a_durable_primary():
+    from repro.errors import ReplicationError
+
+    with KokoService(shards=1) as memory_only:
+        with pytest.raises(ReplicationError, match="durable"):
+            LogShipper(memory_only)

@@ -1,0 +1,99 @@
+"""Transport contract: ordering, timeouts, close semantics, TCP framing."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.replication import InProcessTransport, TcpTransport, TransportClosed, connect_tcp
+
+
+def test_in_process_pair_delivers_in_order():
+    a, b = InProcessTransport.pair()
+    for i in range(5):
+        a.send(("msg", i))
+    assert [b.recv(timeout=1.0)[1] for _ in range(5)] == list(range(5))
+    b.send(("reply", "ok"))
+    assert a.recv(timeout=1.0) == ("reply", "ok")
+
+
+def test_in_process_recv_timeout_returns_none():
+    a, b = InProcessTransport.pair()
+    assert b.recv(timeout=0.01) is None
+    assert a.recv(timeout=0.0) is None
+
+
+def test_in_process_close_wakes_both_ends():
+    a, b = InProcessTransport.pair()
+    a.send(("queued", 1))
+    a.close()
+    assert b.recv(timeout=1.0) == ("queued", 1)  # queued data still drains
+    with pytest.raises(TransportClosed):
+        b.recv(timeout=1.0)
+    with pytest.raises(TransportClosed):
+        a.send(("late", 2))
+
+
+def test_in_process_close_wakes_a_blocked_receiver():
+    a, b = InProcessTransport.pair()
+    outcome = []
+
+    def blocked_recv():
+        try:
+            b.recv(timeout=30.0)
+        except TransportClosed:
+            outcome.append("closed")
+
+    thread = threading.Thread(target=blocked_recv)
+    thread.start()
+    b.close()
+    thread.join(timeout=5.0)
+    assert outcome == ["closed"]
+
+
+def tcp_pair():
+    import socket
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()[:2]
+    client = connect_tcp(host, port)
+    server_sock, _ = listener.accept()
+    listener.close()
+    return TcpTransport(server_sock), client
+
+
+def test_tcp_roundtrip_and_large_payload():
+    server, client = tcp_pair()
+    try:
+        client.send(("hello", {"resume": None}))
+        assert server.recv(timeout=5.0) == ("hello", {"resume": None})
+        blob = b"x" * (3 * 1024 * 1024)  # bigger than one socket buffer
+        server.send(("snapshot", blob))
+        kind, received = client.recv(timeout=10.0)
+        assert kind == "snapshot" and received == blob
+    finally:
+        server.close()
+        client.close()
+
+
+def test_tcp_zero_timeout_polls_without_breaking_the_stream():
+    server, client = tcp_pair()
+    try:
+        assert server.recv(timeout=0.0) is None  # must not raise / close
+        client.send(("still", "alive"))
+        assert server.recv(timeout=5.0) == ("still", "alive")
+    finally:
+        server.close()
+        client.close()
+
+
+def test_tcp_peer_close_raises_transport_closed():
+    server, client = tcp_pair()
+    client.close()
+    with pytest.raises(TransportClosed):
+        while True:  # may need one recv to observe EOF
+            server.recv(timeout=5.0)
+    server.close()

@@ -1,0 +1,229 @@
+"""Staged removes, ingest backpressure and per-shard cache counters."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.nlp.pipeline import Pipeline
+from repro.persistence import CheckpointPolicy
+from repro.service import KokoService
+
+ENTITY_QUERY = (
+    'extract e:Entity, d:Str from input.txt if '
+    '(/ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) } (b) in (e))'
+)
+
+TEXTS = [
+    "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+    "Anna ate some delicious cheesecake that she bought at a grocery store.",
+    "cities in asian countries such as Beijing and Tokyo.",
+    "Paolo visited Beijing and ate a delicious croissant.",
+    "Maria ate a delicious pie in Tokyo.",
+    "The barista in Osaka served a delicious espresso.",
+]
+
+
+def as_rows(result):
+    return [(t.doc_id, t.sid, t.values, t.scores) for t in result]
+
+
+# ----------------------------------------------------------------------
+# staged removes: claim -> log off-lock -> apply
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 4])
+def test_concurrent_staged_removes_and_adds_stay_consistent(
+    tmp_path, shards, run_threads
+):
+    service = KokoService(shards=shards, storage_dir=tmp_path / "svc")
+    for index, text in enumerate(TEXTS):
+        service.add_document(text, f"doc{index}")
+
+    def work(thread_index: int) -> None:
+        if thread_index < 3:
+            service.remove_document(f"doc{thread_index}")
+        else:
+            service.add_document(TEXTS[thread_index], f"extra{thread_index}")
+
+    run_threads(6, work)
+    expected_ids = sorted(
+        [f"doc{i}" for i in range(3, 6)] + [f"extra{i}" for i in range(3, 6)]
+    )
+    assert sorted(service.document_ids()) == expected_ids
+    expected = as_rows(service.query(ENTITY_QUERY))
+    service.close()
+
+    reopened = KokoService.open(tmp_path / "svc")
+    try:
+        assert sorted(reopened.document_ids()) == expected_ids
+        assert as_rows(reopened.query(ENTITY_QUERY)) == expected
+    finally:
+        reopened.close()
+
+
+def test_staged_remove_is_durable_before_visible(tmp_path):
+    """A remove survives a crash that strikes right after the call returns:
+    the record was fsynced off-lock before the un-splice."""
+    service = KokoService(
+        shards=2,
+        storage_dir=tmp_path / "svc",
+        checkpoint_policy=CheckpointPolicy.disabled(),
+    )
+    for index, text in enumerate(TEXTS[:3]):
+        service.add_document(text, f"doc{index}")
+    service.remove_document("doc1")
+    expected = as_rows(service.query(ENTITY_QUERY))
+    del service  # crash: no close, no checkpoint — the WAL is everything
+
+    recovered = KokoService.open(tmp_path / "svc")
+    try:
+        assert sorted(recovered.document_ids()) == ["doc0", "doc2"]
+        assert as_rows(recovered.query(ENTITY_QUERY)) == expected
+    finally:
+        recovered.close()
+
+
+def test_remove_conflicts_are_rejected():
+    with KokoService(shards=2) as service:
+        service.add_document(TEXTS[0], "doc0")
+        with pytest.raises(ServiceError, match="unknown"):
+            service.remove_document("ghost")
+        service.remove_document("doc0")
+        with pytest.raises(ServiceError, match="unknown"):
+            service.remove_document("doc0")
+
+
+def test_remove_does_not_hold_the_meta_lock_across_the_wal_append(tmp_path):
+    """With a long group-commit linger, a remove in flight must not block
+    an unrelated metadata operation (sid reservation) for the linger."""
+    service = KokoService(
+        shards=2,
+        storage_dir=tmp_path / "svc",
+        sync_interval=0.25,
+        checkpoint_policy=CheckpointPolicy.disabled(),
+    )
+    try:
+        service.add_document(TEXTS[0], "doc0")
+        started = threading.Event()
+
+        def slow_remove():
+            started.set()
+            service.remove_document("doc0")
+
+        remover = threading.Thread(target=slow_remove)
+        remover.start()
+        started.wait()
+        time.sleep(0.02)  # let the remove reach its lingering fsync
+        reserve_started = time.perf_counter()
+        service.reserve_sids(1)  # meta-lock op: must not wait out the linger
+        reserve_seconds = time.perf_counter() - reserve_started
+        remover.join()
+        assert reserve_seconds < 0.2, (
+            f"meta lock was held across the group commit ({reserve_seconds:.3f}s)"
+        )
+    finally:
+        service.close()
+
+
+def test_remove_of_mid_ingest_document_still_raises():
+    class SlowPipeline(Pipeline):
+        def annotate(self, *args, **kwargs):
+            time.sleep(0.15)
+            return super().annotate(*args, **kwargs)
+
+    with KokoService(shards=1, pipeline=SlowPipeline()) as service:
+        adder = threading.Thread(
+            target=service.add_document, args=(TEXTS[0], "doc0")
+        )
+        adder.start()
+        time.sleep(0.05)  # the add is annotating: claimed but not committed
+        with pytest.raises(ServiceError, match="still being ingested"):
+            service.remove_document("doc0")
+        adder.join()
+        service.remove_document("doc0")  # fine once committed
+
+
+# ----------------------------------------------------------------------
+# backpressure: max_inflight_ingest_bytes
+# ----------------------------------------------------------------------
+def test_backpressure_blocks_runaway_producers_and_drains(run_threads):
+    class SlowPipeline(Pipeline):
+        def annotate(self, *args, **kwargs):
+            time.sleep(0.05)
+            return super().annotate(*args, **kwargs)
+
+    bound = len(TEXTS[0].encode()) + 10  # roughly one document in flight
+    with KokoService(
+        shards=2, pipeline=SlowPipeline(), max_inflight_ingest_bytes=bound
+    ) as service:
+
+        def work(index: int) -> None:
+            service.add_document(TEXTS[index], f"doc{index}")
+
+        run_threads(4, work)
+        assert len(service) == 4
+        assert service.inflight_ingest_bytes == 0  # fully drained
+        assert service.stats.ingest_backpressure_waits > 0
+        assert service.stats.snapshot()["ingest_backpressure_waits"] > 0
+
+
+def test_oversized_document_is_admitted_alone():
+    with KokoService(shards=1, max_inflight_ingest_bytes=8) as service:
+        document = service.add_document(TEXTS[0], "huge")  # > bound, no deadlock
+        assert document.doc_id == "huge"
+        assert service.inflight_ingest_bytes == 0
+
+
+def test_backpressure_rejects_nonpositive_bound():
+    with pytest.raises(ServiceError, match="max_inflight_ingest_bytes"):
+        KokoService(max_inflight_ingest_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# per-shard result-cache counters
+# ----------------------------------------------------------------------
+def test_per_shard_cache_counters_track_hits_misses_and_stale_evictions():
+    with KokoService(shards=4) as service:
+        for index, text in enumerate(TEXTS[:4]):
+            service.add_document(text, f"doc{index}")
+        service.query(ENTITY_QUERY)  # 4 partial misses (computed)
+        target = service.shard_of(service.add_document(TEXTS[4], "docX").doc_id)
+        service.query(ENTITY_QUERY)  # 3 reused, 1 recomputed (stale evicted)
+
+        breakdown = service.stats.shard_cache_breakdown()
+        assert sum(b["misses"] for b in breakdown.values()) == 5
+        assert sum(b["hits"] for b in breakdown.values()) == 3
+        assert breakdown[target]["stale_evictions"] == 1
+        assert breakdown[target]["misses"] == 2
+        for shard, counters in breakdown.items():
+            if shard != target:
+                assert counters["stale_evictions"] == 0
+        snapshot = service.stats.snapshot()
+        assert snapshot["per_shard_result_cache"] == breakdown
+
+
+def test_per_shard_cache_lru_evictions_are_counted():
+    with KokoService(shards=2, result_cache_size=1) as service:
+        for index, text in enumerate(TEXTS[:2]):
+            service.add_document(text, f"doc{index}")
+        queries = [ENTITY_QUERY, ENTITY_QUERY + " "]  # two distinct cache keys
+        for query in queries:
+            service.query(query)
+        for query in queries:  # each re-execution evicts the other's entry
+            service.query(query)
+        breakdown = service.stats.shard_cache_breakdown()
+        assert sum(b["lru_evictions"] for b in breakdown.values()) > 0
+
+
+def test_full_result_cache_evictions_are_counted():
+    with KokoService(shards=1, result_cache_size=1) as service:
+        service.add_document(TEXTS[0], "doc0")
+        service.query(ENTITY_QUERY)
+        service.add_document(TEXTS[1], "doc1")  # bumps the generation
+        service.query(ENTITY_QUERY)  # stale entry evicted on sight
+        assert service.stats.result_cache_stale_evictions == 1
+        service.query(ENTITY_QUERY + " ")  # overflows capacity 1
+        assert service.stats.result_cache_lru_evictions >= 1
