@@ -89,9 +89,22 @@ class ReplicaService:
         self._closed = False
         self._bootstrap_checkpoint_id: int | None = None
 
-        mode, start, state = self._handshake(transport, resume=None)
-        assert mode == "snapshot" and state is not None  # fresh subscriptions
-        self.service = KokoService(bootstrap_snapshot=state, **service_kwargs)
+        try:
+            mode, start, state = self._handshake(transport, resume=None)
+            if mode != "snapshot" or state is None:
+                raise ReplicationError(
+                    f"{name}: primary answered a fresh subscription with "
+                    f"{mode!r} instead of a snapshot bootstrap"
+                )
+            self.service = KokoService(bootstrap_snapshot=state, **service_kwargs)
+        except BaseException:
+            # a half-constructed replica has no close(): shut the channel
+            # here so the primary's session ends instead of leaking
+            try:
+                transport.close()
+            except Exception:  # pragma: no cover - best-effort
+                pass
+            raise
         self._bootstrap_checkpoint_id = state.checkpoint_id
         with self._lock:
             self._applied = start
@@ -141,13 +154,32 @@ class ReplicaService:
             raise ReplicationError(f"{self.name} is closed")
         if self._applier.is_alive():  # let the old applier finish dying
             self._applier.join(timeout=5.0)
-        mode, start, state = self._handshake(transport, resume=self.applied_position)
-        resumed = mode == "resume"
-        if not resumed:
-            assert state is not None
-            replacement = KokoService(
-                bootstrap_snapshot=state, **self._service_kwargs
+        try:
+            mode, start, state = self._handshake(
+                transport, resume=self.applied_position
             )
+            if mode not in ("resume", "snapshot") or (
+                mode == "snapshot" and state is None
+            ):
+                raise ReplicationError(
+                    f"{self.name}: unexpected reconnect handshake mode {mode!r}"
+                )
+            resumed = mode == "resume"
+            replacement = (
+                None
+                if resumed
+                else KokoService(bootstrap_snapshot=state, **self._service_kwargs)
+            )
+        except BaseException:
+            # the replica keeps its old (disconnected) state; the caller
+            # may retry, but this transport is dead either way — close it
+            # so the primary's session ends instead of leaking
+            try:
+                transport.close()
+            except Exception:  # pragma: no cover - best-effort
+                pass
+            raise
+        if replacement is not None:
             previous, self.service = self.service, replacement
             self._bootstrap_checkpoint_id = state.checkpoint_id
             previous.close()
@@ -309,7 +341,12 @@ class ReplicaService:
         self, token: WalPosition | None = None, timeout: float = 30.0
     ) -> bool:
         """Poll until :meth:`caught_up_to` *token* (default: the primary end
-        last reported) or *timeout*; returns the final caught-up verdict."""
+        last reported) or *timeout*; returns the final caught-up verdict.
+
+        False when the target is unknown — a replica that never learned
+        the primary's end (disconnected before the first batch or
+        heartbeat) must not report itself in sync.
+        """
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             target = token if token is not None else self.primary_position
@@ -319,7 +356,7 @@ class ReplicaService:
                 break
             time.sleep(0.01)
         target = token if token is not None else self.primary_position
-        return self.caught_up_to(target)
+        return target is not None and self.caught_up_to(target)
 
     def replication_stats(self) -> dict:
         """Lag and apply counters, in the shape operators monitor."""

@@ -16,8 +16,11 @@ followers, with the staleness controls a replicated read path needs:
 * **failover** — a replica that disconnected, whose applier died, that
   was told to re-bootstrap, or that has made no apply progress for
   ``failover_seconds`` while the primary advanced, stops receiving
-  queries; a replica that raises mid-query is skipped and the query is
-  re-routed (ultimately to the primary, which always answers).
+  queries; a replica that raises mid-query is skipped, the query is
+  re-routed (ultimately to the primary, which always answers), and the
+  failed replica is benched for ``suspend_seconds`` — apply progress
+  rehabilitates it sooner, and on a write-idle primary the bench simply
+  expires, so one transient error never removes a replica for good.
 
 The router is synchronous and in-process: it holds direct references to
 the replica objects.  Cross-process read scaling runs one router (or a
@@ -93,7 +96,7 @@ class _ReplicaHealth:
     def __init__(self) -> None:
         self.last_applied: WalPosition | None = None
         self.last_progress_monotonic = time.monotonic()
-        self.suspended = False
+        self.suspended_until = 0.0  # monotonic deadline; 0 = not benched
 
 
 class ReplicaSet:
@@ -114,6 +117,11 @@ class ReplicaSet:
         while the primary's log end is ahead of it — is considered stuck
         ("stopped acking") and taken out of rotation until it progresses
         again.
+    suspend_seconds:
+        How long a replica that raised mid-query stays benched.  Apply
+        progress lifts the bench early; otherwise it expires on its own,
+        so a transient failure on a write-idle primary (where the applied
+        position never moves) cannot bench a replica permanently.
     """
 
     def __init__(
@@ -122,10 +130,12 @@ class ReplicaSet:
         replicas=(),
         max_lag_bytes: int | None = None,
         failover_seconds: float = 5.0,
+        suspend_seconds: float = 1.0,
     ) -> None:
         self.primary = primary
         self.max_lag_bytes = max_lag_bytes
         self.failover_seconds = failover_seconds
+        self.suspend_seconds = suspend_seconds
         self.stats = ReplicaSetStats()
         self._lock = threading.Lock()
         self._replicas: list = []
@@ -264,8 +274,8 @@ class ReplicaSet:
             if applied != health.last_applied:
                 health.last_applied = applied
                 health.last_progress_monotonic = now
-                health.suspended = False
-            if health.suspended:
+                health.suspended_until = 0.0  # progress lifts the bench early
+            if now < health.suspended_until:
                 return False
             primary_end = self.primary.wal_position()
             behind = (
@@ -277,11 +287,12 @@ class ReplicaSet:
         return True
 
     def _suspend(self, replica) -> None:
-        """Bench a replica that failed a query until it shows progress."""
+        """Bench a replica that failed a query for ``suspend_seconds``
+        (apply progress lifts the bench early)."""
         with self._lock:
             health = self._health.get(id(replica))
             if health is not None:
-                health.suspended = True
+                health.suspended_until = time.monotonic() + self.suspend_seconds
 
     # ------------------------------------------------------------------
     # observability

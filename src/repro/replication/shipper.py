@@ -29,6 +29,7 @@ the follower to reconnect — which re-bootstraps from a fresh snapshot.
 
 from __future__ import annotations
 
+import ipaddress
 import socket
 import threading
 import time
@@ -36,9 +37,19 @@ import time
 from ..errors import PersistenceError, ReplicationError
 from ..persistence import WalCursor, WalPosition, read_snapshot_payloads
 from ..persistence.snapshot import find_latest_valid
-from .transport import TcpTransport, TransportClosed
+from .transport import TcpTransport, TransportClosed, issue_auth_challenge
 
 __all__ = ["LogShipper", "ShipperSession"]
+
+
+def _is_loopback(host: str) -> bool:
+    """True when *host* can only be reached from this machine."""
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False  # a hostname: assume reachable, require a token
 
 
 class ShipperSession:
@@ -52,7 +63,9 @@ class ShipperSession:
         self._lock = threading.Lock()
         self._position: WalPosition | None = None  # next-read point
         self._acked: WalPosition | None = None
-        self._last_ack_monotonic = time.monotonic()
+        self._started_monotonic = time.monotonic()
+        self._last_ack_monotonic = self._started_monotonic
+        self._acked_once = False  # True once the follower's first ack lands
         self.records_shipped = 0
         self.bytes_shipped = 0
         self.snapshot_bytes = 0
@@ -85,7 +98,20 @@ class ShipperSession:
 
     @property
     def stalled(self) -> bool:
-        """True when the follower has not acked within ``stall_timeout``."""
+        """True when the follower has not acked within ``stall_timeout``.
+
+        Until the follower's **first ack** lands, the session is exempt up
+        to ``bootstrap_timeout`` instead: a fresh follower first receives
+        the snapshot, then deserialises it and builds its service before
+        its applier can ack anything — legitimately longer than
+        ``stall_timeout``, and dropping the WAL retention pin during that
+        window would let a checkpoint prune exactly the segments the
+        follower is about to need.
+        """
+        with self._lock:
+            if not self._acked_once:
+                elapsed = time.monotonic() - self._started_monotonic
+                return elapsed > self._shipper.bootstrap_timeout
         return self.last_ack_age_seconds > self._shipper.stall_timeout
 
     @property
@@ -168,7 +194,6 @@ class ShipperSession:
             start = self._bootstrap()
         with self._lock:
             self._position = start
-            # a fresh session starts its ack clock now
             self._last_ack_monotonic = time.monotonic()
         cursor = WalCursor(shipper.layout, start)
         last_heartbeat = 0.0
@@ -227,6 +252,10 @@ class ShipperSession:
         if not self._shipper.layout.wal_path(resume.segment_id).exists():
             return None
         self.resumed = True
+        with self._lock:
+            # a resumed follower has live state and can ack immediately:
+            # no bootstrap grace, the ordinary stall clock applies
+            self._acked_once = True
         self._transport.send(("hello", {"mode": "resume", "start": resume}))
         return resume
 
@@ -276,6 +305,9 @@ class ShipperSession:
                     if self._acked is None or acked > self._acked:
                         self._acked = acked
                     self._last_ack_monotonic = time.monotonic()
+                    # the follower is demonstrably alive and applying:
+                    # the ordinary stall clock takes over from here
+                    self._acked_once = True
             block = False  # drain whatever queued, then return
 
     def close(self) -> None:
@@ -305,9 +337,16 @@ class LogShipper:
     batch_max_records, batch_max_bytes:
         Bounds on one ``records`` message.
     stall_timeout:
-        Seconds without an ack after which a session stops pinning WAL
-        segments (and reports itself stalled).  A revived follower whose
-        segments were pruned is told to reconnect and re-bootstrap.
+        Seconds without an ack after which a *tailing* session stops
+        pinning WAL segments (and reports itself stalled).  A revived
+        follower whose segments were pruned is told to reconnect and
+        re-bootstrap.
+    bootstrap_timeout:
+        Seconds a session may hold its retention pin before its
+        follower's **first ack**.  Covers shipping the snapshot *and* the
+        follower deserialising it and building its service — both
+        legitimately slower than ``stall_timeout``; matches the
+        follower's snapshot receive window by default.
     subscribe_timeout:
         Seconds a fresh session waits for the follower's subscribe.
     """
@@ -320,6 +359,7 @@ class LogShipper:
         batch_max_records: int = 256,
         batch_max_bytes: int = 4 * 1024 * 1024,
         stall_timeout: float = 60.0,
+        bootstrap_timeout: float = 600.0,
         subscribe_timeout: float = 30.0,
     ) -> None:
         if service.storage_dir is None:
@@ -333,7 +373,9 @@ class LogShipper:
         self.batch_max_records = batch_max_records
         self.batch_max_bytes = batch_max_bytes
         self.stall_timeout = stall_timeout
+        self.bootstrap_timeout = bootstrap_timeout
         self.subscribe_timeout = subscribe_timeout
+        self._auth_token: bytes | str | None = None
         self._lock = threading.Lock()
         self._sessions: list[ShipperSession] = []
         self._next_session_id = 0
@@ -354,12 +396,35 @@ class LogShipper:
         session.start()
         return session
 
-    def listen(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+    def listen(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_token: bytes | str | None = None,
+        allow_unauthenticated: bool = False,
+    ) -> tuple[str, int]:
         """Accept TCP followers on ``host:port``; returns the bound address.
 
         ``port=0`` binds an ephemeral port.  Each accepted connection gets
         its own :class:`ShipperSession`.
+
+        Replication frames are pickles, so an open shipping port grants
+        whoever reaches it code execution on this process.  With
+        ``auth_token`` set, every accepted connection runs a mutual
+        HMAC-SHA256 challenge-response over raw bytes (see
+        :func:`~repro.replication.transport.connect_tcp`) before either
+        side unpickles a frame; a non-loopback *host* **requires** a token
+        unless
+        ``allow_unauthenticated=True`` explicitly opts out (only for
+        networks that are isolated by other means).
         """
+        if auth_token is None and not allow_unauthenticated and not _is_loopback(host):
+            raise ReplicationError(
+                f"refusing to accept unauthenticated followers on {host!r}: "
+                "frames are pickles (remote code execution for anyone who "
+                "can connect) — pass auth_token=..., or "
+                "allow_unauthenticated=True on an otherwise-isolated network"
+            )
         with self._lock:
             if self._closed:
                 raise ReplicationError("log shipper is closed")
@@ -370,6 +435,7 @@ class LogShipper:
             listener.bind((host, port))
             listener.listen(16)
             self._listener = listener
+            self._auth_token = auth_token
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="koko-shipper-accept", daemon=True
         )
@@ -384,11 +450,30 @@ class LogShipper:
                 sock, addr = listener.accept()
             except OSError:
                 return  # listener closed
+            token = self._auth_token
+            if token is not None and not self._authenticate(sock):
+                sock.close()
+                continue
             try:
                 self.serve(TcpTransport(sock, name=f"tcp/{addr[0]}:{addr[1]}"))
             except ReplicationError:  # pragma: no cover - close race
                 sock.close()
                 return
+
+    def _authenticate(self, sock: socket.socket) -> bool:
+        """Challenge one accepted connection; False on mismatch/timeout.
+
+        Runs inline in the accept loop under a short deadline, so one
+        stalling dialer delays — but cannot wedge — later accepts.
+        """
+        try:
+            sock.settimeout(5.0)
+            if not issue_auth_challenge(sock, self._auth_token):
+                return False
+            sock.settimeout(None)
+            return True
+        except (TransportClosed, OSError):
+            return False
 
     # -- retention + observability --------------------------------------
     def _wal_floor(self) -> int | None:

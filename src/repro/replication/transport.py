@@ -17,14 +17,25 @@ treat as the end of the session.
 
 **Trust model**: frames carry pickles — exactly what the WAL and
 snapshots already store on disk — so the TCP transport is for links
-inside one trust domain (the same place the primary's disk lives).  Do
-not expose a shipping port to untrusted peers.
+inside one trust domain (the same place the primary's disk lives).  A
+non-loopback listener requires a shared ``auth_token`` (see
+:meth:`LogShipper.listen <repro.replication.shipper.LogShipper.listen>`):
+both ends prove knowledge of the token in a mutual HMAC
+challenge-response over raw bytes *before* either unpickles anything
+from the other.  The token gates
+accidental exposure, not a hostile network — the frames themselves are
+neither encrypted nor signed, so still keep shipping ports inside one
+trust domain.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import os
 import pickle
 import queue
+import select
 import socket
 import struct
 import threading
@@ -35,7 +46,9 @@ __all__ = [
     "InProcessTransport",
     "TcpTransport",
     "TransportClosed",
+    "answer_auth_challenge",
     "connect_tcp",
+    "issue_auth_challenge",
 ]
 
 _LENGTH = struct.Struct("<Q")
@@ -122,6 +135,10 @@ class TcpTransport:
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
         self._closed = False
+        # the socket stays permanently blocking: recv timeouts are done via
+        # select(), so they can never leak into a concurrent sendall() —
+        # a socket-level timeout would govern both directions
+        sock.settimeout(None)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # pragma: no cover - e.g. unix sockets in reuse
@@ -147,11 +164,8 @@ class TcpTransport:
         while remaining:
             try:
                 chunk = self._sock.recv(min(remaining, 1 << 20))
-            except (socket.timeout, BlockingIOError, InterruptedError):
-                if chunks:
-                    # mid-frame wait: keep reading, the frame is coming
-                    continue
-                raise socket.timeout() from None
+            except InterruptedError:  # pragma: no cover - signal race
+                continue
             except OSError as exc:
                 raise TransportClosed(f"{self.name}: recv failed: {exc}") from exc
             if not chunk:
@@ -165,14 +179,23 @@ class TcpTransport:
         with self._recv_lock:
             if self._closed:
                 raise TransportClosed(f"{self.name} transport is closed")
-            # never 0 — that flips the socket into non-blocking mode, where
-            # recv raises instead of waiting
-            self._sock.settimeout(max(timeout, 1e-4) if timeout is not None else None)
+            if timeout is not None:
+                # wait for the first byte with select(): the socket itself
+                # stays blocking, so once a frame starts we read it whole
+                try:
+                    ready, _, _ = select.select(
+                        [self._sock], [], [], max(timeout, 0.0)
+                    )
+                except (OSError, ValueError) as exc:
+                    self._closed = True
+                    raise TransportClosed(
+                        f"{self.name}: recv failed: {exc}"
+                    ) from exc
+                if not ready:
+                    return None
             try:
                 header = self._read_exact(_LENGTH.size)
                 payload = self._read_exact(_LENGTH.unpack(header)[0])
-            except socket.timeout:
-                return None
             except TransportClosed:
                 self._closed = True
                 raise
@@ -191,9 +214,108 @@ class TcpTransport:
             pass
 
 
-def connect_tcp(host: str, port: int, timeout: float = 10.0) -> TcpTransport:
+# -- shared-secret handshake -------------------------------------------
+#
+# A *mutual* challenge-response over raw bytes, before either side
+# unpickles anything from the other:
+#
+#   listener -> dialer : server_nonce
+#   dialer  -> listener: client_nonce + HMAC(token, "client" + server_nonce)
+#   listener -> dialer : HMAC(token, "server" + client_nonce)
+#
+# Each direction uses its own domain prefix so an answer can never be
+# reflected back as a proof; comparisons are constant-time.  The dialer
+# verifying the listener matters just as much as the reverse: a replica
+# misdirected at the wrong endpoint must not unpickle frames from it.
+
+_AUTH_NONCE_LEN = 16
+_AUTH_DIGEST_LEN = hashlib.sha256().digest_size
+
+
+def _token_bytes(token: bytes | str) -> bytes:
+    return token.encode("utf-8") if isinstance(token, str) else bytes(token)
+
+
+def _auth_digest(token: bytes | str, direction: bytes, nonce: bytes) -> bytes:
+    return hmac.new(_token_bytes(token), direction + nonce, hashlib.sha256).digest()
+
+
+def _send_raw(sock: socket.socket, payload: bytes) -> None:
+    try:
+        sock.sendall(payload)
+    except OSError as exc:
+        raise TransportClosed(f"auth handshake failed: {exc}") from exc
+
+
+def _recv_raw_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly *count* raw bytes (pre-framing, used only for auth)."""
+    chunks: list[bytes] = []
+    while count:
+        try:
+            chunk = sock.recv(count)
+        except OSError as exc:
+            raise TransportClosed(f"auth handshake failed: {exc}") from exc
+        if not chunk:
+            raise TransportClosed("peer closed during auth handshake")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def answer_auth_challenge(sock: socket.socket, token: bytes | str) -> None:
+    """Dialer side of the mutual handshake; raises :class:`TransportClosed`
+    when the listener rejects us or cannot prove it knows the token."""
+    server_nonce = _recv_raw_exact(sock, _AUTH_NONCE_LEN)
+    client_nonce = os.urandom(_AUTH_NONCE_LEN)
+    _send_raw(
+        sock, client_nonce + _auth_digest(token, b"client", server_nonce)
+    )
+    proof = _recv_raw_exact(sock, _AUTH_DIGEST_LEN)
+    if not hmac.compare_digest(
+        proof, _auth_digest(token, b"server", client_nonce)
+    ):
+        raise TransportClosed(
+            "listener failed the auth handshake: wrong or missing token "
+            "(is this really a shipping port?)"
+        )
+
+
+def issue_auth_challenge(sock: socket.socket, token: bytes | str) -> bool:
+    """Listener side of the mutual handshake; True when the dialer's
+    answer matches (the listener's own proof is then sent back)."""
+    server_nonce = os.urandom(_AUTH_NONCE_LEN)
+    _send_raw(sock, server_nonce)
+    answer = _recv_raw_exact(sock, _AUTH_NONCE_LEN + _AUTH_DIGEST_LEN)
+    client_nonce, digest = answer[:_AUTH_NONCE_LEN], answer[_AUTH_NONCE_LEN:]
+    if not hmac.compare_digest(
+        digest, _auth_digest(token, b"client", server_nonce)
+    ):
+        return False
+    _send_raw(sock, _auth_digest(token, b"server", client_nonce))
+    return True
+
+
+def connect_tcp(
+    host: str,
+    port: int,
+    timeout: float = 10.0,
+    auth_token: bytes | str | None = None,
+) -> TcpTransport:
     """Dial a primary's shipping listener and return the replica-side
-    transport."""
+    transport.
+
+    Pass the listener's shared ``auth_token`` when it was started with
+    one (mandatory for non-loopback listeners); the mutual handshake runs
+    — and the listener must prove it knows the token too — before any
+    replication frame is exchanged.
+    """
     sock = socket.create_connection((host, port), timeout=timeout)
-    sock.settimeout(None)
+    if auth_token is not None:
+        try:
+            # the connect timeout still governs the socket here, so a
+            # listener that never answers cannot hang the dial forever
+            answer_auth_challenge(sock, auth_token)
+        except TransportClosed:
+            sock.close()
+            raise
     return TcpTransport(sock, name=f"tcp/{host}:{port}")

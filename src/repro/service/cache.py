@@ -64,10 +64,11 @@ class _LruDict(Generic[V]):
             for evicted_key in evicted:
                 self._on_evict(evicted_key)
 
-    def evict(self, key: Hashable) -> None:
-        """Drop *key* if present."""
+    def evict(self, key: Hashable) -> bool:
+        """Drop *key* if present; True when something was actually removed
+        (so racing evictors can tell who won and count the eviction once)."""
         with self._lock:
-            self._entries.pop(key, None)
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         """Drop every entry."""
@@ -148,8 +149,7 @@ class ResultCache(Generic[V]):
             return None
         stamped_generation, value = entry
         if stamped_generation != generation:
-            self._entries.evict(key)
-            if self._on_evict is not None:
+            if self._entries.evict(key) and self._on_evict is not None:
                 self._on_evict(True)
             return None
         return value

@@ -82,6 +82,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
 from pathlib import Path
@@ -391,6 +392,7 @@ class KokoService:
         self._max_inflight_ingest_bytes = max_inflight_ingest_bytes
         self._inflight_ingest_bytes = 0
         self._claimed_ingest_bytes: dict[str, int] = {}  # doc id -> admitted bytes
+        self._ingest_admission: deque = deque()  # FIFO claim tickets
         # WAL retention pins (log shipping): callables returning the lowest
         # segment id a subscriber still needs, or None when idle
         self._wal_pins: list = []
@@ -913,20 +915,40 @@ class KokoService:
         over the bound (backpressure; an oversized document is still
         admitted once the pipeline is empty, so nothing deadlocks) — and
         marks the ingest in-flight so checkpoints wait for it
-        symmetrically.
+        symmetrically.  Admission is FIFO, so a large blocked document is
+        never starved by smaller claims arriving behind it.
         """
         with self._meta_cond:
-            waited_for_admission = False
-            while self._ingest_barrier or (
-                self._max_inflight_ingest_bytes is not None
-                and self._inflight_ingest_bytes > 0
-                and self._inflight_ingest_bytes + ingest_bytes
-                > self._max_inflight_ingest_bytes
-            ):
-                if not self._ingest_barrier and not waited_for_admission:
-                    waited_for_admission = True
-                    self.stats.record_backpressure_wait()
-                self._meta_cond.wait()
+            # admission is FIFO (ticketed): without an order, a large
+            # document blocked on the byte budget could be starved forever
+            # by a stream of small claims slipping into the headroom
+            ticket = object()
+            self._ingest_admission.append(ticket)
+            try:
+                waited_for_admission = False
+                while True:
+                    over_budget = (
+                        self._max_inflight_ingest_bytes is not None
+                        and self._inflight_ingest_bytes > 0
+                        and self._inflight_ingest_bytes + ingest_bytes
+                        > self._max_inflight_ingest_bytes
+                    )
+                    if (
+                        not self._ingest_barrier
+                        and self._ingest_admission[0] is ticket
+                        and not over_budget
+                    ):
+                        break
+                    if not self._ingest_barrier and not waited_for_admission:
+                        waited_for_admission = True
+                        self.stats.record_backpressure_wait()
+                    self._meta_cond.wait()
+            finally:
+                # admitted (or raising): stop gating the claims behind us.
+                # The rest of the claim runs without releasing the lock, so
+                # dropping the ticket here cannot let anyone overtake.
+                self._ingest_admission.remove(ticket)
+                self._meta_cond.notify_all()
             self._ensure_open()
             resolved = doc_id if doc_id is not None else self._fresh_doc_id()
             if resolved in self._doc_shard or resolved in self._pending_docs:

@@ -4,11 +4,12 @@ re-annotation, across checkpoint rotations and follower restarts."""
 
 from __future__ import annotations
 
+import threading
 import time
 
 import pytest
 
-from repro.persistence import CheckpointPolicy
+from repro.persistence import CheckpointPolicy, WalPosition
 from repro.replication import (
     InProcessTransport,
     LogShipper,
@@ -294,3 +295,220 @@ def test_shipper_requires_a_durable_primary():
     with KokoService(shards=1) as memory_only:
         with pytest.raises(ReplicationError, match="durable"):
             LogShipper(memory_only)
+
+
+# ----------------------------------------------------------------------
+# shipping-port authentication
+# ----------------------------------------------------------------------
+def test_tcp_listener_with_auth_token_serves_matching_followers(tmp_path):
+    with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
+        primary.add_document(TEXTS[0], "doc0")
+        shipper = LogShipper(primary)
+        host, port = shipper.listen(auth_token="s3cret")
+        replica = ReplicaService(
+            connect_tcp(host, port, auth_token="s3cret"),
+            pipeline=ExplodingPipeline(),
+        )
+        try:
+            assert_identical(primary, replica)
+        finally:
+            replica.close()
+            shipper.close()
+
+
+def test_tcp_listener_rejects_wrong_auth_token(tmp_path):
+    from repro.errors import ReplicationError
+
+    with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
+        primary.add_document(TEXTS[0], "doc0")
+        shipper = LogShipper(primary)
+        host, port = shipper.listen(auth_token="s3cret")
+        try:
+            with pytest.raises(ReplicationError):
+                ReplicaService(
+                    connect_tcp(host, port, auth_token="wrong"),
+                    pipeline=ExplodingPipeline(),
+                )
+            # the listener is still healthy for properly keyed followers
+            replica = ReplicaService(
+                connect_tcp(host, port, auth_token="s3cret"),
+                pipeline=ExplodingPipeline(),
+            )
+            try:
+                assert_identical(primary, replica)
+            finally:
+                replica.close()
+        finally:
+            shipper.close()
+
+
+def test_non_loopback_listen_requires_auth_token_or_explicit_opt_out(tmp_path):
+    from repro.errors import ReplicationError
+
+    with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
+        shipper = LogShipper(primary)
+        try:
+            with pytest.raises(ReplicationError, match="unauthenticated"):
+                shipper.listen("0.0.0.0")
+            # the explicit opt-out still binds
+            host, port = shipper.listen("0.0.0.0", allow_unauthenticated=True)
+            assert port > 0
+        finally:
+            shipper.close()
+
+
+# ----------------------------------------------------------------------
+# bootstrap vs stall_timeout: the retention pin must survive a slow ship
+# ----------------------------------------------------------------------
+class _SlowBootstrapTransport:
+    """Primary-side transport stub whose snapshot send blocks until released
+    (a follower on a slow link, mid-bootstrap)."""
+
+    def __init__(self):
+        import queue
+
+        self.release = threading.Event()
+        self.name = "slow-bootstrap"
+        self._inbox = queue.Queue()
+        self._inbox.put(("subscribe", {"resume": None}))
+
+    def recv(self, timeout=None):
+        import queue
+
+        try:
+            return self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def send(self, message):
+        if message[0] == "snapshot":
+            self.release.wait()
+
+    def close(self):
+        self.release.set()
+
+
+def test_bootstrap_longer_than_stall_timeout_keeps_the_pin(tmp_path):
+    """A session mid-snapshot has no acks yet by design; it must keep its
+    WAL retention pin past stall_timeout (regression: the pin dropped and a
+    concurrent checkpoint could prune the fresh follower's tail)."""
+    with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
+        primary.add_document(TEXTS[0], "doc0")
+        shipper = LogShipper(primary, stall_timeout=0.05)
+        transport = _SlowBootstrapTransport()
+        session = shipper.serve(transport)
+        try:
+            deadline = time.monotonic() + 5.0
+            while session.position is None and time.monotonic() < deadline:
+                time.sleep(0.01)  # wait for bootstrap to claim its position
+            time.sleep(0.2)  # several stall_timeouts into the snapshot ship
+            assert not session.stalled
+            assert session.pin() is not None
+        finally:
+            session.close()
+            shipper.close()
+
+
+class _SilentResumeTransport:
+    """Subscribes with a valid resume position, then never acks."""
+
+    def __init__(self, resume):
+        self.name = "silent-resume"
+        self._pending = [("subscribe", {"resume": resume})]
+
+    def recv(self, timeout=None):
+        if self._pending:
+            return self._pending.pop()
+        if timeout:
+            time.sleep(min(timeout, 0.02))
+        return None
+
+    def send(self, message):
+        pass
+
+    def close(self):
+        pass
+
+
+def test_resumed_session_uses_the_ordinary_stall_clock(tmp_path):
+    """A granted resume ships no snapshot: the follower has live state and
+    can ack immediately, so it gets stall_timeout — not the much longer
+    bootstrap grace (a silently dead resumed follower must not pin the
+    log for bootstrap_timeout)."""
+    with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
+        primary.add_document(TEXTS[0], "doc0")
+        shipper = LogShipper(primary, stall_timeout=0.05, bootstrap_timeout=600.0)
+        end = primary.wal_position()
+        session = shipper.serve(
+            _SilentResumeTransport(WalPosition(end.segment_id, 0))
+        )
+        try:
+            deadline = time.monotonic() + 5.0
+            while not session.resumed and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert session.resumed
+            time.sleep(0.2)  # past stall_timeout, nowhere near bootstrap_timeout
+            assert session.stalled
+            assert session.pin() is None
+        finally:
+            session.close()
+            shipper.close()
+
+
+def test_wait_caught_up_false_when_primary_end_never_learned():
+    """A replica that disconnected before the first batch/heartbeat has no
+    target to be caught up to: it must not report itself in sync."""
+    replica = ReplicaService.__new__(ReplicaService)  # state only, no handshake
+    replica._lock = threading.Lock()
+    replica._applied = None
+    replica._primary_end = None
+    replica._connected = False
+    assert replica.wait_caught_up(timeout=0.05) is False
+
+
+def test_bootstrap_pin_expires_after_bootstrap_timeout(tmp_path):
+    """The exemption is bounded: a follower wedged inside bootstrap counts
+    as stalled after bootstrap_timeout, so it cannot pin the log forever."""
+    with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
+        primary.add_document(TEXTS[0], "doc0")
+        shipper = LogShipper(primary, stall_timeout=60.0, bootstrap_timeout=0.05)
+        transport = _SlowBootstrapTransport()
+        session = shipper.serve(transport)
+        try:
+            deadline = time.monotonic() + 5.0
+            while session.position is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            time.sleep(0.2)
+            assert session.stalled
+            assert session.pin() is None
+        finally:
+            session.close()
+            shipper.close()
+
+
+# ----------------------------------------------------------------------
+# handshake failures must not leak the transport
+# ----------------------------------------------------------------------
+def test_unexpected_handshake_mode_raises_and_closes_the_transport():
+    from repro.errors import ReplicationError
+    from repro.persistence import WalPosition
+
+    class ResumeOnFreshTransport:
+        """A (buggy/hostile) primary answering a fresh subscribe with a
+        resume instead of a snapshot bootstrap."""
+
+        closed = False
+
+        def send(self, message):
+            pass
+
+        def recv(self, timeout=None):
+            return ("hello", {"mode": "resume", "start": WalPosition(1, 0)})
+
+        def close(self):
+            self.closed = True
+
+    transport = ResumeOnFreshTransport()
+    with pytest.raises(ReplicationError, match="snapshot"):
+        ReplicaService(transport)
+    assert transport.closed

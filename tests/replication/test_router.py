@@ -134,11 +134,26 @@ def test_failover_on_query_error_falls_back_and_suspends():
     assert router.query("q") == "primary:q"  # routed around the failure
     stats = router.stats.snapshot()
     assert stats["failovers"] == 1 and stats["primary_queries"] == 1
-    # suspended until it shows apply progress
+    # benched: stays out of rotation while the suspension lasts
     assert router.query("q") == "primary:q"
     assert flaky.queries == 0
     flaky.fail_next = False
-    flaky.applied_position = WalPosition(1, 101)  # progress → rehabilitated
+    flaky.applied_position = WalPosition(1, 101)  # progress lifts the bench
+    assert router.query("q") == "flaky:q"
+
+
+def test_suspension_expires_without_apply_progress():
+    """On a write-idle primary the applied position never moves, so the
+    bench must expire on its own — one transient error must not remove a
+    replica from rotation permanently."""
+    primary = StubPrimary()
+    flaky = StubReplica("flaky")
+    flaky.fail_next = True
+    router = ReplicaSet(primary, [flaky], suspend_seconds=0.05)
+    assert router.query("q") == "primary:q"  # failure → benched
+    flaky.fail_next = False
+    assert router.query("q") == "primary:q"  # still benched
+    time.sleep(0.1)  # bench expires; applied position unchanged
     assert router.query("q") == "flaky:q"
 
 

@@ -97,3 +97,102 @@ def test_tcp_peer_close_raises_transport_closed():
         while True:  # may need one recv to observe EOF
             server.recv(timeout=5.0)
     server.close()
+
+
+def test_tcp_recv_timeout_never_leaks_into_send():
+    """A timed-out recv must not leave a timeout on the socket: the next
+    large send on the same transport has to survive the kernel buffer
+    filling up while the peer reads slowly (regression: a leaked
+    sub-millisecond timeout made sendall raise mid-frame)."""
+    server, client = tcp_pair()
+    try:
+        assert server.recv(timeout=0.0) is None  # the old code leaked here
+        assert server._sock.gettimeout() is None
+
+        blob = b"x" * (16 * 1024 * 1024)  # far beyond any socket buffer
+        received = []
+
+        def slow_reader():
+            import time
+
+            time.sleep(0.3)  # let the sender hit a full buffer first
+            received.append(client.recv(timeout=30.0))
+
+        reader = threading.Thread(target=slow_reader)
+        reader.start()
+        server.send(("records", blob))  # must block, not raise
+        reader.join(timeout=30.0)
+        assert received == [("records", blob)]
+    finally:
+        server.close()
+        client.close()
+
+
+def _auth_socket_pair():
+    import socket
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()[:2]
+    dialer = socket.create_connection((host, port), timeout=5.0)
+    dialer.settimeout(5.0)
+    accepted, _ = listener.accept()
+    accepted.settimeout(5.0)
+    listener.close()
+    return dialer, accepted
+
+
+def test_auth_challenge_accepts_matching_token_and_rejects_others():
+    from repro.replication.transport import (
+        answer_auth_challenge,
+        issue_auth_challenge,
+    )
+
+    for client_token, expected in (("s3cret", True), ("wrong", False)):
+        dialer, accepted = _auth_socket_pair()
+        outcomes = []
+
+        def dial(dialer=dialer, token=client_token):
+            try:
+                answer_auth_challenge(dialer, token)
+                outcomes.append("authed")
+            except TransportClosed:
+                outcomes.append("rejected")
+
+        try:
+            answered = threading.Thread(target=dial)
+            answered.start()
+            assert issue_auth_challenge(accepted, "s3cret") is expected
+        finally:
+            accepted.close()  # a real listener hangs up on a mismatch
+            answered.join(timeout=5.0)
+            dialer.close()
+        assert outcomes == (["authed"] if expected else ["rejected"])
+
+
+def test_auth_is_mutual_dialer_rejects_a_listener_without_the_token():
+    """A replica misdirected at the wrong endpoint must not proceed to
+    unpickling frames: the listener has to prove token knowledge too."""
+    import os
+
+    from repro.replication.transport import answer_auth_challenge
+
+    dialer, accepted = _auth_socket_pair()
+
+    def impostor_listener():
+        # looks like a challenge, but the 'listener' has no token: its
+        # proof can only be garbage
+        accepted.sendall(os.urandom(16))
+        accepted.recv(64)
+        accepted.sendall(os.urandom(32))
+
+    impostor = threading.Thread(target=impostor_listener)
+    impostor.start()
+    try:
+        with pytest.raises(TransportClosed, match="listener failed"):
+            answer_auth_challenge(dialer, "s3cret")
+    finally:
+        impostor.join(timeout=5.0)
+        dialer.close()
+        accepted.close()

@@ -182,6 +182,78 @@ def test_backpressure_rejects_nonpositive_bound():
         KokoService(max_inflight_ingest_bytes=0)
 
 
+def test_backpressure_admission_is_fifo_no_overtaking():
+    """A large document blocked on the byte budget must not be overtaken
+    by smaller claims arriving behind it — without FIFO ordering it could
+    starve forever behind a stream of small admitted documents."""
+    release = threading.Event()
+
+    class GatedPipeline(Pipeline):
+        def annotate(self, text, **kwargs):
+            if kwargs.get("doc_id") == "holder":
+                release.wait(10.0)  # keep the budget occupied
+            return super().annotate(text, **kwargs)
+
+    holder, big, small = TEXTS[0], TEXTS[1], TEXTS[2]
+    holder_bytes = len(holder.encode())
+    assert len(big.encode()) > len(small.encode()) + 1
+    bound = holder_bytes + len(small.encode()) + 1  # small fits, big does not
+    service = KokoService(
+        shards=1, pipeline=GatedPipeline(), max_inflight_ingest_bytes=bound
+    )
+    threads = []
+    try:
+        threads.append(
+            threading.Thread(target=service.add_document, args=(holder, "holder"))
+        )
+        threads[-1].start()
+        deadline = time.monotonic() + 5.0
+        while (
+            service.inflight_ingest_bytes < holder_bytes
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+
+        threads.append(
+            threading.Thread(target=service.add_document, args=(big, "big"))
+        )
+        threads[-1].start()  # blocks: holder + big exceeds the bound
+        while (
+            service.stats.ingest_backpressure_waits < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+
+        threads.append(
+            threading.Thread(target=service.add_document, args=(small, "small"))
+        )
+        threads[-1].start()  # fits the headroom, but must queue behind big
+        time.sleep(0.2)
+        assert "small" not in service.document_ids()  # no overtaking
+    finally:
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+    try:
+        assert sorted(service.document_ids()) == ["big", "holder", "small"]
+        assert service.inflight_ingest_bytes == 0
+    finally:
+        service.close()
+
+
+def test_stale_cache_entry_is_counted_exactly_once():
+    """Racing (or repeated) lookups of one stale entry must record one
+    stale eviction, not one per looker."""
+    from repro.service.cache import ResultCache
+
+    evictions = []
+    cache = ResultCache(capacity=4, on_evict=evictions.append)
+    cache.put("q", 1, "value")
+    assert cache.get("q", 2) is None  # stale: evicted and counted
+    assert cache.get("q", 2) is None  # already gone: plain miss
+    assert evictions == [True]
+
+
 # ----------------------------------------------------------------------
 # per-shard result-cache counters
 # ----------------------------------------------------------------------
