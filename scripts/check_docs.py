@@ -29,7 +29,12 @@ import sys
 from pathlib import Path
 
 #: packages whose modules must carry module/class/function docstrings + __all__
-LINTED_PACKAGES = ("src/repro/service", "src/repro/persistence", "src/repro/replication")
+LINTED_PACKAGES = (
+    "src/repro/service",
+    "src/repro/persistence",
+    "src/repro/replication",
+    "src/repro/observability",
+)
 
 #: markdown documents whose relative links must resolve
 LINKED_DOCUMENTS = ("README.md", "docs/*.md", "benchmarks/README.md")

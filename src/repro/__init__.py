@@ -9,7 +9,10 @@ The top-level package re-exports the most commonly used entry points:
 * :class:`~repro.service.KokoService` — the concurrent query-serving layer
   with incremental ingestion, plan/result caching, service metrics and —
   via ``KokoService.open(path)`` — snapshot + write-ahead-log durability
-  (:class:`~repro.persistence.CheckpointPolicy` tunes checkpointing).
+  (:class:`~repro.persistence.CheckpointPolicy` tunes checkpointing),
+* :class:`~repro.observability.MetricsRegistry` /
+  :class:`~repro.observability.Span` — the unified metrics registry and
+  the span tree behind ``service.query(..., explain=True)``.
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 reproduction of every table and figure of the paper.
@@ -18,26 +21,30 @@ reproduction of every table and figure of the paper.
 from .koko import CompiledQuery, KokoEngine, KokoQuery, KokoResult, compile_query, parse_query
 from .nlp import Corpus, Document, Pipeline, Sentence, Token
 from .indexing import KokoIndexSet, ShardedIndexSet
+from .observability import ExplainedResult, MetricsRegistry, Span
 from .persistence import CheckpointPolicy
 from .service import KokoService, ServiceStats, ShardedKokoService
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CheckpointPolicy",
     "CompiledQuery",
     "Corpus",
     "Document",
+    "ExplainedResult",
     "KokoEngine",
     "KokoIndexSet",
     "KokoQuery",
     "KokoResult",
     "KokoService",
+    "MetricsRegistry",
     "Pipeline",
     "Sentence",
     "ServiceStats",
     "ShardedIndexSet",
     "ShardedKokoService",
+    "Span",
     "Token",
     "compile_query",
     "parse_query",

@@ -29,6 +29,7 @@ from ..embeddings.vectors import VectorStore
 from ..indexing.koko_index import KokoIndexSet
 from ..nlp.lexicon import GAZETTEER_GPE
 from ..nlp.types import Corpus, Document, Sentence
+from ..observability.tracing import Span
 from .ast import KokoQuery
 from .conditions import EvidenceResources
 from .normalize import NormalizedQuery, normalize
@@ -123,6 +124,7 @@ class KokoEngine:
         query: str | KokoQuery | CompiledQuery,
         threshold_override: float | None = None,
         keep_all_scores: bool = False,
+        trace: Span | None = None,
     ) -> ExecutionContext:
         """An :class:`ExecutionContext` over this engine's corpus slice."""
         return ExecutionContext(
@@ -134,6 +136,7 @@ class KokoEngine:
             use_gsp=self.use_gsp,
             threshold_override=threshold_override,
             keep_all_scores=keep_all_scores,
+            trace=trace,
         )
 
     def execute(
@@ -141,6 +144,7 @@ class KokoEngine:
         query: str | KokoQuery | CompiledQuery,
         threshold_override: float | None = None,
         keep_all_scores: bool = False,
+        trace: Span | None = None,
     ) -> KokoResult:
         """Evaluate *query* and return its result.
 
@@ -149,10 +153,13 @@ class KokoEngine:
         tuples that fail their thresholds too (with their scores), which
         lets an experiment evaluate many thresholds from a single run.
         Passing a :class:`CompiledQuery` skips parsing and normalisation.
+        With ``trace`` given, each pipeline stage runs inside a child span
+        of it.
         """
         context = self.make_context(
             query,
             threshold_override=threshold_override,
             keep_all_scores=keep_all_scores,
+            trace=trace,
         )
         return self.pipeline.run(context)

@@ -27,6 +27,7 @@ from typing import Mapping, Sequence
 
 from ..indexing.koko_index import KokoIndexSet
 from ..nlp.types import Corpus, Document, Sentence
+from ..observability.tracing import Span
 from .aggregate import EvidenceAggregator
 from .ast import KokoQuery
 from .conditions import ConditionScorer, EvidenceResources
@@ -57,6 +58,8 @@ class ExecutionContext:
     use_gsp: bool = True
     threshold_override: float | None = None
     keep_all_scores: bool = False
+    #: optional trace span; when set, every stage run becomes a child span
+    trace: Span | None = None
 
     # --- intermediate state, filled in stage by stage -----------------
     parsed: KokoQuery | None = None
@@ -292,8 +295,17 @@ class StagePipeline:
         self.stages = tuple(stages)
 
     def run(self, ctx: ExecutionContext) -> KokoResult:
+        trace = ctx.trace
+        if trace is None:
+            # untraced hot path: no span allocations at all
+            for stage in self.stages:
+                stage.run(ctx)
+                if ctx.finished:
+                    break
+            return ctx.result
         for stage in self.stages:
-            stage.run(ctx)
+            with trace.span(stage.name):
+                stage.run(ctx)
             if ctx.finished:
                 break
         return ctx.result

@@ -1,0 +1,32 @@
+"""Observability primitives: metrics registry, span tracing, slow-op log.
+
+This package is dependency-free and imports nothing from the rest of
+``repro``, so every layer (engine stages, service, WAL, replication) can
+use it without cycles:
+
+* :mod:`repro.observability.metrics` — thread-safe counters, gauges
+  (including callback gauges), power-of-two-bucket histograms, labeled
+  families, and a :class:`MetricsRegistry` with Prometheus text / JSON
+  exposition.
+* :mod:`repro.observability.tracing` — the :class:`Span` tree threaded
+  through query and ingest paths, the sampling :class:`Tracer`, and
+  :class:`ExplainedResult` (``service.query(..., explain=True)``).
+* :mod:`repro.observability.slowlog` — the :class:`SlowOpLog` ring
+  buffer behind ``service.recent_slow_ops()``.
+"""
+
+from .metrics import Counter, Gauge, Histogram, LabeledMetric, MetricsRegistry
+from .slowlog import SlowOpLog
+from .tracing import ExplainedResult, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "ExplainedResult",
+    "Gauge",
+    "Histogram",
+    "LabeledMetric",
+    "MetricsRegistry",
+    "SlowOpLog",
+    "Span",
+    "Tracer",
+]

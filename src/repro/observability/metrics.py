@@ -1,0 +1,433 @@
+"""A small, dependency-free metrics registry (Prometheus-flavoured).
+
+Three instrument kinds, all thread-safe:
+
+* :class:`Counter` — a monotonically increasing number (queries served,
+  WAL bytes appended).
+* :class:`Gauge` — a number that can go up and down (checkpoint in
+  progress, replication lag).  A gauge may instead be bound to a
+  callback (:meth:`Gauge.set_function`) so it always reports a live
+  value — e.g. ``lag_bytes`` computed from two WAL positions.
+* :class:`Histogram` — power-of-two buckets (the same bucketing the WAL
+  group-commit batch histogram has always used): an observation lands in
+  the smallest power of two that is >= the value.  Works for integer
+  batch sizes and for sub-second float latencies alike.
+
+Instruments may be *labeled*: ``registry.counter(name, help,
+labelnames=("shard",))`` returns a :class:`LabeledMetric` family whose
+:meth:`LabeledMetric.labels` hands out one child per label value
+(per-shard counters, per-stage timings, per-peer lag).
+
+The registry renders every registered instrument as Prometheus text
+exposition (:meth:`MetricsRegistry.render_text`) or as one JSON document
+(:meth:`MetricsRegistry.render_json`), and :meth:`MetricsRegistry.snapshot`
+returns a plain dict that is atomic *per metric* — every individual
+counter/gauge/histogram is read consistently, while the document as a
+whole is not a global atomic cut (no stop-the-world lock is taken).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Callable, Hashable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledMetric",
+    "MetricsRegistry",
+]
+
+
+def _pow2_bucket_int(value: int) -> int:
+    """Smallest power of two >= ``value`` (values < 1 clamp to 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+def _pow2_bucket_float(value: float) -> float:
+    """Smallest power of two >= ``value`` for positive floats.
+
+    Uses :func:`math.frexp` (``value = m * 2**e`` with ``0.5 <= m < 1``):
+    the bucket exponent is ``e - 1`` when value is itself a power of two
+    and ``e`` otherwise.  Non-positive values clamp to the smallest
+    representable bucket.
+    """
+    if value <= 0.0:
+        return 2.0 ** -64
+    mantissa, exponent = math.frexp(value)
+    if mantissa == 0.5:
+        exponent -= 1
+    return 2.0 ** exponent
+
+
+def _format_number(value: float | int) -> str:
+    """Prometheus-exposition formatting: integral values without a dot."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labelnames: tuple[str, ...], labelvalues: tuple) -> str:
+    """Render ``{name="value",...}`` with minimal escaping."""
+    parts = []
+    for name, value in zip(labelnames, labelvalues):
+        text = str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        parts.append(f'{name}="{text}"')
+    return "{" + ",".join(parts) + "}"
+
+
+class Counter:
+    """A monotonically increasing metric value."""
+
+    kind = "counter"
+
+    def __init__(self, lock: threading.Lock | None = None) -> None:
+        self._lock = lock if lock is not None else threading.Lock()
+        self._value: float | int = 0
+
+    def inc(self, amount: float | int = 1) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float | int:
+        """The current cumulative value."""
+        with self._lock:
+            return self._value
+
+    def snapshot_value(self) -> float | int:
+        """Alias of :attr:`value` (uniform instrument interface)."""
+        return self.value
+
+
+class Gauge:
+    """A metric value that can move in both directions.
+
+    :meth:`set_function` binds the gauge to a zero-argument callback so
+    reads always reflect live state; a callback that raises falls back
+    to the last explicitly stored value.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, lock: threading.Lock | None = None) -> None:
+        self._lock = lock if lock is not None else threading.Lock()
+        self._value: float | int = 0
+        self._function: Callable[[], float] | None = None
+
+    def set(self, value: float | int) -> None:
+        """Store an explicit value."""
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float | int = 1) -> None:
+        """Move the gauge up by *amount*."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float | int = 1) -> None:
+        """Move the gauge down by *amount*."""
+        with self._lock:
+            self._value -= amount
+
+    def set_max(self, value: float | int) -> None:
+        """Raise the gauge to *value* if it is currently lower."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    def set_function(self, function: Callable[[], float] | None) -> None:
+        """Bind reads to *function* (``None`` unbinds)."""
+        with self._lock:
+            self._function = function
+
+    @property
+    def value(self) -> float | int:
+        """The callback's value when bound, else the stored value."""
+        with self._lock:
+            function = self._function
+            stored = self._value
+        if function is not None:
+            try:
+                return function()
+            except Exception:
+                return stored
+        return stored
+
+    def snapshot_value(self) -> float | int:
+        """Alias of :attr:`value` (uniform instrument interface)."""
+        return self.value
+
+
+class Histogram:
+    """Power-of-two-bucket histogram of observed values.
+
+    Integer observations bucket exactly like the WAL group-commit batch
+    histogram always has (smallest power of two >= the batch size);
+    float observations (latencies in seconds) use fractional powers of
+    two so sub-millisecond timings stay distinguishable.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, lock: threading.Lock | None = None) -> None:
+        self._lock = lock if lock is not None else threading.Lock()
+        self._buckets: dict[float | int, int] = {}
+        self._count = 0
+        self._sum: float | int = 0
+
+    def observe(self, value: float | int) -> None:
+        """Record one observation."""
+        if isinstance(value, int) and not isinstance(value, bool):
+            bucket: float | int = _pow2_bucket_int(value)
+        else:
+            bucket = _pow2_bucket_float(float(value))
+        with self._lock:
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float | int:
+        """Sum of observations."""
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> dict[float | int, int]:
+        """Non-cumulative ``{bucket upper bound: observations}``, sorted."""
+        with self._lock:
+            return dict(sorted(self._buckets.items()))
+
+    def snapshot_value(self) -> dict[str, object]:
+        """Count, sum and the (non-cumulative) bucket map, atomically."""
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": dict(sorted(self._buckets.items())),
+            }
+
+
+class LabeledMetric:
+    """A family of like-typed children distinguished by label values.
+
+    Children are created on first use (``family.labels(3)``) and are
+    keyed by the *raw* label values handed in, so callers that label by
+    shard id get integer keys back from :meth:`values`.
+    """
+
+    def __init__(self, factory: type, labelnames: tuple[str, ...]) -> None:
+        self.labelnames = labelnames
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._children: dict[tuple, Counter | Gauge | Histogram] = {}
+
+    @property
+    def kind(self) -> str:
+        """The child instrument kind (counter / gauge / histogram)."""
+        return self._factory.kind
+
+    def labels(self, *labelvalues: Hashable):
+        """The child instrument for *labelvalues*, created on first use."""
+        if len(labelvalues) != len(self.labelnames):
+            raise ValueError(
+                f"expected {len(self.labelnames)} label values "
+                f"({', '.join(self.labelnames)}), got {len(labelvalues)}"
+            )
+        with self._lock:
+            child = self._children.get(labelvalues)
+            if child is None:
+                # children share the family lock so a family snapshot is
+                # one consistent cut across all of them
+                child = self._factory(lock=self._lock)
+                self._children[labelvalues] = child
+            return child
+
+    def values(self) -> dict:
+        """``{label value(s): child value}`` — single labels unwrapped.
+
+        Reading every child under the shared family lock makes the map
+        one atomic cut of the family.
+        """
+        with self._lock:
+            out = {}
+            for key, child in self._children.items():
+                if isinstance(child, Histogram):
+                    value: object = {
+                        "count": child._count,
+                        "sum": child._sum,
+                        "buckets": dict(sorted(child._buckets.items())),
+                    }
+                else:
+                    value = child._value
+                    if isinstance(child, Gauge) and child._function is not None:
+                        # callback gauges cannot be read under the family
+                        # lock (the callback may take other locks); fall
+                        # through to the unlocked read below
+                        value = None
+                out[key[0] if len(key) == 1 else key] = (key, child, value)
+        resolved = {}
+        for short_key, (key, child, value) in out.items():
+            resolved[short_key] = child.value if value is None else value
+        return resolved
+
+    def snapshot_value(self) -> dict[str, object]:
+        """JSON-safe family snapshot: label values joined with commas."""
+        return {
+            ",".join(str(part) for part in (key if isinstance(key, tuple) else (key,))): value
+            for key, value in self.values().items()
+        }
+
+    def items(self) -> list[tuple[tuple, object]]:
+        """``(label values tuple, child value)`` pairs, insertion order."""
+        return [
+            (key if isinstance(key, tuple) else (key,), value)
+            for key, value in self.values().items()
+        ]
+
+
+class MetricsRegistry:
+    """A named collection of instruments with text / JSON exposition.
+
+    Registration is get-or-create: asking twice for the same name
+    returns the same instrument, so independent components (service,
+    WAL, shipper, replica) can share one registry without coordination.
+    Re-registering a name as a different kind or with different label
+    names raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, tuple[str, tuple[str, ...], str, object]] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _register(
+        self,
+        factory: type,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+    ):
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                kind, existing_labels, _help, metric = existing
+                if kind != factory.kind or existing_labels != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {kind} "
+                        f"with labels {existing_labels!r}"
+                    )
+                return metric
+            if labelnames:
+                metric: object = LabeledMetric(factory, labelnames)
+            else:
+                metric = factory()
+            self._metrics[name] = (factory.kind, labelnames, help_text, metric)
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Counter | LabeledMetric:
+        """Get or create the counter (or counter family) called *name*."""
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Gauge | LabeledMetric:
+        """Get or create the gauge (or gauge family) called *name*."""
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self, name: str, help_text: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Histogram | LabeledMetric:
+        """Get or create the histogram (or family) called *name*."""
+        return self._register(Histogram, name, help_text, labelnames)
+
+    def get(self, name: str):
+        """The instrument registered under *name*, else ``None``."""
+        with self._lock:
+            entry = self._metrics.get(name)
+            return entry[3] if entry is not None else None
+
+    def names(self) -> list[str]:
+        """Registered metric names, in registration order."""
+        with self._lock:
+            return list(self._metrics)
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """``{name: value}`` for every instrument, atomic per metric.
+
+        Counters/gauges map to their number; histograms to ``{count,
+        sum, buckets}``; labeled families to a JSON-safe dict keyed by
+        the label values joined with commas.
+        """
+        with self._lock:
+            entries = list(self._metrics.items())
+        return {name: entry[3].snapshot_value() for name, entry in entries}
+
+    def render_json(self, indent: int | None = None) -> str:
+        """The :meth:`snapshot` document serialised as JSON."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
+
+    def render_text(self) -> str:
+        """Prometheus text exposition of every registered instrument."""
+        with self._lock:
+            entries = list(self._metrics.items())
+        lines: list[str] = []
+        for name, (kind, labelnames, help_text, metric) in entries:
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            if isinstance(metric, LabeledMetric):
+                for labelvalues, value in metric.items():
+                    labels = _format_labels(labelnames, labelvalues)
+                    if kind == "histogram":
+                        lines.extend(_histogram_lines(name, value, labels))
+                    else:
+                        lines.append(f"{name}{labels} {_format_number(value)}")
+            elif kind == "histogram":
+                lines.extend(_histogram_lines(name, metric.snapshot_value(), ""))
+            else:
+                lines.append(f"{name} {_format_number(metric.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _histogram_lines(name: str, snap: dict[str, object], labels: str) -> list[str]:
+    """Cumulative ``_bucket``/``_sum``/``_count`` exposition lines."""
+    buckets: dict = snap["buckets"]  # type: ignore[assignment]
+    prefix = labels[:-1] + "," if labels else "{"
+    cumulative = 0
+    lines = []
+    for bound in sorted(buckets):
+        cumulative += buckets[bound]
+        lines.append(
+            f'{name}_bucket{prefix}le="{_format_number(bound)}"}} {cumulative}'
+        )
+    lines.append(f'{name}_bucket{prefix}le="+Inf"}} {snap["count"]}')
+    lines.append(f"{name}_sum{labels} {_format_number(snap['sum'])}")
+    lines.append(f"{name}_count{labels} {snap['count']}")
+    return lines

@@ -1,0 +1,70 @@
+"""Ring-buffered slow-operation log with an optional JSON-lines sink.
+
+Operations whose wall time crosses the service's ``slow_query_ms`` /
+``slow_ingest_ms`` thresholds are summarised into one structured dict
+(query hash, per-stage timings, shard, cache outcomes, WAL frame size —
+plus the full span tree when the operation happened to be traced) and
+:meth:`SlowOpLog.record`-ed here.  The most recent entries stay in an
+in-memory ring (``service.recent_slow_ops()``); when a ``path`` is
+given, every entry is also appended to that file as one JSON line, ready
+for ``jq`` or log shipping.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+
+__all__ = ["SlowOpLog"]
+
+
+class SlowOpLog:
+    """Thread-safe ring buffer of slow-op entries + optional file sink."""
+
+    def __init__(self, capacity: int = 256, path: str | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"slow-op log capacity must be positive, got {capacity}")
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._path = str(path) if path is not None else None
+        self._file = None
+        if self._path is not None:
+            self._file = open(self._path, "a", encoding="utf-8")
+
+    def record(self, entry: dict) -> None:
+        """Append *entry* to the ring (and the file sink, flushed)."""
+        line = None
+        if self._file is not None:
+            # serialise outside the lock; entries are built JSON-safe
+            line = json.dumps(entry, sort_keys=False, default=str)
+        with self._lock:
+            self._entries.append(entry)
+            if self._file is not None and line is not None:
+                self._file.write(line + "\n")
+                self._file.flush()
+
+    def recent(self, limit: int | None = None) -> list[dict]:
+        """The most recent entries, newest first."""
+        with self._lock:
+            entries = list(self._entries)
+        entries.reverse()
+        if limit is not None:
+            entries = entries[:limit]
+        return entries
+
+    def clear(self) -> None:
+        """Drop the in-memory ring (the file sink is left as-is)."""
+        with self._lock:
+            self._entries.clear()
+
+    def close(self) -> None:
+        """Close the file sink (the ring stays readable)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

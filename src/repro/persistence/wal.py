@@ -45,6 +45,7 @@ from typing import Callable
 
 from ..errors import PersistenceError
 from ..nlp.types import Document
+from ..observability.tracing import Span
 from .layout import fsync_dir as _fsync_dir
 
 __all__ = [
@@ -369,13 +370,16 @@ class WalWriter:
         with self._sync_cond:
             return self._synced_bytes
 
-    def append(self, record: WalRecord) -> int:
+    def append(self, record: WalRecord, trace: Span | None = None) -> int:
         """Frame, append and (with ``sync``) make one record durable.
 
         Returns the frame size in bytes.  Thread-safe: concurrent appends
         keep frames whole and share fsyncs via group commit; the call
         returns only once the record is covered by an fsync (or, with
-        ``sync=False``, once it reaches the OS buffer).
+        ``sync=False``, once it reaches the OS buffer).  With ``trace``
+        given, the buffered write and the group-commit durability wait are
+        recorded as ``wal_append`` / ``fsync_wait`` child spans, splitting
+        serialisation cost from commit latency.
 
         A failed buffered write (ENOSPC, I/O error) must not leave a
         partial frame mid-segment: later successful appends would land
@@ -389,6 +393,7 @@ class WalWriter:
         every append waiting on the discarded suffix raises, and the log
         keeps only what was acknowledged.
         """
+        started = time.perf_counter() if trace is not None else 0.0
         frame = encode_frame(record.to_payload())
         with self._write_lock:
             if self._handle is None or self._failed:
@@ -402,8 +407,15 @@ class WalWriter:
             self._bytes_written += len(frame)
             self._unsynced_records += 1
             target = self._bytes_written
+        if trace is not None:
+            trace.record(
+                "wal_append", time.perf_counter() - started, bytes=len(frame)
+            )
         if self.sync:
+            wait_started = time.perf_counter() if trace is not None else 0.0
             self._await_durable(target)
+            if trace is not None:
+                trace.record("fsync_wait", time.perf_counter() - wait_started)
         return len(frame)
 
     def _await_durable(self, target: int) -> None:
@@ -602,13 +614,14 @@ class WriteAheadLog:
         if self._on_fsync_user is not None:
             self._on_fsync_user(batch)
 
-    def append(self, record: WalRecord) -> int:
+    def append(self, record: WalRecord, trace: Span | None = None) -> int:
         """Append one record to the active segment; returns the frame size.
 
         Safe to call from many threads at once; returns only when the
-        record is durable (see :meth:`WalWriter.append`).
+        record is durable (see :meth:`WalWriter.append`).  ``trace`` is
+        forwarded to the writer for ``wal_append``/``fsync_wait`` spans.
         """
-        appended = self._writer.append(record)
+        appended = self._writer.append(record, trace=trace)
         with self._stats_lock:
             self.records_appended += 1
         return appended

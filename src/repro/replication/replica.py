@@ -88,7 +88,9 @@ class ReplicaService:
         self._error: str | None = None
         self._closed = False
         self._bootstrap_checkpoint_id: int | None = None
+        self._bootstrap_seconds = 0.0
 
+        bootstrap_started = time.perf_counter()
         try:
             mode, start, state = self._handshake(transport, resume=None)
             if mode != "snapshot" or state is None:
@@ -106,6 +108,8 @@ class ReplicaService:
                 pass
             raise
         self._bootstrap_checkpoint_id = state.checkpoint_id
+        self._bootstrap_seconds = time.perf_counter() - bootstrap_started
+        self._register_metrics()
         with self._lock:
             self._applied = start
             self._connected = True
@@ -116,6 +120,42 @@ class ReplicaService:
             daemon=True,
         )
         self._applier.start()
+
+    def _register_metrics(self) -> None:
+        """Expose replication state in the inner service's registry.
+
+        Called after every inner-service (re)build, so the gauges always
+        live in the registry ``self.service.metrics`` currently returns.
+        Lag and connectivity are callback gauges — they read the live
+        properties at scrape time rather than being pushed.
+        """
+        registry = self.service.stats.registry
+        connected = registry.gauge(
+            "koko_replication_connected",
+            "1 while the applier is attached to a live shipping session.",
+        )
+        connected.set_function(lambda: 1.0 if self.connected else 0.0)
+        lag = registry.gauge(
+            "koko_replication_lag_bytes",
+            "Byte distance behind the primary's durable end (-1 = unknown).",
+        )
+        lag.set_function(
+            lambda: float(self.lag_bytes) if self.lag_bytes is not None else -1.0
+        )
+        applied = registry.gauge(
+            "koko_replication_records_applied",
+            "Shipped WAL records applied since this replica bootstrapped.",
+        )
+        applied.set_function(lambda: float(self.records_applied))
+        bootstrap = registry.gauge(
+            "koko_replication_bootstrap_seconds",
+            "Wall-clock of the last snapshot bootstrap (handshake to ready).",
+        )
+        bootstrap.set(self._bootstrap_seconds)
+        self._apply_hist = registry.histogram(
+            "koko_replication_apply_seconds",
+            "Per-record apply wall-clock (power-of-two buckets).",
+        )
 
     def _handshake(self, transport, resume: WalPosition | None):
         """Subscribe and read the hello (+ snapshot, when bootstrapping)."""
@@ -183,6 +223,9 @@ class ReplicaService:
             previous, self.service = self.service, replacement
             self._bootstrap_checkpoint_id = state.checkpoint_id
             previous.close()
+        # rebind the gauges/histogram: a rebuild swapped in a fresh inner
+        # service (and registry); a resume makes this a no-op re-register
+        self._register_metrics()
         old_transport, self._transport = self._transport, transport
         try:
             old_transport.close()
@@ -224,7 +267,11 @@ class ReplicaService:
                     _, batch, primary_end = message
                     for position, payload in batch:
                         record = WalRecord.from_payload(payload)
+                        apply_started = time.perf_counter()
                         self.service.apply_replicated(record)
+                        self._apply_hist.observe(
+                            time.perf_counter() - apply_started
+                        )
                         with self._lock:
                             self._applied = position
                             self._records_applied += 1
@@ -418,6 +465,12 @@ class ReplicaService:
     def stats(self):
         """The inner service's :class:`~repro.service.stats.ServiceStats`."""
         return self.service.stats
+
+    @property
+    def metrics(self):
+        """The inner service's registry — service metrics *and* the
+        replication gauges registered by :meth:`_register_metrics`."""
+        return self.service.metrics
 
     def statistics(self):
         """Merged :class:`~repro.indexing.koko_index.IndexStatistics`."""

@@ -33,6 +33,7 @@ import threading
 import time
 
 from ..errors import KokoSemanticError, KokoSyntaxError
+from ..observability.metrics import MetricsRegistry
 from ..persistence import WalPosition
 
 __all__ = ["ReplicaSet", "ReplicaSetStats"]
@@ -41,53 +42,95 @@ _UNSET = object()
 
 
 class ReplicaSetStats:
-    """Routing counters for one :class:`ReplicaSet`."""
+    """Routing counters for one :class:`ReplicaSet`, registry-backed.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.primary_queries = 0
-        self.replica_queries: dict[str, int] = {}
-        self.read_your_writes_rejections = 0
-        self.lag_rejections = 0
-        self.health_rejections = 0
-        self.failovers = 0
+    Counters live in *registry* (the primary's, when the router can reach
+    one — so ``primary.metrics.render_text()`` includes routing traffic);
+    the pre-registry attribute API (``primary_queries``,
+    ``replica_queries``, the rejection counts, ``failovers``) is preserved
+    as read-only properties and :meth:`snapshot` keeps its exact shape.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._primary = self.registry.counter(
+            "koko_router_primary_queries_total",
+            "Queries the router served from the primary.",
+        )
+        self._replica = self.registry.counter(
+            "koko_router_replica_queries_total",
+            "Queries the router served per replica.",
+            labelnames=("replica",),
+        )
+        self._rejections = self.registry.counter(
+            "koko_router_rejections_total",
+            "Replicas skipped per staleness/health reason.",
+            labelnames=("reason",),
+        )
+        self._failovers = self.registry.counter(
+            "koko_router_failovers_total",
+            "Replicas that failed mid-query and were routed around.",
+        )
 
     def record_primary(self) -> None:
         """Account one query served by the primary."""
-        with self._lock:
-            self.primary_queries += 1
+        self._primary.inc()
 
     def record_replica(self, name: str) -> None:
         """Account one query served by replica *name*."""
-        with self._lock:
-            self.replica_queries[name] = self.replica_queries.get(name, 0) + 1
+        self._replica.labels(name).inc()
 
     def record_rejection(self, kind: str) -> None:
         """Account one replica skipped for staleness/health (*kind*)."""
-        with self._lock:
-            if kind == "read_your_writes":
-                self.read_your_writes_rejections += 1
-            elif kind == "lag":
-                self.lag_rejections += 1
-            else:
-                self.health_rejections += 1
+        if kind not in ("read_your_writes", "lag"):
+            kind = "health"
+        self._rejections.labels(kind).inc()
 
     def record_failover(self) -> None:
         """Account one replica that failed mid-query and was routed around."""
-        with self._lock:
-            self.failovers += 1
+        self._failovers.inc()
+
+    @property
+    def primary_queries(self) -> int:
+        """Queries served by the primary."""
+        return self._primary.value
+
+    @property
+    def replica_queries(self) -> dict[str, int]:
+        """Per-replica served-query counts."""
+        return dict(self._replica.values())
+
+    @property
+    def read_your_writes_rejections(self) -> int:
+        """Replicas skipped for not having applied a read-your-writes token."""
+        return self._rejections.values().get("read_your_writes", 0)
+
+    @property
+    def lag_rejections(self) -> int:
+        """Replicas skipped for exceeding the byte-lag bound."""
+        return self._rejections.values().get("lag", 0)
+
+    @property
+    def health_rejections(self) -> int:
+        """Replicas skipped as disconnected, restarting, benched or stuck."""
+        return self._rejections.values().get("health", 0)
+
+    @property
+    def failovers(self) -> int:
+        """Replicas that raised mid-query and were routed around."""
+        return self._failovers.value
 
     def snapshot(self) -> dict:
         """A point-in-time dict of every routing counter."""
-        with self._lock:
-            return {
-                "primary_queries": self.primary_queries,
-                "replica_queries": dict(self.replica_queries),
-                "read_your_writes_rejections": self.read_your_writes_rejections,
-                "lag_rejections": self.lag_rejections,
-                "health_rejections": self.health_rejections,
-                "failovers": self.failovers,
-            }
+        rejections = self._rejections.values()
+        return {
+            "primary_queries": self._primary.value,
+            "replica_queries": dict(self._replica.values()),
+            "read_your_writes_rejections": rejections.get("read_your_writes", 0),
+            "lag_rejections": rejections.get("lag", 0),
+            "health_rejections": rejections.get("health", 0),
+            "failovers": self._failovers.value,
+        }
 
 
 class _ReplicaHealth:
@@ -136,7 +179,11 @@ class ReplicaSet:
         self.max_lag_bytes = max_lag_bytes
         self.failover_seconds = failover_seconds
         self.suspend_seconds = suspend_seconds
-        self.stats = ReplicaSetStats()
+        # routing counters join the primary's registry when it has one, so
+        # the primary's exposition covers the whole replicated read path
+        self.stats = ReplicaSetStats(
+            registry=getattr(getattr(primary, "stats", None), "registry", None)
+        )
         self._lock = threading.Lock()
         self._replicas: list = []
         self._health: dict[int, _ReplicaHealth] = {}

@@ -35,6 +35,7 @@ import threading
 import time
 
 from ..errors import PersistenceError, ReplicationError
+from ..observability.metrics import MetricsRegistry
 from ..persistence import WalCursor, WalPosition, read_snapshot_payloads
 from ..persistence.snapshot import find_latest_valid
 from .transport import TcpTransport, TransportClosed, issue_auth_challenge
@@ -217,8 +218,11 @@ class ShipperSession:
                 self._transport.send(("records", batch, end))
                 with self._lock:
                     self._position = batch[-1][0]
+                batch_bytes = sum(len(p) for _, p in batch)
                 self.records_shipped += len(batch)
-                self.bytes_shipped += sum(len(p) for _, p in batch)
+                self.bytes_shipped += batch_bytes
+                shipper._records_metric.inc(len(batch))
+                shipper._bytes_metric.inc(batch_bytes)
                 self._drain_acks(block=False)
             else:
                 # caught up: the recv timeout doubles as the poll interval
@@ -226,13 +230,17 @@ class ShipperSession:
             now = time.monotonic()
             if now - last_heartbeat >= shipper.heartbeat_interval:
                 last_heartbeat = now
+                lag = self.lag_bytes()
+                shipper._lag_gauge.labels(self.peer).set(
+                    float(lag) if lag is not None else -1.0
+                )
                 self._transport.send(
                     (
                         "heartbeat",
                         {
                             "end": shipper.service.wal_position(),
                             "acked": self.acked,
-                            "lag_bytes": self.lag_bytes(),
+                            "lag_bytes": lag,
                         },
                     )
                 )
@@ -266,6 +274,7 @@ class ShipperSession:
         checkpoint superseded it twice) — the retry picks the newer one.
         """
         layout = self._shipper.layout
+        ship_started = time.perf_counter()
         for _ in range(8):
             checkpoint_id = find_latest_valid(layout)
             if checkpoint_id is None:
@@ -286,6 +295,10 @@ class ShipperSession:
             self._transport.send(("hello", {"mode": "snapshot", "start": start}))
             self._transport.send(
                 ("snapshot", {"manifest": manifest, "files": payloads})
+            )
+            self._shipper._snapshot_bytes_metric.inc(self.snapshot_bytes)
+            self._shipper._snapshot_ship_seconds.observe(
+                time.perf_counter() - ship_started
             )
             return start
         raise ReplicationError("snapshot bootstrap kept losing races with pruning")
@@ -382,6 +395,44 @@ class LogShipper:
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._closed = False
+        # Shipping metrics live in the primary's registry, so one
+        # render_text() covers service + persistence + replication.
+        registry = getattr(getattr(service, "stats", None), "registry", None)
+        self.metrics: MetricsRegistry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._sessions_gauge = self.metrics.gauge(
+            "koko_shipper_sessions", "Live follower shipping sessions."
+        )
+        self._sessions_gauge.set_function(lambda: float(len(self.sessions)))
+        self._stalled_gauge = self.metrics.gauge(
+            "koko_shipper_stalled_sessions",
+            "Sessions whose follower stopped acking within the stall timeout.",
+        )
+        self._stalled_gauge.set_function(
+            lambda: float(sum(1 for s in self.sessions if s.stalled))
+        )
+        self._records_metric = self.metrics.counter(
+            "koko_shipper_records_shipped_total",
+            "WAL records shipped to followers across all sessions.",
+        )
+        self._bytes_metric = self.metrics.counter(
+            "koko_shipper_bytes_shipped_total",
+            "WAL payload bytes shipped to followers across all sessions.",
+        )
+        self._snapshot_bytes_metric = self.metrics.counter(
+            "koko_shipper_snapshot_bytes_shipped_total",
+            "Snapshot bytes shipped during follower bootstraps.",
+        )
+        self._snapshot_ship_seconds = self.metrics.histogram(
+            "koko_shipper_snapshot_ship_seconds",
+            "Wall-clock per snapshot bootstrap (read + ship), pow-2 buckets.",
+        )
+        self._lag_gauge = self.metrics.gauge(
+            "koko_shipper_lag_bytes",
+            "Per-follower byte lag behind the durable end (-1 = unknown).",
+            labelnames=("peer",),
+        )
         service.register_wal_pin(self._wal_floor)
 
     # -- serving --------------------------------------------------------

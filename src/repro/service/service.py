@@ -54,7 +54,15 @@ a long-lived server:
 * **Observability** — :class:`~repro.service.stats.ServiceStats` tracks
   cache hit rates, ingest throughput, p50/p95 query latency, a per-shard
   breakdown, and durability counters (WAL appends, group-commit batch
-  sizes and fsyncs saved, checkpoints, recovery).
+  sizes and fsyncs saved, checkpoints, recovery) — all backed by one
+  :class:`~repro.observability.metrics.MetricsRegistry` (``service.metrics``)
+  with Prometheus text / JSON exposition.  Query and ingest executions are
+  traced into :class:`~repro.observability.tracing.Span` trees —
+  deterministically sampled at ``trace_sample_rate``, or on demand via
+  ``query(..., explain=True)`` which returns an EXPLAIN ANALYZE-style
+  report.  Operations slower than ``slow_query_ms`` / ``slow_ingest_ms``
+  land as structured entries in a slow-op ring buffer
+  (:meth:`~KokoService.recent_slow_ops`, optional JSON-lines file sink).
 
 Lock hierarchy (see ``docs/ARCHITECTURE.md`` for the full map)::
 
@@ -80,6 +88,7 @@ read earlier — the usual read-committed view of a partitioned store.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import threading
 import time
 from collections import deque
@@ -97,6 +106,9 @@ from ..koko.engine import CompiledQuery, KokoEngine, compile_query
 from ..koko.results import KokoResult, merge_results
 from ..nlp.pipeline import Pipeline
 from ..nlp.types import Corpus, Document
+from ..observability.metrics import MetricsRegistry
+from ..observability.slowlog import SlowOpLog
+from ..observability.tracing import ExplainedResult, Span, Tracer
 from ..persistence import (
     OP_ADD,
     OP_REMOVE,
@@ -259,6 +271,22 @@ class KokoService:
         Mutually exclusive with ``storage_dir``; the snapshot's shard
         count and name win exactly as a recovered on-disk snapshot's
         would.
+    trace_sample_rate:
+        Fraction of queries/ingests traced into a full span tree even
+        without ``explain=True`` — deterministic accumulator sampling
+        (0.01 = every 100th operation), so production always has recent
+        traces to attribute latency with.  ``0.0`` disables sampling
+        entirely: the untraced hot path allocates no spans at all.
+    slow_query_ms, slow_ingest_ms:
+        Wall-clock thresholds above which a query (respectively an
+        ingest or removal) emits one structured entry into the slow-op
+        log.  ``None`` disables that kind of slow-op entry.
+    slow_op_log_path:
+        Optional file the slow-op log also appends to, one JSON line per
+        entry (the in-memory ring behind :meth:`recent_slow_ops` is
+        always active).
+    slow_op_log_capacity:
+        Size of the slow-op ring buffer (default 256 entries).
     expander, vectors, dictionaries, use_gsp, use_default_vectors:
         Forwarded to every shard's :class:`~repro.koko.engine.KokoEngine`.
     """
@@ -280,6 +308,11 @@ class KokoService:
         sync_interval: float = 0.0,
         checkpoint_poll_seconds: float = 0.2,
         bootstrap_snapshot: SnapshotState | None = None,
+        trace_sample_rate: float = 0.01,
+        slow_query_ms: float | None = 250.0,
+        slow_ingest_ms: float | None = 1000.0,
+        slow_op_log_path: str | Path | None = None,
+        slow_op_log_capacity: int = 256,
         expander: DescriptorExpander | None = None,
         vectors: VectorStore | None = None,
         dictionaries: dict[str, set[str]] | None = None,
@@ -298,6 +331,16 @@ class KokoService:
                 "bootstrap_snapshot and storage_dir are mutually exclusive "
                 "(a shipped snapshot bootstraps a memory-only follower)"
             )
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ServiceError(
+                f"trace_sample_rate must be in [0, 1], got {trace_sample_rate}"
+            )
+        for label, threshold in (
+            ("slow_query_ms", slow_query_ms),
+            ("slow_ingest_ms", slow_ingest_ms),
+        ):
+            if threshold is not None and threshold < 0:
+                raise ServiceError(f"{label} must be >= 0 or None, got {threshold}")
         self.pipeline = pipeline or Pipeline()
 
         # ---- durability: recover any existing on-disk state first, since
@@ -360,6 +403,23 @@ class KokoService:
         ]
         self.max_workers = max_workers
         self.stats = ServiceStats()
+        # tracing + slow-op log share the stats registry, so one
+        # render_text() exposes the whole service
+        self._tracer = Tracer(trace_sample_rate)
+        self._slow_query_ms = slow_query_ms
+        self._slow_ingest_ms = slow_ingest_ms
+        self._slow_log = SlowOpLog(
+            capacity=slow_op_log_capacity,
+            path=str(slow_op_log_path) if slow_op_log_path is not None else None,
+        )
+        self._traces_sampled = self.stats.registry.counter(
+            "koko_traces_sampled_total", "Operations traced into a span tree."
+        )
+        self._slow_ops = self.stats.registry.counter(
+            "koko_slow_ops_total",
+            "Operations that crossed their slow-op threshold.",
+            labelnames=("kind",),
+        )
         self._plan_cache = PlanCache(plan_cache_size)
         self._result_cache: ResultCache[KokoResult] = ResultCache(
             result_cache_size, on_evict=self.stats.record_result_cache_eviction
@@ -576,33 +636,39 @@ class KokoService:
         if self._wal is None or self._layout is None:
             raise ServiceError("service has no storage_dir to checkpoint into")
         started = time.perf_counter()
-        with self._checkpoint_lock:
-            with self._meta_cond:
-                # Drain: a staged ingest may have appended to the WAL but
-                # not yet spliced; rotating under it would strand a logged
-                # operation in a segment the checkpoint claims to cover.
-                self._ingest_barrier += 1
-                try:
-                    while self._inflight_ingests:
-                        self._meta_cond.wait()
-                    if self._ops_since_checkpoint == 0:
-                        return None
-                    sealed = self._wal.rotate()
-                    state = self._capture_snapshot_state(checkpoint_id=sealed)
-                    self._ops_since_checkpoint = 0
-                    self._last_checkpoint_monotonic = time.monotonic()
-                finally:
-                    self._ingest_barrier -= 1
-                    self._meta_cond.notify_all()
-            # File writes happen outside the meta lock: the captured state
-            # is immutable (fresh Database objects; documents are never
-            # mutated after ingest), so writers proceed while we fsync.
-            write_snapshot(self._layout, state)
-            self._layout.write_current(sealed)
-            self._layout.prune(sealed, wal_keep_from=self._wal_pin_floor())
-            self._checkpoint_id = sealed
-        self.stats.record_checkpoint(time.perf_counter() - started, sealed)
-        return sealed
+        # the in-progress gauge brackets the whole attempt (including the
+        # drain wait), so a wedged checkpointer is visible from outside
+        self.stats.record_checkpoint_started()
+        try:
+            with self._checkpoint_lock:
+                with self._meta_cond:
+                    # Drain: a staged ingest may have appended to the WAL but
+                    # not yet spliced; rotating under it would strand a logged
+                    # operation in a segment the checkpoint claims to cover.
+                    self._ingest_barrier += 1
+                    try:
+                        while self._inflight_ingests:
+                            self._meta_cond.wait()
+                        if self._ops_since_checkpoint == 0:
+                            return None
+                        sealed = self._wal.rotate()
+                        state = self._capture_snapshot_state(checkpoint_id=sealed)
+                        self._ops_since_checkpoint = 0
+                        self._last_checkpoint_monotonic = time.monotonic()
+                    finally:
+                        self._ingest_barrier -= 1
+                        self._meta_cond.notify_all()
+                # File writes happen outside the meta lock: the captured state
+                # is immutable (fresh Database objects; documents are never
+                # mutated after ingest), so writers proceed while we fsync.
+                write_snapshot(self._layout, state)
+                self._layout.write_current(sealed)
+                self._layout.prune(sealed, wal_keep_from=self._wal_pin_floor())
+                self._checkpoint_id = sealed
+            self.stats.record_checkpoint(time.perf_counter() - started, sealed)
+            return sealed
+        finally:
+            self.stats.record_checkpoint_finished()
 
     def _maybe_checkpoint(self) -> None:
         """Background heartbeat: checkpoint when the policy says it is due."""
@@ -772,25 +838,59 @@ class KokoService:
         resolved_id, base_sid, consumed = self._claim_ingest(
             doc_id, reserve, first_sid, ingest_bytes=len(text.encode("utf-8"))
         )
+        trace: Span | None = None
+        if self._tracer.should_sample():
+            self._traces_sampled.inc()
+            trace = Span("ingest", doc_id=resolved_id)
         logged = False
+        frame_bytes = 0
         try:
             # Stage 1 (no lock): heavy NLP annotation.
+            stage_started = time.perf_counter()
             document = self._annotate_off_lock(text, resolved_id, base_sid)
+            annotate_s = time.perf_counter() - stage_started
+            if trace is not None:
+                trace.record("annotate", annotate_s, sentences=len(document))
             # Stage 2 (no lock): write-ahead logging; group commit batches
             # concurrent fsyncs.  Durable before visible.
-            self._log(WalRecord(op=OP_ADD, doc_id=resolved_id, document=document))
+            wal_span = trace.child("wal") if trace is not None else None
+            stage_started = time.perf_counter()
+            frame_bytes = self._log(
+                WalRecord(op=OP_ADD, doc_id=resolved_id, document=document),
+                trace=wal_span,
+            )
+            wal_s = time.perf_counter() - stage_started
+            if wal_span is not None:
+                wal_span.annotate(frame_bytes=frame_bytes)
+                wal_span.finish()
             logged = self._wal is not None
             # Stage 3 (one shard's write lock): splice postings.
+            stage_started = time.perf_counter()
             shard = self._splice_into_shard(document)
+            splice_s = time.perf_counter() - stage_started
+            if trace is not None:
+                trace.record("splice", splice_s, shard=shard.shard_id)
         except BaseException:
             self._abort_ingest(resolved_id, logged=logged, reservation=consumed)
             raise
         self._commit_ingest(resolved_id, shard.shard_id)
+        elapsed = time.perf_counter() - started
         self.stats.record_ingest(
-            time.perf_counter() - started,
-            len(document),
-            document.num_tokens,
+            elapsed, len(document), document.num_tokens, shard=shard.shard_id
+        )
+        if trace is not None:
+            trace.annotate(shard=shard.shard_id, tokens=document.num_tokens)
+            trace.finish()
+        self._observe_slow_ingest(
+            "ingest",
+            elapsed,
+            doc_id=resolved_id,
             shard=shard.shard_id,
+            stages={"annotate": annotate_s, "wal": wal_s, "splice": splice_s},
+            frame_bytes=frame_bytes,
+            sentences=len(document),
+            tokens=document.num_tokens,
+            trace=trace,
         )
         return document
 
@@ -847,26 +947,58 @@ class KokoService:
         """
         started = time.perf_counter()
         document, shard_id = self._claim_remove(doc_id)
+        trace: Span | None = None
+        if self._tracer.should_sample():
+            self._traces_sampled.inc()
+            trace = Span("remove", doc_id=doc_id)
         logged = False
+        frame_bytes = 0
         try:
             # Off-lock: group-committed WAL append (durable before applied).
-            self._log(WalRecord(op=OP_REMOVE, doc_id=doc_id))
+            wal_span = trace.child("wal") if trace is not None else None
+            stage_started = time.perf_counter()
+            frame_bytes = self._log(
+                WalRecord(op=OP_REMOVE, doc_id=doc_id), trace=wal_span
+            )
+            wal_s = time.perf_counter() - stage_started
+            if wal_span is not None:
+                wal_span.annotate(frame_bytes=frame_bytes)
+                wal_span.finish()
             logged = self._wal is not None
             # One shard's write lock: un-splice the postings.
+            stage_started = time.perf_counter()
             shard = self._shards[shard_id]
             with shard.lock.write_locked():
                 shard.unsplice(document)
                 self._generations[shard_id] += 1
+            unsplice_s = time.perf_counter() - stage_started
+            if trace is not None:
+                trace.record("unsplice", unsplice_s, shard=shard_id)
         except BaseException:
             self._abort_remove(doc_id, document if logged else None)
             raise
         self._commit_remove(doc_id)
+        elapsed = time.perf_counter() - started
         self.stats.record_ingest(
-            time.perf_counter() - started,
+            elapsed,
             len(document),
             document.num_tokens,
             removed=True,
             shard=shard_id,
+        )
+        if trace is not None:
+            trace.annotate(shard=shard_id)
+            trace.finish()
+        self._observe_slow_ingest(
+            "remove",
+            elapsed,
+            doc_id=doc_id,
+            shard=shard_id,
+            stages={"wal": wal_s, "unsplice": unsplice_s},
+            frame_bytes=frame_bytes,
+            sentences=len(document),
+            tokens=document.num_tokens,
+            trace=trace,
         )
         return document
 
@@ -1128,15 +1260,19 @@ class KokoService:
             self._inflight_ingests -= 1
             self._meta_cond.notify_all()
 
-    def _log(self, record: WalRecord) -> None:
+    def _log(self, record: WalRecord, trace: Span | None = None) -> int:
         """Write-ahead: make one operation durable before applying it.
 
         Thread-safe; concurrent calls coalesce their fsyncs (group
-        commit).  A no-op on a memory-only service.
+        commit).  A no-op on a memory-only service.  Returns the appended
+        frame size in bytes (0 when memory-only).  ``trace`` is forwarded
+        to the WAL for ``wal_append``/``fsync_wait`` child spans.
         """
         if self._wal is not None:
-            appended = self._wal.append(record)
+            appended = self._wal.append(record, trace=trace)
             self.stats.record_wal_append(appended)
+            return appended
+        return 0
 
     def _apply_add_locked(self, document: Document) -> _Shard:
         """Route and splice one document under the meta lock (replay path,
@@ -1182,7 +1318,8 @@ class KokoService:
         query: str | KokoQuery | CompiledQuery,
         threshold_override: float | None = None,
         keep_all_scores: bool = False,
-    ) -> KokoResult:
+        explain: bool = False,
+    ) -> KokoResult | ExplainedResult:
         """Evaluate one query against the current corpus.
 
         String queries go through the plan cache and the generation-stamped
@@ -1201,31 +1338,76 @@ class KokoService:
         keep_all_scores:
             Keep per-variable scores on every tuple instead of only the
             aggregate-relevant ones.
+        explain:
+            Return an :class:`~repro.observability.tracing.ExplainedResult`
+            carrying the full span tree (cache lookups, shard fan-out,
+            every pipeline stage per shard, merge) next to the ordinary
+            result.  The pipeline **always executes fully** under
+            ``explain=True`` — result and partial caches are probed (and
+            their outcomes recorded as spans) but never served from, so
+            the report reflects real per-stage cost; the tuples are
+            identical to a plain query's.
         """
         self._ensure_open()
         started = time.perf_counter()
+        trace: Span | None = None
+        if explain or self._tracer.should_sample():
+            self._traces_sampled.inc()
+            trace = Span("query", shards=len(self._shards))
         result_hit: bool | None = None
         plan_hit: bool | None = None
         if isinstance(query, str):
             key = (query, threshold_override, keep_all_scores)
             stamp = tuple(self._generations)
-            result = self._result_cache.get(key, stamp)
-            if result is not None:
+            lookup_started = time.perf_counter()
+            cached = self._result_cache.get(key, stamp)
+            if trace is not None:
+                trace.record(
+                    "result_cache",
+                    time.perf_counter() - lookup_started,
+                    hit=cached is not None,
+                )
+            if cached is not None and not explain:
+                result = cached
                 result_hit = True
             else:
-                result_hit = False
+                # explain re-executes even on a result-cache hit — the
+                # point is the per-stage breakdown, which a cached result
+                # cannot provide.  The hit still counts as one (the cache
+                # could have served it).
+                result_hit = cached is not None
+                lookup_started = time.perf_counter()
                 plan, plan_hit = self._plan_cache.get_or_compile(query)
+                if trace is not None:
+                    trace.record(
+                        "plan_cache",
+                        time.perf_counter() - lookup_started,
+                        hit=plan_hit,
+                    )
                 result = self._execute(
-                    plan, threshold_override, keep_all_scores, cache_key=key
+                    plan,
+                    threshold_override,
+                    keep_all_scores,
+                    # explain bypasses the per-shard partial caches too, so
+                    # every shard runs every stage and the tree is complete
+                    cache_key=None if explain else key,
+                    trace=trace,
                 )
                 self._result_cache.put(key, stamp, result)
         else:
-            result = self._execute(query, threshold_override, keep_all_scores)
+            result = self._execute(
+                query, threshold_override, keep_all_scores, trace=trace
+            )
+        elapsed = time.perf_counter() - started
         self.stats.record_query(
-            time.perf_counter() - started,
-            result_cache_hit=result_hit,
-            plan_cache_hit=plan_hit,
+            elapsed, result_cache_hit=result_hit, plan_cache_hit=plan_hit
         )
+        if trace is not None:
+            trace.annotate(tuples=len(result))
+            trace.finish()
+        self._observe_slow_query(query, elapsed, result, result_hit, plan_hit, trace)
+        if explain:
+            return ExplainedResult(result=result, trace=trace)
         return result
 
     def _execute(
@@ -1234,24 +1416,42 @@ class KokoService:
         threshold_override: float | None,
         keep_all_scores: bool,
         cache_key=None,
+        trace: Span | None = None,
     ) -> KokoResult:
         """Run the stage pipeline on every shard and merge the results.
 
         With a ``cache_key`` (string queries), shards whose generation is
         unchanged since a previous execution of the same query are served
         from the per-shard partial cache — only the shards that actually
-        ingested since then re-execute.
+        ingested since then re-execute.  With ``trace``, the fan-out gets
+        a ``shard_fanout`` span with one ``shardN`` child per shard and a
+        ``merge`` span for the deterministic combine.
         """
         if len(self._shards) == 1:
-            return self._execute_shard(
-                self._shards[0], query, threshold_override, keep_all_scores
-            )
+            if trace is None:
+                return self._execute_shard(
+                    self._shards[0], query, threshold_override, keep_all_scores
+                )
+            with trace.span("shard_fanout", shards=1) as fanout:
+                return self._execute_shard(
+                    self._shards[0],
+                    query,
+                    threshold_override,
+                    keep_all_scores,
+                    trace=fanout,
+                )
         pool = self._shard_pool
         if pool is None:
             raise ServiceError("service is closed")
+        fanout = (
+            trace.child("shard_fanout", shards=len(self._shards))
+            if trace is not None
+            else None
+        )
         partials: list[KokoResult | None] = [None] * len(self._shards)
         pending: list[_Shard] = []
         for shard in self._shards:
+            lookup_started = time.perf_counter()
             cached = (
                 self._shard_result_caches[shard.shard_id].get(
                     cache_key, self._generations[shard.shard_id]
@@ -1262,6 +1462,12 @@ class KokoService:
             if cached is not None:
                 partials[shard.shard_id] = cached
                 self.stats.record_shard_partial(reused=True, shard=shard.shard_id)
+                if fanout is not None:
+                    fanout.record(
+                        f"shard{shard.shard_id}",
+                        time.perf_counter() - lookup_started,
+                        partial_cache="hit",
+                    )
             else:
                 pending.append(shard)
         if pending:
@@ -1279,13 +1485,19 @@ class KokoService:
                         threshold_override,
                         keep_all_scores,
                         cache_key,
+                        fanout,
                     ),
                 )
                 for shard in pending
             ]
             for shard_id, future in futures:
                 partials[shard_id] = future.result()
-        return merge_results([p for p in partials if p is not None])
+        if fanout is not None:
+            fanout.finish()
+        if trace is None:
+            return merge_results([p for p in partials if p is not None])
+        with trace.span("merge"):
+            return merge_results([p for p in partials if p is not None])
 
     def _execute_shard(
         self,
@@ -1294,9 +1506,16 @@ class KokoService:
         threshold_override: float | None,
         keep_all_scores: bool,
         cache_key=None,
+        trace: Span | None = None,
     ) -> KokoResult:
-        """Execute one shard's slice under its read lock; cache the partial."""
+        """Execute one shard's slice under its read lock; cache the partial.
+
+        ``trace`` is the fan-out span this execution should hang its own
+        ``shardN`` child under (safe from pool threads: span child lists
+        are lock-guarded).
+        """
         started = time.perf_counter()
+        span = trace.child(f"shard{shard.shard_id}") if trace is not None else None
         with shard.lock.read_locked():
             # The stamp is read under the read lock, so it is exactly the
             # generation this execution observes on this shard.
@@ -1305,10 +1524,14 @@ class KokoService:
                 query,
                 threshold_override=threshold_override,
                 keep_all_scores=keep_all_scores,
+                trace=span,
             )
         if cache_key is not None:
             self._shard_result_caches[shard.shard_id].put(cache_key, generation, result)
             self.stats.record_shard_partial(reused=False, shard=shard.shard_id)
+        if span is not None:
+            span.annotate(tuples=len(result), generation=generation)
+            span.finish()
         self.stats.record_shard_query(shard.shard_id, time.perf_counter() - started)
         return result
 
@@ -1363,7 +1586,8 @@ class KokoService:
         query: str | KokoQuery | CompiledQuery,
         threshold_override: float | None = None,
         keep_all_scores: bool = False,
-    ) -> KokoResult:
+        explain: bool = False,
+    ) -> KokoResult | ExplainedResult:
         """Async :meth:`query`: awaitable, runs on the front-end thread pool.
 
         The event loop is never blocked — per-shard fan-out, read locking
@@ -1374,6 +1598,7 @@ class KokoService:
             query,
             threshold_override=threshold_override,
             keep_all_scores=keep_all_scores,
+            explain=explain,
         )
 
     async def aadd_document(
@@ -1453,6 +1678,7 @@ class KokoService:
         if self._shard_pool is not None:
             self._shard_pool.shutdown(wait=True)
             self._shard_pool = None
+        self._slow_log.close()
 
     def __enter__(self) -> "KokoService":
         """Context-manager entry: the service itself."""
@@ -1461,6 +1687,118 @@ class KokoService:
     def __exit__(self, *exc_info) -> None:
         """Context-manager exit: :meth:`close` (flushes a final checkpoint)."""
         self.close()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The service's unified metrics registry.
+
+        One registry holds every layer's metrics — query/cache/ingest
+        counters, WAL and checkpoint durability metrics, per-shard
+        families, and (when replication is attached) shipper and replica
+        lag gauges.  ``service.metrics.render_text()`` is the Prometheus
+        exposition; ``render_json()`` the structured dump.
+        """
+        return self.stats.registry
+
+    def recent_slow_ops(self, limit: int | None = None) -> list[dict]:
+        """Newest-first structured slow-op entries from the ring buffer.
+
+        Each entry is the dict that was (optionally) written to the slow-op
+        log file: kind, duration, per-stage millisecond breakdown, cache
+        outcomes / WAL frame size, and the span tree when the op was traced.
+        """
+        return self._slow_log.recent(limit)
+
+    def _observe_slow_query(
+        self,
+        query,
+        elapsed: float,
+        result: KokoResult,
+        result_hit: bool | None,
+        plan_hit: bool | None,
+        trace: Span | None,
+    ) -> None:
+        """Record one structured slow-op entry if *elapsed* crosses the bar."""
+        threshold = self._slow_query_ms
+        if threshold is None:
+            return
+        duration_ms = elapsed * 1000.0
+        if duration_ms < threshold:
+            return
+        timings = result.timings
+        entry = {
+            "kind": "query",
+            "ts_unix": round(time.time(), 3),
+            "duration_ms": round(duration_ms, 3),
+            "query_sha1": (
+                hashlib.sha1(query.encode()).hexdigest()[:12]
+                if isinstance(query, str)
+                else None
+            ),
+            "shards": len(self._shards),
+            "tuples": len(result),
+            "candidate_sentences": result.candidate_sentences,
+            "cache": {
+                "result_cache_hit": result_hit,
+                "plan_cache_hit": plan_hit,
+            },
+            "stages_ms": {
+                "normalize": round(timings.normalize * 1000.0, 3),
+                "dpli": round(timings.dpli * 1000.0, 3),
+                "load": round(timings.load_articles * 1000.0, 3),
+                "gsp": round(timings.gsp * 1000.0, 3),
+                "extract": round(timings.extract * 1000.0, 3),
+                "aggregate": round(timings.satisfying * 1000.0, 3),
+            },
+        }
+        if trace is not None:
+            entry["trace"] = trace.to_dict()
+        self._slow_ops.labels("query").inc()
+        self._slow_log.record(entry)
+
+    def _observe_slow_ingest(
+        self,
+        kind: str,
+        elapsed: float,
+        *,
+        doc_id: str,
+        shard: int,
+        stages: dict[str, float],
+        frame_bytes: int,
+        sentences: int,
+        tokens: int,
+        trace: Span | None,
+    ) -> None:
+        """Record one structured slow ingest/remove entry if over threshold."""
+        threshold = self._slow_ingest_ms
+        if threshold is None:
+            return
+        duration_ms = elapsed * 1000.0
+        if duration_ms < threshold:
+            return
+        entry = {
+            "kind": kind,
+            "ts_unix": round(time.time(), 3),
+            "duration_ms": round(duration_ms, 3),
+            "doc_id": doc_id,
+            "shard": shard,
+            "sentences": sentences,
+            "tokens": tokens,
+            "wal": {
+                "frame_bytes": frame_bytes,
+                "mean_batch": round(self.stats.wal_mean_batch, 2),
+            },
+            "stages_ms": {
+                name: round(seconds * 1000.0, 3) for name, seconds in stages.items()
+            },
+        }
+        if trace is not None:
+            entry["trace"] = trace.to_dict()
+        self._slow_ops.labels(kind).inc()
+        self._slow_log.record(entry)
 
     # ------------------------------------------------------------------
     # introspection

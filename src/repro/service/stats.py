@@ -8,69 +8,185 @@ breakdown of query work and document routing for partitioned services,
 and durability counters — WAL appends, group-commit batch sizes (how many
 records each fsync made durable, bucketed into a power-of-two histogram)
 and the fsyncs saved relative to one-fsync-per-record.
+
+Every number is backed by an instrument in a
+:class:`~repro.observability.metrics.MetricsRegistry` (exposed as
+``stats.registry``), so the whole set renders as Prometheus text or JSON
+via ``registry.render_text()`` / ``registry.render_json()`` — and other
+components (WAL shipper, replica applier) can register their own gauges
+into the *same* registry for one unified exposition.  The historical
+attribute API (``stats.queries_served``, ``stats.shard_queries`` …) is
+kept as a read-only façade over those instruments, so existing callers,
+tests and benchmarks are unaffected.  Per-shard breakdowns are read as
+one atomic cut per metric family (they used to be racy attribute-by-
+attribute reads of dicts mutated under a different lock).
 """
 
 from __future__ import annotations
 
 import math
 import threading
+import time
 from collections import deque
+
+from ..observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = ["ServiceStats"]
 
 
 class ServiceStats:
-    """Thread-safe counters and latency window for one service instance."""
+    """Thread-safe counters and latency window for one service instance.
 
-    def __init__(self, latency_window: int = 2048) -> None:
+    ``registry`` (optional) lets several components share one
+    :class:`~repro.observability.metrics.MetricsRegistry`; by default
+    each stats object owns a fresh registry so independent services
+    never mix counters.
+    """
+
+    def __init__(
+        self, latency_window: int = 2048, registry: MetricsRegistry | None = None
+    ) -> None:
         self._lock = threading.Lock()
-        self.queries_served = 0
-        self.result_cache_hits = 0
-        self.result_cache_misses = 0
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
-        self.documents_added = 0
-        self.documents_removed = 0
-        self.sentences_ingested = 0
-        self.tokens_ingested = 0
-        self.ingest_seconds = 0.0
-        self.removal_seconds = 0.0
         self._latencies: deque[float] = deque(maxlen=latency_window)
-        # per-shard breakdown (keys appear as shards are touched)
-        self.shard_queries: dict[int, int] = {}
-        self.shard_query_seconds: dict[int, float] = {}
-        self.shard_documents_added: dict[int, int] = {}
-        self.shard_documents_removed: dict[int, int] = {}
-        # per-shard partial-result cache (generation-stamped per shard)
-        self.shard_partials_reused = 0
-        self.shard_partials_computed = 0
-        # per-shard result-cache accounting (feeds cache sizing decisions)
-        self.shard_cache_hits: dict[int, int] = {}
-        self.shard_cache_misses: dict[int, int] = {}
-        self.shard_cache_stale_evictions: dict[int, int] = {}
-        self.shard_cache_lru_evictions: dict[int, int] = {}
-        # full-result cache evictions (stale = generation turnover, lru = capacity)
-        self.result_cache_stale_evictions = 0
-        self.result_cache_lru_evictions = 0
-        # ingest admission control (max_inflight_ingest_bytes)
-        self.ingest_backpressure_waits = 0
-        # durability: write-ahead log, group commit, checkpoints, recovery
-        self.wal_records_appended = 0
-        self.wal_bytes_appended = 0
-        self.wal_fsyncs = 0
-        self.wal_records_synced = 0
-        self.wal_max_batch = 0
-        # batch-size histogram: bucket = smallest power of two >= batch
-        self.wal_batch_histogram: dict[int, int] = {}
-        self.checkpoints_completed = 0
-        self.checkpoint_failures = 0
         self.last_checkpoint_error = ""
-        self.checkpoint_seconds = 0.0
-        self.last_checkpoint_id = 0
-        self.recovery_seconds = 0.0
-        self.recovered_documents = 0
-        self.replayed_wal_records = 0
-        self.recovered_torn_tail = False
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        # --- query / cache path -------------------------------------
+        self._queries_served = r.counter(
+            "koko_queries_served_total", "Queries served (string and pre-compiled)."
+        )
+        self._query_latency = r.histogram(
+            "koko_query_latency_seconds", "End-to-end query latency."
+        )
+        self._result_cache_hits = r.counter(
+            "koko_result_cache_hits_total", "Full-result cache hits."
+        )
+        self._result_cache_misses = r.counter(
+            "koko_result_cache_misses_total", "Full-result cache misses."
+        )
+        self._plan_cache_hits = r.counter(
+            "koko_plan_cache_hits_total", "Compiled-plan cache hits."
+        )
+        self._plan_cache_misses = r.counter(
+            "koko_plan_cache_misses_total", "Compiled-plan cache misses."
+        )
+        self._result_cache_evictions = r.counter(
+            "koko_result_cache_evictions_total",
+            "Full-result cache evictions (stale = generation turnover).",
+            labelnames=("reason",),
+        )
+        # --- ingest path --------------------------------------------
+        self._documents_added = r.counter(
+            "koko_documents_added_total", "Documents ingested."
+        )
+        self._documents_removed = r.counter(
+            "koko_documents_removed_total", "Documents removed."
+        )
+        self._sentences_ingested = r.counter(
+            "koko_sentences_ingested_total", "Sentences ingested."
+        )
+        self._tokens_ingested = r.counter(
+            "koko_tokens_ingested_total", "Annotated tokens ingested."
+        )
+        self._ingest_seconds = r.counter(
+            "koko_ingest_seconds_total", "Wall seconds spent adding documents."
+        )
+        self._removal_seconds = r.counter(
+            "koko_removal_seconds_total", "Wall seconds spent removing documents."
+        )
+        self._backpressure_waits = r.counter(
+            "koko_ingest_backpressure_waits_total",
+            "Ingest claims that blocked on the in-flight bytes bound.",
+        )
+        # --- per-shard breakdown (keys appear as shards are touched) -
+        self._shard_queries = r.counter(
+            "koko_shard_queries_total", "Per-shard query executions.", ("shard",)
+        )
+        self._shard_query_seconds = r.counter(
+            "koko_shard_query_seconds_total", "Per-shard execution seconds.", ("shard",)
+        )
+        self._shard_documents_added = r.counter(
+            "koko_shard_documents_added_total", "Per-shard document routing.", ("shard",)
+        )
+        self._shard_documents_removed = r.counter(
+            "koko_shard_documents_removed_total", "Per-shard removals.", ("shard",)
+        )
+        self._shard_partials_reused = r.counter(
+            "koko_shard_partials_reused_total",
+            "Shard partial results served from the partial cache.",
+        )
+        self._shard_partials_computed = r.counter(
+            "koko_shard_partials_computed_total",
+            "Shard partial results computed (partial-cache misses).",
+        )
+        self._shard_cache_hits = r.counter(
+            "koko_shard_cache_hits_total", "Per-shard partial-cache hits.", ("shard",)
+        )
+        self._shard_cache_misses = r.counter(
+            "koko_shard_cache_misses_total", "Per-shard partial-cache misses.", ("shard",)
+        )
+        self._shard_cache_stale_evictions = r.counter(
+            "koko_shard_cache_stale_evictions_total",
+            "Per-shard partial-cache generation evictions.",
+            ("shard",),
+        )
+        self._shard_cache_lru_evictions = r.counter(
+            "koko_shard_cache_lru_evictions_total",
+            "Per-shard partial-cache capacity evictions.",
+            ("shard",),
+        )
+        # --- durability: WAL, group commit, checkpoints, recovery ----
+        self._wal_records_appended = r.counter(
+            "koko_wal_records_appended_total", "Records appended to the WAL."
+        )
+        self._wal_bytes_appended = r.counter(
+            "koko_wal_bytes_appended_total", "Framed bytes appended to the WAL."
+        )
+        self._wal_fsyncs = r.counter(
+            "koko_wal_fsyncs_total", "Group-commit fsyncs performed."
+        )
+        self._wal_records_synced = r.counter(
+            "koko_wal_records_synced_total", "Records made durable by fsyncs."
+        )
+        self._wal_max_batch = r.gauge(
+            "koko_wal_max_batch_records", "Largest group-commit batch observed."
+        )
+        self._wal_batch_histogram = r.histogram(
+            "koko_wal_batch_records",
+            "Group-commit batch sizes (power-of-two buckets).",
+        )
+        self._checkpoints_completed = r.counter(
+            "koko_checkpoints_completed_total", "Snapshot checkpoints completed."
+        )
+        self._checkpoint_failures = r.counter(
+            "koko_checkpoint_failures_total", "Background checkpoints that failed."
+        )
+        self._checkpoint_seconds = r.counter(
+            "koko_checkpoint_seconds_total", "Wall seconds spent checkpointing."
+        )
+        self._last_checkpoint_id = r.gauge(
+            "koko_last_checkpoint_id", "Id of the newest durable checkpoint."
+        )
+        self._checkpoint_in_progress = r.gauge(
+            "koko_checkpoint_in_progress",
+            "1 while a checkpoint is running (a stuck checkpointer pins this at 1).",
+        )
+        self._last_checkpoint_unix = r.gauge(
+            "koko_last_checkpoint_unix",
+            "Unix time of the last completed checkpoint (0 = none yet).",
+        )
+        self._recovery_seconds = r.gauge(
+            "koko_recovery_seconds", "Wall seconds the warm restart took."
+        )
+        self._recovered_documents = r.gauge(
+            "koko_recovered_documents", "Documents restored by the warm restart."
+        )
+        self._replayed_wal_records = r.gauge(
+            "koko_replayed_wal_records", "WAL records replayed on recovery."
+        )
+        self._recovered_torn_tail = r.gauge(
+            "koko_recovered_torn_tail", "1 when recovery truncated a torn WAL tail."
+        )
 
     # ------------------------------------------------------------------
     # recording
@@ -88,17 +204,18 @@ class ServiceStats:
         arrived pre-parsed), which counts toward neither hit nor miss — so
         hit rates reflect only queries the caches could have served.
         """
+        self._queries_served.inc()
+        self._query_latency.observe(float(seconds))
         with self._lock:
-            self.queries_served += 1
             self._latencies.append(seconds)
-            if result_cache_hit is True:
-                self.result_cache_hits += 1
-            elif result_cache_hit is False:
-                self.result_cache_misses += 1
-            if plan_cache_hit is True:
-                self.plan_cache_hits += 1
-            elif plan_cache_hit is False:
-                self.plan_cache_misses += 1
+        if result_cache_hit is True:
+            self._result_cache_hits.inc()
+        elif result_cache_hit is False:
+            self._result_cache_misses.inc()
+        if plan_cache_hit is True:
+            self._plan_cache_hits.inc()
+        elif plan_cache_hit is False:
+            self._plan_cache_misses.inc()
 
     def record_ingest(
         self,
@@ -115,31 +232,23 @@ class ServiceStats:
         service; ``None`` (e.g. in unit tests of the stats object itself)
         records no per-shard routing.
         """
-        with self._lock:
-            if removed:
-                self.documents_removed += 1
-                self.removal_seconds += seconds
-                if shard is not None:
-                    self.shard_documents_removed[shard] = (
-                        self.shard_documents_removed.get(shard, 0) + 1
-                    )
-            else:
-                self.documents_added += 1
-                self.sentences_ingested += sentences
-                self.tokens_ingested += tokens
-                self.ingest_seconds += seconds
-                if shard is not None:
-                    self.shard_documents_added[shard] = (
-                        self.shard_documents_added.get(shard, 0) + 1
-                    )
+        if removed:
+            self._documents_removed.inc()
+            self._removal_seconds.inc(float(seconds))
+            if shard is not None:
+                self._shard_documents_removed.labels(shard).inc()
+        else:
+            self._documents_added.inc()
+            self._sentences_ingested.inc(sentences)
+            self._tokens_ingested.inc(tokens)
+            self._ingest_seconds.inc(float(seconds))
+            if shard is not None:
+                self._shard_documents_added.labels(shard).inc()
 
     def record_shard_query(self, shard: int, seconds: float) -> None:
         """Account one per-shard execution of a fanned-out (or single) query."""
-        with self._lock:
-            self.shard_queries[shard] = self.shard_queries.get(shard, 0) + 1
-            self.shard_query_seconds[shard] = (
-                self.shard_query_seconds.get(shard, 0.0) + seconds
-            )
+        self._shard_queries.labels(shard).inc()
+        self._shard_query_seconds.labels(shard).inc(float(seconds))
 
     def record_shard_partial(self, *, reused: bool, shard: int | None = None) -> None:
         """Account one shard partial served from (or stored into) its cache.
@@ -147,82 +256,274 @@ class ServiceStats:
         With ``shard`` given, the event also lands in that shard's
         hit/miss breakdown (reused = a cache hit for the shard).
         """
-        with self._lock:
-            if reused:
-                self.shard_partials_reused += 1
-                if shard is not None:
-                    self.shard_cache_hits[shard] = self.shard_cache_hits.get(shard, 0) + 1
-            else:
-                self.shard_partials_computed += 1
-                if shard is not None:
-                    self.shard_cache_misses[shard] = (
-                        self.shard_cache_misses.get(shard, 0) + 1
-                    )
+        if reused:
+            self._shard_partials_reused.inc()
+            if shard is not None:
+                self._shard_cache_hits.labels(shard).inc()
+        else:
+            self._shard_partials_computed.inc()
+            if shard is not None:
+                self._shard_cache_misses.labels(shard).inc()
 
     def record_shard_cache_eviction(self, shard: int, *, stale: bool) -> None:
         """Account one eviction from shard *shard*'s partial-result cache."""
-        with self._lock:
-            if stale:
-                self.shard_cache_stale_evictions[shard] = (
-                    self.shard_cache_stale_evictions.get(shard, 0) + 1
-                )
-            else:
-                self.shard_cache_lru_evictions[shard] = (
-                    self.shard_cache_lru_evictions.get(shard, 0) + 1
-                )
+        if stale:
+            self._shard_cache_stale_evictions.labels(shard).inc()
+        else:
+            self._shard_cache_lru_evictions.labels(shard).inc()
 
     def record_result_cache_eviction(self, stale: bool) -> None:
         """Account one eviction from the full-result cache."""
-        with self._lock:
-            if stale:
-                self.result_cache_stale_evictions += 1
-            else:
-                self.result_cache_lru_evictions += 1
+        self._result_cache_evictions.labels("stale" if stale else "lru").inc()
 
     def record_backpressure_wait(self) -> None:
         """Account one ingest claim that blocked on the in-flight bytes bound."""
-        with self._lock:
-            self.ingest_backpressure_waits += 1
+        self._backpressure_waits.inc()
 
     def record_wal_append(self, frame_bytes: int) -> None:
         """Account one operation made durable in the write-ahead log."""
-        with self._lock:
-            self.wal_records_appended += 1
-            self.wal_bytes_appended += frame_bytes
+        self._wal_records_appended.inc()
+        self._wal_bytes_appended.inc(frame_bytes)
 
     def record_wal_fsync(self, batch: int) -> None:
         """Account one group-commit fsync that made *batch* records durable."""
-        with self._lock:
-            self.wal_fsyncs += 1
-            self.wal_records_synced += batch
-            self.wal_max_batch = max(self.wal_max_batch, batch)
-            bucket = 1 << max(0, batch - 1).bit_length() if batch > 1 else 1
-            self.wal_batch_histogram[bucket] = (
-                self.wal_batch_histogram.get(bucket, 0) + 1
-            )
+        self._wal_fsyncs.inc()
+        self._wal_records_synced.inc(batch)
+        self._wal_max_batch.set_max(batch)
+        self._wal_batch_histogram.observe(int(batch))
+
+    def record_checkpoint_started(self) -> None:
+        """Mark one checkpoint as running (see ``checkpoint_in_progress``)."""
+        self._checkpoint_in_progress.inc()
+
+    def record_checkpoint_finished(self) -> None:
+        """Mark one running checkpoint as done (success, failure or no-op)."""
+        self._checkpoint_in_progress.dec()
 
     def record_checkpoint(self, seconds: float, checkpoint_id: int) -> None:
         """Account one completed snapshot checkpoint."""
-        with self._lock:
-            self.checkpoints_completed += 1
-            self.checkpoint_seconds += seconds
-            self.last_checkpoint_id = checkpoint_id
+        self._checkpoints_completed.inc()
+        self._checkpoint_seconds.inc(float(seconds))
+        self._last_checkpoint_id.set(checkpoint_id)
+        self._last_checkpoint_unix.set(time.time())
 
     def record_checkpoint_failure(self, error: str) -> None:
         """Account one failed background checkpoint (WAL keeps growing)."""
+        self._checkpoint_failures.inc()
         with self._lock:
-            self.checkpoint_failures += 1
             self.last_checkpoint_error = error
 
     def record_recovery(
         self, seconds: float, *, documents: int, replayed: int, torn_tail: bool
     ) -> None:
         """Account the warm restart that produced this service instance."""
-        with self._lock:
-            self.recovery_seconds = seconds
-            self.recovered_documents = documents
-            self.replayed_wal_records = replayed
-            self.recovered_torn_tail = torn_tail
+        self._recovery_seconds.set(seconds)
+        self._recovered_documents.set(documents)
+        self._replayed_wal_records.set(replayed)
+        self._recovered_torn_tail.set(1 if torn_tail else 0)
+
+    # ------------------------------------------------------------------
+    # attribute façade (read-only views over the registry instruments)
+    # ------------------------------------------------------------------
+    @property
+    def queries_served(self) -> int:
+        """Queries served, every kind."""
+        return self._queries_served.value
+
+    @property
+    def result_cache_hits(self) -> int:
+        """Full-result cache hits."""
+        return self._result_cache_hits.value
+
+    @property
+    def result_cache_misses(self) -> int:
+        """Full-result cache misses."""
+        return self._result_cache_misses.value
+
+    @property
+    def plan_cache_hits(self) -> int:
+        """Compiled-plan cache hits."""
+        return self._plan_cache_hits.value
+
+    @property
+    def plan_cache_misses(self) -> int:
+        """Compiled-plan cache misses."""
+        return self._plan_cache_misses.value
+
+    @property
+    def documents_added(self) -> int:
+        """Documents ingested."""
+        return self._documents_added.value
+
+    @property
+    def documents_removed(self) -> int:
+        """Documents removed."""
+        return self._documents_removed.value
+
+    @property
+    def sentences_ingested(self) -> int:
+        """Sentences ingested."""
+        return self._sentences_ingested.value
+
+    @property
+    def tokens_ingested(self) -> int:
+        """Annotated tokens ingested."""
+        return self._tokens_ingested.value
+
+    @property
+    def ingest_seconds(self) -> float:
+        """Wall seconds spent adding documents."""
+        return float(self._ingest_seconds.value)
+
+    @property
+    def removal_seconds(self) -> float:
+        """Wall seconds spent removing documents."""
+        return float(self._removal_seconds.value)
+
+    @property
+    def shard_queries(self) -> dict[int, int]:
+        """Per-shard query executions (one atomic cut)."""
+        return self._shard_queries.values()
+
+    @property
+    def shard_query_seconds(self) -> dict[int, float]:
+        """Per-shard execution seconds (one atomic cut)."""
+        return self._shard_query_seconds.values()
+
+    @property
+    def shard_documents_added(self) -> dict[int, int]:
+        """Per-shard documents routed in (one atomic cut)."""
+        return self._shard_documents_added.values()
+
+    @property
+    def shard_documents_removed(self) -> dict[int, int]:
+        """Per-shard documents removed (one atomic cut)."""
+        return self._shard_documents_removed.values()
+
+    @property
+    def shard_partials_reused(self) -> int:
+        """Shard partials served from the partial cache."""
+        return self._shard_partials_reused.value
+
+    @property
+    def shard_partials_computed(self) -> int:
+        """Shard partials computed on a partial-cache miss."""
+        return self._shard_partials_computed.value
+
+    @property
+    def shard_cache_hits(self) -> dict[int, int]:
+        """Per-shard partial-cache hits (one atomic cut)."""
+        return self._shard_cache_hits.values()
+
+    @property
+    def shard_cache_misses(self) -> dict[int, int]:
+        """Per-shard partial-cache misses (one atomic cut)."""
+        return self._shard_cache_misses.values()
+
+    @property
+    def shard_cache_stale_evictions(self) -> dict[int, int]:
+        """Per-shard partial-cache generation evictions (one atomic cut)."""
+        return self._shard_cache_stale_evictions.values()
+
+    @property
+    def shard_cache_lru_evictions(self) -> dict[int, int]:
+        """Per-shard partial-cache capacity evictions (one atomic cut)."""
+        return self._shard_cache_lru_evictions.values()
+
+    @property
+    def result_cache_stale_evictions(self) -> int:
+        """Full-result cache evictions from generation turnover."""
+        return self._result_cache_evictions.values().get("stale", 0)
+
+    @property
+    def result_cache_lru_evictions(self) -> int:
+        """Full-result cache evictions from capacity pressure."""
+        return self._result_cache_evictions.values().get("lru", 0)
+
+    @property
+    def ingest_backpressure_waits(self) -> int:
+        """Ingest claims that blocked on the in-flight bytes bound."""
+        return self._backpressure_waits.value
+
+    @property
+    def wal_records_appended(self) -> int:
+        """Records appended to the WAL."""
+        return self._wal_records_appended.value
+
+    @property
+    def wal_bytes_appended(self) -> int:
+        """Framed bytes appended to the WAL."""
+        return self._wal_bytes_appended.value
+
+    @property
+    def wal_fsyncs(self) -> int:
+        """Group-commit fsyncs performed."""
+        return self._wal_fsyncs.value
+
+    @property
+    def wal_records_synced(self) -> int:
+        """Records made durable by those fsyncs."""
+        return self._wal_records_synced.value
+
+    @property
+    def wal_max_batch(self) -> int:
+        """Largest group-commit batch observed."""
+        return int(self._wal_max_batch.value)
+
+    @property
+    def wal_batch_histogram(self) -> dict[int, int]:
+        """Batch-size histogram: bucket = smallest power of two >= batch."""
+        return self._wal_batch_histogram.bucket_counts()
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Snapshot checkpoints completed."""
+        return self._checkpoints_completed.value
+
+    @property
+    def checkpoint_failures(self) -> int:
+        """Background checkpoints that failed."""
+        return self._checkpoint_failures.value
+
+    @property
+    def checkpoint_seconds(self) -> float:
+        """Wall seconds spent checkpointing."""
+        return float(self._checkpoint_seconds.value)
+
+    @property
+    def last_checkpoint_id(self) -> int:
+        """Id of the newest durable checkpoint."""
+        return int(self._last_checkpoint_id.value)
+
+    @property
+    def checkpoint_in_progress(self) -> bool:
+        """True while a checkpoint is running (stuck checkpointer tripwire)."""
+        return self._checkpoint_in_progress.value > 0
+
+    @property
+    def last_checkpoint_unix(self) -> float:
+        """Unix time of the last completed checkpoint (0.0 = none yet)."""
+        return float(self._last_checkpoint_unix.value)
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Wall seconds the warm restart took."""
+        return float(self._recovery_seconds.value)
+
+    @property
+    def recovered_documents(self) -> int:
+        """Documents restored by the warm restart."""
+        return int(self._recovered_documents.value)
+
+    @property
+    def replayed_wal_records(self) -> int:
+        """WAL records replayed on recovery."""
+        return int(self._replayed_wal_records.value)
+
+    @property
+    def recovered_torn_tail(self) -> bool:
+        """True when recovery truncated a torn WAL tail."""
+        return bool(self._recovered_torn_tail.value)
 
     # ------------------------------------------------------------------
     # derived metrics
@@ -230,14 +531,16 @@ class ServiceStats:
     @property
     def result_cache_hit_rate(self) -> float:
         """Fraction of cacheable queries served from the result cache."""
-        total = self.result_cache_hits + self.result_cache_misses
-        return self.result_cache_hits / total if total else 0.0
+        hits = self.result_cache_hits
+        total = hits + self.result_cache_misses
+        return hits / total if total else 0.0
 
     @property
     def plan_cache_hit_rate(self) -> float:
         """Fraction of string queries whose plan was already compiled."""
-        total = self.plan_cache_hits + self.plan_cache_misses
-        return self.plan_cache_hits / total if total else 0.0
+        hits = self.plan_cache_hits
+        total = hits + self.plan_cache_misses
+        return hits / total if total else 0.0
 
     @property
     def wal_fsyncs_saved(self) -> int:
@@ -247,14 +550,16 @@ class ServiceStats:
     @property
     def wal_mean_batch(self) -> float:
         """Mean number of records per group-commit fsync."""
-        return self.wal_records_synced / self.wal_fsyncs if self.wal_fsyncs else 0.0
+        fsyncs = self.wal_fsyncs
+        return self.wal_records_synced / fsyncs if fsyncs else 0.0
 
     @property
     def ingest_tokens_per_second(self) -> float:
         """Lifetime ingest throughput in annotated tokens per second."""
-        if self.ingest_seconds <= 0.0:
+        seconds = self.ingest_seconds
+        if seconds <= 0.0:
             return 0.0
-        return self.tokens_ingested / self.ingest_seconds
+        return self.tokens_ingested / seconds
 
     def latency_percentile(self, percentile: float) -> float:
         """Nearest-rank percentile (e.g. 50, 95) over the latency window."""
@@ -278,22 +583,26 @@ class ServiceStats:
         return self.latency_percentile(95.0)
 
     def shard_breakdown(self) -> dict[int, dict[str, float | int]]:
-        """Per-shard queries, execution seconds and document routing."""
-        with self._lock:
-            shards = (
-                set(self.shard_queries)
-                | set(self.shard_documents_added)
-                | set(self.shard_documents_removed)
-            )
-            return {
-                shard: {
-                    "queries": self.shard_queries.get(shard, 0),
-                    "query_seconds": self.shard_query_seconds.get(shard, 0.0),
-                    "documents_added": self.shard_documents_added.get(shard, 0),
-                    "documents_removed": self.shard_documents_removed.get(shard, 0),
-                }
-                for shard in sorted(shards)
+        """Per-shard queries, execution seconds and document routing.
+
+        Each underlying metric family is read as one atomic cut; the
+        four families are combined without a global lock (consistent
+        per metric, not across metrics).
+        """
+        queries = self.shard_queries
+        seconds = self.shard_query_seconds
+        added = self.shard_documents_added
+        removed = self.shard_documents_removed
+        shards = set(queries) | set(added) | set(removed)
+        return {
+            shard: {
+                "queries": queries.get(shard, 0),
+                "query_seconds": seconds.get(shard, 0.0),
+                "documents_added": added.get(shard, 0),
+                "documents_removed": removed.get(shard, 0),
             }
+            for shard in sorted(shards)
+        }
 
     def shard_cache_breakdown(self) -> dict[int, dict[str, int]]:
         """Per-shard result-cache hit/miss/eviction counters.
@@ -302,29 +611,30 @@ class ServiceStats:
         misses and high lru evictions wants a bigger partial cache; high
         stale evictions mean ingest churn, which no capacity fixes.
         """
-        with self._lock:
-            shards = (
-                set(self.shard_cache_hits)
-                | set(self.shard_cache_misses)
-                | set(self.shard_cache_stale_evictions)
-                | set(self.shard_cache_lru_evictions)
-            )
-            return {
-                shard: {
-                    "hits": self.shard_cache_hits.get(shard, 0),
-                    "misses": self.shard_cache_misses.get(shard, 0),
-                    "stale_evictions": self.shard_cache_stale_evictions.get(shard, 0),
-                    "lru_evictions": self.shard_cache_lru_evictions.get(shard, 0),
-                }
-                for shard in sorted(shards)
+        hits = self.shard_cache_hits
+        misses = self.shard_cache_misses
+        stale = self.shard_cache_stale_evictions
+        lru = self.shard_cache_lru_evictions
+        shards = set(hits) | set(misses) | set(stale) | set(lru)
+        return {
+            shard: {
+                "hits": hits.get(shard, 0),
+                "misses": misses.get(shard, 0),
+                "stale_evictions": stale.get(shard, 0),
+                "lru_evictions": lru.get(shard, 0),
             }
+            for shard in sorted(shards)
+        }
 
     def snapshot(self) -> dict[str, object]:
-        """A point-in-time dict of every metric (for logs / benchmarks)."""
+        """A point-in-time dict of every metric (for logs / benchmarks).
+
+        Atomic per metric: each counter, gauge, histogram and labeled
+        family is read consistently; the document as a whole is not one
+        global cut (no stop-the-world lock is taken).
+        """
         with self._lock:
-            # copy under the lock: group-commit leaders insert histogram
-            # buckets concurrently
-            batch_histogram = dict(sorted(self.wal_batch_histogram.items()))
+            last_checkpoint_error = self.last_checkpoint_error
         return {
             "queries_served": self.queries_served,
             "result_cache_hits": self.result_cache_hits,
@@ -357,12 +667,14 @@ class ServiceStats:
                 "wal_fsyncs_saved": self.wal_fsyncs_saved,
                 "wal_mean_batch": self.wal_mean_batch,
                 "wal_max_batch": self.wal_max_batch,
-                "wal_batch_histogram": batch_histogram,
+                "wal_batch_histogram": self.wal_batch_histogram,
                 "checkpoints_completed": self.checkpoints_completed,
                 "checkpoint_failures": self.checkpoint_failures,
-                "last_checkpoint_error": self.last_checkpoint_error,
+                "last_checkpoint_error": last_checkpoint_error,
                 "checkpoint_seconds": self.checkpoint_seconds,
                 "last_checkpoint_id": self.last_checkpoint_id,
+                "checkpoint_in_progress": self.checkpoint_in_progress,
+                "last_checkpoint_unix": self.last_checkpoint_unix,
                 "recovery_seconds": self.recovery_seconds,
                 "recovered_documents": self.recovered_documents,
                 "replayed_wal_records": self.replayed_wal_records,

@@ -1,0 +1,206 @@
+"""Unit tests for the metrics registry: instruments, families, exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _pow2_bucket_float,
+    _pow2_bucket_int,
+)
+
+
+# ----------------------------------------------------------------------
+# bucketing
+# ----------------------------------------------------------------------
+def test_int_buckets_are_smallest_power_of_two_at_or_above():
+    assert [_pow2_bucket_int(v) for v in (0, 1, 2, 3, 4, 5, 17, 1024)] == [
+        1, 1, 2, 4, 4, 8, 32, 1024,
+    ]
+
+
+def test_float_buckets_are_smallest_power_of_two_at_or_above():
+    assert _pow2_bucket_float(0.3) == 0.5
+    assert _pow2_bucket_float(0.5) == 0.5
+    assert _pow2_bucket_float(0.6) == 1.0
+    assert _pow2_bucket_float(2.0) == 2.0
+    assert _pow2_bucket_float(3.5) == 4.0
+    # non-positive values clamp to the smallest representable bucket
+    assert _pow2_bucket_float(0.0) == 2.0 ** -64
+    assert _pow2_bucket_float(-1.0) == 2.0 ** -64
+
+
+# ----------------------------------------------------------------------
+# instruments
+# ----------------------------------------------------------------------
+def test_counter_accumulates_and_rejects_negative_increments():
+    counter = Counter()
+    counter.inc()
+    counter.inc(41)
+    assert counter.value == 42
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    assert counter.value == 42
+
+
+def test_gauge_set_inc_dec_and_set_max():
+    gauge = Gauge()
+    gauge.set(5)
+    gauge.inc(2)
+    gauge.dec()
+    assert gauge.value == 6
+    gauge.set_max(4)  # lower: ignored
+    assert gauge.value == 6
+    gauge.set_max(9)
+    assert gauge.value == 9
+
+
+def test_callback_gauge_reads_live_and_falls_back_on_error():
+    gauge = Gauge()
+    gauge.set(7)
+    state = {"value": 1.5}
+    gauge.set_function(lambda: state["value"])
+    assert gauge.value == 1.5
+    state["value"] = 2.5
+    assert gauge.value == 2.5
+
+    def broken() -> float:
+        raise RuntimeError("scrape-time failure")
+
+    gauge.set_function(broken)
+    assert gauge.value == 7  # falls back to the stored value
+    gauge.set_function(None)
+    assert gauge.value == 7
+
+
+def test_histogram_buckets_ints_like_the_wal_batch_histogram():
+    histogram = Histogram()
+    for value in (1, 2, 3, 3, 9):
+        histogram.observe(value)
+    assert histogram.count == 5
+    assert histogram.sum == 18
+    assert histogram.bucket_counts() == {1: 1, 2: 1, 4: 2, 16: 1}
+
+
+def test_histogram_buckets_floats_fractionally():
+    histogram = Histogram()
+    histogram.observe(0.0003)
+    histogram.observe(0.4)
+    assert histogram.bucket_counts() == {
+        _pow2_bucket_float(0.0003): 1,
+        0.5: 1,
+    }
+    snap = histogram.snapshot_value()
+    assert snap["count"] == 2
+    assert snap["sum"] == pytest.approx(0.4003)
+
+
+# ----------------------------------------------------------------------
+# labeled families
+# ----------------------------------------------------------------------
+def test_labeled_counter_children_and_values_keep_raw_keys():
+    registry = MetricsRegistry()
+    family = registry.counter("t_shard_total", "per shard", labelnames=("shard",))
+    family.labels(0).inc(2)
+    family.labels(1).inc()
+    assert family.labels(0) is family.labels(0)
+    assert family.values() == {0: 2, 1: 1}
+    assert family.items() == [((0,), 2), ((1,), 1)]
+    assert family.snapshot_value() == {"0": 2, "1": 1}
+    with pytest.raises(ValueError):
+        family.labels(0, 1)  # wrong arity
+
+
+def test_labeled_callback_gauge_resolves_at_read_time():
+    registry = MetricsRegistry()
+    family = registry.gauge("t_lag", "per peer", labelnames=("peer",))
+    family.labels("a").set(3.0)
+    live = {"value": 11.0}
+    family.labels("b").set_function(lambda: live["value"])
+    assert family.values() == {"a": 3.0, "b": 11.0}
+    live["value"] = 12.0
+    assert family.values()["b"] == 12.0
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_is_get_or_create_and_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    counter = registry.counter("t_total", "help")
+    assert registry.counter("t_total") is counter
+    assert registry.get("t_total") is counter
+    assert registry.get("missing") is None
+    with pytest.raises(ValueError):
+        registry.gauge("t_total")
+    with pytest.raises(ValueError):
+        registry.counter("t_total", labelnames=("shard",))
+    assert registry.names() == ["t_total"]
+
+
+def test_registry_snapshot_and_json_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("t_total").inc(3)
+    registry.gauge("t_gauge").set(1.5)
+    registry.histogram("t_hist").observe(2)
+    registry.counter("t_family", labelnames=("k",)).labels("x").inc()
+    snapshot = registry.snapshot()
+    assert snapshot["t_total"] == 3
+    assert snapshot["t_gauge"] == 1.5
+    assert snapshot["t_hist"] == {"count": 1, "sum": 2, "buckets": {2: 1}}
+    assert snapshot["t_family"] == {"x": 1}
+    parsed = json.loads(registry.render_json(indent=2))
+    assert parsed["t_total"] == 3 and parsed["t_family"] == {"x": 1}
+
+
+def test_render_text_matches_golden_exposition():
+    registry = MetricsRegistry()
+    requests = registry.counter("app_requests_total", "Requests served.")
+    requests.inc(3)
+    in_progress = registry.gauge("app_in_progress", "In-flight requests.")
+    in_progress.set(2)
+    shards = registry.counter(
+        "app_shard_requests_total", "Per-shard requests.", labelnames=("shard",)
+    )
+    shards.labels(0).inc(2)
+    shards.labels(1).inc()
+    batches = registry.histogram("app_batch_size", "Batch sizes.")
+    for value in (1, 3, 3):
+        batches.observe(value)
+
+    assert registry.render_text() == (
+        "# HELP app_requests_total Requests served.\n"
+        "# TYPE app_requests_total counter\n"
+        "app_requests_total 3\n"
+        "# HELP app_in_progress In-flight requests.\n"
+        "# TYPE app_in_progress gauge\n"
+        "app_in_progress 2\n"
+        "# HELP app_shard_requests_total Per-shard requests.\n"
+        "# TYPE app_shard_requests_total counter\n"
+        'app_shard_requests_total{shard="0"} 2\n'
+        'app_shard_requests_total{shard="1"} 1\n'
+        "# HELP app_batch_size Batch sizes.\n"
+        "# TYPE app_batch_size histogram\n"
+        'app_batch_size_bucket{le="1"} 1\n'
+        'app_batch_size_bucket{le="4"} 3\n'
+        'app_batch_size_bucket{le="+Inf"} 3\n'
+        "app_batch_size_sum 7\n"
+        "app_batch_size_count 3\n"
+    )
+
+
+def test_render_text_labeled_histogram_merges_label_sets():
+    registry = MetricsRegistry()
+    family = registry.histogram("t_lat", "per stage", labelnames=("stage",))
+    family.labels("load").observe(2)
+    text = registry.render_text()
+    assert 't_lat_bucket{stage="load",le="2"} 1' in text
+    assert 't_lat_bucket{stage="load",le="+Inf"} 1' in text
+    assert 't_lat_sum{stage="load"} 2' in text
+    assert 't_lat_count{stage="load"} 1' in text

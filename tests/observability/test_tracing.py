@@ -1,0 +1,142 @@
+"""Unit tests for span trees, the sampling tracer, and the slow-op log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import ExplainedResult, SlowOpLog, Span, Tracer
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+def test_span_tree_construction_and_lookup():
+    root = Span("query", shards=2)
+    with root.span("result_cache", hit=False):
+        pass
+    fanout = root.child("shard_fanout")
+    fanout.record("shard0", 0.002, tuples=3)
+    fanout.finish()
+    root.finish()
+
+    assert root.names() == {"query", "result_cache", "shard_fanout", "shard0"}
+    assert root.span_count() == 4
+    shard = root.find("shard0")
+    assert shard is not None
+    assert shard.seconds == pytest.approx(0.002)
+    assert shard.attributes == {"tuples": 3}
+    assert root.find("missing") is None
+
+
+def test_span_finish_is_idempotent_and_freezes_duration():
+    span = Span("op")
+    span.finish()
+    frozen = span.seconds
+    span.finish()
+    assert span.seconds == frozen
+
+
+def test_span_annotate_merges_attributes():
+    span = Span("op", a=1)
+    span.annotate(b=2, a=3)
+    assert span.attributes == {"a": 3, "b": 2}
+
+
+def test_span_to_dict_is_json_safe():
+    root = Span("query")
+    root.record("stage", 0.001, hit=True)
+    root.finish()
+    node = json.loads(json.dumps(root.to_dict()))
+    assert node["name"] == "query"
+    assert node["children"][0] == {
+        "name": "stage",
+        "ms": 1.0,
+        "attrs": {"hit": True},
+    }
+
+
+def test_span_report_renders_a_connector_tree():
+    root = Span("query", shards=1)
+    root.record("result_cache", 0.0001, hit=False)
+    fanout = root.child("shard_fanout")
+    fanout.record("shard0", 0.001)
+    fanout.finish()
+    root.finish()
+    report = root.report()
+    lines = report.splitlines()
+    assert lines[0].startswith("query  ")
+    assert "[shards=1]" in lines[0]
+    assert "├─ result_cache" in report
+    assert "└─ shard_fanout" in report
+    assert "   └─ shard0" in report
+    assert "ms" in lines[-1]
+
+
+# ----------------------------------------------------------------------
+# the tracer
+# ----------------------------------------------------------------------
+def test_tracer_rate_bounds_are_validated():
+    with pytest.raises(ValueError):
+        Tracer(-0.1)
+    with pytest.raises(ValueError):
+        Tracer(1.1)
+
+
+def test_tracer_samples_deterministically():
+    never = Tracer(0.0)
+    assert not any(never.should_sample() for _ in range(10))
+    assert never.sampled_total == 0
+
+    always = Tracer(1.0)
+    assert all(always.should_sample() for _ in range(10))
+    assert always.sampled_total == 10
+
+    quarter = Tracer(0.25)
+    decisions = [quarter.should_sample() for _ in range(100)]
+    assert sum(decisions) == 25  # accumulator sampling: exact, not stochastic
+    assert decisions[3] and not decisions[0]
+
+
+# ----------------------------------------------------------------------
+# ExplainedResult
+# ----------------------------------------------------------------------
+def test_explained_result_delegates_iteration_and_len():
+    trace = Span("query")
+    trace.finish()
+    explained = ExplainedResult(result=[1, 2, 3], trace=trace)
+    assert list(explained) == [1, 2, 3]
+    assert len(explained) == 3
+    assert explained.kind == "query"
+    assert explained.report() == trace.report()
+    assert explained.to_dict() == trace.to_dict()
+
+
+# ----------------------------------------------------------------------
+# slow-op log
+# ----------------------------------------------------------------------
+def test_slow_op_log_is_a_newest_first_ring():
+    log = SlowOpLog(capacity=3)
+    for index in range(5):
+        log.record({"kind": "query", "index": index})
+    assert len(log) == 3
+    assert [entry["index"] for entry in log.recent()] == [4, 3, 2]
+    assert [entry["index"] for entry in log.recent(limit=2)] == [4, 3]
+    log.clear()
+    assert log.recent() == []
+
+
+def test_slow_op_log_file_sink_appends_json_lines(tmp_path):
+    path = tmp_path / "slow.jsonl"
+    log = SlowOpLog(capacity=4, path=str(path))
+    log.record({"kind": "ingest", "duration_ms": 12.5})
+    log.record({"kind": "query", "duration_ms": 300.0})
+    log.close()
+    lines = [json.loads(line) for line in path.read_text().strip().splitlines()]
+    assert [entry["kind"] for entry in lines] == ["ingest", "query"]
+    # append mode: a reopened log extends the same file
+    log2 = SlowOpLog(capacity=4, path=str(path))
+    log2.record({"kind": "remove"})
+    log2.close()
+    assert len(path.read_text().strip().splitlines()) == 3
