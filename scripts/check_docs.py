@@ -28,12 +28,13 @@ import re
 import sys
 from pathlib import Path
 
-#: packages whose modules must carry module/class/function docstrings + __all__
+#: packages (or single modules) that must carry docstrings + __all__
 LINTED_PACKAGES = (
     "src/repro/service",
     "src/repro/persistence",
     "src/repro/replication",
     "src/repro/observability",
+    "src/repro/indexing/columnar.py",
 )
 
 #: markdown documents whose relative links must resolve
@@ -120,7 +121,9 @@ def main(argv: list[str] | None = None) -> int:
 
     findings: list[str] = []
     for package in LINTED_PACKAGES:
-        for module_path in sorted((root / package).rglob("*.py")):
+        path = root / package
+        modules = [path] if path.is_file() else sorted(path.rglob("*.py"))
+        for module_path in modules:
             findings.extend(lint_docstrings(module_path, root))
     for pattern in LINKED_DOCUMENTS:
         for document in sorted(root.glob(pattern)):

@@ -20,6 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .columnar import (
+    PostingBlock,
+    join_ancestor_block,
+    join_same_token_block,
+    under_words_block,
+)
 from .koko_index import KokoIndexSet
 from .postings import Posting, join_ancestor, join_same_token
 from .query_ir import (
@@ -91,7 +97,11 @@ def lookup_decomposed(
 
     Returns the candidate postings for the path's final step.  An empty list
     means the index proves there is no binding anywhere in the corpus.
+    Columnar index sets take the vectorized block pipeline
+    (:func:`lookup_decomposed_block`) and materialise the result.
     """
+    if getattr(indexes, "columnar", False):
+        return lookup_decomposed_block(indexes, path).materialize()
     decomposed = decompose_path(path)
     last_step = path.steps[-1]
     last_is_word = last_step.kind == KIND_WORD
@@ -164,6 +174,71 @@ def _lookup_word_path(
         current = join_ancestor(current, nxt, min_gap=max(1, gap))
         if not current:
             return []
+    return current
+
+
+def lookup_decomposed_block(indexes: KokoIndexSet, path: TreePath) -> PostingBlock:
+    """Vectorized DPLI lookup of one path over a columnar index set.
+
+    Mirrors :func:`lookup_decomposed` step for step, but every access and
+    join is a whole-array operation over ``(sid, tid)``-sorted posting
+    blocks; the returned block is sorted the same way, so materialising it
+    reproduces the object-backed result exactly.
+    """
+    decomposed = decompose_path(path)
+    last_step = path.steps[-1]
+    last_is_word = last_step.kind == KIND_WORD
+
+    # P1 and P2: hierarchy-index lookups, joined on the same token.
+    base: PostingBlock | None = None
+    if not is_trivial(decomposed.parse_label_path):
+        base = indexes.pl_index.lookup_path_block(
+            [(s.axis, s.label) for s in decomposed.parse_label_path.steps]
+        )
+    if not is_trivial(decomposed.pos_path):
+        pos_block = indexes.pos_index.lookup_path_block(
+            [(s.axis, s.label) for s in decomposed.pos_path.steps]
+        )
+        base = pos_block if base is None else join_same_token_block(base, pos_block)
+
+    # Q: the word-path lookup (already ancestor-joined along the word chain).
+    word_result = _lookup_word_path_block(indexes, decomposed.word_steps)
+
+    if base is None and word_result is None:
+        # The path constrains nothing (e.g. "//*"); every token qualifies,
+        # which the hierarchy index can enumerate cheaply.
+        return indexes.pl_index.lookup_path_block([(DESCENDANT, "*")])
+
+    if base is None:
+        if last_is_word:
+            return word_result if word_result is not None else PostingBlock.empty()
+        candidates = indexes.pl_index.lookup_path_block([(DESCENDANT, "*")])
+        if word_result is None:
+            return PostingBlock.empty()
+        return under_words_block(candidates, word_result)
+
+    result = base
+    if word_result is not None:
+        if last_is_word:
+            result = join_same_token_block(result, word_result)
+        else:
+            result = under_words_block(result, word_result)
+    return result
+
+
+def _lookup_word_path_block(
+    indexes: KokoIndexSet, word_steps: tuple[tuple[str, int], ...]
+) -> PostingBlock | None:
+    """Columnar word-path chain; None when the path has no word steps."""
+    if not word_steps:
+        return None
+    word, _ = word_steps[0]
+    current = indexes.word_index.lookup_block(word)
+    for word, gap in word_steps[1:]:
+        nxt = indexes.word_index.lookup_block(word)
+        current = join_ancestor_block(current, nxt, min_gap=max(1, gap))
+        if current.size == 0:
+            return current
     return current
 
 

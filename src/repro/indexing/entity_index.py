@@ -4,15 +4,27 @@ Maps each entity-mention text to triples ``(x, u, v)``: sentence id plus the
 leftmost and rightmost token ids of the mention span.  The index can also be
 queried by entity type, which is how variables declared as ``x:Entity``,
 ``a:GPE`` or ``a:Person`` obtain their candidate bindings.
+
+With ``columnar=True`` the posting rows ``(sid, left, right, text, etype)``
+live in two :class:`~repro.indexing.columnar.ColumnarPostings` stores — one
+keyed by lower-cased mention text, one by mention type — with the string
+payloads interned, so type lookups hand the query planner whole sentence-id
+arrays instead of Python object lists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..nlp.types import Corpus, Sentence
 from ..storage.database import Database
 from ..storage.table import Schema
+from .columnar import ColumnarPostings, StringInterner
+
+_E_COLUMNS = ("sid", "left", "right", "text_id", "etype_id")
 
 
 @dataclass(frozen=True, order=True)
@@ -26,21 +38,74 @@ class EntityPosting:
     text: str
 
 
+class _EntityView(Sequence):
+    """Lazily materialised, read-only list of :class:`EntityPosting` rows."""
+
+    __slots__ = ("_arrays", "_strings", "_items")
+
+    def __init__(
+        self, arrays: tuple[np.ndarray, ...], strings: StringInterner
+    ) -> None:
+        self._arrays = arrays
+        self._strings = strings
+        self._items: list[EntityPosting] | None = None
+
+    def _materialized(self) -> list[EntityPosting]:
+        items = self._items
+        if items is None:
+            text = self._strings.text
+            sids, lefts, rights, text_ids, etype_ids = self._arrays
+            items = [
+                EntityPosting(s, lo, hi, text(e), text(t))
+                for s, lo, hi, t, e in zip(
+                    sids.tolist(),
+                    lefts.tolist(),
+                    rights.tolist(),
+                    text_ids.tolist(),
+                    etype_ids.tolist(),
+                )
+            ]
+            self._items = items
+        return items
+
+    def __len__(self) -> int:
+        return len(self._arrays[0])
+
+    def __iter__(self):
+        return iter(self._materialized())
+
+    def __getitem__(self, index):
+        return self._materialized()[index]
+
+
 class EntityIndex:
     """Inverted index over entity mentions."""
 
-    def __init__(self) -> None:
+    def __init__(self, columnar: bool = False) -> None:
+        self.columnar = columnar
         self._by_text: dict[str, list[EntityPosting]] = {}
         self._by_type: dict[str, list[EntityPosting]] = {}
         # keyed by sentence id so remove_sentence is one dict pop instead
         # of a rebuild of the whole corpus-wide posting list
         self._by_sid: dict[int, list[EntityPosting]] = {}
         self._count = 0
+        self._strings = StringInterner() if columnar else None
+        self._store_text = ColumnarPostings(_E_COLUMNS) if columnar else None
+        self._store_type = ColumnarPostings(_E_COLUMNS) if columnar else None
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_sentence(self, sentence: Sentence) -> None:
+        if self.columnar:
+            mentions = sentence.entities
+            if not mentions:
+                return
+            self._append_rows(
+                sentence.sid,
+                [(m.start, m.end, m.etype, m.text) for m in mentions],
+            )
+            return
         for mention in sentence.entities:
             posting = EntityPosting(
                 sid=sentence.sid,
@@ -54,6 +119,39 @@ class EntityIndex:
             self._by_sid.setdefault(sentence.sid, []).append(posting)
             self._count += 1
 
+    def add_rows(
+        self,
+        sids: list[int],
+        lefts: list[int],
+        rights: list[int],
+        etypes: list[str],
+        texts: list[str],
+    ) -> None:
+        """Columnar splice: append mention rows (spanning any number of
+        sentences, in ``(sid, position)`` order) to both keyed stores."""
+        intern_many = self._strings.intern_many
+        etype_ids = intern_many(etypes)
+        text_ids = intern_many(texts)
+        columns = (sids, lefts, rights, text_ids, etype_ids)
+        store_text = self._store_text
+        store_type = self._store_type
+        store_text.append_batch(
+            [store_text.intern_key(text.lower()) for text in texts], columns
+        )
+        store_type.append_batch(
+            [store_type.intern_key(etype) for etype in etypes], columns
+        )
+
+    def _append_rows(self, sid: int, rows: list[tuple[int, int, str, str]]) -> None:
+        """Columnar splice: append one sentence's mention rows."""
+        self.add_rows(
+            [sid] * len(rows),
+            [row[0] for row in rows],
+            [row[1] for row in rows],
+            [row[2] for row in rows],
+            [row[3] for row in rows],
+        )
+
     def add_corpus(self, corpus: Corpus) -> None:
         for _, sentence in corpus.all_sentences():
             self.add_sentence(sentence)
@@ -63,6 +161,10 @@ class EntityIndex:
         if not sentence.entities:
             return
         sid = sentence.sid
+        if self.columnar:
+            self._store_text.remove_sid(sid)
+            self._store_type.remove_sid(sid)
+            return
         for mention in sentence.entities:
             for mapping, key in (
                 (self._by_text, mention.text.lower()),
@@ -77,10 +179,31 @@ class EntityIndex:
         self._count -= len(self._by_sid.pop(sid, ()))
 
     # ------------------------------------------------------------------
+    # conversion (object-backed -> columnar, used on snapshot restore)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_object(cls, source: "EntityIndex") -> "EntityIndex":
+        """A columnar copy of an object-backed index (same posting multiset)."""
+        assert not source.columnar, "source is already columnar"
+        index = cls(columnar=True)
+        for sid, bucket in source._by_sid.items():
+            index._append_rows(sid, [(p.left, p.right, p.etype, p.text) for p in bucket])
+        index._store_text.compact()
+        index._store_type.compact()
+        return index
+
+    # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
     def lookup_text(self, text: str) -> list[EntityPosting]:
         """All occurrences of the entity whose surface text is *text*."""
+        if self.columnar:
+            kid = self._store_text.key_id(text.lower())
+            if kid is None:
+                return []
+            return list(
+                _EntityView(self._store_text.arrays_for_key(kid), self._strings)
+            )
         return list(self._by_text.get(text.lower(), ()))
 
     def lookup_type(self, etype: str) -> list[EntityPosting]:
@@ -88,15 +211,36 @@ class EntityIndex:
 
         The pseudo-type ``"Entity"`` returns every mention regardless of type.
         """
+        if self.columnar:
+            _, view = self.lookup_type_block(etype)
+            return list(view)
         if etype.lower() == "entity":
             return self.all_postings()
         key = self._canonical_type(etype)
         return list(self._by_type.get(key, ()))
 
+    def lookup_type_block(self, etype: str) -> tuple[np.ndarray, Sequence]:
+        """Columnar type lookup: the sid column plus a lazy posting view."""
+        store = self._store_type
+        assert store is not None, "lookup_type_block requires columnar=True"
+        if etype.lower() == "entity":
+            arrays = store.all_arrays()
+        else:
+            kid = store.key_id(self._canonical_type(etype))
+            if kid is None:
+                arrays = tuple(np.empty(0, np.int64) for _ in _E_COLUMNS)
+            else:
+                arrays = store.arrays_for_key(kid)
+        return arrays[0], _EntityView(arrays, self._strings)
+
     def all_postings(self) -> list[EntityPosting]:
+        if self.columnar:
+            return list(_EntityView(self._store_type.all_arrays(), self._strings))
         return [posting for bucket in self._by_sid.values() for posting in bucket]
 
     def __len__(self) -> int:
+        if self.columnar:
+            return self._store_type.total_rows
         return self._count
 
     @staticmethod
@@ -150,6 +294,8 @@ class EntityIndex:
         mention text (the E relation stores the lower-cased form).  Rows were
         written in sentence-id bucket order, which is ingest order, so the
         rebuilt per-text/per-type posting lists keep their original order.
+        The rebuilt index is object-backed; convert with :meth:`from_object`
+        if the owner runs columnar.
         """
         mention_texts = mention_texts or {}
         index = cls()

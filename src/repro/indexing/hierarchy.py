@@ -14,17 +14,29 @@ The index answers *path-pattern* lookups — patterns with ``/`` (child) and
 ``//`` (descendant) axes and ``*`` wildcards — by walking the merged trie,
 which is how the DPLI module resolves decomposed parse-label and POS-tag
 paths without touching individual sentences.
+
+With ``columnar=True`` the trie structure (nodes, labels, parent/child
+links) is kept exactly as before, but the per-node posting lists move into
+one :class:`~repro.indexing.columnar.ColumnarPostings` store keyed by node
+id: the splice appends one row batch per sentence (an iterative DFS that
+reproduces the recursive merge order, so node ids are identical to the
+object-backed build), and path lookups gather whole column slices instead
+of walking Python lists.  ``node.postings`` stays readable — columnar nodes
+carry a lazy view over their store slice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..nlp.types import Corpus, Sentence
 from ..storage.closure import ClosureTable
 from ..storage.database import Database
+from .columnar import ColumnarPostings, PostingBlock, StringInterner
 from .postings import Posting, posting_for_token
+
+_H_COLUMNS = ("sid", "tid", "left", "right", "depth", "wid")
 
 
 @dataclass
@@ -48,6 +60,35 @@ class HierarchyNode:
         return "/" + "/".join(reversed(labels)) if labels else "/"
 
 
+class _NodePostingsView(Sequence):
+    """Read-only live view of one columnar node's postings."""
+
+    __slots__ = ("_store", "_node_id", "_interner")
+
+    def __init__(
+        self, store: ColumnarPostings, node_id: int, interner: StringInterner
+    ) -> None:
+        self._store = store
+        self._node_id = node_id
+        self._interner = interner
+
+    def _materialize(self) -> list[Posting]:
+        sid, tid, left, right, depth, wid = self._store.arrays_for_key(self._node_id)
+        return PostingBlock(sid, tid, left, right, depth, wid, self._interner).materialize()
+
+    def __len__(self) -> int:
+        return self._store.key_count(self._node_id)
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"_NodePostingsView(node={self._node_id}, {len(self)} postings)"
+
+
 class HierarchyIndex:
     """A dataguide-style merged representation of all dependency trees.
 
@@ -58,12 +99,36 @@ class HierarchyIndex:
         label for the PL index, the POS tag for the POS index.
     name:
         Diagnostic name ("PL" or "POS").
+    columnar:
+        Store per-node postings in a shared columnar store instead of
+        Python lists (the trie structure is identical either way).
+    interner:
+        Word interner shared with sibling columnar indexes; a private one
+        is created when omitted.
     """
 
-    def __init__(self, label_of: Callable, name: str = "PL") -> None:
+    def __init__(
+        self,
+        label_of: Callable,
+        name: str = "PL",
+        columnar: bool = False,
+        interner: StringInterner | None = None,
+    ) -> None:
         self.name = name
+        self.columnar = columnar
         self._label_of = label_of
         self._next_id = 0
+        # NOTE: an explicit None test — a fresh shared interner is empty and
+        # therefore falsy, and falling back to a private one here would make
+        # stored word ids undecodable.
+        self._interner = (
+            (interner if interner is not None else StringInterner())
+            if columnar
+            else None
+        )
+        self._store = (
+            ColumnarPostings(_H_COLUMNS, identity_keys=True) if columnar else None
+        )
         self._dummy = self._new_node("<dummy>", depth=-1, parent=None)
         # node id -> node; insertion order is creation order, which is
         # topological (parents are always created before their children) —
@@ -74,10 +139,19 @@ class HierarchyIndex:
         # (sid, tid) -> node id; consumed by WordIndex.set_node_ids
         self._token_nodes: dict[tuple[int, int], int] = {}
         self._merged_token_count = 0
+        # columnar (sid, tid) -> node id cache, rebuilt lazily after writes
+        self._token_cache: dict[tuple[int, int], int] | None = None
+        # (root, labels, structure) -> per-token node ids: two trees with
+        # the same shape and label sequence merge through exactly the same
+        # trie path, so the walk result can be reused verbatim.  Node
+        # removal can prune trie nodes, so any removal clears the memo.
+        self._merge_memo: dict[tuple, list[int]] = {}
 
     def _new_node(self, label: str, depth: int, parent: HierarchyNode | None) -> HierarchyNode:
         node = HierarchyNode(node_id=self._next_id, label=label, depth=depth, parent=parent)
         self._next_id += 1
+        if self.columnar:
+            node.postings = _NodePostingsView(self._store, node.node_id, self._interner)
         return node
 
     # ------------------------------------------------------------------
@@ -88,7 +162,112 @@ class HierarchyIndex:
         if len(sentence) == 0:
             return
         root = sentence.root_index()
+        if self.columnar:
+            children, spans, depths = sentence.tree_columns()
+            intern = self._interner.intern
+            self.merge_sentence(
+                sentence.sid,
+                root,
+                children,
+                [str(self._label_of(token)) for token in sentence.tokens],
+                [span[0] for span in spans],
+                [span[1] for span in spans],
+                depths,
+                [intern(token.text) for token in sentence.tokens],
+            )
+            return
         self._insert(sentence, root, self._dummy)
+
+    def merge_sentence(
+        self,
+        sid: int,
+        root: int,
+        children: "Sequence[Sequence[int]]",
+        labels: list[str],
+        lefts: list[int],
+        rights: list[int],
+        depths: list[int],
+        wids: list[int],
+    ) -> list[int]:
+        """Columnar splice: merge one pre-columnised dependency tree.
+
+        The trie walk visits tokens in exactly the order the recursive
+        object-backed merge does, so newly created node ids are identical
+        across backends; rows are appended in token order (per-node posting
+        order is not contractual — every consumer sorts).  Returns the
+        per-token node ids (``-1`` for tokens unreachable from *root*).
+        """
+        node_ids = self.merge_tree(root, children, labels)
+        n = len(node_ids)
+        if -1 in node_ids:
+            reachable = [t for t in range(n) if node_ids[t] != -1]
+            kids = [node_ids[t] for t in reachable]
+            columns = (
+                [sid] * len(reachable),
+                reachable,
+                [lefts[t] for t in reachable],
+                [rights[t] for t in reachable],
+                [depths[t] for t in reachable],
+                [wids[t] for t in reachable],
+            )
+        else:
+            kids = node_ids
+            columns = ([sid] * n, range(n), lefts, rights, depths, wids)
+        self.append_rows(kids, columns)
+        return node_ids
+
+    def merge_tree(
+        self,
+        root: int,
+        children: "Sequence[Sequence[int]]",
+        labels: list[str],
+    ) -> list[int]:
+        """Merge one tree shape into the trie; per-token node ids, no rows.
+
+        Identically shaped trees (same *root*, *labels*, *children*) merge
+        through the same trie path, so the walk is memoised — the dataguide
+        exists because parse shapes repeat, and the memo turns that
+        repetition into one dict hit per sentence.  Callers must treat the
+        returned list as read-only (memo hits share it).
+        """
+        structure = (
+            children if isinstance(children, tuple) else tuple(map(tuple, children))
+        )
+        key = (root, tuple(labels), structure)
+        node_ids = self._merge_memo.get(key)
+        if node_ids is not None:
+            return node_ids
+        node_ids = [-1] * len(labels)
+        nodes = self._nodes
+        stack = [(root, self._dummy)]
+        while stack:
+            tid, parent = stack.pop()
+            label = labels[tid]
+            child = parent.children.get(label)
+            if child is None:
+                child = self._new_node(label, depth=parent.depth + 1, parent=parent)
+                parent.children[label] = child
+                nodes[child.node_id] = child
+            node_ids[tid] = child.node_id
+            ctids = children[tid]
+            for index in range(len(ctids) - 1, -1, -1):
+                stack.append((ctids[index], child))
+        self._merge_memo[key] = node_ids
+        return node_ids
+
+    def append_rows(
+        self, kids: Sequence[int], columns: Sequence[Sequence[int]]
+    ) -> None:
+        """Columnar splice: append posting rows keyed by node id.
+
+        Covers every node id minted so far (batch writers mint ids through
+        :meth:`merge_tree` before flushing rows here).
+        """
+        store = self._store
+        assert store is not None, "append_rows requires columnar=True"
+        store.ensure_key_capacity(self._next_id)
+        store.append_batch(kids, columns)
+        self._token_cache = None
 
     def _insert(self, sentence: Sentence, tid: int, parent: HierarchyNode) -> None:
         label = str(self._label_of(sentence[tid]))
@@ -117,6 +296,12 @@ class HierarchyIndex:
         if len(sentence) == 0:
             return
         root = sentence.root_index()
+        if self.columnar:
+            self._store.remove_sid(sentence.sid)
+            self._token_cache = None
+            self._merge_memo.clear()  # pruning may invalidate memoised ids
+            self._remove_structural(sentence, root, self._dummy)
+            return
         self._remove(sentence, root, self._dummy)
 
     def _remove(self, sentence: Sentence, tid: int, parent: HierarchyNode) -> None:
@@ -135,6 +320,20 @@ class HierarchyIndex:
             del parent.children[label]
             del self._nodes[child.node_id]
 
+    def _remove_structural(
+        self, sentence: Sentence, tid: int, parent: HierarchyNode
+    ) -> None:
+        """Columnar prune: drop trie nodes left with no rows and no children."""
+        label = str(self._label_of(sentence[tid]))
+        child = parent.children.get(label)
+        if child is None:
+            return
+        for ctid in sentence.children(tid):
+            self._remove_structural(sentence, ctid, child)
+        if not child.children and self._store.key_count(child.node_id) == 0:
+            del parent.children[label]
+            del self._nodes[child.node_id]
+
     # ------------------------------------------------------------------
     # statistics (the >99.7% node-reduction claim of Section 3)
     # ------------------------------------------------------------------
@@ -146,20 +345,33 @@ class HierarchyIndex:
     @property
     def token_count(self) -> int:
         """Number of tokens merged into the index."""
+        if self.columnar:
+            return self._store.total_rows
         return self._merged_token_count
 
     def compression_ratio(self) -> float:
         """Fraction of nodes eliminated by merging (0 when nothing merged)."""
-        if self._merged_token_count == 0:
+        tokens = self.token_count
+        if tokens == 0:
             return 0.0
-        return 1.0 - self.node_count / self._merged_token_count
+        return 1.0 - self.node_count / tokens
 
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
     def node_id_of(self, sid: int, tid: int) -> int:
         """Hierarchy node id that token (sid, tid) was merged into (-1 if absent)."""
-        return self._token_nodes.get((sid, tid), -1)
+        if not self.columnar:
+            return self._token_nodes.get((sid, tid), -1)
+        cache = self._token_cache
+        if cache is None:
+            kid, cols = self._store.all_arrays_with_keys()
+            cache = {
+                (s, t): k
+                for s, t, k in zip(cols[0].tolist(), cols[1].tolist(), kid.tolist())
+            }
+            self._token_cache = cache
+        return cache.get((sid, tid), -1)
 
     def node_by_id(self, node_id: int) -> HierarchyNode:
         return self._nodes[node_id]
@@ -177,6 +389,8 @@ class HierarchyIndex:
         step with axis ``"/"`` must match a top-level label (``root`` for
         the PL index).
         """
+        if self.columnar:
+            return self.lookup_path_block(steps).materialize()
         matches = self.match_nodes(steps)
         merged: list[Posting] = []
         seen: set[tuple[int, int]] = set()
@@ -188,6 +402,25 @@ class HierarchyIndex:
                     merged.append(posting)
         merged.sort()
         return merged
+
+    def lookup_path_block(self, steps: list[tuple[str, str]]) -> PostingBlock:
+        """Columnar :meth:`lookup_path`: the union as a sorted posting block.
+
+        Every token merges into exactly one node, so the per-node slices are
+        disjoint and their concatenation needs no deduplication — one gather
+        plus one ``(sid, tid)`` sort replaces the object-backed merge loop.
+        """
+        store = self._store
+        assert store is not None, "lookup_path_block requires columnar=True"
+        matches = self.match_nodes(steps)
+        if not matches:
+            return PostingBlock.empty()
+        sid, tid, left, right, depth, wid = store.arrays_for_keys(
+            [node.node_id for node in matches]
+        )
+        return PostingBlock(
+            sid, tid, left, right, depth, wid, self._interner
+        ).sort_positional()
 
     def match_nodes(self, steps: list[tuple[str, str]]) -> list[HierarchyNode]:
         """All hierarchy nodes whose root path matches the pattern *steps*."""
@@ -223,6 +456,42 @@ class HierarchyIndex:
         if pattern_label == "*":
             return True
         return node_label.lower() == pattern_label.lower()
+
+    # ------------------------------------------------------------------
+    # conversion (object-backed -> columnar, used on snapshot restore)
+    # ------------------------------------------------------------------
+    def convert_to_columnar(self, interner: StringInterner) -> "HierarchyIndex":
+        """Move the per-node posting lists into a columnar store, in place.
+
+        The trie (node ids, labels, links) is untouched, so closure tables,
+        ``node_by_id`` and path lookups are unaffected; each node's
+        ``postings`` list is replaced by a live view of its store slice.
+        """
+        assert not self.columnar, f"hierarchy index {self.name!r} is already columnar"
+        store = ColumnarPostings(_H_COLUMNS, identity_keys=True)
+        store.ensure_key_capacity(self._next_id)
+        kids: list[int] = []
+        columns: tuple[list[int], ...] = tuple([] for _ in _H_COLUMNS)
+        sids, tids, lefts, rights, depths, wids = columns
+        for node in self._nodes.values():
+            if node is not self._dummy:
+                for p in node.postings:
+                    kids.append(node.node_id)
+                    sids.append(p.sid)
+                    tids.append(p.tid)
+                    lefts.append(p.left)
+                    rights.append(p.right)
+                    depths.append(p.depth)
+                    wids.append(interner.intern(p.word))
+            node.postings = _NodePostingsView(store, node.node_id, interner)
+        store.append_batch(kids, columns)
+        store.compact()
+        self.columnar = True
+        self._interner = interner
+        self._store = store
+        self._token_nodes = {}
+        self._token_cache = None
+        return self
 
     # ------------------------------------------------------------------
     # materialisation (closure table of Section 6.2.1)
@@ -309,11 +578,19 @@ class HierarchyIndex:
         self._merged_token_count += count
 
 
-def parse_label_index() -> HierarchyIndex:
+def parse_label_index(
+    columnar: bool = False, interner: StringInterner | None = None
+) -> HierarchyIndex:
     """A hierarchy index keyed on dependency parse labels (the PL index)."""
-    return HierarchyIndex(label_of=lambda token: token.label, name="PL")
+    return HierarchyIndex(
+        label_of=lambda token: token.label, name="PL", columnar=columnar, interner=interner
+    )
 
 
-def pos_tag_index() -> HierarchyIndex:
+def pos_tag_index(
+    columnar: bool = False, interner: StringInterner | None = None
+) -> HierarchyIndex:
     """A hierarchy index keyed on POS tags (the POS index)."""
-    return HierarchyIndex(label_of=lambda token: token.pos, name="POS")
+    return HierarchyIndex(
+        label_of=lambda token: token.pos, name="POS", columnar=columnar, interner=interner
+    )

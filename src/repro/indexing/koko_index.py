@@ -15,6 +15,7 @@ from typing import Sequence
 
 from ..nlp.types import Corpus, Document
 from ..storage.database import Database
+from .columnar import StringInterner
 from .entity_index import EntityIndex
 from .hierarchy import HierarchyIndex, parse_label_index, pos_tag_index
 from .postings import Posting
@@ -65,11 +66,17 @@ class IndexStatistics:
 class KokoIndexSet:
     """Builds and owns KOKO's four indexes over one corpus."""
 
-    def __init__(self) -> None:
-        self.word_index = WordIndex()
-        self.entity_index = EntityIndex()
-        self.pl_index: HierarchyIndex = parse_label_index()
-        self.pos_index: HierarchyIndex = pos_tag_index()
+    def __init__(self, columnar: bool = False) -> None:
+        self.columnar = columnar
+        self._interner = StringInterner() if columnar else None
+        self.word_index = WordIndex(columnar=columnar, interner=self._interner)
+        self.entity_index = EntityIndex(columnar=columnar)
+        self.pl_index: HierarchyIndex = parse_label_index(
+            columnar=columnar, interner=self._interner
+        )
+        self.pos_index: HierarchyIndex = pos_tag_index(
+            columnar=columnar, interner=self._interner
+        )
         self.build_seconds = 0.0
         self._sentences = 0
         self._tokens = 0
@@ -80,8 +87,11 @@ class KokoIndexSet:
     def build(self, corpus: Corpus) -> "KokoIndexSet":
         """Index every sentence of *corpus*; returns self for chaining."""
         started = time.perf_counter()
-        for _, sentence in corpus.all_sentences():
-            self.add_sentence(sentence)
+        if self.columnar:
+            self._splice_sentences([s for _, s in corpus.all_sentences()])
+        else:
+            for _, sentence in corpus.all_sentences():
+                self.add_sentence(sentence)
         self.build_seconds += time.perf_counter() - started
         return self
 
@@ -93,8 +103,11 @@ class KokoIndexSet:
         same postings, same hierarchy nodes, same statistics.
         """
         started = time.perf_counter()
-        for sentence in document:
-            self.add_sentence(sentence)
+        if self.columnar:
+            self._splice_sentences(list(document))
+        else:
+            for sentence in document:
+                self.add_sentence(sentence)
         self.build_seconds += time.perf_counter() - started
         return self
 
@@ -108,6 +121,9 @@ class KokoIndexSet:
 
     def add_sentence(self, sentence) -> None:
         """Index one sentence in all four indexes."""
+        if self.columnar:
+            self._add_sentence_columnar(sentence)
+            return
         self.word_index.add_sentence(sentence)
         self.entity_index.add_sentence(sentence)
         self.pl_index.add_sentence(sentence)
@@ -118,6 +134,100 @@ class KokoIndexSet:
             self.word_index.set_node_ids(sentence.sid, token.index, plid, posid)
         self._sentences += 1
         self._tokens += len(sentence)
+
+    def _add_sentence_columnar(self, sentence) -> None:
+        """Columnar splice of a single sentence (one-element batch)."""
+        self._splice_sentences((sentence,))
+
+    def _splice_sentences(self, sentences) -> None:
+        """Columnar splice: columnise each sentence once, flush one batch.
+
+        Each dependency tree is read as whole-sentence columns
+        (:meth:`~repro.nlp.types.Sentence.tree_columns`) and merged into
+        the two hierarchy tries (a memoised walk — no rows yet); the W, PL,
+        POS and E rows of the whole batch accumulate in flat column lists,
+        ``(sid, tid)``-ordered, and land in one
+        :meth:`~repro.indexing.columnar.ColumnarPostings.append_batch` per
+        store — no per-token :class:`Posting` construction, no per-sentence
+        array work, O(batch) total.  The PL and POS stores share the W
+        batch's column lists (their six columns are a prefix of W's eight).
+        """
+        pl_merge = self.pl_index.merge_tree
+        pos_merge = self.pos_index.merge_tree
+        # one shared row payload: sid/tid/left/right/depth(/wid) columns for
+        # W, PL and POS alike; node-id columns double as the hierarchy keys
+        w_sids: list[int] = []
+        w_tids: list[int] = []
+        w_lefts: list[int] = []
+        w_rights: list[int] = []
+        w_depths: list[int] = []
+        w_plids: list[int] = []
+        w_posids: list[int] = []
+        w_texts: list[str] = []
+        e_sids: list[int] = []
+        e_lefts: list[int] = []
+        e_rights: list[int] = []
+        e_etypes: list[str] = []
+        e_texts: list[str] = []
+        all_reachable = True
+        for sentence in sentences:
+            sid = sentence.sid
+            n = len(sentence)
+            self._sentences += 1
+            self._tokens += n
+            mentions = sentence.entities
+            if mentions:
+                e_sids.extend([sid] * len(mentions))
+                e_lefts.extend(m.start for m in mentions)
+                e_rights.extend(m.end for m in mentions)
+                e_etypes.extend(m.etype for m in mentions)
+                e_texts.extend(m.text for m in mentions)
+            if n == 0:
+                continue
+            tokens = sentence.tokens
+            children, spans, depths = sentence.tree_columns()
+            # hashable shape, built once and shared by both hierarchy
+            # merges (their merge memos key on it)
+            structure = tuple(map(tuple, children))
+            root = sentence.root_index()
+            plids = pl_merge(root, structure, [t.label for t in tokens])
+            posids = pos_merge(root, structure, [t.pos for t in tokens])
+            if -1 in plids:
+                all_reachable = False
+            w_sids.extend([sid] * n)
+            w_tids.extend(range(n))
+            w_lefts.extend([span[0] for span in spans])
+            w_rights.extend([span[1] for span in spans])
+            w_depths.extend(depths)
+            w_plids.extend(plids)
+            w_posids.extend(posids)
+            w_texts.extend([token.text for token in tokens])
+        if w_texts:
+            wids = self._interner.intern_many(w_texts)
+            if all_reachable:
+                # the hierarchy rows are exactly the W rows: share the lists
+                h_columns = (w_sids, w_tids, w_lefts, w_rights, w_depths, wids)
+                pl_kids, pos_kids = w_plids, w_posids
+            else:
+                # tokens unreachable from a root carry no hierarchy node
+                keep = [i for i, plid in enumerate(w_plids) if plid != -1]
+                h_columns = tuple(
+                    [column[i] for i in keep]
+                    for column in (w_sids, w_tids, w_lefts, w_rights, w_depths, wids)
+                )
+                pl_kids = [w_plids[i] for i in keep]
+                pos_kids = [w_posids[i] for i in keep]
+            self.pl_index.append_rows(pl_kids, h_columns)
+            self.pos_index.append_rows(pos_kids, h_columns)
+            self.word_index.add_token_rows(
+                w_texts,
+                (
+                    w_sids, w_tids, w_lefts, w_rights,
+                    w_depths, wids, w_plids, w_posids,
+                ),
+            )
+        if e_sids:
+            self.entity_index.add_rows(e_sids, e_lefts, e_rights, e_etypes, e_texts)
 
     def remove_sentence(self, sentence) -> None:
         """Remove one sentence from all four indexes."""
@@ -158,11 +268,25 @@ class KokoIndexSet:
         from ..storage.btree import _sizeof
 
         total = 0
-        for word in self.word_index.vocabulary():
-            postings = self.word_index.lookup(word)
-            total += len(postings) * (_sizeof(word) + 7 * 28 + 40)
-        for posting in self.entity_index.all_postings():
-            total += _sizeof(posting.text) + 3 * 28 + 40
+        if self.columnar:
+            # Same accounting over the columnar layout: per-key row counts
+            # for W, interned strings for E — identical totals by design
+            # (the equivalence tests compare statistics across backends).
+            word_store = self.word_index._store
+            for kid in word_store.live_key_ids():
+                word = word_store.key_of(kid)
+                total += word_store.key_count(kid) * (_sizeof(word) + 7 * 28 + 40)
+            entity_store = self.entity_index._store_type
+            strings = self.entity_index._strings
+            text_ids = entity_store.all_arrays()[3]
+            for text_id in text_ids.tolist():
+                total += _sizeof(strings.text(text_id)) + 3 * 28 + 40
+        else:
+            for word in self.word_index.vocabulary():
+                postings = self.word_index.lookup(word)
+                total += len(postings) * (_sizeof(word) + 7 * 28 + 40)
+            for posting in self.entity_index.all_postings():
+                total += _sizeof(posting.text) + 3 * 28 + 40
         for hierarchy in (self.pl_index, self.pos_index):
             for node in hierarchy.nodes():
                 # One closure-table row per (node, ancestor) pair.  The
@@ -173,6 +297,29 @@ class KokoIndexSet:
                 ancestors = node.depth + 1
                 total += ancestors * (2 * _sizeof(node.label) + 4 * 28 + 40)
         return total
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    def to_columnar(self) -> "KokoIndexSet":
+        """Convert an object-backed index set to columnar storage, in place.
+
+        Used by the service on snapshot-restored and bootstrap index sets
+        (the persistence formats stay object-shaped on disk).  Postings,
+        node ids, hierarchy structure and statistics are preserved exactly;
+        subsequent ``add_sentence``/``remove_sentence`` calls take the
+        columnar paths.  A no-op when already columnar.
+        """
+        if self.columnar:
+            return self
+        interner = StringInterner()
+        self.word_index = WordIndex.from_object(self.word_index, interner)
+        self.entity_index = EntityIndex.from_object(self.entity_index)
+        self.pl_index.convert_to_columnar(interner)
+        self.pos_index.convert_to_columnar(interner)
+        self._interner = interner
+        self.columnar = True
+        return self
 
     # ------------------------------------------------------------------
     # materialisation

@@ -21,7 +21,7 @@ posting lists:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..nlp.types import Sentence
@@ -29,14 +29,20 @@ from ..nlp.types import Sentence
 
 @dataclass(frozen=True, order=True)
 class Posting:
-    """One ``(x, y, u-v, d)`` quintuple, optionally annotated with its word."""
+    """One ``(x, y, u-v, d)`` quintuple, optionally annotated with its word.
+
+    Comparisons (and hashing) cover the positional quintuple only: ``word``
+    is a display annotation whose surface case varies by provenance
+    (original token text vs. the lower-cased key of a restored ``W``
+    relation), and sort order or merge tie-breaks must not depend on it.
+    """
 
     sid: int
     tid: int
     left: int
     right: int
     depth: int
-    word: str = ""
+    word: str = field(default="", compare=False)
 
     def covers(self, other: "Posting") -> bool:
         """True when *other*'s token lies within this posting's subtree."""

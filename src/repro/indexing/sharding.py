@@ -40,10 +40,18 @@ def shard_of(doc_id: str, num_shards: int) -> int:
 class ShardedIndexSet:
     """N hash-partitioned :class:`KokoIndexSet` shards behaving as one."""
 
-    def __init__(self, num_shards: int = 4) -> None:
+    def __init__(self, num_shards: int = 4, columnar: bool = False) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
-        self.shards: list[KokoIndexSet] = [KokoIndexSet() for _ in range(num_shards)]
+        self.shards: list[KokoIndexSet] = [
+            KokoIndexSet(columnar=columnar) for _ in range(num_shards)
+        ]
+
+    def to_columnar(self) -> "ShardedIndexSet":
+        """Convert every shard to columnar storage, in place; returns self."""
+        for shard in self.shards:
+            shard.to_columnar()
+        return self
 
     # ------------------------------------------------------------------
     # routing

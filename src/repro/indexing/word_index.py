@@ -5,31 +5,125 @@ index also records, for each occurrence, the hierarchy-index node ids of the
 token in the PL and POS indexes (``plid`` / ``posid``) — the extra columns
 of the ``W`` relation in Section 6.2.1 that let the engine join inverted and
 hierarchy indexes without touching the dependency trees again.
+
+Two storage backends share this API: the original object-backed one (one
+Python list of :class:`Posting` per word) and, with ``columnar=True``, a
+:class:`~repro.indexing.columnar.ColumnarPostings` store whose ``W``-shaped
+rows ``(sid, tid, left, right, depth, wid, plid, posid)`` live in flat
+numpy columns — batch appends for the ingest splice, array slices for the
+read-side joins.  The on-disk ``W`` relation is identical either way.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..nlp.types import Corpus, Sentence
 from ..storage.database import Database
 from ..storage.table import Schema
+from .columnar import ColumnarPostings, PostingBlock, StringInterner
 from .postings import Posting, posting_for_token
+
+_W_COLUMNS = ("sid", "tid", "left", "right", "depth", "wid", "plid", "posid")
 
 
 class WordIndex:
     """Inverted index from word to posting list."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, columnar: bool = False, interner: StringInterner | None = None
+    ) -> None:
+        self.columnar = columnar
         self._postings: dict[str, list[Posting]] = {}
         self._node_ids: dict[tuple[int, int], tuple[int, int]] = {}
+        # NOTE: an explicit None test — a fresh shared interner is empty and
+        # therefore falsy, and falling back to a private one here would make
+        # stored word ids undecodable.
+        self._interner = (
+            (interner if interner is not None else StringInterner())
+            if columnar
+            else None
+        )
+        self._store = ColumnarPostings(_W_COLUMNS) if columnar else None
+        # (sid, tid) -> (plid, posid), built lazily over the columnar rows
+        self._pair_cache: dict[tuple[int, int], tuple[int, int]] | None = None
+        # word-interner id -> store key id: the splice resolves keys by
+        # integer instead of re-hashing each token's lower-cased text
+        self._wid_kid: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_sentence(self, sentence: Sentence) -> None:
         """Index every token of *sentence*."""
+        if self.columnar:
+            n = len(sentence)
+            if n == 0:
+                return
+            _, spans, depths = sentence.tree_columns()
+            texts = [token.text for token in sentence.tokens]
+            self.add_sentence_batch(
+                sentence.sid,
+                texts,
+                [span[0] for span in spans],
+                [span[1] for span in spans],
+                list(depths),
+                [-1] * n,
+                [-1] * n,
+            )
+            return
         for token in sentence:
             posting = posting_for_token(sentence, token.index)
             self._postings.setdefault(token.text.lower(), []).append(posting)
+
+    def add_sentence_batch(
+        self,
+        sid: int,
+        texts: list[str],
+        lefts: list[int],
+        rights: list[int],
+        depths: list[int],
+        plids: list[int],
+        posids: list[int],
+        wids: list[int] | None = None,
+    ) -> None:
+        """Columnar splice: append one sentence's tokens as a row batch.
+
+        ``wids`` (word-interner ids for *texts*) may be passed when the
+        caller already interned the tokens, avoiding a second pass.
+        """
+        if wids is None:
+            intern_text = self._interner.intern
+            wids = [intern_text(text) for text in texts]
+        n = len(texts)
+        self.add_token_rows(
+            texts, ([sid] * n, range(n), lefts, rights, depths, wids, plids, posids)
+        )
+
+    def add_token_rows(
+        self, texts: list[str], columns: "tuple[Sequence[int], ...]"
+    ) -> None:
+        """Columnar splice: append W rows spanning any number of sentences.
+
+        *columns* are the eight W columns in ``(sid, tid)`` order; *texts*
+        are the surface forms matching the ``wid`` column row for row.  Key
+        ids resolve through the wid -> kid cache, so steady-state splices
+        hash one int per token instead of one lower-cased string.
+        """
+        store = self._store
+        assert store is not None, "add_token_rows requires columnar=True"
+        cache = self._wid_kid
+        intern_key = store.intern_key
+        kids: list[int] = []
+        append = kids.append
+        for text, wid in zip(texts, columns[5]):
+            kid = cache.get(wid)
+            if kid is None:
+                kid = intern_key(text.lower())
+                cache[wid] = kid
+            append(kid)
+        store.append_batch(kids, columns)
+        self._pair_cache = None
 
     def add_corpus(self, corpus: Corpus) -> None:
         for _, sentence in corpus.all_sentences():
@@ -38,6 +132,10 @@ class WordIndex:
     def remove_sentence(self, sentence: Sentence) -> None:
         """Remove every posting contributed by *sentence* (by sentence id)."""
         sid = sentence.sid
+        if self.columnar:
+            self._store.remove_sid(sid)
+            self._pair_cache = None
+            return
         for token in sentence:
             word = token.text.lower()
             postings = self._postings.get(word)
@@ -51,6 +149,10 @@ class WordIndex:
 
     def set_node_ids(self, sid: int, tid: int, plid: int, posid: int) -> None:
         """Record the hierarchy-index node ids for one token occurrence."""
+        if self.columnar:
+            raise RuntimeError(
+                "columnar WordIndex takes node ids via add_sentence_batch"
+            )
         self._node_ids[(sid, tid)] = (plid, posid)
 
     # ------------------------------------------------------------------
@@ -58,21 +160,89 @@ class WordIndex:
     # ------------------------------------------------------------------
     def lookup(self, word: str) -> list[Posting]:
         """Posting list of *word* (case-insensitive; empty if unseen)."""
+        if self.columnar:
+            return self.lookup_block(word).materialize()
         return list(self._postings.get(word.lower(), ()))
+
+    def lookup_block(self, word: str) -> PostingBlock:
+        """Posting list of *word* as a ``(sid, tid)``-sorted columnar block."""
+        store = self._store
+        assert store is not None, "lookup_block requires columnar=True"
+        kid = store.key_id(word.lower())
+        if kid is None:
+            return PostingBlock.empty()
+        sid, tid, left, right, depth, wid, _plid, _posid = store.arrays_for_key(kid)
+        return PostingBlock(
+            sid, tid, left, right, depth, wid, self._interner
+        ).sort_positional()
 
     def node_ids(self, sid: int, tid: int) -> tuple[int, int] | None:
         """The (plid, posid) recorded for a token occurrence, if any."""
-        return self._node_ids.get((sid, tid))
+        if not self.columnar:
+            return self._node_ids.get((sid, tid))
+        cache = self._pair_cache
+        if cache is None:
+            _, cols = self._store.all_arrays_with_keys()
+            sids, tids, plids, posids = cols[0], cols[1], cols[6], cols[7]
+            cache = {
+                (s, t): (pl, pos)
+                for s, t, pl, pos in zip(
+                    sids.tolist(), tids.tolist(), plids.tolist(), posids.tolist()
+                )
+                if pl != -1 or pos != -1
+            }
+            self._pair_cache = cache
+        return cache.get((sid, tid))
 
     def vocabulary(self) -> list[str]:
+        if self.columnar:
+            store = self._store
+            return sorted(store.key_of(kid) for kid in store.live_key_ids())
         return sorted(self._postings)
 
     def __contains__(self, word: str) -> bool:
+        if self.columnar:
+            kid = self._store.key_id(word.lower())
+            return kid is not None and self._store.key_count(kid) > 0
         return word.lower() in self._postings
 
     def __len__(self) -> int:
         """Total number of postings."""
+        if self.columnar:
+            return self._store.total_rows
         return sum(len(p) for p in self._postings.values())
+
+    # ------------------------------------------------------------------
+    # conversion (object-backed -> columnar, used on snapshot restore)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_object(
+        cls, source: "WordIndex", interner: StringInterner
+    ) -> "WordIndex":
+        """A columnar copy of an object-backed index (postings + node ids)."""
+        assert not source.columnar, "source is already columnar"
+        index = cls(columnar=True, interner=interner)
+        store = index._store
+        node_ids = source._node_ids
+        kids: list[int] = []
+        columns: tuple[list[int], ...] = tuple([] for _ in _W_COLUMNS)
+        sids, tids, lefts, rights, depths, wids, plids, posids = columns
+        for word, postings in source._postings.items():
+            kid = store.intern_key(word)
+            for p in postings:
+                kids.append(kid)
+                sids.append(p.sid)
+                tids.append(p.tid)
+                lefts.append(p.left)
+                rights.append(p.right)
+                depths.append(p.depth)
+                wids.append(interner.intern(p.word or word))
+                plid, posid = node_ids.get((p.sid, p.tid), (-1, -1))
+                plids.append(plid)
+                posids.append(posid)
+        store.append_batch(kids, columns)
+        store.compact()
+        return index
 
     # ------------------------------------------------------------------
     # materialisation (the W relation of Section 6.2.1)
@@ -88,21 +258,31 @@ class WordIndex:
         if database.has_table(table_name):
             database.drop_table(table_name)
         table = database.create_table(table_name, self.W_SCHEMA)
-        for word, postings in self._postings.items():
-            for posting in postings:
-                plid, posid = self._node_ids.get((posting.sid, posting.tid), (-1, -1))
-                table.insert(
-                    (
-                        word,
-                        posting.sid,
-                        posting.tid,
-                        posting.left,
-                        posting.right,
-                        posting.depth,
-                        plid,
-                        posid,
+        if self.columnar:
+            store = self._store
+            for kid in store.live_key_ids():
+                word = store.key_of(kid)
+                rows = store.arrays_for_key(kid)
+                for sid, tid, left, right, depth, _wid, plid, posid in zip(
+                    *(column.tolist() for column in rows)
+                ):
+                    table.insert((word, sid, tid, left, right, depth, plid, posid))
+        else:
+            for word, postings in self._postings.items():
+                for posting in postings:
+                    plid, posid = self._node_ids.get((posting.sid, posting.tid), (-1, -1))
+                    table.insert(
+                        (
+                            word,
+                            posting.sid,
+                            posting.tid,
+                            posting.left,
+                            posting.right,
+                            posting.depth,
+                            plid,
+                            posid,
+                        )
                     )
-                )
         if create_indexes:
             table.create_index("by_word", "word")
             table.create_index("by_sentence", "x")
@@ -122,7 +302,9 @@ class WordIndex:
         W relation stores only the lower-cased key, so without the map the
         rebuilt postings carry the lower-cased word.  Row order preserves the
         per-word posting order of the original index, so a round trip through
-        the storage engine is lookup-identical.
+        the storage engine is lookup-identical.  The rebuilt index is
+        object-backed; convert with :meth:`from_object` if the owner runs
+        columnar.
 
         ``postings_sink`` (when given) collects ``(posting, plid, posid)``
         per row, so :meth:`KokoIndexSet.from_database` can re-attach the

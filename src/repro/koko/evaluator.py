@@ -24,7 +24,7 @@ from ..indexing.exact import match_path_in_sentence
 from ..nlp.types import Sentence
 from .ast import Elastic, PathExpr, SpanExpr, SubtreeRef, TokenSeq, VarRef
 from .dpli import DpliResult
-from .gsp import SkipPlan, generate_skip_plan
+from .gsp import SkipPlan, generate_skip_plan, generate_skip_plans_batch
 from .normalize import HorizontalCondition, NormalizedQuery
 from .paths import to_tree_path
 
@@ -67,10 +67,38 @@ class SentenceEvaluator:
         #: cumulative wall-clock spent generating skip plans, so callers can
         #: report the GSP stage without re-running plan generation
         self.gsp_seconds = 0.0
+        #: skip plans pre-generated in one vectorized pass (columnar DPLI);
+        #: evaluate() falls back to per-sentence generation on misses
+        self._plans: dict[int, SkipPlan] | None = None
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def prepare_skip_plans(self, sentences: list[Sentence], dpli: DpliResult) -> None:
+        """Batch-generate skip plans for *sentences* ahead of evaluation.
+
+        Only effective when GSP is enabled, the query has horizontal
+        conditions, and DPLI carries the sorted sid columns that make the
+        batched cost model possible (``dpli.supports_batch``); otherwise
+        this is a no-op and :meth:`evaluate` keeps generating plans lazily.
+        The time spent is accounted to ``gsp_seconds`` just like the
+        per-sentence path, so stage timings remain comparable.
+        """
+        if not self.use_gsp or not sentences:
+            return
+        if not getattr(dpli, "supports_batch", False):
+            return
+        if not self.normalized.horizontal_conditions:
+            return
+        gsp_started = time.perf_counter()
+        self._plans = generate_skip_plans_batch(
+            self.normalized,
+            dpli,
+            [sentence.sid for sentence in sentences],
+            [len(sentence) for sentence in sentences],
+        )
+        self.gsp_seconds += time.perf_counter() - gsp_started
+
     def evaluate(self, sentence: Sentence, dpli: DpliResult) -> list[Assignment]:
         """All assignments satisfying the extract clause in *sentence*."""
         if len(sentence) == 0:
@@ -80,11 +108,15 @@ class SentenceEvaluator:
             return []
 
         if self.use_gsp:
-            gsp_started = time.perf_counter()
-            skip_plan = generate_skip_plan(
-                self.normalized, dpli, sentence.sid, len(sentence)
+            skip_plan = (
+                self._plans.get(sentence.sid) if self._plans is not None else None
             )
-            self.gsp_seconds += time.perf_counter() - gsp_started
+            if skip_plan is None:
+                gsp_started = time.perf_counter()
+                skip_plan = generate_skip_plan(
+                    self.normalized, dpli, sentence.sid, len(sentence)
+                )
+                self.gsp_seconds += time.perf_counter() - gsp_started
         else:
             skip_plan = SkipPlan(
                 skip_lists={c.target: [] for c in self.normalized.horizontal_conditions}

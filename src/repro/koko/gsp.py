@@ -8,11 +8,20 @@ candidate bindings the atom has in the sentence, with an elastic span ``^``
 costing ``t(t+1)/2`` (all possible spans of a ``t``-token sentence) — under
 the constraint that two adjacent atoms are never both skipped (otherwise the
 gap between their neighbours would be ambiguous).
+
+When DPLI ran against columnar indexes (``dpli.supports_batch``), the cost
+model can be evaluated for **all candidate sentences at once**: every atom's
+per-sentence binding counts come back as one searchsorted pass over the
+variable's sorted sid column (:func:`generate_skip_plans_batch`), and only
+the tiny greedy selection still runs per sentence.  Both paths share the
+greedy step and produce identical plans.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from .ast import Elastic, PathExpr, SubtreeRef, TokenSeq
 from .dpli import DpliResult
@@ -54,6 +63,29 @@ def estimate_cost(
     return float(max(1, dpli.bindings_count(atom_var, sid)))
 
 
+def _estimate_cost_array(
+    atom_var: str,
+    normalized: NormalizedQuery,
+    dpli: DpliResult,
+    sids: np.ndarray,
+    token_counts: np.ndarray,
+) -> np.ndarray:
+    """:func:`estimate_cost` for every candidate sentence in one pass."""
+    atom = normalized.atom_vars.get(atom_var)
+    tokens = token_counts.astype(np.float64)
+    if isinstance(atom, Elastic):
+        return tokens * (tokens + 1.0) / 2.0
+    if isinstance(atom, TokenSeq):
+        return tokens
+    if isinstance(atom, SubtreeRef):
+        counts = dpli.bindings_count_array(atom.var, sids)
+        return np.maximum(1, counts).astype(np.float64)
+    if isinstance(atom, PathExpr):
+        return tokens
+    counts = dpli.bindings_count_array(atom_var, sids)
+    return np.maximum(1, counts).astype(np.float64)
+
+
 def generate_skip_plan(
     normalized: NormalizedQuery,
     dpli: DpliResult,
@@ -67,6 +99,44 @@ def generate_skip_plan(
             condition, normalized, dpli, sid, sentence_tokens
         )
     return plan
+
+
+def generate_skip_plans_batch(
+    normalized: NormalizedQuery,
+    dpli: DpliResult,
+    sids: list[int],
+    token_counts: list[int],
+) -> dict[int, SkipPlan]:
+    """Run Algorithm 2 for many sentences with vectorized cost estimation.
+
+    Returns one :class:`SkipPlan` per sentence id, identical to what
+    :func:`generate_skip_plan` would produce sentence by sentence — the cost
+    arrays round-trip through Python floats before the greedy sort, so the
+    orderings (and hence the plans) match bit for bit.
+    """
+    plans = {sid: SkipPlan() for sid in sids}
+    if not sids:
+        return plans
+    sid_arr = np.asarray(sids, dtype=np.int64)
+    token_arr = np.asarray(token_counts, dtype=np.int64)
+    for condition in normalized.horizontal_conditions:
+        atom_vars = condition.atom_vars
+        if len(atom_vars) <= 1:
+            for plan in plans.values():
+                plan.skip_lists[condition.target] = []
+            continue
+        cost_columns = {
+            var: _estimate_cost_array(
+                var, normalized, dpli, sid_arr, token_arr
+            ).tolist()
+            for var in atom_vars
+        }
+        for row, sid in enumerate(sids):
+            costs = {var: cost_columns[var][row] for var in atom_vars}
+            plans[sid].skip_lists[condition.target] = _greedy_skip_list(
+                atom_vars, costs
+            )
+    return plans
 
 
 def _skip_list_for(
@@ -83,7 +153,11 @@ def _skip_list_for(
         var: estimate_cost(var, normalized, dpli, sid, sentence_tokens)
         for var in atom_vars
     }
-    # greedy: highest cost first; skip unless a neighbour is already skipped
+    return _greedy_skip_list(atom_vars, costs)
+
+
+def _greedy_skip_list(atom_vars: list[str], costs: dict[str, float]) -> list[str]:
+    """Greedy selection: highest cost first; skip unless a neighbour is skipped."""
     ordered = sorted(atom_vars, key=lambda v: -costs[v])
     skipped: list[str] = []
     skipped_set: set[str] = set()

@@ -108,6 +108,21 @@ class KokoResult:
             counts[t.doc_id] = counts.get(t.doc_id, 0) + 1
         return counts
 
+    def approximate_bytes(self) -> int:
+        """Deterministic rough size of this result, for cache admission.
+
+        Counts tuple/string payloads with flat per-object constants rather
+        than chasing real interpreter overhead — what matters is that two
+        results of very different sizes order correctly, cheaply.
+        """
+        total = 256  # result container + timings
+        for t in self.tuples:
+            total += 120 + len(t.doc_id)
+            for name, text in t.values:
+                total += 100 + len(name) + len(text)
+            total += 80 * len(t.scores)
+        return total
+
 
 def merge_results(results: Iterable[KokoResult]) -> KokoResult:
     """Deterministically merge per-shard results into one :class:`KokoResult`.

@@ -155,7 +155,9 @@ class ExtractStage(Stage):
     which accounts the planning wall-clock itself
     (:attr:`SentenceEvaluator.gsp_seconds`); this stage subtracts it out so
     ``timings.gsp`` and ``timings.extract`` partition the loop without any
-    work running twice.
+    work running twice.  When DPLI carries sorted sid columns (columnar
+    indexes), all skip plans are pre-generated in one vectorized batch
+    before the sentence loop starts.
     """
 
     name = "extract"
@@ -163,6 +165,11 @@ class ExtractStage(Stage):
     def run(self, ctx: ExecutionContext) -> None:
         started = time.perf_counter()
         evaluator = SentenceEvaluator(ctx.normalized, use_gsp=ctx.use_gsp)
+        if ctx.use_gsp and ctx.dpli is not None and ctx.documents:
+            evaluator.prepare_skip_plans(
+                [sentence for _, sentences in ctx.documents for sentence in sentences],
+                ctx.dpli,
+            )
         result = ctx.result
         candidates: list[tuple[Document, list[tuple[Sentence, Assignment]]]] = []
         for document, sentences in ctx.documents:

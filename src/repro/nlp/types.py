@@ -255,6 +255,20 @@ class Sentence:
         assert self._depths is not None
         return self._depths[index]
 
+    def tree_columns(self) -> tuple[list[list[int]], list[tuple[int, int]], list[int]]:
+        """The memoised tree structure as whole-sentence columns.
+
+        Returns ``(children, subtree_spans, depths)`` — the per-token lists
+        backing :meth:`children`, :meth:`subtree_span` and :meth:`depth` —
+        so the columnar index splice can read the whole sentence without a
+        per-token method call.  Treat the returned lists as read-only.
+        """
+        self._ensure_tree_caches()
+        assert self._children is not None
+        assert self._subtree_spans is not None
+        assert self._depths is not None
+        return self._children, self._subtree_spans, self._depths
+
     def subtree_indices(self, index: int) -> list[int]:
         """All token indexes in the subtree rooted at *index*, in surface order."""
         first, last = self.subtree_span(index)

@@ -122,17 +122,36 @@ class ResultCache(Generic[V]):
     :class:`~repro.service.stats.ServiceStats` counters, the raw inputs
     of cache-sizing decisions.  (Hits and misses are recorded by the
     caller, which knows which shard and query the lookup was for.)
+
+    **Cost-aware admission**: with ``max_entry_bytes`` and an
+    ``entry_bytes`` estimator set, :meth:`put` refuses values whose
+    estimated size exceeds the bound — one giant result would otherwise
+    push out many small, frequently reused entries while being unlikely
+    to be re-asked before the next ingest staled it anyway.  Each refusal
+    fires ``on_admission_skip`` (the service counts them per shard).
     """
 
     def __init__(
         self,
         capacity: int = 256,
         on_evict: Callable[[bool], None] | None = None,
+        max_entry_bytes: int | None = None,
+        entry_bytes: Callable[[V], int] | None = None,
+        on_admission_skip: Callable[[], None] | None = None,
     ) -> None:
+        if max_entry_bytes is not None and max_entry_bytes <= 0:
+            raise ValueError(
+                f"max_entry_bytes must be positive or None, got {max_entry_bytes}"
+            )
+        if max_entry_bytes is not None and entry_bytes is None:
+            raise ValueError("max_entry_bytes requires an entry_bytes estimator")
         self._entries: _LruDict[tuple[Hashable, V]] = _LruDict(
             capacity, on_evict=self._forward_lru_eviction
         )
         self._on_evict = on_evict
+        self._max_entry_bytes = max_entry_bytes
+        self._entry_bytes = entry_bytes
+        self._on_admission_skip = on_admission_skip
 
     def _forward_lru_eviction(self, _key: Hashable) -> None:
         if self._on_evict is not None:
@@ -155,7 +174,18 @@ class ResultCache(Generic[V]):
         return value
 
     def put(self, key: Hashable, generation: Hashable, value: V) -> None:
-        """Cache *value* under *key*, stamped with *generation*."""
+        """Cache *value* under *key*, stamped with *generation*.
+
+        Oversize values (see ``max_entry_bytes``) are not admitted; the
+        caller still gets its computed value, it just isn't cached.
+        """
+        if (
+            self._max_entry_bytes is not None
+            and self._entry_bytes(value) > self._max_entry_bytes
+        ):
+            if self._on_admission_skip is not None:
+                self._on_admission_skip()
+            return
         self._entries.put(key, (generation, value))
 
     def get_or_compute(

@@ -213,8 +213,24 @@ class KokoService:
         or — when ``storage_dir`` holds an existing service — whatever
         shard count was persisted.  An explicit value that contradicts a
         recovered snapshot raises :class:`ServiceError`.
+    columnar:
+        Store each shard's postings in flat numpy column arrays and run
+        the posting-list algebra vectorized (default True).  Snapshots,
+        WAL records and replication payloads are format-identical either
+        way — restored shards are converted in memory — and query results
+        are tuple-for-tuple the same; ``False`` falls back to the
+        object-backed posting lists.
     plan_cache_size, result_cache_size:
         LRU capacities of the two read-side caches.
+    result_cache_max_entry_bytes:
+        Cost-aware result-cache admission: results whose estimated size
+        (:meth:`~repro.koko.results.KokoResult.approximate_bytes`)
+        exceeds this bound are never cached — one giant result would
+        evict many small reusable entries.  Applies to the full-result
+        cache and every per-shard partial cache; refusals are counted in
+        ``stats.result_cache_admission_skips`` and the per-shard
+        ``admission_skips`` breakdown.  ``None`` (default) admits any
+        size.
     max_workers:
         Thread-pool width used by :meth:`query_batch` and by the async
         front end (:meth:`aquery` et al.).
@@ -296,8 +312,10 @@ class KokoService:
         pipeline: Pipeline | None = None,
         name: str = "service",
         shards: int | None = None,
+        columnar: bool = True,
         plan_cache_size: int = 256,
         result_cache_size: int = 256,
+        result_cache_max_entry_bytes: int | None = None,
         max_workers: int = 4,
         annotation_workers: int | None = None,
         annotation_processes: bool = False,
@@ -321,6 +339,11 @@ class KokoService:
     ) -> None:
         if shards is not None and shards <= 0:
             raise ServiceError(f"shards must be positive, got {shards}")
+        if result_cache_max_entry_bytes is not None and result_cache_max_entry_bytes <= 0:
+            raise ServiceError(
+                f"result_cache_max_entry_bytes must be positive, got "
+                f"{result_cache_max_entry_bytes}"
+            )
         if max_inflight_ingest_bytes is not None and max_inflight_ingest_bytes <= 0:
             raise ServiceError(
                 f"max_inflight_ingest_bytes must be positive, got "
@@ -392,11 +415,17 @@ class KokoService:
             use_gsp=use_gsp,
             use_default_vectors=use_default_vectors,
         )
-        self._index_set = ShardedIndexSet(shards)
+        self.columnar = columnar
+        self._index_set = ShardedIndexSet(shards, columnar=columnar)
         if recovered is not None and recovered.snapshot is not None:
             self._index_set.shards = list(recovered.snapshot.index_sets)
         elif bootstrap_snapshot is not None:
             self._index_set.shards = list(bootstrap_snapshot.index_sets)
+        if columnar:
+            # snapshots restore object-backed index sets (their on-disk
+            # format is unchanged); convert them in place before the shard
+            # façades capture references
+            self._index_set.to_columnar()
         self._shards = [
             _Shard(i, f"{name}/shard{i}", self._index_set.shards[i], engine_kwargs)
             for i in range(shards)
@@ -422,7 +451,11 @@ class KokoService:
         )
         self._plan_cache = PlanCache(plan_cache_size)
         self._result_cache: ResultCache[KokoResult] = ResultCache(
-            result_cache_size, on_evict=self.stats.record_result_cache_eviction
+            result_cache_size,
+            on_evict=self.stats.record_result_cache_eviction,
+            max_entry_bytes=result_cache_max_entry_bytes,
+            entry_bytes=KokoResult.approximate_bytes,
+            on_admission_skip=self.stats.record_result_cache_admission_skip,
         )
         # per-(query, shard) partials, one cache per shard so each shard's
         # own generation stamps its entries and hit/miss/eviction counters
@@ -432,6 +465,11 @@ class KokoService:
             ResultCache(
                 result_cache_size,
                 on_evict=partial(self._record_shard_cache_eviction, shard_id),
+                max_entry_bytes=result_cache_max_entry_bytes,
+                entry_bytes=KokoResult.approximate_bytes,
+                on_admission_skip=partial(
+                    self.stats.record_shard_cache_admission_skip, shard_id
+                ),
             )
             for shard_id in range(shards)
         ]

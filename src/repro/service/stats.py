@@ -75,6 +75,10 @@ class ServiceStats:
             "Full-result cache evictions (stale = generation turnover).",
             labelnames=("reason",),
         )
+        self._result_cache_admission_skips = r.counter(
+            "koko_result_cache_admission_skips_total",
+            "Results refused by cost-aware cache admission (oversize).",
+        )
         # --- ingest path --------------------------------------------
         self._documents_added = r.counter(
             "koko_documents_added_total", "Documents ingested."
@@ -133,6 +137,11 @@ class ServiceStats:
         self._shard_cache_lru_evictions = r.counter(
             "koko_shard_cache_lru_evictions_total",
             "Per-shard partial-cache capacity evictions.",
+            ("shard",),
+        )
+        self._shard_cache_admission_skips = r.counter(
+            "koko_shard_cache_admission_skips_total",
+            "Per-shard partials refused by cost-aware cache admission.",
             ("shard",),
         )
         # --- durability: WAL, group commit, checkpoints, recovery ----
@@ -275,6 +284,14 @@ class ServiceStats:
     def record_result_cache_eviction(self, stale: bool) -> None:
         """Account one eviction from the full-result cache."""
         self._result_cache_evictions.labels("stale" if stale else "lru").inc()
+
+    def record_result_cache_admission_skip(self) -> None:
+        """Account one oversize result refused by full-result admission."""
+        self._result_cache_admission_skips.inc()
+
+    def record_shard_cache_admission_skip(self, shard: int) -> None:
+        """Account one oversize partial refused by shard *shard*'s cache."""
+        self._shard_cache_admission_skips.labels(shard).inc()
 
     def record_backpressure_wait(self) -> None:
         """Account one ingest claim that blocked on the in-flight bytes bound."""
@@ -429,6 +446,16 @@ class ServiceStats:
     def shard_cache_lru_evictions(self) -> dict[int, int]:
         """Per-shard partial-cache capacity evictions (one atomic cut)."""
         return self._shard_cache_lru_evictions.values()
+
+    @property
+    def shard_cache_admission_skips(self) -> dict[int, int]:
+        """Per-shard partials refused by cost-aware admission (atomic cut)."""
+        return self._shard_cache_admission_skips.values()
+
+    @property
+    def result_cache_admission_skips(self) -> int:
+        """Full results refused by cost-aware cache admission."""
+        return self._result_cache_admission_skips.value
 
     @property
     def result_cache_stale_evictions(self) -> int:
@@ -615,13 +642,15 @@ class ServiceStats:
         misses = self.shard_cache_misses
         stale = self.shard_cache_stale_evictions
         lru = self.shard_cache_lru_evictions
-        shards = set(hits) | set(misses) | set(stale) | set(lru)
+        skips = self.shard_cache_admission_skips
+        shards = set(hits) | set(misses) | set(stale) | set(lru) | set(skips)
         return {
             shard: {
                 "hits": hits.get(shard, 0),
                 "misses": misses.get(shard, 0),
                 "stale_evictions": stale.get(shard, 0),
                 "lru_evictions": lru.get(shard, 0),
+                "admission_skips": skips.get(shard, 0),
             }
             for shard in sorted(shards)
         }
@@ -658,6 +687,7 @@ class ServiceStats:
             "per_shard_result_cache": self.shard_cache_breakdown(),
             "result_cache_stale_evictions": self.result_cache_stale_evictions,
             "result_cache_lru_evictions": self.result_cache_lru_evictions,
+            "result_cache_admission_skips": self.result_cache_admission_skips,
             "ingest_backpressure_waits": self.ingest_backpressure_waits,
             "durability": {
                 "wal_records_appended": self.wal_records_appended,

@@ -1,0 +1,69 @@
+"""Property test: the columnar backend is observationally invisible.
+
+For randomly generated corpora, the columnar and object-backed backends
+must agree on everything a caller can see:
+
+* the index sets themselves — identical posting sets, hierarchy paths and
+  statistics (the shared equivalence assertion of ``tests/conftest.py``);
+* full query answers through :class:`~repro.service.KokoService`, at both
+  1 and 4 shards — identical result tuples, in the same order.
+
+Corpora are drawn from the same word pool as the incremental-maintenance
+property test, so the trees exercise repeated shapes (the merge-memo hit
+path) as well as fresh ones.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexing.koko_index import KokoIndexSet
+from repro.nlp.pipeline import Pipeline
+from repro.service import KokoService
+
+QUERIES = (
+    'extract e:Entity, d:Str from "t" if '
+    '(/ROOT:{ a = //verb, b = a/dobj, d = (b.subtree) })',
+    'extract x:Entity from "t" if (/ROOT:{ a = //"ate" })',
+    'extract x:Entity from "t" if ()',
+)
+
+_WORDS = [
+    "Anna", "ate", "delicious", "cheesecake", "the", "cafe", "in", "Tokyo",
+    "serves", "coffee", "Paolo", "visited", "Beijing", "and", "pie",
+]
+
+_sentences = st.lists(st.sampled_from(_WORDS), min_size=3, max_size=8).map(
+    lambda words: " ".join(words) + "."
+)
+_documents = st.lists(_sentences, min_size=1, max_size=3).map(" ".join)
+_corpora = st.lists(_documents, min_size=1, max_size=4)
+
+_PIPELINE = Pipeline()
+
+
+def _rows(result):
+    return [(t.doc_id, t.sid, t.values) for t in result]
+
+
+@settings(max_examples=8, deadline=None)
+@given(texts=_corpora)
+def test_columnar_and_object_backends_agree(texts, assert_equivalent_indexes):
+    corpus = _PIPELINE.annotate_corpus(texts, name="random")
+    assert_equivalent_indexes(
+        KokoIndexSet(columnar=True).build(corpus), KokoIndexSet().build(corpus)
+    )
+    for shards in (1, 4):
+        expected = None
+        for columnar in (False, True):
+            with KokoService(
+                shards=shards, columnar=columnar, use_default_vectors=False
+            ) as service:
+                for document in corpus.documents:
+                    service.add_annotated_document(document)
+                rows = [_rows(service.query(query)) for query in QUERIES]
+            if expected is None:
+                expected = rows
+            else:
+                assert rows == expected

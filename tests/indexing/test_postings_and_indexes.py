@@ -52,6 +52,20 @@ class TestPostings:
         merged = union([[a], [b, c]])
         assert merged == [a, c]
 
+    def test_comparisons_ignore_word(self):
+        """Regression: ``word`` is a display annotation, not identity —
+        identical quintuples with different surface case (original token
+        text vs a restored lower-cased W key) must compare and hash equal,
+        so sort order never depends on posting provenance."""
+        a = Posting(0, 1, 0, 5, 0, "Ate")
+        b = Posting(0, 1, 0, 5, 0, "ate")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert not (a < b) and not (b < a)
+        # and ordering is driven purely by the quintuple fields
+        c = Posting(0, 0, 0, 5, 0, "zzz")
+        assert sorted([a, c]) == [c, a]
+
     def test_join_same_token(self):
         a = Posting(0, 3, 3, 3, 2, "x")
         b = Posting(0, 3, 3, 3, 2, "y")

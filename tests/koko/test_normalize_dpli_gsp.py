@@ -7,7 +7,11 @@ import pytest
 from repro.errors import KokoSemanticError
 from repro.koko.ast import Elastic, VarConstraint
 from repro.koko.dpli import run_dpli
-from repro.koko.gsp import estimate_cost, generate_skip_plan
+from repro.koko.gsp import (
+    estimate_cost,
+    generate_skip_plan,
+    generate_skip_plans_batch,
+)
 from repro.koko.normalize import normalize
 from repro.koko.parser import parse_query
 from repro.koko.paths import dominant_paths, is_dominated, label_kind, to_tree_path
@@ -164,6 +168,18 @@ class TestGsp:
         )
         cost = estimate_cost(elastic_var, normalized, dpli, sid=0, sentence_tokens=20)
         assert cost == 20 * 21 / 2
+
+    @pytest.mark.parametrize("query", [EXAMPLE_2_1, EXAMPLE_4_1])
+    def test_batch_plans_match_per_sentence_plans(self, query, paper_indexes):
+        """The vectorized Algorithm 2 is bit-for-bit the scalar one."""
+        normalized = normalize(parse_query(query))
+        dpli = run_dpli(normalized, paper_indexes)
+        sids, token_counts = [0, 1], [17, 13]
+        batch = generate_skip_plans_batch(normalized, dpli, sids, token_counts)
+        assert set(batch) == set(sids)
+        for sid, tokens in zip(sids, token_counts):
+            assert batch[sid] == generate_skip_plan(normalized, dpli, sid, tokens)
+        assert generate_skip_plans_batch(normalized, dpli, [], []) == {}
 
     def test_single_atom_condition_never_skips(self, paper_indexes):
         normalized = normalize(
