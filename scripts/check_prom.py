@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Prometheus text-exposition lint for ``/metrics`` output.
+
+Stdlib-only validator for the exposition format version 0.0.4 subset the
+repo's :class:`~repro.observability.metrics.MetricsRegistry` emits.  CI
+scrapes the live telemetry endpoints and pipes the body through this
+linter, so a formatting regression (bad escaping, missing ``# TYPE``,
+non-numeric sample, histogram whose ``+Inf`` bucket disagrees with
+``_count``) fails the build instead of silently breaking scrapers.
+
+Checks, one finding per line as ``line N: CODE message``:
+
+* **P001** — unparseable line (neither comment, blank, nor sample);
+* **P002** — sample for a family with no preceding ``# TYPE``;
+* **P003** — ``# TYPE`` value not one of counter/gauge/histogram/
+  summary/untyped;
+* **P004** — sample value is not a valid float (``NaN``/``+Inf`` ok);
+* **P005** — malformed label block (bad quoting/escaping);
+* **P006** — duplicate ``# TYPE`` for the same family;
+* **P007** — counter sample is negative;
+* **P008** — histogram's ``+Inf`` bucket count disagrees with its
+  ``_count`` sample (same label subset);
+* **P009** — metric or label name violates the Prometheus charset.
+
+Exit status 0 = clean; 1 = findings; 2 = could not read input.
+
+Usage::
+
+    python scripts/check_prom.py exposition.txt
+    curl -s localhost:9600/metrics | python scripts/check_prom.py -
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+__all__ = ["lint_exposition", "parse_samples"]
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _parse_labels(raw: str) -> dict | None:
+    """Parse a ``name="value",...`` label block; ``None`` when malformed."""
+    labels: dict[str, str] = {}
+    index = 0
+    length = len(raw)
+    while index < length:
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', raw[index:])
+        if match is None:
+            return None
+        name = match.group(1)
+        index += match.end()
+        value_chars: list[str] = []
+        while index < length:
+            char = raw[index]
+            if char == "\\":
+                if index + 1 >= length:
+                    return None
+                escaped = raw[index + 1]
+                if escaped == "n":
+                    value_chars.append("\n")
+                elif escaped in ('"', "\\"):
+                    value_chars.append(escaped)
+                else:
+                    return None
+                index += 2
+            elif char == '"':
+                index += 1
+                break
+            else:
+                value_chars.append(char)
+                index += 1
+        else:
+            return None  # ran off the end inside the quoted value
+        labels[name] = "".join(value_chars)
+        if index < length:
+            if raw[index] != ",":
+                return None
+            index += 1
+    return labels
+
+
+def _parse_value(raw: str) -> float | None:
+    """A sample value as float; ``None`` when invalid."""
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def parse_samples(text: str) -> list[dict]:
+    """Every sample in *text* as ``{"name", "labels", "value"}`` dicts.
+
+    Lenient companion to :func:`lint_exposition` for tests and smoke
+    scripts that want to assert on scraped values (e.g. counters are
+    monotone across scrapes); unparseable lines are skipped.
+    """
+    samples = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            continue
+        labels = _parse_labels(match.group("labels") or "")
+        value = _parse_value(match.group("value"))
+        if labels is None or value is None:
+            continue
+        samples.append(
+            {"name": match.group("name"), "labels": labels, "value": value}
+        )
+    return samples
+
+
+def lint_exposition(text: str) -> list[str]:
+    """All findings for one exposition body (empty list = clean)."""
+    findings: list[str] = []
+    types: dict[str, str] = {}
+    inf_buckets: dict[tuple, float] = {}
+    counts: dict[tuple, float] = {}
+
+    def finding(number: int, code: str, message: str) -> None:
+        findings.append(f"line {number}: {code} {message}")
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                family = parts[2]
+                declared = parts[3] if len(parts) > 3 else ""
+                if declared not in _TYPES:
+                    finding(number, "P003", f"unknown type {declared!r} for {family}")
+                if family in types:
+                    finding(number, "P006", f"duplicate TYPE for {family}")
+                types[family] = declared
+            continue
+        match = _SAMPLE.match(line.strip())
+        if match is None:
+            finding(number, "P001", f"unparseable line: {line.strip()[:80]!r}")
+            continue
+        name = match.group("name")
+        if not _METRIC_NAME.match(name):
+            finding(number, "P009", f"bad metric name {name!r}")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) in ("histogram", "summary"):
+                family = base
+                break
+        if family not in types:
+            finding(number, "P002", f"sample for {name} has no preceding # TYPE")
+        labels = _parse_labels(match.group("labels") or "")
+        if labels is None:
+            finding(number, "P005", f"malformed labels on {name}")
+            continue
+        for label in labels:
+            if not _LABEL_NAME.match(label):
+                finding(number, "P009", f"bad label name {label!r} on {name}")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            finding(
+                number, "P004", f"non-numeric value {match.group('value')!r} on {name}"
+            )
+            continue
+        if types.get(family) == "counter" and value < 0:
+            finding(number, "P007", f"negative counter sample on {name}")
+        if types.get(family) == "histogram":
+            key_labels = tuple(
+                sorted(item for item in labels.items() if item[0] != "le")
+            )
+            if name.endswith("_bucket") and labels.get("le") == "+Inf":
+                inf_buckets[(family, key_labels)] = value
+            elif name.endswith("_count"):
+                counts[(family, key_labels)] = value
+    for key, count in counts.items():
+        inf = inf_buckets.get(key)
+        if inf is not None and inf != count:
+            family, _ = key
+            findings.append(
+                f"line 0: P008 histogram {family} +Inf bucket {inf} != _count {count}"
+            )
+    return findings
+
+
+def main(argv=None) -> int:
+    """CLI entry point: lint a file (or stdin with ``-``)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path", help="exposition file to lint, or '-' to read stdin"
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.path == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.path, encoding="utf-8") as handle:
+                text = handle.read()
+    except OSError as exc:
+        print(f"check_prom: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    findings = lint_exposition(text)
+    for entry in findings:
+        print(entry)
+    if findings:
+        print(f"check_prom: {len(findings)} finding(s)")
+        return 1
+    samples = parse_samples(text)
+    families = {sample["name"] for sample in samples}
+    print(f"check_prom: OK ({len(samples)} samples, {len(families)} series names)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

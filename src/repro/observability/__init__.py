@@ -1,4 +1,4 @@
-"""Observability primitives: metrics registry, span tracing, slow-op log.
+"""Observability primitives: metrics, tracing, slow-op log, telemetry plane.
 
 This package is dependency-free and imports nothing from the rest of
 ``repro``, so every layer (engine stages, service, WAL, replication) can
@@ -6,27 +6,53 @@ use it without cycles:
 
 * :mod:`repro.observability.metrics` — thread-safe counters, gauges
   (including callback gauges), power-of-two-bucket histograms, labeled
-  families, and a :class:`MetricsRegistry` with Prometheus text / JSON
-  exposition.
+  families, percentile estimation (:func:`histogram_quantiles`), and a
+  :class:`MetricsRegistry` with Prometheus text / JSON exposition.
 * :mod:`repro.observability.tracing` — the :class:`Span` tree threaded
   through query and ingest paths, the sampling :class:`Tracer`, and
   :class:`ExplainedResult` (``service.query(..., explain=True)``).
 * :mod:`repro.observability.slowlog` — the :class:`SlowOpLog` ring
-  buffer behind ``service.recent_slow_ops()``.
+  buffer behind ``service.recent_slow_ops()``, with a size-capped
+  JSON-lines file sink.
+* :mod:`repro.observability.heat` — per-shard heat accounting
+  (:class:`ShardHeatAccumulator` / :class:`ShardHeatReport`), the input
+  signal for shard split/rebalance decisions.
+* :mod:`repro.observability.exposition` — the network-facing telemetry
+  plane: :class:`TelemetryServer` (``/metrics``, ``/healthz``,
+  ``/readyz``, ``/stats``, ``/slowlog``, ``/shards``) and
+  :class:`ClusterTelemetry` (the scraped ``/cluster`` view).
 """
 
-from .metrics import Counter, Gauge, Histogram, LabeledMetric, MetricsRegistry
+from .exposition import ClusterTelemetry, TelemetryServer, http_get_json, scrape
+from .heat import HEAT_WEIGHTS, ShardHeat, ShardHeatAccumulator, ShardHeatReport
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledMetric,
+    MetricsRegistry,
+    histogram_quantiles,
+)
 from .slowlog import SlowOpLog
 from .tracing import ExplainedResult, Span, Tracer
 
 __all__ = [
+    "ClusterTelemetry",
     "Counter",
     "ExplainedResult",
     "Gauge",
+    "HEAT_WEIGHTS",
     "Histogram",
     "LabeledMetric",
     "MetricsRegistry",
+    "ShardHeat",
+    "ShardHeatAccumulator",
+    "ShardHeatReport",
     "SlowOpLog",
     "Span",
+    "TelemetryServer",
     "Tracer",
+    "histogram_quantiles",
+    "http_get_json",
+    "scrape",
 ]

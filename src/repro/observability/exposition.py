@@ -1,0 +1,691 @@
+"""HTTP telemetry plane: ``/metrics``, health probes, and the cluster view.
+
+Two pieces, both dependency-free (asyncio + stdlib ``http.client``):
+
+* :class:`TelemetryServer` — a tiny asyncio HTTP/1.1 endpoint that runs
+  in a daemon thread and attaches to any *node* (a ``KokoService``
+  primary, a ``ReplicaService`` follower, or a ``ReplicaSet`` router —
+  the node is duck-typed, so this module imports nothing from the
+  service or replication layers).  Endpoints:
+
+  ===================  ====================================================
+  ``GET /metrics``     Prometheus text exposition of the node's registry
+  ``GET /metrics.json``  the same registry as one JSON document
+  ``GET /healthz``     liveness: 200 while the node object is open
+  ``GET /readyz``      readiness: 200 only when every check passes (WAL
+                       durability advancing, checkpoint not wedged,
+                       replica connected and under the lag bound, scraped
+                       cluster peers ready)
+  ``GET /stats``       the ``ServiceStats`` snapshot + node identity,
+                       p50/p95/p99 latency estimates, replication /
+                       routing sections per node kind
+  ``GET /slowlog``     newest-first slow-op entries (``?limit=N``)
+  ``GET /shards``      the per-shard :class:`ShardHeatReport`
+  ``GET /cluster``     the merged cluster view (requires an attached
+                       :class:`ClusterTelemetry`; 404 otherwise)
+  ===================  ====================================================
+
+  Every response closes the connection (``Connection: close``) — scrape
+  clients open one short-lived connection per probe, which keeps the
+  server a few dozen lines and good for telemetry-rate traffic (1–10 Hz),
+  not a query-serving front end.
+
+* :class:`ClusterTelemetry` — a scraper that polls each registered
+  node's ``/stats`` + ``/readyz`` over TCP, merges the per-node health,
+  lag and applied positions into one cluster view (rendered at
+  ``/cluster`` on the node it is attached to, normally the primary), and
+  answers :meth:`ClusterTelemetry.replica_health` so a ``ReplicaSet``
+  router can fold *scraped* health into its routing decisions
+  (``router.attach_health_source(cluster)``).  When the primary's
+  ``LogShipper`` is provided, its authoritative per-session byte lag
+  joins the readiness verdict — a follower that stops acking flips the
+  primary's ``/readyz`` even if the follower's own endpoint still
+  answers with stale self-reported lag.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+
+from .metrics import MetricsRegistry, histogram_quantiles
+
+__all__ = ["ClusterTelemetry", "TelemetryServer", "http_get_json", "scrape"]
+
+_TEXT = "text/plain; charset=utf-8"
+_JSON = "application/json; charset=utf-8"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def scrape(host: str, port: int, path: str, timeout: float = 5.0) -> tuple[int, bytes]:
+    """``GET http://host:port/path`` -> ``(status, body)``, stdlib-only.
+
+    One short-lived connection per call, matching the server's
+    ``Connection: close`` behaviour.  Network errors propagate.
+    """
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def http_get_json(
+    host: str, port: int, path: str, timeout: float = 5.0
+) -> tuple[int, object]:
+    """:func:`scrape` a JSON endpoint -> ``(status, parsed body)``.
+
+    ``None`` for an empty or non-JSON body; network errors propagate.
+    """
+    status, body = scrape(host, port, path, timeout=timeout)
+    if not body:
+        return status, None
+    try:
+        return status, json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return status, None
+
+
+def _node_kind(node) -> str:
+    """``service`` / ``replica`` / ``router``, duck-typed."""
+    if hasattr(node, "replication_stats") and hasattr(node, "service"):
+        return "replica"
+    if hasattr(node, "primary") and hasattr(node, "replicas"):
+        return "router"
+    return "service"
+
+
+def _underlying_service(node):
+    """The ``KokoService`` whose stats/slowlog/heat back *node*."""
+    kind = _node_kind(node)
+    if kind == "replica":
+        return node.service
+    if kind == "router":
+        return node.primary
+    return node
+
+
+def _query_int(query: str, key: str, default: int) -> int:
+    """The integer value of *key* in a raw query string, else *default*."""
+    for part in query.split("&"):
+        name, _, value = part.partition("=")
+        if name == key:
+            try:
+                return int(value)
+            except ValueError:
+                return default
+    return default
+
+
+def _dumps(payload: object) -> bytes:
+    """JSON-encode an endpoint payload (non-JSON leaves become strings)."""
+    return (json.dumps(payload, indent=2, default=str) + "\n").encode("utf-8")
+
+
+class TelemetryServer:
+    """One node's HTTP telemetry endpoint (see the module docstring).
+
+    Parameters
+    ----------
+    node:
+        The ``KokoService``, ``ReplicaService`` or ``ReplicaSet`` to
+        expose.  Only its public observability surface is used
+        (``metrics``, ``stats``, ``recent_slow_ops``,
+        ``shard_heat_report``, ``replication_stats`` / ``routing_stats``).
+    host / port:
+        Bind address; port 0 (the default) picks a free port —
+        :meth:`start` returns the bound ``(host, port)``.
+    name:
+        Node name in ``/stats`` (defaults to ``node.name``).
+    max_lag_bytes:
+        Readiness bound on replica byte lag; ``None`` skips the check.
+    checkpoint_wedge_seconds:
+        ``/readyz`` fails once a single checkpoint has been in progress
+        longer than this (a wedged checkpointer pins the WAL forever).
+    wal_stall_seconds:
+        ``/readyz`` fails when appended records outrun synced records
+        and the synced count has not advanced for this long (fsync path
+        wedged: writes are no longer becoming durable).
+    cluster:
+        An optional :class:`ClusterTelemetry`; serving it at
+        ``/cluster`` and folding its verdict into ``/readyz`` makes this
+        node (normally the primary) the cluster's health authority.
+    """
+
+    def __init__(
+        self,
+        node,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        name: str | None = None,
+        max_lag_bytes: int | None = None,
+        checkpoint_wedge_seconds: float = 300.0,
+        wal_stall_seconds: float = 60.0,
+        cluster: "ClusterTelemetry | None" = None,
+    ) -> None:
+        self.node = node
+        self.cluster = cluster
+        self.name = name if name is not None else getattr(node, "name", "node")
+        self.max_lag_bytes = max_lag_bytes
+        self._host = host
+        self._port = port
+        self._kind = _node_kind(node)
+        self._checkpoint_wedge_seconds = checkpoint_wedge_seconds
+        self._wal_stall_seconds = wal_stall_seconds
+        self._probe_lock = threading.Lock()
+        self._checkpoint_first_seen: float | None = None
+        self._wal_synced_seen: tuple[int, float] = (0, time.monotonic())
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self.address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Bind and serve in a daemon thread; returns ``(host, port)``."""
+        if self._thread is not None:
+            return self.address
+        ready = threading.Event()
+        failure: list[BaseException] = []
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+            try:
+                server = loop.run_until_complete(
+                    asyncio.start_server(self._handle, self._host, self._port)
+                )
+            except BaseException as exc:  # bind failure: surface to start()
+                failure.append(exc)
+                ready.set()
+                return
+            self.address = server.sockets[0].getsockname()[:2]
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                server.close()
+                loop.run_until_complete(server.wait_closed())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name=f"telemetry-{self.name}", daemon=True
+        )
+        self._thread.start()
+        ready.wait(timeout=10.0)
+        if failure:
+            self._thread.join(timeout=1.0)
+            self._thread = None
+            self._loop = None
+            raise failure[0]
+        return self.address
+
+    def close(self) -> None:
+        """Stop serving (idempotent); in-flight requests are abandoned."""
+        loop, thread = self._loop, self._thread
+        self._loop = self._thread = None
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(loop.stop)
+        except RuntimeError:  # pragma: no cover - loop already gone
+            pass
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TelemetryServer":
+        """Context-manager entry: :meth:`start`, returning the server."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        status, content_type, body = 400, _TEXT, b"bad request\n"
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            parts = request_line.decode("latin-1").split()
+            while True:  # drain headers; every response closes the connection
+                line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+                if line in (b"", b"\r\n", b"\n"):
+                    break
+            if len(parts) >= 2:
+                status, content_type, body = self._respond(parts[0].upper(), parts[1])
+        except Exception:
+            status, content_type, body = 500, _TEXT, b"internal error\n"
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except Exception:  # pragma: no cover - peer went away mid-response
+            pass
+
+    def _respond(self, method: str, target: str) -> tuple[int, str, bytes]:
+        """Route one request to its endpoint; errors become 500 bodies."""
+        path, _, query = target.partition("?")
+        if method != "GET":
+            return 405, _TEXT, b"only GET is supported\n"
+        try:
+            if path == "/metrics":
+                return 200, _PROM, self._registry().render_text().encode("utf-8")
+            if path == "/metrics.json":
+                body = self._registry().render_json(indent=2) + "\n"
+                return 200, _JSON, body.encode("utf-8")
+            if path == "/healthz":
+                return self._probe(*self.liveness())
+            if path == "/readyz":
+                return self._probe(*self.readiness())
+            if path == "/stats":
+                return 200, _JSON, _dumps(self.stats_document())
+            if path == "/slowlog":
+                limit = max(0, _query_int(query, "limit", 50))
+                service = _underlying_service(self.node)
+                return 200, _JSON, _dumps(service.recent_slow_ops(limit))
+            if path == "/shards":
+                return 200, _JSON, _dumps(self.heat_document())
+            if path == "/cluster":
+                if self.cluster is None:
+                    return 404, _TEXT, b"no cluster telemetry attached to this node\n"
+                return 200, _JSON, _dumps(self.cluster.cluster_view())
+            return 404, _TEXT, f"unknown path {path}\n".encode("utf-8")
+        except Exception as exc:
+            return 500, _TEXT, f"error serving {path}: {exc!r}\n".encode("utf-8")
+
+    def _probe(self, ok: bool, checks: dict, detail: dict) -> tuple[int, str, bytes]:
+        """Render one liveness/readiness verdict as a probe response."""
+        payload = {
+            "status": "ok" if ok else "unavailable",
+            "checks": checks,
+            "detail": detail,
+        }
+        return (200 if ok else 503), _JSON, _dumps(payload)
+
+    def _registry(self) -> MetricsRegistry:
+        """The node's metrics registry (every node kind exposes one)."""
+        return self.node.metrics
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    def liveness(self) -> tuple[bool, dict, dict]:
+        """``/healthz``: the node object is open and can serve at all."""
+        closed = bool(getattr(self.node, "closed", False)) or bool(
+            getattr(_underlying_service(self.node), "closed", False)
+        )
+        checks = {"open": not closed}
+        return all(checks.values()), checks, {"kind": self._kind}
+
+    def readiness(self) -> tuple[bool, dict, dict]:
+        """``/readyz``: every check a load balancer should gate on.
+
+        Returns ``(ok, checks, detail)``: *checks* maps check name to
+        pass/fail (the verdict is their conjunction), *detail* carries
+        the numbers behind them (lag bytes, stall ages, cluster
+        problems).
+        """
+        service = _underlying_service(self.node)
+        stats = service.stats
+        checks: dict[str, bool] = {}
+        detail: dict[str, object] = {"kind": self._kind}
+        checks["open"] = not (
+            bool(getattr(self.node, "closed", False))
+            or bool(getattr(service, "closed", False))
+        )
+        checks["checkpoint_not_wedged"] = self._checkpoint_not_wedged(stats)
+        checks["wal_advancing"] = self._wal_advancing(stats, detail)
+        if self._kind == "replica":
+            checks["connected"] = bool(
+                self.node.connected and not self.node.restart_requested
+            )
+            lag = self.node.lag_bytes
+            detail["lag_bytes"] = lag
+            if self.max_lag_bytes is not None:
+                # lag None = unknown (pre-heartbeat grace); the connected
+                # check covers the disconnected case
+                checks["lag_under_bound"] = lag is None or lag <= self.max_lag_bytes
+                detail["max_lag_bytes"] = self.max_lag_bytes
+        if self.cluster is not None:
+            cluster_ok, cluster_detail = self.cluster.ready()
+            checks["cluster_ready"] = cluster_ok
+            detail["cluster"] = cluster_detail
+        elif self._kind == "router":
+            unready = []
+            for replica in self.node.replicas:
+                name = getattr(replica, "name", repr(replica))
+                lag = replica.lag_bytes
+                if not replica.connected or replica.restart_requested:
+                    unready.append(f"{name}: disconnected")
+                elif (
+                    self.max_lag_bytes is not None
+                    and lag is not None
+                    and lag > self.max_lag_bytes
+                ):
+                    unready.append(f"{name}: lag {lag} > {self.max_lag_bytes}")
+            checks["replicas_ready"] = not unready
+            detail["unready_replicas"] = unready
+        return all(checks.values()), checks, detail
+
+    def _checkpoint_not_wedged(self, stats) -> bool:
+        """False once one checkpoint has run past the wedge bound."""
+        with self._probe_lock:
+            now = time.monotonic()
+            if stats.checkpoint_in_progress:
+                if self._checkpoint_first_seen is None:
+                    self._checkpoint_first_seen = now
+                return (
+                    now - self._checkpoint_first_seen
+                    <= self._checkpoint_wedge_seconds
+                )
+            self._checkpoint_first_seen = None
+            return True
+
+    def _wal_advancing(self, stats, detail: dict) -> bool:
+        """False when an append/sync backlog exists and syncs stopped."""
+        with self._probe_lock:
+            now = time.monotonic()
+            synced = stats.wal_records_synced
+            last_synced, changed_at = self._wal_synced_seen
+            if synced != last_synced:
+                self._wal_synced_seen = (synced, now)
+                changed_at = now
+            backlog = stats.wal_records_appended - synced
+            detail["wal_unsynced_records"] = backlog
+            return backlog <= 0 or (now - changed_at) <= self._wal_stall_seconds
+
+    # ------------------------------------------------------------------
+    # documents
+    # ------------------------------------------------------------------
+    def stats_document(self) -> dict:
+        """The ``/stats`` payload: snapshot + identity + per-kind extras."""
+        service = _underlying_service(self.node)
+        document = service.stats.snapshot()
+        document["node"] = {
+            "name": self.name,
+            "kind": self._kind,
+            "documents": len(service),
+        }
+        latency = service.metrics.get("koko_query_latency_seconds")
+        if latency is not None:
+            document["query_latency_percentiles"] = {
+                f"p{percentile:g}": estimate
+                for percentile, estimate in histogram_quantiles(latency).items()
+            }
+        if self._kind == "replica":
+            document["replication"] = self.node.replication_stats()
+        else:
+            position = service.wal_position()
+            document["wal_position"] = str(position) if position is not None else None
+        if self._kind == "router":
+            document["routing"] = self.node.routing_stats()
+        return document
+
+    def heat_document(self) -> dict:
+        """The ``/shards`` payload: the node's shard heat report."""
+        service = _underlying_service(self.node)
+        report = getattr(service, "shard_heat_report", None)
+        if report is None:  # a node without heat accounting
+            return {"hottest_shard": None, "weights": {}, "shards": []}
+        return report().to_dict()
+
+
+class ClusterTelemetry:
+    """Scrapes every node's telemetry endpoint into one cluster view.
+
+    Register each node's ``(host, port)`` with :meth:`add_peer`, then
+    either :meth:`start` the background poller (``poll_interval``
+    seconds between sweeps) or call :meth:`scrape_once` on demand.
+    The merged view (:meth:`cluster_view`) is what the primary's
+    :class:`TelemetryServer` renders at ``/cluster``; the per-name
+    views (:meth:`replica_health`) are what a ``ReplicaSet`` consumes
+    via ``attach_health_source``.
+
+    Parameters
+    ----------
+    primary:
+        The primary service (for its WAL position and document count in
+        the view); optional so a detached observer can also aggregate.
+    shipper:
+        The primary's ``LogShipper``; when given, each live session's
+        primary-computed byte lag and stall verdict join the readiness
+        decision — authoritative even when a wedged follower's endpoint
+        keeps serving stale self-reported lag.
+    max_lag_bytes:
+        Byte-lag bound applied to both scraped and shipper-side lag.
+    poll_interval / scrape_timeout:
+        Background sweep period and the per-request HTTP timeout.
+    """
+
+    def __init__(
+        self,
+        primary=None,
+        *,
+        shipper=None,
+        max_lag_bytes: int | None = None,
+        poll_interval: float = 1.0,
+        scrape_timeout: float = 2.0,
+    ) -> None:
+        self.primary = primary
+        self.shipper = shipper
+        self.max_lag_bytes = max_lag_bytes
+        self.poll_interval = poll_interval
+        self.scrape_timeout = scrape_timeout
+        self._lock = threading.Lock()
+        self._peers: dict[str, tuple[str, int]] = {}
+        self._views: dict[str, dict] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_peer(self, name: str, host: str, port: int) -> None:
+        """Register node *name*'s telemetry endpoint for scraping."""
+        with self._lock:
+            self._peers[name] = (str(host), int(port))
+
+    def remove_peer(self, name: str) -> None:
+        """Forget node *name* (idempotent); its last view is dropped too."""
+        with self._lock:
+            self._peers.pop(name, None)
+            self._views.pop(name, None)
+
+    @property
+    def peers(self) -> dict[str, tuple[str, int]]:
+        """The registered ``{name: (host, port)}`` endpoints."""
+        with self._lock:
+            return dict(self._peers)
+
+    # ------------------------------------------------------------------
+    # scraping
+    # ------------------------------------------------------------------
+    def scrape_once(self) -> dict:
+        """Scrape every peer now; returns the merged cluster view."""
+        with self._lock:
+            peers = dict(self._peers)
+        for name, (host, port) in peers.items():
+            view = self._scrape_peer(name, host, port)
+            with self._lock:
+                if name in self._peers:  # lost a remove_peer race: drop it
+                    self._views[name] = view
+        return self.cluster_view()
+
+    def _scrape_peer(self, name: str, host: str, port: int) -> dict:
+        """One node's merged ``/stats`` + ``/readyz`` scrape result."""
+        view: dict = {
+            "name": name,
+            "endpoint": f"{host}:{port}",
+            "scrape_ok": False,
+            "ready": False,
+            "ready_checks": None,
+            "kind": None,
+            "documents": None,
+            "connected": None,
+            "lag_bytes": None,
+            "applied_position": None,
+            "error": None,
+        }
+        try:
+            status, stats = http_get_json(
+                host, port, "/stats", timeout=self.scrape_timeout
+            )
+            ready_status, ready = http_get_json(
+                host, port, "/readyz", timeout=self.scrape_timeout
+            )
+        except Exception as exc:
+            view["error"] = repr(exc)
+            return view
+        view["scrape_ok"] = status == 200
+        view["ready"] = ready_status == 200
+        if isinstance(ready, dict):
+            view["ready_checks"] = ready.get("checks")
+        if isinstance(stats, dict):
+            node = stats.get("node") or {}
+            view["kind"] = node.get("kind")
+            view["documents"] = node.get("documents")
+            replication = stats.get("replication")
+            if isinstance(replication, dict):
+                view["connected"] = replication.get("connected")
+                view["lag_bytes"] = replication.get("lag_bytes")
+                view["applied_position"] = replication.get("applied_position")
+        return view
+
+    def start(self) -> None:
+        """Begin background polling every ``poll_interval`` seconds."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._poll_loop, name="cluster-telemetry", daemon=True
+        )
+        self._thread.start()
+
+    def _poll_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self.scrape_once()
+            except Exception:  # pragma: no cover - scrape errors live in views
+                pass
+
+    def close(self) -> None:
+        """Stop the background poller (idempotent)."""
+        self._stop.set()
+        thread = self._thread
+        self._thread = None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ClusterTelemetry":
+        """Context-manager entry: :meth:`start`, returning the aggregator."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # merged views
+    # ------------------------------------------------------------------
+    def replica_health(self, name: str) -> dict | None:
+        """The last scraped view for node *name*, or ``None``.
+
+        The shape a ``ReplicaSet`` health source needs: ``scrape_ok``,
+        ``ready`` and ``lag_bytes`` drive routing; the rest is context.
+        """
+        with self._lock:
+            view = self._views.get(name)
+            return dict(view) if view is not None else None
+
+    def ready(self) -> tuple[bool, dict]:
+        """``(ok, detail)``: the whole cluster's readiness verdict.
+
+        Fails when any scraped node is unreachable or not ready, when a
+        scraped lag exceeds ``max_lag_bytes``, or when a live shipper
+        session is stalled / over the bound.  Before the first scrape
+        (no views, no sessions) the verdict is vacuously ok.
+        """
+        problems: list[str] = []
+        with self._lock:
+            views = [dict(view) for view in self._views.values()]
+        for view in views:
+            lag = view["lag_bytes"]
+            if not view["scrape_ok"]:
+                problems.append(f"{view['name']}: unreachable ({view['error']})")
+            elif not view["ready"]:
+                problems.append(f"{view['name']}: not ready")
+            elif (
+                self.max_lag_bytes is not None
+                and lag is not None
+                and lag > self.max_lag_bytes
+            ):
+                problems.append(
+                    f"{view['name']}: lag {lag} > bound {self.max_lag_bytes}"
+                )
+        if self.shipper is not None:
+            for session in self.shipper.sessions:
+                stats = session.stats()
+                peer, lag = stats.get("peer"), stats.get("lag_bytes")
+                if stats.get("stalled"):
+                    problems.append(f"session {peer}: stalled")
+                elif (
+                    self.max_lag_bytes is not None
+                    and lag is not None
+                    and lag > self.max_lag_bytes
+                ):
+                    problems.append(
+                        f"session {peer}: lag {lag} > bound {self.max_lag_bytes}"
+                    )
+        return not problems, {"problems": problems, "nodes_scraped": len(views)}
+
+    def cluster_view(self) -> dict:
+        """The merged ``/cluster`` payload: per-node views + verdict."""
+        ok, detail = self.ready()
+        with self._lock:
+            nodes = [dict(view) for view in self._views.values()]
+        sessions = []
+        if self.shipper is not None:
+            sessions = [session.stats() for session in self.shipper.sessions]
+        view: dict = {
+            "ready": ok,
+            "detail": detail,
+            "max_lag_bytes": self.max_lag_bytes,
+            "nodes": nodes,
+            "shipper_sessions": sessions,
+        }
+        if self.primary is not None:
+            position = self.primary.wal_position()
+            view["primary"] = {
+                "name": getattr(self.primary, "name", "primary"),
+                "wal_position": str(position) if position is not None else None,
+                "documents": len(self.primary),
+            }
+        return view

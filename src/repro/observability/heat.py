@@ -1,0 +1,264 @@
+"""Per-shard heat accounting: the input signal for split/rebalance work.
+
+A sharded service routes queries to every shard but documents to exactly
+one, so load skews: one shard can absorb most of the splice bytes, scan
+most of the skip-plan candidates, or dominate stage latency.  The
+:class:`ShardHeatAccumulator` threads four cheap signals through the
+query fan-out and the staged write path:
+
+* **queries** routed to the shard (and the seconds they took);
+* **skip-plan candidates** — candidate sentences the shard's plan
+  actually scanned, a direct measure of index work;
+* **splice bytes** — payload bytes spliced into (or un-spliced from)
+  the shard by ingest, removal and replica apply;
+* **EWMA stage latency** — exponentially weighted moving averages of
+  the per-shard query and splice stage times, so *current* slowness is
+  visible even on a long-lived service.
+
+:meth:`ShardHeatAccumulator.report` folds them into a
+:class:`ShardHeatReport` whose per-shard ``heat_score`` is a weighted
+blend of each shard's share of every active signal — the
+split-victim-selection substrate for online shard split/rebalance
+(``report.hottest()`` is the candidate victim).  When a
+:class:`~repro.observability.metrics.MetricsRegistry` is attached, the
+new signals are mirrored as labeled instruments so ``/metrics`` scrapes
+see them too.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass
+
+from .metrics import MetricsRegistry
+
+__all__ = ["HEAT_WEIGHTS", "ShardHeat", "ShardHeatAccumulator", "ShardHeatReport"]
+
+#: relative weight of each signal in the blended heat score
+HEAT_WEIGHTS = {
+    "queries": 0.35,
+    "skip_candidates": 0.25,
+    "splice_bytes": 0.25,
+    "latency": 0.15,
+}
+
+
+@dataclass
+class ShardHeat:
+    """One shard's accumulated heat signals (a point-in-time row)."""
+
+    shard_id: int
+    queries: int
+    query_seconds: float
+    skip_candidates: int
+    splices: int
+    splice_bytes: int
+    ewma_query_seconds: float
+    ewma_splice_seconds: float
+    heat_score: float = 0.0
+
+    def to_dict(self) -> dict:
+        """The row as a JSON-safe dict (for ``/shards`` and logs)."""
+        return asdict(self)
+
+
+@dataclass
+class ShardHeatReport:
+    """All shards' heat rows plus the blended-score ranking."""
+
+    shards: list[ShardHeat]
+
+    def hottest(self) -> int | None:
+        """The shard id with the highest heat score (ties break low).
+
+        ``None`` when no signal has been recorded yet — a cold service
+        has no meaningful split victim.
+        """
+        best: ShardHeat | None = None
+        for heat in self.shards:
+            if heat.heat_score > 0.0 and (
+                best is None or heat.heat_score > best.heat_score
+            ):
+                best = heat
+        return best.shard_id if best is not None else None
+
+    def shard(self, shard_id: int) -> ShardHeat:
+        """The row for *shard_id* (raises ``KeyError`` when unknown)."""
+        for heat in self.shards:
+            if heat.shard_id == shard_id:
+                return heat
+        raise KeyError(f"no shard {shard_id} in this heat report")
+
+    def to_dict(self) -> dict:
+        """The report as a JSON-safe dict (the ``/shards`` payload)."""
+        return {
+            "hottest_shard": self.hottest(),
+            "weights": dict(HEAT_WEIGHTS),
+            "shards": [heat.to_dict() for heat in self.shards],
+        }
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+class ShardHeatAccumulator:
+    """Thread-safe per-shard heat counters with EWMA stage latency.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards to account (fixed topology for now; the online
+        split path will grow this).
+    ewma_alpha:
+        Weight of the newest observation in the moving stage-latency
+        averages (``alpha * new + (1 - alpha) * old``); must be in
+        ``(0, 1]``.
+    registry:
+        Optional :class:`~repro.observability.metrics.MetricsRegistry`
+        to mirror the *new* signals into (``koko_shard_skip_candidates_total``,
+        ``koko_shard_splice_bytes_total`` and the two EWMA gauges);
+        query counts are already covered by ``koko_shard_queries_total``.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        ewma_alpha: float = 0.2,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self._ewma_alpha = ewma_alpha
+        self._lock = threading.Lock()
+        self._queries = [0] * shards
+        self._query_seconds = [0.0] * shards
+        self._skip_candidates = [0] * shards
+        self._splices = [0] * shards
+        self._splice_bytes = [0] * shards
+        self._ewma_query = [0.0] * shards
+        self._ewma_splice = [0.0] * shards
+        self._candidates_family = None
+        self._splice_bytes_family = None
+        self._ewma_query_family = None
+        self._ewma_splice_family = None
+        if registry is not None:
+            self._candidates_family = registry.counter(
+                "koko_shard_skip_candidates_total",
+                "Per-shard skip-plan candidate sentences scanned.",
+                ("shard",),
+            )
+            self._splice_bytes_family = registry.counter(
+                "koko_shard_splice_bytes_total",
+                "Per-shard payload bytes spliced in or out.",
+                ("shard",),
+            )
+            self._ewma_query_family = registry.gauge(
+                "koko_shard_ewma_query_seconds",
+                "EWMA of per-shard query-stage latency.",
+                ("shard",),
+            )
+            self._ewma_splice_family = registry.gauge(
+                "koko_shard_ewma_splice_seconds",
+                "EWMA of per-shard splice-stage latency.",
+                ("shard",),
+            )
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards being accounted."""
+        return len(self._queries)
+
+    def _ewma(self, previous: float, observed: float, first: bool) -> float:
+        if first:
+            return observed
+        alpha = self._ewma_alpha
+        return alpha * observed + (1.0 - alpha) * previous
+
+    def record_query(
+        self, shard_id: int, seconds: float, *, skip_candidates: int = 0
+    ) -> None:
+        """Account one query executed on *shard_id*.
+
+        ``skip_candidates`` is the candidate-sentence count the shard's
+        skip plan produced for this execution (0 when unknown).
+        """
+        with self._lock:
+            first = self._queries[shard_id] == 0
+            self._queries[shard_id] += 1
+            self._query_seconds[shard_id] += seconds
+            self._skip_candidates[shard_id] += skip_candidates
+            self._ewma_query[shard_id] = self._ewma(
+                self._ewma_query[shard_id], seconds, first
+            )
+            ewma = self._ewma_query[shard_id]
+        if self._candidates_family is not None and skip_candidates:
+            self._candidates_family.labels(shard_id).inc(skip_candidates)
+        if self._ewma_query_family is not None:
+            self._ewma_query_family.labels(shard_id).set(ewma)
+
+    def record_splice(self, shard_id: int, nbytes: int, seconds: float = 0.0) -> None:
+        """Account one splice (or un-splice) of *nbytes* into *shard_id*.
+
+        ``seconds`` is the splice-stage wall time when the caller timed
+        it (the staged write path does); 0.0 leaves the EWMA untouched.
+        """
+        with self._lock:
+            self._splices[shard_id] += 1
+            self._splice_bytes[shard_id] += nbytes
+            ewma = self._ewma_splice[shard_id]
+            if seconds > 0.0:
+                first = ewma == 0.0
+                self._ewma_splice[shard_id] = self._ewma(ewma, seconds, first)
+                ewma = self._ewma_splice[shard_id]
+        if self._splice_bytes_family is not None and nbytes:
+            self._splice_bytes_family.labels(shard_id).inc(nbytes)
+        if self._ewma_splice_family is not None and seconds > 0.0:
+            self._ewma_splice_family.labels(shard_id).set(ewma)
+
+    def report(self) -> ShardHeatReport:
+        """One consistent cut of every shard's signals, scored.
+
+        Each shard's ``heat_score`` is the weighted mean of its *share*
+        of every signal that has any activity (signals with no activity
+        anywhere are left out of the blend, so a query-only workload
+        still ranks shards purely by query traffic).  Scores sum to
+        ~1.0 across shards whenever anything was recorded.
+        """
+        with self._lock:
+            rows = [
+                ShardHeat(
+                    shard_id=shard_id,
+                    queries=self._queries[shard_id],
+                    query_seconds=self._query_seconds[shard_id],
+                    skip_candidates=self._skip_candidates[shard_id],
+                    splices=self._splices[shard_id],
+                    splice_bytes=self._splice_bytes[shard_id],
+                    ewma_query_seconds=self._ewma_query[shard_id],
+                    ewma_splice_seconds=self._ewma_splice[shard_id],
+                )
+                for shard_id in range(len(self._queries))
+            ]
+        signals = {
+            "queries": [float(row.queries) for row in rows],
+            "skip_candidates": [float(row.skip_candidates) for row in rows],
+            "splice_bytes": [float(row.splice_bytes) for row in rows],
+            "latency": [
+                row.ewma_query_seconds + row.ewma_splice_seconds for row in rows
+            ],
+        }
+        active = {
+            name: values
+            for name, values in signals.items()
+            if sum(values) > 0.0
+        }
+        total_weight = sum(HEAT_WEIGHTS[name] for name in active)
+        if total_weight > 0.0:
+            for index, row in enumerate(rows):
+                score = 0.0
+                for name, values in active.items():
+                    score += HEAT_WEIGHTS[name] * (values[index] / sum(values))
+                row.heat_score = score / total_weight
+        return ShardHeatReport(shards=rows)

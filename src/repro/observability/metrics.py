@@ -24,6 +24,15 @@ exposition (:meth:`MetricsRegistry.render_text`) or as one JSON document
 returns a plain dict that is atomic *per metric* — every individual
 counter/gauge/histogram is read consistently, while the document as a
 whole is not a global atomic cut (no stop-the-world lock is taken).
+
+Scrapes are fault-isolated: a callback gauge whose function raises
+mid-``render_text`` does not abort the exposition — the broken sample is
+skipped and counted in the ``metrics_callback_errors_total`` counter
+(registered lazily, on the first error).
+
+:func:`histogram_quantiles` estimates percentiles (p50/p95/p99 …)
+straight from the power-of-two buckets, so long-lived services get
+latency percentiles without keeping any per-observation state.
 """
 
 from __future__ import annotations
@@ -39,7 +48,11 @@ __all__ = [
     "Histogram",
     "LabeledMetric",
     "MetricsRegistry",
+    "histogram_quantiles",
 ]
+
+#: lazily registered counter of callback-gauge failures during scrapes
+CALLBACK_ERRORS_METRIC = "metrics_callback_errors_total"
 
 
 def _pow2_bucket_int(value: int) -> int:
@@ -164,6 +177,22 @@ class Gauge:
                 return function()
             except Exception:
                 return stored
+        return stored
+
+    def sample(self) -> float | int:
+        """The live value, *propagating* a callback's exception.
+
+        :attr:`value` silently falls back to the stored value when a
+        bound callback raises; scrape paths use this strict variant
+        instead so a broken callback can be *detected* — the registry
+        skips the sample and counts it in ``metrics_callback_errors_total``
+        rather than exposing a stale number as if it were live.
+        """
+        with self._lock:
+            function = self._function
+            stored = self._value
+        if function is not None:
+            return function()
         return stored
 
     def snapshot_value(self) -> float | int:
@@ -303,6 +332,16 @@ class LabeledMetric:
             for key, value in self.values().items()
         ]
 
+    def children(self) -> list[tuple[tuple, object]]:
+        """``(label values tuple, child instrument)`` pairs, insertion order.
+
+        Lets scrape paths sample each child individually (and strictly,
+        via :meth:`Gauge.sample`) so one broken callback gauge cannot
+        poison the whole family's exposition.
+        """
+        with self._lock:
+            return list(self._children.items())
+
 
 class MetricsRegistry:
     """A named collection of instruments with text / JSON exposition.
@@ -393,17 +432,47 @@ class MetricsRegistry:
         """The :meth:`snapshot` document serialised as JSON."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
 
+    def count_callback_error(self) -> None:
+        """Account one callback-gauge failure seen during a scrape.
+
+        The ``metrics_callback_errors_total`` counter is registered
+        lazily — a registry whose callbacks never fail exposes exactly
+        the metrics its owners registered and nothing else.
+        """
+        self.counter(
+            CALLBACK_ERRORS_METRIC,
+            "Gauge callbacks that raised during a scrape (sample skipped).",
+        ).inc()
+
     def render_text(self) -> str:
-        """Prometheus text exposition of every registered instrument."""
+        """Prometheus text exposition of every registered instrument.
+
+        A callback gauge whose function raises does not abort the
+        scrape: its sample line is skipped (the ``# HELP``/``# TYPE``
+        header still renders) and the failure is counted in
+        ``metrics_callback_errors_total``.
+        """
         with self._lock:
             entries = list(self._metrics.items())
         lines: list[str] = []
+        errors = 0
         for name, (kind, labelnames, help_text, metric) in entries:
             if help_text:
                 lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {kind}")
             if isinstance(metric, LabeledMetric):
-                for labelvalues, value in metric.items():
+                for labelvalues, child in metric.children():
+                    try:
+                        if kind == "histogram":
+                            value: object = child.snapshot_value()
+                        elif isinstance(child, Gauge):
+                            value = child.sample()
+                        else:
+                            value = child.value
+                    except Exception:
+                        errors += 1
+                        self.count_callback_error()
+                        continue
                     labels = _format_labels(labelnames, labelvalues)
                     if kind == "histogram":
                         lines.extend(_histogram_lines(name, value, labels))
@@ -412,7 +481,24 @@ class MetricsRegistry:
             elif kind == "histogram":
                 lines.extend(_histogram_lines(name, metric.snapshot_value(), ""))
             else:
-                lines.append(f"{name} {_format_number(metric.value)}")
+                try:
+                    value = (
+                        metric.sample() if isinstance(metric, Gauge) else metric.value
+                    )
+                except Exception:
+                    errors += 1
+                    self.count_callback_error()
+                    continue
+                lines.append(f"{name} {_format_number(value)}")
+        if errors:
+            counter = self.get(CALLBACK_ERRORS_METRIC)
+            if not any(line.startswith(f"# TYPE {CALLBACK_ERRORS_METRIC} ") for line in lines):
+                lines.append(
+                    f"# HELP {CALLBACK_ERRORS_METRIC} Gauge callbacks that "
+                    "raised during a scrape (sample skipped)."
+                )
+                lines.append(f"# TYPE {CALLBACK_ERRORS_METRIC} counter")
+                lines.append(f"{CALLBACK_ERRORS_METRIC} {counter.value}")
         return "\n".join(lines) + "\n"
 
 
@@ -431,3 +517,53 @@ def _histogram_lines(name: str, snap: dict[str, object], labels: str) -> list[st
     lines.append(f"{name}_sum{labels} {_format_number(snap['sum'])}")
     lines.append(f"{name}_count{labels} {snap['count']}")
     return lines
+
+
+def histogram_quantiles(
+    histogram: Histogram | dict,
+    percentiles: tuple[float, ...] = (50.0, 95.0, 99.0),
+) -> dict[float, float]:
+    """Estimate percentiles from a power-of-two-bucket histogram.
+
+    Accepts a :class:`Histogram` (or anything with ``snapshot_value()``)
+    or an already-taken snapshot dict ``{"count", "sum", "buckets"}``.
+    The estimate is nearest-rank over the cumulative bucket counts with
+    linear interpolation inside the landing bucket, whose lower edge is
+    half its upper bound (a pow2 bucket covers ``(bound/2, bound]``).
+
+    Returns ``{percentile: estimate}``; all zeros for an empty
+    histogram.  Estimates are monotone in the percentile and never
+    exceed the landing bucket's upper bound, so they are safe to use as
+    p50 <= p95 <= p99 serving-latency figures without any
+    per-observation bookkeeping.  Percentiles outside ``(0, 100]``
+    raise ``ValueError``.
+    """
+    if hasattr(histogram, "snapshot_value"):
+        snap = histogram.snapshot_value()
+    else:
+        snap = histogram
+    count = int(snap["count"])  # type: ignore[call-overload]
+    buckets: dict = snap["buckets"]  # type: ignore[assignment]
+    bounds = sorted(buckets)
+    estimates: dict[float, float] = {}
+    for percentile in percentiles:
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(
+                f"percentile must be in (0, 100], got {percentile}"
+            )
+        if count == 0:
+            estimates[percentile] = 0.0
+            continue
+        rank = max(1, math.ceil(percentile / 100.0 * count))
+        cumulative = 0
+        estimate = float(bounds[-1])
+        for bound in bounds:
+            observations = buckets[bound]
+            if cumulative + observations >= rank:
+                lower = bound / 2
+                fraction = (rank - cumulative) / observations
+                estimate = lower + fraction * (bound - lower)
+                break
+            cumulative += observations
+        estimates[percentile] = float(estimate)
+    return estimates

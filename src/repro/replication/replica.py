@@ -496,6 +496,11 @@ class ReplicaService:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (telemetry liveness probe)."""
+        return self._closed
+
     def close(self) -> None:
         """Detach from the primary and shut the inner service down."""
         if self._closed:

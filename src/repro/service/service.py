@@ -106,6 +106,7 @@ from ..koko.engine import CompiledQuery, KokoEngine, compile_query
 from ..koko.results import KokoResult, merge_results
 from ..nlp.pipeline import Pipeline
 from ..nlp.types import Corpus, Document
+from ..observability.heat import ShardHeatAccumulator, ShardHeatReport
 from ..observability.metrics import MetricsRegistry
 from ..observability.slowlog import SlowOpLog
 from ..observability.tracing import ExplainedResult, Span, Tracer
@@ -151,6 +152,19 @@ def _annotate_in_worker(text: str, doc_id: str, first_sid: int) -> Document:
 def _warm_annotation_worker() -> None:
     """No-op task submitted at startup to force worker spawning."""
     return None
+
+
+def _estimate_document_bytes(document: Document) -> int:
+    """Approximate payload bytes a document splices into its shard.
+
+    The raw text's UTF-8 length when the document carries its text
+    (heat accounting wants payload scale, not exact frame size); a
+    token-count estimate otherwise.
+    """
+    text = getattr(document, "text", "")
+    if text:
+        return len(text.encode("utf-8"))
+    return document.num_tokens * 8
 
 
 class _Shard:
@@ -331,6 +345,7 @@ class KokoService:
         slow_ingest_ms: float | None = 1000.0,
         slow_op_log_path: str | Path | None = None,
         slow_op_log_capacity: int = 256,
+        slow_op_log_max_bytes: int | None = 16 * 1024 * 1024,
         expander: DescriptorExpander | None = None,
         vectors: VectorStore | None = None,
         dictionaries: dict[str, set[str]] | None = None,
@@ -440,7 +455,12 @@ class KokoService:
         self._slow_log = SlowOpLog(
             capacity=slow_op_log_capacity,
             path=str(slow_op_log_path) if slow_op_log_path is not None else None,
+            max_file_bytes=slow_op_log_max_bytes,
         )
+        # per-shard heat signals (queries, skip candidates, splice bytes,
+        # EWMA stage latency) — the split-victim-selection substrate;
+        # mirrored into the same registry for /metrics scrapes
+        self._heat = ShardHeatAccumulator(shards, registry=self.stats.registry)
         self._traces_sampled = self.stats.registry.counter(
             "koko_traces_sampled_total", "Operations traced into a span tree."
         )
@@ -808,12 +828,16 @@ class KokoService:
                 removed = True
             else:
                 raise PersistenceError(f"replicated record has unknown op {record.op!r}")
+        elapsed = time.perf_counter() - started
         self.stats.record_ingest(
-            time.perf_counter() - started,
+            elapsed,
             len(document),
             document.num_tokens,
             removed=removed,
             shard=shard_id,
+        )
+        self._heat.record_splice(
+            shard_id, _estimate_document_bytes(document), elapsed
         )
         return document
 
@@ -916,6 +940,11 @@ class KokoService:
         self.stats.record_ingest(
             elapsed, len(document), document.num_tokens, shard=shard.shard_id
         )
+        self._heat.record_splice(
+            shard.shard_id,
+            frame_bytes or _estimate_document_bytes(document),
+            splice_s,
+        )
         if trace is not None:
             trace.annotate(shard=shard.shard_id, tokens=document.num_tokens)
             trace.finish()
@@ -964,6 +993,7 @@ class KokoService:
             document.num_tokens,
             shard=shard.shard_id,
         )
+        self._heat.record_splice(shard.shard_id, _estimate_document_bytes(document))
         return document
 
     def remove_document(self, doc_id: str) -> Document:
@@ -1023,6 +1053,11 @@ class KokoService:
             document.num_tokens,
             removed=True,
             shard=shard_id,
+        )
+        self._heat.record_splice(
+            shard_id,
+            frame_bytes or _estimate_document_bytes(document),
+            unsplice_s,
         )
         if trace is not None:
             trace.annotate(shard=shard_id)
@@ -1570,7 +1605,11 @@ class KokoService:
         if span is not None:
             span.annotate(tuples=len(result), generation=generation)
             span.finish()
-        self.stats.record_shard_query(shard.shard_id, time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self.stats.record_shard_query(shard.shard_id, elapsed)
+        self._heat.record_query(
+            shard.shard_id, elapsed, skip_candidates=result.candidate_sentences
+        )
         return result
 
     def _record_shard_cache_eviction(self, shard_id: int, stale: bool) -> None:
@@ -1729,6 +1768,22 @@ class KokoService:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (telemetry liveness probe)."""
+        return self._closed
+
+    def shard_heat_report(self) -> ShardHeatReport:
+        """One consistent, scored cut of every shard's heat signals.
+
+        The :class:`~repro.observability.heat.ShardHeatReport` blends
+        queries routed, skip-plan candidates scanned, splice bytes, and
+        EWMA stage latency into a per-shard ``heat_score``; it backs the
+        telemetry ``/shards`` endpoint and is the input signal for shard
+        split/rebalance decisions.
+        """
+        return self._heat.report()
+
     @property
     def metrics(self) -> MetricsRegistry:
         """The service's unified metrics registry.

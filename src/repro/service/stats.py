@@ -2,10 +2,12 @@
 
 ``ServiceStats`` aggregates the numbers an operator of a query-serving
 deployment watches: cache hit rates, ingest throughput, query latency
-percentiles (over a sliding window of recent queries, so a long-lived
-service reports current — not lifetime-averaged — latency), a per-shard
-breakdown of query work and document routing for partitioned services,
-and durability counters — WAL appends, group-commit batch sizes (how many
+percentiles (p50/p95/p99 estimated straight from the power-of-two
+latency histogram via
+:func:`~repro.observability.metrics.histogram_quantiles` — no
+per-observation sample buffer to size or lock), a per-shard breakdown
+of query work and document routing for partitioned services, and
+durability counters — WAL appends, group-commit batch sizes (how many
 records each fsync made durable, bucketed into a power-of-two histogram)
 and the fsyncs saved relative to one-fsync-per-record.
 
@@ -24,18 +26,22 @@ attribute reads of dicts mutated under a different lock).
 
 from __future__ import annotations
 
-import math
 import threading
 import time
-from collections import deque
 
-from ..observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from ..observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantiles,
+)
 
 __all__ = ["ServiceStats"]
 
 
 class ServiceStats:
-    """Thread-safe counters and latency window for one service instance.
+    """Thread-safe counters and latency percentiles for one service.
 
     ``registry`` (optional) lets several components share one
     :class:`~repro.observability.metrics.MetricsRegistry`; by default
@@ -43,11 +49,8 @@ class ServiceStats:
     never mix counters.
     """
 
-    def __init__(
-        self, latency_window: int = 2048, registry: MetricsRegistry | None = None
-    ) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._lock = threading.Lock()
-        self._latencies: deque[float] = deque(maxlen=latency_window)
         self.last_checkpoint_error = ""
         self.registry = registry if registry is not None else MetricsRegistry()
         r = self.registry
@@ -215,8 +218,6 @@ class ServiceStats:
         """
         self._queries_served.inc()
         self._query_latency.observe(float(seconds))
-        with self._lock:
-            self._latencies.append(seconds)
         if result_cache_hit is True:
             self._result_cache_hits.inc()
         elif result_cache_hit is False:
@@ -589,25 +590,30 @@ class ServiceStats:
         return self.tokens_ingested / seconds
 
     def latency_percentile(self, percentile: float) -> float:
-        """Nearest-rank percentile (e.g. 50, 95) over the latency window."""
-        if not 0.0 < percentile <= 100.0:
-            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
-        with self._lock:
-            window = sorted(self._latencies)
-        if not window:
-            return 0.0
-        rank = max(1, math.ceil(percentile / 100.0 * len(window)))
-        return window[rank - 1]
+        """Estimated percentile (e.g. 50, 95) of the lifetime latencies.
+
+        Derived from the power-of-two ``koko_query_latency_seconds``
+        buckets by
+        :func:`~repro.observability.metrics.histogram_quantiles`, so no
+        per-observation sample window is kept.  0.0 before the first
+        query; ``ValueError`` for percentiles outside ``(0, 100]``.
+        """
+        return histogram_quantiles(self._query_latency, (percentile,))[percentile]
 
     @property
     def p50_query_seconds(self) -> float:
-        """Median query latency over the sliding window."""
+        """Estimated median query latency."""
         return self.latency_percentile(50.0)
 
     @property
     def p95_query_seconds(self) -> float:
-        """95th-percentile query latency over the sliding window."""
+        """Estimated 95th-percentile query latency."""
         return self.latency_percentile(95.0)
+
+    @property
+    def p99_query_seconds(self) -> float:
+        """Estimated 99th-percentile query latency."""
+        return self.latency_percentile(99.0)
 
     def shard_breakdown(self) -> dict[int, dict[str, float | int]]:
         """Per-shard queries, execution seconds and document routing.
@@ -681,6 +687,7 @@ class ServiceStats:
             "ingest_tokens_per_second": self.ingest_tokens_per_second,
             "p50_query_seconds": self.p50_query_seconds,
             "p95_query_seconds": self.p95_query_seconds,
+            "p99_query_seconds": self.p99_query_seconds,
             "per_shard": self.shard_breakdown(),
             "shard_partials_reused": self.shard_partials_reused,
             "shard_partials_computed": self.shard_partials_computed,

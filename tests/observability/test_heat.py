@@ -1,0 +1,116 @@
+"""Unit tests for per-shard heat accounting and the blended heat score."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.heat import (
+    HEAT_WEIGHTS,
+    ShardHeatAccumulator,
+    ShardHeatReport,
+)
+from repro.observability.metrics import MetricsRegistry
+
+
+def test_constructor_validates_topology_and_alpha():
+    with pytest.raises(ValueError):
+        ShardHeatAccumulator(0)
+    with pytest.raises(ValueError):
+        ShardHeatAccumulator(2, ewma_alpha=0.0)
+    with pytest.raises(ValueError):
+        ShardHeatAccumulator(2, ewma_alpha=1.5)
+    assert ShardHeatAccumulator(3).shard_count == 3
+
+
+def test_cold_accumulator_reports_no_hottest_shard():
+    report = ShardHeatAccumulator(4).report()
+    assert len(report) == 4
+    assert report.hottest() is None
+    assert all(row.heat_score == 0.0 for row in report.shards)
+    with pytest.raises(KeyError):
+        report.shard(99)
+
+
+def test_query_accounting_accumulates_and_seeds_ewma():
+    accumulator = ShardHeatAccumulator(2, ewma_alpha=0.5)
+    accumulator.record_query(0, 0.100, skip_candidates=10)
+    accumulator.record_query(0, 0.200, skip_candidates=30)
+    row = accumulator.report().shard(0)
+    assert row.queries == 2
+    assert row.query_seconds == pytest.approx(0.300)
+    assert row.skip_candidates == 40
+    # first observation seeds; second blends: 0.5*0.2 + 0.5*0.1
+    assert row.ewma_query_seconds == pytest.approx(0.150)
+
+
+def test_splice_accounting_tracks_bytes_and_optional_timing():
+    accumulator = ShardHeatAccumulator(2, ewma_alpha=0.5)
+    accumulator.record_splice(1, 1000)  # untimed: EWMA untouched
+    accumulator.record_splice(1, 500, 0.040)
+    accumulator.record_splice(1, 500, 0.080)
+    row = accumulator.report().shard(1)
+    assert row.splices == 3
+    assert row.splice_bytes == 2000
+    assert row.ewma_splice_seconds == pytest.approx(0.060)
+
+
+def test_query_only_workload_ranks_by_query_traffic():
+    accumulator = ShardHeatAccumulator(3)
+    for _ in range(8):
+        accumulator.record_query(1, 0.010)
+    accumulator.record_query(0, 0.010)
+    accumulator.record_query(2, 0.010)
+    report = accumulator.report()
+    assert report.hottest() == 1
+    assert report.shard(1).heat_score > report.shard(0).heat_score
+    # scores across shards sum to ~1 whenever anything was recorded
+    assert sum(row.heat_score for row in report.shards) == pytest.approx(1.0)
+
+
+def test_blended_score_weighs_every_active_signal():
+    accumulator = ShardHeatAccumulator(2)
+    # shard 0 dominates queries, shard 1 dominates splice bytes
+    for _ in range(9):
+        accumulator.record_query(0, 0.001)
+    accumulator.record_query(1, 0.001)
+    accumulator.record_splice(1, 9000)
+    accumulator.record_splice(0, 1000)
+    report = accumulator.report()
+    shares = {row.shard_id: row.heat_score for row in report.shards}
+    # queries weigh more than splice bytes, so shard 0 wins overall
+    assert HEAT_WEIGHTS["queries"] > HEAT_WEIGHTS["splice_bytes"]
+    assert report.hottest() == 0
+    assert shares[0] + shares[1] == pytest.approx(1.0)
+
+
+def test_report_serialises_for_the_shards_endpoint():
+    accumulator = ShardHeatAccumulator(2)
+    accumulator.record_query(1, 0.020, skip_candidates=5)
+    document = accumulator.report().to_dict()
+    assert document["hottest_shard"] == 1
+    assert document["weights"] == HEAT_WEIGHTS
+    assert [row["shard_id"] for row in document["shards"]] == [0, 1]
+    assert document["shards"][1]["skip_candidates"] == 5
+
+
+def test_registry_mirroring_exposes_labeled_instruments():
+    registry = MetricsRegistry()
+    accumulator = ShardHeatAccumulator(2, registry=registry)
+    accumulator.record_query(0, 0.010, skip_candidates=7)
+    accumulator.record_splice(1, 2048, 0.005)
+    text = registry.render_text()
+    assert 'koko_shard_skip_candidates_total{shard="0"} 7' in text
+    assert 'koko_shard_splice_bytes_total{shard="1"} 2048' in text
+    assert 'koko_shard_ewma_query_seconds{shard="0"}' in text
+    assert 'koko_shard_ewma_splice_seconds{shard="1"}' in text
+
+
+def test_report_is_a_consistent_standalone_value():
+    accumulator = ShardHeatAccumulator(1)
+    accumulator.record_query(0, 0.010)
+    before = accumulator.report()
+    accumulator.record_query(0, 0.010)
+    after = accumulator.report()
+    assert isinstance(before, ShardHeatReport)
+    assert before.shard(0).queries == 1  # unaffected by later records
+    assert after.shard(0).queries == 2

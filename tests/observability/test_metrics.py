@@ -7,12 +7,14 @@ import json
 import pytest
 
 from repro.observability.metrics import (
+    CALLBACK_ERRORS_METRIC,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     _pow2_bucket_float,
     _pow2_bucket_int,
+    histogram_quantiles,
 )
 
 
@@ -204,3 +206,86 @@ def test_render_text_labeled_histogram_merges_label_sets():
     assert 't_lat_bucket{stage="load",le="+Inf"} 1' in text
     assert 't_lat_sum{stage="load"} 2' in text
     assert 't_lat_count{stage="load"} 1' in text
+
+
+def test_render_text_golden_labeled_family_with_escaping():
+    registry = MetricsRegistry()
+    family = registry.gauge(
+        "app_peer_lag", 'Lag per peer ("bytes").', labelnames=("peer",)
+    )
+    family.labels('tcp/"a"\\b\nline').set(4)
+    family.labels("plain").set(1)
+    assert registry.render_text() == (
+        '# HELP app_peer_lag Lag per peer ("bytes").\n'
+        "# TYPE app_peer_lag gauge\n"
+        'app_peer_lag{peer="tcp/\\"a\\"\\\\b\\nline"} 4\n'
+        'app_peer_lag{peer="plain"} 1\n'
+    )
+
+
+def test_callback_error_does_not_abort_a_scrape():
+    registry = MetricsRegistry()
+    registry.counter("t_before_total", "Earlier family.").inc(5)
+
+    def broken() -> float:
+        raise RuntimeError("scrape-time failure")
+
+    registry.gauge("t_broken", "Faulty callback gauge.").set_function(broken)
+    registry.gauge("t_after", "Later family.").set(7)
+
+    text = registry.render_text()
+    # the scrape completed and every healthy family is present
+    assert "t_before_total 5" in text
+    assert "t_after 7" in text
+    # the faulty gauge keeps its HELP/TYPE but emits no sample line
+    assert "# TYPE t_broken gauge" in text
+    assert "\nt_broken " not in text
+    # the failure is accounted, not swallowed
+    assert f"{CALLBACK_ERRORS_METRIC} 1" in text
+    assert registry.get(CALLBACK_ERRORS_METRIC).value == 1
+    # and the error counter is not duplicated on later scrapes
+    second = registry.render_text()
+    assert second.count(f"# TYPE {CALLBACK_ERRORS_METRIC} counter") == 1
+    assert f"{CALLBACK_ERRORS_METRIC} 2" in second
+
+
+def test_callback_error_in_labeled_family_skips_only_that_child():
+    registry = MetricsRegistry()
+    family = registry.gauge("t_lag", "per peer", labelnames=("peer",))
+    family.labels("good").set(3)
+
+    def broken() -> float:
+        raise RuntimeError("boom")
+
+    family.labels("bad").set_function(broken)
+    text = registry.render_text()
+    assert 't_lag{peer="good"} 3' in text
+    assert 'peer="bad"' not in text
+    assert f"{CALLBACK_ERRORS_METRIC} 1" in text
+
+
+# ----------------------------------------------------------------------
+# quantile estimation
+# ----------------------------------------------------------------------
+def test_histogram_quantiles_interpolates_within_buckets():
+    histogram = Histogram()
+    for value in (0.010, 0.012, 0.014, 0.020, 0.100):
+        histogram.observe(value)
+    quantiles = histogram_quantiles(histogram, (50.0, 95.0, 99.0))
+    # p50 lands in the (0.0078125, 0.015625] bucket, p99 in (0.0625, 0.125]
+    assert 0.0078125 <= quantiles[50.0] <= 0.015625
+    assert 0.0625 <= quantiles[99.0] <= 0.125
+    assert quantiles[50.0] <= quantiles[95.0] <= quantiles[99.0]
+
+
+def test_histogram_quantiles_accepts_snapshots_and_validates():
+    histogram = Histogram()
+    histogram.observe(2)
+    from_instrument = histogram_quantiles(histogram, (99.0,))
+    from_snapshot = histogram_quantiles(histogram.snapshot_value(), (99.0,))
+    assert from_instrument == from_snapshot
+    assert histogram_quantiles(Histogram(), (50.0,)) == {50.0: 0.0}
+    with pytest.raises(ValueError):
+        histogram_quantiles(histogram, (0.0,))
+    with pytest.raises(ValueError):
+        histogram_quantiles(histogram, (101.0,))
