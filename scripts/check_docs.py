@@ -34,6 +34,7 @@ LINTED_PACKAGES = (
     "src/repro/persistence",
     "src/repro/replication",
     "src/repro/observability",
+    "src/repro/rpc",
     "src/repro/indexing/columnar.py",
 )
 

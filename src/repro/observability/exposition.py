@@ -164,6 +164,10 @@ class TelemetryServer:
         An optional :class:`ClusterTelemetry`; serving it at
         ``/cluster`` and folding its verdict into ``/readyz`` makes this
         node (normally the primary) the cluster's health authority.
+    rpc_server:
+        An optional :class:`~repro.rpc.server.RpcServer` co-located on
+        this node; ``/readyz`` then also requires ``rpc_listening`` —
+        a node whose RPC front door died should fall out of rotation.
     """
 
     def __init__(
@@ -177,9 +181,11 @@ class TelemetryServer:
         checkpoint_wedge_seconds: float = 300.0,
         wal_stall_seconds: float = 60.0,
         cluster: "ClusterTelemetry | None" = None,
+        rpc_server=None,
     ) -> None:
         self.node = node
         self.cluster = cluster
+        self.rpc_server = rpc_server
         self.name = name if name is not None else getattr(node, "name", "node")
         self.max_lag_bytes = max_lag_bytes
         self._host = host
@@ -362,6 +368,8 @@ class TelemetryServer:
         )
         checks["checkpoint_not_wedged"] = self._checkpoint_not_wedged(stats)
         checks["wal_advancing"] = self._wal_advancing(stats, detail)
+        if self.rpc_server is not None:
+            checks["rpc_listening"] = bool(self.rpc_server.listening)
         if self._kind == "replica":
             checks["connected"] = bool(
                 self.node.connected and not self.node.restart_requested

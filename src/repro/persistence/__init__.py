@@ -27,6 +27,7 @@ from .snapshot import (
 from .wal import (
     OP_ADD,
     OP_REMOVE,
+    CommitTicket,
     FrameScan,
     ReplayResult,
     WalCursor,
@@ -41,6 +42,7 @@ from .wal import (
 __all__ = [
     "CheckpointPolicy",
     "CheckpointScheduler",
+    "CommitTicket",
     "FrameScan",
     "LAYOUT_VERSION",
     "OP_ADD",

@@ -51,6 +51,7 @@ from .layout import fsync_dir as _fsync_dir
 __all__ = [
     "OP_ADD",
     "OP_REMOVE",
+    "CommitTicket",
     "FrameScan",
     "ReplayResult",
     "WalCursor",
@@ -395,6 +396,44 @@ class WalWriter:
         """
         started = time.perf_counter() if trace is not None else 0.0
         frame = encode_frame(record.to_payload())
+        target = self._buffered_append(frame)
+        if trace is not None:
+            trace.record(
+                "wal_append", time.perf_counter() - started, bytes=len(frame)
+            )
+        if self.sync:
+            wait_started = time.perf_counter() if trace is not None else 0.0
+            self._await_durable(target)
+            if trace is not None:
+                trace.record("fsync_wait", time.perf_counter() - wait_started)
+        return len(frame)
+
+    def append_pipelined(
+        self, record: WalRecord, trace: Span | None = None
+    ) -> tuple[int, "CommitTicket"]:
+        """Buffered append that returns **before** the fsync, with a ticket.
+
+        The pipelined-ack primitive: the frame reaches the OS buffer (so
+        log order is fixed) and the caller gets a :class:`CommitTicket`
+        whose :meth:`CommitTicket.wait` drives the group commit covering
+        this frame.  The waiter itself becomes the sync leader when none is
+        active, so durability needs no background flusher — whoever first
+        cares about the commit pays (and shares) the fsync.  Returns
+        ``(frame_bytes, ticket)``.
+        """
+        started = time.perf_counter() if trace is not None else 0.0
+        frame = encode_frame(record.to_payload())
+        target = self._buffered_append(frame)
+        if trace is not None:
+            trace.record(
+                "wal_append", time.perf_counter() - started, bytes=len(frame)
+            )
+        return len(frame), CommitTicket(self, target)
+
+    def _buffered_append(self, frame: bytes) -> int:
+        """Write one frame into the OS buffer under the mutex; returns the
+        byte offset an fsync must reach to cover it (see :meth:`append` for
+        the partial-frame failure contract)."""
         with self._write_lock:
             if self._handle is None or self._failed:
                 raise PersistenceError(f"WAL segment {self.path} is closed")
@@ -406,17 +445,20 @@ class WalWriter:
                 raise
             self._bytes_written += len(frame)
             self._unsynced_records += 1
+            return self._bytes_written
+
+    def flush(self) -> None:
+        """Block until every frame appended before this call is durable.
+
+        A no-op for ``sync=False`` writers (durability is best-effort by
+        construction) and for cleanly closed writers (close fsyncs).
+        Raises :class:`PersistenceError` when the writer is poisoned.
+        """
+        if not self.sync:
+            return
+        with self._write_lock:
             target = self._bytes_written
-        if trace is not None:
-            trace.record(
-                "wal_append", time.perf_counter() - started, bytes=len(frame)
-            )
-        if self.sync:
-            wait_started = time.perf_counter() if trace is not None else 0.0
-            self._await_durable(target)
-            if trace is not None:
-                trace.record("fsync_wait", time.perf_counter() - wait_started)
-        return len(frame)
+        self._await_durable(target)
 
     def _await_durable(self, target: int) -> None:
         """Block until an fsync covers byte offset *target* (group commit).
@@ -533,6 +575,41 @@ class WalWriter:
             self.on_fsync(batch)
 
 
+class CommitTicket:
+    """A claim on the durability of one pipelined WAL append.
+
+    Handed out by :meth:`WalWriter.append_pipelined` (and surfaced by the
+    service's ``wait_durable=False`` ingest path as the *commit future*):
+    the record is already in log order and visible to queries, but may not
+    yet have been fsynced.  :meth:`wait` blocks until a group commit covers
+    the record — the waiter becomes the sync leader when none is active, so
+    waiting *drives* the flush rather than hoping for one.  Tickets from a
+    non-``sync`` writer are trivially durable (best-effort by construction).
+    """
+
+    __slots__ = ("_writer", "_target")
+
+    def __init__(self, writer: WalWriter, target: int) -> None:
+        self._writer = writer
+        self._target = target
+
+    @property
+    def durable(self) -> bool:
+        """True once an fsync covers the record (no blocking)."""
+        if not self._writer.sync:
+            return True
+        return self._writer.synced_bytes >= self._target
+
+    def wait(self) -> None:
+        """Block until the record is durable, driving the fsync if needed.
+
+        Raises :class:`PersistenceError` when the writer was poisoned by a
+        failed fsync — the record's durability can no longer be promised.
+        """
+        if self._writer.sync:
+            self._writer._await_durable(self._target)
+
+
 class WriteAheadLog:
     """The service-facing WAL: an active segment plus rotation at checkpoint.
 
@@ -625,6 +702,32 @@ class WriteAheadLog:
         with self._stats_lock:
             self.records_appended += 1
         return appended
+
+    def append_pipelined(
+        self, record: WalRecord, trace: Span | None = None
+    ) -> tuple[int, CommitTicket]:
+        """Append without waiting for the fsync; returns ``(bytes, ticket)``.
+
+        The pipelined-ack path (see :meth:`WalWriter.append_pipelined`):
+        log order is fixed when this returns, durability arrives when the
+        ticket is waited on (or any later group commit covers the frame).
+        """
+        appended, ticket = self._writer.append_pipelined(record, trace=trace)
+        with self._stats_lock:
+            self.records_appended += 1
+        return appended, ticket
+
+    def flush_durable(self) -> WalPosition:
+        """Make every record appended before this call durable.
+
+        Drives a group commit over the active segment's buffered tail
+        (records from already-rotated segments were fsynced when their
+        segment sealed) and returns the durable end of the log.
+        """
+        with self._stats_lock:
+            writer = self._writer
+        writer.flush()
+        return self.durable_position()
 
     def rotate(self) -> int:
         """Close the active segment and open the next one.

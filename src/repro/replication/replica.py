@@ -457,6 +457,10 @@ class ReplicaService:
         """Replicas are read-only: raises :class:`ReplicationError`."""
         raise ReplicationError(f"{self.name} is a read-only replica")
 
+    def add_documents(self, *args, **kwargs):
+        """Replicas are read-only: raises :class:`ReplicationError`."""
+        raise ReplicationError(f"{self.name} is a read-only replica")
+
     def remove_document(self, *args, **kwargs):
         """Replicas are read-only: raises :class:`ReplicationError`."""
         raise ReplicationError(f"{self.name} is a read-only replica")

@@ -229,6 +229,18 @@ class ReplicaSet:
         document = self.primary.add_document(text, doc_id=doc_id, **kwargs)
         return document, self.primary.wal_position()
 
+    def add_documents(self, texts, doc_ids=None, **kwargs):
+        """Bulk ingest through the primary; returns ``(documents, token)``.
+
+        One read-your-writes token covers the whole batch (the primary's
+        durable position after the last document) — querying with it
+        guarantees the answering node has applied every document of the
+        batch.  Keyword arguments (``batch_size``, ``wait_durable``)
+        forward to :meth:`KokoService.add_documents`.
+        """
+        documents = self.primary.add_documents(texts, doc_ids=doc_ids, **kwargs)
+        return documents, self.primary.wal_position()
+
     def remove_document(self, doc_id: str):
         """Remove through the primary; returns ``(document, token)``."""
         document = self.primary.remove_document(doc_id)

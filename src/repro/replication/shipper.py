@@ -580,6 +580,12 @@ class LogShipper:
             sessions = list(self._sessions)
         if listener is not None:
             try:
+                # closing the fd alone does not wake a thread blocked in
+                # accept(); shutdown() does
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
                 listener.close()
             except OSError:  # pragma: no cover - best-effort
                 pass

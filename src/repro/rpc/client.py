@@ -1,0 +1,350 @@
+"""Clients for the query/ingest RPC tier: blocking and asyncio.
+
+:class:`RpcClient` is the blocking client.  Because the RPC wire dialect
+is the replication transport's framing plus the same HMAC handshake, the
+blocking client simply *is* a
+:class:`~repro.replication.transport.TcpTransport` obtained from
+``connect_tcp`` — no second framing implementation to keep in sync.
+
+:class:`AsyncRpcClient` is the asyncio twin for event-loop callers (and
+for tests that drive many concurrent requests without threads).
+
+Both expose the same surface: ``query``, ``query_batch``,
+``add_document`` / ``add_documents`` (with ``wait_durable=False`` for
+pipelined acks), ``remove_document``, ``flush`` (the durability
+barrier), ``ping`` and ``info``.  Server faults come back as the typed
+:class:`~repro.errors.RpcError` subclasses (``raise_fault``); a dropped
+connection surfaces as :class:`~repro.errors.RpcUnavailable`.
+
+Every request carries the client's ``client_id`` (the admission-control
+identity — defaults to a per-process-unique name) and an optional
+``deadline``: a **relative** seconds budget the server anchors to its own
+clock, immune to client/server clock skew.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import socket
+import threading
+
+from ..errors import RpcError, RpcUnavailable
+from ..replication.transport import (
+    TcpTransport,
+    TransportClosed,
+    answer_auth_challenge,
+)
+from .wire import (
+    RpcRequest,
+    RpcResponse,
+    answer_auth_challenge_async,
+    decode_message,
+    encode_message,
+    frame_message,
+    raise_fault,
+    read_frame,
+)
+
+__all__ = ["AsyncRpcClient", "RpcClient"]
+
+_client_counter = itertools.count()
+
+
+def _default_client_id() -> str:
+    """A per-process-unique admission identity for anonymous clients."""
+    return f"client-{os.getpid()}-{next(_client_counter)}"
+
+
+class _CallMixin:
+    """The op surface shared by the blocking and asyncio clients.
+
+    Subclasses provide ``_call(op, args, deadline)``; every public method
+    is a thin, documented wrapper assembling the ``args`` payload.  The
+    blocking client's ``_call`` is synchronous and the async client's is
+    a coroutine — callers of the mixin methods inherit that coloring.
+    """
+
+    def _call(self, op: str, args: dict, deadline: float | None):
+        raise NotImplementedError  # pragma: no cover - subclasses override
+
+    def ping(self):
+        """Liveness probe; returns the server's identity dict."""
+        return self._call("ping", {}, None)
+
+    def info(self):
+        """The server's name, node kind, document count and shard count."""
+        return self._call("info", {}, None)
+
+    def query(
+        self,
+        query: str,
+        *,
+        threshold_override: float | None = None,
+        keep_all_scores: bool = False,
+        read_your_writes=None,
+        prefer_primary: bool = False,
+        deadline: float | None = None,
+    ):
+        """Evaluate one KOKO query on the server; returns a ``KokoResult``.
+
+        ``read_your_writes`` takes a ``WalPosition`` token from a prior
+        write; a non-router server that has not caught up answers with a
+        ``stale_read`` fault, a router routes around stale replicas.
+        ``deadline`` is a relative seconds budget enforced server-side.
+        """
+        return self._call(
+            "query",
+            {
+                "query": query,
+                "threshold_override": threshold_override,
+                "keep_all_scores": keep_all_scores,
+                "read_your_writes": read_your_writes,
+                "prefer_primary": prefer_primary,
+            },
+            deadline,
+        )
+
+    def query_batch(
+        self,
+        queries,
+        *,
+        threshold_override: float | None = None,
+        keep_all_scores: bool = False,
+        read_your_writes=None,
+        prefer_primary: bool = False,
+        deadline: float | None = None,
+    ):
+        """Evaluate *queries* in order under one shared deadline."""
+        return self._call(
+            "query_batch",
+            {
+                "queries": list(queries),
+                "threshold_override": threshold_override,
+                "keep_all_scores": keep_all_scores,
+                "read_your_writes": read_your_writes,
+                "prefer_primary": prefer_primary,
+            },
+            deadline,
+        )
+
+    def add_document(
+        self,
+        text: str,
+        *,
+        doc_id: str | None = None,
+        wait_durable: bool = True,
+        deadline: float | None = None,
+    ):
+        """Ingest one document; returns an ack dict.
+
+        With ``wait_durable=False`` the server acks after the in-memory
+        splice, before the WAL fsync (``durable: False`` in the ack);
+        :meth:`flush` is the durability barrier.  The ack's ``token`` is
+        a read-your-writes ``WalPosition``.
+        """
+        return self._call(
+            "add_document",
+            {"text": text, "doc_id": doc_id, "wait_durable": wait_durable},
+            deadline,
+        )
+
+    def add_documents(
+        self,
+        texts,
+        *,
+        doc_ids=None,
+        batch_size: int | None = None,
+        wait_durable: bool = True,
+        deadline: float | None = None,
+    ):
+        """Bulk-ingest *texts* in one round trip; returns an ack dict.
+
+        Server-side this maps to ``KokoService.add_documents`` — one
+        claim/commit round and roughly one group-committed fsync per
+        ``batch_size`` documents instead of one of each per document.
+        """
+        return self._call(
+            "add_documents",
+            {
+                "texts": list(texts),
+                "doc_ids": list(doc_ids) if doc_ids is not None else None,
+                "batch_size": batch_size,
+                "wait_durable": wait_durable,
+            },
+            deadline,
+        )
+
+    def remove_document(self, doc_id: str, *, deadline: float | None = None):
+        """Remove one document through the server's write path."""
+        return self._call("remove_document", {"doc_id": doc_id}, deadline)
+
+    def flush(self):
+        """Durability barrier: fsync the server's WAL; returns the
+        durable ``WalPosition`` token."""
+        return self._call("flush", {}, None)
+
+
+class RpcClient(_CallMixin):
+    """Blocking RPC client over a :class:`TcpTransport` connection.
+
+    Thread-safe: a lock serialises request/response exchanges, so one
+    client may be shared across threads (each call holds the connection
+    for its full round trip).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        auth_token: bytes | str | None = None,
+        client_id: str | None = None,
+        timeout: float = 30.0,
+        default_deadline: float | None = None,
+    ) -> None:
+        self.client_id = client_id if client_id is not None else _default_client_id()
+        self.default_deadline = default_deadline
+        self.timeout = timeout
+        sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            if auth_token is not None:
+                answer_auth_challenge(sock, auth_token)
+        except Exception:
+            sock.close()
+            raise
+        self._transport = TcpTransport(sock)
+        self._lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+
+    def _call(self, op: str, args: dict, deadline: float | None):
+        """One request/response exchange; faults re-raise typed."""
+        if deadline is None:
+            deadline = self.default_deadline
+        request = RpcRequest(
+            op=op,
+            args=args,
+            request_id=next(self._request_ids),
+            client_id=self.client_id,
+            deadline=deadline,
+        )
+        with self._lock:
+            try:
+                self._transport.send(request)
+                response = self._transport.recv(timeout=self.timeout)
+            except TransportClosed as exc:
+                raise RpcUnavailable(f"server connection lost: {exc}") from exc
+            except OSError as exc:
+                raise RpcUnavailable(f"server connection failed: {exc}") from exc
+        if not isinstance(response, RpcResponse):
+            raise RpcError(f"unexpected message from server: {response!r}")
+        if response.request_id != request.request_id:
+            raise RpcError(
+                f"response id {response.request_id} does not match "
+                f"request id {request.request_id}"
+            )
+        if response.fault is not None:
+            raise_fault(response.fault)
+        return response.value
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        self._transport.close()
+
+    def __enter__(self) -> "RpcClient":
+        """Context-manager entry: returns the connected client."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+
+class AsyncRpcClient(_CallMixin):
+    """asyncio RPC client; every op method is a coroutine.
+
+    Create with :meth:`connect`.  An asyncio lock serialises exchanges so
+    one client can be shared across tasks.
+    """
+
+    def __init__(self, reader, writer, client_id: str | None = None) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.client_id = client_id if client_id is not None else _default_client_id()
+        self.default_deadline: float | None = None
+        self._lock = asyncio.Lock()
+        self._request_ids = itertools.count(1)
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        auth_token: bytes | str | None = None,
+        client_id: str | None = None,
+        timeout: float = 10.0,
+    ) -> "AsyncRpcClient":
+        """Open a connection (and run the handshake when *auth_token*)."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout
+        )
+        try:
+            if auth_token is not None:
+                await asyncio.wait_for(
+                    answer_auth_challenge_async(reader, writer, auth_token),
+                    timeout=timeout,
+                )
+        except Exception:
+            writer.close()
+            raise
+        return cls(reader, writer, client_id=client_id)
+
+    async def _call(self, op: str, args: dict, deadline: float | None):
+        """One request/response exchange; faults re-raise typed."""
+        if deadline is None:
+            deadline = self.default_deadline
+        request = RpcRequest(
+            op=op,
+            args=args,
+            request_id=next(self._request_ids),
+            client_id=self.client_id,
+            deadline=deadline,
+        )
+        async with self._lock:
+            try:
+                self._writer.write(frame_message(encode_message(request)))
+                await self._writer.drain()
+                payload = await read_frame(self._reader)
+            except (ConnectionError, OSError) as exc:
+                raise RpcUnavailable(f"server connection failed: {exc}") from exc
+        if payload is None:
+            raise RpcUnavailable("server closed the connection")
+        response = decode_message(payload)
+        if not isinstance(response, RpcResponse):
+            raise RpcError(f"unexpected message from server: {response!r}")
+        if response.request_id != request.request_id:
+            raise RpcError(
+                f"response id {response.request_id} does not match "
+                f"request id {request.request_id}"
+            )
+        if response.fault is not None:
+            raise_fault(response.fault)
+        return response.value
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:  # pragma: no cover - peer already gone
+            pass
+
+    async def __aenter__(self) -> "AsyncRpcClient":
+        """Async context-manager entry: returns the connected client."""
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        """Async context-manager exit: :meth:`close`."""
+        await self.close()

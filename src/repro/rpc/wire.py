@@ -1,0 +1,273 @@
+"""Wire format of the query/ingest RPC tier.
+
+The RPC tier speaks the **same framing** as the replication transport
+(:class:`~repro.replication.transport.TcpTransport`): a little-endian
+``u64`` length prefix followed by a pickled message, and the same mutual
+HMAC challenge-response before any byte is unpickled (async variants of
+the handshake live here for the asyncio server and client).  Keeping the
+frame format shared means a blocking RPC client literally *is* a
+``TcpTransport`` — one wire dialect across the whole system.
+
+Messages are two frozen dataclasses:
+
+* :class:`RpcRequest` — ``op`` (operation name), ``args`` (keyword
+  payload), plus three headers: ``request_id`` (echoed back so a client
+  can pipeline), ``client_id`` (the admission-control identity) and
+  ``deadline`` (a **relative** seconds budget — relative so clock skew
+  between client and server cannot distort it; the server anchors it to
+  its own monotonic clock at receipt).
+* :class:`RpcResponse` — the echoed ``request_id`` and either a
+  ``value`` or an :class:`RpcFault` carrying a stable error ``code``
+  that :func:`raise_fault` maps back to the typed
+  :class:`~repro.errors.RpcError` hierarchy on the client.
+
+**Trust model**: identical to the replication transport — pickled frames
+stay inside one trust domain, the token gates accidental exposure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import os
+import pickle
+import struct
+from dataclasses import dataclass, field
+from typing import NoReturn
+
+from ..errors import (
+    DeadlineExceeded,
+    KokoSemanticError,
+    KokoSyntaxError,
+    ReplicationError,
+    RpcBadRequest,
+    RpcDeadlineExceeded,
+    RpcError,
+    RpcRateLimited,
+    RpcReadOnly,
+    RpcServerError,
+    RpcStaleRead,
+    RpcUnavailable,
+    ServiceError,
+)
+from ..replication.transport import (
+    _AUTH_DIGEST_LEN,
+    _AUTH_NONCE_LEN,
+    _auth_digest,
+)
+
+__all__ = [
+    "FRAME_HEADER",
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "FrameTooLarge",
+    "RpcFault",
+    "RpcRequest",
+    "RpcResponse",
+    "answer_auth_challenge_async",
+    "decode_message",
+    "encode_message",
+    "fault_for",
+    "frame_message",
+    "issue_auth_challenge_async",
+    "raise_fault",
+    "read_frame",
+]
+
+#: the length prefix — identical to ``TcpTransport``'s, on purpose
+FRAME_HEADER = struct.Struct("<Q")
+
+#: default upper bound on one frame; a header announcing more is treated
+#: as garbage and the connection is dropped before any allocation
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(RpcError):
+    """The byte stream did not contain a well-formed frame."""
+
+    code = "bad_frame"
+
+
+class FrameTooLarge(FrameError):
+    """A frame header announced a payload over the configured bound."""
+
+    code = "frame_too_large"
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    """One client request: operation, payload, and the three headers."""
+
+    op: str
+    args: dict = field(default_factory=dict)
+    request_id: int = 0
+    client_id: str | None = None
+    deadline: float | None = None  # relative seconds budget, None = none
+
+
+@dataclass(frozen=True)
+class RpcFault:
+    """A typed failure crossing the wire as data (code + message)."""
+
+    code: str
+    message: str
+
+
+@dataclass(frozen=True)
+class RpcResponse:
+    """One server response: the echoed id and a value *or* a fault."""
+
+    request_id: int
+    value: object = None
+    fault: RpcFault | None = None
+
+
+def encode_message(message: object) -> bytes:
+    """Serialise one message — byte-identical to ``TcpTransport.send``'s
+    payload encoding (highest-protocol pickle)."""
+    return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_message(payload: bytes) -> object:
+    """Inverse of :func:`encode_message`; raises :class:`FrameError` on
+    bytes that do not decode."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise FrameError(f"undecodable frame payload: {exc!r}") from exc
+
+
+def frame_message(payload: bytes) -> bytes:
+    """Prefix an encoded payload with the u64 length header."""
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    timeout: float | None = None,
+) -> bytes | None:
+    """Read one whole frame payload from an asyncio stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary.  Raises
+    :class:`FrameTooLarge` when the header announces more than
+    *max_frame_bytes* (the stream cannot be resynchronised — drop the
+    connection), :class:`FrameError` on a mid-frame EOF, and
+    :class:`asyncio.TimeoutError` when *timeout* elapses first (the
+    slow-loris guard: a peer trickling header bytes forever is cut off).
+    """
+
+    async def _read() -> bytes | None:
+        try:
+            header = await reader.readexactly(FRAME_HEADER.size)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF between frames
+            raise FrameError("connection closed mid-header") from exc
+        (length,) = FRAME_HEADER.unpack(header)
+        if length > max_frame_bytes:
+            raise FrameTooLarge(
+                f"frame of {length} bytes exceeds the {max_frame_bytes}-byte bound"
+            )
+        try:
+            return await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise FrameError("connection closed mid-frame") from exc
+
+    if timeout is None:
+        return await _read()
+    return await asyncio.wait_for(_read(), timeout=timeout)
+
+
+# -- fault mapping ------------------------------------------------------
+
+_FAULT_TYPES: dict[str, type[RpcError]] = {
+    cls.code: cls
+    for cls in (
+        RpcBadRequest,
+        RpcRateLimited,
+        RpcDeadlineExceeded,
+        RpcReadOnly,
+        RpcStaleRead,
+        RpcUnavailable,
+        RpcServerError,
+        FrameError,
+        FrameTooLarge,
+    )
+}
+
+
+def fault_for(exc: BaseException) -> RpcFault:
+    """Map a server-side exception to the :class:`RpcFault` it ships as.
+
+    Typed RPC errors keep their code; the service layer's client-caused
+    failures (bad query syntax/semantics, duplicate or unknown doc ids)
+    become ``bad_request``; a replica's read-only rejection becomes
+    ``read_only``; an expired cooperative deadline becomes
+    ``deadline_exceeded``; everything else is a ``server_error``.
+    """
+    if isinstance(exc, RpcError):
+        return RpcFault(code=exc.code, message=str(exc))
+    if isinstance(exc, DeadlineExceeded):
+        return RpcFault(code=RpcDeadlineExceeded.code, message=str(exc))
+    if isinstance(exc, (KokoSyntaxError, KokoSemanticError, ServiceError)):
+        return RpcFault(
+            code=RpcBadRequest.code, message=f"{type(exc).__name__}: {exc}"
+        )
+    if isinstance(exc, ReplicationError):
+        return RpcFault(code=RpcReadOnly.code, message=str(exc))
+    return RpcFault(
+        code=RpcServerError.code, message=f"{type(exc).__name__}: {exc}"
+    )
+
+
+def raise_fault(fault: RpcFault) -> NoReturn:
+    """Re-raise a wire fault as its typed client-side exception."""
+    raise _FAULT_TYPES.get(fault.code, RpcServerError)(fault.message)
+
+
+# -- async HMAC handshake ----------------------------------------------
+#
+# The same mutual challenge-response as the replication transport (see
+# its module docstring for the protocol), transliterated to asyncio
+# streams for the RPC server and async client.
+
+
+async def issue_auth_challenge_async(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    token: bytes | str,
+) -> bool:
+    """Listener side of the mutual handshake (asyncio); True on success."""
+    server_nonce = os.urandom(_AUTH_NONCE_LEN)
+    writer.write(server_nonce)
+    await writer.drain()
+    answer = await reader.readexactly(_AUTH_NONCE_LEN + _AUTH_DIGEST_LEN)
+    client_nonce, digest = answer[:_AUTH_NONCE_LEN], answer[_AUTH_NONCE_LEN:]
+    if not hmac.compare_digest(
+        digest, _auth_digest(token, b"client", server_nonce)
+    ):
+        return False
+    writer.write(_auth_digest(token, b"server", client_nonce))
+    await writer.drain()
+    return True
+
+
+async def answer_auth_challenge_async(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    token: bytes | str,
+) -> None:
+    """Dialer side of the mutual handshake (asyncio); raises
+    :class:`RpcUnavailable` when the listener cannot prove the token."""
+    server_nonce = await reader.readexactly(_AUTH_NONCE_LEN)
+    client_nonce = os.urandom(_AUTH_NONCE_LEN)
+    writer.write(client_nonce + _auth_digest(token, b"client", server_nonce))
+    await writer.drain()
+    proof = await reader.readexactly(_AUTH_DIGEST_LEN)
+    if not hmac.compare_digest(
+        proof, _auth_digest(token, b"server", client_nonce)
+    ):
+        raise RpcUnavailable(
+            "server failed the auth handshake: wrong or missing token"
+        )

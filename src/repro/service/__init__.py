@@ -3,11 +3,12 @@
 from ..persistence import CheckpointPolicy
 from .cache import PlanCache, ResultCache
 from .locks import ReadWriteLock
-from .service import KokoService, ShardedKokoService
+from .service import IngestAck, KokoService, ShardedKokoService
 from .stats import ServiceStats
 
 __all__ = [
     "CheckpointPolicy",
+    "IngestAck",
     "KokoService",
     "PlanCache",
     "ReadWriteLock",

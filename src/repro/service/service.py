@@ -93,12 +93,13 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
 
 from ..embeddings.expansion import DescriptorExpander
 from ..embeddings.vectors import VectorStore
-from ..errors import PersistenceError, ServiceError
+from ..errors import DeadlineExceeded, PersistenceError, ServiceError
 from ..indexing.koko_index import IndexStatistics, KokoIndexSet
 from ..indexing.sharding import ShardedIndexSet
 from ..koko.ast import KokoQuery
@@ -115,6 +116,7 @@ from ..persistence import (
     OP_REMOVE,
     CheckpointPolicy,
     CheckpointScheduler,
+    CommitTicket,
     RecoveryManager,
     SnapshotState,
     StorageLayout,
@@ -128,7 +130,33 @@ from .cache import PlanCache, ResultCache
 from .locks import ReadWriteLock
 from .stats import ServiceStats
 
-__all__ = ["KokoService", "ShardedKokoService"]
+__all__ = ["IngestAck", "KokoService", "ShardedKokoService"]
+
+
+@dataclass
+class IngestAck:
+    """The pipelined-ack return of ``add_document(wait_durable=False)``.
+
+    The document is already spliced and visible to queries; the *commit
+    future* — durability — is the attached :class:`CommitTicket`.  A crash
+    before :meth:`wait_durable` returns may lose the operation (it is in
+    WAL order but possibly not yet fsynced); everything the default
+    ``wait_durable=True`` path promises is restored by waiting.
+    """
+
+    document: Document
+    ticket: CommitTicket | None  # None on a memory-only service
+
+    @property
+    def durable(self) -> bool:
+        """True once the logged record is covered by an fsync (no blocking)."""
+        return self.ticket is None or self.ticket.durable
+
+    def wait_durable(self) -> Document:
+        """Block until the ingest is durable; returns the document."""
+        if self.ticket is not None:
+            self.ticket.wait()
+        return self.document
 
 
 # ----------------------------------------------------------------------
@@ -850,8 +878,12 @@ class KokoService:
     # ingestion (write side) — the staged concurrent pipeline
     # ------------------------------------------------------------------
     def add_document(
-        self, text: str, doc_id: str | None = None, first_sid: int | None = None
-    ) -> Document:
+        self,
+        text: str,
+        doc_id: str | None = None,
+        first_sid: int | None = None,
+        wait_durable: bool = True,
+    ) -> Document | IngestAck:
         """Annotate *text* and fold it into its shard's corpus and indexes.
 
         The staged pipeline (see the module docstring): the meta lock is
@@ -885,7 +917,16 @@ class KokoService:
         fsynced, group-committed — *before* it becomes visible to queries;
         when ``add_document`` returns, the operation survives a crash.
 
-        Returns the annotated :class:`~repro.nlp.types.Document`.
+        ``wait_durable=False`` selects the **pipelined-ack** path: the WAL
+        append is buffered (log order fixed) but the call returns after
+        the splice without waiting for the fsync, handing back an
+        :class:`IngestAck` whose ticket is the commit future.  The
+        document is visible immediately; a crash before the ticket is
+        waited on (or a later group commit covers it) may lose the
+        operation.
+
+        Returns the annotated :class:`~repro.nlp.types.Document` — or the
+        :class:`IngestAck` wrapping it when ``wait_durable=False``.
         """
         started = time.perf_counter()
         # Stage 0 (no lock): a cheap sentence split sizes the sid range to
@@ -914,13 +955,17 @@ class KokoService:
             if trace is not None:
                 trace.record("annotate", annotate_s, sentences=len(document))
             # Stage 2 (no lock): write-ahead logging; group commit batches
-            # concurrent fsyncs.  Durable before visible.
+            # concurrent fsyncs.  Durable before visible — unless the
+            # caller opted into pipelined acks, where the fsync wait moves
+            # behind the returned ticket and the splice proceeds at once.
             wal_span = trace.child("wal") if trace is not None else None
             stage_started = time.perf_counter()
-            frame_bytes = self._log(
-                WalRecord(op=OP_ADD, doc_id=resolved_id, document=document),
-                trace=wal_span,
-            )
+            record = WalRecord(op=OP_ADD, doc_id=resolved_id, document=document)
+            ticket: CommitTicket | None = None
+            if wait_durable:
+                frame_bytes = self._log(record, trace=wal_span)
+            else:
+                frame_bytes, ticket = self._log_pipelined(record, trace=wal_span)
             wal_s = time.perf_counter() - stage_started
             if wal_span is not None:
                 wal_span.annotate(frame_bytes=frame_bytes)
@@ -959,7 +1004,141 @@ class KokoService:
             tokens=document.num_tokens,
             trace=trace,
         )
+        if not wait_durable:
+            return IngestAck(document=document, ticket=ticket)
         return document
+
+    def add_documents(
+        self,
+        texts: list[str],
+        doc_ids: list[str | None] | None = None,
+        batch_size: int = 64,
+        wait_durable: bool = True,
+    ) -> list[Document]:
+        """Bulk ingest, amortising the claim/commit rounds and the fsync.
+
+        Documents are processed in chunks of *batch_size*; each chunk pays
+        **one** meta-lock claim round (ids resolved, sid ranges reserved,
+        admission checked once for the chunk's total bytes), annotates
+        off-lock, appends every record to the WAL with a **single** group
+        commit covering the chunk, splices grouped per shard (one write
+        lock acquisition per touched shard), and publishes with **one**
+        commit round.  Ingesting N documents therefore does at most
+        ``ceil(N / batch_size)`` claim and commit rounds instead of N.
+
+        ``doc_ids`` (optional) must match *texts* in length; ``None``
+        entries get fresh ids.  ``wait_durable=False`` skips the per-chunk
+        fsync wait entirely — call :meth:`wait_durable` afterwards to make
+        the whole load durable with a single flush.
+
+        A failure mid-chunk rolls that chunk back (compensating WAL
+        removes for logged records, claims released); previously completed
+        chunks stay committed.  Returns the annotated documents in input
+        order.
+        """
+        texts = list(texts)
+        if doc_ids is not None:
+            doc_ids = list(doc_ids)
+            if len(doc_ids) != len(texts):
+                raise ServiceError(
+                    f"doc_ids length {len(doc_ids)} != texts length {len(texts)}"
+                )
+        if batch_size < 1:
+            raise ServiceError(f"batch_size must be >= 1, got {batch_size}")
+        documents: list[Document] = []
+        for start in range(0, len(texts), batch_size):
+            chunk = texts[start : start + batch_size]
+            chunk_ids = (
+                doc_ids[start : start + batch_size]
+                if doc_ids is not None
+                else [None] * len(chunk)
+            )
+            documents.extend(
+                self._add_documents_chunk(chunk, chunk_ids, wait_durable)
+            )
+        return documents
+
+    def _add_documents_chunk(
+        self, texts: list[str], doc_ids: list[str | None], wait_durable: bool
+    ) -> list[Document]:
+        """Ingest one bulk chunk: one claim, one fsync, one commit round."""
+        started = time.perf_counter()
+        reserves = [
+            len(self.pipeline.tokenizer.split_sentences(text)) for text in texts
+        ]
+        sizes = [len(text.encode("utf-8")) for text in texts]
+        claims = self._claim_ingest_batch(doc_ids, reserves, sizes)
+        logged_ids: list[str] = []
+        try:
+            documents = [
+                self._annotate_off_lock(text, resolved_id, base_sid)
+                for text, (resolved_id, base_sid) in zip(texts, claims)
+            ]
+            # WAL appends are buffered; one group commit at the end covers
+            # the whole chunk (~1 fsync instead of len(texts)).
+            ticket: CommitTicket | None = None
+            frame_total = 0
+            for document in documents:
+                appended, doc_ticket = self._log_pipelined(
+                    WalRecord(op=OP_ADD, doc_id=document.doc_id, document=document)
+                )
+                frame_total += appended
+                if doc_ticket is not None:
+                    logged_ids.append(document.doc_id)
+                    ticket = doc_ticket
+            if wait_durable and ticket is not None:
+                ticket.wait()  # durable before visible, amortised
+            # Splice grouped per shard: one write-lock round per shard.
+            by_shard: dict[int, list[Document]] = {}
+            for document in documents:
+                shard_id = self._index_set.shard_id(document.doc_id)
+                by_shard.setdefault(shard_id, []).append(document)
+            assignments: list[tuple[str, int]] = []
+            for shard_id in sorted(by_shard):
+                shard = self._shards[shard_id]
+                shard_docs = by_shard[shard_id]
+                splice_started = time.perf_counter()
+                with shard.lock.write_locked():
+                    for document in shard_docs:
+                        shard.splice(document)
+                    # one bump per document keeps generation counters
+                    # identical to a record-at-a-time replica apply
+                    self._generations[shard_id] += len(shard_docs)
+                self._heat.record_splice(
+                    shard_id,
+                    sum(_estimate_document_bytes(d) for d in shard_docs),
+                    time.perf_counter() - splice_started,
+                )
+                assignments.extend(
+                    (document.doc_id, shard_id) for document in shard_docs
+                )
+        except BaseException:
+            self._abort_ingest_batch(claims, logged_ids)
+            raise
+        self._commit_ingest_batch(assignments)
+        per_doc = (time.perf_counter() - started) / max(len(documents), 1)
+        shard_of = dict(assignments)
+        for document in documents:
+            self.stats.record_ingest(
+                per_doc,
+                len(document),
+                document.num_tokens,
+                shard=shard_of[document.doc_id],
+            )
+        return documents
+
+    def wait_durable(self) -> WalPosition | None:
+        """Make every operation logged before this call durable.
+
+        The flush side of the pipelined-ack / bulk-load paths: drives one
+        group commit over the WAL's buffered tail and returns the durable
+        end of the log (``None`` on a memory-only service, where there is
+        nothing to flush).
+        """
+        self._ensure_open()
+        if self._wal is None:
+            return None
+        return self._wal.flush_durable()
 
     def add_annotated_document(self, document: Document) -> Document:
         """Ingest an already-annotated document.
@@ -1261,6 +1440,118 @@ class KokoService:
                 self._ops_since_checkpoint += 2
             self._meta_cond.notify_all()
 
+    def _claim_ingest_batch(
+        self,
+        doc_ids: list[str | None],
+        reserves: list[int],
+        sizes: list[int],
+    ) -> list[tuple[str, int]]:
+        """Claim a whole bulk chunk in one meta-lock round.
+
+        The batch analogue of :meth:`_claim_ingest`: one FIFO admission
+        ticket covers the chunk (its total bytes are admitted together, so
+        backpressure sees the true load), every id is resolved/validated
+        and every sid range reserved under a single lock acquisition, and
+        the chunk counts as **one** in-flight unit for the checkpoint
+        drain barrier.  Returns ``(resolved_id, base_sid)`` per document.
+        On any validation failure the whole chunk's claims are released
+        before the error propagates — bulk claims are all-or-nothing.
+        """
+        total_bytes = sum(sizes)
+        with self._meta_cond:
+            ticket = object()
+            self._ingest_admission.append(ticket)
+            try:
+                waited_for_admission = False
+                while True:
+                    over_budget = (
+                        self._max_inflight_ingest_bytes is not None
+                        and self._inflight_ingest_bytes > 0
+                        and self._inflight_ingest_bytes + total_bytes
+                        > self._max_inflight_ingest_bytes
+                    )
+                    if (
+                        not self._ingest_barrier
+                        and self._ingest_admission[0] is ticket
+                        and not over_budget
+                    ):
+                        break
+                    if not self._ingest_barrier and not waited_for_admission:
+                        waited_for_admission = True
+                        self.stats.record_backpressure_wait()
+                    self._meta_cond.wait()
+            finally:
+                self._ingest_admission.remove(ticket)
+                self._meta_cond.notify_all()
+            self._ensure_open()
+            claims: list[tuple[str, int]] = []
+            try:
+                for doc_id, reserve, size in zip(doc_ids, reserves, sizes):
+                    resolved = (
+                        doc_id if doc_id is not None else self._fresh_doc_id()
+                    )
+                    if resolved in self._doc_shard or resolved in self._pending_docs:
+                        raise ServiceError(
+                            f"document id {resolved!r} already ingested"
+                        )
+                    base = self._next_sid
+                    self._next_sid += reserve
+                    # marking pending as we go keeps later ids in the same
+                    # chunk (and _fresh_doc_id) from colliding with this one
+                    self._pending_docs.add(resolved)
+                    if size:
+                        self._claimed_ingest_bytes[resolved] = size
+                    claims.append((resolved, base))
+            except BaseException:
+                for resolved, _ in claims:
+                    self._pending_docs.discard(resolved)
+                    self._claimed_ingest_bytes.pop(resolved, None)
+                self._meta_cond.notify_all()
+                raise
+            self._inflight_ingests += 1
+            self._inflight_ingest_bytes += total_bytes
+            return claims
+
+    def _commit_ingest_batch(self, assignments: list[tuple[str, int]]) -> None:
+        """Publish a finished bulk chunk in one meta-lock round."""
+        with self._meta_cond:
+            for doc_id, shard_id in assignments:
+                self._doc_shard[doc_id] = shard_id
+                self._pending_docs.discard(doc_id)
+                self._inflight_ingest_bytes -= self._claimed_ingest_bytes.pop(
+                    doc_id, 0
+                )
+            if self._wal is not None:
+                self._ops_since_checkpoint += len(assignments)
+            self._inflight_ingests -= 1
+            self._meta_cond.notify_all()
+
+    def _abort_ingest_batch(
+        self, claims: list[tuple[str, int]], logged_ids: list[str]
+    ) -> None:
+        """Roll back a failed bulk chunk.
+
+        Appends compensating removes for every record the chunk already
+        logged (replay nets to nothing, as in :meth:`_abort_ingest`) and
+        releases every claim in one meta-lock round.  Implicit sid ranges
+        leak as harmless gaps.
+        """
+        for doc_id in logged_ids:
+            try:
+                self._log(WalRecord(op=OP_REMOVE, doc_id=doc_id))
+            except Exception:
+                pass  # the original chunk failure is the actionable error
+        with self._meta_cond:
+            for doc_id, _ in claims:
+                self._pending_docs.discard(doc_id)
+                self._inflight_ingest_bytes -= self._claimed_ingest_bytes.pop(
+                    doc_id, 0
+                )
+            if logged_ids and self._wal is not None:
+                self._ops_since_checkpoint += 2 * len(logged_ids)
+            self._inflight_ingests -= 1
+            self._meta_cond.notify_all()
+
     def _claim_remove(self, doc_id: str) -> tuple[Document, int]:
         """Claim a staged removal (meta lock, microseconds).
 
@@ -1347,6 +1638,22 @@ class KokoService:
             return appended
         return 0
 
+    def _log_pipelined(
+        self, record: WalRecord, trace: Span | None = None
+    ) -> tuple[int, CommitTicket | None]:
+        """Buffered write-ahead append that does not wait for the fsync.
+
+        Returns ``(frame_bytes, ticket)`` — the ticket is the commit
+        future (``None`` on a memory-only service).  Log *order* is fixed
+        when this returns; durability arrives when the ticket is waited on
+        or any later group commit covers the frame.
+        """
+        if self._wal is not None:
+            appended, ticket = self._wal.append_pipelined(record, trace=trace)
+            self.stats.record_wal_append(appended)
+            return appended, ticket
+        return 0, None
+
     def _apply_add_locked(self, document: Document) -> _Shard:
         """Route and splice one document under the meta lock (replay path,
         ``add_annotated_document``); updates the sid counter from the
@@ -1392,6 +1699,7 @@ class KokoService:
         threshold_override: float | None = None,
         keep_all_scores: bool = False,
         explain: bool = False,
+        deadline: float | None = None,
     ) -> KokoResult | ExplainedResult:
         """Evaluate one query against the current corpus.
 
@@ -1420,8 +1728,16 @@ class KokoService:
             their outcomes recorded as spans) but never served from, so
             the report reflects real per-stage cost; the tuples are
             identical to a plain query's.
+        deadline:
+            A ``time.monotonic()`` timestamp after which the query is
+            abandoned: checked on entry, before each shard is dispatched,
+            and at the start of each shard's scan, raising
+            :class:`~repro.errors.DeadlineExceeded` — cooperative
+            cancellation, so already-running shard scans finish but no
+            new work starts for a caller that has given up.
         """
         self._ensure_open()
+        self._check_deadline(deadline)
         started = time.perf_counter()
         trace: Span | None = None
         if explain or self._tracer.should_sample():
@@ -1465,11 +1781,16 @@ class KokoService:
                     # every shard runs every stage and the tree is complete
                     cache_key=None if explain else key,
                     trace=trace,
+                    deadline=deadline,
                 )
                 self._result_cache.put(key, stamp, result)
         else:
             result = self._execute(
-                query, threshold_override, keep_all_scores, trace=trace
+                query,
+                threshold_override,
+                keep_all_scores,
+                trace=trace,
+                deadline=deadline,
             )
         elapsed = time.perf_counter() - started
         self.stats.record_query(
@@ -1490,6 +1811,7 @@ class KokoService:
         keep_all_scores: bool,
         cache_key=None,
         trace: Span | None = None,
+        deadline: float | None = None,
     ) -> KokoResult:
         """Run the stage pipeline on every shard and merge the results.
 
@@ -1503,7 +1825,11 @@ class KokoService:
         if len(self._shards) == 1:
             if trace is None:
                 return self._execute_shard(
-                    self._shards[0], query, threshold_override, keep_all_scores
+                    self._shards[0],
+                    query,
+                    threshold_override,
+                    keep_all_scores,
+                    deadline=deadline,
                 )
             with trace.span("shard_fanout", shards=1) as fanout:
                 return self._execute_shard(
@@ -1512,6 +1838,7 @@ class KokoService:
                     threshold_override,
                     keep_all_scores,
                     trace=fanout,
+                    deadline=deadline,
                 )
         pool = self._shard_pool
         if pool is None:
@@ -1544,6 +1871,7 @@ class KokoService:
             else:
                 pending.append(shard)
         if pending:
+            self._check_deadline(deadline)
             # Normalise once so the fan-out doesn't repeat parse + normalise
             # per shard (the plan cache already hands us a CompiledQuery).
             if not isinstance(query, CompiledQuery):
@@ -1559,6 +1887,7 @@ class KokoService:
                         keep_all_scores,
                         cache_key,
                         fanout,
+                        deadline,
                     ),
                 )
                 for shard in pending
@@ -1580,13 +1909,17 @@ class KokoService:
         keep_all_scores: bool,
         cache_key=None,
         trace: Span | None = None,
+        deadline: float | None = None,
     ) -> KokoResult:
         """Execute one shard's slice under its read lock; cache the partial.
 
         ``trace`` is the fan-out span this execution should hang its own
         ``shardN`` child under (safe from pool threads: span child lists
-        are lock-guarded).
+        are lock-guarded).  An expired *deadline* abandons the shard
+        before its scan starts (cooperative cancellation: queued shards
+        of a timed-out query never run).
         """
+        self._check_deadline(deadline)
         started = time.perf_counter()
         span = trace.child(f"shard{shard.shard_id}") if trace is not None else None
         with shard.lock.read_locked():
@@ -1611,6 +1944,12 @@ class KokoService:
             shard.shard_id, elapsed, skip_candidates=result.candidate_sentences
         )
         return result
+
+    @staticmethod
+    def _check_deadline(deadline: float | None) -> None:
+        """Raise :class:`DeadlineExceeded` when *deadline* has passed."""
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded("query deadline expired")
 
     def _record_shard_cache_eviction(self, shard_id: int, stale: bool) -> None:
         """Forward one shard-partial-cache eviction into the service stats."""

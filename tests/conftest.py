@@ -7,6 +7,11 @@ session scoped so the suite stays fast; tests must not mutate them.
 from __future__ import annotations
 
 import dataclasses
+import signal
+import socket
+import threading
+import time
+from typing import NamedTuple
 
 import pytest
 
@@ -126,6 +131,157 @@ def assert_index_sets_equivalent(actual: KokoIndexSet, expected: KokoIndexSet) -
 def assert_equivalent_indexes():
     """The index-set equivalence assertion, as an injectable fixture."""
     return assert_index_sets_equivalent
+
+
+# ----------------------------------------------------------------------
+# per-test timeout (hand-rolled: pytest-timeout is not in the image)
+# ----------------------------------------------------------------------
+_DEFAULT_TEST_TIMEOUT = 120.0
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Abort any single test body that runs past its timeout.
+
+    A wedged network test (listener never accepting, replica never
+    catching up) fails with a ``TimeoutError`` traceback pointing at the
+    stuck line instead of hanging the whole suite.  Override per test
+    with ``@pytest.mark.timeout(seconds)``.  SIGALRM only fires on the
+    main thread of Unix platforms; elsewhere this is a no-op.
+    """
+    marker = item.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args else _DEFAULT_TEST_TIMEOUT
+    usable = (
+        seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:g}s timeout (see the traceback "
+            "for the line it was stuck on)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# network helpers (ephemeral ports + listener readiness)
+# ----------------------------------------------------------------------
+def wait_for_listen(host: str, port: int, timeout: float = 10.0) -> tuple[str, int]:
+    """Block until ``host:port`` accepts TCP connections; returns the pair.
+
+    The companion to the bind-port-0 idiom every listener in this repo
+    uses: the server picks an ephemeral port and returns it, and tests
+    call this before dialing so a slow-starting accept loop cannot turn
+    into a flaky connect failure.  The probe connection carries no bytes
+    and is closed immediately.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: OSError | None = None
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=1.0):
+                return host, port
+        except OSError as exc:
+            last_error = exc
+            time.sleep(0.01)
+    raise TimeoutError(
+        f"nothing listening on {host}:{port} after {timeout:g}s: {last_error}"
+    )
+
+
+class ExplodingPipeline:
+    """A pipeline stub proving a code path never re-runs NLP annotation."""
+
+    def annotate(self, *args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("this path must never re-annotate")
+
+
+class TcpCluster(NamedTuple):
+    """One primary + one caught-up TCP replica (+ router), for e2e tests."""
+
+    primary: object
+    shipper: object
+    replica: object
+    router: object
+    host: str
+    port: int
+
+
+@pytest.fixture
+def make_tcp_cluster(tmp_path):
+    """Factory for the canonical e2e cluster: primary + TCP replica + router.
+
+    ``make_tcp_cluster(shards=..., texts=[...])`` ingests *texts* as
+    ``doc0..docN`` on the primary, ships them to a TCP replica behind an
+    ephemeral port (``wait_for_listen`` guarded), waits for catch-up, and
+    wraps both in a ``ReplicaSet`` router.  Everything is torn down in
+    reverse order at test exit.  Call it multiple times for multi-cluster
+    tests; each call gets its own storage directory.
+    """
+    from repro.replication import LogShipper, ReplicaService, connect_tcp
+    from repro.replication.router import ReplicaSet
+    from repro.service import KokoService
+
+    clusters: list[TcpCluster] = []
+
+    def _make(
+        shards: int = 2,
+        texts=(),
+        heartbeat_interval: float = 0.05,
+        auth_token=None,
+        **service_kwargs,
+    ) -> TcpCluster:
+        primary = KokoService(
+            shards=shards,
+            storage_dir=tmp_path / f"cluster{len(clusters)}",
+            **service_kwargs,
+        )
+        for index, text in enumerate(texts):
+            primary.add_document(text, f"doc{index}")
+        shipper = LogShipper(primary, heartbeat_interval=heartbeat_interval)
+        host, port = shipper.listen(auth_token=auth_token)
+        wait_for_listen(host, port)
+        replica = ReplicaService(
+            connect_tcp(host, port, auth_token=auth_token),
+            pipeline=ExplodingPipeline(),
+            name="tcp-replica",
+        )
+        assert replica.wait_caught_up(primary.wal_position(), timeout=30)
+        router = ReplicaSet(primary, [replica])
+        cluster = TcpCluster(primary, shipper, replica, router, host, port)
+        clusters.append(cluster)
+        return cluster
+
+    try:
+        yield _make
+    finally:
+        for cluster in reversed(clusters):
+            cluster.replica.close()
+            cluster.shipper.close()
+            cluster.primary.close()
+
+
+@pytest.fixture
+def tcp_cluster(make_tcp_cluster):
+    """The default e2e cluster: two shards, no documents preloaded."""
+    return make_tcp_cluster()
+
+
+@pytest.fixture(scope="session")
+def listen_ready():
+    """The :func:`wait_for_listen` helper, as an injectable fixture."""
+    return wait_for_listen
 
 
 @pytest.fixture

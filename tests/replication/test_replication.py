@@ -227,12 +227,12 @@ def test_reconnect_resumes_without_rebootstrap(tmp_path):
 # ----------------------------------------------------------------------
 # TCP transport end to end
 # ----------------------------------------------------------------------
-def test_tcp_shipping_end_to_end(tmp_path):
+def test_tcp_shipping_end_to_end(tmp_path, listen_ready):
     with KokoService(shards=2, storage_dir=tmp_path / "svc") as primary:
         for index, text in enumerate(TEXTS[:3]):
             primary.add_document(text, f"doc{index}")
         shipper = LogShipper(primary)
-        host, port = shipper.listen()
+        host, port = listen_ready(*shipper.listen())
         replica = ReplicaService(
             connect_tcp(host, port), pipeline=ExplodingPipeline(), name="tcp-replica"
         )
@@ -300,11 +300,13 @@ def test_shipper_requires_a_durable_primary():
 # ----------------------------------------------------------------------
 # shipping-port authentication
 # ----------------------------------------------------------------------
-def test_tcp_listener_with_auth_token_serves_matching_followers(tmp_path):
+def test_tcp_listener_with_auth_token_serves_matching_followers(
+    tmp_path, listen_ready
+):
     with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
         primary.add_document(TEXTS[0], "doc0")
         shipper = LogShipper(primary)
-        host, port = shipper.listen(auth_token="s3cret")
+        host, port = listen_ready(*shipper.listen(auth_token="s3cret"))
         replica = ReplicaService(
             connect_tcp(host, port, auth_token="s3cret"),
             pipeline=ExplodingPipeline(),
@@ -316,13 +318,13 @@ def test_tcp_listener_with_auth_token_serves_matching_followers(tmp_path):
             shipper.close()
 
 
-def test_tcp_listener_rejects_wrong_auth_token(tmp_path):
+def test_tcp_listener_rejects_wrong_auth_token(tmp_path, listen_ready):
     from repro.errors import ReplicationError
 
     with KokoService(shards=1, storage_dir=tmp_path / "svc") as primary:
         primary.add_document(TEXTS[0], "doc0")
         shipper = LogShipper(primary)
-        host, port = shipper.listen(auth_token="s3cret")
+        host, port = listen_ready(*shipper.listen(auth_token="s3cret"))
         try:
             with pytest.raises(ReplicationError):
                 ReplicaService(

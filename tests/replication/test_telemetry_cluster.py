@@ -19,8 +19,6 @@ from repro.observability import (
     http_get_json,
     scrape,
 )
-from repro.replication import LogShipper, ReplicaService, connect_tcp
-from repro.service import KokoService
 
 TEXTS = [
     "I ate a chocolate ice cream, which was delicious, and also ate a pie.",
@@ -29,34 +27,24 @@ TEXTS = [
 ]
 
 
-class ExplodingPipeline:
-    """Replicas must never re-annotate."""
-
-    def annotate(self, *args, **kwargs):  # pragma: no cover - must not run
-        raise AssertionError("replicas must never re-annotate")
-
-
 @pytest.fixture()
-def cluster(tmp_path):
-    """Primary + caught-up TCP replica, telemetry on both, /cluster wired."""
-    primary = KokoService(shards=2, storage_dir=tmp_path / "svc")
-    for index, text in enumerate(TEXTS):
-        primary.add_document(text, f"doc{index}")
-    shipper = LogShipper(primary, heartbeat_interval=0.05)
-    host, port = shipper.listen()
-    replica = ReplicaService(
-        connect_tcp(host, port), pipeline=ExplodingPipeline(), name="tcp-replica"
-    )
-    assert replica.wait_caught_up(primary.wal_position(), timeout=30)
+def cluster(make_tcp_cluster, listen_ready):
+    """Primary + caught-up TCP replica, telemetry on both, /cluster wired.
+
+    The primary/shipper/replica trio comes from the shared
+    ``make_tcp_cluster`` fixture (torn down by it, after the telemetry
+    servers built here).
+    """
+    primary, shipper, replica, _router, _host, _port = make_tcp_cluster(texts=TEXTS)
 
     replica_telemetry = TelemetryServer(replica, name="tcp-replica")
-    replica_telemetry.start()
+    listen_ready(*replica_telemetry.start())
     telemetry = ClusterTelemetry(
         primary=primary, shipper=shipper, max_lag_bytes=1024, poll_interval=0.05
     )
     telemetry.add_peer("tcp-replica", *replica_telemetry.address)
     primary_telemetry = TelemetryServer(primary, name="primary", cluster=telemetry)
-    primary_telemetry.start()
+    listen_ready(*primary_telemetry.start())
     telemetry.scrape_once()
     try:
         yield primary, replica, primary_telemetry, replica_telemetry, telemetry
@@ -64,9 +52,6 @@ def cluster(tmp_path):
         telemetry.close()
         primary_telemetry.close()
         replica_telemetry.close()
-        replica.close()
-        shipper.close()
-        primary.close()
 
 
 def test_both_nodes_expose_metrics_over_http(cluster):
