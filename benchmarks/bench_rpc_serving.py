@@ -8,7 +8,9 @@ Three measurements of the network front door
   reported against the same thread pattern calling ``service.query``
   in-process, so the number that matters is the **wire overhead** the
   RPC tier adds (framing + pickling + one asyncio hop), not raw engine
-  speed.  Aggregate throughput plus p50/p99 per-request latency.
+  speed.  Aggregate throughput plus p50/p99 per-request latency, and
+  the clients' own round-trip split (``rtt`` / ``server_ms`` from the
+  response header / the ``wire`` remainder).
 * **mixed read/write storm** — query clients measure read p50/p99 while
   ingest clients churn documents through the same server, the
   contention shape a single-node deployment actually serves.
@@ -120,6 +122,23 @@ def run_query_serving(
                     lambda index: lambda query, override: connections[index].query(
                         query, threshold_override=override
                     )
+                )
+                # the clients' own split of each round trip: server-side
+                # dispatch time (from the response's server_ms header) vs
+                # everything else — framing, kernel, network, scheduling
+                totals = [connection.stats() for connection in connections]
+                requests = sum(s["requests"] for s in totals)
+                timed = sum(s["timed"] for s in totals)
+                rtt_total = sum(s["rtt_ms_total"] for s in totals)
+                server_total = sum(s["server_ms_total"] for s in totals)
+                rpc["rtt_ms_avg"] = round(rtt_total / requests, 3) if requests else None
+                rpc["server_ms_avg"] = (
+                    round(server_total / timed, 3) if timed else None
+                )
+                rpc["wire_ms_avg"] = (
+                    round(max(rpc["rtt_ms_avg"] - rpc["server_ms_avg"], 0.0), 3)
+                    if timed and requests
+                    else None
                 )
             finally:
                 for connection in connections:
@@ -288,6 +307,10 @@ def test_rpc_query_serving_overhead(benchmark, wiki_corpus):
     assert result["rpc"]["requests"] == result["direct"]["requests"]
     assert result["rpc"]["throughput_qps"] > 0
     assert result["rpc"]["p99_ms"] >= result["rpc"]["p50_ms"]
+    # the client-side split: every response carried server_ms
+    assert result["rpc"]["server_ms_avg"] > 0
+    assert result["rpc"]["rtt_ms_avg"] >= result["rpc"]["server_ms_avg"]
+    assert result["rpc"]["wire_ms_avg"] is not None
 
 
 def test_rpc_mixed_storm_keeps_reads_flowing(benchmark, wiki_corpus):

@@ -1,0 +1,149 @@
+"""Trace propagation overhead: context-carrying vs plain queries.
+
+Cross-process tracing rides a ``TraceContext`` header through RPC and
+WAL metadata.  The design claim is that *propagation itself is free
+when sampling is off*: a query arriving with an unsampled context pays
+only an attribute check and a kwarg pass-through — no span allocation,
+no trace-store write.  This benchmark measures that claim and
+**enforces it**: queries carrying ``TraceContext(sampled=False)`` must
+stay within ``PROPAGATION_GATE_PCT`` of plain queries on the same
+service.  The fully-sampled cost (``sampled=True``, every query records
+a fragment) is reported informationally — that path is priced per the
+sampling rate, not per request.
+
+Method mirrors ``bench_observability_overhead``: result-cache-busting
+sweeps (per-round unique ``threshold_override`` values force full
+pipeline executions) interleaved round-robin on one knobs-off service,
+taking the **minimum** round time per variant.  Exits non-zero when the
+gate fails, so CI catches an accidentally hot propagation path.
+
+Run under pytest-benchmark like the other ``bench_*`` modules, or
+standalone (``PYTHONPATH=src python
+benchmarks/bench_trace_propagation.py [--smoke]``) to print the raw
+measurements as JSON.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.evaluation.queries import SCALEUP_QUERIES
+from repro.nlp.types import Corpus
+from repro.observability import TraceContext, new_span_id, new_trace_id
+from repro.service import KokoService
+
+#: the enforced ceiling on unsampled-context query overhead
+PROPAGATION_GATE_PCT = 2.0
+
+#: knobs-off service: any cost measured here is propagation, not sampling
+BARE = dict(trace_sample_rate=0.0, slow_query_ms=None, slow_ingest_ms=None)
+
+
+def run_propagation_overhead(
+    corpus: Corpus, articles: int = 40, rounds: int = 5, sweep: int = 8
+) -> dict:
+    """Min-of-*rounds* sweep time: plain vs unsampled-context vs sampled.
+
+    All three variants run against one service, interleaved per round,
+    so cache state and machine drift hit them equally.  Each round's
+    ``threshold_override`` values are globally unique — never a
+    result-cache hit, every query runs the full pipeline.
+    """
+    service = KokoService(name=corpus.name, **BARE)
+    for document in corpus.documents[:articles]:
+        service.add_annotated_document(document)
+    queries = list(SCALEUP_QUERIES.values())
+    counter = [0]
+
+    def next_override() -> float:
+        counter[0] += 1
+        return 0.3 + counter[0] * 1e-9
+
+    def sweep_plain() -> float:
+        started = time.perf_counter()
+        for _ in range(sweep):
+            for query in queries:
+                service.query(query, threshold_override=next_override())
+        return time.perf_counter() - started
+
+    def sweep_with_context(sampled: bool) -> float:
+        started = time.perf_counter()
+        for _ in range(sweep):
+            for query in queries:
+                # a fresh header per request, exactly like the RPC path
+                context = TraceContext(
+                    trace_id=new_trace_id(),
+                    span_id=new_span_id(),
+                    sampled=sampled,
+                )
+                service.query(
+                    query,
+                    threshold_override=next_override(),
+                    trace_context=context,
+                )
+        return time.perf_counter() - started
+
+    try:
+        # warm plan caches and every code path once
+        sweep_plain()
+        sweep_with_context(False)
+        sweep_with_context(True)
+        plain_times, unsampled_times, sampled_times = [], [], []
+        for _ in range(rounds):
+            plain_times.append(sweep_plain())
+            unsampled_times.append(sweep_with_context(False))
+            sampled_times.append(sweep_with_context(True))
+    finally:
+        service.close()
+
+    plain_best = min(plain_times)
+    unsampled_best = min(unsampled_times)
+    sampled_best = min(sampled_times)
+    overhead_pct = (unsampled_best - plain_best) / plain_best * 100.0
+    return {
+        "articles": articles,
+        "queries_per_round": len(queries) * sweep,
+        "rounds": rounds,
+        "plain_best_seconds": plain_best,
+        "unsampled_best_seconds": unsampled_best,
+        "sampled_best_seconds": sampled_best,
+        "overhead_pct": overhead_pct,
+        "sampled_overhead_pct": (sampled_best - plain_best) / plain_best * 100.0,
+        "gate_pct": PROPAGATION_GATE_PCT,
+        "gate_passed": overhead_pct < PROPAGATION_GATE_PCT,
+    }
+
+
+def test_unsampled_propagation_stays_under_the_gate(benchmark, wiki_corpus):
+    """Carrying an unsampled TraceContext must cost (almost) nothing."""
+    result = benchmark.pedantic(
+        run_propagation_overhead,
+        kwargs={"corpus": wiki_corpus, "articles": 40, "rounds": 5},
+        iterations=1,
+        rounds=1,
+    )
+    assert result["gate_passed"], result
+
+
+if __name__ == "__main__":
+    import json
+    import sys
+
+    from repro.corpora.wikipedia import generate_wikipedia_corpus
+
+    smoke = "--smoke" in sys.argv
+    if smoke:
+        wiki = generate_wikipedia_corpus(articles=20)
+        result = run_propagation_overhead(wiki, articles=16, rounds=3, sweep=4)
+    else:
+        wiki = generate_wikipedia_corpus(articles=60)
+        result = run_propagation_overhead(wiki)
+    print(json.dumps({"smoke": smoke, "propagation": result}, indent=2))
+    if not result["gate_passed"]:
+        print(
+            f"FAIL: unsampled propagation overhead "
+            f"{result['overhead_pct']:.2f}% exceeds the "
+            f"{PROPAGATION_GATE_PCT}% gate",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)

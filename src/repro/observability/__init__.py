@@ -9,8 +9,13 @@ use it without cycles:
   families, percentile estimation (:func:`histogram_quantiles`), and a
   :class:`MetricsRegistry` with Prometheus text / JSON exposition.
 * :mod:`repro.observability.tracing` — the :class:`Span` tree threaded
-  through query and ingest paths, the sampling :class:`Tracer`, and
+  through query and ingest paths, the sampling :class:`Tracer`, the
+  cross-process :class:`TraceContext` propagation header, and
   :class:`ExplainedResult` (``service.query(..., explain=True)``).
+* :mod:`repro.observability.tracestore` — the bounded per-node
+  :class:`TraceStore` ring of completed sampled traces (served at
+  ``/traces``) and :func:`stitch_fragments`, the cross-node trace
+  assembly behind ``/cluster/traces/<id>``.
 * :mod:`repro.observability.slowlog` — the :class:`SlowOpLog` ring
   buffer behind ``service.recent_slow_ops()``, with a size-capped
   JSON-lines file sink.
@@ -19,8 +24,9 @@ use it without cycles:
   signal for shard split/rebalance decisions.
 * :mod:`repro.observability.exposition` — the network-facing telemetry
   plane: :class:`TelemetryServer` (``/metrics``, ``/healthz``,
-  ``/readyz``, ``/stats``, ``/slowlog``, ``/shards``) and
-  :class:`ClusterTelemetry` (the scraped ``/cluster`` view).
+  ``/readyz``, ``/stats``, ``/slowlog``, ``/shards``, ``/traces``) and
+  :class:`ClusterTelemetry` (the scraped ``/cluster`` view and the
+  stitched ``/cluster/traces/<id>`` cross-node traces).
 """
 
 from .exposition import ClusterTelemetry, TelemetryServer, http_get_json, scrape
@@ -34,7 +40,15 @@ from .metrics import (
     histogram_quantiles,
 )
 from .slowlog import SlowOpLog
-from .tracing import ExplainedResult, Span, Tracer
+from .tracestore import TraceStore, stitch_fragments
+from .tracing import (
+    ExplainedResult,
+    Span,
+    TraceContext,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+)
 
 __all__ = [
     "ClusterTelemetry",
@@ -51,8 +65,13 @@ __all__ = [
     "SlowOpLog",
     "Span",
     "TelemetryServer",
+    "TraceContext",
+    "TraceStore",
     "Tracer",
     "histogram_quantiles",
     "http_get_json",
+    "new_span_id",
+    "new_trace_id",
     "scrape",
+    "stitch_fragments",
 ]

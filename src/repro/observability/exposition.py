@@ -19,10 +19,19 @@ Two pieces, both dependency-free (asyncio + stdlib ``http.client``):
   ``GET /stats``       the ``ServiceStats`` snapshot + node identity,
                        p50/p95/p99 latency estimates, replication /
                        routing sections per node kind
-  ``GET /slowlog``     newest-first slow-op entries (``?limit=N``)
+  ``GET /slowlog``     newest-first slow-op entries (``?limit=N``,
+                       ``?trace_id=...`` to filter to one trace)
   ``GET /shards``      the per-shard :class:`ShardHeatReport`
+  ``GET /traces``      newest-first sampled-trace summaries from the
+                       node's :class:`~repro.observability.tracestore.
+                       TraceStore` (``?limit=N``)
+  ``GET /traces/<id>`` that trace's node-local fragments
   ``GET /cluster``     the merged cluster view (requires an attached
                        :class:`ClusterTelemetry`; 404 otherwise)
+  ``GET /cluster/traces/<id>``  the cross-node assembled trace: the
+                       primary's own fragments plus every peer's
+                       ``/traces/<id>``, clock-offset aligned and
+                       stitched into one tree
   ===================  ====================================================
 
   Every response closes the connection (``Connection: close``) — scrape
@@ -52,6 +61,7 @@ import threading
 import time
 
 from .metrics import MetricsRegistry, histogram_quantiles
+from .tracestore import stitch_fragments
 
 __all__ = ["ClusterTelemetry", "TelemetryServer", "http_get_json", "scrape"]
 
@@ -129,6 +139,15 @@ def _query_int(query: str, key: str, default: int) -> int:
             except ValueError:
                 return default
     return default
+
+
+def _query_str(query: str, key: str) -> str | None:
+    """The raw string value of *key* in a query string, else ``None``."""
+    for part in query.split("&"):
+        name, _, value = part.partition("=")
+        if name == key and value:
+            return value
+    return None
 
 
 def _dumps(payload: object) -> bytes:
@@ -314,10 +333,51 @@ class TelemetryServer:
                 return 200, _JSON, _dumps(self.stats_document())
             if path == "/slowlog":
                 limit = max(0, _query_int(query, "limit", 50))
+                trace_id = _query_str(query, "trace_id")
                 service = _underlying_service(self.node)
-                return 200, _JSON, _dumps(service.recent_slow_ops(limit))
+                if trace_id is not None:
+                    entries = service.recent_slow_ops(limit, trace_id=trace_id)
+                else:
+                    entries = service.recent_slow_ops(limit)
+                return 200, _JSON, _dumps(entries)
             if path == "/shards":
                 return 200, _JSON, _dumps(self.heat_document())
+            if path == "/traces":
+                store = self._trace_store()
+                if store is None:
+                    return 404, _TEXT, b"no trace store on this node\n"
+                limit = max(1, _query_int(query, "limit", 50))
+                payload = {
+                    "node": self.name,
+                    "stored": len(store),
+                    "recorded_total": store.recorded_total,
+                    "traces": store.recent(limit),
+                }
+                return 200, _JSON, _dumps(payload)
+            if path.startswith("/traces/"):
+                store = self._trace_store()
+                if store is None:
+                    return 404, _TEXT, b"no trace store on this node\n"
+                trace_id = path[len("/traces/") :]
+                fragments = store.get(trace_id)
+                if fragments is None:
+                    return 404, _TEXT, f"unknown trace {trace_id}\n".encode("utf-8")
+                payload = {
+                    "node": self.name,
+                    "trace_id": trace_id,
+                    "fragments": fragments,
+                }
+                return 200, _JSON, _dumps(payload)
+            if path.startswith("/cluster/traces/"):
+                if self.cluster is None:
+                    return 404, _TEXT, b"no cluster telemetry attached to this node\n"
+                trace_id = path[len("/cluster/traces/") :]
+                assembled = self.cluster.assemble_trace(
+                    trace_id, skip_endpoint=self.address
+                )
+                if not assembled["fragments"]:
+                    return 404, _TEXT, f"unknown trace {trace_id}\n".encode("utf-8")
+                return 200, _JSON, _dumps(assembled)
             if path == "/cluster":
                 if self.cluster is None:
                     return 404, _TEXT, b"no cluster telemetry attached to this node\n"
@@ -338,6 +398,10 @@ class TelemetryServer:
     def _registry(self) -> MetricsRegistry:
         """The node's metrics registry (every node kind exposes one)."""
         return self.node.metrics
+
+    def _trace_store(self):
+        """The node's trace store, or ``None`` for nodes without one."""
+        return getattr(_underlying_service(self.node), "trace_store", None)
 
     # ------------------------------------------------------------------
     # probes
@@ -559,6 +623,7 @@ class ClusterTelemetry:
             "connected": None,
             "lag_bytes": None,
             "applied_position": None,
+            "clock_offset_seconds": None,
             "error": None,
         }
         try:
@@ -584,6 +649,9 @@ class ClusterTelemetry:
                 view["connected"] = replication.get("connected")
                 view["lag_bytes"] = replication.get("lag_bytes")
                 view["applied_position"] = replication.get("applied_position")
+                view["clock_offset_seconds"] = replication.get(
+                    "clock_offset_seconds"
+                )
         return view
 
     def start(self) -> None:
@@ -619,6 +687,73 @@ class ClusterTelemetry:
     def __exit__(self, *exc_info) -> None:
         """Context-manager exit: :meth:`close`."""
         self.close()
+
+    # ------------------------------------------------------------------
+    # cross-node trace assembly
+    # ------------------------------------------------------------------
+    def assemble_trace(
+        self, trace_id: str, skip_endpoint: tuple[str, int] | None = None
+    ) -> dict:
+        """Stitch every node's fragments of *trace_id* into one tree.
+
+        Gathers the primary's own
+        :class:`~repro.observability.tracestore.TraceStore` fragments
+        plus each registered peer's ``/traces/<id>``, deduplicates by
+        span id (the primary may also be registered as a peer), aligns
+        each replica's fragment timestamps by its scraped
+        ``clock_offset_seconds`` (the primary's clock is the reference),
+        and returns the :func:`stitch_fragments` tree — served at
+        ``/cluster/traces/<id>``.  Unreachable peers are reported in an
+        ``"errors"`` list rather than failing the assembly.
+
+        *skip_endpoint* names a peer ``(host, port)`` not to scrape: the
+        ``TelemetryServer`` serving this assembly passes its own bound
+        address, since a synchronous scrape of itself from inside its
+        own event loop would block until the timeout (and the primary's
+        fragments were already read directly from its store).
+        """
+        collected: dict[str, dict] = {}
+
+        def absorb(fragments, offset: float | None = None) -> None:
+            for fragment in fragments:
+                if not isinstance(fragment, dict) or "span_id" not in fragment:
+                    continue
+                fragment = dict(fragment)
+                if offset and isinstance(fragment.get("ts_unix"), (int, float)):
+                    fragment["ts_unix"] = round(fragment["ts_unix"] - offset, 6)
+                collected.setdefault(fragment["span_id"], fragment)
+
+        store = getattr(self.primary, "trace_store", None)
+        if store is not None:
+            absorb(store.get(trace_id) or [])
+        with self._lock:
+            peers = dict(self._peers)
+            offsets = {
+                name: (self._views.get(name) or {}).get("clock_offset_seconds")
+                for name in peers
+            }
+        errors: list[str] = []
+        for name, (host, port) in peers.items():
+            if skip_endpoint is not None and (host, port) == (
+                str(skip_endpoint[0]),
+                int(skip_endpoint[1]),
+            ):
+                continue
+            try:
+                status, payload = http_get_json(
+                    host, port, f"/traces/{trace_id}", timeout=self.scrape_timeout
+                )
+            except Exception as exc:
+                errors.append(f"{name}: {exc!r}")
+                continue
+            if status != 200 or not isinstance(payload, dict):
+                continue
+            absorb(payload.get("fragments") or [], offset=offsets.get(name))
+        assembled = stitch_fragments(list(collected.values()))
+        assembled["trace_id"] = trace_id
+        if errors:
+            assembled["errors"] = errors
+        return assembled
 
     # ------------------------------------------------------------------
     # merged views

@@ -1,0 +1,174 @@
+"""Bounded per-node store of completed sampled traces, plus stitching.
+
+Every node (primary service, replica, RPC server, even an
+:class:`~repro.rpc.client.RpcClient`) keeps a :class:`TraceStore`: a
+small ring of finished trace *fragments* indexed by trace_id.  A
+fragment is one node-local span tree plus the ids that link it into the
+cross-node trace — its own ``span_id``, the ``parent_span_id`` it hangs
+under (the sender's span, from the propagated
+:class:`~repro.observability.tracing.TraceContext`), and an approximate
+wall-clock start for cross-node ordering.
+
+``TelemetryServer`` serves the store at ``/traces`` (summaries) and
+``/traces/<id>`` (that trace's fragments); ``ClusterTelemetry`` scrapes
+the per-node endpoints and calls :func:`stitch_fragments` to reassemble
+one tree per trace_id (``/cluster/traces/<id>``).
+
+The ring is bounded two ways — at most ``capacity`` distinct trace ids,
+at most ``max_fragments_per_trace`` fragments per id — so a node under
+full sampling holds a fixed-size window of recent traces and nothing
+grows without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from .tracing import Span, TraceContext
+
+__all__ = ["TraceStore", "stitch_fragments"]
+
+
+class TraceStore:
+    """A thread-safe ring of completed trace fragments, keyed by trace_id.
+
+    Insertion order of *trace ids* drives eviction: when a fragment for
+    a previously-unseen trace arrives and the store already holds
+    ``capacity`` traces, the oldest trace (all its fragments) is
+    dropped.  Fragments are serialised (``Span.to_dict``) at record
+    time, so readers never touch live span objects.
+    """
+
+    def __init__(
+        self, capacity: int = 128, max_fragments_per_trace: int = 64
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.max_fragments_per_trace = max_fragments_per_trace
+        self._lock = threading.Lock()
+        self._traces: OrderedDict[str, list[dict]] = OrderedDict()
+        self.recorded_total = 0
+
+    def record(
+        self,
+        context: TraceContext,
+        span: Span,
+        *,
+        parent_span_id: str | None = None,
+        kind: str = "span",
+        node: str | None = None,
+    ) -> dict:
+        """Store finished *span* as a fragment of *context*'s trace.
+
+        ``context.span_id`` becomes the fragment's own id (downstream
+        fragments reference it as their ``parent_span_id``);
+        *parent_span_id* is the id of the upstream span this fragment
+        hangs under, or ``None`` for a trace root.  Returns the stored
+        fragment dict (shared, treat as read-only).
+        """
+        span.finish()
+        seconds = span.seconds
+        fragment: dict = {
+            "trace_id": context.trace_id,
+            "span_id": context.span_id,
+            "parent_span_id": parent_span_id,
+            "kind": kind,
+            "node": node,
+            "ts_unix": round(time.time() - seconds, 6),
+            "ms": round(seconds * 1000.0, 3),
+            "root": span.to_dict(),
+        }
+        with self._lock:
+            fragments = self._traces.get(context.trace_id)
+            if fragments is None:
+                while len(self._traces) >= self.capacity:
+                    self._traces.popitem(last=False)
+                fragments = []
+                self._traces[context.trace_id] = fragments
+            if len(fragments) < self.max_fragments_per_trace:
+                fragments.append(fragment)
+                self.recorded_total += 1
+        return fragment
+
+    def get(self, trace_id: str) -> list[dict] | None:
+        """All stored fragments for *trace_id* (oldest first), or None."""
+        with self._lock:
+            fragments = self._traces.get(trace_id)
+            return list(fragments) if fragments is not None else None
+
+    def recent(self, limit: int = 50) -> list[dict]:
+        """Newest-first per-trace summaries for the ``/traces`` listing."""
+        with self._lock:
+            items = list(self._traces.items())
+        summaries = []
+        for trace_id, fragments in reversed(items[-limit:] if limit else []):
+            summaries.append(
+                {
+                    "trace_id": trace_id,
+                    "fragments": len(fragments),
+                    "kinds": sorted({f["kind"] for f in fragments}),
+                    "ts_unix": min(f["ts_unix"] for f in fragments),
+                    "ms": max(f["ms"] for f in fragments),
+                    "root_names": sorted({f["root"]["name"] for f in fragments}),
+                }
+            )
+        return summaries
+
+    def clear(self) -> None:
+        """Drop every stored trace."""
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        """Number of distinct trace ids currently stored."""
+        with self._lock:
+            return len(self._traces)
+
+
+def _span_count(node: dict) -> int:
+    """Spans in one serialised (``Span.to_dict``) tree."""
+    return 1 + sum(_span_count(child) for child in node.get("children", ()))
+
+
+def stitch_fragments(fragments: list[dict]) -> dict:
+    """Assemble per-node fragments into one cross-node trace tree.
+
+    Fragments are linked by ``parent_span_id`` → ``span_id``; fragments
+    whose parent is unknown (or ``None``) become roots.  Children are
+    ordered by aligned wall-clock start (``ts_unix``, already
+    clock-offset-corrected by the caller where applicable).  The result
+    is JSON-safe: roots carry nested ``"children"`` fragment lists.
+    """
+    by_span_id = {f["span_id"]: dict(f) for f in fragments}
+    children: dict[str, list[dict]] = {}
+    roots: list[dict] = []
+    for fragment in by_span_id.values():
+        parent = fragment["parent_span_id"]
+        if parent is not None and parent in by_span_id and parent != fragment["span_id"]:
+            children.setdefault(parent, []).append(fragment)
+        else:
+            roots.append(fragment)
+
+    def attach(fragment: dict, seen: set[str]) -> dict:
+        kids = sorted(
+            children.get(fragment["span_id"], ()), key=lambda f: f["ts_unix"]
+        )
+        fragment["children"] = [
+            attach(kid, seen | {kid["span_id"]})
+            for kid in kids
+            if kid["span_id"] not in seen
+        ]
+        return fragment
+
+    roots.sort(key=lambda f: f["ts_unix"])
+    tree = [attach(root, {root["span_id"]}) for root in roots]
+    nodes = sorted({f["node"] for f in fragments if f.get("node")})
+    return {
+        "fragments": len(fragments),
+        "nodes": nodes,
+        "spans": sum(_span_count(f["root"]) for f in fragments),
+        "roots": tree,
+    }

@@ -3,10 +3,20 @@
 A :class:`Span` is a named, monotonic-clock timing with attributes and
 child spans — enough to reconstruct *where the time went* for one
 operation: which pipeline stage, which shard, how long the WAL append
-waited for its group-commit fsync.  There is deliberately no context
-propagation machinery: the span is threaded explicitly through the call
-chain (``ExecutionContext.trace``, ``WalWriter.append(trace=...)``),
-which keeps the untraced path completely allocation-free.
+waited for its group-commit fsync.  Within a process the span is still
+threaded explicitly through the call chain (``ExecutionContext.trace``,
+``WalWriter.append(trace=...)``), which keeps the untraced path
+completely allocation-free.
+
+*Across* processes, :class:`TraceContext` is the propagation header: a
+compact ``(trace_id, span_id, sampled)`` triple carried in
+``RpcRequest`` headers and in WAL record metadata, so a server
+continues the caller's trace (honouring the caller's sampling decision)
+and a replica's apply span joins the trace of the ingest that produced
+the WAL record.  Each node records its own *fragment* — a local span
+tree plus the ids linking it to its parent fragment — into a
+:class:`~repro.observability.tracestore.TraceStore`;
+``ClusterTelemetry`` stitches fragments back into one cross-node tree.
 
 :class:`Tracer` decides *whether* to trace: deterministic accumulator
 sampling (no randomness, so traced workloads are reproducible) at a
@@ -19,13 +29,63 @@ EXPLAIN ANALYZE-style text rendering.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["ExplainedResult", "Span", "Tracer"]
+__all__ = [
+    "ExplainedResult",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "new_span_id",
+    "new_trace_id",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (64 random bits)."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span id (32 random bits)."""
+    return os.urandom(4).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The compact cross-process trace propagation header.
+
+    ``trace_id`` names the end-to-end trace; ``span_id`` is the sender's
+    span the receiver should parent its own fragment under; ``sampled``
+    is the caller's sampling decision, which receivers honour instead of
+    sampling locally.  Instances are immutable and pickle-stable, so the
+    same object rides ``RpcRequest`` headers and WAL record metadata.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    @classmethod
+    def root(cls, sampled: bool = True) -> "TraceContext":
+        """A fresh root context: new trace id, new span id."""
+        return cls(trace_id=new_trace_id(), span_id=new_span_id(), sampled=sampled)
+
+    def child(self) -> "TraceContext":
+        """Same trace and sampling decision, fresh span id.
+
+        The returned context names a *new* span whose parent is
+        ``self.span_id`` — pass it downstream so the next hop parents
+        under the new span.
+        """
+        return TraceContext(
+            trace_id=self.trace_id, span_id=new_span_id(), sampled=self.sampled
+        )
 
 
 class Span:
@@ -68,11 +128,22 @@ class Span:
 
     def record(self, name: str, seconds: float, **attributes: object) -> "Span":
         """Attach an already-measured child of known duration."""
-        span = Span(name, **attributes)
-        span._start = time.perf_counter() - seconds
-        span._elapsed = seconds
+        span = Span.completed(name, seconds, **attributes)
         with self._lock:
             self.children.append(span)
+        return span
+
+    @classmethod
+    def completed(cls, name: str, seconds: float, **attributes: object) -> "Span":
+        """A standalone already-finished span of known duration.
+
+        The root-span twin of :meth:`record`, for fragments measured
+        before the span object exists (the shipper times the batch send,
+        then builds one ship span per traced record it carried).
+        """
+        span = cls(name, **attributes)
+        span._start = time.perf_counter() - seconds
+        span._elapsed = seconds
         return span
 
     def annotate(self, **attributes: object) -> None:

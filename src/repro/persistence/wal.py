@@ -45,7 +45,7 @@ from typing import Callable
 
 from ..errors import PersistenceError
 from ..nlp.types import Document
-from ..observability.tracing import Span
+from ..observability.tracing import Span, TraceContext
 from .layout import fsync_dir as _fsync_dir
 
 __all__ = [
@@ -72,23 +72,40 @@ OP_REMOVE = "remove"
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One logged corpus mutation."""
+    """One logged corpus mutation.
+
+    ``trace`` is optional distributed-tracing metadata: the
+    :class:`~repro.observability.tracing.TraceContext` of the ingest
+    that produced the record.  Payloads ship to replicas verbatim, so a
+    carried context lets the shipper's ship span and the replica's apply
+    span join the originating trace.  Untraced records keep the
+    original 3-tuple payload format byte-for-byte (and
+    :meth:`from_payload` accepts both shapes), so old WAL segments and
+    mixed-version replication keep working.
+    """
 
     op: str
     doc_id: str
     document: Document | None = None  # annotated payload for OP_ADD
+    trace: TraceContext | None = None  # propagated ingest trace context
 
     def to_payload(self) -> bytes:
         """Serialise this record to the frame payload bytes."""
-        return pickle.dumps(
-            (self.op, self.doc_id, self.document), protocol=pickle.HIGHEST_PROTOCOL
-        )
+        if self.trace is None:
+            fields: tuple = (self.op, self.doc_id, self.document)
+        else:
+            fields = (self.op, self.doc_id, self.document, self.trace)
+        return pickle.dumps(fields, protocol=pickle.HIGHEST_PROTOCOL)
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "WalRecord":
-        """Inverse of :meth:`to_payload`."""
-        op, doc_id, document = pickle.loads(payload)
-        return cls(op=op, doc_id=doc_id, document=document)
+        """Inverse of :meth:`to_payload` (3- and 4-tuple payloads)."""
+        fields = pickle.loads(payload)
+        op, doc_id, document = fields[:3]
+        trace = fields[3] if len(fields) > 3 else None
+        if not isinstance(trace, TraceContext):
+            trace = None
+        return cls(op=op, doc_id=doc_id, document=document, trace=trace)
 
 
 def encode_frame(payload: bytes) -> bytes:

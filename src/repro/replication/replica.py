@@ -30,6 +30,7 @@ import threading
 import time
 
 from ..errors import ReplicationError, ServiceError
+from ..observability.tracing import Span, TraceContext, new_span_id
 from ..persistence import WalPosition, WalRecord, state_from_payloads
 from ..service import KokoService
 from .transport import TransportClosed
@@ -82,6 +83,7 @@ class ReplicaService:
         self._applied: WalPosition | None = None
         self._primary_end: WalPosition | None = None
         self._lag_bytes: int | None = None
+        self._clock_offset: float | None = None
         self._records_applied = 0
         self._connected = False
         self._restart_requested = False
@@ -269,9 +271,11 @@ class ReplicaService:
                         record = WalRecord.from_payload(payload)
                         apply_started = time.perf_counter()
                         self.service.apply_replicated(record)
-                        self._apply_hist.observe(
-                            time.perf_counter() - apply_started
-                        )
+                        apply_seconds = time.perf_counter() - apply_started
+                        self._apply_hist.observe(apply_seconds)
+                        trace = getattr(record, "trace", None)
+                        if trace is not None and trace.sampled:
+                            self._record_apply_trace(record, apply_seconds)
                         with self._lock:
                             self._applied = position
                             self._records_applied += 1
@@ -281,7 +285,11 @@ class ReplicaService:
                     self._note_primary_end(primary_end)
                 elif kind == "heartbeat":
                     info = message[1]
-                    self._note_primary_end(info.get("end"), info.get("lag_bytes"))
+                    self._note_primary_end(
+                        info.get("end"),
+                        info.get("lag_bytes"),
+                        info.get("sent_unix"),
+                    )
                     # always ack: an idle-but-caught-up follower must keep
                     # refreshing its liveness (and its WAL retention pin)
                     unacked = self._send_ack(transport)
@@ -306,13 +314,43 @@ class ReplicaService:
             except Exception:  # pragma: no cover - best-effort
                 pass
 
+    def _record_apply_trace(self, record: WalRecord, seconds: float) -> None:
+        """Record a ``replica.apply`` fragment joining the ingest's trace.
+
+        The shipped record's WAL metadata carries the originating
+        :class:`~repro.observability.tracing.TraceContext`; the apply
+        span parents under that metadata span, so cluster assembly shows
+        client call → primary splice/fsync → ship → this apply as one
+        tree spanning both nodes.
+        """
+        trace = record.trace
+        store = getattr(self.service, "trace_store", None)
+        if trace is None or store is None:
+            return
+        span = Span.completed(
+            "replica.apply",
+            seconds,
+            op=record.op,
+            doc_id=record.doc_id,
+        )
+        context = TraceContext(
+            trace_id=trace.trace_id, span_id=new_span_id(), sampled=True
+        )
+        store.record(
+            context,
+            span,
+            parent_span_id=trace.span_id,
+            kind="apply",
+            node=self.name,
+        )
+
     def _send_ack(self, transport) -> int:
         applied = self.applied_position
         if applied is not None:
             transport.send(("ack", applied))
         return 0
 
-    def _note_primary_end(self, end, lag_bytes=None) -> None:
+    def _note_primary_end(self, end, lag_bytes=None, sent_unix=None) -> None:
         with self._lock:
             if end is not None and (
                 self._primary_end is None or end > self._primary_end
@@ -326,6 +364,11 @@ class ReplicaService:
                 and self._applied >= self._primary_end
             ):
                 self._lag_bytes = 0
+            if sent_unix is not None:
+                # estimated wall-clock skew versus the primary: our receive
+                # time minus the primary's send time (includes one-way
+                # network delay, good enough for trace alignment)
+                self._clock_offset = time.time() - sent_unix
 
     # ------------------------------------------------------------------
     # replication state
@@ -377,6 +420,18 @@ class ReplicaService:
         with self._lock:
             return self._records_applied
 
+    @property
+    def clock_offset_seconds(self) -> float | None:
+        """Estimated wall-clock skew versus the primary (replica − primary).
+
+        Derived from the ``sent_unix`` stamp on shipping heartbeats;
+        ``None`` until the first heartbeat lands.  ``ClusterTelemetry``
+        subtracts this from the replica's fragment timestamps when
+        assembling a cross-node trace.
+        """
+        with self._lock:
+            return self._clock_offset
+
     def caught_up_to(self, token: WalPosition | None) -> bool:
         """True when every write at or before *token* has been applied."""
         if token is None:
@@ -420,6 +475,7 @@ class ReplicaService:
                 "lag_bytes": lag,
                 "records_applied": self._records_applied,
                 "bootstrap_checkpoint_id": self._bootstrap_checkpoint_id,
+                "clock_offset_seconds": self._clock_offset,
                 "error": self._error,
             }
 

@@ -241,9 +241,13 @@ class ReplicaSet:
         documents = self.primary.add_documents(texts, doc_ids=doc_ids, **kwargs)
         return documents, self.primary.wal_position()
 
-    def remove_document(self, doc_id: str):
-        """Remove through the primary; returns ``(document, token)``."""
-        document = self.primary.remove_document(doc_id)
+    def remove_document(self, doc_id: str, **kwargs):
+        """Remove through the primary; returns ``(document, token)``.
+
+        Keyword arguments (``trace_context``, ``client_id``) forward to
+        :meth:`KokoService.remove_document`.
+        """
+        document = self.primary.remove_document(doc_id, **kwargs)
         return document, self.primary.wal_position()
 
     # ------------------------------------------------------------------

@@ -36,7 +36,9 @@ import time
 
 from ..errors import PersistenceError, ReplicationError
 from ..observability.metrics import MetricsRegistry
+from ..observability.tracing import Span, TraceContext, new_span_id
 from ..persistence import WalCursor, WalPosition, read_snapshot_payloads
+from ..persistence.wal import WalRecord
 from ..persistence.snapshot import find_latest_valid
 from .transport import TcpTransport, TransportClosed, issue_auth_challenge
 
@@ -215,7 +217,9 @@ class ShipperSession:
                 return
             if batch:
                 end = shipper.service.wal_position()
+                send_started = time.perf_counter()
                 self._transport.send(("records", batch, end))
+                send_seconds = time.perf_counter() - send_started
                 with self._lock:
                     self._position = batch[-1][0]
                 batch_bytes = sum(len(p) for _, p in batch)
@@ -223,6 +227,8 @@ class ShipperSession:
                 self.bytes_shipped += batch_bytes
                 shipper._records_metric.inc(len(batch))
                 shipper._bytes_metric.inc(batch_bytes)
+                if getattr(shipper.service, "wal_traces_logged", 0) > 0:
+                    self._record_ship_traces(batch, batch_bytes, send_seconds)
                 self._drain_acks(block=False)
             else:
                 # caught up: the recv timeout doubles as the poll interval
@@ -241,9 +247,57 @@ class ShipperSession:
                             "end": shipper.service.wal_position(),
                             "acked": self.acked,
                             "lag_bytes": lag,
+                            # wall-clock send time: the follower derives its
+                            # clock offset from this, which ClusterTelemetry
+                            # uses to align trace fragments across nodes
+                            "sent_unix": time.time(),
                         },
                     )
                 )
+
+    def _record_ship_traces(
+        self, batch: list, batch_bytes: int, send_seconds: float
+    ) -> None:
+        """Record a ``wal.ship`` trace fragment per traced record shipped.
+
+        Only called once the primary has ever logged a traced WAL record
+        (``service.wal_traces_logged``), so untraced workloads never pay
+        for re-decoding shipped payloads.  Each sampled record gets a
+        fragment parented under the ingest's WAL-metadata span, with the
+        batch's transport send time as its duration — the "ship latency"
+        leg of a cross-node trace.
+        """
+        service = self._shipper.service
+        store = getattr(service, "trace_store", None)
+        if store is None:
+            return
+        for position, payload in batch:
+            try:
+                record = WalRecord.from_payload(payload)
+            except Exception:  # pragma: no cover - corrupt payload races
+                continue
+            trace = record.trace
+            if trace is None or not trace.sampled:
+                continue
+            span = Span.completed(
+                "wal.ship",
+                send_seconds,
+                peer=self.peer,
+                doc_id=record.doc_id,
+                position=str(position),
+                batch_records=len(batch),
+                batch_bytes=batch_bytes,
+            )
+            context = TraceContext(
+                trace_id=trace.trace_id, span_id=new_span_id(), sampled=True
+            )
+            store.record(
+                context,
+                span,
+                parent_span_id=trace.span_id,
+                kind="ship",
+                node=getattr(service, "name", None),
+            )
 
     def _try_resume(self, resume: WalPosition | None) -> WalPosition | None:
         """Validate a follower's resume position; None = must bootstrap.

@@ -20,6 +20,16 @@ Every request carries the client's ``client_id`` (the admission-control
 identity — defaults to a per-process-unique name) and an optional
 ``deadline``: a **relative** seconds budget the server anchors to its own
 clock, immune to client/server clock skew.
+
+**Tracing and timing.**  Both clients accept ``trace_sample_rate``: a
+sampled call opens a client-side ``rpc.call`` root span, sends its
+:class:`~repro.observability.tracing.TraceContext` in the request header
+(the server continues the trace instead of sampling locally), and
+records the finished span — split into wire vs server time using the
+response's ``server_ms`` — into the client's own small
+:class:`~repro.observability.tracestore.TraceStore` (``client.traces``).
+Even untraced, every response's ``server_ms`` feeds the running
+:meth:`~_CallMixin.stats` wire/server split.
 """
 
 from __future__ import annotations
@@ -29,8 +39,11 @@ import itertools
 import os
 import socket
 import threading
+import time
 
 from ..errors import RpcError, RpcUnavailable
+from ..observability.tracestore import TraceStore
+from ..observability.tracing import Span, TraceContext, Tracer
 from ..replication.transport import (
     TcpTransport,
     TransportClosed,
@@ -68,6 +81,91 @@ class _CallMixin:
 
     def _call(self, op: str, args: dict, deadline: float | None):
         raise NotImplementedError  # pragma: no cover - subclasses override
+
+    # -- client-side tracing + wire/server timing ----------------------
+    def _init_tracing(self, trace_sample_rate: float) -> None:
+        """Set up the sampler, the client-local trace store and stats."""
+        self._tracer = Tracer(trace_sample_rate)
+        #: completed client-side ``rpc.call`` traces (small local ring)
+        self.traces = TraceStore(capacity=32)
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "requests": 0,
+            "faults": 0,
+            "rtt_ms_total": 0.0,
+            "server_ms_total": 0.0,
+            "timed": 0,  # responses that carried server_ms
+        }
+
+    def _begin_call(self, op: str):
+        """Sampling decision for one call: ``(context, span, started)``."""
+        ctx: TraceContext | None = None
+        span: Span | None = None
+        if self._tracer.should_sample():
+            ctx = TraceContext.root()
+            span = Span(
+                "rpc.call",
+                op=op,
+                client_id=self.client_id,
+                trace_id=ctx.trace_id,
+            )
+        return ctx, span, time.perf_counter()
+
+    def _finish_call(
+        self,
+        ctx: TraceContext | None,
+        span: Span | None,
+        started: float,
+        server_ms: float | None,
+        fault_code: str | None = None,
+    ) -> None:
+        """Account one completed exchange; record the span when traced."""
+        rtt_ms = (time.perf_counter() - started) * 1000.0
+        with self._stats_lock:
+            self._stats["requests"] += 1
+            self._stats["rtt_ms_total"] += rtt_ms
+            if fault_code is not None:
+                self._stats["faults"] += 1
+            if server_ms is not None:
+                self._stats["server_ms_total"] += server_ms
+                self._stats["timed"] += 1
+        if span is None or ctx is None:
+            return
+        if server_ms is not None:
+            span.annotate(
+                server_ms=server_ms,
+                wire_ms=round(max(rtt_ms - server_ms, 0.0), 3),
+            )
+        if fault_code is not None:
+            span.annotate(fault=fault_code)
+        span.finish()
+        self.traces.record(ctx, span, kind="client", node=self.client_id)
+
+    def stats(self) -> dict:
+        """Running request counters with the wire-vs-server time split.
+
+        ``server_ms_avg`` / ``wire_ms_avg`` are computed over the
+        responses that carried ``server_ms`` (``timed``); ``wire`` is the
+        round trip minus the server's dispatch time — framing, kernel,
+        network and client-side scheduling.
+        """
+        with self._stats_lock:
+            snapshot = dict(self._stats)
+        timed = snapshot["timed"]
+        snapshot["rtt_ms_avg"] = (
+            round(snapshot["rtt_ms_total"] / snapshot["requests"], 3)
+            if snapshot["requests"]
+            else None
+        )
+        snapshot["server_ms_avg"] = (
+            round(snapshot["server_ms_total"] / timed, 3) if timed else None
+        )
+        if timed and snapshot["requests"]:
+            wire = snapshot["rtt_ms_avg"] - snapshot["server_ms_avg"]
+            snapshot["wire_ms_avg"] = round(max(wire, 0.0), 3)
+        else:
+            snapshot["wire_ms_avg"] = None
+        return snapshot
 
     def ping(self):
         """Liveness probe; returns the server's identity dict."""
@@ -192,6 +290,11 @@ class RpcClient(_CallMixin):
     Thread-safe: a lock serialises request/response exchanges, so one
     client may be shared across threads (each call holds the connection
     for its full round trip).
+
+    ``trace_sample_rate`` samples calls into client-side ``rpc.call``
+    root spans whose :class:`TraceContext` the server continues; the
+    finished traces land in ``client.traces`` and :meth:`stats` keeps
+    the wire-vs-server time split for every call, traced or not.
     """
 
     def __init__(
@@ -203,10 +306,12 @@ class RpcClient(_CallMixin):
         client_id: str | None = None,
         timeout: float = 30.0,
         default_deadline: float | None = None,
+        trace_sample_rate: float = 0.0,
     ) -> None:
         self.client_id = client_id if client_id is not None else _default_client_id()
         self.default_deadline = default_deadline
         self.timeout = timeout
+        self._init_tracing(trace_sample_rate)
         sock = socket.create_connection((host, port), timeout=timeout)
         try:
             if auth_token is not None:
@@ -222,12 +327,14 @@ class RpcClient(_CallMixin):
         """One request/response exchange; faults re-raise typed."""
         if deadline is None:
             deadline = self.default_deadline
+        ctx, span, started = self._begin_call(op)
         request = RpcRequest(
             op=op,
             args=args,
             request_id=next(self._request_ids),
             client_id=self.client_id,
             deadline=deadline,
+            trace=ctx,
         )
         with self._lock:
             try:
@@ -244,6 +351,13 @@ class RpcClient(_CallMixin):
                 f"response id {response.request_id} does not match "
                 f"request id {request.request_id}"
             )
+        self._finish_call(
+            ctx,
+            span,
+            started,
+            response.server_ms,
+            fault_code=response.fault.code if response.fault is not None else None,
+        )
         if response.fault is not None:
             raise_fault(response.fault)
         return response.value
@@ -268,13 +382,20 @@ class AsyncRpcClient(_CallMixin):
     one client can be shared across tasks.
     """
 
-    def __init__(self, reader, writer, client_id: str | None = None) -> None:
+    def __init__(
+        self,
+        reader,
+        writer,
+        client_id: str | None = None,
+        trace_sample_rate: float = 0.0,
+    ) -> None:
         self._reader = reader
         self._writer = writer
         self.client_id = client_id if client_id is not None else _default_client_id()
         self.default_deadline: float | None = None
         self._lock = asyncio.Lock()
         self._request_ids = itertools.count(1)
+        self._init_tracing(trace_sample_rate)
 
     @classmethod
     async def connect(
@@ -285,6 +406,7 @@ class AsyncRpcClient(_CallMixin):
         auth_token: bytes | str | None = None,
         client_id: str | None = None,
         timeout: float = 10.0,
+        trace_sample_rate: float = 0.0,
     ) -> "AsyncRpcClient":
         """Open a connection (and run the handshake when *auth_token*)."""
         reader, writer = await asyncio.wait_for(
@@ -299,18 +421,22 @@ class AsyncRpcClient(_CallMixin):
         except Exception:
             writer.close()
             raise
-        return cls(reader, writer, client_id=client_id)
+        return cls(
+            reader, writer, client_id=client_id, trace_sample_rate=trace_sample_rate
+        )
 
     async def _call(self, op: str, args: dict, deadline: float | None):
         """One request/response exchange; faults re-raise typed."""
         if deadline is None:
             deadline = self.default_deadline
+        ctx, span, started = self._begin_call(op)
         request = RpcRequest(
             op=op,
             args=args,
             request_id=next(self._request_ids),
             client_id=self.client_id,
             deadline=deadline,
+            trace=ctx,
         )
         async with self._lock:
             try:
@@ -329,6 +455,13 @@ class AsyncRpcClient(_CallMixin):
                 f"response id {response.request_id} does not match "
                 f"request id {request.request_id}"
             )
+        self._finish_call(
+            ctx,
+            span,
+            started,
+            response.server_ms,
+            fault_code=response.fault.code if response.fault is not None else None,
+        )
         if response.fault is not None:
             raise_fault(response.fault)
         return response.value

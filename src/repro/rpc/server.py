@@ -22,7 +22,17 @@ Production admission machinery lives at this boundary:
 * **bulk ingest** maps to :meth:`KokoService.add_documents` (one
   claim/commit round and ~one fsync per batch);
 * **pipelined acks** — ``add_document(wait_durable=False)`` acks after
-  the splice, before the fsync; the ``flush`` op is the commit barrier.
+  the splice, before the fsync; the ``flush`` op is the commit barrier;
+* **trace continuation** — a request carrying a
+  :class:`~repro.observability.tracing.TraceContext` header continues
+  the *caller's* trace (the caller's sampling decision wins — the
+  server never samples RPC work locally): a sampled request gets an
+  ``rpc.server`` fragment with admission-wait, executor queue-wait and
+  deadline-slack spans, recorded into the node's ``TraceStore``, and
+  the context is threaded into the service call so the query/ingest
+  span tree (and, for ingest, the WAL record → shipper → replica
+  chain) joins the same trace.  Every response carries ``server_ms``
+  so even untraced clients can split wire time from server time.
 
 Lifecycle follows the telemetry server: an asyncio loop on a daemon
 thread, ``start()`` returning the bound address, idempotent ``close()``.
@@ -38,7 +48,6 @@ import asyncio
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from functools import partial
 
 from ..errors import (
     ReplicationError,
@@ -48,6 +57,7 @@ from ..errors import (
     RpcStaleRead,
 )
 from ..observability.exposition import _node_kind
+from ..observability.tracing import Span, TraceContext
 from ..replication.shipper import _is_loopback
 from ..service.service import IngestAck
 from .admission import AdmissionController, AdmissionPolicy
@@ -164,6 +174,14 @@ class RpcServer:
         )
         self._latency = registry.histogram(
             "koko_rpc_request_seconds", "RPC request service time", ("op",)
+        )
+        self._inflight = registry.gauge(
+            "koko_rpc_inflight_requests",
+            "RPC requests currently being dispatched",
+        )
+        self._queue_wait = registry.histogram(
+            "koko_rpc_executor_queue_wait_seconds",
+            "Time a dispatched request waited for an executor thread",
         )
         self._handlers = {
             "query": self._op_query,
@@ -319,9 +337,30 @@ class RpcServer:
     async def _dispatch(
         self, request: RpcRequest, received_at: float, peer: str
     ) -> RpcResponse:
-        """Admission → deadline → execute; every failure becomes a fault."""
+        """Admission → deadline → execute; every failure becomes a fault.
+
+        A request whose ``trace`` header is sampled gets an ``rpc.server``
+        fragment continuing the caller's trace — admission wait, executor
+        queue wait and the handler's deadline slack become spans — and the
+        derived context is threaded into the node call so the service's
+        own span tree joins the trace.  Every response (success or fault)
+        carries ``server_ms``.
+        """
         self._requests.labels(request.op).inc()
+        self._inflight.inc()
         started = time.perf_counter()
+        ctx = request.trace if isinstance(request.trace, TraceContext) else None
+        span: Span | None = None
+        frag: TraceContext | None = None
+        if ctx is not None and ctx.sampled and request.op != "ping":
+            frag = ctx.child()
+            span = Span(
+                "rpc.server",
+                op=request.op,
+                node=self.name,
+                trace_id=ctx.trace_id,
+                client_id=request.client_id or peer,
+            )
         try:
             if request.op == "ping":
                 value: object = {"ok": True, "kind": self._kind, "name": self.name}
@@ -329,7 +368,14 @@ class RpcServer:
                 if self._admission is not None and request.op not in _UNMETERED_OPS:
                     client = request.client_id or peer
                     kind = "ingest" if request.op in _WRITE_OPS else "query"
+                    admit_started = time.perf_counter()
                     self._admission.admit(client, kind)
+                    if span is not None:
+                        span.record(
+                            "admission_wait",
+                            time.perf_counter() - admit_started,
+                            kind=kind,
+                        )
                 budget = (
                     request.deadline
                     if request.deadline is not None
@@ -341,30 +387,75 @@ class RpcServer:
                         f"deadline of {budget:g}s expired before "
                         f"{request.op!r} started"
                     )
-                value = await self._execute(request, deadline_at)
+                value = await self._execute(request, deadline_at, frag, span)
+                if span is not None and deadline_at is not None:
+                    span.annotate(
+                        deadline_slack_ms=round(
+                            (deadline_at - time.monotonic()) * 1000.0, 3
+                        )
+                    )
             fault = None
         except Exception as exc:
             value = None
             fault = fault_for(exc)
             self._faults.labels(fault.code).inc()
-        self._latency.labels(request.op).observe(time.perf_counter() - started)
-        return RpcResponse(request_id=request.request_id, value=value, fault=fault)
+            if span is not None:
+                span.annotate(fault=fault.code)
+        finally:
+            self._inflight.dec()
+        elapsed = time.perf_counter() - started
+        self._latency.labels(request.op).observe(elapsed)
+        if span is not None and frag is not None:
+            span.finish()
+            store = getattr(self._underlying_service(), "trace_store", None)
+            if store is not None:
+                store.record(
+                    frag,
+                    span,
+                    parent_span_id=ctx.span_id,
+                    kind="rpc",
+                    node=self.name,
+                )
+        return RpcResponse(
+            request_id=request.request_id,
+            value=value,
+            fault=fault,
+            server_ms=round(elapsed * 1000.0, 3),
+        )
 
-    async def _execute(self, request: RpcRequest, deadline_at: float | None):
+    async def _execute(
+        self,
+        request: RpcRequest,
+        deadline_at: float | None,
+        trace_ctx: TraceContext | None = None,
+        span: Span | None = None,
+    ):
         """Run one op's blocking handler on the executor, deadline-bounded.
 
         The deadline is enforced twice: cooperatively inside the service
         (queued shards never start once it passes) and as an
         ``asyncio.wait_for`` backstop here, so even an op with no
         cooperative checks cannot hold the response past its budget.
+        The time between submission and the handler actually starting is
+        the executor queue wait — observed into the queue-wait histogram
+        and, when traced, recorded as a ``queue_wait`` span.
         """
         handler = self._handlers.get(request.op)
         if handler is None:
             raise RpcBadRequest(f"unknown op {request.op!r}")
         loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(
-            self._executor, partial(handler, dict(request.args), deadline_at)
-        )
+        submitted = time.perf_counter()
+        args = dict(request.args)
+        client_id = request.client_id
+
+        def run():
+            queue_wait = time.perf_counter() - submitted
+            self._queue_wait.observe(queue_wait)
+            if span is not None:
+                span.record("queue_wait", queue_wait)
+            return handler(args, deadline_at, trace_ctx, client_id)
+
+        future = loop.run_in_executor(self._executor, run)
         if deadline_at is None:
             return await future
         remaining = deadline_at - time.monotonic()
@@ -421,9 +512,17 @@ class RpcServer:
             "deadline": deadline_at,
         }
 
-    def _op_query(self, args: dict, deadline_at: float | None):
+    def _op_query(
+        self,
+        args: dict,
+        deadline_at: float | None,
+        trace_ctx: TraceContext | None = None,
+        client_id: str | None = None,
+    ):
         """``query``: evaluate one query; returns the ``KokoResult``."""
         kwargs = self._query_kwargs(args, deadline_at)
+        kwargs["trace_context"] = trace_ctx
+        kwargs["client_id"] = client_id
         token = args.get("read_your_writes")
         if self._kind == "router":
             return self.node.query(
@@ -435,25 +534,43 @@ class RpcServer:
         self._check_token(token)
         return self.node.query(args["query"], **kwargs)
 
-    def _op_query_batch(self, args: dict, deadline_at: float | None):
+    def _op_query_batch(
+        self,
+        args: dict,
+        deadline_at: float | None,
+        trace_ctx: TraceContext | None = None,
+        client_id: str | None = None,
+    ):
         """``query_batch``: evaluate queries in order, one shared deadline."""
         out = []
         for query in args["queries"]:
-            out.append(self._op_query({**args, "query": query}, deadline_at))
+            out.append(
+                self._op_query(
+                    {**args, "query": query}, deadline_at, trace_ctx, client_id
+                )
+            )
         return out
 
-    def _op_add_document(self, args: dict, deadline_at: float | None):
+    def _op_add_document(
+        self,
+        args: dict,
+        deadline_at: float | None,
+        trace_ctx: TraceContext | None = None,
+        client_id: str | None = None,
+    ):
         """``add_document``: single ingest, optionally with a pipelined ack."""
         self._require_writable()
         wait_durable = bool(args.get("wait_durable", True))
+        ingest_kwargs = dict(
+            doc_id=args.get("doc_id"),
+            wait_durable=wait_durable,
+            trace_context=trace_ctx,
+            client_id=client_id,
+        )
         if self._kind == "router":
-            result, token = self.node.add_document(
-                args["text"], doc_id=args.get("doc_id"), wait_durable=wait_durable
-            )
+            result, token = self.node.add_document(args["text"], **ingest_kwargs)
         else:
-            result = self.node.add_document(
-                args["text"], doc_id=args.get("doc_id"), wait_durable=wait_durable
-            )
+            result = self.node.add_document(args["text"], **ingest_kwargs)
             token = self.node.wal_position()
         if isinstance(result, IngestAck):
             document, durable = result.document, result.durable
@@ -467,7 +584,13 @@ class RpcServer:
             "durable": durable,
         }
 
-    def _op_add_documents(self, args: dict, deadline_at: float | None):
+    def _op_add_documents(
+        self,
+        args: dict,
+        deadline_at: float | None,
+        trace_ctx: TraceContext | None = None,
+        client_id: str | None = None,
+    ):
         """``add_documents``: bulk ingest, claim/commit amortised per batch."""
         self._require_writable()
         kwargs = {
@@ -488,23 +611,44 @@ class RpcServer:
             "durable": kwargs["wait_durable"],
         }
 
-    def _op_remove_document(self, args: dict, deadline_at: float | None):
+    def _op_remove_document(
+        self,
+        args: dict,
+        deadline_at: float | None,
+        trace_ctx: TraceContext | None = None,
+        client_id: str | None = None,
+    ):
         """``remove_document``: staged removal through the write path."""
         self._require_writable()
+        remove_kwargs = dict(trace_context=trace_ctx, client_id=client_id)
         if self._kind == "router":
-            document, token = self.node.remove_document(args["doc_id"])
+            document, token = self.node.remove_document(
+                args["doc_id"], **remove_kwargs
+            )
         else:
-            document = self.node.remove_document(args["doc_id"])
+            document = self.node.remove_document(args["doc_id"], **remove_kwargs)
             token = self.node.wal_position()
         return {"doc_id": document.doc_id, "token": token}
 
-    def _op_flush(self, args: dict, deadline_at: float | None):
+    def _op_flush(
+        self,
+        args: dict,
+        deadline_at: float | None,
+        trace_ctx: TraceContext | None = None,
+        client_id: str | None = None,
+    ):
         """``flush``: the durability barrier for pipelined/bulk ingest."""
         self._require_writable()
         token = self._underlying_service().wait_durable()
         return {"token": token}
 
-    def _op_info(self, args: dict, deadline_at: float | None):
+    def _op_info(
+        self,
+        args: dict,
+        deadline_at: float | None,
+        trace_ctx: TraceContext | None = None,
+        client_id: str | None = None,
+    ):
         """``info``: identity and corpus shape, for clients and probes."""
         service = self._underlying_service()
         return {

@@ -11,15 +11,19 @@ frame format shared means a blocking RPC client literally *is* a
 Messages are two frozen dataclasses:
 
 * :class:`RpcRequest` — ``op`` (operation name), ``args`` (keyword
-  payload), plus three headers: ``request_id`` (echoed back so a client
-  can pipeline), ``client_id`` (the admission-control identity) and
+  payload), plus four headers: ``request_id`` (echoed back so a client
+  can pipeline), ``client_id`` (the admission-control identity),
   ``deadline`` (a **relative** seconds budget — relative so clock skew
   between client and server cannot distort it; the server anchors it to
-  its own monotonic clock at receipt).
-* :class:`RpcResponse` — the echoed ``request_id`` and either a
-  ``value`` or an :class:`RpcFault` carrying a stable error ``code``
-  that :func:`raise_fault` maps back to the typed
-  :class:`~repro.errors.RpcError` hierarchy on the client.
+  its own monotonic clock at receipt) and ``trace`` (an optional
+  :class:`~repro.observability.tracing.TraceContext` — the server
+  continues the caller's trace instead of sampling locally).
+* :class:`RpcResponse` — the echoed ``request_id``, either a ``value``
+  or an :class:`RpcFault` carrying a stable error ``code`` that
+  :func:`raise_fault` maps back to the typed
+  :class:`~repro.errors.RpcError` hierarchy on the client, and
+  ``server_ms`` (server-side dispatch wall time, so every client —
+  traced or not — can split wire time from server time).
 
 **Trust model**: identical to the replication transport — pickled frames
 stay inside one trust domain, the token gates accidental exposure.
@@ -50,6 +54,7 @@ from ..errors import (
     RpcUnavailable,
     ServiceError,
 )
+from ..observability.tracing import TraceContext
 from ..replication.transport import (
     _AUTH_DIGEST_LEN,
     _AUTH_NONCE_LEN,
@@ -64,6 +69,7 @@ __all__ = [
     "RpcFault",
     "RpcRequest",
     "RpcResponse",
+    "TraceContext",
     "answer_auth_challenge_async",
     "decode_message",
     "encode_message",
@@ -96,13 +102,14 @@ class FrameTooLarge(FrameError):
 
 @dataclass(frozen=True)
 class RpcRequest:
-    """One client request: operation, payload, and the three headers."""
+    """One client request: operation, payload, and the four headers."""
 
     op: str
     args: dict = field(default_factory=dict)
     request_id: int = 0
     client_id: str | None = None
     deadline: float | None = None  # relative seconds budget, None = none
+    trace: TraceContext | None = None  # propagated trace context, None = untraced
 
 
 @dataclass(frozen=True)
@@ -115,11 +122,18 @@ class RpcFault:
 
 @dataclass(frozen=True)
 class RpcResponse:
-    """One server response: the echoed id and a value *or* a fault."""
+    """One server response: the echoed id and a value *or* a fault.
+
+    ``server_ms`` is the server-side dispatch wall time in milliseconds
+    (admission wait + queue wait + handler), set on success *and* fault
+    responses; subtracting it from the client-observed round trip gives
+    the wire + handshake share without any tracing enabled.
+    """
 
     request_id: int
     value: object = None
     fault: RpcFault | None = None
+    server_ms: float | None = None
 
 
 def encode_message(message: object) -> bytes:

@@ -110,7 +110,8 @@ from ..nlp.types import Corpus, Document
 from ..observability.heat import ShardHeatAccumulator, ShardHeatReport
 from ..observability.metrics import MetricsRegistry
 from ..observability.slowlog import SlowOpLog
-from ..observability.tracing import ExplainedResult, Span, Tracer
+from ..observability.tracestore import TraceStore
+from ..observability.tracing import ExplainedResult, Span, TraceContext, Tracer
 from ..persistence import (
     OP_ADD,
     OP_REMOVE,
@@ -335,6 +336,14 @@ class KokoService:
         (0.01 = every 100th operation), so production always has recent
         traces to attribute latency with.  ``0.0`` disables sampling
         entirely: the untraced hot path allocates no spans at all.
+        Callers that already carry a
+        :class:`~repro.observability.tracing.TraceContext` (the RPC
+        server continuing a client's trace) bypass local sampling — the
+        propagated ``sampled`` flag wins either way.
+    trace_store_capacity:
+        Number of distinct recent traces the per-node
+        :class:`~repro.observability.tracestore.TraceStore` ring keeps
+        (served at ``/traces`` by the telemetry plane).
     slow_query_ms, slow_ingest_ms:
         Wall-clock thresholds above which a query (respectively an
         ingest or removal) emits one structured entry into the slow-op
@@ -369,6 +378,7 @@ class KokoService:
         checkpoint_poll_seconds: float = 0.2,
         bootstrap_snapshot: SnapshotState | None = None,
         trace_sample_rate: float = 0.01,
+        trace_store_capacity: int = 128,
         slow_query_ms: float | None = 250.0,
         slow_ingest_ms: float | None = 1000.0,
         slow_op_log_path: str | Path | None = None,
@@ -478,6 +488,10 @@ class KokoService:
         # tracing + slow-op log share the stats registry, so one
         # render_text() exposes the whole service
         self._tracer = Tracer(trace_sample_rate)
+        self._trace_store = TraceStore(trace_store_capacity)
+        # advisory: how many WAL records carried a trace context — the
+        # shipper only pays per-record payload decodes once this is > 0
+        self._wal_traces_logged = 0
         self._slow_query_ms = slow_query_ms
         self._slow_ingest_ms = slow_ingest_ms
         self._slow_log = SlowOpLog(
@@ -883,6 +897,8 @@ class KokoService:
         doc_id: str | None = None,
         first_sid: int | None = None,
         wait_durable: bool = True,
+        trace_context: TraceContext | None = None,
+        client_id: str | None = None,
     ) -> Document | IngestAck:
         """Annotate *text* and fold it into its shard's corpus and indexes.
 
@@ -912,6 +928,15 @@ class KokoService:
             :meth:`next_sid` (the counter advances past this document's
             range).  Anything else raises :class:`ServiceError`.
             ``None`` (default) reserves the next free range.
+        trace_context:
+            A propagated :class:`~repro.observability.tracing.TraceContext`
+            (the RPC server continuing a client's trace).  Its ``sampled``
+            flag replaces the local sampling decision; when sampled, the
+            ingest's span tree joins that trace and the WAL record carries
+            the context so shipper/replica spans join it too.
+        client_id:
+            The caller's identity (RPC admission id), recorded on slow-op
+            entries for cross-linking.
 
         Durability: on a durable service the document is in the WAL —
         fsynced, group-committed — *before* it becomes visible to queries;
@@ -942,9 +967,20 @@ class KokoService:
             doc_id, reserve, first_sid, ingest_bytes=len(text.encode("utf-8"))
         )
         trace: Span | None = None
-        if self._tracer.should_sample():
+        frag: TraceContext | None = None
+        sampled = (
+            trace_context.sampled
+            if trace_context is not None
+            else self._tracer.should_sample()
+        )
+        if sampled:
             self._traces_sampled.inc()
-            trace = Span("ingest", doc_id=resolved_id)
+            frag = (
+                trace_context.child()
+                if trace_context is not None
+                else TraceContext.root()
+            )
+            trace = Span("ingest", doc_id=resolved_id, trace_id=frag.trace_id)
         logged = False
         frame_bytes = 0
         try:
@@ -960,7 +996,9 @@ class KokoService:
             # behind the returned ticket and the splice proceeds at once.
             wal_span = trace.child("wal") if trace is not None else None
             stage_started = time.perf_counter()
-            record = WalRecord(op=OP_ADD, doc_id=resolved_id, document=document)
+            record = WalRecord(
+                op=OP_ADD, doc_id=resolved_id, document=document, trace=frag
+            )
             ticket: CommitTicket | None = None
             if wait_durable:
                 frame_bytes = self._log(record, trace=wal_span)
@@ -993,6 +1031,15 @@ class KokoService:
         if trace is not None:
             trace.annotate(shard=shard.shard_id, tokens=document.num_tokens)
             trace.finish()
+            self._trace_store.record(
+                frag,
+                trace,
+                parent_span_id=(
+                    trace_context.span_id if trace_context is not None else None
+                ),
+                kind="ingest",
+                node=self.name,
+            )
         self._observe_slow_ingest(
             "ingest",
             elapsed,
@@ -1003,6 +1050,8 @@ class KokoService:
             sentences=len(document),
             tokens=document.num_tokens,
             trace=trace,
+            trace_id=frag.trace_id if frag is not None else None,
+            client_id=client_id,
         )
         if not wait_durable:
             return IngestAck(document=document, ticket=ticket)
@@ -1175,7 +1224,12 @@ class KokoService:
         self._heat.record_splice(shard.shard_id, _estimate_document_bytes(document))
         return document
 
-    def remove_document(self, doc_id: str) -> Document:
+    def remove_document(
+        self,
+        doc_id: str,
+        trace_context: TraceContext | None = None,
+        client_id: str | None = None,
+    ) -> Document:
         """Un-index and drop one document; returns it.
 
         Staged exactly like :meth:`add_document`: the meta lock is held
@@ -1195,9 +1249,20 @@ class KokoService:
         started = time.perf_counter()
         document, shard_id = self._claim_remove(doc_id)
         trace: Span | None = None
-        if self._tracer.should_sample():
+        frag: TraceContext | None = None
+        sampled = (
+            trace_context.sampled
+            if trace_context is not None
+            else self._tracer.should_sample()
+        )
+        if sampled:
             self._traces_sampled.inc()
-            trace = Span("remove", doc_id=doc_id)
+            frag = (
+                trace_context.child()
+                if trace_context is not None
+                else TraceContext.root()
+            )
+            trace = Span("remove", doc_id=doc_id, trace_id=frag.trace_id)
         logged = False
         frame_bytes = 0
         try:
@@ -1205,7 +1270,7 @@ class KokoService:
             wal_span = trace.child("wal") if trace is not None else None
             stage_started = time.perf_counter()
             frame_bytes = self._log(
-                WalRecord(op=OP_REMOVE, doc_id=doc_id), trace=wal_span
+                WalRecord(op=OP_REMOVE, doc_id=doc_id, trace=frag), trace=wal_span
             )
             wal_s = time.perf_counter() - stage_started
             if wal_span is not None:
@@ -1241,6 +1306,15 @@ class KokoService:
         if trace is not None:
             trace.annotate(shard=shard_id)
             trace.finish()
+            self._trace_store.record(
+                frag,
+                trace,
+                parent_span_id=(
+                    trace_context.span_id if trace_context is not None else None
+                ),
+                kind="ingest",
+                node=self.name,
+            )
         self._observe_slow_ingest(
             "remove",
             elapsed,
@@ -1251,6 +1325,8 @@ class KokoService:
             sentences=len(document),
             tokens=document.num_tokens,
             trace=trace,
+            trace_id=frag.trace_id if frag is not None else None,
+            client_id=client_id,
         )
         return document
 
@@ -1633,6 +1709,8 @@ class KokoService:
         to the WAL for ``wal_append``/``fsync_wait`` child spans.
         """
         if self._wal is not None:
+            if record.trace is not None:
+                self._wal_traces_logged += 1
             appended = self._wal.append(record, trace=trace)
             self.stats.record_wal_append(appended)
             return appended
@@ -1649,6 +1727,8 @@ class KokoService:
         or any later group commit covers the frame.
         """
         if self._wal is not None:
+            if record.trace is not None:
+                self._wal_traces_logged += 1
             appended, ticket = self._wal.append_pipelined(record, trace=trace)
             self.stats.record_wal_append(appended)
             return appended, ticket
@@ -1700,6 +1780,8 @@ class KokoService:
         keep_all_scores: bool = False,
         explain: bool = False,
         deadline: float | None = None,
+        trace_context: TraceContext | None = None,
+        client_id: str | None = None,
     ) -> KokoResult | ExplainedResult:
         """Evaluate one query against the current corpus.
 
@@ -1735,14 +1817,31 @@ class KokoService:
             :class:`~repro.errors.DeadlineExceeded` — cooperative
             cancellation, so already-running shard scans finish but no
             new work starts for a caller that has given up.
+        trace_context:
+            A propagated :class:`~repro.observability.tracing.TraceContext`;
+            its ``sampled`` flag replaces the local sampling decision and
+            the query's span tree joins the caller's trace.
+        client_id:
+            The caller's identity, recorded on slow-op entries.
         """
         self._ensure_open()
         self._check_deadline(deadline)
         started = time.perf_counter()
         trace: Span | None = None
-        if explain or self._tracer.should_sample():
+        frag: TraceContext | None = None
+        sampled = explain or (
+            trace_context.sampled
+            if trace_context is not None
+            else self._tracer.should_sample()
+        )
+        if sampled:
             self._traces_sampled.inc()
-            trace = Span("query", shards=len(self._shards))
+            frag = (
+                trace_context.child()
+                if trace_context is not None
+                else TraceContext.root()
+            )
+            trace = Span("query", shards=len(self._shards), trace_id=frag.trace_id)
         result_hit: bool | None = None
         plan_hit: bool | None = None
         if isinstance(query, str):
@@ -1799,7 +1898,25 @@ class KokoService:
         if trace is not None:
             trace.annotate(tuples=len(result))
             trace.finish()
-        self._observe_slow_query(query, elapsed, result, result_hit, plan_hit, trace)
+            self._trace_store.record(
+                frag,
+                trace,
+                parent_span_id=(
+                    trace_context.span_id if trace_context is not None else None
+                ),
+                kind="query",
+                node=self.name,
+            )
+        self._observe_slow_query(
+            query,
+            elapsed,
+            result,
+            result_hit,
+            plan_hit,
+            trace,
+            trace_id=frag.trace_id if frag is not None else None,
+            client_id=client_id,
+        )
         if explain:
             return ExplainedResult(result=result, trace=trace)
         return result
@@ -2135,14 +2252,41 @@ class KokoService:
         """
         return self.stats.registry
 
-    def recent_slow_ops(self, limit: int | None = None) -> list[dict]:
+    def recent_slow_ops(
+        self, limit: int | None = None, trace_id: str | None = None
+    ) -> list[dict]:
         """Newest-first structured slow-op entries from the ring buffer.
 
         Each entry is the dict that was (optionally) written to the slow-op
         log file: kind, duration, per-stage millisecond breakdown, cache
-        outcomes / WAL frame size, and the span tree when the op was traced.
+        outcomes / WAL frame size, ``trace_id``/``client_id`` when the op
+        came in traced or over RPC, and the span tree when traced.
+        *trace_id* filters to entries of that trace (the whole ring is
+        scanned before *limit* applies).
         """
-        return self._slow_log.recent(limit)
+        if trace_id is None:
+            return self._slow_log.recent(limit)
+        matching = [
+            entry
+            for entry in self._slow_log.recent(None)
+            if entry.get("trace_id") == trace_id
+        ]
+        return matching[:limit] if limit is not None else matching
+
+    @property
+    def trace_store(self) -> TraceStore:
+        """The per-node ring of completed sampled traces (``/traces``)."""
+        return self._trace_store
+
+    @property
+    def wal_traces_logged(self) -> int:
+        """How many WAL records carried a trace context (advisory).
+
+        The log shipper checks this before paying per-record payload
+        decodes on the ship path: zero means no shipped record can carry
+        a context, so shipping stays decode-free.
+        """
+        return self._wal_traces_logged
 
     def _observe_slow_query(
         self,
@@ -2152,6 +2296,8 @@ class KokoService:
         result_hit: bool | None,
         plan_hit: bool | None,
         trace: Span | None,
+        trace_id: str | None = None,
+        client_id: str | None = None,
     ) -> None:
         """Record one structured slow-op entry if *elapsed* crosses the bar."""
         threshold = self._slow_query_ms
@@ -2170,6 +2316,8 @@ class KokoService:
                 if isinstance(query, str)
                 else None
             ),
+            "trace_id": trace_id,
+            "client_id": client_id,
             "shards": len(self._shards),
             "tuples": len(result),
             "candidate_sentences": result.candidate_sentences,
@@ -2203,6 +2351,8 @@ class KokoService:
         sentences: int,
         tokens: int,
         trace: Span | None,
+        trace_id: str | None = None,
+        client_id: str | None = None,
     ) -> None:
         """Record one structured slow ingest/remove entry if over threshold."""
         threshold = self._slow_ingest_ms
@@ -2215,6 +2365,8 @@ class KokoService:
             "kind": kind,
             "ts_unix": round(time.time(), 3),
             "duration_ms": round(duration_ms, 3),
+            "trace_id": trace_id,
+            "client_id": client_id,
             "doc_id": doc_id,
             "shard": shard,
             "sentences": sentences,

@@ -1,0 +1,51 @@
+"""WAL payload compatibility across the trace-metadata addition.
+
+Traced records carry a ``TraceContext`` as a fourth payload field;
+untraced records MUST keep the exact pre-trace 3-tuple encoding, so old
+segments replay unchanged and an untraced workload's WAL bytes are
+byte-identical to what earlier versions wrote.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.observability.tracing import TraceContext
+from repro.persistence import WalRecord
+from repro.persistence.wal import OP_REMOVE
+
+
+def test_untraced_payload_matches_the_legacy_three_tuple_exactly():
+    record = WalRecord(op=OP_REMOVE, doc_id="d0")
+    legacy = pickle.dumps(
+        (OP_REMOVE, "d0", None), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    assert record.to_payload() == legacy
+
+
+def test_legacy_three_tuple_payloads_decode_with_no_trace():
+    legacy = pickle.dumps(
+        (OP_REMOVE, "d0", None), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    record = WalRecord.from_payload(legacy)
+    assert record.op == OP_REMOVE and record.doc_id == "d0"
+    assert record.trace is None
+
+
+def test_traced_payload_round_trips_the_context():
+    context = TraceContext(trace_id="abcd" * 4, span_id="0123abcd")
+    record = WalRecord(op=OP_REMOVE, doc_id="d0", trace=context)
+    decoded = WalRecord.from_payload(record.to_payload())
+    assert decoded.trace == context
+    assert decoded.trace.sampled is True
+
+
+def test_garbage_fourth_field_is_dropped_not_propagated():
+    # a forward-compat guard: whatever a future version appends, today's
+    # reader only accepts a typed TraceContext in slot 3
+    payload = pickle.dumps(
+        (OP_REMOVE, "d0", None, {"not": "a context"}),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    record = WalRecord.from_payload(payload)
+    assert record.trace is None

@@ -1,0 +1,136 @@
+"""Acceptance: one ingest's trace assembles across primary and replica.
+
+The tentpole's end-to-end claim: an ingest sent through ``RpcClient``
+against a primary with a TCP replica yields — via the primary's
+``/cluster/traces/<id>`` — a single assembled trace containing the
+client call's server fragment, the primary's WAL append / fsync wait /
+splice spans, the shipper's ship-latency span, and the replica's apply
+span, with fragments from at least two distinct nodes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.observability import ClusterTelemetry, TelemetryServer, http_get_json
+from repro.rpc import RpcClient, RpcServer
+
+TEXT = "I ate a chocolate ice cream, which was delicious, and also ate a pie."
+
+
+def _span_names(node, out):
+    out.add(node["name"])
+    for child in node.get("children", ()):
+        _span_names(child, out)
+    return out
+
+
+def _walk(fragment, fragments, names):
+    fragments.append(fragment)
+    _span_names(fragment["root"], names)
+    for child in fragment["children"]:
+        _walk(child, fragments, names)
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_cross_node_trace_assembles_from_both_nodes(
+    make_tcp_cluster, listen_ready, shards
+):
+    primary, shipper, replica, _router, _host, _port = make_tcp_cluster(
+        shards=shards
+    )
+    rpc = RpcServer(primary)
+    rpc_host, rpc_port = listen_ready(*rpc.start())
+    client = RpcClient(
+        rpc_host, rpc_port, client_id="e2e", trace_sample_rate=1.0
+    )
+    cluster = ClusterTelemetry(primary=primary, shipper=shipper)
+    primary_telemetry = TelemetryServer(
+        primary, name="primary", cluster=cluster, rpc_server=rpc
+    )
+    listen_ready(*primary_telemetry.start())
+    replica_telemetry = TelemetryServer(replica, name="tcp-replica")
+    listen_ready(*replica_telemetry.start())
+    cluster.add_peer("primary", *primary_telemetry.address)
+    cluster.add_peer("tcp-replica", *replica_telemetry.address)
+    try:
+        client.add_document(TEXT, doc_id="traced0", wait_durable=True)
+        assert replica.wait_caught_up(primary.wal_position(), timeout=30)
+
+        (summary,) = client.traces.recent()
+        trace_id = summary["trace_id"]
+
+        # scrape views (captures the replica's heartbeat clock offset)
+        cluster.scrape_once()
+
+        # the replica's apply fragment lands from its applier thread;
+        # poll its /traces/<id> until it shows up
+        deadline = time.monotonic() + 15
+        status = None
+        while time.monotonic() < deadline:
+            status, _ = http_get_json(
+                *replica_telemetry.address, f"/traces/{trace_id}"
+            )
+            if status == 200:
+                break
+            time.sleep(0.05)
+        assert status == 200, "replica never recorded its apply fragment"
+
+        status, assembled = http_get_json(
+            *primary_telemetry.address, f"/cluster/traces/{trace_id}"
+        )
+        assert status == 200
+        assert assembled["trace_id"] == trace_id
+        assert "errors" not in assembled
+        assert len(assembled["nodes"]) >= 2
+
+        fragments: list[dict] = []
+        names: set[str] = set()
+        for root in assembled["roots"]:
+            _walk(root, fragments, names)
+        kinds = {f["kind"] for f in fragments}
+
+        # one connected tree: the rpc.server fragment is the only root
+        # (the true root, the client's rpc.call span, lives client-side)
+        (root,) = assembled["roots"]
+        assert root["root"]["name"] == "rpc.server"
+
+        # spans from every hop of the write path
+        assert {"rpc", "ingest", "ship", "apply"} <= kinds
+        assert {"rpc.server", "ingest", "wal.ship", "replica.apply"} <= names
+        assert {"wal_append", "fsync_wait", "splice"} <= names
+
+        # both nodes contributed fragments
+        contributing = {f["node"] for f in fragments}
+        assert {primary.name, "tcp-replica"} <= contributing
+
+        # the replica fragment parents under the primary's ingest fragment
+        by_kind = {f["kind"]: f for f in fragments}
+        assert by_kind["apply"]["parent_span_id"] == by_kind["ingest"]["span_id"]
+        assert by_kind["ship"]["parent_span_id"] == by_kind["ingest"]["span_id"]
+    finally:
+        client.close()
+        rpc.close()
+        cluster.close()
+        primary_telemetry.close()
+        replica_telemetry.close()
+
+
+def test_untraced_ingest_ships_no_fragments(make_tcp_cluster, listen_ready):
+    """Sampling off end to end: no node records anything for the write."""
+    primary, _shipper, replica, _router, _host, _port = make_tcp_cluster(shards=1)
+    rpc = RpcServer(primary)
+    rpc_host, rpc_port = listen_ready(*rpc.start())
+    client = RpcClient(rpc_host, rpc_port)  # sampling defaults to 0
+    try:
+        client.add_document(TEXT, doc_id="plain0", wait_durable=True)
+        assert replica.wait_caught_up(primary.wal_position(), timeout=30)
+        assert len(client.traces) == 0
+        assert len(primary.trace_store) == 0
+        assert len(replica.service.trace_store) == 0
+        assert primary.wal_traces_logged == 0
+    finally:
+        client.close()
+        rpc.close()

@@ -1,0 +1,167 @@
+"""Trace-context propagation through the RPC tier, plus its metrics.
+
+The tentpole's RPC leg: a traced client call produces linked fragments
+on both sides of the wire (client root → server fragment → service
+fragment), responses carry ``server_ms`` so the client can split wire
+from server time, the server exposes inflight/queue-wait metrics, and
+slow-op entries carry the trace and client ids that make the slowlog
+joinable against ``/traces``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rpc import AdmissionPolicy, RpcClient, RpcServer
+from repro.service import KokoService
+
+ENTITY_QUERY = (
+    'extract e:Entity, d:Str from input.txt if '
+    '(/ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) } (b) in (e))'
+)
+TEXT = "I ate a chocolate ice cream, which was delicious, and also ate a pie."
+
+
+@pytest.fixture
+def traced_pair(listen_ready):
+    """A primary + RpcServer + a fully-sampled client, torn down in order."""
+    service = KokoService(shards=2)
+    # a permissive admission policy, so the admission-wait span exists
+    server = RpcServer(
+        service, admission=AdmissionPolicy(query_rate=1000.0, ingest_rate=1000.0)
+    )
+    host, port = listen_ready(*server.start())
+    client = RpcClient(host, port, client_id="tracer", trace_sample_rate=1.0)
+    try:
+        yield service, server, client
+    finally:
+        client.close()
+        server.close()
+        service.close()
+
+
+def _fragment_chain(fragments):
+    """Map span_id -> fragment for parent-link assertions."""
+    return {f["span_id"]: f for f in fragments}
+
+
+def test_traced_ingest_links_client_server_and_service_fragments(traced_pair):
+    service, _server, client = traced_pair
+    client.add_document(TEXT, doc_id="d0")
+
+    (trace_id,) = [t["trace_id"] for t in client.traces.recent()]
+    (client_fragment,) = client.traces.get(trace_id)
+    assert client_fragment["kind"] == "client"
+    assert client_fragment["parent_span_id"] is None
+    assert client_fragment["root"]["name"] == "rpc.call"
+    attrs = client_fragment["root"]["attrs"]
+    assert attrs["op"] == "add_document"
+    assert attrs["server_ms"] > 0 and attrs["wire_ms"] >= 0
+
+    fragments = service.trace_store.get(trace_id)
+    assert fragments is not None
+    by_kind = {f["kind"]: f for f in fragments}
+    assert set(by_kind) == {"rpc", "ingest"}
+    # server fragment hangs under the client's root span...
+    assert by_kind["rpc"]["parent_span_id"] == client_fragment["span_id"]
+    assert by_kind["rpc"]["root"]["name"] == "rpc.server"
+    # ...and the service's ingest fragment under the server's span
+    assert by_kind["ingest"]["parent_span_id"] == by_kind["rpc"]["span_id"]
+    assert by_kind["ingest"]["root"]["name"] == "ingest"
+    # the server-side span timed its admission wait
+    assert "admission_wait" in [
+        c["name"] for c in by_kind["rpc"]["root"].get("children", [])
+    ]
+
+
+def test_traced_query_joins_the_same_plane(traced_pair):
+    service, _server, client = traced_pair
+    client.add_document(TEXT, doc_id="d0")
+    client.query(ENTITY_QUERY)
+
+    trace_ids = [t["trace_id"] for t in client.traces.recent()]
+    assert len(trace_ids) == 2  # one per call, distinct traces
+    query_trace = trace_ids[0]  # newest first
+    kinds = {f["kind"] for f in service.trace_store.get(query_trace)}
+    assert kinds == {"rpc", "query"}
+
+
+def test_untraced_clients_record_no_fragments(listen_ready):
+    with KokoService(shards=1) as service:
+        with RpcServer(service) as server:
+            host, port = listen_ready(*server.address)
+            client = RpcClient(host, port)  # trace_sample_rate defaults to 0
+            try:
+                client.add_document(TEXT, doc_id="d0")
+                ping_ok = client.ping()
+            finally:
+                client.close()
+            assert ping_ok
+            assert len(client.traces) == 0
+            assert len(service.trace_store) == 0
+
+
+def test_responses_carry_server_ms_and_stats_split_the_wire(traced_pair):
+    _service, _server, client = traced_pair
+    client.add_document(TEXT, doc_id="d0")
+    client.query(ENTITY_QUERY)
+
+    stats = client.stats()
+    assert stats["requests"] == 2 and stats["faults"] == 0
+    assert stats["timed"] == 2
+    assert stats["rtt_ms_avg"] >= stats["server_ms_avg"] > 0
+    assert stats["wire_ms_avg"] == pytest.approx(
+        stats["rtt_ms_avg"] - stats["server_ms_avg"], abs=1e-6
+    )
+
+
+def test_inflight_gauge_settles_and_queue_wait_histogram_fills(traced_pair):
+    service, _server, client = traced_pair
+    client.add_document(TEXT, doc_id="d0")
+    client.query(ENTITY_QUERY)
+
+    registry = service.metrics
+    assert registry.get("koko_rpc_inflight_requests").value == 0
+    # every executed request observed its executor queue wait
+    assert registry.get("koko_rpc_executor_queue_wait_seconds").count >= 2
+
+
+def test_slow_ops_carry_trace_and_client_ids_and_filter_by_trace(listen_ready):
+    # zero thresholds log every op, so both RPC calls land in the log
+    with KokoService(shards=1, slow_query_ms=0.0, slow_ingest_ms=0.0) as service:
+        with RpcServer(service) as server:
+            host, port = listen_ready(*server.address)
+            client = RpcClient(
+                host, port, client_id="slowpoke", trace_sample_rate=1.0
+            )
+            try:
+                client.add_document(TEXT, doc_id="d0")
+                client.query(ENTITY_QUERY)
+            finally:
+                client.close()
+
+        entries = service.recent_slow_ops()
+        assert len(entries) == 2
+        for entry in entries:
+            assert entry["client_id"] == "slowpoke"
+            assert entry["trace_id"] is not None
+
+        target = entries[0]["trace_id"]
+        filtered = service.recent_slow_ops(trace_id=target)
+        assert [e["trace_id"] for e in filtered] == [target]
+        assert service.recent_slow_ops(trace_id="nonexistent") == []
+
+        # the same filter over HTTP: /slowlog?trace_id=...
+        from repro.observability import TelemetryServer, http_get_json
+
+        with TelemetryServer(service) as telemetry:
+            listen_ready(*telemetry.address)
+            status, over_http = http_get_json(
+                *telemetry.address, f"/slowlog?trace_id={target}"
+            )
+            assert status == 200
+            assert [e["trace_id"] for e in over_http] == [target]
+            status, empty = http_get_json(
+                *telemetry.address, "/slowlog?trace_id=nonexistent"
+            )
+            assert status == 200 and empty == []

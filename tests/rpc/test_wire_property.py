@@ -21,6 +21,7 @@ from repro.rpc.wire import (
     RpcFault,
     RpcRequest,
     RpcResponse,
+    TraceContext,
     decode_message,
     encode_message,
     frame_message,
@@ -45,6 +46,14 @@ _values = st.recursive(
     max_leaves=20,
 )
 
+_hex = "0123456789abcdef"
+_trace_contexts = st.builds(
+    TraceContext,
+    trace_id=st.text(alphabet=_hex, min_size=1, max_size=16),
+    span_id=st.text(alphabet=_hex, min_size=1, max_size=8),
+    sampled=st.booleans(),
+)
+
 _requests = st.builds(
     RpcRequest,
     op=st.text(min_size=1, max_size=30),
@@ -54,6 +63,7 @@ _requests = st.builds(
     deadline=st.one_of(
         st.none(), st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
     ),
+    trace=st.one_of(st.none(), _trace_contexts),
 )
 
 _faults = st.builds(
@@ -65,6 +75,9 @@ _responses = st.builds(
     request_id=st.integers(min_value=0, max_value=2**62),
     value=_values,
     fault=st.one_of(st.none(), _faults),
+    server_ms=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+    ),
 )
 
 
@@ -95,6 +108,14 @@ def test_headers_survive_the_round_trip_exactly(request):
     assert decoded.client_id == request.client_id
     assert decoded.deadline == request.deadline
     assert decoded.op == request.op and decoded.args == request.args
+    assert decoded.trace == request.trace
+    if request.trace is not None:
+        # the propagation header arrives intact AND typed: the server
+        # continues this exact trace under this exact parent span
+        assert isinstance(decoded.trace, TraceContext)
+        assert decoded.trace.trace_id == request.trace.trace_id
+        assert decoded.trace.span_id == request.trace.span_id
+        assert decoded.trace.sampled is request.trace.sampled
 
 
 @settings(max_examples=50, deadline=None)
